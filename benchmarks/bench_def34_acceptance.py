@@ -1,0 +1,103 @@
+"""E14: Definition 3.4 acceptance — decision procedures and their cost.
+
+Design-choice ablation (DESIGN.md §5.1): two ways to judge "infinitely
+many f on the output tape":
+
+* **absorbing-verdict** (the paper's own acceptors): run until s_f/s_r
+  is declared — O(decision point), independent of any horizon;
+* **prefix f-counting**: run a fixed horizon and count f's — cost grows
+  linearly with the horizon, and the answer is only horizon-confident.
+
+Expected shape: absorbing-verdict decision time is flat as the horizon
+grows; f-counting scales linearly; both agree on every instance.
+Also benches Büchi lasso acceptance (the automaton-side counterpart)
+for growing cycle lengths.
+"""
+
+import pytest
+
+from repro.automata import BuchiAutomaton, LassoWord
+from repro.machine import RealTimeAlgorithm
+from repro.words import TimedWord
+
+
+def make_word(n: int, member: bool):
+    """Accept iff the header block of n symbols sums to an even value."""
+    total_parity = 0 if member else 1
+    syms = [1] * n
+    if sum(syms) % 2 != total_parity:
+        syms[0] = 2
+    pairs = [(n, 0)] + [(s, i + 1) for i, s in enumerate(syms)]
+    return TimedWord.lasso(pairs, [("w", n + 2)], shift=1)
+
+
+def make_acceptor():
+    def prog(ctx):
+        n, _t = yield ctx.input.read()
+        total = 0
+        for _ in range(n):
+            v, _t = yield ctx.input.read()
+            total += v
+        if total % 2 == 0:
+            ctx.accept()
+        else:
+            ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+@pytest.mark.parametrize("horizon", [100, 1_000, 10_000])
+def test_e14_absorbing_verdict_flat_in_horizon(benchmark, report, horizon):
+    word = make_word(32, member=True)
+    acceptor = make_acceptor()
+
+    def decide():
+        return acceptor.decide(word, horizon=horizon)
+
+    rep = benchmark(decide)
+    assert rep.accepted
+    report.add(horizon=horizon, decided_at=rep.decided_at, f=rep.f_count)
+
+
+@pytest.mark.parametrize("horizon", [100, 1_000, 10_000])
+def test_e14_prefix_counting_linear_in_horizon(benchmark, report, horizon):
+    word = make_word(32, member=True)
+    acceptor = make_acceptor()
+
+    def count():
+        return acceptor.count_f(word, horizon=horizon)
+
+    rep = benchmark(count)
+    assert rep.f_count > 0
+    report.add(horizon=horizon, f=rep.f_count)
+
+
+def test_e14_judges_agree(once, report):
+    def sweep():
+        for n in (8, 16, 64):
+            for member in (True, False):
+                word = make_word(n, member)
+                a = make_acceptor().decide(word, horizon=5_000)
+                b = make_acceptor().count_f(word, horizon=5_000)
+                agree = a.accepted == (b.f_count > 0)
+                report.add(n=n, member=member, verdict=a.verdict.value,
+                           f_count=b.f_count, agree=agree)
+                assert agree and a.accepted == member
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("cycle_len", [2, 8, 32])
+def test_e14_buchi_lasso_acceptance_cost(benchmark, report, cycle_len):
+    """The automaton-side judge: Büchi acceptance of u·vω."""
+    buchi = BuchiAutomaton(
+        "ab",
+        ["s", "t"],
+        "s",
+        [("s", "t", "a"), ("s", "s", "b"), ("t", "t", "a"), ("t", "s", "b")],
+        ["t"],
+    )
+    word = LassoWord("b" * 10, "ab" * (cycle_len // 2) or "ab")
+    accepted = benchmark(buchi.accepts_lasso, word)
+    assert accepted
+    report.add(cycle_len=cycle_len, accepted=accepted)

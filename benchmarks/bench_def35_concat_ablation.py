@@ -1,0 +1,80 @@
+"""E15: the Definition 3.5 concatenation ablation.
+
+The paper motivates Definition 3.5 by observing that naive
+concatenation (append σ, append τ) "fails to produce a timed word".
+We quantify that: on random pairs of timed words, what fraction of
+naive concatenations break monotonicity, versus the merge — which
+never does.  Plus merge-cost scaling for the three representation
+pairings (finite·finite, finite·lasso, lasso·lasso).
+
+Expected shape: naive failure rate climbs toward 1 as word length
+grows (any first-operand symbol later than any second-operand symbol
+breaks it); Definition 3.5 failure rate is exactly 0.
+"""
+
+import random
+
+import pytest
+
+from repro.words import TimedWord, Trilean, concat, naive_concat
+
+
+def random_finite(rng: random.Random, size: int) -> TimedWord:
+    times = sorted(rng.randint(0, 4 * size) for _ in range(size))
+    return TimedWord.finite([(rng.choice("abc"), t) for t in times])
+
+
+def test_e15_naive_failure_rate(once, report):
+    def sweep():
+        rng = random.Random(0)
+        for size in (2, 4, 8, 16, 32):
+            naive_bad = 0
+            merge_bad = 0
+            trials = 200
+            for _ in range(trials):
+                a = random_finite(rng, size)
+                b = random_finite(rng, size)
+                if naive_concat(a, b).is_valid() is Trilean.FALSE:
+                    naive_bad += 1
+                if concat(a, b).is_valid() is Trilean.FALSE:
+                    merge_bad += 1
+            report.add(
+                size=size,
+                naive_invalid_pct=round(100 * naive_bad / trials),
+                def35_invalid_pct=round(100 * merge_bad / trials),
+            )
+            assert merge_bad == 0
+        return True
+
+    assert once(sweep)
+
+
+@pytest.mark.parametrize("size", [16, 64, 256])
+def test_e15_merge_cost_finite(benchmark, report, size):
+    rng = random.Random(size)
+    a = random_finite(rng, size)
+    b = random_finite(rng, size)
+    merged = benchmark(concat, a, b)
+    assert len(merged) == 2 * size
+    report.add(pairing="finite·finite", size=size)
+
+
+@pytest.mark.parametrize("size", [16, 64, 256])
+def test_e15_merge_cost_finite_lasso(benchmark, report, size):
+    rng = random.Random(size)
+    fin = random_finite(rng, size)
+    lasso = TimedWord.lasso([], [("w", 1)], shift=1)
+    merged = benchmark(concat, fin, lasso)
+    assert merged.is_well_behaved() is Trilean.TRUE
+    report.add(pairing="finite·lasso", size=size)
+
+
+@pytest.mark.parametrize("shifts", [(2, 3), (5, 7), (12, 18)])
+def test_e15_merge_cost_lasso_lasso(benchmark, report, shifts):
+    s1, s2 = shifts
+    a = TimedWord.lasso([("p", 0)], [("a", 1)], shift=s1)
+    b = TimedWord.lasso([], [("b", 2)], shift=s2)
+    merged = benchmark(concat, a, b)
+    assert merged.is_well_behaved() is Trilean.TRUE
+    report.add(pairing="lasso·lasso", shifts=f"{s1}/{s2}",
+               exact="lasso" if merged.fn is None else "lazy")

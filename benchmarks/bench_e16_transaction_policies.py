@@ -1,0 +1,77 @@
+"""E16 (extension): transaction scheduling policies under load.
+
+The §5.1.2 deadline dimension the paper cites through Lehr–Kim–Son
+[24]: transactions contending for the database under FIFO vs EDF vs
+LSF.  We sweep the load factor (total work / available time) and report
+deadline-miss rates.
+
+Expected shape: all policies meet everything under light load; as load
+approaches and passes 1, FIFO's miss rate rises first and stays highest
+— EDF/LSF dominate it at every load level (the classic scheduling
+result, reproduced on our kernel).
+"""
+
+import random
+
+import pytest
+
+from repro.deadlines import DeadlineKind
+from repro.rtdb import Policy, Transaction, run_workload
+
+
+def make_workload(load: float, n: int = 40, seed: int = 0):
+    """n transactions over a window sized so that total work/window =
+    load.  Deadlines are release + work·slack with mixed tightness."""
+    rng = random.Random(seed)
+    works = [rng.randint(2, 8) for _ in range(n)]
+    window = max(1, int(sum(works) / load))
+    txns = []
+    for i, work in enumerate(works):
+        release = rng.randint(0, window)
+        slack = rng.choice((2, 3, 6))
+        txns.append(
+            Transaction(
+                name=f"t{i}",
+                release=release,
+                work=work,
+                deadline=release + work * slack,
+                kind=DeadlineKind.SOFT if i % 4 == 0 else DeadlineKind.FIRM,
+            )
+        )
+    return txns
+
+
+def test_e16_policy_miss_rates(once, report):
+    def sweep():
+        table = {}
+        for load in (0.3, 0.7, 1.0, 1.3):
+            for policy in Policy:
+                rates = []
+                for seed in range(5):
+                    out = run_workload(policy, make_workload(load, seed=seed))
+                    rates.append(out.miss_rate)
+                mean = sum(rates) / len(rates)
+                table[(policy, load)] = mean
+                report.add(load=load, policy=policy.value,
+                           miss_rate=round(mean, 3))
+        # shape: EDF never worse than FIFO on average, gap widens with load
+        for load in (0.7, 1.0, 1.3):
+            assert table[(Policy.EDF, load)] <= table[(Policy.FIFO, load)] + 1e-9
+        assert table[(Policy.EDF, 0.3)] <= 0.2
+        return table
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("policy", list(Policy))
+def test_e16_scheduling_cost(benchmark, policy):
+    workload = make_workload(load=1.0, n=60, seed=1)
+
+    def run():
+        return run_workload(policy, [
+            Transaction(t.name, t.release, t.work, t.deadline, t.kind)
+            for t in workload
+        ])
+
+    out = benchmark(run)
+    assert len(out.results) == 60

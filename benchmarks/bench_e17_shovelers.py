@@ -1,0 +1,89 @@
+"""E17 (extension): the p-shovelers problem — parallelism as the
+difference between success and failure (§7, via Luccio–Pagli [26, 27]).
+
+Sweeps processor counts against arrival-law rates and reports the
+success frontier plus termination-time speedups, from three artifacts:
+the fluid capacity analysis, the exact strict recursion, and the kernel
+simulation.
+
+Expected shapes:
+* β = 1, k < 1: any p terminates; adding shovelers shortens the
+  backlog-drain phase (diminishing returns once the pile stays empty);
+* β = 1, k ≥ 1: fluid catch-up exists for p > c·k but *strict*
+  termination never occurs (no arrival gap) — the fluid/strict split
+  this reproduction surfaced;
+* the minimum fluid p matches ⌊c·k·n^γ⌋ + 1 exactly.
+"""
+
+import pytest
+
+from repro.dataacc import (
+    PolynomialArrivalLaw,
+    PrefixSumSolver,
+    minimum_processors,
+    parallel_termination_time,
+    run_parallel_dalgorithm,
+    strict_parallel_termination_time,
+)
+
+
+def test_e17_success_frontier(once, report):
+    def sweep():
+        for k in (0.5, 0.9, 1.5, 2.5):
+            law = PolynomialArrivalLaw(n=48, k=k, gamma=0.0, beta=1.0)
+            for p in (1, 2, 4):
+                fluid = parallel_termination_time(law, 1, p, horizon=20_000)
+                strict = strict_parallel_termination_time(law, p, horizon=20_000)
+                sim = run_parallel_dalgorithm(
+                    PrefixSumSolver, law, data=lambda j: 1, p=p, horizon=20_000
+                )
+                report.add(
+                    k=k, p=p,
+                    fluid=fluid if fluid is not None else "DNF",
+                    strict=strict if strict is not None else "DNF",
+                    simulated=sim.termination_time if sim.terminated else "DNF",
+                )
+                assert sim.terminated == (strict is not None)
+                if strict is not None:
+                    assert sim.termination_time == strict
+                # the fluid/strict split: gap-free laws (k ≥ 1) never
+                # strictly terminate even when fluid catch-up exists
+                if k >= 1:
+                    assert strict is None
+                elif fluid is not None:
+                    assert strict is not None
+
+    once(sweep)
+
+
+def test_e17_minimum_processors_closed_form(once, report):
+    def sweep():
+        for k, gamma, n, expected in (
+            (0.5, 0.0, 64, 1),
+            (2.5, 0.0, 64, 3),
+            (1.0, 0.5, 64, 9),     # ⌊√64⌋ + 1
+            (1.0, 0.5, 256, 17),   # ⌊√256⌋ + 1
+        ):
+            law = PolynomialArrivalLaw(n=n, k=k, gamma=gamma, beta=1.0)
+            p_min = minimum_processors(law, 1)
+            report.add(k=k, gamma=gamma, n=n, p_min=p_min, closed_form=expected)
+            assert p_min == expected
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_e17_speedup(benchmark, report, p):
+    """Wall-clock of the kernel run plus the simulated speedup curve
+    (k = 0.5 < 1, so strict termination exists at every p)."""
+    law = PolynomialArrivalLaw(n=512, k=0.5, gamma=0.0, beta=1.0)
+
+    def run():
+        return run_parallel_dalgorithm(
+            PrefixSumSolver, law, data=lambda j: 1, p=p, horizon=20_000
+        )
+
+    result = benchmark(run)
+    assert result.terminated
+    report.add(p=p, termination_t=result.termination_time,
+               items=result.items_processed)

@@ -1,0 +1,86 @@
+"""E18 (extension): anytime query quality vs deadline budget (Vrbsky
+[34], the source of the paper's §5.1.2 data model).
+
+A soft-deadline query that runs out of time returns the partial answer;
+we sweep the budget and report completeness and recall.
+
+Expected shape: recall is 0 at budget 0, non-decreasing, and reaches
+1.0 at full budget; every partial answer is a subset of the exact one
+(certainty); cost grows with the consumed prefix.
+"""
+
+import random
+
+import pytest
+
+from repro.rtdb import (
+    AnytimeEvaluator,
+    DatabaseInstance,
+    DatabaseSchema,
+    NaturalJoin,
+    Projection,
+    Relation,
+    RelationSchema,
+    Selection,
+    figure2_query,
+    ngc_example,
+)
+
+
+def _big_db(n_rows: int, seed: int = 0) -> DatabaseInstance:
+    rng = random.Random(seed)
+    left = RelationSchema("Readings", ("Sensor", "Value"))
+    right = RelationSchema("Sites", ("Sensor", "Site"))
+    db = DatabaseInstance(DatabaseSchema([left, right]))
+    for i in range(n_rows):
+        db.insert("Readings", (f"s{i % 50}", rng.randint(0, 100)))
+        db.insert("Sites", (f"s{i % 50}", f"site-{i % 7}"))
+    return db
+
+
+def _query():
+    join = NaturalJoin(Relation("Readings"), Relation("Sites"))
+    hot = Selection(join, "Value", ">=", 50)
+    return Projection(hot, ("Sensor", "Site"))
+
+
+def test_e18_quality_curve(once, report):
+    def sweep():
+        ev = AnytimeEvaluator(_query(), _big_db(400))
+        exact = ev.exact()
+        budgets = [0, 50, 100, 200, 400, 800]
+        prev_recall = -1.0
+        for b in budgets:
+            ans = ev.evaluate(b)
+            recall = ans.recall_against(exact)
+            report.add(
+                budget=b,
+                completeness=round(ans.completeness, 2),
+                recall=round(recall, 2),
+                answer_size=len(ans.tuples),
+            )
+            assert ans.tuples <= exact  # certainty
+            assert recall >= prev_recall - 1e-12  # monotone improvement
+            prev_recall = recall
+        assert prev_recall == 1.0
+
+    once(sweep)
+
+
+def test_e18_figure2_anytime(once, report):
+    """The paper's own query, served anytime."""
+
+    def sweep():
+        ev = AnytimeEvaluator(figure2_query(), ngc_example())
+        for b, completeness, recall in ev.quality_curve([0, 3, 6, 9]):
+            report.add(budget=b, completeness=round(completeness, 2),
+                       recall=round(recall, 2))
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("budget", [50, 200, 800])
+def test_e18_evaluation_cost(benchmark, report, budget):
+    ev = AnytimeEvaluator(_query(), _big_db(400))
+    ans = benchmark(ev.evaluate, budget)
+    report.add(budget=budget, consumed=ans.consumed)

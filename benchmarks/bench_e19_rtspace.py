@@ -1,0 +1,146 @@
+"""E19 (extension): rt-SPACE — certified space-bounded membership and
+measured growth curves (the §3.2 class programme, executably).
+
+Three acceptors for three languages, each run under a hard space meter
+across a size sweep:
+
+* parity of a length-prefixed block      — rt-SPACE(O(1));
+* "block equals its reversal" (explicit buffer) — rt-SPACE(O(n));
+* a binary counter acceptor for block length     — rt-SPACE(O(log n)).
+
+Expected shape: the measured peak-storage curves classify as O(1),
+O(n), O(log n) respectively; certified membership holds under the
+matching bound and trips under the next-tighter one.
+"""
+
+import math
+
+import pytest
+
+from repro.complexity import (
+    CONST,
+    LINSPACE,
+    LOGSPACE,
+    ResourceBound,
+    measure_space_curve,
+    rt_space_membership,
+)
+from repro.machine import RealTimeAlgorithm
+from repro.words import TimedWord
+
+
+def block_word(symbols, member_tag=True):
+    pairs = [(len(symbols), 0)] + [(s, i + 1) for i, s in enumerate(symbols)]
+    return TimedWord.lasso(pairs, [("w", len(symbols) + 2)], shift=1)
+
+
+# -- acceptors ----------------------------------------------------------------
+
+def parity_acceptor():
+    def prog(ctx):
+        n, _ = yield ctx.input.read()
+        count = 0
+        for _ in range(n):
+            s, _ = yield ctx.input.read()
+            count ^= 1 if s == "a" else 0
+        ctx.storage["parity"] = count
+        ctx.accept() if count == 0 else ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+def palindrome_acceptor():
+    def prog(ctx):
+        n, _ = yield ctx.input.read()
+        buf = []
+        for i in range(n):
+            s, _ = yield ctx.input.read()
+            buf.append(s)
+            ctx.storage[i] = s  # explicit O(n) buffer
+        ctx.accept() if buf == buf[::-1] else ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+def counter_acceptor():
+    """Counts the block in binary: ⌈log₂ n⌉ storage cells."""
+
+    def prog(ctx):
+        n, _ = yield ctx.input.read()
+        bits = max(1, math.ceil(math.log2(n + 2)))
+        for b in range(bits):
+            ctx.storage[f"bit{b}"] = 0
+        seen = 0
+        for _ in range(n):
+            yield ctx.input.read()
+            seen += 1
+            for b in range(bits):  # ripple increment over the cells
+                ctx.storage[f"bit{b}"] = (seen >> b) & 1
+        ctx.accept() if seen == n else ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+SIZES = [4, 8, 16, 32, 64, 128]
+
+
+def _instances(member=True):
+    out = []
+    for n in SIZES:
+        a_count = (n // 2) * 2 if member else (n // 2) * 2 - 1
+        syms = ["a"] * a_count + ["b"] * (n - a_count)
+        out.append((n, block_word(syms), member))
+    return out
+
+
+def test_e19_growth_classification(once, report):
+    def sweep():
+        for label, factory, expected in (
+            ("parity", parity_acceptor, "O(1)"),
+            ("palindrome", palindrome_acceptor, "O(n)"),
+            ("counter", counter_acceptor, "O(log n)"),
+        ):
+            curve = measure_space_curve(
+                factory,
+                lambda n: block_word(["a"] * n),
+                sizes=SIZES,
+            )
+            report.add(acceptor=label, peaks=tuple(curve.peaks),
+                       classified=curve.label, expected=expected)
+            assert curve.label == expected
+
+    once(sweep)
+
+
+def test_e19_certified_membership(once, report):
+    def sweep():
+        # parity fits O(1)
+        ev = rt_space_membership(parity_acceptor, _instances(), CONST)
+        report.add(acceptor="parity", bound=CONST.name, holds=ev.holds)
+        assert ev.holds
+        # palindrome fits O(n) but NOT O(log n)
+        pal_instances = [
+            (n, block_word(["a"] * n), True) for n in SIZES
+        ]
+        ok = rt_space_membership(palindrome_acceptor, pal_instances, LINSPACE)
+        report.add(acceptor="palindrome", bound=LINSPACE.name, holds=ok.holds)
+        assert ok.holds
+        tight = rt_space_membership(palindrome_acceptor, pal_instances, LOGSPACE)
+        report.add(acceptor="palindrome", bound=LOGSPACE.name, holds=tight.holds)
+        assert not tight.within_bound
+        # counter fits O(log n)
+        cnt = rt_space_membership(
+            counter_acceptor, pal_instances, LOGSPACE
+        )
+        report.add(acceptor="counter", bound=LOGSPACE.name, holds=cnt.holds)
+        assert cnt.holds
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("factory", [parity_acceptor, counter_acceptor, palindrome_acceptor],
+                         ids=["parity", "counter", "palindrome"])
+def test_e19_acceptor_cost(benchmark, factory):
+    word = block_word(["a"] * 64)
+    rep = benchmark(lambda: factory().decide(word, horizon=2_000))
+    assert rep.verdict.value in ("accept", "reject")

@@ -1,0 +1,70 @@
+"""E1 + E2: reproduce Figure 1 (the NGC database instance) and Figure 2
+(the November query answer), and bench the query evaluator as the
+database scales.
+
+Paper artifact: Figures 1 and 2 of Section 5.1.1.
+Expected: the query answer equals Figure 2 tuple-for-tuple; evaluation
+scales roughly linearly in instance size for this select-project-join.
+"""
+
+import random
+
+import pytest
+
+from repro.rtdb import (
+    DatabaseInstance,
+    DatabaseSchema,
+    RelationSchema,
+    figure2_query,
+    ngc_example,
+)
+
+FIGURE_2 = {
+    ("Schaefer", "St. Catharines"),
+    ("Aelbrecht", "Hamilton"),
+    ("Dieric", "Hamilton"),
+}
+
+
+def test_e1_figure1_instance(benchmark, report):
+    """E1: building the Figure 1 instance, verified against the paper."""
+    db = benchmark(ngc_example)
+    assert len(db["Exhibitions"]) == 6
+    assert len(db["Schedules"]) == 3
+    report.add(relation="Exhibitions", tuples=len(db["Exhibitions"]), paper=6)
+    report.add(relation="Schedules", tuples=len(db["Schedules"]), paper=3)
+
+
+def test_e2_figure2_query(benchmark, report):
+    """E2: the paper's query on the paper's instance."""
+    db = ngc_example()
+    q = figure2_query()
+    result = benchmark(q.evaluate, db)
+    got = {r.values for r in result}
+    assert got == FIGURE_2
+    for artist, city in sorted(got):
+        report.add(Artist=artist, City=city, in_paper_fig2=True)
+
+
+def _scaled_db(n_rows: int, seed: int = 0) -> DatabaseInstance:
+    """The NGC schema filled with n_rows synthetic exhibitions."""
+    rng = random.Random(seed)
+    exhibitions = RelationSchema("Exhibitions", ("Title", "Description", "Artist"))
+    schedules = RelationSchema("Schedules", ("City", "Title", "Date"))
+    db = DatabaseInstance(DatabaseSchema([exhibitions, schedules]))
+    months = ["October 1999", "November 1999", "December 1999"]
+    for i in range(n_rows):
+        title = f"show-{i % (n_rows // 3 + 1)}"
+        db.insert("Exhibitions", (title, f"desc-{i}", f"artist-{i}"))
+        db.insert("Schedules", (f"city-{i % 17}", title, rng.choice(months)))
+    return db
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000, 5000])
+def test_e2_query_scaling(benchmark, report, n_rows):
+    """Data complexity: fixed query, growing instance (Section 5.1.1)."""
+    db = _scaled_db(n_rows)
+    q = figure2_query()
+    result = benchmark(q.evaluate, db)
+    report.add(rows=n_rows, answer_size=len(result))
+    assert len(result) > 0

@@ -1,0 +1,86 @@
+"""E5: Section 4.1 — computing with deadlines.
+
+Sweeps deadline kind × deadline position across a matrix of instances
+and verifies the acceptor's decision equals the oracle on 100% of them
+(the paper's construction is exact, so any disagreement is a bug).
+The timing target is one full encode+decide round trip.
+
+Expected shape: accept ⟺ completion < t_d (firm) or u(completion) ≥
+min acceptable (soft); the acceptance frontier moves right as t_d
+grows.
+"""
+
+import pytest
+
+from repro.deadlines import (
+    DeadlineInstance,
+    DeadlineKind,
+    DeadlineSpec,
+    HyperbolicUsefulness,
+    decide_instance,
+    encode_instance,
+    sorting_problem,
+)
+
+PROBLEM = sorting_problem(time_per_item=2)
+
+
+def _instance(n, kind, t_d=None, min_acc=1):
+    data = tuple((7 * i) % 23 for i in range(n))
+    if kind is DeadlineKind.NONE:
+        spec = DeadlineSpec(kind)
+    elif kind is DeadlineKind.FIRM:
+        spec = DeadlineSpec(kind, t_d=t_d, min_acceptable=min_acc)
+    else:
+        spec = DeadlineSpec(
+            kind,
+            t_d=t_d,
+            usefulness=HyperbolicUsefulness(max_value=10, t_d=t_d),
+            min_acceptable=min_acc,
+        )
+    return DeadlineInstance(PROBLEM, data, tuple(sorted(data)), spec)
+
+
+def test_e5_decision_matrix(once, report):
+    """The acceptance frontier across kinds and deadlines (n = 8,
+    completion at t = 16)."""
+
+    def sweep():
+        mismatches = 0
+        for kind in (DeadlineKind.FIRM, DeadlineKind.SOFT):
+            for t_d in (5, 10, 16, 17, 20, 40):
+                inst = _instance(8, kind, t_d=t_d, min_acc=2)
+                rep = decide_instance(inst)
+                oracle = inst.oracle()
+                if rep.accepted != oracle:
+                    mismatches += 1
+                report.add(
+                    kind=kind.value,
+                    t_d=t_d,
+                    completion=inst.completion_time(),
+                    oracle=oracle,
+                    acceptor=rep.accepted,
+                )
+        return mismatches
+
+    assert once(sweep) == 0
+
+
+@pytest.mark.parametrize("kind", [DeadlineKind.NONE, DeadlineKind.FIRM, DeadlineKind.SOFT])
+def test_e5_roundtrip_cost(benchmark, kind):
+    """Encode + accept one instance (n = 16)."""
+    inst = _instance(16, kind, t_d=40)
+
+    def roundtrip():
+        return decide_instance(inst)
+
+    rep = benchmark(roundtrip)
+    assert rep.accepted == inst.oracle()
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_e5_encoding_cost(benchmark, report, n):
+    """Word construction cost as the instance grows."""
+    inst = _instance(n, DeadlineKind.FIRM, t_d=1000)
+    word = benchmark(encode_instance, inst)
+    report.add(n=n, prefix_len=len(word.prefix))

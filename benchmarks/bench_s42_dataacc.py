@@ -1,0 +1,93 @@
+"""E6: Section 4.2 — the data-accumulating paradigm.
+
+Sweeps the arrival-law family f(n,t) = n + k·n^γ·t^β over β and n and
+reports termination times from three independent artifacts: the
+closed-form characterization, the numeric fixed-point solver, and the
+kernel simulation.
+
+Expected shape (the published d-algorithm characterization):
+* β < 1 — always terminates; termination time grows superlinearly in n;
+* β = 1 — terminates iff c·k·n^γ < 1 (sim time ≈ c·n/(1 − ck·n^γ));
+* β > 1 or ck ≥ 1 — diverges (DNF rows).
+"""
+
+import pytest
+
+from repro.dataacc import (
+    InsertionSortSolver,
+    PolynomialArrivalLaw,
+    run_dalgorithm,
+    termination_time,
+)
+
+HORIZON = 60_000
+
+
+def test_e6_beta_sweep(once, report):
+    """Termination frontier across β at fixed n = 256, k = 0.5."""
+
+    def sweep():
+        for beta in (0.5, 0.8, 1.0, 1.5, 2.0):
+            law = PolynomialArrivalLaw(n=256, k=0.5, gamma=0.0, beta=beta)
+            closed = law.terminates_asymptotically(1)
+            numeric = termination_time(law, 1, horizon=HORIZON)
+            sim = run_dalgorithm(
+                InsertionSortSolver(), law, data=lambda j: j % 97, horizon=HORIZON
+            )
+            report.add(
+                beta=beta,
+                closed_form="terminates" if closed else "diverges",
+                numeric_t=numeric if numeric is not None else "DNF",
+                simulated_t=sim.termination_time if sim.terminated else "DNF",
+            )
+            # the three artifacts agree
+            assert (numeric is not None) == sim.terminated
+            if beta != 1.0:
+                assert closed == sim.terminated
+
+    once(sweep)
+
+
+def test_e6_critical_rate_frontier(once, report):
+    """β = 1: the c·k < 1 threshold (c = 1)."""
+
+    def sweep():
+        for k in (0.25, 0.5, 0.75, 0.9, 1.0, 1.25):
+            law = PolynomialArrivalLaw(n=64, k=k, gamma=0.0, beta=1.0)
+            sim = run_dalgorithm(
+                InsertionSortSolver(), law, data=lambda j: j, horizon=20_000
+            )
+            predicted = law.terminates_asymptotically(1)
+            report.add(
+                k=k,
+                predicted="terminates" if predicted else "diverges",
+                simulated_t=sim.termination_time if sim.terminated else "DNF",
+            )
+            assert sim.terminated == predicted
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096, 16384])
+def test_e6_termination_scaling(benchmark, report, n):
+    """Termination time vs initial amount n (β = 1, ck = 0.5):
+    expected t ≈ 2n."""
+    law = PolynomialArrivalLaw(n=n, k=0.5, gamma=0.0, beta=1.0)
+    t = benchmark(termination_time, law, 1, HORIZON)
+    assert t is not None
+    report.add(n=n, termination_t=t, ratio=round(t / n, 3))
+    assert 1.8 <= t / n <= 2.2
+
+
+@pytest.mark.parametrize("beta", [0.5, 0.9])
+def test_e6_simulation_cost(benchmark, beta):
+    """Full kernel simulation cost for a terminating run."""
+    law = PolynomialArrivalLaw(n=128, k=0.5, gamma=0.0, beta=beta)
+
+    def run():
+        return run_dalgorithm(
+            InsertionSortSolver(), law, data=lambda j: j % 31, horizon=HORIZON
+        )
+
+    result = benchmark(run)
+    assert result.terminated

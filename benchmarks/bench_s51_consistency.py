@@ -1,0 +1,73 @@
+"""E9: Section 5.1.2 — absolute/relative consistency under sampling.
+
+Sweeps sampling periods against consistency thresholds on a running
+RTDB and reports the fraction of probe instants at which the database
+is absolutely / relatively consistent.
+
+Expected shape: absolute consistency holds ⟺ threshold ≥ max sampling
+period − 1 (the worst-case age just before a refresh); relative
+consistency holds ⟺ threshold ≥ the worst-case phase gap between the
+two samplers.
+"""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.rtdb import RealTimeDatabase
+
+
+def _run(period_a: int, period_b: int, abs_thr: int, rel_thr: int, horizon: int = 240):
+    sim = Simulator()
+    db = RealTimeDatabase(sim, lambda name, t: t)
+    db.add_image("a", period=period_a)
+    db.add_image("b", period=period_b)
+    db.add_derived("combo", ["a", "b"], lambda x, y: x + y)
+    db.start_sampling(horizon=horizon)
+    stats = {"probes": 0, "absolute": 0, "relative": 0}
+
+    def probe():
+        while True:
+            yield sim.timeout(7)
+            rep = db.check_consistency(abs_thr, rel_thr)
+            stats["probes"] += 1
+            stats["absolute"] += rep.absolute and rep.derived_fresh
+            stats["relative"] += rep.relative
+
+    sim.process(probe())
+    sim.run(until=horizon)
+    return stats
+
+
+def test_e9_threshold_sweep(once, report):
+    def sweep():
+        for period_a, period_b in ((4, 4), (4, 10), (10, 25)):
+            for thr in (2, 5, 9, 24):
+                stats = _run(period_a, period_b, abs_thr=thr, rel_thr=thr)
+                report.add(
+                    periods=f"{period_a}/{period_b}",
+                    threshold=thr,
+                    absolute_pct=round(100 * stats["absolute"] / stats["probes"]),
+                    relative_pct=round(100 * stats["relative"] / stats["probes"]),
+                )
+        # the anchor shapes: tight thresholds fail, generous ones hold
+        tight = _run(10, 25, abs_thr=2, rel_thr=2)
+        loose = _run(10, 25, abs_thr=24, rel_thr=24)
+        assert tight["absolute"] < tight["probes"]
+        assert loose["absolute"] == loose["probes"]
+        assert loose["relative"] == loose["probes"]
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("n_objects", [2, 8, 32])
+def test_e9_consistency_check_cost(benchmark, report, n_objects):
+    """Relative consistency is O(n²) pairwise — measured here."""
+    sim = Simulator()
+    db = RealTimeDatabase(sim, lambda name, t: 0)
+    for i in range(n_objects):
+        db.add_image(f"o{i}", period=3 + (i % 5))
+    db.start_sampling(horizon=50)
+    sim.run(until=50)
+
+    rep = benchmark(db.check_consistency, 10, 10)
+    report.add(objects=n_objects, consistent=rep.consistent)

@@ -1,0 +1,130 @@
+"""E7 + E8: Definition 5.1 — the recognition problem for real-time
+queries (eqs. 9 and 10) plus the Lemma 5.1 bound check.
+
+E7 expected shape: membership decisions track the query semantics
+exactly across deadline kinds, and acceptance cost grows with database
+size (the stream carries more samples before the query header).
+
+E8 expected shape: the periodic acceptor serves one f per invocation;
+the measured k′ of each pq word never exceeds the Lemma 5.1 bound.
+"""
+
+import pytest
+
+from repro.deadlines import DeadlineKind, DeadlineSpec, HyperbolicUsefulness
+from repro.rtdb import (
+    QueryRegistry,
+    RecognitionInstance,
+    decide_aperiodic,
+    lemma51_bound,
+    pq_word,
+    serve_periodic,
+)
+
+REGISTRY = QueryRegistry(
+    queries={
+        # threshold below the sensor floor (values are 20..29), so the
+        # candidate's membership is stable across sampling instants —
+        # the nonmember case uses a name outside the schema instead
+        "hot": lambda st: {(n,) for n, v in st.images.items() if v >= 20},
+    },
+    derivations={},
+    eval_cost=lambda name, st: 2,
+)
+
+
+def _instance(spec, issue_time=12, n_sensors=1):
+    images = {
+        f"temp{i}": (3, (lambda i: (lambda t: 20 + (t + i) % 10))(i))
+        for i in range(n_sensors)
+    }
+    return RecognitionInstance(
+        invariants={"site": "plant"},
+        derived={},
+        images=images,
+        query_name="hot",
+        issue_time=issue_time,
+        spec=spec,
+    )
+
+
+def test_e7_decision_matrix(once, report):
+    """Aperiodic recognition across deadline kinds (eq. 9)."""
+    soft = DeadlineSpec(
+        DeadlineKind.SOFT,
+        t_d=4,
+        usefulness=HyperbolicUsefulness(max_value=8, t_d=16),
+        min_acceptable=1,
+    )
+    cases = [
+        ("none/member", DeadlineSpec(DeadlineKind.NONE), ("temp0",), True),
+        ("none/nonmember", DeadlineSpec(DeadlineKind.NONE), ("bogus",), False),
+        ("firm/member", DeadlineSpec(DeadlineKind.FIRM, t_d=10), ("temp0",), True),
+        ("soft/member", soft, ("temp0",), True),
+    ]
+
+    def sweep():
+        for label, spec, candidate, expected in cases:
+            inst = _instance(spec)
+            rep = decide_aperiodic(REGISTRY, inst, candidate, horizon=3000)
+            report.add(case=label, expected=expected, decided=rep.accepted,
+                       at=rep.decided_at)
+            assert rep.accepted == expected
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("n_sensors", [1, 4, 16])
+def test_e7_acceptance_cost_vs_db_size(benchmark, report, n_sensors):
+    """eq. (9) membership cost as the database grows."""
+    inst = _instance(DeadlineSpec(DeadlineKind.NONE), n_sensors=n_sensors)
+
+    def decide():
+        return decide_aperiodic(REGISTRY, inst, ("temp0",), horizon=3000)
+
+    rep = benchmark(decide)
+    assert rep.accepted
+    report.add(sensors=n_sensors, decided_at=rep.decided_at)
+
+
+@pytest.mark.parametrize("period", [5, 10, 50])
+def test_e8_periodic_service(benchmark, report, period):
+    """eq. (10): one f per served invocation."""
+    inst = _instance(DeadlineSpec(DeadlineKind.NONE), issue_time=10)
+    horizon = 400
+
+    def serve():
+        return serve_periodic(
+            REGISTRY, inst, candidates=lambda i: ("temp0",), period=period,
+            horizon=horizon,
+        )
+
+    rep = benchmark(serve)
+    # an invocation issued at t completes at t + eval_cost(=2)
+    expected = 1 + (horizon - 2 - 10) // period
+    report.add(period=period, served=rep.f_count, expected=expected)
+    assert rep.f_count == expected
+
+
+def test_e8_lemma51_bound(once, report):
+    """Measured k′ vs the Lemma 5.1 bound across periods and horizons."""
+
+    def sweep():
+        for period in (5, 10, 50):
+            w = pq_word(
+                "hot",
+                lambda i: ("temp0",),
+                issue_time=5,
+                period=period,
+                spec_for=lambda i: DeadlineSpec(DeadlineKind.FIRM, t_d=4),
+            )
+            ts = w.time_sequence
+            header_len = len(repr(("temp0",))) + len("hot@5") + 3
+            for k in (16, 64, 256):
+                kprime = ts.first_index_reaching(k, horizon=500_000)
+                bound = lemma51_bound(k, 5, period, header_len + 4)
+                report.add(period=period, k=k, k_prime=kprime, bound=bound,
+                           within=kprime is not None and kprime <= bound)
+                assert kprime is not None and kprime <= bound
+
+    once(sweep)

@@ -1,0 +1,126 @@
+"""E11: the Broch et al. [12] routing comparison, regenerated.
+
+The paper maps [12]'s three measures onto R_{n,u}: routing overhead
+(f+g), path optimality, delivery ratio.  We sweep pause time (the
+mobility knob: 0 = constant motion) for four protocols on a Broch-style
+arena and print the series.
+
+Expected *shapes* (who wins, not absolute numbers — we run a simulator,
+not their ns-2 testbed):
+
+* flooding: delivery ≈ 1 and path excess ≈ 0 at every pause time, at
+  the largest *data* overhead;
+* DSDV-like proactive: control overhead roughly constant in pause time
+  (beacons never stop); delivery suffers at high mobility (stale
+  routes);
+* DSR-like reactive: control overhead *decreases* as pause time grows
+  (fewer re-discoveries) and sits below DSDV's steady beacon bill for
+  the same traffic;
+* delivery ratio weakly improves with pause time for the table-driven
+  protocols.
+"""
+
+import pytest
+
+from repro.adhoc import (
+    AodvRouter,
+    Arena,
+    DreamRouter,
+    DsdvRouter,
+    DsrRouter,
+    FloodingRouter,
+    Scenario,
+    run_scenario,
+)
+
+PAUSES = (0, 60, 300)
+SEEDS = (3, 5, 11)
+
+PROTOCOLS = {
+    "flooding": lambda: FloodingRouter(ttl=16),
+    "dsdv": lambda: DsdvRouter(beacon_period=15),
+    "dsr": lambda: DsrRouter(),
+    "aodv": lambda: AodvRouter(),
+    "dream": lambda: DreamRouter(beacon_period=30, beacon_scope=2),
+}
+
+
+def _scenario(pause, seed):
+    return Scenario(
+        n_nodes=14,
+        arena=Arena(800.0, 300.0),
+        radio_range=250.0,
+        pause_time=pause,
+        n_messages=8,
+        message_window=(60, 200),
+        horizon=320,
+        seed=seed,
+    )
+
+
+def _aggregate(name, pause):
+    rows = []
+    for seed in SEEDS:
+        run = run_scenario(PROTOCOLS[name], _scenario(pause, seed))
+        rows.append(run.metrics)
+    n = len(rows)
+    return {
+        "delivery": sum(m.delivery_ratio for m in rows) / n,
+        "overhead": sum(m.overhead for m in rows) / n,
+        "control": sum(m.control_hops for m in rows) / n,
+        "data": sum(m.data_hops for m in rows) / n,
+        "excess": sum(
+            (m.mean_path_excess or 0.0) for m in rows
+        ) / n,
+    }
+
+
+def test_e11_comparison_table(once, report):
+    def sweep():
+        table = {}
+        for name in PROTOCOLS:
+            for pause in PAUSES:
+                agg = _aggregate(name, pause)
+                table[(name, pause)] = agg
+                report.add(
+                    protocol=name,
+                    pause=pause,
+                    delivery=round(agg["delivery"], 2),
+                    overhead=round(agg["overhead"]),
+                    control=round(agg["control"]),
+                    data=round(agg["data"]),
+                    path_excess=round(agg["excess"], 2),
+                )
+        # -- the [12] shape assertions --------------------------------
+        for pause in PAUSES:
+            # flooding delivers essentially everything, near-optimally
+            assert table[("flooding", pause)]["delivery"] >= 0.85
+            assert table[("flooding", pause)]["excess"] <= 0.6
+            # flooding's data overhead dominates everyone's data traffic
+            for other in ("dsdv", "dsr", "aodv"):
+                assert (
+                    table[("flooding", pause)]["data"]
+                    > table[(other, pause)]["data"]
+                )
+            # proactive DSDV pays more control than the reactive pair
+            for reactive in ("dsr", "aodv"):
+                assert (
+                    table[("dsdv", pause)]["control"]
+                    > table[(reactive, pause)]["control"] * 0.8
+                )
+        # DSR's control bill shrinks as mobility drops (fewer rediscoveries)
+        assert (
+            table[("dsr", PAUSES[-1])]["control"]
+            <= table[("dsr", 0)]["control"] * 1.5
+        )
+        return table
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_e11_protocol_run_cost(benchmark, name):
+    """Wall-clock cost of one full scenario per protocol."""
+    sc = _scenario(pause=60, seed=3)
+    run = benchmark(run_scenario, PROTOCOLS[name], sc)
+    assert run.metrics.messages == 8

@@ -1,0 +1,94 @@
+"""E10: Section 5.2.4 — the routing-problem language R_{n,u}.
+
+Validates simulated routing runs against the formal conditions 1–3 and
+benches both the word construction (h₁…h_n m r …) and the validator as
+the network scales.
+
+Expected shape: flooding traces on static networks are in R_{n,u}
+whenever delivery happens; validation cost grows with trace size;
+the network word h₁…h_n is well-formed (monotone, progressing) at
+every n.
+"""
+
+import pytest
+
+from repro.adhoc import (
+    FloodingRouter,
+    Scenario,
+    network_word,
+    routing_word,
+    run_scenario,
+    validate_route,
+)
+from repro.words import Trilean
+
+
+def _run(n_nodes, seed=7):
+    sc = Scenario(
+        n_nodes=n_nodes,
+        n_messages=5,
+        horizon=200,
+        seed=seed,
+        stationary=True,
+        pause_time=0,
+    )
+    return run_scenario(FloodingRouter, sc)
+
+
+def test_e10_membership_matrix(once, report):
+    def sweep():
+        for n in (10, 30, 60):
+            run = _run(n)
+            delivered = in_lang = 0
+            for m in run.messages:
+                v = validate_route(run.range_pred, run.network.trace, m)
+                if v.delivered:
+                    delivered += 1
+                    in_lang += v.in_language
+            report.add(nodes=n, messages=len(run.messages),
+                       delivered=delivered, in_R=in_lang)
+            assert in_lang == delivered  # delivered ⟹ valid chain
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("n_nodes", [10, 50, 200])
+def test_e10_validator_cost(benchmark, report, n_nodes):
+    run = _run(n_nodes)
+    target = run.messages[0]
+
+    def validate():
+        return validate_route(run.range_pred, run.network.trace, target)
+
+    v = benchmark(validate)
+    report.add(nodes=n_nodes, hops_in_trace=len(run.network.trace.hops),
+               delivered=v.delivered)
+
+
+@pytest.mark.parametrize("n_nodes", [5, 20])
+def test_e10_network_word_construction(benchmark, report, n_nodes):
+    """a_n = h₁…h_n: build and expand a window of the merged word."""
+    run = _run(n_nodes)
+
+    def build():
+        w = network_word(run.range_pred)
+        return w.take(400)
+
+    pairs = benchmark(build)
+    times = [t for _s, t in pairs]
+    assert times == sorted(times)
+    report.add(nodes=n_nodes, window=len(pairs), max_time=times[-1])
+
+
+def test_e10_routing_word_well_formed(once, report):
+    """The full routing word (network + m/r words) stays monotone."""
+
+    def build():
+        run = _run(8)
+        w = routing_word(run.range_pred, run.network.trace, max_hops=10)
+        pairs = w.take(600)
+        times = [t for _s, t in pairs]
+        assert times == sorted(times)
+        report.add(nodes=8, embedded_hops=10, window=len(pairs))
+
+    once(build)

@@ -1,0 +1,92 @@
+"""E12: Section 6 — the explicit parallel/distributed model.
+
+Benches p-process message-coupled systems (behaviour-word tuples
+(c₁l₁r₁, …, c_p l_p r_p)) and the PRAM special case, checking the
+section's structural claims: message systems have non-null l/r words,
+PRAM runs have null ones, and the PRAM tree reduction takes ⌈log₂ n⌉+1
+synchronous steps.
+"""
+
+import pytest
+
+from repro.parallel import ParallelSystem, Pram, PramVariant
+
+
+def _ring_system(p: int, rounds: int = 4) -> ParallelSystem:
+    """A token ring: each process forwards a counter ``rounds`` times."""
+    system = ParallelSystem(p, latency=1)
+
+    def maker(pid: int):
+        def body(ctx):
+            nxt = pid % p + 1
+            if pid == 1:
+                yield ctx.send(nxt, 0)
+            hops = 0
+            while hops < rounds:
+                _frm, value = yield ctx.recv()
+                hops += 1
+                yield ctx.compute("bump", 1)
+                yield ctx.send(nxt, value + 1)
+            return hops
+
+        return body
+
+    for pid in range(1, p + 1):
+        system.add_process(pid, maker(pid))
+    return system
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_e12_message_system_scaling(benchmark, report, p):
+    def run():
+        return _ring_system(p).run(until=10_000)
+
+    run_result = benchmark(run)
+    words = run_result.behaviour_tuple()
+    assert len(words) == p
+    # Section 6: these processes communicate, so l_k/r_k are non-null
+    assert all(not b.communication_free for b in run_result.behaviours.values())
+    total_msgs = sum(len(b.sent) for b in run_result.behaviours.values())
+    report.add(processes=p, messages=total_msgs, finished_at=run_result.finished_at)
+
+
+@pytest.mark.parametrize("n", [8, 64, 256])
+def test_e12_pram_reduction(benchmark, report, n):
+    """PRAM tree-sum: ⌈log₂ n⌉ + 1 steps, zero messages."""
+
+    def run():
+        pram = Pram(n // 2, PramVariant.EREW)
+        pram.load(list(range(n)))
+
+        def program(pid, step, mem):
+            stride = 2**step
+            base = (pid - 1) * 2 * stride
+            if stride >= n:
+                return False
+            if base + stride < n:
+                mem.write(base, (mem.read(base) or 0) + (mem.read(base + stride) or 0))
+            return True
+
+        return pram.run(program)
+
+    result = benchmark(run)
+    assert result.memory[0] == n * (n - 1) // 2
+    assert result.communication_free  # the Section 6 PRAM claim
+    import math
+
+    expected_steps = math.ceil(math.log2(n)) + 1
+    report.add(n=n, steps=result.steps, log2n_plus_1=expected_steps,
+               comm_free=result.communication_free)
+    assert result.steps == expected_steps
+
+
+def test_e12_behaviour_word_construction(benchmark, report):
+    """Cost of rendering a run as the Section 6 word tuple."""
+    run_result = _ring_system(8, rounds=8).run(until=10_000)
+
+    def build():
+        return run_result.behaviour_tuple()
+
+    words = benchmark(build)
+    report.add(processes=len(words),
+               events=sum(len(w.prefix) for w in words))

@@ -1,0 +1,71 @@
+"""E13: the rt-PROC hierarchy experiment (Sections 3.2 and 7).
+
+"Given any number k of processors, is there a well-behaved timed
+ω-language that can be accepted by a k-processor real-time algorithm
+but cannot be accepted by a (k−1)-processor one?"
+
+Expected shape: on the k-stream echo family the success matrix splits
+exactly on the diagonal (success ⟺ p ≥ k), and the first-miss times of
+under-provisioned systems match the closed form D·k/(k−p) + 2.
+"""
+
+import pytest
+
+from repro.complexity import (
+    hierarchy_matrix,
+    predicted_first_miss,
+    run_stream_echo,
+    stream_word,
+)
+from repro.words import Trilean
+
+DEADLINE = 8
+K_MAX = 8
+
+
+def test_e13_hierarchy_matrix(once, report):
+    def sweep():
+        matrix = hierarchy_matrix(K_MAX, deadline=DEADLINE, horizon=2_000)
+        for k in range(1, K_MAX + 1):
+            row = {"k": k}
+            for p in range(1, K_MAX + 1):
+                r = matrix[(k, p)]
+                row[f"p{p}"] = "ok" if r.success else f"@{r.first_miss}"
+                assert r.success == (p >= k)
+            report.add(**row)
+        return matrix
+
+    once(sweep)
+
+
+def test_e13_first_miss_closed_form(once, report):
+    def sweep():
+        for k in range(2, K_MAX + 1):
+            for p in range(1, k):
+                r = run_stream_echo(k, p, deadline=DEADLINE, horizon=2_000)
+                predicted = predicted_first_miss(k, p, DEADLINE)
+                report.add(k=k, p=p, measured=r.first_miss, predicted=predicted,
+                           match=r.first_miss == predicted)
+                assert r.first_miss == predicted
+
+    once(sweep)
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 16])
+def test_e13_simulation_cost(benchmark, k):
+    """Cost of one adequate-provisioning run (p = k)."""
+    r = benchmark(run_stream_echo, k, k, DEADLINE, 2_000)
+    assert r.success
+
+
+def test_e13_stream_words_well_behaved(once, report):
+    """The witness languages consist of well-behaved timed ω-words."""
+
+    def check():
+        for k in (1, 4, 16):
+            w = stream_word(k)
+            assert w.is_well_behaved() is Trilean.TRUE
+            report.add(k=k, symbols_per_chronon=k,
+                       well_behaved=str(w.is_well_behaved()))
+
+    once(check)

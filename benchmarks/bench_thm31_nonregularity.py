@@ -1,0 +1,61 @@
+"""E3: Theorem 3.1 / Corollary 3.2 — L_ω is not (timed) ω-regular.
+
+Executable evidence: the fooling set {a bˣ | x ≤ N} is pairwise
+L-inequivalent for every N we try, so any DFA for L needs > N states —
+the state lower bound grows without bound.  The bench measures the
+verification cost; the shape to reproduce is the *unbounded growth* of
+the certified bound (column ``dfa_states_gt``).
+"""
+
+import pytest
+
+from repro.automata import (
+    dfa_state_lower_bound,
+    l_membership,
+    l_omega_word,
+    l_word,
+    minimal_states_for_bounded_l,
+    verify_fooling_set,
+)
+from repro.words import Trilean
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_e3_fooling_set_growth(benchmark, report, n):
+    """Certified DFA state lower bounds at growing N."""
+    ok = benchmark(verify_fooling_set, n)
+    assert ok
+    report.add(N=n, dfa_states_gt=dfa_state_lower_bound(n), verified=ok)
+
+
+@pytest.mark.parametrize("x_max", [2, 4, 8, 16])
+def test_e3_minimal_dfa_growth(benchmark, report, x_max):
+    """The mechanical witness: minimal DFAs for the bounded languages
+    L_X = {aᵘbˣcᵛdˣ | x ≤ X} have exactly 3X + 3 states — linear,
+    unbounded growth, so no finite machine covers all of L."""
+    n_states = benchmark(minimal_states_for_bounded_l, x_max)
+    assert n_states == 3 * x_max + 3
+    report.add(X=x_max, minimal_dfa_states=n_states, closed_form=3 * x_max + 3)
+
+
+def test_e3_membership_oracle(benchmark):
+    """The L decision procedure itself (used by every certificate)."""
+    word = l_word(20, 30, 25)
+    assert benchmark(l_membership, word)
+
+
+def test_e3_corollary32_timed_words(benchmark, report):
+    """Corollary 3.2: the timed variant L′_ω — its words are
+    well-behaved timed ω-words (attaching a progressing time sequence
+    preserves everything)."""
+
+    def build():
+        return l_omega_word([(2, 3, 1), (1, 1, 4)], (1, 2, 1), period=2)
+
+    w = benchmark(build)
+    assert w.is_well_behaved() is Trilean.TRUE
+    report.add(
+        blocks="2 stem + 1 cycle",
+        well_behaved=str(w.is_well_behaved()),
+        first_symbols="".join(s for s, _t in w.take(10)),
+    )

@@ -1,0 +1,102 @@
+"""E4: Theorem 3.3 — closure of timed ω-languages under the five
+operations, exercised and benched on generated language families.
+
+Expected shape: all closure properties hold on every sampled word; the
+operation costs are dominated by Definition 3.5 merging, which is
+linear in the expanded window.
+"""
+
+import random
+
+import pytest
+
+from repro.words import (
+    FiniteLanguage,
+    TimedWord,
+    Trilean,
+    concat,
+)
+
+
+def _family(tag: str, count: int = 6):
+    words = [
+        TimedWord.lasso([(f"{tag}{i}", 0)], [(f"{tag}", i + 1)], shift=i + 1)
+        for i in range(count)
+    ]
+    return FiniteLanguage(words, name=f"L_{tag}")
+
+
+@pytest.fixture
+def languages():
+    return _family("a"), _family("b")
+
+
+def test_e4_boolean_closure(benchmark, report, languages):
+    """∪, ∩, ¬ on finite well-behaved families."""
+    la, lb = languages
+
+    def closure_check():
+        rng = random.Random(0)
+        union = la | lb
+        inter = la & lb
+        comp = ~la
+        hits = 0
+        for _ in range(20):
+            w = union.sample(rng)
+            assert union.contains(w)
+            assert comp.contains(w) != la.contains(w)
+            hits += 1
+        return hits
+
+    assert benchmark(closure_check) == 20
+    report.add(op="union/intersection/complement", samples=20, closed=True)
+
+
+def test_e4_concat_closure(benchmark, report, languages):
+    """L₁·L₂ members are valid (monotone) timed words — the property
+    naive concatenation loses."""
+    la, lb = languages
+
+    def concat_check():
+        rng = random.Random(1)
+        lab = la.concatenate(lb)
+        ok = 0
+        for _ in range(20):
+            w = lab.sample(rng)
+            assert w.is_valid() is not Trilean.FALSE
+            ok += 1
+        return ok
+
+    assert benchmark(concat_check) == 20
+    report.add(op="concatenation (Def 3.5)", samples=20, closed=True)
+
+
+def test_e4_kleene_closure(benchmark, report):
+    """Definition 3.6 closure with the paper's L⁰ = ∅ convention."""
+    base = FiniteLanguage(
+        [TimedWord.finite([("a", 0), ("b", 2)])], name="L"
+    )
+
+    def star_check():
+        star = base.kleene(max_power=5)
+        rng = random.Random(2)
+        ok = 0
+        for _ in range(10):
+            w = star.sample(rng)
+            assert star.contains(w)
+            ok += 1
+        assert not star.contains(TimedWord.finite([]))  # ε ∉ L*
+        return ok
+
+    assert benchmark(star_check) == 10
+    report.add(op="Kleene closure (Def 3.6)", samples=10, closed=True)
+
+
+@pytest.mark.parametrize("size", [8, 32, 128])
+def test_e4_concat_cost_scaling(benchmark, report, size):
+    """Definition 3.5 merge cost on growing finite words."""
+    a = TimedWord.finite([(f"a{i}", 2 * i) for i in range(size)])
+    b = TimedWord.finite([(f"b{i}", 2 * i + 1) for i in range(size)])
+    merged = benchmark(concat, a, b)
+    assert len(merged) == 2 * size
+    report.add(operand_len=size, merged_len=2 * size)

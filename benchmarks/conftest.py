@@ -1,0 +1,58 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench module regenerates one of the paper's artifacts (DESIGN.md
+§4 maps experiment ids to modules).  The ``report`` fixture collects
+printable rows so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows both the timing table (pytest-benchmark) and the reproduced
+figure/table rows.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+
+class Report:
+    """Accumulates and prints experiment rows."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.rows: List[Dict[str, object]] = []
+
+    def add(self, **row: object) -> None:
+        self.rows.append(row)
+
+    def show(self) -> None:
+        if not self.rows:
+            return
+        cols = list(self.rows[0].keys())
+        widths = {
+            c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in self.rows))
+            for c in cols
+        }
+        print(f"\n== {self.title} ==")
+        print("  ".join(str(c).ljust(widths[c]) for c in cols))
+        for r in self.rows:
+            print("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols))
+
+
+@pytest.fixture
+def report(request):
+    rep = Report(request.node.name)
+    yield rep
+    rep.show()
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a whole-experiment body exactly once under the benchmark
+    fixture (rounds=1), for sweeps too heavy to repeat but whose tables
+    must appear in --benchmark-only runs."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

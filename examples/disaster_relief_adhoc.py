@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Section 5.2 in action: routing in a disaster-relief ad hoc network.
+
+Rescue teams with radios roam a strip of terrain (random-waypoint
+mobility, the Broch et al. setup the paper cites as the state of the
+art in routing evaluation).  Four routing protocols carry the same
+message workload; we report the paper's three measures — routing
+overhead, path optimality, delivery ratio — and then check each
+delivered message against the formal routing-problem language R_{n,u}
+of Section 5.2.4.
+
+Run:  python examples/disaster_relief_adhoc.py
+"""
+
+from repro.adhoc import (
+    AodvRouter,
+    Arena,
+    DreamRouter,
+    DsdvRouter,
+    DsrRouter,
+    FloodingRouter,
+    Scenario,
+    run_scenario,
+    validate_route,
+)
+
+SCENARIO = Scenario(
+    n_nodes=16,
+    arena=Arena(900.0, 300.0),
+    radio_range=250.0,
+    pause_time=30,
+    n_messages=10,
+    message_window=(40, 160),
+    horizon=400,
+    seed=20,
+)
+
+PROTOCOLS = [
+    ("flooding", lambda: FloodingRouter(ttl=16)),
+    ("dsdv", lambda: DsdvRouter(beacon_period=15)),
+    ("dsr", lambda: DsrRouter()),
+    ("aodv", lambda: AodvRouter()),
+    ("dream", lambda: DreamRouter(beacon_period=25, beacon_scope=2)),
+]
+
+print(f"{'protocol':>9} | {'deliv%':>6} {'overhead':>8} {'ctl':>6} {'data':>5} "
+      f"{'path+':>5} {'lat':>5} | R_n,u (strict / relaxed)")
+print("-" * 92)
+
+for name, factory in PROTOCOLS:
+    run = run_scenario(factory, SCENARIO)
+    m = run.metrics
+    # validate every delivered message against the formal language
+    strict_ok = relaxed_ok = delivered = 0
+    for msg in run.messages:
+        if run.network.trace.delivery_time(msg.uid) is None:
+            continue
+        delivered += 1
+        if validate_route(run.range_pred, run.network.trace, msg).in_language:
+            strict_ok += 1
+        if validate_route(
+            run.range_pred, run.network.trace, msg, strict_relay=False
+        ).in_language:
+            relaxed_ok += 1
+    row = m.row()
+    print(
+        f"{name:>9} | {row['delivery%']:>6} {row['overhead']:>8} {row['ctl']:>6} "
+        f"{row['data']:>5} {str(row['path_excess']):>5} {str(row['latency']):>5} | "
+        f"{strict_ok}/{delivered} / {relaxed_ok}/{delivered}"
+    )
+
+print()
+print("What to look for (the [12]-shape the paper leans on):")
+print(" * flooding: near-perfect delivery and optimal paths, all-data overhead;")
+print(" * dsdv: steady proactive control traffic whether or not data flows;")
+print(" * dsr: reactive — control bursts only around discoveries;")
+print(" * dream: position beacons dominate; data hops stay near-greedy.")
+print(" * strict R_{n,u} membership requires immediate relaying (t'_i = t_{i+1});")
+print("   protocols that queue packets pass only the relaxed check.")

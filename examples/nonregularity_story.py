@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Theorem 3.1 end to end: why L_ω needs more than finite memory.
+
+The paper's first formal result: L = {aᵘ bˣ cᵛ dˣ} "models a search
+into a database for a given key", and its ω-iteration L_ω is not
+ω-regular — so finite-state timed automata cannot capture all
+practically relevant real-time problems, which is exactly why the
+paper replaces them with the general real-time algorithm.
+
+This script walks the evidence chain:
+
+1. fooling sets certify unbounded DFA lower bounds for L;
+2. Moore minimization measures the minimal DFA for each bounded
+   sublanguage L_X — exactly 3X+3 states, growing forever;
+3. a general real-time algorithm (with unbounded storage) accepts the
+   timed version of L_ω outright, deciding each $-delimited block.
+
+Run:  python examples/nonregularity_story.py
+"""
+
+from repro.automata import (
+    dfa_state_lower_bound,
+    l_membership,
+    l_omega_word,
+    minimal_states_for_bounded_l,
+)
+from repro.machine import RealTimeAlgorithm
+
+# -- 1. fooling-set certificates ------------------------------------------------
+
+print("fooling-set certificates (any DFA for L needs > N states):")
+for n in (4, 16, 64):
+    print(f"  N = {n:>3}: certified (> {dfa_state_lower_bound(n)} states)")
+
+# -- 2. minimal DFAs for the bounded sublanguages -------------------------------
+
+print("\nminimal DFA sizes for L_X = {a^u b^x c^v d^x | x ≤ X}:")
+for x in (1, 2, 4, 8):
+    states = minimal_states_for_bounded_l(x)
+    print(f"  X = {x:>2}: {states:>3} states (= 3X+3)")
+print("  → unbounded growth: no single finite machine covers all of L.")
+
+# -- 3. a real-time algorithm accepts timed L_ω ---------------------------------
+
+
+def l_omega_acceptor(ctx):
+    """Check each $-delimited block with a counter (unbounded storage —
+    the resource finite automata lack); emit f per verified block.
+
+    Acceptance (Definition 3.4): f appears infinitely often iff every
+    block is in L — exactly the L_ω membership condition.
+    """
+    block = []
+    blocks_ok = 0
+    while True:
+        symbol, _t = yield ctx.input.read()
+        if symbol != "$":
+            block.append(symbol)
+            continue
+        if not l_membership("".join(block)):
+            ctx.reject()
+            return
+        blocks_ok += 1
+        ctx.storage["blocks"] = blocks_ok
+        if ctx.output.can_write():
+            ctx.emit_f()  # one f per verified block
+        block = []
+
+
+acceptor = RealTimeAlgorithm(l_omega_acceptor, name="L_ω-acceptor")
+
+good = l_omega_word([(1, 2, 1), (2, 1, 3)], (1, 3, 1), period=1)
+bad = l_omega_word([(1, 2, 1)], (1, 1, 1), period=1)
+# corrupt the bad word's cycle: b-count ≠ d-count
+from repro.words import TimedWord
+
+bad_pairs = [(("b" if s == "d" else s), t) for s, t in bad.take(60)]
+bad = TimedWord.functional(lambda i: bad_pairs[i % len(bad_pairs)])
+
+rep_good = acceptor.count_f(good, horizon=120)
+rep_bad = acceptor.decide(bad, horizon=120)
+
+print("\nreal-time algorithm on timed L_ω words:")
+print(f"  valid word:     f written {rep_good.f_count} times in 120 chronons "
+      f"(one per verified block — |o|_f = ω)")
+print(f"  corrupted word: verdict {rep_bad.verdict.value} at t={rep_bad.decided_at}")
+
+assert rep_good.f_count >= 5
+assert not rep_bad.accepted
+print("\nThe gap is exactly the paper's point: timed *languages* are the right")
+print("objects, but their acceptors need general storage, not finite state.")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: timed ω-words, concatenation, and a real-time acceptor.
+
+Walks the paper's core objects in ~60 lines:
+
+1. build timed ω-words (finite, lasso, and the classical embedding);
+2. concatenate them with the Definition 3.5 merge;
+3. run a real-time algorithm (Definition 3.3) that accepts words whose
+   first symbol is 'go' — and observe the Definition 3.4 acceptance
+   (infinitely many f's on the output tape).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.machine import RealTimeAlgorithm
+from repro.words import TimedWord, concat
+
+# -- 1. timed ω-words ---------------------------------------------------------
+
+# A finite timed word: symbols with arrival times.
+burst = TimedWord.finite([("go", 0), ("x", 2), ("y", 2)])
+
+# An infinite (lasso) word: a heartbeat every 3 chronons, forever.
+heartbeat = TimedWord.lasso(prefix=[], loop=[("beat", 3)], shift=3)
+
+print("heartbeat prefix:", heartbeat.take(5))
+print("well-behaved?", heartbeat.is_well_behaved())  # progress holds
+
+# The Section 3.2 embedding of a classical word: all timestamps zero —
+# a valid timed word, but *never* well-behaved.  That asymmetry is the
+# paper's formal boundary between classical and real-time computation.
+classic = TimedWord.from_classic("abc")
+print("classical embedding well-behaved?", classic.is_well_behaved())
+
+# -- 2. Definition 3.5 concatenation -----------------------------------------
+
+# Concatenation MERGES by arrival time (it does not append): the result
+# is ordered by timestamps, ties go to the left operand.
+word = concat(burst, heartbeat)
+print("burst · heartbeat =", word.take(7), "…")
+
+# -- 3. a real-time algorithm (Definitions 3.3–3.4) ---------------------------
+
+
+def program(ctx):
+    """Accept iff the first input symbol is 'go'.
+
+    ``ctx.input`` enforces availability: a symbol stamped τ cannot be
+    read before time τ.  ``ctx.accept()`` enters the absorbing state
+    s_f, which writes the designated symbol f every chronon — realizing
+    |o(A, w)|_f = ω, the Definition 3.4 acceptance condition.
+    """
+    symbol, arrived_at = yield ctx.input.read()
+    if symbol == "go":
+        ctx.accept()
+    else:
+        ctx.reject()
+
+
+acceptor = RealTimeAlgorithm(program, name="starts-with-go")
+
+report_yes = acceptor.decide(word, horizon=100)
+report_no = acceptor.decide(heartbeat, horizon=100)
+
+print()
+print(f"word starting with 'go': {report_yes.verdict.value:8s}  f-count={report_yes.f_count}")
+print(f"bare heartbeat:          {report_no.verdict.value:8s}  f-count={report_no.f_count}")
+
+assert report_yes.accepted and report_yes.f_count > 1
+assert not report_no.accepted and report_no.f_count == 0
+print("\nquickstart OK")

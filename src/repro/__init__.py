@@ -1,0 +1,71 @@
+"""repro — Reproduction of Bruda & Akl, "Real-Time Computation: A
+Formal Definition and its Applications" (IPPS 2001).
+
+The package implements the paper's formal model — *well-behaved timed
+ω-languages* and their acceptors (*real-time algorithms*) — together
+with every substrate the paper's applications require:
+
+``repro.kernel``
+    Deterministic discrete-event simulation kernel (integer chronons),
+    clocks, and the Φ(X) clock-constraint algebra of Section 2.1.
+``repro.words``
+    Time sequences, timed ω-words (finite / lasso / functional),
+    Definition 3.5 concatenation, Kleene closure, and the Theorem 3.3
+    language operations.
+``repro.automata``
+    Finite automata, Büchi/Muller ω-automata, timed Büchi automata,
+    and the Theorem 3.1 non-regularity machinery.
+``repro.machine``
+    The Definition 3.3/3.4 acceptor: timed input tape, write-only
+    output tape, metered working storage, and the two-process
+    worker/monitor harness of Section 4.
+``repro.deadlines``
+    Computing with deadlines (Section 4.1): firm/soft/no-deadline
+    instance encodings and the L(Π) acceptor.
+``repro.dataacc``
+    The data-accumulating paradigm (Section 4.2): arrival laws,
+    d-algorithms, c-algorithms, termination analysis.
+``repro.rtdb``
+    Real-time database systems (Section 5.1): relational model and
+    algebra, active rules, temporal objects, RTDB instances, and the
+    recognition-problem languages L_aq / L_pq of Definition 5.1.
+``repro.adhoc``
+    Ad hoc networks (Section 5.2): mobility, the range predicate,
+    an event-driven radio network, routing protocols, and the routing
+    problem language R_{n,u}.
+``repro.parallel``
+    The explicit parallel/distributed model of Section 6 (per-process
+    words c_k l_k r_k, PCGS-style systems, the PRAM special case).
+``repro.complexity``
+    The rt-SPACE / rt-PROC complexity-class programme of Sections
+    3.2 and 7, including the processor-hierarchy experiments.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    adhoc,
+    automata,
+    complexity,
+    dataacc,
+    deadlines,
+    kernel,
+    machine,
+    parallel,
+    rtdb,
+    words,
+)
+
+__all__ = [
+    "kernel",
+    "words",
+    "automata",
+    "machine",
+    "deadlines",
+    "dataacc",
+    "rtdb",
+    "adhoc",
+    "parallel",
+    "complexity",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""Ad hoc networks — Section 5.2 of the paper."""
+
+from .encode import (
+    NodeView,
+    RouteValidation,
+    distributed_views,
+    node_view,
+    extract_route,
+    message_word,
+    network_word,
+    node_word,
+    receive_word,
+    routing_word,
+    validate_route,
+)
+from .geometry import DiskRange, Position, RangePredicate, Trajectory, distance
+from .messages import HopRecord, Message, ReceiveRecord, TraceLog
+from .metrics import (
+    ScenarioMetrics,
+    compute_metrics,
+    delivery_ratio,
+    path_optimality,
+    routing_overhead,
+    shortest_path_length,
+)
+from .mobility import (
+    Arena,
+    ConstantVelocityMobility,
+    RandomWaypointMobility,
+    StationaryMobility,
+)
+from .network import AdhocNetwork
+from .routing import AodvRouter, DataPacket, DreamRouter, DsdvRouter, DsrRouter, FloodingRouter, RoutingProtocol
+from .scenario import Scenario, ScenarioRun, run_scenario
+
+__all__ = [
+    "Position",
+    "distance",
+    "Trajectory",
+    "RangePredicate",
+    "DiskRange",
+    "Arena",
+    "StationaryMobility",
+    "ConstantVelocityMobility",
+    "RandomWaypointMobility",
+    "Message",
+    "HopRecord",
+    "ReceiveRecord",
+    "TraceLog",
+    "AdhocNetwork",
+    "RoutingProtocol",
+    "DataPacket",
+    "FloodingRouter",
+    "AodvRouter",
+    "DsdvRouter",
+    "DsrRouter",
+    "DreamRouter",
+    "node_word",
+    "message_word",
+    "receive_word",
+    "network_word",
+    "routing_word",
+    "extract_route",
+    "validate_route",
+    "RouteValidation",
+    "NodeView",
+    "node_view",
+    "distributed_views",
+    "routing_overhead",
+    "path_optimality",
+    "delivery_ratio",
+    "shortest_path_length",
+    "compute_metrics",
+    "ScenarioMetrics",
+    "Scenario",
+    "ScenarioRun",
+    "run_scenario",
+]

@@ -1,0 +1,370 @@
+"""Sections 5.2.2–5.2.4: nodes, messages, and the routing problem as
+timed ω-words.
+
+Encodings (Section 5.2.2): with e an injective string encoding and
+$, @ ∉ Σ,
+
+    enc(i, i)  =  $e(i)$                    (the node's label)
+    enc(i, π)  =  $e(i)@e(π)$               (any other property)
+
+A node i is the word h_i = (q_i)(∏_t p_i(t)) with the invariant
+characteristics and initial position at τ = 0 and position block t at
+τ = t.  A message u is m_u = $e(t)@e(s)@e(d)@e(b)$ at τ = t; a receive
+event is r_u = $e(t)@e(s)@e(d)$ at τ = t′.
+
+The routing problem R_{n,u} (Section 5.2.4) is the language of words
+h₁…h_n m_{u₁} r_{u₁} … m_{u_f} r_{u_f} m_{rt₁} r_{rt₁} … whose data-hop
+chain satisfies:
+
+1.  b₁ = … = b_f = b,  s₁ = s,  d_f = d,  t₁ = t;
+2.  for 1 ≤ i ≤ f−1:  d_i = s_{i+1},  t′_i = t_{i+1},  and
+    range(s_i, d_i, t_i) holds;
+3.  t′_f is finite.
+
+:func:`validate_route` executes that definition against a simulation
+trace; :func:`routing_word` builds the corresponding timed ω-word.
+R′_{n,u} (lossy delivery) is :func:`validate_route` with
+``require_delivery=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..words.concat import concat, concat_many
+from ..words.timedword import Pair, TimedWord
+from .geometry import DiskRange, Trajectory
+from .messages import HopRecord, Message, TraceLog
+
+__all__ = [
+    "node_word",
+    "message_word",
+    "receive_word",
+    "network_word",
+    "routing_word",
+    "RouteValidation",
+    "extract_route",
+    "validate_route",
+    "NodeView",
+    "node_view",
+    "distributed_views",
+]
+
+
+def _e(value: Any) -> List[str]:
+    """The injective character encoding e(·)."""
+    return list(str(value))
+
+
+def _enc_property(node: int, prop: Any) -> List[str]:
+    """enc(i, π) = $e(i)@e(π)$."""
+    return ["$", *_e(node), "@", *_e(prop), "$"]
+
+
+def node_word(node: int, invariants: Any, trajectory: Trajectory) -> TimedWord:
+    """h_i: invariant characteristics q_i and p_i(0) at τ=0, then the
+    successive positions labelled with their time values."""
+
+    def pos_block(t: int) -> List[str]:
+        p = trajectory(t)
+        return _enc_property(node, f"({p.x:.1f},{p.y:.1f})")
+
+    q_block = _enc_property(node, f"q:{invariants}")
+    head = [(s, 0) for s in q_block] + [(s, 0) for s in pos_block(0)]
+
+    blocks: List[List[Pair]] = [head]
+    offsets = [0, len(head)]
+
+    def ensure(i: int) -> None:
+        while len(blocks) <= i:
+            t = len(blocks)  # block index == chronon
+            b = [(s, t) for s in pos_block(t)]
+            blocks.append(b)
+            offsets.append(offsets[-1] + len(b))
+
+    def fn(j: int) -> Pair:
+        import bisect
+
+        ensure(0)
+        while offsets[len(blocks)] <= j:
+            ensure(len(blocks))
+        i = bisect.bisect_right(offsets, j) - 1
+        return blocks[i][j - offsets[i]]
+
+    return TimedWord.functional(fn)
+
+
+def message_word(hop: HopRecord) -> TimedWord:
+    """m_u = $e(t)@e(s)@e(d)@e(b)$ with every symbol at τ = t."""
+    syms = [
+        "$",
+        *_e(hop.sent_at),
+        "@",
+        *_e(hop.src),
+        "@",
+        *_e(hop.dst),
+        "@",
+        *_e(hop.body if not hasattr(hop.body, "message") else hop.body),
+        "$",
+    ]
+    return TimedWord.finite([(s, hop.sent_at) for s in syms])
+
+
+def receive_word(hop: HopRecord) -> TimedWord:
+    """r_u = $e(t)@e(s)@e(d)$ with every symbol at τ = t′ = t + 1."""
+    syms = ["$", *_e(hop.sent_at), "@", *_e(hop.src), "@", *_e(hop.dst), "$"]
+    return TimedWord.finite([(s, hop.received_at) for s in syms])
+
+
+def network_word(
+    range_pred: DiskRange, invariants: Any = "radio"
+) -> TimedWord:
+    """a_n = h₁ h₂ … h_n: the n-node network with no messages."""
+    words = [
+        node_word(n, invariants, range_pred.trajectories[n])
+        for n in sorted(range_pred.trajectories)
+    ]
+    return concat_many(words)
+
+
+def routing_word(
+    range_pred: DiskRange,
+    trace: TraceLog,
+    max_hops: Optional[int] = None,
+    invariants: Any = "radio",
+) -> TimedWord:
+    """w = h₁…h_n m_{u₁} r_{u₁} … — the word a routing run denotes.
+
+    Hops are taken from the trace in event order; ``max_hops`` bounds
+    the embedded transmissions (traces are finite anyway).
+    """
+    word = network_word(range_pred, invariants)
+    hops = trace.hops if max_hops is None else trace.hops[:max_hops]
+    for hop in hops:
+        word = concat(word, message_word(hop))
+        word = concat(word, receive_word(hop))
+    return word
+
+
+# ----------------------------------------------------------------------
+# Section 5.2.5: the distributed per-node decomposition H_i = 𝓛_i 𝓡_i
+# ----------------------------------------------------------------------
+
+@dataclass
+class NodeView:
+    """One node's knowledge of the routing instance (Section 5.2.5).
+
+    "The component H_i contains only those messages that are sent by
+    the corresponding node, and those messages that are received by the
+    node.  Besides this information, no knowledge about the external
+    world exists."
+    """
+
+    node: int
+    local: TimedWord  # 𝓛_i: h_i + the m-words of messages sent by i
+    remote: TimedWord  # 𝓡_i: the r-words of messages received by i
+    word: TimedWord  # H_i = 𝓛_i · 𝓡_i
+    sent_hops: List[HopRecord] = field(default_factory=list)
+    received_hops: List[HopRecord] = field(default_factory=list)
+
+
+def node_view(
+    range_pred: DiskRange,
+    trace: TraceLog,
+    node: int,
+    invariants: Any = "radio",
+    max_hops: Optional[int] = None,
+) -> NodeView:
+    """Build H_i = 𝓛_i 𝓡_i for one node from a simulation trace.
+
+    𝓛_i (eq. 11): the node word h_i concatenated with m_{u} for every
+    hop whose *source* is i.  𝓡_i (eq. 12): the r_{u} words for every
+    hop some node sent *to* i (the union of the M_{l,i} sets — we read
+    them from the receive records, which carry exactly that relation).
+    """
+    hops = trace.hops if max_hops is None else trace.hops[:max_hops]
+    hop_ids = {h.hop_id for h in hops}
+    sent = [h for h in hops if h.src == node]
+    received_ids = {
+        r.hop_id for r in trace.receives if r.dst == node and r.hop_id in hop_ids
+    }
+    received = [h for h in hops if h.hop_id in received_ids]
+
+    local = node_word(node, invariants, range_pred.trajectories[node])
+    for h in sent:
+        local = concat(local, message_word(h))
+    if received:
+        remote = concat_many([receive_word(h) for h in received])
+    else:
+        remote = TimedWord.finite([])
+    word = concat(local, remote)
+    return NodeView(
+        node=node,
+        local=local,
+        remote=remote,
+        word=word,
+        sent_hops=sent,
+        received_hops=received,
+    )
+
+
+def distributed_views(
+    range_pred: DiskRange,
+    trace: TraceLog,
+    invariants: Any = "radio",
+    max_hops: Optional[int] = None,
+) -> List[NodeView]:
+    """(H_1, …, H_n): the Section 5.2.5 model of a whole routing run."""
+    return [
+        node_view(range_pred, trace, node, invariants, max_hops)
+        for node in sorted(range_pred.trajectories)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the routing-problem validator (the executable R_{n,u})
+# ----------------------------------------------------------------------
+
+@dataclass
+class RouteValidation:
+    """Outcome of checking a trace against R_{n,u}."""
+
+    in_language: bool
+    delivered: bool
+    chain: List[HopRecord] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def f(self) -> int:
+        """Number of one-hop data messages on the delivery chain."""
+        return len(self.chain)
+
+
+def extract_route(trace: TraceLog, message: Message) -> List[HopRecord]:
+    """Reconstruct the causal hop chain that delivered ``message``.
+
+    Works backward from the delivery: the last hop is one whose
+    receiver set includes the destination; each predecessor is a hop
+    whose receiver set includes the successor's sender and whose
+    receive time is no later than the successor's send time (latest
+    such hop wins, keeping the chain tight).  Returns [] if the message
+    was never delivered.
+    """
+    delivered_at = trace.delivery_time(message.uid)
+    if delivered_at is None:
+        return []
+    hops = trace.data_hops(message.uid)
+    receivers = {}  # hop_id -> set of receivers
+    for r in trace.receives:
+        receivers.setdefault(r.hop_id, set()).add(r.dst)
+
+    def heard_by(hop: HopRecord, node: int) -> bool:
+        return node in receivers.get(hop.hop_id, set())
+
+    # last hop: received by the destination, consistent with delivery time
+    last: Optional[HopRecord] = None
+    for h in hops:
+        if heard_by(h, message.dst) and h.received_at <= delivered_at:
+            if last is None or h.received_at > last.received_at:
+                last = h
+    if last is None:
+        return []
+    chain = [last]
+    while chain[0].src != message.src or chain[0].sent_at > message.created_at:
+        current = chain[0]
+        pred: Optional[HopRecord] = None
+        for h in hops:
+            if h is current:
+                continue
+            if heard_by(h, current.src) and h.received_at <= current.sent_at:
+                if pred is None or h.received_at > pred.received_at:
+                    pred = h
+        if pred is None:
+            break
+        if pred in chain:  # defensive: no cycles
+            break
+        chain.insert(0, pred)
+    return chain
+
+
+def validate_route(
+    range_pred: DiskRange,
+    trace: TraceLog,
+    message: Message,
+    require_delivery: bool = True,
+    strict_relay: bool = True,
+) -> RouteValidation:
+    """Check the Section 5.2.4 conditions on a trace.
+
+    ``strict_relay=True`` enforces the paper's exact timing — t₁ = t
+    (condition 1) and t′_i = t_{i+1} (condition 2); ``False`` relaxes
+    both to inequalities (t₁ ≥ t, t′_i ≤ t_{i+1}), accommodating
+    protocols that queue packets, e.g. behind a reactive route
+    discovery.  ``require_delivery=False`` gives R′_{n,u}: lost
+    messages allowed.
+    """
+    violations: List[str] = []
+    chain = extract_route(trace, message)
+    delivered = trace.delivery_time(message.uid) is not None
+
+    if not delivered:
+        if require_delivery:
+            violations.append("t'_f is not finite: message never delivered (cond. 3)")
+        return RouteValidation(
+            in_language=not require_delivery,
+            delivered=False,
+            chain=[],
+            violations=violations,
+        )
+
+    if not chain:
+        violations.append("no causal hop chain found for a delivered message")
+        return RouteValidation(False, True, [], violations)
+
+    # condition 1
+    if chain[0].src != message.src:
+        violations.append(f"s₁={chain[0].src} ≠ s={message.src} (cond. 1)")
+    if strict_relay and chain[0].sent_at != message.created_at:
+        violations.append(
+            f"t₁={chain[0].sent_at} ≠ t={message.created_at} (cond. 1, strict)"
+        )
+    elif chain[0].sent_at < message.created_at:
+        violations.append("first hop sent before the message existed (causality)")
+    # bodies: every data hop carries the same end-to-end message
+    for h in chain:
+        if h.message_uid != message.uid:
+            violations.append(f"hop {h.hop_id} body differs (cond. 1)")
+
+    # condition 2: the chain links and the range predicate
+    receivers = {}
+    for r in trace.receives:
+        receivers.setdefault(r.hop_id, set()).add(r.dst)
+    for i in range(len(chain) - 1):
+        cur, nxt = chain[i], chain[i + 1]
+        if nxt.src not in receivers.get(cur.hop_id, set()):
+            violations.append(f"d_{i+1} ≠ s_{i+2}: chain broken (cond. 2)")
+        if strict_relay and cur.received_at != nxt.sent_at:
+            violations.append(
+                f"t'_{i+1}={cur.received_at} ≠ t_{i+2}={nxt.sent_at} (cond. 2, strict)"
+            )
+        elif cur.received_at > nxt.sent_at:
+            violations.append(f"hop {i+2} sent before hop {i+1} received (causality)")
+    for i, h in enumerate(chain):
+        # range(s_i, d_i, t_i): validated against the actual receiver
+        receiver = chain[i + 1].src if i + 1 < len(chain) else message.dst
+        if not range_pred(h.src, receiver, h.sent_at):
+            violations.append(
+                f"range(s_{i+1}={h.src}, d_{i+1}={receiver}, t_{i+1}={h.sent_at}) false (cond. 2)"
+            )
+
+    # condition 1 tail: d_f = d
+    if message.dst not in receivers.get(chain[-1].hop_id, set()):
+        violations.append(f"d_f does not include d={message.dst} (cond. 1)")
+
+    return RouteValidation(
+        in_language=not violations,
+        delivered=True,
+        chain=chain,
+        violations=violations,
+    )

@@ -1,0 +1,84 @@
+"""Positions, trajectories, and the range predicate — Section 5.2.1/5.2.2.
+
+The paper deliberately leaves ``range(n₁, n₂, t)`` abstract ("such a
+computation depends on the characteristics of the particular
+application … as well as on the geographical characteristic of the
+area between the two nodes").  We provide the standard disk model plus
+an obstacle hook, both honouring the signature: a predicate over
+(sender, receiver, time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["Position", "distance", "Trajectory", "RangePredicate", "DiskRange"]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the plane (metres, arbitrarily)."""
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def distance(a: Position, b: Position) -> float:
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+#: A trajectory maps a chronon to the node's position at that instant.
+Trajectory = Callable[[int], Position]
+
+
+class RangePredicate:
+    """range(n₁, n₂, t): is n₂ in n₁'s transmission range at time t?"""
+
+    def __call__(self, n1: int, n2: int, t: int) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class DiskRange(RangePredicate):
+    """The disk model: n₂ hears n₁ iff their distance at t is within
+    n₁'s radio radius, optionally blocked by an obstacle predicate.
+
+    ``radii`` maps node id → transmission radius (the per-node
+    invariant characteristic q_i of Section 5.2.2); ``trajectories``
+    maps node id → trajectory.
+    """
+
+    def __init__(
+        self,
+        trajectories: Dict[int, Trajectory],
+        radii: Dict[int, float],
+        obstacle: Optional[Callable[[Position, Position], bool]] = None,
+    ):
+        self.trajectories = trajectories
+        self.radii = radii
+        self.obstacle = obstacle
+
+    def positions_at(self, t: int) -> Dict[int, Position]:
+        return {nid: traj(t) for nid, traj in self.trajectories.items()}
+
+    def __call__(self, n1: int, n2: int, t: int) -> bool:
+        if n1 == n2:
+            return False
+        p1 = self.trajectories[n1](t)
+        p2 = self.trajectories[n2](t)
+        if distance(p1, p2) > self.radii[n1]:
+            return False
+        if self.obstacle is not None and self.obstacle(p1, p2):
+            return False
+        return True
+
+    def neighbours(self, n1: int, t: int) -> Tuple[int, ...]:
+        """All nodes in n₁'s range at t (deterministic id order)."""
+        return tuple(
+            n2 for n2 in sorted(self.trajectories) if self(n1, n2, t)
+        )

@@ -1,0 +1,123 @@
+"""Messages, one-hop transmissions, and receive events — Section 5.2.3.
+
+The paper distinguishes:
+
+* the original **message** u with source s, destination d, body b,
+  generated at time t;
+* the **one-hop messages** u₁ … u_f the routing process generates
+  ("these are one-hop messages that contain the same information as
+  the original message");
+* **routing-table messages** rt₁ … rt_g exchanged by the protocol;
+* **receive events** r_u recording the arrival at the intended one-hop
+  destination at t′ = t + 1.
+
+The encodings m_u and r_u (Section 5.2.3) are built from these records
+in :mod:`repro.adhoc.encode`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["Message", "HopRecord", "ReceiveRecord", "TraceLog"]
+
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An end-to-end message u: source s, destination d, body b, time t."""
+
+    src: int
+    dst: int
+    body: Any
+    created_at: int
+    uid: int = field(default_factory=lambda: next(_ids))
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One one-hop transmission: the m_{u_i} of the routing trace.
+
+    ``kind`` is "data" for the u_i chain carrying the original body and
+    "control" for the rt_j protocol messages; ``message_uid`` ties data
+    hops back to the end-to-end message.
+    """
+
+    sent_at: int  # t_i
+    src: int  # s_i
+    dst: int  # d_i (the intended one-hop receiver; 0 = broadcast)
+    body: Any  # b_i
+    kind: str  # "data" | "control"
+    message_uid: Optional[int] = None
+    hop_id: int = field(default_factory=lambda: next(_ids))
+
+    @property
+    def received_at(self) -> int:
+        """t′_i = t_i + 1 (Section 5.2.1's unit-time transmission)."""
+        return self.sent_at + 1
+
+
+@dataclass(frozen=True)
+class ReceiveRecord:
+    """The r_u event: the hop was actually heard by its destination."""
+
+    hop_id: int
+    sent_at: int
+    src: int
+    dst: int
+    received_at: int
+
+
+class TraceLog:
+    """Everything a simulation emitted, in event order.
+
+    This is the raw material for the routing-problem words w ∈ R_{n,u}
+    and for the Broch-style metrics.
+    """
+
+    def __init__(self) -> None:
+        self.hops: List[HopRecord] = []
+        self.receives: List[ReceiveRecord] = []
+        self.delivered: List[Tuple[int, int]] = []  # (message uid, time)
+
+    def record_hop(self, hop: HopRecord) -> None:
+        self.hops.append(hop)
+
+    def record_receive(self, hop: HopRecord, receiver: int) -> None:
+        self.receives.append(
+            ReceiveRecord(
+                hop_id=hop.hop_id,
+                sent_at=hop.sent_at,
+                src=hop.src,
+                dst=receiver,
+                received_at=hop.received_at,
+            )
+        )
+
+    def record_delivery(self, message: Message, at: int) -> None:
+        self.delivered.append((message.uid, at))
+
+    def data_hops(self, message_uid: Optional[int] = None) -> List[HopRecord]:
+        return [
+            h
+            for h in self.hops
+            if h.kind == "data" and (message_uid is None or h.message_uid == message_uid)
+        ]
+
+    def control_hops(self) -> List[HopRecord]:
+        return [h for h in self.hops if h.kind == "control"]
+
+    def delivery_time(self, message_uid: int) -> Optional[int]:
+        for uid, at in self.delivered:
+            if uid == message_uid:
+                return at
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TraceLog(hops={len(self.hops)}, receives={len(self.receives)}, "
+            f"delivered={len(self.delivered)})"
+        )

@@ -1,0 +1,155 @@
+"""Performance measures for routing runs — Section 5.2.4 / [12].
+
+The paper maps the Broch et al. measures onto the R_{n,u} model:
+
+* **routing overhead** — "the total number of messages transmitted":
+  f + g, i.e. data hops plus control hops in our trace;
+* **path optimality** — "the difference between the number of hops a
+  message took … versus the length of the shortest possible path";
+  the shortest possible path is computed on the connectivity graph at
+  origination time;
+* **message delivery ratio** — delivered / originated (the R′ view,
+  with "lost" meaning delivery time beyond the horizon T).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .encode import extract_route
+from .geometry import DiskRange
+from .messages import Message, TraceLog
+
+__all__ = [
+    "routing_overhead",
+    "shortest_path_length",
+    "path_optimality",
+    "delivery_ratio",
+    "ScenarioMetrics",
+    "compute_metrics",
+]
+
+
+def routing_overhead(trace: TraceLog) -> int:
+    """f + g: every transmission counts, data and control alike."""
+    return len(trace.hops)
+
+
+def shortest_path_length(range_pred: DiskRange, src: int, dst: int, t: int, max_hops: int = 64) -> Optional[int]:
+    """BFS hop distance on the directed connectivity graph at time t."""
+    if src == dst:
+        return 0
+    seen = {src}
+    frontier = deque([(src, 0)])
+    while frontier:
+        node, d = frontier.popleft()
+        if d >= max_hops:
+            continue
+        for nxt in range_pred.neighbours(node, t):
+            if nxt == dst:
+                return d + 1
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append((nxt, d + 1))
+    return None
+
+
+def path_optimality(
+    range_pred: DiskRange, trace: TraceLog, message: Message
+) -> Optional[int]:
+    """(hops taken) − (shortest possible) for a delivered message.
+
+    The shortest possible path is measured on the connectivity graph at
+    the moment the first data hop left the source (for reactive
+    protocols this is after route discovery; measuring at creation time
+    would compare against a graph the packet never traversed).  None
+    when the message was not delivered or no path existed then.
+    """
+    chain = extract_route(trace, message)
+    if not chain:
+        return None
+    optimal = shortest_path_length(
+        range_pred, message.src, message.dst, chain[0].sent_at
+    )
+    if optimal is None or optimal == 0:
+        return None
+    return len(chain) - optimal
+
+
+def delivery_ratio(trace: TraceLog, messages: Sequence[Message]) -> float:
+    """Delivered fraction of the originated messages."""
+    if not messages:
+        return 1.0
+    delivered = sum(1 for m in messages if trace.delivery_time(m.uid) is not None)
+    return delivered / len(messages)
+
+
+@dataclass
+class ScenarioMetrics:
+    """Aggregate metrics for one simulated scenario."""
+
+    protocol: str
+    n_nodes: int
+    pause_time: int
+    messages: int
+    delivered: int
+    overhead: int
+    control_hops: int
+    data_hops: int
+    mean_path_excess: Optional[float]
+    mean_latency: Optional[float]
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.messages if self.messages else 1.0
+
+    def row(self) -> Dict[str, object]:
+        """A printable benchmark row."""
+        return {
+            "protocol": self.protocol,
+            "pause": self.pause_time,
+            "delivery%": round(100 * self.delivery_ratio, 1),
+            "overhead": self.overhead,
+            "ctl": self.control_hops,
+            "data": self.data_hops,
+            "path_excess": (
+                round(self.mean_path_excess, 2) if self.mean_path_excess is not None else "—"
+            ),
+            "latency": (
+                round(self.mean_latency, 1) if self.mean_latency is not None else "—"
+            ),
+        }
+
+
+def compute_metrics(
+    protocol: str,
+    range_pred: DiskRange,
+    trace: TraceLog,
+    messages: Sequence[Message],
+    pause_time: int,
+) -> ScenarioMetrics:
+    """Collect the Broch-style metric set from one finished run."""
+    delivered = [m for m in messages if trace.delivery_time(m.uid) is not None]
+    excesses: List[int] = []
+    latencies: List[int] = []
+    for m in delivered:
+        ex = path_optimality(range_pred, trace, m)
+        if ex is not None:
+            excesses.append(ex)
+        dt = trace.delivery_time(m.uid)
+        if dt is not None:
+            latencies.append(dt - m.created_at)
+    return ScenarioMetrics(
+        protocol=protocol,
+        n_nodes=len(range_pred.trajectories),
+        pause_time=pause_time,
+        messages=len(messages),
+        delivered=len(delivered),
+        overhead=routing_overhead(trace),
+        control_hops=len(trace.control_hops()),
+        data_hops=len(trace.data_hops()),
+        mean_path_excess=(sum(excesses) / len(excesses)) if excesses else None,
+        mean_latency=(sum(latencies) / len(latencies)) if latencies else None,
+    )

@@ -1,0 +1,174 @@
+"""Mobility models — Section 5.2.2.
+
+The paper notes that constant velocity "is made for simulation
+purposes" [12] while the general case exposes only the current
+position [11]; all models here expose exactly the general interface —
+a :data:`~repro.adhoc.geometry.Trajectory` giving p_i(t) — so nothing
+downstream can peek at velocities.
+
+* :class:`StationaryMobility` — fixed positions (connectivity sanity
+  tests);
+* :class:`ConstantVelocityMobility` — straight lines reflected off the
+  arena walls (the [12] simplification);
+* :class:`RandomWaypointMobility` — the Broch et al. model our E11
+  benchmark sweeps: pick a uniform waypoint, move toward it at a
+  uniform speed, pause ``pause_time``, repeat.  Pause time is the
+  mobility knob: 0 = constant motion, large = nearly static.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .geometry import Position, Trajectory
+
+__all__ = [
+    "Arena",
+    "StationaryMobility",
+    "ConstantVelocityMobility",
+    "RandomWaypointMobility",
+]
+
+
+@dataclass(frozen=True)
+class Arena:
+    """A rectangular arena [0, width] × [0, height]."""
+
+    width: float = 1500.0
+    height: float = 300.0  # the Broch et al. 1500m × 300m site
+
+
+class StationaryMobility:
+    """Nodes never move."""
+
+    def __init__(self, positions: Dict[int, Position]):
+        self.positions = dict(positions)
+
+    def trajectory(self, node: int) -> Trajectory:
+        p = self.positions[node]
+        return lambda t: p
+
+    def trajectories(self) -> Dict[int, Trajectory]:
+        return {n: self.trajectory(n) for n in self.positions}
+
+
+class ConstantVelocityMobility:
+    """p(t) = p₀ + v·t, reflected at the arena boundary."""
+
+    def __init__(self, arena: Arena, starts: Dict[int, Position], velocities: Dict[int, Tuple[float, float]]):
+        self.arena = arena
+        self.starts = dict(starts)
+        self.velocities = dict(velocities)
+
+    @staticmethod
+    def _reflect(value: float, limit: float) -> float:
+        """Fold an unconstrained coordinate back into [0, limit]."""
+        if limit <= 0:
+            return 0.0
+        period = 2 * limit
+        value %= period
+        return value if value <= limit else period - value
+
+    def trajectory(self, node: int) -> Trajectory:
+        p0 = self.starts[node]
+        vx, vy = self.velocities[node]
+        arena = self.arena
+
+        def traj(t: int) -> Position:
+            return Position(
+                self._reflect(p0.x + vx * t, arena.width),
+                self._reflect(p0.y + vy * t, arena.height),
+            )
+
+        return traj
+
+    def trajectories(self) -> Dict[int, Trajectory]:
+        return {n: self.trajectory(n) for n in self.starts}
+
+
+class RandomWaypointMobility:
+    """The random-waypoint model of the Broch et al. evaluation [12].
+
+    Each node independently: picks a uniform destination in the arena,
+    moves there at a speed uniform in [min_speed, max_speed], pauses
+    for ``pause_time`` chronons, repeats.  Trajectories are
+    deterministic given the seed; segments are generated lazily and
+    cached so that p(t) is O(log segments) after the first evaluation.
+    """
+
+    def __init__(
+        self,
+        arena: Arena,
+        n_nodes: int,
+        pause_time: int = 0,
+        min_speed: float = 1.0,
+        max_speed: float = 20.0,
+        seed: int = 0,
+    ):
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        if max_speed < min_speed or min_speed <= 0:
+            raise ValueError("speeds must satisfy 0 < min ≤ max")
+        self.arena = arena
+        self.n_nodes = n_nodes
+        self.pause_time = pause_time
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.seed = seed
+        # Per node: list of (start_time, end_time, from, to) move/pause
+        # segments, extended on demand.
+        self._segments: Dict[int, List[Tuple[float, float, Position, Position]]] = {}
+        self._rngs: Dict[int, random.Random] = {}
+
+    def _rng(self, node: int) -> random.Random:
+        if node not in self._rngs:
+            self._rngs[node] = random.Random(f"{self.seed}:{node}")
+        return self._rngs[node]
+
+    def _uniform_point(self, rng: random.Random) -> Position:
+        return Position(rng.uniform(0, self.arena.width), rng.uniform(0, self.arena.height))
+
+    def _extend(self, node: int, until: float) -> None:
+        rng = self._rng(node)
+        segs = self._segments.setdefault(node, [])
+        if not segs:
+            p0 = self._uniform_point(rng)
+            segs.append((0.0, 0.0, p0, p0))  # degenerate anchor
+        while segs[-1][1] <= until:
+            t_end = segs[-1][1]
+            here = segs[-1][3]
+            target = self._uniform_point(rng)
+            speed = rng.uniform(self.min_speed, self.max_speed)
+            travel = math.hypot(target.x - here.x, target.y - here.y) / speed
+            segs.append((t_end, t_end + travel, here, target))
+            if self.pause_time > 0:
+                arrive = t_end + travel
+                segs.append((arrive, arrive + self.pause_time, target, target))
+
+    def position(self, node: int, t: int) -> Position:
+        if t < 0:
+            raise ValueError("negative time")
+        self._extend(node, t)
+        segs = self._segments[node]
+        # binary search for the segment containing t
+        lo, hi = 0, len(segs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if segs[mid][1] < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        t0, t1, a, b = segs[lo]
+        if t1 == t0:
+            return b
+        frac = min(1.0, max(0.0, (t - t0) / (t1 - t0)))
+        return Position(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac)
+
+    def trajectory(self, node: int) -> Trajectory:
+        return lambda t: self.position(node, t)
+
+    def trajectories(self) -> Dict[int, Trajectory]:
+        return {n: self.trajectory(n) for n in range(1, self.n_nodes + 1)}

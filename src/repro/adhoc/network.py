@@ -1,0 +1,135 @@
+"""The event-driven radio network — Sections 5.2.1–5.2.2.
+
+Transmission takes exactly one chronon (the paper's granularity:
+"if a message is emitted … at some time t and received … at time t′,
+then t′ = t + 1").  A transmission at t reaches every node n₂ with
+``range(sender, n₂, t)`` true; deliveries fire at t + 1 through the
+kernel.  Every transmission and reception is appended to the
+:class:`~repro.adhoc.messages.TraceLog`, from which the routing-problem
+words and the Broch-style metrics are computed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..kernel.events import Event, Priority
+from ..kernel.simulator import Simulator
+from .geometry import DiskRange
+from .messages import HopRecord, Message, TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .routing.base import RoutingProtocol
+
+__all__ = ["AdhocNetwork"]
+
+
+class AdhocNetwork:
+    """n mobile nodes, a range predicate, and one router per node.
+
+    ``loss_rate`` injects per-frame radio loss: each in-range hearer
+    independently drops the frame with this probability (seeded, so
+    runs stay reproducible).  Lost frames are recorded as transmitted
+    (the sender paid for them) but produce no receive event — the
+    failure-injection surface the delivery-ratio experiments use.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        range_pred: DiskRange,
+        node_ids: List[int],
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.range = range_pred
+        self.node_ids = sorted(node_ids)
+        self.routers: Dict[int, "RoutingProtocol"] = {}
+        self.trace = TraceLog()
+        self.loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
+        self.frames_dropped = 0
+        self._started = False
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self, node: int, router: "RoutingProtocol") -> None:
+        if node not in self.node_ids:
+            raise ValueError(f"unknown node {node}")
+        self.routers[node] = router
+        router.bind(self, node)
+
+    def start(self) -> None:
+        """Start every router's background behaviour (beacons etc.)."""
+        if self._started:
+            raise RuntimeError("network already started")
+        self._started = True
+        for node in self.node_ids:
+            self.routers[node].start()
+
+    # -- the radio --------------------------------------------------------
+    def transmit(
+        self,
+        sender: int,
+        payload: Any,
+        kind: str,
+        intended: Optional[int] = None,
+        message_uid: Optional[int] = None,
+    ) -> HopRecord:
+        """Broadcast ``payload`` from ``sender`` at the current instant.
+
+        ``intended`` marks the one-hop destination for unicast
+        semantics: the radio medium is broadcast, but the link layer
+        filters — only the intended receiver's router sees the packet,
+        and the r_u receive record is written for it (matching the
+        Section 5.2.3 encoding).  ``intended=None`` is a true
+        broadcast: every hearer receives (dst recorded as 0 by
+        convention).
+        """
+        now = self.sim.now
+        hop = HopRecord(
+            sent_at=now,
+            src=sender,
+            dst=intended if intended is not None else 0,
+            body=payload,
+            kind=kind,
+            message_uid=message_uid,
+        )
+        self.trace.record_hop(hop)
+        hearers = [n for n in self.range.neighbours(sender, now) if n != sender]
+        for hearer in hearers:
+            if intended is not None and hearer != intended:
+                continue  # link-layer filtering of unicast frames
+            if self.loss_rate and self._loss_rng.random() < self.loss_rate:
+                self.frames_dropped += 1
+                continue  # injected radio loss: frame never heard
+            self.trace.record_receive(hop, hearer)
+            self._schedule_delivery(hearer, sender, payload, hop)
+        return hop
+
+    def _schedule_delivery(self, receiver: int, sender: int, payload: Any, hop: HopRecord) -> None:
+        def deliver(_ev: Event) -> None:
+            router = self.routers.get(receiver)
+            if router is not None:
+                router.on_packet(payload, sender, self.sim.now)
+
+        self.sim.timeout(1, priority=Priority.HIGH).add_callback(deliver)
+
+    # -- application layer ---------------------------------------------------
+    def originate(self, message: Message) -> None:
+        """Inject an end-to-end message at its source's router."""
+        router = self.routers[message.src]
+        router.originate(message)
+
+    def deliver_to_application(self, message: Message, at: int) -> None:
+        """A router calls this when the end-to-end destination got u."""
+        if self.trace.delivery_time(message.uid) is None:
+            self.trace.record_delivery(message, at)
+
+    # -- views ------------------------------------------------------------------
+    def connectivity_snapshot(self, t: int) -> Dict[int, List[int]]:
+        """Adjacency (directed, by sender range) at chronon t."""
+        return {n: list(self.range.neighbours(n, t)) for n in self.node_ids}

@@ -1,0 +1,18 @@
+"""Routing protocols for the Section 5.2 ad hoc network model."""
+
+from .aodv import AodvRouter
+from .base import DataPacket, RoutingProtocol
+from .dream import DreamRouter
+from .dsdv import DsdvRouter
+from .dsr import DsrRouter
+from .flooding import FloodingRouter
+
+__all__ = [
+    "RoutingProtocol",
+    "DataPacket",
+    "FloodingRouter",
+    "AodvRouter",
+    "DsdvRouter",
+    "DsrRouter",
+    "DreamRouter",
+]

@@ -1,0 +1,158 @@
+"""An AODV-style reactive hop-by-hop router.
+
+Ad hoc On-demand Distance Vector (the fourth protocol of the Broch et
+al. comparison [12]): like DSR, routes are discovered on demand with a
+RREQ flood — but instead of source routes, discovery installs
+*per-destination next-hop state* at every node the reply traverses
+(plus reverse routes toward the originator installed by the request).
+Data packets then carry no route; each node forwards on its own table.
+
+Simplifications versus full AODV (documented per DESIGN.md): no route
+lifetimes/HELLO messages, no route-error propagation (a broken path is
+repaired by the originator's periodic retry), destination-sequence
+numbers simplified to request freshness.  The on-demand hop-by-hop cost
+shape is preserved: zero idle control traffic, discovery bursts, and
+per-node forwarding state instead of per-packet routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from ..messages import Message
+from .base import DataPacket, RoutingProtocol
+
+__all__ = ["AodvRouter"]
+
+
+@dataclass(frozen=True)
+class Rreq:
+    request_id: int
+    origin: int
+    target: int
+    hops: int  # distance from the origin so far
+
+
+@dataclass(frozen=True)
+class Rrep:
+    request_id: int
+    origin: int
+    target: int
+    hops_to_target: int  # from the forwarding node
+
+
+@dataclass(frozen=True)
+class RouteState:
+    next_hop: int
+    hops: int
+    freshness: int  # request id that installed the route
+
+
+class AodvRouter(RoutingProtocol):
+    name = "aodv"
+
+    def __init__(self, max_hops: int = 32, request_retry: int = 30, queue_limit: int = 64):
+        super().__init__()
+        self.max_hops = max_hops
+        self.request_retry = request_retry
+        self.queue_limit = queue_limit
+        self.routes: Dict[int, RouteState] = {}
+        self._next_request = 0
+        self._seen_requests: Set[Tuple[int, int]] = set()
+        self._pending: Dict[int, List[Message]] = {}
+
+    # -- origination ------------------------------------------------------
+    def originate(self, message: Message) -> None:
+        route = self.routes.get(message.dst)
+        if route is not None:
+            self.send_data(DataPacket(message, hops=0), next_hop=route.next_hop)
+            return
+        bucket = self._pending.setdefault(message.dst, [])
+        if len(bucket) < self.queue_limit:
+            bucket.append(message)
+        self._discover(message.dst)
+
+    def _discover(self, target: int) -> None:
+        self._next_request += 1
+        req = Rreq(self._next_request, self.node, target, hops=0)
+        self._seen_requests.add((self.node, req.request_id))
+        self.send_control(req)
+
+        def retry() -> None:
+            if self._pending.get(target) and target not in self.routes:
+                self._discover(target)
+
+        self.after(self.request_retry, retry)
+
+    # -- packet handling ------------------------------------------------------
+    def on_packet(self, payload: Any, sender: int, now: int) -> None:
+        if isinstance(payload, Rreq):
+            self._on_rreq(payload, sender)
+        elif isinstance(payload, Rrep):
+            self._on_rrep(payload, sender)
+        elif isinstance(payload, DataPacket):
+            self._on_data(payload)
+
+    def _install(self, destination: int, next_hop: int, hops: int, freshness: int) -> None:
+        """Install a route if fresher or shorter than what we hold."""
+        current = self.routes.get(destination)
+        if (
+            current is None
+            or freshness > current.freshness
+            or (freshness == current.freshness and hops < current.hops)
+        ):
+            self.routes[destination] = RouteState(next_hop, hops, freshness)
+
+    def _on_rreq(self, req: Rreq, sender: int) -> None:
+        key = (req.origin, req.request_id)
+        if key in self._seen_requests or req.origin == self.node:
+            return
+        self._seen_requests.add(key)
+        # reverse route toward the originator (through the sender)
+        self._install(req.origin, sender, req.hops + 1, req.request_id)
+        if req.target == self.node:
+            # answer: unicast a reply back along the reverse route
+            self.send_control(
+                Rrep(req.request_id, req.origin, req.target, hops_to_target=0),
+                intended=sender,
+            )
+            return
+        if req.hops + 1 >= self.max_hops:
+            return
+        self.send_control(Rreq(req.request_id, req.origin, req.target, req.hops + 1))
+
+    def _on_rrep(self, rep: Rrep, sender: int) -> None:
+        # forward route toward the target (through the sender)
+        self._install(rep.target, sender, rep.hops_to_target + 1, rep.request_id)
+        if rep.origin == self.node:
+            self._drain(rep.target)
+            return
+        back = self.routes.get(rep.origin)
+        if back is None:
+            return  # reverse route evaporated; originator will retry
+        self.send_control(
+            Rrep(rep.request_id, rep.origin, rep.target, rep.hops_to_target + 1),
+            intended=back.next_hop,
+        )
+
+    def _drain(self, target: int) -> None:
+        route = self.routes.get(target)
+        if route is None:
+            return
+        for message in self._pending.pop(target, []):
+            self.send_data(DataPacket(message, hops=0), next_hop=route.next_hop)
+
+    def _on_data(self, packet: DataPacket) -> None:
+        if packet.message.dst == self.node:
+            self.deliver(packet)
+            return
+        if packet.hops + 1 >= self.max_hops:
+            return
+        route = self.routes.get(packet.message.dst)
+        if route is None:
+            return  # no forwarding state: drop (originator retries)
+        self.send_data(
+            DataPacket(packet.message, hops=packet.hops + 1),
+            next_hop=route.next_hop,
+        )

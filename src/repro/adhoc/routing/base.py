@@ -1,0 +1,122 @@
+"""Routing-protocol interface — Section 5.2.5.
+
+The paper's constraints on a routing algorithm: the router is n
+independent algorithms that "can communicate only by messages exchanged
+between them", and a node "is unaware of the properties of another
+node, unless it receives a message from (or about) that node".  The
+:class:`RoutingProtocol` interface enforces that shape: a router sees
+only its own node id, its own position (via the network's range
+predicate applied to itself), packets it hears, and whatever it chooses
+to transmit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ...kernel.events import Event
+from ..messages import Message
+from ..network import AdhocNetwork
+
+__all__ = ["RoutingProtocol", "DataPacket"]
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """The payload wrapper all protocols use for application data.
+
+    ``route`` is used by source-routing protocols (the remaining hop
+    list); ``hops`` counts hops so far for TTL/optimality accounting.
+    """
+
+    message: Message
+    hops: int = 0
+    route: Optional[tuple] = None
+
+
+class RoutingProtocol:
+    """Base router: per-node state + the three protocol entry points."""
+
+    #: protocol name for reports
+    name = "base"
+
+    def __init__(self) -> None:
+        self.network: Optional[AdhocNetwork] = None
+        self.node: int = -1
+
+    # -- wiring -----------------------------------------------------------
+    def bind(self, network: AdhocNetwork, node: int) -> None:
+        self.network = network
+        self.node = node
+
+    @property
+    def sim(self):
+        assert self.network is not None
+        return self.network.sim
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def my_position(self):
+        """A node may know its *own* current position (the [11]
+        assumption DREAM builds on)."""
+        assert self.network is not None
+        return self.network.range.trajectories[self.node](self.now)
+
+    # -- protocol entry points ------------------------------------------------
+    def start(self) -> None:
+        """Called once at network start; spawn periodic processes here."""
+
+    def originate(self, message: Message) -> None:
+        """The application asks this node to send ``message``."""
+        raise NotImplementedError
+
+    def on_packet(self, payload: Any, sender: int, now: int) -> None:
+        """A packet transmitted by a neighbour has been heard."""
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------------
+    def send_data(self, packet: DataPacket, next_hop: Optional[int]) -> None:
+        """Transmit a data packet (unicast to ``next_hop`` or flood)."""
+        assert self.network is not None
+        self.network.transmit(
+            self.node,
+            packet,
+            kind="data",
+            intended=next_hop,
+            message_uid=packet.message.uid,
+        )
+
+    def send_control(self, payload: Any, intended: Optional[int] = None) -> None:
+        """Transmit a routing/control packet (an rt_j of the model)."""
+        assert self.network is not None
+        self.network.transmit(self.node, payload, kind="control", intended=intended)
+
+    def deliver(self, packet: DataPacket) -> None:
+        """This node is the end-to-end destination: hand up."""
+        assert self.network is not None
+        self.network.deliver_to_application(packet.message, self.now)
+
+    def every(self, period: int, fn, jitter_offset: int = 0) -> None:
+        """Run ``fn()`` every ``period`` chronons (protocol timers)."""
+        assert self.network is not None
+
+        def ticker() -> Generator[Event, Any, None]:
+            if jitter_offset:
+                yield self.sim.timeout(jitter_offset)
+            while True:
+                fn()
+                yield self.sim.timeout(period)
+
+        self.sim.process(ticker(), name=f"{self.name}:{self.node}:timer")
+
+    def after(self, delay: int, fn) -> None:
+        """Run ``fn()`` once after ``delay`` chronons."""
+
+        def once() -> Generator[Event, Any, None]:
+            yield self.sim.timeout(delay)
+            fn()
+
+        self.sim.process(once(), name=f"{self.name}:{self.node}:after")

@@ -1,0 +1,156 @@
+"""A DREAM-style position-based router (Basagni et al. [11]).
+
+DREAM's premise — cited by the paper for the general mobility case —
+is that "the only thing known by any node is its current position":
+nodes disseminate their own coordinates, and data is forwarded in the
+*direction* of the destination's last known position.
+
+Simplifications (documented per DESIGN.md): location updates are
+periodic fixed-radius beacons rather than distance-effect-scaled ones,
+and the directional flood is realized as greedy geographic forwarding
+(closest-to-destination neighbour) with a one-shot local flood as
+recovery when no neighbour makes progress.  The position-based cost
+shape — control traffic proportional to beacon rate, data overhead near
+path length — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..geometry import Position, distance
+from ..messages import Message
+from .base import DataPacket, RoutingProtocol
+
+__all__ = ["DreamRouter"]
+
+
+@dataclass(frozen=True)
+class LocationBeacon:
+    origin: int
+    position: Position
+    stamped: int
+    hops_left: int  # beacon propagation scope
+
+
+@dataclass(frozen=True)
+class GeoData:
+    """Data wrapper carrying the destination's believed position."""
+
+    packet: DataPacket
+    dest_position: Position
+    recovery: bool = False  # True while in local-flood recovery
+
+
+class DreamRouter(RoutingProtocol):
+    name = "dream"
+
+    def __init__(self, beacon_period: int = 20, beacon_scope: int = 3, max_hops: int = 32):
+        super().__init__()
+        self.beacon_period = beacon_period
+        self.beacon_scope = beacon_scope
+        self.max_hops = max_hops
+        self.locations: Dict[int, Tuple[Position, int]] = {}
+        self._seen_beacons: Set[Tuple[int, int]] = set()
+        self._seen_recovery: Set[int] = set()
+
+    # -- beacons ----------------------------------------------------------
+    def start(self) -> None:
+        self.every(self.beacon_period, self._beacon, jitter_offset=self.node % self.beacon_period)
+
+    def _beacon(self) -> None:
+        self.send_control(
+            LocationBeacon(self.node, self.my_position(), self.now, self.beacon_scope)
+        )
+
+    # -- neighbour discovery through the location table --------------------
+    def _neighbours(self) -> List[int]:
+        assert self.network is not None
+        return [n for n in self.network.range.neighbours(self.node, self.now)]
+
+    # -- data ------------------------------------------------------------------
+    def originate(self, message: Message) -> None:
+        known = self.locations.get(message.dst)
+        if known is None:
+            # No position known: fall back to a scoped flood carrying
+            # our best guess (own position — the recovery path).
+            self._recover(DataPacket(message, hops=0))
+            return
+        self._forward(GeoData(DataPacket(message, hops=0), known[0]))
+
+    def on_packet(self, payload: Any, sender: int, now: int) -> None:
+        if isinstance(payload, LocationBeacon):
+            self._on_beacon(payload)
+        elif isinstance(payload, GeoData):
+            self._on_geodata(payload)
+
+    def _on_beacon(self, beacon: LocationBeacon) -> None:
+        key = (beacon.origin, beacon.stamped)
+        if key in self._seen_beacons or beacon.origin == self.node:
+            return
+        self._seen_beacons.add(key)
+        current = self.locations.get(beacon.origin)
+        if current is None or current[1] < beacon.stamped:
+            self.locations[beacon.origin] = (beacon.position, beacon.stamped)
+        if beacon.hops_left > 1:
+            self.send_control(
+                LocationBeacon(
+                    beacon.origin, beacon.position, beacon.stamped, beacon.hops_left - 1
+                )
+            )
+
+    def _on_geodata(self, geo: GeoData) -> None:
+        packet = geo.packet
+        if packet.message.dst == self.node:
+            self.deliver(packet)
+            return
+        if packet.hops + 1 >= self.max_hops:
+            return
+        if geo.recovery:
+            # Recovery flood: rebroadcast once.
+            if packet.message.uid in self._seen_recovery:
+                return
+            self._seen_recovery.add(packet.message.uid)
+            # If we now know a position, switch back to greedy mode.
+            known = self.locations.get(packet.message.dst)
+            bumped = DataPacket(packet.message, hops=packet.hops + 1)
+            if known is not None:
+                self._forward(GeoData(bumped, known[0]))
+            else:
+                self.send_data_geo(GeoData(bumped, geo.dest_position, recovery=True), None)
+            return
+        self._forward(GeoData(DataPacket(packet.message, hops=packet.hops + 1), geo.dest_position))
+
+    def _forward(self, geo: GeoData) -> None:
+        """Greedy geographic step toward the destination's position."""
+        assert self.network is not None
+        dest_pos = geo.dest_position
+        here = self.my_position()
+        best: Optional[int] = None
+        best_d = distance(here, dest_pos)
+        for n in self._neighbours():
+            d = distance(self.network.range.trajectories[n](self.now), dest_pos)
+            if d < best_d:
+                best, best_d = n, d
+        if best is not None:
+            self.send_data_geo(geo, best)
+        else:
+            self._recover(geo.packet)
+
+    def _recover(self, packet: DataPacket) -> None:
+        """Local-flood recovery when greedy forwarding is stuck."""
+        if packet.message.uid in self._seen_recovery:
+            return
+        self._seen_recovery.add(packet.message.uid)
+        self.send_data_geo(GeoData(packet, self.my_position(), recovery=True), None)
+
+    def send_data_geo(self, geo: GeoData, next_hop: Optional[int]) -> None:
+        assert self.network is not None
+        self.network.transmit(
+            self.node,
+            geo,
+            kind="data",
+            intended=next_hop,
+            message_uid=geo.packet.message.uid,
+        )

@@ -1,0 +1,129 @@
+"""A DSDV-style proactive distance-vector router.
+
+Destination-Sequenced Distance Vector (one of the protocols the Broch
+et al. comparison [12] evaluates): every node periodically broadcasts
+its full routing table, entries carry per-destination sequence numbers
+so fresher information displaces stale routes, and data packets follow
+the next-hop chain.  Proactive cost structure: control overhead is paid
+continuously whether or not anybody sends data — the property E11's
+overhead ordering exercises.
+
+Simplifications versus full DSDV (documented per DESIGN.md): no
+incremental dumps, no settling-time damping; broken next-hops are
+discovered by the periodic exchange only.  These do not change the
+proactive cost shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..messages import Message
+from .base import DataPacket, RoutingProtocol
+
+__all__ = ["DsdvRouter"]
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    destination: int
+    next_hop: int
+    metric: int  # hops
+    seqno: int  # destination-generated sequence number
+
+
+@dataclass(frozen=True)
+class TableDump:
+    """The periodic full-table broadcast (an rt message)."""
+
+    origin: int
+    entries: Tuple[RouteEntry, ...]
+
+
+class DsdvRouter(RoutingProtocol):
+    name = "dsdv"
+
+    def __init__(self, beacon_period: int = 15, max_metric: int = 32, queue_limit: int = 64):
+        super().__init__()
+        self.beacon_period = beacon_period
+        self.max_metric = max_metric
+        self.table: Dict[int, RouteEntry] = {}
+        self._own_seq = 0
+        self._pending: List[DataPacket] = []
+        self.queue_limit = queue_limit
+
+    # -- protocol ------------------------------------------------------
+    def start(self) -> None:
+        self.table[self.node] = RouteEntry(self.node, self.node, 0, 0)
+        # Deterministic de-synchronisation: offset beacons by node id.
+        self.every(self.beacon_period, self._beacon, jitter_offset=self.node % self.beacon_period)
+
+    def _beacon(self) -> None:
+        self._own_seq += 2  # even seqnos = reachable (DSDV convention)
+        self.table[self.node] = RouteEntry(self.node, self.node, 0, self._own_seq)
+        self.send_control(TableDump(self.node, tuple(self.table.values())))
+
+    def _better(self, new: RouteEntry, old: Optional[RouteEntry]) -> bool:
+        if old is None:
+            return True
+        if new.seqno != old.seqno:
+            return new.seqno > old.seqno
+        return new.metric < old.metric
+
+    def on_packet(self, payload: Any, sender: int, now: int) -> None:
+        if isinstance(payload, TableDump):
+            for entry in payload.entries:
+                if entry.destination == self.node:
+                    continue
+                candidate = RouteEntry(
+                    destination=entry.destination,
+                    next_hop=sender,
+                    metric=entry.metric + 1,
+                    seqno=entry.seqno,
+                )
+                if candidate.metric <= self.max_metric and self._better(
+                    candidate, self.table.get(entry.destination)
+                ):
+                    self.table[entry.destination] = candidate
+            self._drain_pending()
+            return
+        if isinstance(payload, DataPacket):
+            if payload.message.dst == self.node:
+                self.deliver(payload)
+                return
+            # Only the intended next hop forwards (others merely hear it).
+            self._forward(payload)
+
+    def _forward(self, packet: DataPacket) -> None:
+        if packet.hops + 1 >= self.max_metric:
+            return
+        entry = self.table.get(packet.message.dst)
+        if entry is None:
+            if len(self._pending) < self.queue_limit:
+                self._pending.append(packet)
+            return
+        self.send_data(
+            DataPacket(packet.message, hops=packet.hops + 1), next_hop=entry.next_hop
+        )
+
+    def originate(self, message: Message) -> None:
+        entry = self.table.get(message.dst)
+        if entry is None:
+            if len(self._pending) < self.queue_limit:
+                self._pending.append(DataPacket(message, hops=-1))
+            return
+        self.send_data(DataPacket(message, hops=0), next_hop=entry.next_hop)
+
+    def _drain_pending(self) -> None:
+        still: List[DataPacket] = []
+        for packet in self._pending:
+            entry = self.table.get(packet.message.dst)
+            if entry is None:
+                still.append(packet)
+            else:
+                self.send_data(
+                    DataPacket(packet.message, hops=packet.hops + 1),
+                    next_hop=entry.next_hop,
+                )
+        self._pending = still

@@ -1,0 +1,168 @@
+"""A DSR-style reactive source-routing router.
+
+Dynamic Source Routing (the strongest performer in the Broch et al.
+comparison [12] at high mobility): routes are discovered *on demand* by
+flooding a route request (RREQ) that accumulates the path it traversed;
+the destination answers with a route reply (RREP) carrying the full
+source route back; data packets then carry the explicit hop list.
+Discovered routes are cached.  Reactive cost structure: zero control
+traffic while idle, a burst per discovery — the other end of E11's
+overhead ordering.
+
+Simplifications (documented per DESIGN.md): RREPs are returned over the
+reversed discovered path (bidirectional links — true in the disk
+model); no promiscuous route shortening; a failed forward triggers one
+route re-discovery at the source on retry rather than a route-error
+unicast chain.  The reactive shape is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from ..messages import Message
+from .base import DataPacket, RoutingProtocol
+
+__all__ = ["DsrRouter"]
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    request_id: int
+    origin: int
+    target: int
+    path: Tuple[int, ...]  # nodes traversed so far, origin first
+
+
+@dataclass(frozen=True)
+class RouteReply:
+    request_id: int
+    origin: int
+    target: int
+    route: Tuple[int, ...]  # full path origin … target
+    back_path: Tuple[int, ...]  # remaining hops back to the origin
+
+
+class DsrRouter(RoutingProtocol):
+    name = "dsr"
+
+    def __init__(self, max_path: int = 32, request_retry: int = 30, queue_limit: int = 64):
+        super().__init__()
+        self.max_path = max_path
+        self.request_retry = request_retry
+        self.route_cache: Dict[int, Tuple[int, ...]] = {}
+        self._next_request = 0
+        self._seen_requests: Set[Tuple[int, int]] = set()
+        self._pending: Dict[int, List[Message]] = {}
+        self.queue_limit = queue_limit
+
+    # -- origination ------------------------------------------------------
+    def originate(self, message: Message) -> None:
+        route = self.route_cache.get(message.dst)
+        if route is not None:
+            self._send_along(message, route, hops=0)
+            return
+        self._enqueue(message)
+        self._discover(message.dst)
+
+    def _enqueue(self, message: Message) -> None:
+        bucket = self._pending.setdefault(message.dst, [])
+        if len(bucket) < self.queue_limit:
+            bucket.append(message)
+
+    def _discover(self, target: int) -> None:
+        self._next_request += 1
+        req = RouteRequest(
+            request_id=self._next_request,
+            origin=self.node,
+            target=target,
+            path=(self.node,),
+        )
+        self._seen_requests.add((self.node, req.request_id))
+        self.send_control(req)
+        # Retry while undelivered traffic remains and no route appeared.
+        def retry() -> None:
+            if self._pending.get(target) and target not in self.route_cache:
+                self._discover(target)
+
+        self.after(self.request_retry, retry)
+
+    # -- packet handling -----------------------------------------------------
+    def on_packet(self, payload: Any, sender: int, now: int) -> None:
+        if isinstance(payload, RouteRequest):
+            self._on_rreq(payload)
+        elif isinstance(payload, RouteReply):
+            self._on_rrep(payload)
+        elif isinstance(payload, DataPacket):
+            self._on_data(payload)
+
+    def _on_rreq(self, req: RouteRequest) -> None:
+        key = (req.origin, req.request_id)
+        if key in self._seen_requests or self.node in req.path:
+            return
+        self._seen_requests.add(key)
+        path = req.path + (self.node,)
+        if req.target == self.node:
+            # Answer with the full route, unwinding along the path.
+            route = path
+            back = tuple(reversed(path))[1:]
+            reply = RouteReply(req.request_id, req.origin, req.target, route, back)
+            self._forward_rrep(reply)
+            return
+        if len(path) >= self.max_path:
+            return
+        self.send_control(RouteRequest(req.request_id, req.origin, req.target, path))
+
+    def _forward_rrep(self, reply: RouteReply) -> None:
+        if not reply.back_path:
+            return
+        next_hop = reply.back_path[0]
+        self.send_control(
+            RouteReply(
+                reply.request_id,
+                reply.origin,
+                reply.target,
+                reply.route,
+                reply.back_path[1:],
+            ),
+            intended=next_hop,
+        )
+
+    def _on_rrep(self, reply: RouteReply) -> None:
+        # Cache the suffix of the route from this node to the target.
+        if self.node in reply.route:
+            at = reply.route.index(self.node)
+            self.route_cache[reply.target] = reply.route[at:]
+        if reply.origin == self.node:
+            self._drain(reply.target)
+            return
+        self._forward_rrep(reply)
+
+    def _drain(self, target: int) -> None:
+        route = self.route_cache.get(target)
+        if route is None:
+            return
+        for message in self._pending.pop(target, []):
+            self._send_along(message, route, hops=0)
+
+    def _send_along(self, message: Message, route: Tuple[int, ...], hops: int) -> None:
+        # route[0] is this node; route[1] the next hop.
+        if len(route) < 2:
+            return
+        self.send_data(
+            DataPacket(message, hops=hops, route=route[1:]), next_hop=route[1]
+        )
+
+    def _on_data(self, packet: DataPacket) -> None:
+        if packet.message.dst == self.node:
+            self.deliver(packet)
+            return
+        route = packet.route or ()
+        # route[0] is this node (just consumed); forward to route[1].
+        if len(route) < 2 or route[0] != self.node:
+            return
+        self.send_data(
+            DataPacket(packet.message, hops=packet.hops + 1, route=route[1:]),
+            next_hop=route[1],
+        )

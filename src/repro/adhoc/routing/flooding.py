@@ -1,0 +1,44 @@
+"""Flooding: the baseline router.
+
+Every data packet is rebroadcast once by every node that hears it (duplicate
+suppression by message uid), up to a TTL.  Flooding finds a shortest
+path whenever any path exists — at maximal overhead — which anchors one
+end of the Broch-style comparison (E11): near-optimal path length,
+worst-case routing overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set
+
+from ..messages import Message
+from .base import DataPacket, RoutingProtocol
+
+__all__ = ["FloodingRouter"]
+
+
+class FloodingRouter(RoutingProtocol):
+    name = "flooding"
+
+    def __init__(self, ttl: int = 32):
+        super().__init__()
+        self.ttl = ttl
+        self._seen: Set[int] = set()
+
+    def originate(self, message: Message) -> None:
+        self._seen.add(message.uid)
+        self.send_data(DataPacket(message, hops=0), next_hop=None)
+
+    def on_packet(self, payload: Any, sender: int, now: int) -> None:
+        if not isinstance(payload, DataPacket):
+            return
+        msg = payload.message
+        if msg.uid in self._seen:
+            return
+        self._seen.add(msg.uid)
+        if msg.dst == self.node:
+            self.deliver(payload)
+            return
+        if payload.hops + 1 >= self.ttl:
+            return
+        self.send_data(DataPacket(msg, hops=payload.hops + 1), next_hop=None)

@@ -1,0 +1,130 @@
+"""Scenario driver: build, run, and measure one ad hoc network setup.
+
+This is the harness the E10/E11 benchmarks call: a random-waypoint
+arena in the Broch et al. style, a routing protocol per node, a Poisson
+-ish workload of end-to-end messages between random pairs, and the
+metric collection of :mod:`repro.adhoc.metrics`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..kernel.simulator import Simulator
+from .geometry import DiskRange, Position
+from .messages import Message
+from .metrics import ScenarioMetrics, compute_metrics
+from .mobility import Arena, RandomWaypointMobility, StationaryMobility
+from .network import AdhocNetwork
+from .routing.base import RoutingProtocol
+
+__all__ = ["Scenario", "ScenarioRun", "run_scenario"]
+
+
+@dataclass
+class Scenario:
+    """Parameters of one run (defaults follow Broch et al. loosely)."""
+
+    n_nodes: int = 20
+    arena: Arena = Arena(1000.0, 300.0)
+    radio_range: float = 250.0
+    pause_time: int = 0
+    min_speed: float = 1.0
+    max_speed: float = 20.0
+    n_messages: int = 10
+    message_window: Tuple[int, int] = (20, 120)
+    horizon: int = 400
+    seed: int = 0
+    stationary: bool = False
+    loss_rate: float = 0.0  # injected per-frame radio loss
+
+
+@dataclass
+class ScenarioRun:
+    """A finished run: the network objects plus the measured metrics."""
+
+    scenario: Scenario
+    network: AdhocNetwork
+    range_pred: DiskRange
+    messages: List[Message]
+    metrics: ScenarioMetrics
+
+
+def run_scenario(
+    protocol_factory: Callable[[], RoutingProtocol],
+    scenario: Scenario,
+) -> ScenarioRun:
+    """Simulate one scenario under one protocol and measure it."""
+    rng = random.Random(scenario.seed)
+    node_ids = list(range(1, scenario.n_nodes + 1))
+
+    if scenario.stationary:
+        positions = {
+            n: Position(
+                rng.uniform(0, scenario.arena.width),
+                rng.uniform(0, scenario.arena.height),
+            )
+            for n in node_ids
+        }
+        mobility = StationaryMobility(positions)
+        trajectories = mobility.trajectories()
+    else:
+        waypoint = RandomWaypointMobility(
+            scenario.arena,
+            scenario.n_nodes,
+            pause_time=scenario.pause_time,
+            min_speed=scenario.min_speed,
+            max_speed=scenario.max_speed,
+            seed=scenario.seed,
+        )
+        trajectories = waypoint.trajectories()
+
+    range_pred = DiskRange(
+        trajectories, radii={n: scenario.radio_range for n in node_ids}
+    )
+    sim = Simulator()
+    network = AdhocNetwork(
+        sim, range_pred, node_ids,
+        loss_rate=scenario.loss_rate, loss_seed=scenario.seed,
+    )
+    protocol_name = ""
+    for n in node_ids:
+        router = protocol_factory()
+        protocol_name = router.name
+        network.attach(n, router)
+    network.start()
+
+    # workload: n_messages between random distinct pairs, uniform times
+    messages: List[Message] = []
+    lo, hi = scenario.message_window
+
+    def injector():
+        last_t = 0
+        plan = sorted(
+            (rng.randint(lo, min(hi, scenario.horizon - 1)) for _ in range(scenario.n_messages))
+        )
+        for i, t in enumerate(plan):
+            if t > last_t:
+                yield sim.timeout(t - last_t)
+                last_t = t
+            src = rng.choice(node_ids)
+            dst = rng.choice([n for n in node_ids if n != src])
+            msg = Message(src=src, dst=dst, body=f"payload-{i}", created_at=sim.now)
+            messages.append(msg)
+            network.originate(msg)
+
+    sim.process(injector(), name="workload")
+    sim.run(until=scenario.horizon)
+
+    metrics = compute_metrics(
+        protocol_name, range_pred, network.trace, messages, scenario.pause_time
+    )
+    return ScenarioRun(
+        scenario=scenario,
+        network=network,
+        range_pred=range_pred,
+        messages=messages,
+        metrics=metrics,
+    )

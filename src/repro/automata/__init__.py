@@ -1,0 +1,49 @@
+"""Finite-state substrate: FA, ω-automata, timed Büchi automata, and
+the Theorem 3.1 non-regularity machinery."""
+
+from .buchi_ops import buchi_intersection, buchi_union
+from .fa import LAMBDA, FiniteAutomaton, Transition
+from .minimize import bounded_l_dfa, minimal_states_for_bounded_l, minimize_dfa
+from .omega import BuchiAutomaton, LassoWord, MullerAutomaton
+from .regularity import (
+    ALPHABET,
+    dfa_state_lower_bound,
+    fooling_set,
+    l_membership,
+    l_omega_lasso,
+    l_omega_membership_prefix,
+    l_omega_word,
+    l_word,
+    separating_suffix,
+    theorem31_construction,
+    verify_fooling_set,
+)
+from .timed import TimedBuchiAutomaton, TimedTransition, max_constant
+
+__all__ = [
+    "FiniteAutomaton",
+    "Transition",
+    "LAMBDA",
+    "BuchiAutomaton",
+    "MullerAutomaton",
+    "LassoWord",
+    "buchi_union",
+    "buchi_intersection",
+    "minimize_dfa",
+    "bounded_l_dfa",
+    "minimal_states_for_bounded_l",
+    "TimedBuchiAutomaton",
+    "TimedTransition",
+    "max_constant",
+    "ALPHABET",
+    "l_word",
+    "l_membership",
+    "fooling_set",
+    "separating_suffix",
+    "verify_fooling_set",
+    "dfa_state_lower_bound",
+    "theorem31_construction",
+    "l_omega_lasso",
+    "l_omega_word",
+    "l_omega_membership_prefix",
+]

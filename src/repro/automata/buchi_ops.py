@@ -1,0 +1,92 @@
+"""Closure constructions for Büchi automata.
+
+The ω-regular languages are closed under union and intersection; these
+are the standard constructions, used by the tests to cross-check the
+timed-language closure operations of Theorem 3.3 against their
+finite-state shadows:
+
+* **union** — disjoint sum with a fresh initial state (λ-free version:
+  nondeterministic branch on the first symbol);
+* **intersection** — the 2-track product: a run must visit F₁ on track
+  1 and later F₂ on track 2 infinitely often; the track bit flips on
+  the respective visits, and acceptance is "track flips infinitely
+  often" (accepting set = flips at track 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from .omega import BuchiAutomaton
+
+__all__ = ["buchi_union", "buchi_intersection"]
+
+
+def buchi_union(a: BuchiAutomaton, b: BuchiAutomaton) -> BuchiAutomaton:
+    """L(A) ∪ L(B) via disjoint sum with a duplicated start.
+
+    States are tagged ("A", s) / ("B", s); a fresh initial state
+    carries copies of both originals' initial transitions, so the
+    nondeterministic choice of branch happens on the first symbol.
+    """
+    init = ("∪", "init")
+    states: List[Any] = [init]
+    states += [("A", s) for s in a.states]
+    states += [("B", s) for s in b.states]
+    transitions: List[Tuple[Any, Any, Any]] = []
+    for t in a.transitions:
+        transitions.append((("A", t.source), ("A", t.target), t.symbol))
+        if t.source == a.initial:
+            transitions.append((init, ("A", t.target), t.symbol))
+    for t in b.transitions:
+        transitions.append((("B", t.source), ("B", t.target), t.symbol))
+        if t.source == b.initial:
+            transitions.append((init, ("B", t.target), t.symbol))
+    accepting = [("A", s) for s in a.accepting] + [("B", s) for s in b.accepting]
+    return BuchiAutomaton(
+        a.alphabet | b.alphabet, states, init, transitions, accepting
+    )
+
+
+def buchi_intersection(a: BuchiAutomaton, b: BuchiAutomaton) -> BuchiAutomaton:
+    """L(A) ∩ L(B) via the 2-track product construction.
+
+    State (s, q, track): track 1 waits for an F₁ visit, track 2 for an
+    F₂ visit; visiting flips the track.  inf(r) meets both F₁ and F₂
+    iff the run passes the 1→2 flip infinitely often, so the accepting
+    set is the {(s, q, 2) with q ∈ F₂} states (equivalently the flip
+    points; this choice keeps the construction standard).
+    """
+    alphabet = a.alphabet & b.alphabet
+    states = [
+        (s, q, track)
+        for s in a.states
+        for q in b.states
+        for track in (1, 2)
+    ]
+    transitions: List[Tuple[Any, Any, Any]] = []
+    for ta in a.transitions:
+        if ta.symbol not in alphabet:
+            continue
+        for tb in b.transitions:
+            if tb.symbol != ta.symbol:
+                continue
+            for track in (1, 2):
+                # source-based flip: leaving a watched accepting state
+                # hands the watch to the other track, so states
+                # (·, q ∈ F₂, 2) are actually entered and dwelt in —
+                # the run visits them infinitely often iff it visits
+                # F₁ and F₂ infinitely often.
+                if track == 1 and ta.source in a.accepting:
+                    nxt = 2
+                elif track == 2 and tb.source in b.accepting:
+                    nxt = 1
+                else:
+                    nxt = track
+                transitions.append(
+                    ((ta.source, tb.source, track), (ta.target, tb.target, nxt), ta.symbol)
+                )
+    accepting = [(s, q, 2) for s in a.states for q in b.accepting]
+    return BuchiAutomaton(
+        alphabet, states, (a.initial, b.initial, 1), transitions, accepting
+    )

@@ -1,0 +1,193 @@
+"""General finite automata — the Section 2 preliminaries.
+
+A general finite automaton is A = (Σ, S, s₀, δ, F) with δ ⊆ S × S × Σ
+(the paper writes the relation with the *target* state second).  We
+support nondeterminism and λ-transitions, because the Theorem 3.1 proof
+constructs an automaton A′ with "λ-transitions from s′ to each state in
+S₁"; everything needed to *execute* that proof is here: runs, subset
+construction, product, complement, emptiness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["FiniteAutomaton", "Transition", "LAMBDA"]
+
+#: The empty-word label for λ-transitions (Theorem 3.1 construction).
+LAMBDA = object()
+
+State = Any
+Symbol = Any
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One element (s, s′, a) of the transition relation δ."""
+
+    source: State
+    target: State
+    symbol: Symbol
+
+
+class FiniteAutomaton:
+    """A (nondeterministic) finite automaton with optional λ-moves.
+
+    The acceptance condition is the paper's: after consuming the whole
+    (finite) input, the automaton is in a state from F.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        transitions: Iterable[Tuple[State, State, Symbol]],
+        accepting: Iterable[State],
+    ):
+        self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self.states: FrozenSet[State] = frozenset(states)
+        self.initial: State = initial
+        self.accepting: FrozenSet[State] = frozenset(accepting)
+        self.transitions: List[Transition] = [Transition(s, t, a) for s, t, a in transitions]
+        if initial not in self.states:
+            raise ValueError(f"initial state {initial!r} not in state set")
+        if not self.accepting <= self.states:
+            raise ValueError("accepting states must be a subset of the state set")
+        for tr in self.transitions:
+            if tr.source not in self.states or tr.target not in self.states:
+                raise ValueError(f"transition {tr} uses unknown states")
+            if tr.symbol is not LAMBDA and tr.symbol not in self.alphabet:
+                raise ValueError(f"transition {tr} uses unknown symbol")
+        # successor index: (state, symbol) -> set of targets
+        self._succ: Dict[Tuple[State, Symbol], Set[State]] = {}
+        self._lambda: Dict[State, Set[State]] = {}
+        for tr in self.transitions:
+            if tr.symbol is LAMBDA:
+                self._lambda.setdefault(tr.source, set()).add(tr.target)
+            else:
+                self._succ.setdefault((tr.source, tr.symbol), set()).add(tr.target)
+
+    # -- execution ------------------------------------------------------
+    def lambda_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """States reachable by λ-moves alone."""
+        seen: Set[State] = set(states)
+        frontier = deque(seen)
+        while frontier:
+            s = frontier.popleft()
+            for t in self._lambda.get(s, ()):
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> FrozenSet[State]:
+        """One subset-construction step (with λ-closure on both sides)."""
+        out: Set[State] = set()
+        for s in self.lambda_closure(states):
+            out |= self._succ.get((s, symbol), set())
+        return self.lambda_closure(out)
+
+    def run(self, word: Sequence[Symbol]) -> List[FrozenSet[State]]:
+        """The sequence of reachable-state sets along ``word``."""
+        current = self.lambda_closure({self.initial})
+        trace = [current]
+        for a in word:
+            current = self.step(current, a)
+            trace.append(current)
+        return trace
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Paper acceptance: some reachable end state lies in F."""
+        return bool(self.run(word)[-1] & self.accepting)
+
+    # -- constructions --------------------------------------------------------
+    def determinize(self) -> "FiniteAutomaton":
+        """Subset construction; state names are frozensets of states."""
+        start = self.lambda_closure({self.initial})
+        states: Set[FrozenSet[State]] = {start}
+        transitions: List[Tuple[FrozenSet[State], FrozenSet[State], Symbol]] = []
+        frontier = deque([start])
+        while frontier:
+            cur = frontier.popleft()
+            for a in self.alphabet:
+                nxt = self.step(cur, a)
+                transitions.append((cur, nxt, a))
+                if nxt not in states:
+                    states.add(nxt)
+                    frontier.append(nxt)
+        accepting = {s for s in states if s & self.accepting}
+        return FiniteAutomaton(self.alphabet, states, start, transitions, accepting)
+
+    def complement(self) -> "FiniteAutomaton":
+        """Complement (determinize, then flip F).  Total by construction."""
+        dfa = self.determinize()
+        return FiniteAutomaton(
+            dfa.alphabet,
+            dfa.states,
+            dfa.initial,
+            [(t.source, t.target, t.symbol) for t in dfa.transitions],
+            dfa.states - dfa.accepting,
+        )
+
+    def product(self, other: "FiniteAutomaton") -> "FiniteAutomaton":
+        """Synchronous product; accepts the intersection (λ-free only)."""
+        if self._lambda or other._lambda:
+            raise ValueError("product of automata with λ-moves is not supported")
+        alphabet = self.alphabet & other.alphabet
+        states = {(s, q) for s in self.states for q in other.states}
+        transitions = [
+            ((t1.source, t2.source), (t1.target, t2.target), t1.symbol)
+            for t1 in self.transitions
+            for t2 in other.transitions
+            if t1.symbol == t2.symbol and t1.symbol in alphabet
+        ]
+        accepting = {(s, q) for s in self.accepting for q in other.accepting}
+        return FiniteAutomaton(
+            alphabet, states, (self.initial, other.initial), transitions, accepting
+        )
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from the initial state (any labels)."""
+        seen: Set[State] = set(self.lambda_closure({self.initial}))
+        frontier = deque(seen)
+        adj: Dict[State, Set[State]] = {}
+        for tr in self.transitions:
+            adj.setdefault(tr.source, set()).add(tr.target)
+        while frontier:
+            s = frontier.popleft()
+            for t in adj.get(s, ()):
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+        return frozenset(seen)
+
+    def is_empty(self) -> bool:
+        """Does the automaton accept no word at all?"""
+        return not (self.reachable_states() & self.accepting)
+
+    def shortest_accepted(self, max_len: int = 32) -> Optional[List[Symbol]]:
+        """BFS for a shortest accepted word (None if none ≤ max_len)."""
+        start = self.lambda_closure({self.initial})
+        seen = {start}
+        frontier: deque = deque([(start, [])])
+        while frontier:
+            cur, word = frontier.popleft()
+            if cur & self.accepting:
+                return word
+            if len(word) >= max_len:
+                continue
+            for a in sorted(self.alphabet, key=repr):
+                nxt = self.step(cur, a)
+                if nxt and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, word + [a]))
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FiniteAutomaton(|S|={len(self.states)}, |Σ|={len(self.alphabet)}, "
+            f"|δ|={len(self.transitions)}, |F|={len(self.accepting)})"
+        )

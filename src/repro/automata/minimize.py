@@ -1,0 +1,145 @@
+"""DFA minimization (Moore's algorithm) and the bounded-L experiment.
+
+Moore/Hopcroft-style partition refinement on complete DFAs.  The
+Theorem 3.1 payoff: the *bounded* languages
+
+    L_X = { aᵘ bˣ cᵛ dˣ | u, v > 0, 1 ≤ x ≤ X }
+
+are regular for each X (bounded counting), but their minimal DFAs grow
+linearly with X — measuring that growth is a second, fully mechanical
+witness that L = ∪_X L_X has no finite acceptor (complementing the
+fooling-set certificate in :mod:`repro.automata.regularity`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from .fa import FiniteAutomaton
+
+__all__ = ["minimize_dfa", "bounded_l_dfa", "minimal_states_for_bounded_l"]
+
+
+def _as_complete_dfa(fa: FiniteAutomaton) -> Tuple[Dict[Tuple[Any, Any], Any], Any, Set[Any], List[Any]]:
+    """Extract a total transition function (determinize if needed)."""
+    dfa = fa.determinize()
+    delta: Dict[Tuple[Any, Any], Any] = {}
+    for t in dfa.transitions:
+        key = (t.source, t.symbol)
+        if key in delta and delta[key] != t.target:
+            raise ValueError("determinize() produced a nondeterministic table")
+        delta[key] = t.target
+    return delta, dfa.initial, set(dfa.accepting), sorted(dfa.states, key=repr)
+
+
+def minimize_dfa(fa: FiniteAutomaton) -> FiniteAutomaton:
+    """The minimal DFA for L(fa) (unreachable states dropped, Moore
+    partition refinement, classes renamed to ints)."""
+    delta, initial, accepting, _states = _as_complete_dfa(fa)
+    alphabet = sorted(fa.alphabet, key=repr)
+
+    # reachable states only
+    reachable: Set[Any] = {initial}
+    frontier = [initial]
+    while frontier:
+        s = frontier.pop()
+        for a in alphabet:
+            t = delta[(s, a)]
+            if t not in reachable:
+                reachable.add(t)
+                frontier.append(t)
+
+    # Moore refinement
+    partition: Dict[Any, int] = {
+        s: (1 if s in accepting else 0) for s in reachable
+    }
+    while True:
+        signatures: Dict[Any, Tuple] = {}
+        for s in reachable:
+            signatures[s] = (
+                partition[s],
+                tuple(partition[delta[(s, a)]] for a in alphabet),
+            )
+        renumber: Dict[Tuple, int] = {}
+        new_partition: Dict[Any, int] = {}
+        for s in sorted(reachable, key=repr):
+            sig = signatures[s]
+            if sig not in renumber:
+                renumber[sig] = len(renumber)
+            new_partition[s] = renumber[sig]
+        if new_partition == partition or len(set(new_partition.values())) == len(
+            set(partition.values())
+        ):
+            partition = new_partition
+            break
+        partition = new_partition
+
+    classes = sorted(set(partition.values()))
+    transitions = []
+    seen: Set[Tuple[int, int, Any]] = set()
+    for s in reachable:
+        for a in alphabet:
+            edge = (partition[s], partition[delta[(s, a)]], a)
+            if edge not in seen:
+                seen.add(edge)
+                transitions.append(edge)
+    return FiniteAutomaton(
+        alphabet=fa.alphabet,
+        states=classes,
+        initial=partition[initial],
+        transitions=transitions,
+        accepting={partition[s] for s in reachable if s in accepting},
+    )
+
+
+def bounded_l_dfa(x_max: int) -> FiniteAutomaton:
+    """A (non-minimal) complete DFA for L_X = {aᵘ bˣ cᵛ dˣ | x ≤ X}.
+
+    States: phase machine with a counted b-run and a counted-down
+    d-run; a sink absorbs every violation.
+    """
+    if x_max < 1:
+        raise ValueError("x_max must be ≥ 1")
+    states: List[Any] = ["start", "in_a", "sink"]
+    states += [("in_b", x) for x in range(1, x_max + 1)]
+    states += [("in_c", x) for x in range(1, x_max + 1)]
+    states += [("in_d", x, r) for x in range(1, x_max + 1) for r in range(0, x + 1)]
+
+    delta: Dict[Tuple[Any, str], Any] = {}
+
+    def to(s: Any, a: str, t: Any) -> None:
+        delta[(s, a)] = t
+
+    for a in "abcd":
+        to("sink", a, "sink")
+    to("start", "a", "in_a")
+    for a in "bcd":
+        to("start", a, "sink")
+    to("in_a", "a", "in_a")
+    to("in_a", "b", ("in_b", 1))
+    for a in "cd":
+        to("in_a", a, "sink")
+    for x in range(1, x_max + 1):
+        nb = ("in_b", x + 1) if x < x_max else "sink"
+        to(("in_b", x), "b", nb)
+        to(("in_b", x), "c", ("in_c", x))
+        to(("in_b", x), "a", "sink")
+        to(("in_b", x), "d", "sink")
+        to(("in_c", x), "c", ("in_c", x))
+        to(("in_c", x), "d", ("in_d", x, x - 1))
+        to(("in_c", x), "a", "sink")
+        to(("in_c", x), "b", "sink")
+        for r in range(0, x + 1):
+            s = ("in_d", x, r)
+            to(s, "d", ("in_d", x, r - 1) if r >= 1 else "sink")
+            for a in "abc":
+                to(s, a, "sink")
+
+    transitions = [(s, t, a) for (s, a), t in delta.items()]
+    accepting = [("in_d", x, 0) for x in range(1, x_max + 1)]
+    return FiniteAutomaton("abcd", states, "start", transitions, accepting)
+
+
+def minimal_states_for_bounded_l(x_max: int) -> int:
+    """|minimal DFA for L_X| — the growth curve of the E3 extension."""
+    return len(minimize_dfa(bounded_l_dfa(x_max)).states)

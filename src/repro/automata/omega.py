@@ -1,0 +1,239 @@
+"""ω-automata: Büchi and Muller acceptance (Section 2.1).
+
+An ω-automaton is a finite automaton whose acceptance condition is
+adapted to infinite words.  For a run r, ``inf(r)`` is the set of
+states visited infinitely often:
+
+* **Büchi**: r accepts iff inf(r) ∩ F ≠ ∅;
+* **Muller**: r accepts iff inf(r) ∈ 𝓕 for an acceptance family
+  𝓕 ⊆ 2^S.
+
+Executable acceptance is provided for *ultimately periodic* (lasso)
+words u·vω — exactly the class our constructions produce:
+
+* nondeterministic Büchi acceptance of u·vω is decided on the product
+  graph S × positions(v): the word is accepted iff some configuration
+  (q, p) reachable after u lies on a cycle through an accepting state;
+* Muller acceptance is decided for deterministic automata by running
+  until the (state, position) configuration repeats and collecting the
+  states inside the cycle (that set *is* inf(r)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .fa import FiniteAutomaton
+
+__all__ = ["BuchiAutomaton", "MullerAutomaton", "LassoWord"]
+
+State = Any
+Symbol = Any
+
+
+class LassoWord:
+    """An ultimately periodic ω-word u·vω over plain symbols."""
+
+    def __init__(self, stem: Sequence[Symbol], cycle: Sequence[Symbol]):
+        if not cycle:
+            raise ValueError("lasso cycle must be non-empty")
+        self.stem: Tuple[Symbol, ...] = tuple(stem)
+        self.cycle: Tuple[Symbol, ...] = tuple(cycle)
+
+    def __getitem__(self, i: int) -> Symbol:
+        if i < len(self.stem):
+            return self.stem[i]
+        return self.cycle[(i - len(self.stem)) % len(self.cycle)]
+
+    def take(self, n: int) -> List[Symbol]:
+        return [self[i] for i in range(n)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LassoWord({''.join(map(str, self.stem))}({''.join(map(str, self.cycle))})^ω)"
+
+
+class BuchiAutomaton(FiniteAutomaton):
+    """Büchi automaton: F-states must recur infinitely often."""
+
+    def accepts_lasso(self, word: LassoWord) -> bool:
+        """Does some run over u·vω visit F infinitely often?
+
+        Configurations are (state, position-in-cycle).  After consuming
+        the stem we search, for every reachable configuration, for a
+        cycle in the configuration graph that goes through an accepting
+        state.  Such a cycle yields a run with inf(r) ∩ F ≠ ∅, and any
+        accepting run eventually stays inside such a cycle.
+        """
+        if self._lambda:
+            raise ValueError("Büchi lasso acceptance requires a λ-free automaton")
+        k = len(word.cycle)
+        # 1. configurations reachable after the stem, at cycle position 0
+        current: Set[State] = {self.initial}
+        for a in word.stem:
+            current = {
+                t.target
+                for t in self.transitions
+                if t.source in current and t.symbol == a
+            }
+            if not current:
+                return False
+        start_confs = {(s, 0) for s in current}
+        # 2. configuration graph over one cycle unrolling
+        def conf_succ(conf: Tuple[State, int]) -> Iterable[Tuple[State, int]]:
+            s, p = conf
+            a = word.cycle[p]
+            for t in self.transitions:
+                if t.source == s and t.symbol == a:
+                    yield (t.target, (p + 1) % k)
+
+        # reachable configurations from the stem
+        reach: Set[Tuple[State, int]] = set(start_confs)
+        frontier = deque(start_confs)
+        while frontier:
+            c = frontier.popleft()
+            for n in conf_succ(c):
+                if n not in reach:
+                    reach.add(n)
+                    frontier.append(n)
+        # 3. look for a reachable configuration on a cycle through F
+        accepting_confs = {c for c in reach if c[0] in self.accepting}
+        for acc in accepting_confs:
+            # BFS from acc; if we can come back to acc the run loops
+            seen: Set[Tuple[State, int]] = set()
+            q = deque(conf_succ(acc))
+            found = False
+            while q:
+                c = q.popleft()
+                if c == acc:
+                    found = True
+                    break
+                if c in seen:
+                    continue
+                seen.add(c)
+                q.extend(conf_succ(c))
+            if found:
+                return True
+        return False
+
+    def is_empty_language(self) -> bool:
+        """Is L(A) = ∅?  (No reachable accepting state on a cycle.)"""
+        if self._lambda:
+            raise ValueError("emptiness requires a λ-free automaton")
+        reach = self.reachable_states()
+        adj: Dict[State, Set[State]] = {}
+        for t in self.transitions:
+            if t.source in reach:
+                adj.setdefault(t.source, set()).add(t.target)
+        for f in self.accepting & reach:
+            seen: Set[State] = set()
+            q = deque(adj.get(f, ()))
+            while q:
+                s = q.popleft()
+                if s == f:
+                    return False
+                if s in seen:
+                    continue
+                seen.add(s)
+                q.extend(adj.get(s, ()))
+        return True
+
+    def find_accepted_lasso(self, max_stem: int = 64) -> Optional[LassoWord]:
+        """Construct some accepted u·vω, or None if L(A) = ∅."""
+        if self.is_empty_language():
+            return None
+        # BFS for a path s0 -> f and a cycle f -> f, recording symbols.
+        def bfs_path(src: State, dst: State, min_len: int) -> Optional[List[Symbol]]:
+            start: Tuple[State, Tuple[Symbol, ...]] = (src, ())
+            q = deque([start])
+            seen = {src} if min_len == 0 else set()
+            while q:
+                s, path = q.popleft()
+                if s == dst and len(path) >= min_len:
+                    return list(path)
+                if len(path) > max_stem:
+                    continue
+                for t in self.transitions:
+                    if t.source == s and (t.target not in seen):
+                        if min_len == 0:
+                            seen.add(t.target)
+                        q.append((t.target, path + (t.symbol,)))
+            return None
+
+        for f in self.accepting & self.reachable_states():
+            stem = bfs_path(self.initial, f, 0)
+            cyc = bfs_path(f, f, 1)
+            if stem is not None and cyc:
+                return LassoWord(stem, cyc)
+        return None
+
+
+class MullerAutomaton(FiniteAutomaton):
+    """Muller automaton: acceptance by a family 𝓕 ⊆ 2^S on inf(r)."""
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        transitions: Iterable[Tuple[State, State, Symbol]],
+        family: Iterable[Iterable[State]],
+    ):
+        super().__init__(alphabet, states, initial, transitions, accepting=[])
+        self.family: Set[FrozenSet[State]] = {frozenset(f) for f in family}
+
+    def is_deterministic(self) -> bool:
+        seen: Set[Tuple[State, Symbol]] = set()
+        for t in self.transitions:
+            key = (t.source, t.symbol)
+            if key in seen:
+                return False
+            seen.add(key)
+        return not self._lambda
+
+    def accepts_lasso(self, word: LassoWord) -> bool:
+        """Deterministic Muller acceptance of u·vω.
+
+        The deterministic run enters a configuration cycle within
+        |S|·|v| steps past the stem; the states inside that cycle are
+        exactly inf(r).
+        """
+        if not self.is_deterministic():
+            raise ValueError("Muller lasso acceptance implemented for deterministic automata")
+        succ: Dict[Tuple[State, Symbol], State] = {
+            (t.source, t.symbol): t.target for t in self.transitions
+        }
+        s = self.initial
+        for a in word.stem:
+            nxt = succ.get((s, a))
+            if nxt is None:
+                return False  # the unique run dies; no accepting run exists
+            s = nxt
+        k = len(word.cycle)
+        seen_at: Dict[Tuple[State, int], int] = {}
+        trail: List[State] = []
+        pos = 0
+        step = 0
+        while (s, pos) not in seen_at:
+            seen_at[(s, pos)] = step
+            trail.append(s)
+            a = word.cycle[pos]
+            nxt = succ.get((s, a))
+            if nxt is None:
+                return False
+            s = nxt
+            pos = (pos + 1) % k
+            step += 1
+        cycle_start = seen_at[(s, pos)]
+        inf_r = frozenset(trail[cycle_start:])
+        return inf_r in self.family

@@ -1,0 +1,203 @@
+"""Theorem 3.1 machinery: the non-ω-regular language L_ω.
+
+The paper exhibits L = {aᵘ bˣ cᵛ dˣ | u, x, v > 0} over Σ = {a,b,c,d}
+and L_ω = {l₁$l₂$l₃$… | lᵢ ∈ L}, and proves L_ω is not ω-regular by
+reducing any would-be Büchi acceptor of L_ω to a finite acceptor of L.
+The language "models a search into a database for a given key".
+
+Executable evidence (benchmark E3):
+
+* :func:`l_membership` — the decision procedure for L;
+* :func:`fooling_set` — the Myhill–Nerode witnesses
+  {a bˣ | 1 ≤ x ≤ N}: for x ≠ y the suffix ``c dˣ`` separates a bˣ
+  from a bʸ, so any DFA for L needs > N states, for every N — i.e. L
+  is not regular, constructively checked at any size;
+* :func:`verify_fooling_set` — checks pairwise separation using only
+  the membership oracle (what a reviewer would re-run);
+* :func:`theorem31_construction` — executes the proof's automaton
+  surgery: given a Büchi automaton B (a candidate acceptor of L_ω) and
+  an accepting run over a word x ∈ L_ω, build the finite automaton A′
+  (fresh initial state, λ-moves into S₁, accepting set S₂) and return
+  it, so tests can exhibit the contradiction on concrete B's;
+* :func:`l_omega_word` — lasso timed ω-words of L_ω for the timed
+  variant (Corollary 3.2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..words.timedword import TimedWord
+from .fa import LAMBDA, FiniteAutomaton
+from .omega import BuchiAutomaton, LassoWord
+
+__all__ = [
+    "ALPHABET",
+    "l_word",
+    "l_membership",
+    "fooling_set",
+    "separating_suffix",
+    "verify_fooling_set",
+    "theorem31_construction",
+    "l_omega_lasso",
+    "l_omega_word",
+    "dfa_state_lower_bound",
+]
+
+ALPHABET = ("a", "b", "c", "d")
+_L_RE = re.compile(r"^(a+)(b+)(c+)(d+)$")
+
+
+def l_word(u: int, x: int, v: int) -> str:
+    """The word aᵘ bˣ cᵛ dˣ ∈ L."""
+    if u <= 0 or x <= 0 or v <= 0:
+        raise ValueError("L requires u, x, v > 0")
+    return "a" * u + "b" * x + "c" * v + "d" * x
+
+
+def l_membership(word: str) -> bool:
+    """Decision procedure for L = {aᵘ bˣ cᵛ dˣ | u, x, v > 0}."""
+    m = _L_RE.match(word)
+    return bool(m) and len(m.group(2)) == len(m.group(4))
+
+
+# ----------------------------------------------------------------------
+# Myhill–Nerode / fooling-set evidence that L is not regular
+# ----------------------------------------------------------------------
+
+def fooling_set(n: int) -> List[str]:
+    """The prefixes {a bˣ | 1 ≤ x ≤ n}, pairwise L-inequivalent."""
+    return ["a" + "b" * x for x in range(1, n + 1)]
+
+
+def separating_suffix(p1: str, p2: str) -> Optional[str]:
+    """A suffix z with exactly one of p1·z, p2·z in L (None if equivalent).
+
+    For the fooling set, ``c d^{x₁}`` works: a bˣ¹ c dˣ¹ ∈ L while
+    a bˣ² c dˣ¹ ∉ L when x₂ ≠ x₁.
+    """
+    x1 = p1.count("b")
+    x2 = p2.count("b")
+    if x1 == x2:
+        return None
+    return "c" + "d" * x1
+
+
+def verify_fooling_set(n: int) -> bool:
+    """Check pairwise separation of the size-n fooling set via the
+    membership oracle alone (no appeal to the closed form)."""
+    prefixes = fooling_set(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            z = separating_suffix(prefixes[i], prefixes[j])
+            if z is None:
+                return False
+            if l_membership(prefixes[i] + z) == l_membership(prefixes[j] + z):
+                return False
+    return True
+
+
+def dfa_state_lower_bound(n: int) -> int:
+    """Any DFA for L has > n states, witnessed by the verified fooling
+    set.  Returns n after verification (raises on failure)."""
+    if not verify_fooling_set(n):
+        raise AssertionError(f"fooling set of size {n} failed verification")
+    return n
+
+
+# ----------------------------------------------------------------------
+# the Theorem 3.1 automaton surgery
+# ----------------------------------------------------------------------
+
+def theorem31_construction(
+    buchi: BuchiAutomaton, run_states: Sequence[object], word: LassoWord
+) -> FiniteAutomaton:
+    """Execute the proof of Theorem 3.1 on concrete data.
+
+    Given a Büchi automaton ``buchi`` (a candidate acceptor of L_ω), a
+    run ``run_states`` of it over the lasso word ``word`` (state i is
+    the state *after* reading symbol i; index 0 is s₀), build the
+    finite automaton A′ of the proof:
+
+    * S₁ = states immediately **after** parsing a ``$``;
+    * S₂ = states immediately **before** parsing a ``$``;
+    * A′ = fresh initial state s′ ∉ S, λ-moves s′ → S₁, accepting S₂,
+      transition relation unchanged.
+
+    The theorem's contradiction is that A′ would recognize L with
+    finitely many states.  Tests instantiate ``buchi`` with concrete
+    (necessarily wrong) candidates and observe A′ mis-deciding L.
+    """
+    horizon = len(run_states) - 1
+    s1: Set[object] = set()
+    s2: Set[object] = set()
+    for i in range(horizon):
+        if word[i] == "$":
+            s2.add(run_states[i])       # state immediately before the $
+            s1.add(run_states[i + 1])   # state immediately after the $
+    fresh = ("s'", object())  # guaranteed not in buchi.states
+    states = set(buchi.states) | {fresh}
+    transitions: List[Tuple[object, object, object]] = [
+        (t.source, t.target, t.symbol) for t in buchi.transitions
+    ]
+    transitions.extend((fresh, s, LAMBDA) for s in s1)
+    return FiniteAutomaton(
+        alphabet=buchi.alphabet - {"$"},
+        states=states,
+        initial=fresh,
+        transitions=[
+            (s, t, a)
+            for (s, t, a) in transitions
+            if a is LAMBDA or a != "$"
+        ],
+        accepting=s2,
+    )
+
+
+# ----------------------------------------------------------------------
+# L_ω words (and the timed variant of Corollary 3.2)
+# ----------------------------------------------------------------------
+
+def l_omega_lasso(blocks: Iterable[Tuple[int, int, int]], cycle_block: Tuple[int, int, int]) -> LassoWord:
+    """The ω-word l₁$l₂$…$(l_c$)ω with lᵢ given by (u, x, v) triples."""
+    stem: List[str] = []
+    for u, x, v in blocks:
+        stem.extend(l_word(u, x, v))
+        stem.append("$")
+    cu, cx, cv = cycle_block
+    cycle = list(l_word(cu, cx, cv)) + ["$"]
+    return LassoWord(stem, cycle)
+
+
+def l_omega_word(
+    blocks: Iterable[Tuple[int, int, int]],
+    cycle_block: Tuple[int, int, int],
+    period: int = 1,
+) -> TimedWord:
+    """Corollary 3.2: attach a time sequence to an L_ω word.
+
+    One symbol arrives per ``period`` chronons; the result is a
+    well-behaved lasso timed ω-word of the language L′_ω.
+    """
+    lasso = l_omega_lasso(blocks, cycle_block)
+    stem_pairs = [(s, i * period) for i, s in enumerate(lasso.stem)]
+    base = len(lasso.stem) * period
+    loop_pairs = [(s, base + j * period) for j, s in enumerate(lasso.cycle)]
+    return TimedWord.lasso(
+        prefix=stem_pairs, loop=loop_pairs, shift=len(lasso.cycle) * period
+    )
+
+
+def l_omega_membership_prefix(symbols: Sequence[str]) -> bool:
+    """Is the finite prefix consistent with membership in L_ω?
+
+    Every completed ``$``-delimited block must be in L, and the open
+    trailing block must be a prefix of some L word.
+    """
+    text = "".join(symbols)
+    parts = text.split("$")
+    closed, open_part = parts[:-1], parts[-1]
+    if any(not l_membership(p) for p in closed):
+        return False
+    return bool(re.match(r"^a*b*c*d*$", open_part)) if open_part else True

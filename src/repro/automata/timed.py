@@ -1,0 +1,234 @@
+"""Timed Büchi automata (TBA) — Section 2.1, after Alur & Dill [10].
+
+A TBA is A = (Σ, S, s₀, δ, C, F) with δ ⊆ S × S × Σ × 2^C × Φ(C).  A
+transition (s, s′, a, l, d) is enabled when the guard d holds of the
+clock valuation *advanced to the current input's timestamp* (the paper:
+"(ν_{i−1} + τ_i − τ_{i−1}) satisfies d_i"); the clocks in l are then
+reset.  Acceptance is Büchi on the run's states.
+
+Decidability note
+-----------------
+The paper (and this reproduction) uses **discrete** time.  With integer
+clocks and guards comparing against integer constants, two valuations
+agreeing on min(value, cmax+1) for every clock satisfy exactly the same
+guards forever (cmax = largest constant in any guard) — the discrete
+degenerate case of the Alur–Dill region construction.  Capping clock
+values at cmax+1 therefore makes the configuration space finite, and
+acceptance of lasso timed words is decided by cycle search on the
+finite graph of (state, capped valuation, loop position) — the same
+shape as :meth:`BuchiAutomaton.accepts_lasso`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..kernel.clock import And, ClockConstraint, Ge, Le, Not, TrueConstraint
+from ..words.timedword import TimedWord
+
+__all__ = ["TimedTransition", "TimedBuchiAutomaton", "max_constant"]
+
+State = Any
+Symbol = Any
+
+
+@dataclass(frozen=True)
+class TimedTransition:
+    """(s, s′, a, l, d): source, target, symbol, reset set, guard."""
+
+    source: State
+    target: State
+    symbol: Symbol
+    resets: FrozenSet[str]
+    guard: ClockConstraint
+
+    @staticmethod
+    def make(
+        source: State,
+        target: State,
+        symbol: Symbol,
+        resets: Iterable[str] = (),
+        guard: Optional[ClockConstraint] = None,
+    ) -> "TimedTransition":
+        return TimedTransition(
+            source, target, symbol, frozenset(resets), guard or TrueConstraint()
+        )
+
+
+def max_constant(guard: ClockConstraint) -> int:
+    """Largest constant compared against in a Φ(X) constraint."""
+    if isinstance(guard, (Le, Ge)):
+        return int(guard.bound)
+    if isinstance(guard, Not):
+        return max_constant(guard.inner)
+    if isinstance(guard, And):
+        return max(max_constant(guard.left), max_constant(guard.right))
+    return 0
+
+
+class TimedBuchiAutomaton:
+    """A timed Büchi automaton over discrete time."""
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        transitions: Iterable[TimedTransition],
+        clocks: Iterable[str],
+        accepting: Iterable[State],
+    ):
+        self.alphabet = frozenset(alphabet)
+        self.states = frozenset(states)
+        self.initial = initial
+        self.clocks = tuple(sorted(set(clocks)))
+        self.transitions: List[TimedTransition] = list(transitions)
+        self.accepting = frozenset(accepting)
+        for tr in self.transitions:
+            if tr.source not in self.states or tr.target not in self.states:
+                raise ValueError(f"transition {tr} uses unknown states")
+            if tr.symbol not in self.alphabet:
+                raise ValueError(f"transition {tr} uses unknown symbol {tr.symbol!r}")
+            unknown = tr.resets - set(self.clocks)
+            if unknown:
+                raise ValueError(f"transition {tr} resets unknown clocks {unknown}")
+            unknown = tr.guard.clocks() - set(self.clocks)
+            if unknown:
+                raise ValueError(f"guard of {tr} reads unknown clocks {unknown}")
+        self._cmax = max(
+            (max_constant(tr.guard) for tr in self.transitions), default=0
+        )
+        self._by_source: Dict[Tuple[State, Symbol], List[TimedTransition]] = {}
+        for tr in self.transitions:
+            self._by_source.setdefault((tr.source, tr.symbol), []).append(tr)
+
+    # -- run machinery ----------------------------------------------------
+    def _cap(self, value: int) -> int:
+        """Region abstraction for discrete time: values past cmax merge."""
+        return min(value, self._cmax + 1)
+
+    def _initial_config(self) -> Tuple[State, Tuple[int, ...]]:
+        return (self.initial, tuple(0 for _ in self.clocks))
+
+    def _step_configs(
+        self,
+        configs: Set[Tuple[State, Tuple[int, ...]]],
+        symbol: Symbol,
+        gap: int,
+        capped: bool = True,
+    ) -> Set[Tuple[State, Tuple[int, ...]]]:
+        """All successor configurations on reading (symbol, +gap)."""
+        out: Set[Tuple[State, Tuple[int, ...]]] = set()
+        for state, vals in configs:
+            advanced = {
+                c: (self._cap(v + gap) if capped else v + gap)
+                for c, v in zip(self.clocks, vals)
+            }
+            for tr in self._by_source.get((state, symbol), ()):
+                if not tr.guard.evaluate(advanced):
+                    continue
+                nxt = tuple(
+                    0 if c in tr.resets else advanced[c] for c in self.clocks
+                )
+                out.add((tr.target, nxt))
+        return out
+
+    def configs_after_prefix(
+        self, word: TimedWord, n: int, capped: bool = True
+    ) -> Set[Tuple[State, Tuple[int, ...]]]:
+        """Reachable (state, valuation) set after the first n pairs."""
+        configs = {self._initial_config()}
+        prev_t = 0
+        for i in range(n):
+            s, t = word[i]
+            configs = self._step_configs(configs, s, t - prev_t, capped=capped)
+            prev_t = t
+            if not configs:
+                break
+        return configs
+
+    def has_run_over_prefix(self, word: TimedWord, n: int) -> bool:
+        """Is there any run of the TBA over the first n pairs?"""
+        return bool(self.configs_after_prefix(word, n))
+
+    # -- Büchi acceptance on lasso timed words --------------------------------
+    def accepts_lasso(self, word: TimedWord) -> bool:
+        """Büchi acceptance of a lasso timed word, decided exactly.
+
+        Requires ``word`` to be in lasso form.  Works on configurations
+        (state, capped valuation, loop position); per the module
+        docstring the capping is exact for integer time, so acceptance
+        ⟺ some reachable configuration lies on a configuration cycle
+        through an accepting state.
+
+        For shift-0 lassos the per-step gaps are eventually all zero,
+        which the same construction handles (the gap sequence is
+        periodic either way).
+        """
+        if word.fn is not None or word.is_finite:
+            raise ValueError("accepts_lasso needs a lasso TimedWord")
+        k = len(word.loop)
+        p0 = len(word.prefix)
+
+        # gap entering loop position j (from the previous pair)
+        def loop_gap(j: int) -> int:
+            idx = p0 + k + j  # use the 2nd iteration so the previous pair exists
+            return word.time_at(idx) - word.time_at(idx - 1)
+
+        gaps = [loop_gap(j) for j in range(k)]
+
+        # configurations after the prefix AND one full loop iteration
+        # (so that every subsequent step uses the periodic gap pattern)
+        start_confs = {
+            (s, v, 0)
+            for (s, v) in self.configs_after_prefix(word, p0 + k)
+        }
+        if not start_confs:
+            return False
+
+        def succ(conf: Tuple[State, Tuple[int, ...], int]):
+            state, vals, pos = conf
+            symbol = word.loop[pos][0]
+            nxt_set = self._step_configs({(state, vals)}, symbol, gaps[pos])
+            np = (pos + 1) % k
+            for s2, v2 in nxt_set:
+                yield (s2, v2, np)
+
+        reach: Set[Tuple[State, Tuple[int, ...], int]] = set(start_confs)
+        frontier = deque(start_confs)
+        while frontier:
+            c = frontier.popleft()
+            for nxt in succ(c):
+                if nxt not in reach:
+                    reach.add(nxt)
+                    frontier.append(nxt)
+
+        for acc in (c for c in reach if c[0] in self.accepting):
+            seen: Set[Tuple[State, Tuple[int, ...], int]] = set()
+            q = deque(succ(acc))
+            while q:
+                c = q.popleft()
+                if c == acc:
+                    return True
+                if c in seen:
+                    continue
+                seen.add(c)
+                q.extend(succ(c))
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TimedBuchiAutomaton(|S|={len(self.states)}, |C|={len(self.clocks)}, "
+            f"|δ|={len(self.transitions)}, cmax={self._cmax})"
+        )

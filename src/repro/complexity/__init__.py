@@ -1,0 +1,37 @@
+"""The rt-complexity programme — Sections 3.2 and 7."""
+
+from .accounting import SpaceCurve, classify_growth, measure_space_curve
+from .classes import (
+    CONST,
+    LINSPACE,
+    LOGSPACE,
+    POLYSPACE,
+    MembershipEvidence,
+    ResourceBound,
+    rt_space_membership,
+)
+from .hierarchy import (
+    StreamEchoResult,
+    hierarchy_matrix,
+    predicted_first_miss,
+    run_stream_echo,
+    stream_word,
+)
+
+__all__ = [
+    "ResourceBound",
+    "CONST",
+    "LOGSPACE",
+    "LINSPACE",
+    "POLYSPACE",
+    "MembershipEvidence",
+    "rt_space_membership",
+    "StreamEchoResult",
+    "stream_word",
+    "run_stream_echo",
+    "hierarchy_matrix",
+    "predicted_first_miss",
+    "SpaceCurve",
+    "measure_space_curve",
+    "classify_growth",
+]

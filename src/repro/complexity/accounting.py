@@ -1,0 +1,86 @@
+"""Resource accounting helpers for the rt-classes experiments.
+
+:func:`measure_space_curve` sweeps an instance generator over sizes and
+records the acceptor's peak working storage; :func:`classify_growth`
+does a crude-but-honest growth-rate classification (constant /
+logarithmic / linear / superlinear) by least-squares fits on
+transformed axes — enough to label a measured curve with the matching
+rt-SPACE class in reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..machine.rtalgorithm import RealTimeAlgorithm
+from ..words.timedword import TimedWord
+
+__all__ = ["SpaceCurve", "measure_space_curve", "classify_growth"]
+
+
+@dataclass
+class SpaceCurve:
+    sizes: List[int]
+    peaks: List[int]
+    label: str
+
+    def points(self) -> List[Tuple[int, int]]:
+        return list(zip(self.sizes, self.peaks))
+
+
+def measure_space_curve(
+    acceptor_factory: Callable[[], RealTimeAlgorithm],
+    instance_for: Callable[[int], TimedWord],
+    sizes: Sequence[int],
+    horizon: int = 50_000,
+) -> SpaceCurve:
+    """Peak working-storage cells as a function of instance size."""
+    peaks: List[int] = []
+    for n in sizes:
+        acceptor = acceptor_factory()
+        report = acceptor.decide(instance_for(n), horizon=horizon)
+        peaks.append(report.space_peak)
+    curve = SpaceCurve(sizes=list(sizes), peaks=peaks, label="")
+    curve.label = classify_growth(curve.sizes, curve.peaks)
+    return curve
+
+
+def _residual(xs: List[float], ys: List[float]) -> float:
+    """Least-squares residual of y ≈ a·x + b."""
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        return sum((y - my) ** 2 for y in ys)
+    a = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+    b = my - a * mx
+    return sum((y - (a * x + b)) ** 2 for x, y in zip(xs, ys))
+
+
+def classify_growth(sizes: Sequence[int], values: Sequence[int]) -> str:
+    """Label a measured curve: constant / O(log n) / O(n) / superlinear.
+
+    Picks the transform under which a linear fit has the smallest
+    normalized residual; constant wins when the values barely move.
+    """
+    if len(sizes) < 3:
+        return "insufficient data"
+    ys = [float(v) for v in values]
+    spread = max(ys) - min(ys)
+    if spread <= 2:
+        return "O(1)"
+    xs_lin = [float(n) for n in sizes]
+    xs_log = [math.log2(n + 2) for n in sizes]
+    norm = sum(y * y for y in ys) or 1.0
+    fits = {
+        "O(log n)": _residual(xs_log, ys) / norm,
+        "O(n)": _residual(xs_lin, ys) / norm,
+    }
+    # superlinear: y/x still growing strongly
+    ratios = [y / x for x, y in zip(xs_lin, ys)]
+    if ratios[-1] > 2.0 * max(ratios[0], 1e-9):
+        return "superlinear"
+    return min(fits, key=fits.get)  # type: ignore[arg-type]

@@ -1,0 +1,119 @@
+"""Real-time complexity classes — the Section 3.2 / Section 7 programme.
+
+The paper proposes resource-bounded classes of well-behaved timed
+ω-languages, prefixed "rt-": rt-SPACE(f) (working storage bounded by
+f of the input size) and rt-PROC(f) (number of processors bounded by
+f), with the usual derived classes (rt-LOGSPACE, rt-PSPACE,
+rt-LOGPROC, rt-PPROC, …).
+
+No complexity class is "executable" as such; what is executable — and
+what this module provides — is *certified membership on instance
+families*: run an acceptor under a hard resource meter across a sweep
+of instance sizes and check that (a) every decision matches the
+language oracle and (b) the meter never trips.  That is exactly the
+evidence the E13/E14 experiments report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..machine.rtalgorithm import (
+    RealTimeAlgorithm,
+    SpaceLimitExceeded,
+    )
+from ..words.timedword import TimedWord
+
+__all__ = [
+    "ResourceBound",
+    "LOGSPACE",
+    "LINSPACE",
+    "POLYSPACE",
+    "CONST",
+    "MembershipEvidence",
+    "rt_space_membership",
+]
+
+
+@dataclass(frozen=True)
+class ResourceBound:
+    """A named bound f : input size → allowed resource units."""
+
+    name: str
+    fn: Callable[[int], int]
+
+    def __call__(self, n: int) -> int:
+        return max(1, int(self.fn(n)))
+
+
+#: Standard bounds for the derived classes.
+CONST = ResourceBound("O(1)", lambda n: 16)
+LOGSPACE = ResourceBound("O(log n)", lambda n: 4 * max(1, math.ceil(math.log2(n + 2))))
+LINSPACE = ResourceBound("O(n)", lambda n: 4 * (n + 1))
+POLYSPACE = ResourceBound("O(n^2)", lambda n: 4 * (n + 1) ** 2)
+
+
+@dataclass
+class MembershipEvidence:
+    """Outcome of a certified-membership sweep."""
+
+    bound: str
+    sizes: List[int]
+    peaks: List[int]
+    limits: List[int]
+    decisions_correct: bool
+    within_bound: bool
+    failures: List[str]
+
+    @property
+    def holds(self) -> bool:
+        return self.decisions_correct and self.within_bound
+
+
+def rt_space_membership(
+    acceptor_factory: Callable[[], RealTimeAlgorithm],
+    instances: Sequence[Tuple[int, TimedWord, bool]],
+    bound: ResourceBound,
+    horizon: int = 50_000,
+) -> MembershipEvidence:
+    """Certify rt-SPACE(bound) membership on an instance family.
+
+    ``instances`` is a list of (size n, word, expected ∈ L).  For each,
+    the acceptor runs with ``space_limit = bound(n)``; evidence records
+    whether every decision matched and no space limit tripped.
+    """
+    sizes: List[int] = []
+    peaks: List[int] = []
+    limits: List[int] = []
+    failures: List[str] = []
+    decisions_ok = True
+    within = True
+    for n, word, expected in instances:
+        acceptor = acceptor_factory()
+        acceptor.space_limit = bound(n)
+        sizes.append(n)
+        limits.append(bound(n))
+        try:
+            report = acceptor.decide(word, horizon=horizon)
+        except SpaceLimitExceeded as exc:
+            within = False
+            peaks.append(bound(n) + 1)
+            failures.append(f"n={n}: {exc}")
+            continue
+        peaks.append(report.space_peak)
+        if report.accepted != expected:
+            decisions_ok = False
+            failures.append(
+                f"n={n}: decided {report.verdict.value}, expected {'∈' if expected else '∉'} L"
+            )
+    return MembershipEvidence(
+        bound=bound.name,
+        sizes=sizes,
+        peaks=peaks,
+        limits=limits,
+        decisions_correct=decisions_ok,
+        within_bound=within,
+        failures=failures,
+    )

@@ -1,0 +1,136 @@
+"""The rt-PROC hierarchy experiment — the Section 3.2 open question.
+
+"Given any number k of processors, is there a well-behaved timed
+ω-language that can be accepted by a k-processor real-time algorithm
+but cannot be accepted by a (k−1)-processor one?"
+
+The witness family executed here is the **k-stream echo language**
+L_k: the input delivers k symbols *every chronon* (one per stream),
+and acceptance requires each symbol to be processed within a fixed
+per-symbol deadline D.  One processor processes one symbol per chronon
+(the Definition 3.3 machine granularity), so:
+
+* p ≥ k processors keep every queue at O(1) and meet every deadline;
+* p ≤ k−1 processors fall behind at rate k−p symbols/chronon; the
+  backlog exceeds any deadline D after ≈ D·p/(k−p) chronons and the
+  run fails — for *every* D, i.e. for every (k−1)-processor machine on
+  this workload shape.
+
+This is experimental evidence (on this family, with this machine
+granularity), not a proof — exactly the status the paper assigns the
+question.  The E13 benchmark sweeps k and p and prints the
+success/failure matrix plus first-failure times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..words.timedword import TimedWord
+
+__all__ = ["StreamEchoResult", "stream_word", "run_stream_echo", "hierarchy_matrix"]
+
+
+def stream_word(k: int, horizon_hint: int = 0) -> TimedWord:
+    """The L_k input: k symbols per chronon, stream-tagged, forever.
+
+    A lasso word: loop = [(stream 1, t), …, (stream k, t)], shift 1 —
+    well-behaved by construction.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    loop = [((("s", j), 1)) for j in range(1, k + 1)]
+    return TimedWord.lasso(prefix=[], loop=loop, shift=1)
+
+
+@dataclass
+class StreamEchoResult:
+    """Outcome of one (k streams, p processors) run."""
+
+    k: int
+    p: int
+    deadline: int
+    horizon: int
+    success: bool
+    first_miss: Optional[int]
+    max_backlog: int
+    processed: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        s = "OK" if self.success else f"MISS@{self.first_miss}"
+        return f"StreamEcho(k={self.k}, p={self.p}, {s}, backlog≤{self.max_backlog})"
+
+
+def run_stream_echo(
+    k: int,
+    p: int,
+    deadline: int = 8,
+    horizon: int = 2_000,
+) -> StreamEchoResult:
+    """Simulate p unit-rate processors against the k-stream input.
+
+    Deterministic discrete simulation: each chronon k symbols arrive
+    (stamped with their arrival time); each of the p processors then
+    consumes one queued symbol.  A symbol not consumed within
+    ``deadline`` chronons of arrival is a miss (the real-time
+    requirement fails).
+    """
+    if k <= 0 or p <= 0:
+        raise ValueError("k and p must be positive")
+    queue: List[int] = []  # arrival times, FIFO
+    first_miss: Optional[int] = None
+    max_backlog = 0
+    processed = 0
+    for now in range(1, horizon + 1):
+        queue.extend([now] * k)
+        for _ in range(p):
+            if queue:
+                arrived = queue.pop(0)
+                processed += 1
+                if now - arrived > deadline and first_miss is None:
+                    first_miss = now
+        # any still-queued symbol past its deadline is also a miss
+        if first_miss is None and queue and now - queue[0] > deadline:
+            first_miss = now
+        max_backlog = max(max_backlog, len(queue))
+        if first_miss is not None:
+            break
+    return StreamEchoResult(
+        k=k,
+        p=p,
+        deadline=deadline,
+        horizon=horizon,
+        success=first_miss is None,
+        first_miss=first_miss,
+        max_backlog=max_backlog,
+        processed=processed,
+    )
+
+
+def hierarchy_matrix(
+    k_max: int, deadline: int = 8, horizon: int = 2_000
+) -> Dict[Tuple[int, int], StreamEchoResult]:
+    """The full (k, p) success matrix for k, p ≤ k_max.
+
+    The hierarchy evidence is the diagonal split: success ⟺ p ≥ k.
+    """
+    return {
+        (k, p): run_stream_echo(k, p, deadline=deadline, horizon=horizon)
+        for k in range(1, k_max + 1)
+        for p in range(1, k_max + 1)
+    }
+
+
+def predicted_first_miss(k: int, p: int, deadline: int) -> Optional[int]:
+    """Closed-form first-miss time for p < k.
+
+    Symbol i (arrival order) arrives at chronon ≈ i/k and is processed
+    at ≈ i/p, so its wait is i·(k−p)/(k·p); the first miss is the first
+    symbol with wait > D, i.e. i* ≈ D·k·p/(k−p), processed at chronon
+    t* = i*/p + 2 = D·k/(k−p) + 2 (the +2 covers the arrive-then-serve
+    phases of the discrete loop).  None when p ≥ k (no miss ever).
+    """
+    if p >= k:
+        return None
+    return max(1, (deadline * k) // (k - p) + 2)

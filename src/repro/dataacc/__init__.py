@@ -1,0 +1,70 @@
+"""The data-accumulating paradigm — Section 4.2 of the paper."""
+
+from .arrival import ArrivalLaw, PolynomialArrivalLaw, arrival_schedule, termination_time
+from .calgorithm import (
+    Correction,
+    CorrectingSolver,
+    CorrectingSortSolver,
+    CRunResult,
+    run_calgorithm,
+)
+from .dalgorithm import (
+    DRunResult,
+    InsertionSortSolver,
+    OnlineSolver,
+    PrefixSumSolver,
+    RunningMinSolver,
+    run_dalgorithm,
+)
+from .encode import (
+    MARKER,
+    DataAccInstance,
+    dataacc_acceptor,
+    encode_dataacc,
+    make_instance,
+)
+from .cencode import (
+    CAlgInstance,
+    calgorithm_acceptor,
+    encode_calgorithm,
+    make_c_instance,
+)
+from .shovelers import (
+    ParallelDRunResult,
+    minimum_processors,
+    parallel_termination_time,
+    run_parallel_dalgorithm,
+    strict_parallel_termination_time,
+)
+
+__all__ = [
+    "ArrivalLaw",
+    "PolynomialArrivalLaw",
+    "termination_time",
+    "arrival_schedule",
+    "OnlineSolver",
+    "InsertionSortSolver",
+    "RunningMinSolver",
+    "PrefixSumSolver",
+    "DRunResult",
+    "run_dalgorithm",
+    "Correction",
+    "CorrectingSolver",
+    "CorrectingSortSolver",
+    "CRunResult",
+    "run_calgorithm",
+    "MARKER",
+    "DataAccInstance",
+    "encode_dataacc",
+    "dataacc_acceptor",
+    "make_instance",
+    "ParallelDRunResult",
+    "run_parallel_dalgorithm",
+    "parallel_termination_time",
+    "minimum_processors",
+    "strict_parallel_termination_time",
+    "CAlgInstance",
+    "encode_calgorithm",
+    "calgorithm_acceptor",
+    "make_c_instance",
+]

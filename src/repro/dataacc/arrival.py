@@ -1,0 +1,126 @@
+"""Data arrival laws — Section 4.2, eq. (4).
+
+A d-algorithm's input is a virtually endless stream whose cumulative
+size at time t is given by the *data arrival law* f(n, t); the family
+the paper (and the d-algorithm literature it cites [14, 15, 26, 27])
+uses as the running example is
+
+    f(n, t) = n + k · n^γ · t^β                                   (4)
+
+with k, γ, β positive constants and n the amount of data available
+beforehand.  This module provides the law, its inverse (arrival time of
+the j-th datum), and the termination analysis for linear-work online
+algorithms: a d-algorithm processing one datum per c chronons finishes
+at the smallest t with t ≥ c·f(n, t) — and such a t exists iff the
+processing rate outpaces the arrival rate, which for family (4) means
+
+    β < 1,  or  (β = 1 and c·k·n^γ < 1).
+
+(For β > 1 the arrival law eventually dominates *every* linear
+processor; an early crossing can still exist for tiny t, which the
+numeric solver finds when it does.)
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["ArrivalLaw", "PolynomialArrivalLaw", "termination_time"]
+
+
+class ArrivalLaw:
+    """Abstract cumulative arrival law f(n, t)."""
+
+    n: int
+
+    def amount(self, t: int) -> int:
+        """⌊f(n, t)⌋ — total data items that have arrived by time t."""
+        raise NotImplementedError
+
+    def arrival_time(self, j: int) -> int:
+        """Earliest t with amount(t) ≥ j (the j-th datum's timestamp).
+
+        ``j`` is 1-based; data with j ≤ n are the beforehand batch at
+        t = 0.  Found by doubling + binary search on the monotone
+        ``amount``.
+        """
+        if j <= self.amount(0):
+            return 0
+        lo, hi = 0, 1
+        while self.amount(hi) < j:
+            lo, hi = hi, hi * 2
+            if hi > 2**62:
+                raise OverflowError(f"datum {j} never arrives under {self!r}")
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.amount(mid) >= j:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+
+@dataclass(frozen=True)
+class PolynomialArrivalLaw(ArrivalLaw):
+    """The paper's family: f(n, t) = n + k·n^γ·t^β."""
+
+    n: int
+    k: float = 1.0
+    gamma: float = 0.0
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("initial amount n must be non-negative")
+        if self.k <= 0 or self.beta <= 0 or self.gamma < 0:
+            raise ValueError("arrival law requires k, β > 0 and γ ≥ 0")
+
+    def amount(self, t: int) -> int:
+        if t < 0:
+            raise ValueError("negative time")
+        return self.n + int(self.k * (self.n**self.gamma) * (t**self.beta))
+
+    def rate_coefficient(self) -> float:
+        """k·n^γ — the instantaneous rate multiplier."""
+        return self.k * (self.n**self.gamma)
+
+    def terminates_asymptotically(self, c: float) -> bool:
+        """Closed-form termination test for a c-chronon-per-datum worker.
+
+        The published characterization for family (4): processing
+        capacity t/c outgrows f(n, t) iff β < 1, or β = 1 with
+        c·k·n^γ < 1.  (β > 1 may still admit a small-t crossing; use
+        :func:`termination_time` for the exact answer.)
+        """
+        if self.beta < 1:
+            return True
+        if self.beta == 1:
+            return c * self.rate_coefficient() < 1
+        return False
+
+
+def termination_time(law: ArrivalLaw, c: float, horizon: int = 1_000_000) -> Optional[int]:
+    """The d-algorithm completion time: smallest t with t ≥ c·f(n, t).
+
+    "The computation terminates when all the currently arrived data
+    have been processed before another datum arrives."  A worker that
+    starts at 0 and spends c per datum is idle-free until it catches
+    up, so it has processed ⌊t/c⌋ items by time t; the first t where
+    that covers f(n, t) is the termination instant.  Returns None if no
+    crossing occurs within ``horizon``.
+    """
+    if c <= 0:
+        raise ValueError("processing cost must be positive")
+    for t in range(horizon + 1):
+        if t >= c * law.amount(t):
+            # t = 0 only counts when nothing is pending at the start.
+            if t > 0 or law.amount(0) == 0:
+                return t
+    return None
+
+
+def arrival_schedule(law: ArrivalLaw, count: int) -> List[int]:
+    """Timestamps of data j = 1 … count (the t_j of Section 4.2)."""
+    return [law.arrival_time(j) for j in range(1, count + 1)]

@@ -1,0 +1,185 @@
+"""The c-algorithm timed ω-word construction and acceptor.
+
+Section 4.2 closes with: "Other related paradigms, like c-algorithms …
+can be easily modeled using the same technique."  This module executes
+that sentence: the word carries the initial input at time 0 and then a
+marker-announced stream of *corrections* (index, value) instead of new
+data; the acceptor's worker maintains the corrected solution and the
+monitor applies the same termination-window test as the d-algorithm
+acceptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+from ..kernel.events import Event
+from ..kernel.resources import Store
+from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
+from ..machine.rtalgorithm import Context, Verdict
+from ..words.timedword import Pair, TimedWord
+from .arrival import ArrivalLaw
+from .calgorithm import Correction, CorrectingSolver
+from .encode import MARKER
+
+__all__ = ["CAlgInstance", "encode_calgorithm", "calgorithm_acceptor", "make_c_instance"]
+
+
+@dataclass(frozen=True)
+class CAlgInstance:
+    """A c-algorithm instance: initial data, law, corrections, proposal."""
+
+    law: ArrivalLaw
+    initial_data: Tuple[Any, ...]
+    corrections: Callable[[int], Correction]  # 1-based
+    proposed_output: Tuple
+
+
+def encode_calgorithm(instance: CAlgInstance) -> TimedWord:
+    """σ = o ι at time 0, then (marker, correction) pairs.
+
+    Corrections are encoded as ("C", index, value) symbols; correction
+    j arrives at the law's (n + j)-th arrival time, announced one
+    chronon early by the marker (clamped monotone, as for d-words).
+    """
+    law = instance.law
+    n = len(instance.initial_data)
+    o = instance.proposed_output
+    m = len(o)
+    header: List[Pair] = [(("O", y), 0) for y in o]
+    header += [(("I", v), 0) for v in instance.initial_data]
+
+    def correction_time(j: int) -> int:
+        return law.arrival_time(law.n + j)
+
+    def fn(i: int) -> Pair:
+        if i < m + n:
+            return header[i]
+        rel = i - (m + n)
+        pair_idx, which = divmod(rel, 2)
+        j = 1 + pair_idx
+        t_j = correction_time(j)
+        if which == 0:
+            prev_t = correction_time(j - 1) if j > 1 else 0
+            return (MARKER, max(0, t_j - 1, prev_t))
+        corr = instance.corrections(j)
+        return (("C", corr.index, corr.value), t_j)
+
+    return TimedWord.functional(fn)
+
+
+def calgorithm_acceptor(
+    solver_factory: Callable[[], CorrectingSolver],
+) -> WorkerMonitorAcceptor:
+    """The c-algorithm acceptor, mirroring the d-algorithm one.
+
+    The worker performs the initial solve (paying its cost), then
+    applies corrections as they arrive, signalling after each; the
+    monitor accepts in the first termination window where the corrected
+    solution matches the proposal.
+    """
+
+    def worker(ctx: Context, signals: Store) -> Generator[Event, Any, None]:
+        solver = solver_factory()
+        proposed: List[Any] = []
+        initial: List[Any] = []
+        initialized = False
+        while True:
+            sym, _t = yield ctx.input.read()
+            if isinstance(sym, tuple) and sym[0] == "O":
+                proposed.append(sym[1])
+                continue
+            if isinstance(sym, tuple) and sym[0] == "I":
+                initial.append(sym[1])
+                continue
+            if not initialized:
+                # first non-header symbol: do the initial solve now
+                cost = max(1, solver.init_cost(initial))
+                yield ctx.timeout(cost)
+                solver.initialize(initial)
+                initialized = True
+                yield signals.put(
+                    WorkerSignal("state", payload=(tuple(proposed), solver.solution()))
+                )
+            if sym == MARKER:
+                continue
+            assert isinstance(sym, tuple) and sym[0] == "C", f"unexpected {sym!r}"
+            corr = Correction(sym[1], sym[2])
+            yield ctx.timeout(max(1, solver.cost(corr)))
+            solver.apply(corr)
+            yield signals.put(
+                WorkerSignal("state", payload=(tuple(proposed), solver.solution()))
+            )
+
+    def monitor_decision(ctx: Context, sig: WorkerSignal) -> Optional[Verdict]:
+        if sig.kind != "state":
+            return None
+        proposed, solution = sig.payload
+        if ctx.input.peek_pending():
+            return None
+        if ctx.input.current_symbol() == MARKER:
+            return None
+        if solution == proposed:
+            return Verdict.ACCEPT
+        return Verdict.REJECT
+
+    return WorkerMonitorAcceptor(worker, monitor_decision, name="L(c-alg)")
+
+
+def make_c_instance(
+    law: ArrivalLaw,
+    initial_data: Sequence[Any],
+    corrections: Callable[[int], Correction],
+    solver_factory: Callable[[], CorrectingSolver],
+    horizon: int = 100_000,
+    truthful: bool = True,
+) -> Optional[CAlgInstance]:
+    """Build an instance whose proposal is the solution at the
+    acceptor's termination point (found by dry-running the acceptor's
+    own semantics via the kernel c-algorithm runner with the marker
+    lead folded in through a +1 arrival shift)."""
+
+
+    # Dry-run the acceptor semantics directly: simulate the acceptor's
+    # worker/monitor discipline on the encoded word with a bogus
+    # proposal and observe where the window opens and what the solution
+    # is there.
+    probe = CAlgInstance(
+        law=law,
+        initial_data=tuple(initial_data),
+        corrections=corrections,
+        proposed_output=("#probe#",),
+    )
+    word = encode_calgorithm(probe)
+    captured: List[Tuple] = []
+
+    def solver_capture() -> CorrectingSolver:
+        return solver_factory()
+
+    # run the acceptor; it will reject (proposal is bogus) exactly at
+    # the first window, carrying the true solution in the signal — we
+    # re-create that by monkey-holding the last solution seen.
+    acceptor = calgorithm_acceptor(solver_capture)
+
+    original_decision = acceptor.monitor_decision
+
+    def capturing_decision(ctx: Context, sig: WorkerSignal):
+        verdict = original_decision(ctx, sig)
+        if verdict is not None and sig.kind == "state":
+            captured.append(sig.payload[1])
+        return verdict
+
+    acceptor.monitor_decision = capturing_decision
+    acceptor.decide(word, horizon=horizon)
+    if not captured:
+        return None  # no termination window within the horizon
+    solution = captured[0]
+    if not truthful:
+        solution = tuple(solution) + ("#bogus#",)
+    return CAlgInstance(
+        law=law,
+        initial_data=tuple(initial_data),
+        corrections=corrections,
+        proposed_output=tuple(solution),
+    )

@@ -1,0 +1,164 @@
+"""The Section 4.2 timed ω-word construction and its acceptor.
+
+Word shape (paper, Section 4.2): with m = |o| and n the beforehand
+amount,
+
+    σ₁…σ_m = o,  σ_{m+1}…σ_{m+n} = ι₁…ι_n,   τ = 0 for all of them;
+    then for i ≥ 0:  σ_{i₀+2i} = c  (a marker),  σ_{i₀+2i+1} = the next
+    datum, with τ(datum) = its arrival time t_j under the law and
+    τ(marker) = t_j − 1.
+
+The marker c arriving one chronon *before* each datum is what lets the
+monitor P_m detect the paper's termination window: P_m accepts when
+P_w has processed p data, the marker preceding datum p+1 has **not**
+arrived yet, and the computed partial solution matches the proposed
+one.
+
+Because arrival laws are polynomial, these words are genuinely
+non-periodic — they use the functional :class:`TimedWord`
+representation, and acceptance is decided operationally (the acceptor
+reaches its absorbing verdict in finite time on every successful
+instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..kernel.events import Event
+from ..kernel.resources import Store
+from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
+from ..machine.rtalgorithm import Context, Verdict
+from ..words.timedword import Pair, TimedWord
+from .arrival import ArrivalLaw
+from .dalgorithm import OnlineSolver
+
+__all__ = ["MARKER", "DataAccInstance", "encode_dataacc", "dataacc_acceptor", "make_instance"]
+
+MARKER = "c"
+
+
+@dataclass(frozen=True)
+class DataAccInstance:
+    """One d-algorithm instance: law + data source + proposed output.
+
+    ``proposed_output`` is the solution the ω-word proposes; per the
+    paper it should be the partial solution at the (unique) successful
+    termination point for the instance to belong to L(Π).
+    """
+
+    law: ArrivalLaw
+    data: Callable[[int], Any]  # 1-based datum values
+    proposed_output: Tuple
+
+
+def encode_dataacc(instance: DataAccInstance) -> TimedWord:
+    """Build the (functional) timed ω-word of Section 4.2."""
+    law = instance.law
+    n = law.n
+    o = instance.proposed_output
+    m = len(o)
+    header: List[Pair] = [(("O", y), 0) for y in o]
+    header += [(("I", instance.data(j)), 0) for j in range(1, n + 1)]
+
+    def fn(i: int) -> Pair:
+        if i < m + n:
+            return header[i]
+        # Tail: pairs (marker, datum) for data j = n+1, n+2, …
+        rel = i - (m + n)
+        pair_idx, which = divmod(rel, 2)
+        j = n + 1 + pair_idx
+        t_j = law.arrival_time(j)
+        if which == 0:
+            # The marker precedes its datum by one chronon, clamped so
+            # the word stays monotone when several data share a chronon
+            # (the previous datum then sits at t_j already).
+            prev_t = law.arrival_time(j - 1) if j - 1 > n else 0
+            return (MARKER, max(0, t_j - 1, prev_t))
+        return (("I", instance.data(j)), t_j)
+
+    return TimedWord.functional(fn)
+
+
+def dataacc_acceptor(solver_factory: Callable[[], OnlineSolver]) -> WorkerMonitorAcceptor:
+    """The Section 4.2 acceptor for L(Π) over an online solver.
+
+    P_w consumes data in arrival order, emitting a signal after each
+    datum (the paper: "it emits some special signal to P_m each time it
+    finishes the processing of one input data"; being on-line, at the
+    p-th signal it holds the partial solution for ι₁…ι_p).  P_m accepts
+    at the first signal after which no further marker/datum has arrived,
+    comparing the partial solution against the proposed one.
+    """
+
+    def worker(ctx: Context, signals: Store) -> Generator[Event, Any, None]:
+        solver = solver_factory()
+        solver.reset()
+        proposed: List[Any] = []
+        started = False
+        while True:
+            sym, _t = yield ctx.input.read()
+            if isinstance(sym, tuple) and sym[0] == "O":
+                proposed.append(sym[1])
+                continue
+            if sym == MARKER:
+                continue
+            assert isinstance(sym, tuple) and sym[0] == "I", f"unexpected {sym!r}"
+            started = True
+            cost = max(1, solver.cost(sym[1]))
+            yield ctx.timeout(cost)
+            solver.consume(sym[1])
+            yield signals.put(
+                WorkerSignal(
+                    "datum-processed",
+                    payload=(tuple(proposed), solver.solution()),
+                )
+            )
+
+    def monitor_decision(ctx: Context, sig: WorkerSignal) -> Optional[Verdict]:
+        if sig.kind != "datum-processed":
+            return None
+        proposed, partial = sig.payload
+        # The termination window: every arrived datum has been consumed
+        # (the worker signals synchronously after consuming, so pending
+        # input on the tape means the window is not open) and the next
+        # marker has not arrived.  The worker reads markers off the
+        # tape too, so "nothing unread on the tape" is exactly the test.
+        if ctx.input.peek_pending():
+            return None  # unread symbols exist: not the window
+        if ctx.input.current_symbol() == MARKER:
+            # A marker was the last arrival: the next datum is due one
+            # chronon from its stamp — the window is closed.
+            return None
+        if partial == proposed:
+            return Verdict.ACCEPT
+        return Verdict.REJECT
+
+    return WorkerMonitorAcceptor(worker, monitor_decision, name="L(d-alg)")
+
+
+def make_instance(
+    law: ArrivalLaw,
+    data: Callable[[int], Any],
+    solver_factory: Callable[[], OnlineSolver],
+    horizon: int = 100_000,
+    truthful: bool = True,
+) -> Optional[DataAccInstance]:
+    """Construct an instance whose proposed output is (or is not) the
+    true partial solution at the successful termination point.
+
+    Runs the reference d-algorithm simulation to find the termination
+    point p; returns None if the run diverges within ``horizon`` (the
+    non-terminating regime has no successful instances).
+    """
+    from .dalgorithm import run_dalgorithm
+
+    # lead=1 matches the acceptor's marker-based termination window.
+    result = run_dalgorithm(solver_factory(), law, data, horizon=horizon, lead=1)
+    if not result.terminated:
+        return None
+    solution = result.solution
+    if not truthful:
+        solution = tuple(solution) + ("#bogus#",)
+    return DataAccInstance(law=law, data=data, proposed_output=tuple(solution))

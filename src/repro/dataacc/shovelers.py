@@ -1,0 +1,219 @@
+"""The p-shovelers problem — Luccio & Pagli [26, 27], the paper's
+bridge between §4.2 (data accumulation) and §7 (parallel real-time
+power).
+
+"Recall here that it has been already established that a parallel
+approach can make the difference between success and failure" — the
+canonical witness is the p-shovelers problem: p workers shovel a pile
+that keeps growing under an arrival law.  A p-worker d-algorithm
+processes p items per c chronons, so it terminates at the smallest t
+with p·t/c ≥ f(n, t); for the paper's law family that means
+
+    β < 1                    — any p ≥ 1 suffices;
+    β = 1                    — termination ⟺ p > c·k·n^γ;
+    β > 1                    — no finite p suffices asymptotically.
+
+:func:`minimum_processors` computes the exact threshold; the simulator
+:func:`run_parallel_dalgorithm` realizes it on the kernel with p
+independent worker processes sharing the arrival queue, and experiment
+E17 sweeps the two against each other.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from ..kernel.events import Event
+from ..kernel.simulator import Simulator
+from .arrival import ArrivalLaw, PolynomialArrivalLaw
+from .dalgorithm import OnlineSolver
+
+__all__ = [
+    "ParallelDRunResult",
+    "run_parallel_dalgorithm",
+    "parallel_termination_time",
+    "strict_parallel_termination_time",
+    "minimum_processors",
+]
+
+
+@dataclass
+class ParallelDRunResult:
+    """Outcome of a p-worker d-algorithm run."""
+
+    p: int
+    terminated: bool
+    termination_time: Optional[int]
+    items_processed: int
+    per_worker: List[int]
+    horizon: int
+
+    @property
+    def speedup_basis(self) -> Optional[int]:
+        return self.termination_time
+
+    def __repr__(self) -> str:  # pragma: no cover
+        tag = f"t={self.termination_time}" if self.terminated else "DIVERGED"
+        return f"ParallelDRunResult(p={self.p}, {tag}, items={self.items_processed})"
+
+
+def parallel_termination_time(
+    law: ArrivalLaw, c: float, p: int, horizon: int = 1_000_000
+) -> Optional[int]:
+    """The *fluid* catch-up time: smallest t with p·t/c ≥ f(n, t).
+
+    This is the Luccio–Pagli capacity analysis — the instant at which
+    p shovelers have had enough aggregate capacity to clear everything
+    arrived.  The paper's *strict* termination ("all the currently
+    arrived data have been processed **before another datum arrives**")
+    additionally needs an arrival-free instant at catch-up; see
+    :func:`strict_parallel_termination_time` for the exact discrete
+    semantics the simulator realizes.  The two agree whenever the law
+    has arrival gaps (e.g. β < 1, or β = 1 with k·n^γ < 1), and differ
+    for gap-free laws (β = 1, k·n^γ ≥ 1: fluid catch-up can exist while
+    strict termination never happens).
+    """
+    if c <= 0 or p <= 0:
+        raise ValueError("cost and processor count must be positive")
+    for t in range(horizon + 1):
+        if p * t >= c * law.amount(t):
+            if t > 0 or law.amount(0) == 0:
+                return t
+    return None
+
+
+def strict_parallel_termination_time(
+    law: ArrivalLaw, p: int, horizon: int = 1_000_000
+) -> Optional[int]:
+    """Exact discrete termination for unit-cost shovelers.
+
+    Mirrors the event order of :func:`run_parallel_dalgorithm` (for
+    solvers with cost 1): at each chronon, arrivals are delivered
+    first, then workers finish the items they popped the previous
+    chronon, check the paper's termination condition, and pop up to p
+    new items.  Termination happens at the first chronon where a
+    finishing worker sees an empty pile and no same-instant arrival
+    outstanding.
+    """
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    pile = 0
+    serving = 0
+    processed = 0
+    prev_amount = 0
+    for t in range(horizon + 1):
+        amount = law.amount(t)
+        pile += amount - prev_amount
+        prev_amount = amount
+        processed += serving
+        if serving > 0 and pile == 0 and amount <= processed:
+            return t
+        serving = min(p, pile)
+        pile -= serving
+    return None
+
+
+def minimum_processors(
+    law: PolynomialArrivalLaw, c: float, p_max: int = 4096, horizon: int = 200_000
+) -> Optional[int]:
+    """The least p achieving *fluid* catch-up (see
+    :func:`parallel_termination_time`).
+
+    For β = 1 the closed form is p = ⌊c·k·n^γ⌋ + 1; for β < 1 it is 1;
+    for β > 1 an *early crossing* may still exist (the pile can be
+    cleared before the superlinear law takes off — e.g. n=4, k=1, β=2
+    crosses at t=2 with p=4) — searched numerically.  Returns None if
+    no p ≤ p_max works.
+    """
+    if law.beta < 1:
+        return 1
+    if law.beta == 1:
+        closed = int(math.floor(c * law.rate_coefficient())) + 1
+        # guard against floor/float dust at the boundary
+        for p in (max(1, closed - 1), closed, closed + 1):
+            if parallel_termination_time(law, c, p, horizon) is not None:
+                return p
+        return None
+    for p in range(1, p_max + 1):
+        if parallel_termination_time(law, c, p, horizon) is not None:
+            return p
+    return None
+
+
+def run_parallel_dalgorithm(
+    solver_factory: Callable[[], OnlineSolver],
+    law: ArrivalLaw,
+    data: Callable[[int], Any],
+    p: int,
+    horizon: int = 100_000,
+) -> ParallelDRunResult:
+    """Simulate p shovelers against one arrival stream.
+
+    Workers share a FIFO pile; each consumes one item per its solver's
+    cost.  Termination per the paper: every arrived item processed and
+    no new arrival outstanding.  One solver instance per worker (the
+    partial solutions are per-worker; merging them is the usual
+    O(p)-cost epilogue and does not affect termination detection).
+    """
+    if p <= 0:
+        raise ValueError("need at least one shoveler")
+    sim = Simulator()
+    solvers = [solver_factory() for _ in range(p)]
+    for s in solvers:
+        s.reset()
+    pile: deque = deque()
+    state = {"arrived": 0, "processed": 0, "done_at": None}
+    per_worker = [0] * p
+    wakeup: List[Event] = [sim.event("pile")]
+    arrival_cap = p * horizon + 2  # p workers process ≤ p·horizon items
+
+    def arrivals() -> Generator[Event, Any, None]:
+        j = 1
+        while state["arrived"] < arrival_cap:
+            t = law.arrival_time(j)
+            if t > horizon:
+                return
+            if t > sim.now:
+                yield sim.timeout(t - sim.now)
+            while law.arrival_time(j) == sim.now and state["arrived"] < arrival_cap:
+                pile.append(data(j))
+                state["arrived"] += 1
+                j += 1
+            ev = wakeup[0]
+            wakeup[0] = sim.event("pile")
+            if not ev.triggered:
+                ev.succeed()
+
+    def worker(wid: int) -> Generator[Event, Any, None]:
+        solver = solvers[wid]
+        while True:
+            if state["done_at"] is not None:
+                return
+            if pile:
+                item = pile.popleft()
+                yield sim.timeout(max(1, solver.cost(item)))
+                solver.consume(item)
+                state["processed"] += 1
+                per_worker[wid] += 1
+                if not pile and law.amount(sim.now) <= state["processed"]:
+                    state["done_at"] = sim.now
+                    return
+            else:
+                yield wakeup[0]
+
+    sim.process(arrivals(), name="arrivals")
+    for wid in range(p):
+        sim.process(worker(wid), name=f"shoveler-{wid}")
+    sim.run(until=horizon)
+
+    return ParallelDRunResult(
+        p=p,
+        terminated=state["done_at"] is not None,
+        termination_time=state["done_at"],
+        items_processed=state["processed"],
+        per_worker=per_worker,
+        horizon=horizon,
+    )

@@ -1,0 +1,39 @@
+"""Computing with deadlines — Section 4.1 of the paper."""
+
+from .acceptor import (
+    deadline_acceptor,
+    decide_instance,
+    language_of,
+    sorting_problem,
+)
+from .encode import DEADLINE, WAIT, DecodedHeader, decode_prefix, encode_instance
+from .spec import (
+    DeadlineInstance,
+    DeadlineKind,
+    DeadlineSpec,
+    HyperbolicUsefulness,
+    LinearDecayUsefulness,
+    Problem,
+    StepUsefulness,
+    UsefulnessFunction,
+)
+
+__all__ = [
+    "DeadlineKind",
+    "DeadlineSpec",
+    "DeadlineInstance",
+    "Problem",
+    "UsefulnessFunction",
+    "HyperbolicUsefulness",
+    "LinearDecayUsefulness",
+    "StepUsefulness",
+    "encode_instance",
+    "decode_prefix",
+    "DecodedHeader",
+    "WAIT",
+    "DEADLINE",
+    "deadline_acceptor",
+    "decide_instance",
+    "language_of",
+    "sorting_problem",
+]

@@ -1,0 +1,159 @@
+"""The L(Π) acceptor of Section 4.1, on the worker/monitor substrate.
+
+P_w solves Π on the input carried by the ω-word and signals when done;
+P_m then inspects the current input symbol:
+
+* ``w``  (or still inside the time-0 block) — the deadline has not
+  passed: accept iff the computed solution matches the proposed one;
+* ``d``  — the deadline passed: fetch the current usefulness measure
+  from the input, reject if it is below the minimum acceptable one,
+  otherwise compare solutions as before.
+
+Once in s_f the acceptor writes f every chronon (so |o(A,w)|_f = ω);
+in s_r it never writes f again — Definition 3.4's condition holds by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator, Optional, Tuple
+
+from ..kernel.events import Event
+from ..kernel.resources import Store
+from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
+from ..machine.rtalgorithm import Context, Verdict
+from ..words.language import PredicateLanguage
+from ..words.timedword import TimedWord
+from .encode import DEADLINE, decode_prefix, encode_instance
+from .spec import (
+    DeadlineInstance,
+    Problem,
+)
+
+__all__ = ["deadline_acceptor", "decide_instance", "language_of", "sorting_problem"]
+
+
+def _current_usefulness(ctx: Context) -> int:
+    """The latest usefulness value the input has delivered.
+
+    After the deadline the word alternates d, ⌊u(τ)⌋; the most recent
+    int symbol in the arrival history is the current measure.  If only
+    the d marker has arrived so far this chronon, fall back to the
+    minimum-usefulness position's partner from the previous pair (the
+    history always contains one within a chronon of the deadline).
+    """
+    for sym, _t in reversed(ctx.input.arrived_history()):
+        if isinstance(sym, int) and not isinstance(sym, bool):
+            # Skip the time-0 min_acceptable header symbol: it is the
+            # *first* int in history, never the last after the deadline
+            # unless no usefulness value arrived yet.
+            return sym
+    raise ValueError("no usefulness value on the tape yet")
+
+
+def _deadline_passed(ctx: Context) -> bool:
+    """Has the d marker arrived?  (P_m's 'current symbol is d' test.)"""
+    sym = ctx.input.current_symbol()
+    if sym == DEADLINE:
+        return True
+    # The current symbol may be the usefulness value that follows a d.
+    return any(s == DEADLINE for s, _t in ctx.input.arrived_history())
+
+
+def deadline_acceptor(problem: Problem) -> WorkerMonitorAcceptor:
+    """The Section 4.1 acceptor for L(Π)."""
+
+    def worker(ctx: Context, signals: Store) -> Generator[Event, Any, None]:
+        # All of [min_acc] o ι is available at time 0 (HIGH priority
+        # delivery beats this process's first resume at NORMAL).
+        try:
+            header = decode_prefix(ctx.input.poll())
+        except ValueError:
+            # Not a Section 4.1 word at all: reject it (a real-time
+            # algorithm must decide every input, not crash on strangers).
+            yield signals.put(WorkerSignal("malformed"))
+            return
+        ctx.storage["header"] = header
+        # Simulate P_w's computation on ι.
+        duration = problem.duration(header.input_word)
+        if duration > 0:
+            yield ctx.timeout(duration)
+        solutions = problem.solutions(header.input_word)
+        # Nondeterministic choice resolved the paper's way: pick the
+        # solution matching the proposed one when it exists.
+        computed: Optional[Tuple] = (
+            header.proposed_output if header.proposed_output in solutions
+            else (min(solutions) if solutions else None)
+        )
+        ctx.storage["solution"] = computed
+        yield signals.put(WorkerSignal("done", payload=(header, computed)))
+
+    def monitor_decision(ctx: Context, sig: WorkerSignal) -> Optional[Verdict]:
+        if sig.kind == "malformed":
+            return Verdict.REJECT
+        if sig.kind != "done":
+            return None
+        header, computed = sig.payload
+        matches = computed == header.proposed_output and computed is not None
+        if not _deadline_passed(ctx):
+            return Verdict.ACCEPT if matches else Verdict.REJECT
+        # Deadline passed: check the usefulness measure first.
+        assert header.min_acceptable is not None, "d arrived on a no-deadline word"
+        usefulness = _current_usefulness(ctx)
+        if usefulness < header.min_acceptable:
+            return Verdict.REJECT
+        return Verdict.ACCEPT if matches else Verdict.REJECT
+
+    return WorkerMonitorAcceptor(worker, monitor_decision, name=f"L({problem.name})")
+
+
+def decide_instance(instance: DeadlineInstance, horizon: int = 50_000):
+    """Encode an instance, run the acceptor, and return the report."""
+    word = encode_instance(instance)
+    acceptor = deadline_acceptor(instance.problem)
+    return acceptor.decide(word, horizon=horizon)
+
+
+def language_of(problem: Problem, rng_instances=None) -> PredicateLanguage:
+    """L(Π) as a :class:`PredicateLanguage` via the instance oracle.
+
+    Membership is evaluated on encoded instances only (the words the
+    Section 4.1 construction defines); the optional ``rng_instances``
+    callable makes the language sampleable.
+    """
+
+    def predicate(word: TimedWord) -> bool:
+        # Round-trip through the acceptor: the acceptor *is* the
+        # membership procedure for encoded words.
+        report = deadline_acceptor(problem).decide(word, horizon=50_000)
+        return report.accepted
+
+    sampler = None
+    if rng_instances is not None:
+
+        def sampler(rng: random.Random) -> TimedWord:
+            return encode_instance(rng_instances(rng))
+
+    return PredicateLanguage(predicate, name=f"L({problem.name})", sampler=sampler)
+
+
+# ----------------------------------------------------------------------
+# a concrete Π for examples, tests, and benchmarks
+# ----------------------------------------------------------------------
+
+def sorting_problem(time_per_item: int = 1, overhead: int = 0) -> Problem:
+    """Π = "sort the input word" with a linear work model.
+
+    The unique solution is the sorted input; ``duration`` is
+    ``overhead + time_per_item · n``, giving benchmarks a knob that
+    sweeps completion time across the deadline.
+    """
+
+    def solutions(inp: Tuple) -> set:
+        return {tuple(sorted(inp))}
+
+    def duration(inp: Tuple) -> int:
+        return overhead + time_per_item * len(inp)
+
+    return Problem(name="sort", solutions=solutions, duration=duration)

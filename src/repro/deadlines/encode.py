@@ -1,0 +1,114 @@
+"""Instance → timed ω-word encodings of Section 4.1 (cases (i)–(iii)).
+
+The word alphabet is Σ ∪ Ω ∪ (ℕ ∩ [0, max]) ∪ {w, d} with Σ, Ω, ℕ
+disjoint.  We realize the disjointness structurally: input symbols are
+tagged ``("I", x)``, output symbols ``("O", y)``, usefulness values are
+plain ints, and the wait/deadline markers are the strings ``"w"`` and
+``"d"`` (the paper's w and d, "signalling that the deadline passed").
+
+Shapes produced (all lasso words, hence decidable downstream):
+
+(i)   o ι at time 0, then w at times 1, 2, 3, …
+(ii)  min_acc o ι at time 0, w up to the deadline, then the pairs
+      (d, 0)(d, 0)… two per chronon — eq. (2);
+(iii) as (ii) but (d, ⌊u(τ)⌋) — eq. (3) — with the decaying u-values in
+      the lasso prefix and the stabilized tail in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..words.timedword import Pair, TimedWord
+from .spec import DeadlineInstance, DeadlineKind
+
+__all__ = ["WAIT", "DEADLINE", "encode_instance", "decode_prefix", "DecodedHeader"]
+
+WAIT = "w"
+DEADLINE = "d"
+
+
+def _header_pairs(instance: DeadlineInstance) -> List[Pair]:
+    """The time-0 block: [min_acc] o ι (paper's σ₁ … σ_{m+n(+1)})."""
+    pairs: List[Pair] = []
+    if instance.spec.kind is not DeadlineKind.NONE:
+        pairs.append((instance.spec.min_acceptable, 0))
+    pairs.extend((("O", y), 0) for y in instance.proposed_output)
+    pairs.extend((("I", x), 0) for x in instance.input_word)
+    return pairs
+
+
+def encode_instance(instance: DeadlineInstance) -> TimedWord:
+    """Build the timed ω-word of Section 4.1 for one instance."""
+    spec = instance.spec
+    header = _header_pairs(instance)
+
+    if spec.kind is DeadlineKind.NONE:
+        # (i): w's arrive one per chronon forever.
+        return TimedWord.lasso(prefix=header, loop=[(WAIT, 1)], shift=1)
+
+    t_d = spec.t_d
+    assert t_d is not None
+    prefix = list(header)
+    # w symbols at times 1 … t_d − 1 ("if τ_i < t_d … σ_i = w").
+    prefix.extend((WAIT, t) for t in range(1, t_d))
+
+    if spec.kind is DeadlineKind.FIRM:
+        # (ii): (d, 0) pairs, two symbols per chronon, forever — eq. (2).
+        return TimedWord.lasso(
+            prefix=prefix, loop=[(DEADLINE, t_d), (0, t_d)], shift=1
+        )
+
+    # (iii): (d, ⌊u(τ)⌋) pairs — eq. (3).  u decays for finitely many
+    # chronons (UsefulnessFunction.stable_after), after which the pair
+    # is constant and lives in the loop.
+    assert spec.usefulness is not None
+    t_stable = max(t_d, spec.usefulness.stable_after(t_d))
+    for t in range(t_d, t_stable):
+        prefix.append((DEADLINE, t))
+        prefix.append((spec.usefulness_at(t), t))
+    stable_value = spec.usefulness_at(t_stable)
+    return TimedWord.lasso(
+        prefix=prefix,
+        loop=[(DEADLINE, t_stable), (stable_value, t_stable)],
+        shift=1,
+    )
+
+
+@dataclass(frozen=True)
+class DecodedHeader:
+    """The time-0 block parsed back out of an encoded word."""
+
+    min_acceptable: Optional[int]
+    proposed_output: Tuple[Any, ...]
+    input_word: Tuple[Any, ...]
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.min_acceptable is not None
+
+
+def decode_prefix(pairs: List[Pair]) -> DecodedHeader:
+    """Parse the time-0 block [min_acc] o ι from arrived pairs.
+
+    This is what the acceptor's worker does at time 0: the alphabets
+    are disjoint, so parsing is by tag.
+    """
+    time0 = [s for s, t in pairs if t == 0]
+    idx = 0
+    min_acc: Optional[int] = None
+    if time0 and isinstance(time0[0], int):
+        min_acc = time0[0]
+        idx = 1
+    out: List[Any] = []
+    while idx < len(time0) and isinstance(time0[idx], tuple) and time0[idx][0] == "O":
+        out.append(time0[idx][1])
+        idx += 1
+    inp: List[Any] = []
+    while idx < len(time0) and isinstance(time0[idx], tuple) and time0[idx][0] == "I":
+        inp.append(time0[idx][1])
+        idx += 1
+    if idx != len(time0):
+        raise ValueError(f"malformed time-0 block: {time0!r}")
+    return DecodedHeader(min_acc, tuple(out), tuple(inp))

@@ -1,0 +1,209 @@
+"""Deadline specifications — Section 4.1.
+
+Deadlines are classified as **firm** (a computation that exceeds the
+deadline is useless) or **soft** (usefulness decreases as time elapses)
+[paper, citing Lehr–Kim–Son].  The paper's worked example of a soft
+deadline is
+
+    "the usefulness of this transaction is max before 20 seconds
+     elapsed; after this deadline, the usefulness is given by
+     u(t) = max × 1/(t − 20)"
+
+which is :class:`HyperbolicUsefulness`.  A usefulness function maps
+[t_d, ∞) → ℕ ∩ [0, max]; encodings store ⌊u(t)⌋ (paper eq. (3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional, Set, Tuple
+
+__all__ = [
+    "DeadlineKind",
+    "UsefulnessFunction",
+    "HyperbolicUsefulness",
+    "LinearDecayUsefulness",
+    "StepUsefulness",
+    "DeadlineSpec",
+    "Problem",
+    "DeadlineInstance",
+]
+
+
+class DeadlineKind(Enum):
+    """The paper's three instance classes (Section 4.1 (i)–(iii))."""
+
+    NONE = "none"
+    FIRM = "firm"
+    SOFT = "soft"
+
+
+class UsefulnessFunction:
+    """u : [t_d, ∞) → ℕ ∩ [0, max]; must eventually stabilize.
+
+    All usefulness functions decay to a limit value (0 for every
+    built-in) after finitely many chronons; ``stable_after`` returns a
+    bound so the word encoder can fold the tail into a lasso loop.
+    """
+
+    max_value: int
+
+    def __call__(self, t: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def stable_after(self, t_d: int) -> int:
+        """A time T ≥ t_d with u constant on [T, ∞)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class HyperbolicUsefulness(UsefulnessFunction):
+    """The paper's example: u(t) = max · 1/(t − t_d), floored.
+
+    At t = t_d the value is clamped to max (the paper's example reads
+    "max before [the deadline]").
+    """
+
+    max_value: int
+    t_d: int
+
+    def __call__(self, t: int) -> int:
+        if t <= self.t_d:
+            return self.max_value
+        return min(self.max_value, self.max_value // (t - self.t_d))
+
+    def stable_after(self, t_d: int) -> int:
+        # max // (t - t_d) hits 0 once t - t_d > max.
+        return self.t_d + self.max_value + 1
+
+
+@dataclass(frozen=True)
+class LinearDecayUsefulness(UsefulnessFunction):
+    """u(t) = max(0, max − slope·(t − t_d))."""
+
+    max_value: int
+    t_d: int
+    slope: int = 1
+
+    def __call__(self, t: int) -> int:
+        if t <= self.t_d:
+            return self.max_value
+        return max(0, self.max_value - self.slope * (t - self.t_d))
+
+    def stable_after(self, t_d: int) -> int:
+        return self.t_d + (self.max_value // max(1, self.slope)) + 1
+
+
+@dataclass(frozen=True)
+class StepUsefulness(UsefulnessFunction):
+    """u(t) = max until t_d + grace, then 0 (a firm-with-grace shape)."""
+
+    max_value: int
+    t_d: int
+    grace: int = 0
+
+    def __call__(self, t: int) -> int:
+        return self.max_value if t <= self.t_d + self.grace else 0
+
+    def stable_after(self, t_d: int) -> int:
+        return self.t_d + self.grace + 1
+
+
+@dataclass(frozen=True)
+class DeadlineSpec:
+    """Which of the three Section 4.1 classes an instance belongs to.
+
+    ``min_acceptable`` is the σ₁ ∈ ℕ ∩ (0, max] symbol of cases
+    (ii)/(iii): the minimum usefulness at which a late result still
+    counts.  (The paper writes the interval as [max, 0); we read it as
+    the positive range, which is the only reading under which the firm
+    case behaves as described — a post-deadline usefulness of 0 never
+    meets a positive threshold.)
+    """
+
+    kind: DeadlineKind
+    t_d: Optional[int] = None
+    usefulness: Optional[UsefulnessFunction] = None
+    min_acceptable: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind is DeadlineKind.NONE:
+            if self.t_d is not None:
+                raise ValueError("no-deadline instances take no t_d")
+            return
+        if self.t_d is None or self.t_d <= 0:
+            raise ValueError(f"{self.kind.value} deadline requires t_d > 0")
+        if self.min_acceptable <= 0:
+            raise ValueError("min_acceptable must be positive")
+        if self.kind is DeadlineKind.SOFT and self.usefulness is None:
+            raise ValueError("soft deadline requires a usefulness function")
+
+    def usefulness_at(self, t: int) -> int:
+        """⌊u(t)⌋ for the encodings (0 forever for firm deadlines)."""
+        if self.kind is DeadlineKind.NONE:
+            raise ValueError("no-deadline instances have no usefulness")
+        if t < self.t_d:  # type: ignore[operator]
+            raise ValueError("usefulness is defined from the deadline on")
+        if self.kind is DeadlineKind.FIRM:
+            return 0
+        assert self.usefulness is not None
+        return int(self.usefulness(t))
+
+
+@dataclass(frozen=True)
+class Problem:
+    """The underlying problem Π: a solver oracle plus a cost model.
+
+    ``solutions(ι)`` returns the set of correct outputs (the paper's
+    P_w "nondeterministically chooses that solution that matches the
+    proposed solution … if such a solution exists" — having the whole
+    set makes that choice executable).  ``duration(ι)`` is the time
+    P_w's computation takes on input ι.
+    """
+
+    name: str
+    solutions: Callable[[Tuple], Set[Tuple]]
+    duration: Callable[[Tuple], int]
+
+
+@dataclass(frozen=True)
+class DeadlineInstance:
+    """One instance of Π with a proposed output and a deadline class."""
+
+    problem: Problem
+    input_word: Tuple
+    proposed_output: Tuple
+    spec: DeadlineSpec
+
+    @property
+    def n(self) -> int:
+        """Input size (paper's n)."""
+        return len(self.input_word)
+
+    @property
+    def m(self) -> int:
+        """Output size (paper's m)."""
+        return len(self.proposed_output)
+
+    def completion_time(self) -> int:
+        """When P_w terminates (all input is available at time 0)."""
+        return self.problem.duration(self.input_word)
+
+    def oracle(self) -> bool:
+        """Ground-truth membership of the encoded word in L(Π).
+
+        An ω-word is in L(Π) iff an algorithm solving Π "outputs the
+        output from x either within the imposed deadline (if any), or
+        at a time when the usefulness … is not below the acceptable
+        limit".
+        """
+        correct = self.proposed_output in self.problem.solutions(self.input_word)
+        if not correct:
+            return False
+        if self.spec.kind is DeadlineKind.NONE:
+            return True
+        t_done = self.completion_time()
+        if t_done < self.spec.t_d:  # type: ignore[operator]
+            return True
+        return self.spec.usefulness_at(t_done) >= self.spec.min_acceptable

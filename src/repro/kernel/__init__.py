@@ -1,0 +1,70 @@
+"""Discrete-event simulation kernel.
+
+The substrate every other subsystem runs on: a deterministic,
+generator-based event simulator with discrete (integer) time by
+default, message channels, counted resources, and the clock/constraint
+machinery of Section 2.1.
+"""
+
+from .clock import (
+    And,
+    Clock,
+    ClockConstraint,
+    ClockValuation,
+    Ge,
+    Le,
+    Not,
+    Or,
+    TrueConstraint,
+    eq,
+    gt,
+    lt,
+)
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventQueue,
+    EventState,
+    Interrupt,
+    Priority,
+    SimulationError,
+    Timeout,
+)
+from .resources import Channel, Resource, ResourceRequest, Store
+from .trace import TraceRecord, Tracer
+from .simulator import Process, ProcessDied, Simulator, StopSimulation
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "ProcessDied",
+    "StopSimulation",
+    "Event",
+    "EventQueue",
+    "EventState",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Priority",
+    "SimulationError",
+    "Store",
+    "Channel",
+    "Resource",
+    "ResourceRequest",
+    "Clock",
+    "ClockConstraint",
+    "ClockValuation",
+    "Le",
+    "Ge",
+    "Not",
+    "And",
+    "Or",
+    "TrueConstraint",
+    "lt",
+    "gt",
+    "eq",
+    "Tracer",
+    "TraceRecord",
+]

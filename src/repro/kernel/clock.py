@@ -1,0 +1,221 @@
+"""Clocks and clock constraints Φ(X) — Section 2.1 of the paper.
+
+A *clock* is a variable over time whose value is the time elapsed since
+it was last reset; the only operations are *read* and *reset* (paper,
+Section 2.1).  A *clock constraint* ``d ∈ Φ(X)`` has one of the forms
+
+    x ≤ c   |   c ≤ x   |   ¬d₁   |   d₁ ∧ d₂
+
+with ``c`` a constant and ``x ∈ X``.  Derived forms (<, ≥ strictness,
+equality, disjunction) are provided as sugar and compile to the four
+primitive forms, exactly as in Alur & Dill [10].
+
+These constraints guard transitions of the timed Büchi automata in
+:mod:`repro.automata.timed`.  Clock *valuations* ν : C → time are plain
+dicts here; :class:`ClockValuation` adds the two evolution operations a
+TBA run needs: uniform time elapse and selective reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Union
+
+from .simulator import Simulator
+
+__all__ = [
+    "Clock",
+    "ClockConstraint",
+    "Le",
+    "Ge",
+    "Not",
+    "And",
+    "TrueConstraint",
+    "lt",
+    "gt",
+    "eq",
+    "Or",
+    "ClockValuation",
+]
+
+Number = Union[int, float]
+
+
+class Clock:
+    """A resettable stopwatch bound to a :class:`Simulator`.
+
+    ``read()`` returns the time elapsed since the most recent
+    ``reset()`` (or since creation).
+    """
+
+    __slots__ = ("sim", "name", "_origin")
+
+    def __init__(self, sim: Simulator, name: str = "x"):
+        self.sim = sim
+        self.name = name
+        self._origin = sim.now
+
+    def reset(self) -> None:
+        """Reset the clock to zero at the current instant."""
+        self._origin = self.sim.now
+
+    def read(self) -> Number:
+        """Time elapsed since the last reset."""
+        return self.sim.now - self._origin
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Clock({self.name}={self.read()})"
+
+
+class ClockConstraint:
+    """Base class of the Φ(X) constraint AST."""
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> bool:
+        """Truth value of the constraint under ``valuation``."""
+        raise NotImplementedError
+
+    def clocks(self) -> FrozenSet[str]:
+        """The set of clock names mentioned in the constraint."""
+        raise NotImplementedError
+
+    # Operator sugar: d1 & d2, ~d, d1 | d2.
+    def __and__(self, other: "ClockConstraint") -> "ClockConstraint":
+        return And(self, other)
+
+    def __invert__(self) -> "ClockConstraint":
+        return Not(self)
+
+    def __or__(self, other: "ClockConstraint") -> "ClockConstraint":
+        return Or(self, other)
+
+
+@dataclass(frozen=True)
+class TrueConstraint(ClockConstraint):
+    """The vacuous guard (empty conjunction)."""
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> bool:
+        return True
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Le(ClockConstraint):
+    """``x ≤ c``."""
+
+    clock: str
+    bound: Number
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> bool:
+        return valuation[self.clock] <= self.bound
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset({self.clock})
+
+    def __repr__(self) -> str:
+        return f"({self.clock} ≤ {self.bound})"
+
+
+@dataclass(frozen=True)
+class Ge(ClockConstraint):
+    """``c ≤ x``."""
+
+    clock: str
+    bound: Number
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> bool:
+        return valuation[self.clock] >= self.bound
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset({self.clock})
+
+    def __repr__(self) -> str:
+        return f"({self.bound} ≤ {self.clock})"
+
+
+@dataclass(frozen=True)
+class Not(ClockConstraint):
+    """``¬d``."""
+
+    inner: ClockConstraint
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> bool:
+        return not self.inner.evaluate(valuation)
+
+    def clocks(self) -> FrozenSet[str]:
+        return self.inner.clocks()
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+@dataclass(frozen=True)
+class And(ClockConstraint):
+    """``d₁ ∧ d₂``."""
+
+    left: ClockConstraint
+    right: ClockConstraint
+
+    def evaluate(self, valuation: Mapping[str, Number]) -> bool:
+        return self.left.evaluate(valuation) and self.right.evaluate(valuation)
+
+    def clocks(self) -> FrozenSet[str]:
+        return self.left.clocks() | self.right.clocks()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+# -- derived forms (compile to the primitive grammar) --------------------
+
+def lt(clock: str, bound: Number) -> ClockConstraint:
+    """``x < c``  ≡  ``x ≤ c ∧ ¬(c ≤ x)``."""
+    return And(Le(clock, bound), Not(Ge(clock, bound)))
+
+
+def gt(clock: str, bound: Number) -> ClockConstraint:
+    """``x > c``  ≡  ``c ≤ x ∧ ¬(x ≤ c)``."""
+    return And(Ge(clock, bound), Not(Le(clock, bound)))
+
+
+def eq(clock: str, bound: Number) -> ClockConstraint:
+    """``x = c``  ≡  ``x ≤ c ∧ c ≤ x``."""
+    return And(Le(clock, bound), Ge(clock, bound))
+
+
+def Or(left: ClockConstraint, right: ClockConstraint) -> ClockConstraint:
+    """``d₁ ∨ d₂``  ≡  ``¬(¬d₁ ∧ ¬d₂)`` (De Morgan, stays in Φ(X))."""
+    return Not(And(Not(left), Not(right)))
+
+
+class ClockValuation(Dict[str, Number]):
+    """ν : C → time with the two evolutions a TBA run performs.
+
+    Per the run rule (paper eq. (1)): between consecutive input symbols
+    all clocks advance by the inter-arrival gap, then the transition's
+    reset set is zeroed.
+    """
+
+    @classmethod
+    def zero(cls, clocks: Iterable[str]) -> "ClockValuation":
+        """ν₀ with every clock at 0 (initial condition of eq. (1))."""
+        return cls({c: 0 for c in clocks})
+
+    def advanced(self, delta: Number) -> "ClockValuation":
+        """The valuation ν + δ (uniform elapse); non-destructive."""
+        if delta < 0:
+            raise ValueError(f"time cannot flow backwards (delta={delta!r})")
+        return ClockValuation({c: v + delta for c, v in self.items()})
+
+    def reset(self, clocks: Iterable[str]) -> "ClockValuation":
+        """Copy with the given clocks zeroed (transition reset set l)."""
+        out = ClockValuation(self)
+        for c in clocks:
+            if c not in out:
+                raise KeyError(f"reset of unknown clock {c!r}")
+            out[c] = 0
+        return out

@@ -1,0 +1,252 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic event-list architecture: every future
+state change is an :class:`Event` held in an :class:`EventQueue` keyed
+by ``(time, priority, sequence)``.  Processes (see
+:mod:`repro.kernel.simulator`) are generators that yield events; the
+simulator resumes a process when the event it waits on is triggered.
+
+Time is *discrete* by default, following the paper's Definition 3.1
+("we consider [time] to be discrete, since in essence the time
+perceived by a computer is discrete as well").  The queue itself is
+agnostic to the numeric type, so dense-time experiments (e.g. the
+Alur-Dill comparison in :mod:`repro.automata.timed`) can reuse it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import IntEnum
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "EventState",
+    "Priority",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "EventQueue",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level protocol violations.
+
+    Examples: scheduling an event in the past, triggering an event
+    twice, or running a simulator whose event list is corrupted.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process generator to interrupt its current wait.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by
+    the interrupter (for instance, a deadline monitor cancelling a
+    worker in the Section 4.1 acceptor).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventState(IntEnum):
+    """Lifecycle of an :class:`Event`."""
+
+    PENDING = 0  #: created, not yet scheduled to fire
+    SCHEDULED = 1  #: in the event queue with a firing time
+    TRIGGERED = 2  #: fired; callbacks have run or are running
+    FAILED = 3  #: fired exceptionally; value is an exception
+
+
+class Priority(IntEnum):
+    """Tie-breaking priorities for events scheduled at the same time.
+
+    Lower values run first.  ``URGENT`` is used by the kernel itself
+    (e.g. interrupt delivery), ``HIGH`` by infrastructure such as input
+    tapes making symbols available *before* user processes inspect the
+    tape at the same instant, ``NORMAL`` by ordinary process wakeups.
+    """
+
+    URGENT = 0
+    HIGH = 1
+    NORMAL = 2
+    LOW = 3
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event is *triggered* at most once, with a value (``succeed``) or
+    an exception (``fail``).  Callbacks attached before triggering run
+    when the simulator pops the event; callbacks attached afterwards
+    run immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_state", "name")
+
+    def __init__(self, sim: "Any", name: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._state = EventState.PENDING
+        self.name = name
+
+    # -- introspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (successfully or not)."""
+        return self._state in (EventState.TRIGGERED, EventState.FAILED)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the event fired successfully."""
+        return self._state == EventState.TRIGGERED
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with.
+
+        Raises :class:`SimulationError` if the event has not fired.
+        """
+        if not self.triggered:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: Any = 0, priority: Priority = Priority.NORMAL) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != EventState.PENDING:
+            raise SimulationError(f"event {self!r} already triggered/scheduled")
+        self._value = value
+        self._state = EventState.SCHEDULED
+        self.sim.schedule(self, delay=delay, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: Any = 0, priority: Priority = Priority.NORMAL) -> "Event":
+        """Schedule this event to fire exceptionally after ``delay``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._state != EventState.PENDING:
+            raise SimulationError(f"event {self!r} already triggered/scheduled")
+        self._value = exception
+        self._state = EventState.SCHEDULED
+        self.sim.schedule(self, delay=delay, priority=priority, failed=True)
+        return self
+
+    # -- kernel hooks ---------------------------------------------------
+    def _mark(self, failed: bool) -> None:
+        self._state = EventState.FAILED if failed else EventState.TRIGGERED
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (or now, if it has)."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.name or self.__class__.__name__
+        return f"<{tag} state={self._state.name}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay; the workhorse wait."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Any, delay: Any, value: Any = None, priority: Priority = Priority.NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"Timeout({delay})")
+        self.delay = delay
+        self._value = value
+        self._state = EventState.SCHEDULED
+        sim.schedule(self, delay=delay, priority=priority)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite waits."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, sim: Any, events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: Tuple[Event, ...] = tuple(events)
+        self._done = 0
+        if not self.events:
+            # An empty condition is vacuously satisfied.
+            self.succeed(value={})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered or self._state == EventState.SCHEDULED:
+            return
+        if not ev.ok:
+            self.fail(ev.value, priority=Priority.URGENT)
+            return
+        self._done += 1
+        if self._satisfied():
+            self.succeed(
+                value={e: e.value for e in self.events if e.triggered and e.ok},
+                priority=Priority.URGENT,
+            )
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1
+
+
+class AllOf(_Condition):
+    """Fires once all child events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._done >= len(self.events)
+
+
+class EventQueue:
+    """A priority queue of ``(time, priority, seq, event, failed)``.
+
+    ``seq`` is a monotone counter giving FIFO order among equal
+    ``(time, priority)`` entries — determinism matters for reproducible
+    benchmarks and for the paper's Definition 3.5 tie-breaking idiom.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Any, int, int, Event, bool]] = []
+        self._seq = itertools.count()
+
+    def push(self, time: Any, priority: int, event: Event, failed: bool = False) -> None:
+        heapq.heappush(self._heap, (time, int(priority), next(self._seq), event, failed))
+
+    def pop(self) -> Tuple[Any, Event, bool]:
+        time, _prio, _seq, event, failed = heapq.heappop(self._heap)
+        return time, event, failed
+
+    def peek_time(self) -> Any:
+        """Firing time of the earliest scheduled event."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

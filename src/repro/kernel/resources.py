@@ -1,0 +1,158 @@
+"""Shared resources for kernel processes: stores, channels, resources.
+
+These are the communication substrate for the paper's explicit
+parallel/distributed model (Section 6): processes exchange messages
+through :class:`Channel` objects, which is exactly the "communicate
+with each other by messages" assumption of that section.  The
+:class:`Resource` type supports contention experiments (e.g. the
+real-time database transaction manager in :mod:`repro.rtdb`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generic, List, Optional, TypeVar
+
+from .events import Event, Priority, SimulationError
+from .simulator import Simulator
+
+__all__ = ["Store", "Channel", "Resource", "ResourceRequest"]
+
+T = TypeVar("T")
+
+
+class Store(Generic[T]):
+    """An unbounded-or-bounded FIFO buffer of items.
+
+    ``put`` blocks while the store is full (bounded case); ``get``
+    blocks while it is empty.  FIFO service order on both sides keeps
+    simulations deterministic.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[T] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, T]] = deque()
+
+    def put(self, item: T) -> Event:
+        """Event that fires once ``item`` has been deposited."""
+        ev = self.sim.event(name="store.put")
+        if self.capacity is None or len(self.items) < self.capacity:
+            self._deposit(item)
+            ev.succeed(priority=Priority.HIGH)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = self.sim.event(name="store.get")
+        if self.items:
+            ev.succeed(self.items.popleft(), priority=Priority.HIGH)
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _deposit(self, item: T) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item, priority=Priority.HIGH)
+        else:
+            self.items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self.items) < self.capacity):
+            ev, item = self._putters.popleft()
+            self._deposit(item)
+            ev.succeed(priority=Priority.HIGH)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Channel(Store[T]):
+    """A message channel: a Store with optional per-message latency.
+
+    A channel with ``latency=d`` delivers each message ``d`` time units
+    after the put — the one-chronon message hop of Section 5.2.1
+    ("transmitting a message takes one time unit") is ``latency=1``.
+    """
+
+    def __init__(self, sim: Simulator, latency: Any = 0, capacity: Optional[int] = None):
+        super().__init__(sim, capacity=capacity)
+        if latency < 0:
+            raise SimulationError(f"negative channel latency {latency!r}")
+        self.latency = latency
+
+    def put(self, item: T) -> Event:
+        if self.latency == 0:
+            return super().put(item)
+        done = self.sim.event(name="channel.put")
+
+        def _deliver(_ev: Event) -> None:
+            self._deposit(item)
+            done.succeed(priority=Priority.HIGH)
+
+        self.sim.timeout(self.latency).add_callback(_deliver)
+        return done
+
+
+class ResourceRequest(Event):
+    """The event handed out by :meth:`Resource.request`.
+
+    Also usable as a context token: pass it back to
+    :meth:`Resource.release` when done.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim, name="resource.request")
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO or priority-free semantics.
+
+    ``capacity`` concurrent holders are admitted; further requests
+    queue.  Used by the RTDB transaction scheduler and by contention
+    ablations.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self._waiting: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        """Event firing once a slot is granted."""
+        req = ResourceRequest(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req, priority=Priority.HIGH)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: ResourceRequest) -> None:
+        """Return a granted slot; admits the next waiter, if any."""
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold the resource") from None
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt, priority=Priority.HIGH)

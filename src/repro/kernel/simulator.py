@@ -1,0 +1,256 @@
+"""The discrete-event simulator: generator-based cooperative processes.
+
+This is the execution substrate for every acceptor, database sampler,
+and network node in the reproduction.  A *process* is a Python
+generator that yields :class:`~repro.kernel.events.Event` objects; the
+simulator resumes it with the event's value when the event fires.
+
+Design notes
+------------
+* **Discrete time.**  ``Simulator(integer_time=True)`` (the default)
+  enforces integer timestamps, matching the paper's discrete chronon
+  model (Definition 3.1).  Dense-time experiments may disable it.
+* **Determinism.**  Equal-time events run in FIFO order within each
+  priority band, so a simulation is a pure function of its inputs —
+  essential for the benchmark harness.
+* **No wall-clock coupling.**  Simulated time advances only through the
+  event list; a million chronons of idle time cost O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventQueue,
+    Interrupt,
+    Priority,
+    SimulationError,
+    Timeout,
+)
+
+__all__ = ["Simulator", "Process", "ProcessDied", "StopSimulation"]
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class ProcessDied(SimulationError):
+    """Raised when interacting with a process that already terminated."""
+
+
+class Process(Event):
+    """A running generator; also an event that fires on termination.
+
+    Waiting on a process (``yield other_process``) blocks until it
+    returns; its return value becomes the waiter's resumed value.  This
+    mirrors the two-process acceptor structure of Section 4.1, where
+    the monitor :math:`P_m` observes the worker :math:`P_w`.
+    """
+
+    __slots__ = ("generator", "_target", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Bootstrap: resume the generator at the current instant.
+        boot = Event(sim, name=f"init:{self.name}")
+        boot.add_callback(self._resume)
+        boot.succeed(priority=Priority.URGENT)
+
+    # -- public API -----------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a dead process raises :class:`ProcessDied`; a
+        process cannot interrupt itself.
+        """
+        if not self.is_alive:
+            raise ProcessDied(f"cannot interrupt terminated process {self.name!r}")
+        if self.sim.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        self._interrupts.append(Interrupt(cause))
+        wake = Event(self.sim, name=f"interrupt:{self.name}")
+        wake.add_callback(self._resume)
+        wake.succeed(priority=Priority.URGENT)
+
+    # -- kernel ----------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting on (if any).
+        self._target = None
+        self.sim.active_process = self
+        try:
+            if self._interrupts:
+                exc = self._interrupts.pop(0)
+                target = self.generator.throw(exc)
+            elif trigger.ok:
+                target = self.generator.send(trigger.value)
+            else:
+                target = self.generator.throw(trigger.value)
+        except StopIteration as stop:
+            self._mark(failed=False)
+            self._value = stop.value
+            self._fire_callbacks()
+            return
+        except StopSimulation:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._mark(failed=True)
+            self._value = exc
+            if not self._fire_callbacks():
+                # Nobody is watching this process: crash the simulation
+                # rather than swallow the error.
+                raise
+            return
+        finally:
+            self.sim.active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        self._target = target
+        target.add_callback(self._resume)
+
+    def _fire_callbacks(self) -> bool:
+        callbacks, self.callbacks = self.callbacks, None
+        had = bool(callbacks)
+        for fn in callbacks or ():
+            fn(self)
+        return had
+
+
+class Simulator:
+    """Discrete-event simulation environment.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def producer(sim, channel):
+            for i in range(3):
+                yield sim.timeout(5)
+                yield channel.put(i)
+
+        chan = Channel(sim)
+        sim.process(producer(sim, chan))
+        sim.run(until=100)
+    """
+
+    def __init__(self, start: Any = 0, integer_time: bool = True):
+        self.now: Any = start
+        self._queue = EventQueue()
+        self.active_process: Optional[Process] = None
+        self.integer_time = integer_time
+        self._tracer = None  # set by kernel.trace.Tracer
+        if integer_time and int(start) != start:
+            raise SimulationError(f"non-integer start time {start!r} with integer_time=True")
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, event: Event, delay: Any = 0, priority: Priority = Priority.NORMAL, failed: bool = False) -> None:
+        """Insert ``event`` into the event list ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        when = self.now + delay
+        if self.integer_time and int(when) != when:
+            raise SimulationError(f"non-integer event time {when!r} with integer_time=True")
+        self._queue.push(when, priority, event, failed)
+
+    # -- event factories ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: Any, value: Any = None, priority: Priority = Priority.NORMAL) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value=value, priority=priority)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a running process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any child fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all children have fired."""
+        return AllOf(self, events)
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> None:
+        """Pop and dispatch exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event list")
+        when, event, failed = self._queue.pop()
+        if when < self.now:
+            raise SimulationError("event list corrupted: time went backwards")
+        self.now = when
+        event._mark(failed)
+        if self._tracer is not None:
+            self._tracer.record(when, event.name or type(event).__name__, not failed)
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks or ():
+            fn(event)
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the event list drains, ``until`` time passes, or an
+        ``until`` event fires (when an :class:`Event` is supplied).
+
+        Returns the value of the ``until`` event if one was given and it
+        fired, else ``None``.
+        """
+        stop_value: Any = None
+        if isinstance(until, Event):
+            sentinel = until
+
+            def _halt(ev: Event) -> None:
+                raise StopSimulation(ev.value if ev.ok else ev.value)
+
+            if sentinel.triggered:
+                return sentinel.value
+            sentinel.add_callback(_halt)
+            horizon = None
+        else:
+            horizon = until
+
+        try:
+            while self._queue:
+                if horizon is not None and self._queue.peek_time() > horizon:
+                    self.now = horizon
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.value
+            return stop_value
+        if horizon is not None:
+            self.now = horizon
+        return stop_value
+
+    def peek(self) -> Any:
+        """Time of the next scheduled event, or ``None`` if drained."""
+        return self._queue.peek_time() if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled."""
+        return len(self._queue)

@@ -1,0 +1,97 @@
+"""Execution tracing for the simulation kernel.
+
+A :class:`Tracer` hooks a :class:`~repro.kernel.simulator.Simulator`
+and records every dispatched event as (time, event name, ok).  Useful
+for debugging acceptors ("why did P_m never fire?"), for the examples'
+narrative output, and for regression tests on event *ordering* — the
+kernel's determinism guarantee is exactly reproducible traces.
+
+Tracing is opt-in and zero-cost when absent (the simulator checks a
+single attribute).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .simulator import Simulator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dispatched event."""
+
+    time: Any
+    name: str
+    ok: bool
+    seq: int
+
+
+class Tracer:
+    """Records dispatched events from one simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to attach to (one tracer per simulator).
+    name_filter:
+        Optional predicate on event names; non-matching events are not
+        recorded (they still execute, of course).
+    limit:
+        Recording stops (silently) after this many records — a guard
+        against tracing an unbounded run into memory exhaustion.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name_filter: Optional[Callable[[str], bool]] = None,
+        limit: int = 100_000,
+    ):
+        if getattr(sim, "_tracer", None) is not None:
+            raise RuntimeError("simulator already has a tracer attached")
+        self.sim = sim
+        self.records: List[TraceRecord] = []
+        self.name_filter = name_filter
+        self.limit = limit
+        self._seq = 0
+        self.dropped = 0
+        sim._tracer = self  # type: ignore[attr-defined]
+
+    # called by Simulator.step
+    def record(self, time: Any, name: str, ok: bool) -> None:
+        self._seq += 1
+        if self.name_filter is not None and not self.name_filter(name):
+            return
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, name, ok, self._seq))
+
+    # -- queries --------------------------------------------------------
+    def events_at(self, time: Any) -> List[TraceRecord]:
+        return [r for r in self.records if r.time == time]
+
+    def timeline(self) -> List[Tuple[Any, str]]:
+        return [(r.time, r.name) for r in self.records]
+
+    def counts(self) -> Dict[str, int]:
+        return dict(Counter(r.name for r in self.records))
+
+    def first(self, name: str) -> Optional[TraceRecord]:
+        for r in self.records:
+            if r.name == name:
+                return r
+        return None
+
+    def detach(self) -> None:
+        """Stop tracing (the simulator keeps running untraced)."""
+        if getattr(self.sim, "_tracer", None) is self:
+            self.sim._tracer = None  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return len(self.records)

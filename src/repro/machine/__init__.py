@@ -1,0 +1,34 @@
+"""The paper's acceptor model: real-time algorithms (Defs. 3.3–3.4)."""
+
+from .from_tba import NondeterministicTBAError, tba_to_algorithm
+from .monitor import WorkerMonitorAcceptor, WorkerSignal
+from .multiproc import MultiProcessorAlgorithm, stream_echo_acceptor
+from .rtalgorithm import (
+    ACCEPT_SYMBOL,
+    Context,
+    DecisionReport,
+    RealTimeAlgorithm,
+    SpaceLimitExceeded,
+    Verdict,
+    WorkingStorage,
+)
+from .tape import InputTape, OutputTape, TapeProtocolError
+
+__all__ = [
+    "RealTimeAlgorithm",
+    "Context",
+    "DecisionReport",
+    "Verdict",
+    "ACCEPT_SYMBOL",
+    "WorkingStorage",
+    "SpaceLimitExceeded",
+    "InputTape",
+    "OutputTape",
+    "TapeProtocolError",
+    "WorkerMonitorAcceptor",
+    "WorkerSignal",
+    "MultiProcessorAlgorithm",
+    "stream_echo_acceptor",
+    "tba_to_algorithm",
+    "NondeterministicTBAError",
+]

@@ -1,0 +1,90 @@
+"""Compiling a timed Büchi automaton into a real-time algorithm.
+
+Section 3.1.1 argues that Definition 3.3's machines need no clock set:
+"a real-time algorithm has access to storage space, hence it can use
+(part of) this storage for time-keeping purposes."  This module makes
+the claim executable: :func:`tba_to_algorithm` produces a
+:class:`~repro.machine.rtalgorithm.RealTimeAlgorithm` that simulates
+the TBA — clock valuations live in working storage, guards are
+evaluated against elapsed input time, and the subset of reachable
+configurations is tracked on the fly.
+
+Judging Büchi acceptance operationally: the program writes f whenever
+the reachable configuration set contains an accepting state.  For
+*deterministic* TBAs this is exact — the unique run visits F
+infinitely often iff the tracked configuration is accepting infinitely
+often — and :func:`tba_to_algorithm` verifies determinism by default.
+(For nondeterministic TBAs the config-set proxy overapproximates:
+infinitely many f's certify that accepting *configurations* recur, not
+that one run threads them; pass ``allow_nondeterministic=True`` to use
+it as a semi-decision anyway.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Set, Tuple
+
+from ..automata.timed import TimedBuchiAutomaton
+from ..kernel.events import Event
+from .rtalgorithm import Context, RealTimeAlgorithm
+
+__all__ = ["tba_to_algorithm", "NondeterministicTBAError"]
+
+
+class NondeterministicTBAError(ValueError):
+    """The TBA has nondeterministic branching; the f-proxy is not exact."""
+
+
+def _is_deterministic(tba: TimedBuchiAutomaton) -> bool:
+    """Syntactic determinism: at most one transition per (state, symbol).
+
+    (Guard-disjoint transitions would also be fine; we keep the check
+    conservative and simple.)
+    """
+    seen: Set[Tuple[Any, Any]] = set()
+    for tr in tba.transitions:
+        key = (tr.source, tr.symbol)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def tba_to_algorithm(
+    tba: TimedBuchiAutomaton, allow_nondeterministic: bool = False
+) -> RealTimeAlgorithm:
+    """The real-time algorithm simulating ``tba``.
+
+    Working storage holds the reachable configuration set (state ×
+    clock valuation, capped at the automaton's cmax+1 region bound) and
+    the previous input timestamp; each input symbol advances clocks by
+    the inter-arrival gap and applies the enabled transitions.  An f is
+    written whenever some reachable configuration is accepting (and the
+    output-rate rule permits).  If every configuration dies, the
+    machine enters s_r.
+    """
+    if not allow_nondeterministic and not _is_deterministic(tba):
+        raise NondeterministicTBAError(
+            "pass allow_nondeterministic=True to use the f-count proxy"
+        )
+
+    def program(ctx: Context) -> Generator[Event, Any, None]:
+        ctx.storage["configs"] = {
+            (tba.initial, tuple(0 for _ in tba.clocks))
+        }
+        ctx.storage["prev_t"] = 0
+        while True:
+            symbol, t = yield ctx.input.read()
+            gap = t - ctx.storage["prev_t"]
+            ctx.storage["prev_t"] = t
+            configs: Set[Tuple[Any, Tuple[int, ...]]] = ctx.storage["configs"]
+            nxt = tba._step_configs(configs, symbol, gap)
+            ctx.storage["configs"] = nxt
+            if not nxt:
+                ctx.reject()  # every run died: no accepting run exists
+                return
+            if any(state in tba.accepting for state, _v in nxt):
+                if ctx.output.can_write():
+                    ctx.emit_f()
+
+    return RealTimeAlgorithm(program, name="TBA-sim")

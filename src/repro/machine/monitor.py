@@ -1,0 +1,93 @@
+"""The two-process worker/monitor acceptor harness of Section 4.
+
+Both Section 4.1 (deadlines) and Section 4.2 (data accumulation) build
+their acceptors from the same two processes:
+
+* **P_w** — an algorithm that solves the underlying problem Π on the
+  input carried by the ω-word, storing its solution in designated
+  memory and signalling the monitor at significant points (termination
+  in Section 4.1; per-datum completion in Section 4.2);
+* **P_m** — monitors the input tape and, on each worker signal,
+  inspects "the current symbol" and imposes s_f or s_r on the whole
+  acceptor.
+
+:class:`WorkerMonitorAcceptor` wires these up over the
+:class:`~repro.machine.rtalgorithm.RealTimeAlgorithm` substrate.  The
+concrete worker/monitor behaviours are injected by the Section 4.1/4.2
+modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..kernel.events import Event
+from ..kernel.resources import Store
+
+from .rtalgorithm import Context, RealTimeAlgorithm, Verdict
+
+__all__ = ["WorkerSignal", "WorkerMonitorAcceptor"]
+
+
+class WorkerSignal:
+    """A progress signal from P_w to P_m."""
+
+    def __init__(self, kind: str, payload: Any = None, at: int = 0):
+        self.kind = kind  # e.g. "done", "datum-processed"
+        self.payload = payload
+        self.at = at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WorkerSignal({self.kind!r}, at={self.at})"
+
+
+#: A worker is a generator over (ctx, signals-store); it yields kernel
+#: events and puts WorkerSignal objects into the store.
+Worker = Callable[[Context, Store], Generator[Event, Any, Any]]
+
+#: A monitor decision: given ctx and a signal, return ACCEPT / REJECT /
+#: None (keep monitoring).
+MonitorDecision = Callable[[Context, WorkerSignal], Optional[Verdict]]
+
+
+class WorkerMonitorAcceptor(RealTimeAlgorithm):
+    """The Section 4 acceptor: P_w computes, P_m judges.
+
+    ``worker`` performs the computation (reading ``ctx.input`` as it
+    pleases) and reports through the signal store.  ``monitor_decision``
+    is evaluated by P_m on every signal; its first non-None verdict is
+    imposed on the whole acceptor (``ctx.accept()`` / ``ctx.reject()``).
+    """
+
+    def __init__(
+        self,
+        worker: Worker,
+        monitor_decision: MonitorDecision,
+        name: str = "P_w||P_m",
+        space_limit: Optional[int] = None,
+    ):
+        self.worker = worker
+        self.monitor_decision = monitor_decision
+        super().__init__(self._program, name=name, space_limit=space_limit)
+
+    def _program(self, ctx: Context) -> Generator[Event, Any, None]:
+        signals: Store[WorkerSignal] = Store(ctx.sim)
+        worker_proc = ctx.sim.process(self.worker(ctx, signals), name="P_w")
+
+        def p_m() -> Generator[Event, Any, None]:
+            while ctx.verdict is Verdict.UNDECIDED:
+                sig = yield signals.get()
+                sig.at = ctx.sim.now
+                verdict = self.monitor_decision(ctx, sig)
+                if verdict is Verdict.ACCEPT:
+                    ctx.accept()
+                    return
+                if verdict is Verdict.REJECT:
+                    ctx.reject()
+                    return
+
+        ctx.sim.process(p_m(), name="P_m")
+        # The outer program simply hosts the two processes; it ends when
+        # the worker does (the monitor may outlive it waiting for more
+        # signals, which is fine — s_f/s_r are absorbing anyway).
+        yield worker_proc

@@ -1,0 +1,127 @@
+"""Multiprocessor real-time algorithms — rt-PROC made concrete.
+
+Section 3.2's rt-PROC(f) classes presuppose a p-processor variant of
+the Definition 3.3 machine.  This module provides one faithful to the
+paper's granularity conventions: p workers share the input tape and the
+(single) output tape; each worker performs at most one unit-work step
+per chronon (the input-side mirror of the output tape's one-symbol-per-
+chronon rule).  The shared output tape keeps Definition 3.4 acceptance
+unchanged: the *system* accepts by writing f forever.
+
+:class:`MultiProcessorAlgorithm` runs p copies of a worker program plus
+one supervisor; :func:`stream_echo_acceptor` expresses the k-stream
+echo language of :mod:`repro.complexity.hierarchy` on it, so the
+hierarchy experiment can be cross-validated against the actual machine
+model rather than the abstract queue recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..kernel.events import Event
+from ..kernel.resources import Store
+
+
+from .rtalgorithm import Context, RealTimeAlgorithm
+
+
+__all__ = ["MultiProcessorAlgorithm", "stream_echo_acceptor"]
+
+#: A worker program: generator over (worker id, Context, work Store).
+WorkerProgram = Callable[[int, Context, Store], Generator[Event, Any, Any]]
+#: The supervisor: reads the tape, distributes work, declares verdicts.
+Supervisor = Callable[[Context, Store], Generator[Event, Any, Any]]
+
+
+class MultiProcessorAlgorithm(RealTimeAlgorithm):
+    """A p-processor real-time algorithm.
+
+    The ``supervisor`` reads the input tape (it is the machine's finite
+    control); it deposits work items into the shared store, from which
+    each of the p ``worker`` processes draws.  Workers spend at least
+    one chronon per item (enforced: drawing is free, completing work
+    costs ``max(1, duration)``), realizing the one-unit-per-chronon
+    processor granularity that rt-PROC counts.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        supervisor: Supervisor,
+        worker: WorkerProgram,
+        name: str = "rt-PROC machine",
+        space_limit: Optional[int] = None,
+    ):
+        if p <= 0:
+            raise ValueError("need at least one processor")
+        self.p = p
+        self.supervisor = supervisor
+        self.worker = worker
+        super().__init__(self._program, name=name, space_limit=space_limit)
+
+    def _program(self, ctx: Context) -> Generator[Event, Any, None]:
+        work: Store = Store(ctx.sim)
+        for wid in range(self.p):
+            ctx.sim.process(
+                self._paced_worker(wid, ctx, work), name=f"proc-{wid}"
+            )
+        yield from self.supervisor(ctx, work)
+
+    def _paced_worker(self, wid: int, ctx: Context, work: Store):
+        gen = self.worker(wid, ctx, work)
+        return gen
+
+
+def stream_echo_acceptor(
+    p: int, deadline: int, miss_limit: int = 1
+) -> MultiProcessorAlgorithm:
+    """The k-stream echo language acceptor on p processors.
+
+    Input: the :func:`repro.complexity.hierarchy.stream_word` shape — k
+    symbols per chronon (any k; the machine does not need to know it).
+    Each symbol must be *processed* (one chronon of work by some
+    processor) within ``deadline`` chronons of its arrival.  The
+    supervisor rejects on the first deadline miss; if no miss occurs
+    for a probation window comfortably past the backlog horizon, it
+    accepts (the run is then periodic and misses can no longer occur).
+    """
+
+    def supervisor(ctx: Context, work: Store) -> Generator[Event, Any, None]:
+        # Feed every tape symbol into the work store, stamped.
+        stats = ctx.storage
+        stats["fed"] = 0
+        stats["done"] = 0
+        stats["missed"] = 0
+
+        def feeder() -> Generator[Event, Any, None]:
+            while True:
+                sym, t = yield ctx.input.read()
+                stats["fed"] = stats["fed"] + 1
+                yield work.put((sym, t))
+
+        ctx.sim.process(feeder(), name="supervisor-feeder")
+        # Probation: if the backlog were growing, a miss occurs by
+        # deadline·k/(k−p)+2 ≤ deadline·(p+1)+2 chronons for any k > p;
+        # we watch for twice that, then declare acceptance.
+        probation = 2 * (deadline * (p + 1) + 2)
+        while ctx.sim.now < probation:
+            if stats["missed"] >= miss_limit:
+                ctx.reject()
+                return
+            yield ctx.timeout(1)
+        if stats["missed"] >= miss_limit:
+            ctx.reject()
+        else:
+            ctx.accept()
+
+    def worker(wid: int, ctx: Context, work: Store) -> Generator[Event, Any, None]:
+        stats = ctx.storage
+        while True:
+            sym, arrived = yield work.get()
+            yield ctx.timeout(1)  # one chronon of processing
+            stats["done"] = stats["done"] + 1
+            if ctx.sim.now - arrived > deadline:
+                stats["missed"] = stats["missed"] + 1
+
+    return MultiProcessorAlgorithm(p, supervisor, worker, name=f"echo[p={p}]")

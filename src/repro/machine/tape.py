@@ -1,0 +1,168 @@
+"""Input and output tapes of a real-time algorithm (Definition 3.3).
+
+*Input tape*: carries a timed ω-word; the pair (σᵢ, τᵢ) means σᵢ is
+available to the algorithm at precisely τᵢ and **not earlier** — the
+availability rule is enforced here, not left to programmer discipline.
+
+*Output tape*: write-only, at most one symbol per time unit.  The
+algorithm cannot read back what it wrote; observers (the acceptance
+judge, tests) use the separate observer API.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..kernel.events import Event, Priority, SimulationError
+from ..kernel.simulator import Simulator
+from ..words.timedword import Pair, TimedWord
+
+__all__ = ["InputTape", "OutputTape", "TapeProtocolError"]
+
+
+class TapeProtocolError(SimulationError):
+    """Violation of Definition 3.3 tape semantics."""
+
+
+class InputTape:
+    """Feeds a timed ω-word into the simulation.
+
+    A feeder process walks the word and deposits each symbol at its
+    timestamp (HIGH priority, so symbols are available before ordinary
+    processes inspect the tape at the same instant).  Algorithms
+    consume via:
+
+    * :meth:`read` — event yielding the next pair in word order (blocks
+      until it is available);
+    * :meth:`poll` — all pairs that have arrived but not been ``read``;
+    * :meth:`current_symbol` — the most recently *arrived* symbol (what
+      Section 4.1's monitor P_m calls "the current symbol").
+
+    ``horizon`` caps how far an infinite word is fed; the feeder stops
+    quietly there (simulations always run to finite time anyway).
+    """
+
+    def __init__(self, sim: Simulator, word: TimedWord, horizon: int = 1_000_000):
+        self.sim = sim
+        self.word = word
+        self.horizon = horizon
+        self._arrived: Deque[Pair] = deque()
+        self._history: List[Pair] = []
+        self._waiters: Deque[Event] = deque()
+        self._last_symbol: Optional[Pair] = None
+        self.delivered = 0
+        sim.process(self._feeder(), name="input-tape")
+
+    def _feeder(self):
+        i = 0
+        while i < self.horizon:
+            try:
+                symbol, t = self.word[i]
+            except IndexError:
+                return
+            delay = t - self.sim.now
+            if delay < 0:
+                raise TapeProtocolError(
+                    f"input word time went backwards at index {i} (t={t}, now={self.sim.now})"
+                )
+            if delay:
+                yield self.sim.timeout(delay, priority=Priority.HIGH)
+            self._deliver((symbol, t))
+            i += 1
+
+    def _deliver(self, pair: Pair) -> None:
+        self.delivered += 1
+        self._last_symbol = pair
+        self._history.append(pair)
+        if self._waiters:
+            self._waiters.popleft().succeed(pair, priority=Priority.HIGH)
+        else:
+            self._arrived.append(pair)
+
+    # -- consumer API ------------------------------------------------------
+    def read(self) -> Event:
+        """Event firing with the next (symbol, time) pair in word order."""
+        ev = self.sim.event(name="tape.read")
+        if self._arrived:
+            ev.succeed(self._arrived.popleft(), priority=Priority.HIGH)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def poll(self) -> List[Pair]:
+        """Drain every already-arrived, not-yet-read pair (no blocking)."""
+        out = list(self._arrived)
+        self._arrived.clear()
+        return out
+
+    def peek_pending(self) -> List[Pair]:
+        """Arrived-but-unread pairs *without* consuming them.
+
+        For observers (e.g. a monitor process checking whether the
+        worker has caught up with the tape) that must not steal input
+        from the reading process.
+        """
+        return list(self._arrived)
+
+    def current_symbol(self) -> Optional[Any]:
+        """The most recently arrived symbol (None before any arrival).
+
+        This is the monitor's view in Section 4.1: "if, at the moment
+        P_w terminates, the current symbol is w …".
+        """
+        return self._last_symbol[0] if self._last_symbol else None
+
+    def current_pair(self) -> Optional[Pair]:
+        return self._last_symbol
+
+    @property
+    def arrived_count(self) -> int:
+        """Total symbols made available so far."""
+        return self.delivered
+
+    def arrived_history(self) -> List[Pair]:
+        """Observer API: every pair delivered so far (judges/tests only)."""
+        return list(self._history)
+
+
+class OutputTape:
+    """Write-only output stream o(A, w) with the one-symbol-per-chronon
+    rule of Definition 3.3."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._writes: List[Pair] = []
+        self._last_write_time: Optional[int] = None
+
+    def write(self, symbol: Any) -> None:
+        """Append one symbol at the current instant.
+
+        Raises :class:`TapeProtocolError` on a second write within the
+        same time unit — "during any time unit, A may add at most one
+        symbol to the output tape".
+        """
+        now = self.sim.now
+        if self._last_write_time is not None and now <= self._last_write_time:
+            raise TapeProtocolError(
+                f"second output write within time unit {now} "
+                "(Definition 3.3 allows at most one per unit)"
+            )
+        self._last_write_time = now
+        self._writes.append((symbol, now))
+
+    def can_write(self) -> bool:
+        """Would a write at the current instant be legal?"""
+        return self._last_write_time is None or self.sim.now > self._last_write_time
+
+    # -- observer API (not visible to the algorithm) -----------------------
+    def observed_contents(self) -> List[Pair]:
+        """(symbol, time) pairs written so far — judge's view only."""
+        return list(self._writes)
+
+    def count(self, symbol: Any) -> int:
+        """|o(A, w)|_symbol over the writes so far."""
+        return sum(1 for s, _t in self._writes if s == symbol)
+
+    def __len__(self) -> int:
+        return len(self._writes)

@@ -1,0 +1,22 @@
+"""Explicit parallel/distributed real-time models — Section 6."""
+
+from .pcgs import PCGS, Component, Production, query
+from .pram import Pram, PramConflictError, PramProgram, PramRun, PramVariant
+from .process import ProcessBehaviour
+from .system import ParallelSystem, ProcessContext, SystemRun
+
+__all__ = [
+    "ProcessBehaviour",
+    "ParallelSystem",
+    "ProcessContext",
+    "SystemRun",
+    "Pram",
+    "PramVariant",
+    "PramConflictError",
+    "PramProgram",
+    "PramRun",
+    "PCGS",
+    "Component",
+    "Production",
+    "query",
+]

@@ -1,0 +1,142 @@
+"""Parallel communicating grammar systems (PCGS) — Section 6's
+"intuitional support" [29, 13, 17, 20].
+
+A PCGS is a tuple of grammars with their own sentential forms that
+rewrite in lockstep; when a component's form contains a *query symbol*
+Q_j, a communication step replaces each Q_j by component j's current
+form (and, in returning systems, component j restarts from its axiom).
+The master component (index 1) generates the system's language.
+
+Implemented: context-free components, synchronous derivation, returning
+and non-returning communication, deterministic leftmost rewriting with
+a seeded RNG for nondeterministic choice, and bounded-length language
+enumeration for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Production", "Component", "PCGS", "query"]
+
+
+def query(j: int) -> str:
+    """The query symbol Q_j."""
+    return f"Q{j}"
+
+
+@dataclass(frozen=True)
+class Production:
+    """A context-free production A → w (w as a symbol tuple)."""
+
+    lhs: str
+    rhs: Tuple[str, ...]
+
+
+@dataclass
+class Component:
+    """One grammar of the system."""
+
+    nonterminals: Set[str]
+    axiom: str
+    productions: List[Production]
+
+    def rewritable(self, form: Tuple[str, ...]) -> bool:
+        return any(s in self.nonterminals for s in form)
+
+
+class PCGS:
+    """A parallel communicating grammar system of n components."""
+
+    def __init__(self, components: Sequence[Component], returning: bool = True):
+        if not components:
+            raise ValueError("a PCGS has at least one component")
+        self.components = list(components)
+        self.returning = returning
+        self.n = len(components)
+
+    def initial_forms(self) -> List[Tuple[str, ...]]:
+        return [(c.axiom,) for c in self.components]
+
+    # -- one synchronous step ----------------------------------------------
+    def _has_query(self, forms: List[Tuple[str, ...]]) -> bool:
+        return any(any(s.startswith("Q") and s[1:].isdigit() for s in f) for f in forms)
+
+    def communication_step(self, forms: List[Tuple[str, ...]]) -> List[Tuple[str, ...]]:
+        """Replace every query symbol by the queried component's form.
+
+        Communication has priority over rewriting; in returning mode a
+        queried component falls back to its axiom afterwards.
+        """
+        queried: Set[int] = set()
+        out: List[Tuple[str, ...]] = []
+        for form in forms:
+            new: List[str] = []
+            for s in form:
+                if s.startswith("Q") and s[1:].isdigit():
+                    j = int(s[1:])
+                    if not (1 <= j <= self.n):
+                        raise ValueError(f"query {s} out of range")
+                    new.extend(forms[j - 1])
+                    queried.add(j - 1)
+                else:
+                    new.append(s)
+            out.append(tuple(new))
+        if self.returning:
+            for j in queried:
+                out[j] = (self.components[j].axiom,)
+        return out
+
+    def rewrite_step(
+        self, forms: List[Tuple[str, ...]], rng: random.Random
+    ) -> Optional[List[Tuple[str, ...]]]:
+        """One synchronous leftmost rewriting step.
+
+        Every component holding a nonterminal must rewrite (a component
+        that cannot blocks the whole system — the PCGS convention);
+        terminal-only components idle.  Returns None when blocked.
+        """
+        out: List[Tuple[str, ...]] = []
+        for comp, form in zip(self.components, forms):
+            if not comp.rewritable(form):
+                out.append(form)
+                continue
+            # leftmost nonterminal
+            at = next(i for i, s in enumerate(form) if s in comp.nonterminals)
+            options = [p for p in comp.productions if p.lhs == form[at]]
+            if not options:
+                return None  # blocked
+            prod = rng.choice(options)
+            out.append(form[:at] + prod.rhs + form[at + 1 :])
+        return out
+
+    # -- derivation ------------------------------------------------------------
+    def derive(self, max_steps: int = 200, seed: int = 0) -> Optional[Tuple[str, ...]]:
+        """One random derivation of the master component (None if stuck)."""
+        rng = random.Random(seed)
+        forms = self.initial_forms()
+        for _ in range(max_steps):
+            if self._has_query(forms):
+                forms = self.communication_step(forms)
+                continue
+            master = forms[0]
+            if not self.components[0].rewritable(master):
+                return master
+            nxt = self.rewrite_step(forms, rng)
+            if nxt is None:
+                return None
+            forms = nxt
+        return None
+
+    def language_sample(
+        self, tries: int = 200, max_steps: int = 200, seed: int = 0
+    ) -> Set[Tuple[str, ...]]:
+        """Distinct terminal words reachable over ``tries`` derivations."""
+        out: Set[Tuple[str, ...]] = set()
+        for i in range(tries):
+            w = self.derive(max_steps=max_steps, seed=seed + i)
+            if w is not None:
+                out.add(w)
+        return out

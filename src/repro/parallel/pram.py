@@ -1,0 +1,142 @@
+"""The PRAM special case — Section 6.
+
+"The PRAM can be considered a particular case as well: since the
+communication between different processors is accomplished by
+read/write operations from/to the shared memory, there is no
+communication.  That is, both l_k and r_k are null words."
+
+The executor is a synchronous PRAM (Akl [3]): all processors execute
+one step per chronon against a shared memory; read/write conflicts are
+policed per the selected variant (EREW / CREW / CRCW-common).  Each
+processor's step trace becomes its c_k word; l_k = r_k = ε by
+construction, which :mod:`tests` assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from .process import ProcessBehaviour
+
+__all__ = ["PramVariant", "PramConflictError", "Pram", "PramProgram", "PramRun"]
+
+
+class PramVariant(Enum):
+    EREW = "EREW"  # exclusive read, exclusive write
+    CREW = "CREW"  # concurrent read, exclusive write
+    CRCW_COMMON = "CRCW"  # concurrent write allowed iff same value
+
+
+class PramConflictError(RuntimeError):
+    """A memory-access conflict forbidden by the PRAM variant."""
+
+
+@dataclass
+class _StepAccess:
+    reads: Dict[int, List[int]]  # address -> pids
+    writes: Dict[int, List[Tuple[int, Any]]]  # address -> (pid, value)
+
+
+class PramMemoryView:
+    """One processor's window onto shared memory for a single step.
+
+    Reads see the memory as of the step's start (synchronous PRAM);
+    writes are buffered and committed at the step barrier after
+    conflict checking.
+    """
+
+    def __init__(self, pram: "Pram", pid: int, access: _StepAccess):
+        self._pram = pram
+        self._pid = pid
+        self._access = access
+
+    def read(self, address: int) -> Any:
+        self._access.reads.setdefault(address, []).append(self._pid)
+        return self._pram.memory.get(address)
+
+    def write(self, address: int, value: Any) -> None:
+        self._access.writes.setdefault(address, []).append((self._pid, value))
+
+
+#: A PRAM program: fn(pid, step, view) -> False to halt, anything else to continue.
+PramProgram = Callable[[int, int, PramMemoryView], Any]
+
+
+@dataclass
+class PramRun:
+    steps: int
+    memory: Dict[int, Any]
+    behaviours: Dict[int, ProcessBehaviour]
+
+    def behaviour_tuple(self):
+        return tuple(
+            self.behaviours[pid].behaviour_word() for pid in sorted(self.behaviours)
+        )
+
+    @property
+    def communication_free(self) -> bool:
+        """Section 6's claim, checkable: every l_k and r_k is null."""
+        return all(b.communication_free for b in self.behaviours.values())
+
+
+class Pram:
+    """A synchronous PRAM with ``p`` processors."""
+
+    def __init__(self, p: int, variant: PramVariant = PramVariant.EREW):
+        if p <= 0:
+            raise ValueError("need at least one processor")
+        self.p = p
+        self.variant = variant
+        self.memory: Dict[int, Any] = {}
+
+    def load(self, data: Sequence[Any], base: int = 0) -> None:
+        for i, v in enumerate(data):
+            self.memory[base + i] = v
+
+    def _check_conflicts(self, access: _StepAccess) -> None:
+        v = self.variant
+        if v in (PramVariant.EREW,):
+            for addr, pids in access.reads.items():
+                if len(pids) > 1:
+                    raise PramConflictError(f"concurrent read of {addr} by {pids}")
+        if v in (PramVariant.EREW, PramVariant.CREW):
+            for addr, writers in access.writes.items():
+                if len(writers) > 1:
+                    raise PramConflictError(
+                        f"concurrent write of {addr} by {[p for p, _ in writers]}"
+                    )
+        else:  # CRCW-common: concurrent writes must agree
+            for addr, writers in access.writes.items():
+                values = {repr(val) for _pid, val in writers}
+                if len(values) > 1:
+                    raise PramConflictError(
+                        f"CRCW-common write disagreement at {addr}: {values}"
+                    )
+        # write-after-read hazards within a step are fine on a
+        # synchronous PRAM: reads see the pre-step memory.
+
+    def run(self, program: PramProgram, max_steps: int = 10_000) -> PramRun:
+        """Execute until every processor halts (returns False)."""
+        behaviours = {pid: ProcessBehaviour(pid) for pid in range(1, self.p + 1)}
+        active = set(range(1, self.p + 1))
+        step = 0
+        while active and step < max_steps:
+            access = _StepAccess(reads={}, writes={})
+            halted: List[int] = []
+            for pid in sorted(active):
+                view = PramMemoryView(self, pid, access)
+                keep = program(pid, step, view)
+                behaviours[pid].record_compute(f"step{step}", step)
+                if keep is False:
+                    halted.append(pid)
+            self._check_conflicts(access)
+            # barrier: commit writes (deterministic order, then by pid)
+            for addr in sorted(access.writes):
+                for _pid, value in access.writes[addr]:
+                    self.memory[addr] = value
+            for pid in halted:
+                active.discard(pid)
+            step += 1
+        return PramRun(steps=step, memory=dict(self.memory), behaviours=behaviours)

@@ -1,0 +1,63 @@
+"""Per-process behaviour words — Section 6.
+
+"Consider now some process k isolated from the external world … its
+execution can be modeled by some timed ω-word.  Call this word c_k.
+… the messages [it] sends … some timed ω-word l_k … the messages that
+are received … r_k.  Then, the behavior of process k is modeled by the
+timed ω-word c_k l_k r_k."
+
+:class:`ProcessBehaviour` collects the three event streams during a
+run and renders them as timed words (finite words over the run's
+horizon — the executable view of the ω-model); the behaviour of a
+p-process system is the tuple (c₁l₁r₁, …, c_p l_p r_p).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from ..words.concat import concat
+from ..words.timedword import TimedWord
+
+__all__ = ["ProcessBehaviour"]
+
+
+@dataclass
+class ProcessBehaviour:
+    """The recorded behaviour of one process: computation steps,
+    messages sent (l_k), messages received (r_k)."""
+
+    pid: int
+    compute_events: List[Tuple[Any, int]] = field(default_factory=list)
+    sent: List[Tuple[Any, int]] = field(default_factory=list)
+    received: List[Tuple[Any, int]] = field(default_factory=list)
+
+    # -- recording hooks ---------------------------------------------------
+    def record_compute(self, label: Any, t: int) -> None:
+        self.compute_events.append((("c", self.pid, label), t))
+
+    def record_send(self, to: int, payload: Any, t: int) -> None:
+        self.sent.append((("l", self.pid, to, payload), t))
+
+    def record_receive(self, frm: int, payload: Any, t: int) -> None:
+        self.received.append((("r", self.pid, frm, payload), t))
+
+    # -- word views -----------------------------------------------------------
+    def c_word(self) -> TimedWord:
+        return TimedWord.finite(self.compute_events)
+
+    def l_word(self) -> TimedWord:
+        return TimedWord.finite(self.sent)
+
+    def r_word(self) -> TimedWord:
+        return TimedWord.finite(self.received)
+
+    def behaviour_word(self) -> TimedWord:
+        """c_k l_k r_k via Definition 3.5 concatenation."""
+        return concat(concat(self.c_word(), self.l_word()), self.r_word())
+
+    @property
+    def communication_free(self) -> bool:
+        """True when l_k and r_k are null words (the PRAM case)."""
+        return not self.sent and not self.received

@@ -1,0 +1,124 @@
+"""Message-coupled process systems — the Section 6 parallel model.
+
+"One can assume that the implementation is composed of a set of n
+processes, that execute independently, and communicate with each other
+by messages."  :class:`ParallelSystem` realizes that on the kernel:
+each process runs as a generator with a :class:`ProcessContext` whose
+only inter-process facility is ``send``/``recv`` over channels, and
+every interaction is recorded into the per-process
+:class:`~repro.parallel.process.ProcessBehaviour` so a run denotes the
+tuple (c₁l₁r₁, …, c_p l_p r_p).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator
+
+from ..kernel.events import Event
+
+from ..kernel.simulator import Process, Simulator
+from .process import ProcessBehaviour
+
+__all__ = ["ProcessContext", "ParallelSystem", "SystemRun"]
+
+
+class ProcessContext:
+    """What one process sees: its id, a clock, compute, send, recv."""
+
+    def __init__(self, system: "ParallelSystem", pid: int):
+        self.system = system
+        self.pid = pid
+        self.behaviour = ProcessBehaviour(pid)
+
+    @property
+    def now(self) -> int:
+        return self.system.sim.now
+
+    def compute(self, label: Any = "step", duration: int = 1) -> Event:
+        """A local computation step of ``duration`` chronons."""
+        self.behaviour.record_compute(label, self.now)
+        return self.system.sim.timeout(duration)
+
+    def send(self, to: int, payload: Any) -> Event:
+        """Send a message (recorded in l_k; latency from the system)."""
+        self.behaviour.record_send(to, payload, self.now)
+        return self.system.mailboxes[to].put((self.pid, payload))
+
+    def recv(self) -> Event:
+        """Receive the next message; fires with (sender, payload)."""
+        ev = self.system.mailboxes[self.pid].get()
+        ev.add_callback(self._note_receive)
+        return ev
+
+    def _note_receive(self, ev: Event) -> None:
+        if ev.ok:
+            frm, payload = ev.value
+            self.behaviour.record_receive(frm, payload, self.now)
+
+
+#: A process body: generator over (ctx) yielding kernel events.
+ProcessBody = Callable[[ProcessContext], Generator[Event, Any, Any]]
+
+
+@dataclass
+class SystemRun:
+    """Results of a finished system run."""
+
+    behaviours: Dict[int, ProcessBehaviour]
+    results: Dict[int, Any]
+    finished_at: int
+
+    def behaviour_tuple(self):
+        """(c₁l₁r₁, …, c_p l_p r_p) as Section 6 defines it."""
+        return tuple(
+            self.behaviours[pid].behaviour_word() for pid in sorted(self.behaviours)
+        )
+
+
+class ParallelSystem:
+    """p independent processes + message channels on one kernel.
+
+    ``latency`` is the message delay in chronons (1 models the ad hoc
+    network's unit hop; 0 models a tightly-coupled cluster).
+    """
+
+    def __init__(self, n_processes: int, latency: int = 1):
+        if n_processes <= 0:
+            raise ValueError("need at least one process")
+        self.sim = Simulator()
+        self.n = n_processes
+        self.latency = latency
+        from ..kernel.resources import Channel
+
+        self.mailboxes: Dict[int, Channel] = {
+            pid: Channel(self.sim, latency=latency) for pid in range(1, n_processes + 1)
+        }
+        self.contexts: Dict[int, ProcessContext] = {}
+        self._bodies: Dict[int, ProcessBody] = {}
+
+    def add_process(self, pid: int, body: ProcessBody) -> None:
+        if pid not in self.mailboxes:
+            raise ValueError(f"pid {pid} out of range 1..{self.n}")
+        self._bodies[pid] = body
+
+    def run(self, until: int = 10_000) -> SystemRun:
+        """Run all processes to completion (or the horizon)."""
+        procs: Dict[int, Process] = {}
+        for pid in range(1, self.n + 1):
+            body = self._bodies.get(pid)
+            if body is None:
+                continue
+            ctx = ProcessContext(self, pid)
+            self.contexts[pid] = ctx
+            procs[pid] = self.sim.process(body(ctx), name=f"P{pid}")
+        self.sim.run(until=until)
+        results = {
+            pid: (proc.value if proc.triggered and proc.ok else None)
+            for pid, proc in procs.items()
+        }
+        return SystemRun(
+            behaviours={pid: ctx.behaviour for pid, ctx in self.contexts.items()},
+            results=results,
+            finished_at=self.sim.now,
+        )

@@ -1,0 +1,150 @@
+"""Real-time database systems — Section 5.1 of the paper."""
+
+from .active import DBEvent, FiringMode, Rule, RuleEngine, Transaction
+from .approximate import (
+    AnytimeEvaluator,
+    ApproximateAnswer,
+    NonMonotoneQueryError,
+)
+from .algebra import (
+    Difference,
+    NaturalJoin,
+    Product,
+    Projection,
+    Query,
+    Relation,
+    Rename,
+    Selection,
+    Union,
+    figure2_query,
+)
+from .encode import (
+    SEP,
+    aq_word,
+    db0_word,
+    db_B_word,
+    dbk_word,
+    enc_query_header,
+    enc_value_block,
+    lemma51_bound,
+    pq_word,
+)
+from .instance import ConsistencyReport, RealTimeDatabase, SamplingSource
+from .objects import (
+    DataObject,
+    DerivedObject,
+    ImageObject,
+    InvariantObject,
+    absolutely_consistent,
+    age,
+    dispersion,
+    relatively_consistent,
+)
+from .queries import (
+    ObjectState,
+    QueryRegistry,
+    RecognitionInstance,
+    decide_aperiodic,
+    rtdb_acceptor,
+    serve_periodic,
+)
+from .recognition import (
+    decode_recognition_word,
+    enc_instance,
+    enc_tuple,
+    recognition_word,
+    recognizes,
+)
+from .relational import (
+    DatabaseInstance,
+    DatabaseSchema,
+    RelationInstance,
+    RelationSchema,
+    Row,
+    SchemaError,
+    ngc_example,
+)
+from .temporal import Interval, Lifespan, TemporalRelation
+from .transactions import (
+    Policy,
+    ScheduleOutcome,
+    Transaction,
+    TransactionResult,
+    TransactionScheduler,
+    run_workload,
+)
+
+__all__ = [
+    # relational
+    "RelationSchema",
+    "DatabaseSchema",
+    "RelationInstance",
+    "DatabaseInstance",
+    "Row",
+    "SchemaError",
+    "ngc_example",
+    # algebra
+    "Query",
+    "Relation",
+    "Selection",
+    "Projection",
+    "NaturalJoin",
+    "Rename",
+    "Union",
+    "Difference",
+    "Product",
+    "figure2_query",
+    # recognition
+    "recognition_word",
+    "decode_recognition_word",
+    "enc_instance",
+    "enc_tuple",
+    "recognizes",
+    # active
+    "FiringMode",
+    "DBEvent",
+    "Rule",
+    "RuleEngine",
+    "Transaction",
+    # temporal
+    "Interval",
+    "Lifespan",
+    "TemporalRelation",
+    # transactions
+    "Policy",
+    "Transaction",
+    "TransactionResult",
+    "TransactionScheduler",
+    "ScheduleOutcome",
+    "run_workload",
+    # objects
+    "DataObject",
+    "ImageObject",
+    "DerivedObject",
+    "InvariantObject",
+    "age",
+    "dispersion",
+    "absolutely_consistent",
+    "relatively_consistent",
+    # instance
+    "RealTimeDatabase",
+    "SamplingSource",
+    "ConsistencyReport",
+    # encode
+    "SEP",
+    "db0_word",
+    "dbk_word",
+    "db_B_word",
+    "aq_word",
+    "pq_word",
+    "lemma51_bound",
+    "enc_value_block",
+    "enc_query_header",
+    # queries
+    "QueryRegistry",
+    "ObjectState",
+    "RecognitionInstance",
+    "rtdb_acceptor",
+    "decide_aperiodic",
+    "serve_periodic",
+]

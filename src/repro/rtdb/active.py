@@ -1,0 +1,178 @@
+"""Active databases: ECA rules and execution models — Section 5.1.2.
+
+A rule has the form **on** event **if** condition **then** action.
+Events may be external phenomena or internal (e.g. tuple insertion);
+conditions may read event attributes or database content; actions are
+arbitrary routines that may raise further events ("an action may in
+turn generate other events and hence trigger other rules").
+
+The execution-model dimension the paper highlights is the **firing
+mode** of each rule:
+
+* ``IMMEDIATE``  — fired as soon as its event and condition hold;
+* ``DEFERRED``   — delayed until the final state (end of the current
+  transaction) is reached;
+* ``CONCURRENT`` — a separate process is spawned for the action and
+  executed concurrently (on the simulation kernel).
+
+The paper also floats a mixed policy — "immediate firing on the rules
+that update the image objects … but a deferred firing for the derived
+objects" — which :mod:`repro.rtdb.instance` wires up as its default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..kernel.events import Event as KernelEvent
+from ..kernel.simulator import Simulator
+
+__all__ = ["FiringMode", "DBEvent", "Rule", "RuleEngine", "Transaction"]
+
+
+class FiringMode(Enum):
+    IMMEDIATE = "immediate"
+    DEFERRED = "deferred"
+    CONCURRENT = "concurrent"
+
+
+@dataclass(frozen=True)
+class DBEvent:
+    """An event with a kind and attribute payload.
+
+    Kinds are free-form strings: "external:MonthChange",
+    "insert:Schedules", "sample:o_k", ….  "Events may have attributes
+    that are passed to the system."
+    """
+
+    kind: str
+    attributes: Tuple[Tuple[str, Any], ...] = ()
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        return dict(self.attributes).get(key, default)
+
+    @staticmethod
+    def make(kind: str, **attrs: Any) -> "DBEvent":
+        return DBEvent(kind, tuple(sorted(attrs.items())))
+
+
+@dataclass
+class Rule:
+    """on ``event_kind`` if ``condition`` then ``action``.
+
+    ``condition(event, context)`` → bool;
+    ``action(event, context)`` → optional list of new DBEvents;
+    ``context`` is whatever the engine owner passes (typically the
+    RTDB instance).  ``duration`` models the action's cost in chronons
+    (relevant for the concurrent mode and for deadline experiments).
+    """
+
+    name: str
+    event_kind: str
+    condition: Callable[[DBEvent, Any], bool]
+    action: Callable[[DBEvent, Any], Optional[List[DBEvent]]]
+    mode: FiringMode = FiringMode.IMMEDIATE
+    duration: int = 0
+
+
+class Transaction:
+    """A unit of work delimiting the deferred-firing boundary."""
+
+    def __init__(self, name: str = "txn"):
+        self.name = name
+        self.deferred: List[Tuple[Rule, DBEvent]] = []
+        self.fired: List[Tuple[str, str]] = []  # (rule, mode) log
+
+
+class RuleEngine:
+    """Forward-chaining rule application over the kernel.
+
+    ``raise_event`` dispatches an event against the rule base under the
+    currently open transaction.  Immediate rules run synchronously (and
+    may cascade); deferred rules queue until :meth:`commit`; concurrent
+    rules spawn kernel processes that take ``rule.duration`` chronons.
+
+    A cascade limit guards against non-terminating rule chains — a real
+    hazard the active-database literature flags.
+    """
+
+    def __init__(self, sim: Simulator, context: Any = None, cascade_limit: int = 1000):
+        self.sim = sim
+        self.context = context
+        self.rules: List[Rule] = []
+        self.cascade_limit = cascade_limit
+        self.current_txn: Optional[Transaction] = None
+        self.log: List[Tuple[int, str, str]] = []  # (time, rule, event kind)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    # -- transactions ---------------------------------------------------
+    def begin(self, name: str = "txn") -> Transaction:
+        if self.current_txn is not None:
+            raise RuntimeError("nested transactions are not modeled")
+        self.current_txn = Transaction(name)
+        return self.current_txn
+
+    def commit(self) -> List[KernelEvent]:
+        """Fire all deferred rules; returns processes for concurrent
+        actions spawned during the flush (so callers may wait)."""
+        txn = self.current_txn
+        if txn is None:
+            raise RuntimeError("commit without begin")
+        self.current_txn = None
+        spawned: List[KernelEvent] = []
+        # Deferred actions run against the final state, in queue order.
+        for rule, event in txn.deferred:
+            spawned.extend(self._run_action(rule, event, cascade_depth=0))
+        return spawned
+
+    # -- dispatch -----------------------------------------------------------
+    def raise_event(self, event: DBEvent, cascade_depth: int = 0) -> List[KernelEvent]:
+        """Dispatch one event; returns concurrent-action processes."""
+        if cascade_depth > self.cascade_limit:
+            raise RuntimeError(f"rule cascade exceeded {self.cascade_limit}")
+        spawned: List[KernelEvent] = []
+        for rule in self.rules:
+            if rule.event_kind != event.kind:
+                continue
+            if not rule.condition(event, self.context):
+                continue
+            if rule.mode is FiringMode.IMMEDIATE:
+                spawned.extend(self._run_action(rule, event, cascade_depth))
+            elif rule.mode is FiringMode.DEFERRED:
+                if self.current_txn is None:
+                    # No transaction open: deferred degrades to immediate
+                    # (the "final state" is now).
+                    spawned.extend(self._run_action(rule, event, cascade_depth))
+                else:
+                    self.current_txn.deferred.append((rule, event))
+            else:  # CONCURRENT
+                spawned.append(
+                    self.sim.process(
+                        self._concurrent_action(rule, event), name=f"rule:{rule.name}"
+                    )
+                )
+        return spawned
+
+    def _run_action(self, rule: Rule, event: DBEvent, cascade_depth: int) -> List[KernelEvent]:
+        self.log.append((self.sim.now, rule.name, event.kind))
+        new_events = rule.action(event, self.context) or []
+        spawned: List[KernelEvent] = []
+        for ev in new_events:
+            spawned.extend(self.raise_event(ev, cascade_depth + 1))
+        return spawned
+
+    def _concurrent_action(self, rule: Rule, event: DBEvent) -> Generator[KernelEvent, Any, None]:
+        if rule.duration > 0:
+            yield self.sim.timeout(rule.duration)
+        self.log.append((self.sim.now, rule.name, event.kind))
+        for ev in rule.action(event, self.context) or []:
+            self.raise_event(ev, cascade_depth=1)
+        if False:  # pragma: no cover - keep generator type without extra yields
+            yield
+
+    def firings_of(self, rule_name: str) -> List[Tuple[int, str, str]]:
+        return [entry for entry in self.log if entry[1] == rule_name]

@@ -1,0 +1,274 @@
+"""Relational algebra queries — Section 5.1.1.
+
+A query is a partial mapping from inst(**R**) to inst(S) for fixed
+schemas.  The AST here covers selection, projection, natural join,
+rename, union, difference and cartesian product — enough to express the
+paper's example query ("which artist is exhibited in which city in
+November", Figure 2) and anything the recognition benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .relational import (
+    DatabaseInstance,
+    RelationInstance,
+    RelationSchema,
+    SchemaError,
+)
+
+__all__ = [
+    "Query",
+    "Relation",
+    "Selection",
+    "Projection",
+    "NaturalJoin",
+    "Rename",
+    "Union",
+    "Difference",
+    "Product",
+    "figure2_query",
+]
+
+
+class Query:
+    """Abstract relational-algebra expression."""
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        raise NotImplementedError
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        raise NotImplementedError
+
+    def __call__(self, db: DatabaseInstance) -> RelationInstance:
+        return self.evaluate(db)
+
+
+def _rows_as_dicts(rel: RelationInstance) -> List[Dict[str, Any]]:
+    return [row.as_dict(rel.schema) for row in rel]
+
+
+def _from_dicts(name: str, sort: Tuple[str, ...], dicts: Sequence[Dict[str, Any]]) -> RelationInstance:
+    schema = RelationSchema(name, sort)
+    out = RelationInstance(schema)
+    for d in dicts:
+        out.add(tuple(d[a] for a in sort))
+    return out
+
+
+@dataclass(frozen=True)
+class Relation(Query):
+    """A base relation of the database."""
+
+    name: str
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        return db[self.name].schema
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        return db[self.name].copy()
+
+
+@dataclass(frozen=True)
+class Selection(Query):
+    """σ_{attr op const}: keep rows satisfying a simple comparison.
+
+    ``op`` ∈ {"=", "!=", "<", "<=", ">", ">=", "contains"}.
+    """
+
+    source: Query
+    attribute: str
+    op: str
+    constant: Any
+
+    _OPS: Any = None
+
+    def _test(self, value: Any) -> bool:
+        if self.op == "=":
+            return value == self.constant
+        if self.op == "!=":
+            return value != self.constant
+        if self.op == "<":
+            return value < self.constant
+        if self.op == "<=":
+            return value <= self.constant
+        if self.op == ">":
+            return value > self.constant
+        if self.op == ">=":
+            return value >= self.constant
+        if self.op == "contains":
+            return self.constant in value
+        raise SchemaError(f"unknown selection operator {self.op!r}")
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        return self.source.output_schema(db)
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        src = self.source.evaluate(db)
+        if self.attribute not in src.schema.sort:
+            raise SchemaError(f"selection on unknown attribute {self.attribute!r}")
+        idx = src.schema.sort.index(self.attribute)
+        out = RelationInstance(src.schema)
+        for row in src:
+            if self._test(row[idx]):
+                out.add(row.values)
+        return out
+
+
+@dataclass(frozen=True)
+class Projection(Query):
+    """π_{attrs}: project onto a sub-sort (set semantics)."""
+
+    source: Query
+    attributes: Tuple[str, ...]
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        src = self.source.output_schema(db)
+        missing = set(self.attributes) - set(src.sort)
+        if missing:
+            raise SchemaError(f"projection on unknown attributes {missing}")
+        return RelationSchema(f"π({src.name})", tuple(self.attributes))
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        src = self.source.evaluate(db)
+        schema = self.output_schema(db)
+        indices = [src.schema.sort.index(a) for a in self.attributes]
+        out = RelationInstance(schema)
+        for row in src:
+            out.add(tuple(row[i] for i in indices))
+        return out
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Query):
+    """⋈: join on all shared attributes."""
+
+    left: Query
+    right: Query
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        ls = self.left.output_schema(db)
+        rs = self.right.output_schema(db)
+        sort = ls.sort + tuple(a for a in rs.sort if a not in ls.sort)
+        return RelationSchema(f"({ls.name}⋈{rs.name})", sort)
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        left = self.left.evaluate(db)
+        right = self.right.evaluate(db)
+        shared = [a for a in left.schema.sort if a in right.schema.sort]
+        schema = self.output_schema(db)
+        out = RelationInstance(schema)
+        # hash join on the shared attributes
+        key_r: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        for rd in _rows_as_dicts(right):
+            key_r.setdefault(tuple(rd[a] for a in shared), []).append(rd)
+        for ld in _rows_as_dicts(left):
+            for rd in key_r.get(tuple(ld[a] for a in shared), ()):
+                merged = {**rd, **ld}
+                out.add(tuple(merged[a] for a in schema.sort))
+        return out
+
+
+@dataclass(frozen=True)
+class Rename(Query):
+    """ρ: rename attributes via a mapping (given as item pairs)."""
+
+    source: Query
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        src = self.source.output_schema(db)
+        m = dict(self.mapping)
+        return RelationSchema(f"ρ({src.name})", tuple(m.get(a, a) for a in src.sort))
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        src = self.source.evaluate(db)
+        out = RelationInstance(self.output_schema(db))
+        for row in src:
+            out.add(row.values)
+        return out
+
+
+class _SetOp(Query):
+    """Common machinery for union/difference (sort compatibility)."""
+
+    op_name = "?"
+
+    def __init__(self, left: Query, right: Query):
+        self.left = left
+        self.right = right
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        ls = self.left.output_schema(db)
+        rs = self.right.output_schema(db)
+        if ls.sort != rs.sort:
+            raise SchemaError(f"{self.op_name} of incompatible sorts {ls.sort} / {rs.sort}")
+        return RelationSchema(f"({ls.name}{self.op_name}{rs.name})", ls.sort)
+
+    def _combine(self, lvals: set, rvals: set) -> set:
+        raise NotImplementedError
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        left = self.left.evaluate(db)
+        right = self.right.evaluate(db)
+        schema = self.output_schema(db)
+        lvals = {row.values for row in left}
+        rvals = {row.values for row in right}
+        out = RelationInstance(schema)
+        for values in self._combine(lvals, rvals):
+            out.add(values)
+        return out
+
+
+class Union(_SetOp):
+    """∪ on union-compatible queries."""
+
+    op_name = "∪"
+
+    def _combine(self, lvals: set, rvals: set) -> set:
+        return lvals | rvals
+
+
+class Difference(_SetOp):
+    """− on union-compatible queries."""
+
+    op_name = "−"
+
+    def _combine(self, lvals: set, rvals: set) -> set:
+        return lvals - rvals
+
+
+@dataclass(frozen=True)
+class Product(Query):
+    """×: cartesian product (sorts must be disjoint)."""
+
+    left: Query
+    right: Query
+
+    def output_schema(self, db: DatabaseInstance) -> RelationSchema:
+        ls = self.left.output_schema(db)
+        rs = self.right.output_schema(db)
+        if set(ls.sort) & set(rs.sort):
+            raise SchemaError("product requires disjoint sorts (rename first)")
+        return RelationSchema(f"({ls.name}×{rs.name})", ls.sort + rs.sort)
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        left = self.left.evaluate(db)
+        right = self.right.evaluate(db)
+        out = RelationInstance(self.output_schema(db))
+        for l in left:
+            for r in right:
+                out.add(l.values + r.values)
+        return out
+
+
+def figure2_query() -> Query:
+    """The paper's example: "which artist is exhibited in which city in
+    November" — π_{Artist, City}(σ_{Date contains 'November'}
+    (Exhibitions ⋈ Schedules)).  On Figure 1 it returns Figure 2.
+    """
+    join = NaturalJoin(Relation("Exhibitions"), Relation("Schedules"))
+    nov = Selection(join, "Date", "contains", "November")
+    return Projection(nov, ("Artist", "City"))

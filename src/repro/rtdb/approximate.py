@@ -1,0 +1,159 @@
+"""Anytime (approximate) query processing — after Vrbsky [34].
+
+The paper's §5.1.2 data model is taken from "A data model for
+approximate query processing of real-time databases": when a deadline
+arrives before a query completes, the system returns an *approximate*
+answer that improves monotonically with computation time.
+
+:class:`AnytimeEvaluator` executes a relational-algebra query as a
+tuple-at-a-time pipeline with a chronon budget: each consumed input
+tuple costs one work unit, and stopping early yields the answer over
+the consumed prefix.  For monotone (select-project-join-union) queries
+that prefix answer is a **subset** of the exact answer — the
+certainty guarantee Vrbsky's model provides — and its size grows
+monotonically with the budget (both properties are tested).
+
+Non-monotone operators (difference) are rejected: a prefix answer
+could contain tuples the full answer retracts, which breaks the
+approximation contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from .algebra import (
+    NaturalJoin,
+    Product,
+    Projection,
+    Query,
+    Relation,
+    Rename,
+    Selection,
+    Union,
+)
+from .relational import DatabaseInstance
+
+__all__ = ["ApproximateAnswer", "AnytimeEvaluator", "NonMonotoneQueryError"]
+
+
+class NonMonotoneQueryError(ValueError):
+    """The query contains an operator without the subset guarantee."""
+
+
+@dataclass
+class ApproximateAnswer:
+    """A partial answer with its quality metadata."""
+
+    tuples: Set[Tuple[Any, ...]]
+    consumed: int  # input tuples consumed
+    total_inputs: int  # input tuples the full evaluation would consume
+    exhausted: bool  # True when the budget covered everything
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of the input actually consumed (1.0 = exact)."""
+        if self.total_inputs == 0:
+            return 1.0
+        return min(1.0, self.consumed / self.total_inputs)
+
+    def recall_against(self, exact: Set[Tuple[Any, ...]]) -> float:
+        """|approx ∩ exact| / |exact| (1.0 when exact is empty)."""
+        if not exact:
+            return 1.0
+        return len(self.tuples & exact) / len(exact)
+
+
+def _check_monotone(query: Query) -> None:
+    if isinstance(query, Relation):
+        return
+    if isinstance(query, (Selection, Projection, Rename)):
+        _check_monotone(query.source)
+        return
+    if isinstance(query, (NaturalJoin, Product)):
+        _check_monotone(query.left)
+        _check_monotone(query.right)
+        return
+    if isinstance(query, Union):
+        _check_monotone(query.left)
+        _check_monotone(query.right)
+        return
+    raise NonMonotoneQueryError(
+        f"{type(query).__name__} breaks the subset guarantee (Vrbsky model)"
+    )
+
+
+class AnytimeEvaluator:
+    """Budgeted evaluation of a monotone query.
+
+    The input prefix is taken in the deterministic canonical order of
+    each base relation; ``evaluate(budget)`` consumes up to ``budget``
+    base tuples (across all base relations, round-robin by relation
+    name) and evaluates the query on the consumed sub-instance.
+    """
+
+    def __init__(self, query: Query, db: DatabaseInstance):
+        _check_monotone(query)
+        self.query = query
+        self.db = db
+        self._base_names = sorted(self._bases(query))
+        self._streams: Dict[str, List] = {
+            name: [row.values for row in db[name]] for name in self._base_names
+        }
+        self.total_inputs = sum(len(rows) for rows in self._streams.values())
+
+    def _bases(self, query: Query) -> Set[str]:
+        if isinstance(query, Relation):
+            return {query.name}
+        if isinstance(query, (Selection, Projection, Rename)):
+            return self._bases(query.source)
+        return self._bases(query.left) | self._bases(query.right)  # type: ignore[attr-defined]
+
+    def _sub_instance(self, budget: int) -> Tuple[DatabaseInstance, int]:
+        """The database restricted to the first ``budget`` tuples,
+        round-robin across base relations."""
+        sub = DatabaseInstance(self.db.schema)
+        cursors = {name: 0 for name in self._base_names}
+        consumed = 0
+        progressing = True
+        while consumed < budget and progressing:
+            progressing = False
+            for name in self._base_names:
+                if consumed >= budget:
+                    break
+                idx = cursors[name]
+                rows = self._streams[name]
+                if idx < len(rows):
+                    sub.insert(name, rows[idx])
+                    cursors[name] = idx + 1
+                    consumed += 1
+                    progressing = True
+        return sub, consumed
+
+    def evaluate(self, budget: int) -> ApproximateAnswer:
+        """The prefix answer under ``budget`` consumed input tuples."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        sub, consumed = self._sub_instance(budget)
+        result = self.query.evaluate(sub)
+        return ApproximateAnswer(
+            tuples={row.values for row in result},
+            consumed=consumed,
+            total_inputs=self.total_inputs,
+            exhausted=consumed >= self.total_inputs,
+        )
+
+    def exact(self) -> Set[Tuple[Any, ...]]:
+        """The full answer (budget = everything)."""
+        return {row.values for row in self.query.evaluate(self.db)}
+
+    def quality_curve(self, budgets: List[int]) -> List[Tuple[int, float, float]]:
+        """(budget, completeness, recall) at each budget — the anytime
+        profile Vrbsky-style systems report."""
+        exact = self.exact()
+        out = []
+        for b in budgets:
+            ans = self.evaluate(b)
+            out.append((b, ans.completeness, ans.recall_against(exact)))
+        return out

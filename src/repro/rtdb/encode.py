@@ -1,0 +1,281 @@
+"""Section 5.1.3: real-time databases as timed ω-languages.
+
+Constructions implemented:
+
+* ``db_0``  — invariant and derived objects, all at time 0;
+* ``db_k``  — the sampling stream of one image object o_k, one encoded
+  block every t_k chronons;
+* ``db_B = db_0 db_1 … db_r``  — eq. (6), via Definition 3.5
+  concatenation;
+* ``aq_[q,s,t]``  — an aperiodic query issued at time t with no / firm /
+  soft deadline (the Section 4.1 shapes relocated to time t, with
+  per-query markers w_q, d_q);
+* ``pq_[q,s,t,t_p]`` — a periodic query as the infinite concatenation
+  of aq words, built directly as a lazy time-merged stream;
+* :func:`lemma51_bound` — the k′ bound of Lemma 5.1, checked against
+  the constructed pq words by experiment E8.
+
+Encoding conventions (the paper's enc / enc_q, with disjoint
+codomains realized by tagging): database symbols are ``("db", ch)``,
+query symbols ``("q", ch)``, the separator is ``"$"``, and the
+per-query wait/deadline markers are ``("wq", t)`` / ``("dq", t)``
+(distinct symbols per issue time, as Lemma 5.1's w_x, d_x indexing
+requires).
+"""
+
+from __future__ import annotations
+
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..deadlines.spec import DeadlineKind, DeadlineSpec
+from ..words.concat import concat_many
+from ..words.timedword import Pair, TimedWord
+
+__all__ = [
+    "SEP",
+    "enc_value_block",
+    "db0_word",
+    "dbk_word",
+    "db_B_word",
+    "aq_word",
+    "pq_word",
+    "lemma51_bound",
+    "enc_query_header",
+]
+
+SEP = "$"
+
+
+def _db_chars(text: str) -> List[Any]:
+    return [("db", ch) for ch in text]
+
+
+def _q_chars(text: str) -> List[Any]:
+    return [("q", ch) for ch in text]
+
+
+def enc_value_block(name: str, value: Any) -> List[Any]:
+    """enc of one object reading: the characters of "name=value" + $."""
+    return _db_chars(f"{name}={value!r}") + [SEP]
+
+
+# ----------------------------------------------------------------------
+# db_0 and db_k
+# ----------------------------------------------------------------------
+
+def db0_word(
+    invariants: Dict[str, Any],
+    derived: Dict[str, Sequence[str]],
+) -> TimedWord:
+    """db₀: enc(V) $ enc(D) $ — everything at time 0.
+
+    Invariants are encoded with their values; derived objects with
+    their source lists (their *functions* are part of the fixed query
+    apparatus, as data complexity fixes the query and varies the data).
+    """
+    pairs: List[Pair] = []
+    for name in sorted(invariants):
+        pairs.extend((s, 0) for s in enc_value_block(name, invariants[name]))
+    pairs.append((SEP, 0))
+    for name in sorted(derived):
+        spec = ",".join(derived[name])
+        pairs.extend((s, 0) for s in _db_chars(f"{name}<-{spec}") + [SEP])
+    pairs.append((SEP, 0))
+    return TimedWord.finite(pairs)
+
+
+def dbk_word(
+    name: str,
+    period: int,
+    values: Callable[[int], Any],
+) -> TimedWord:
+    """db_k: one encoded reading of image object ``name`` per period.
+
+    Block i carries enc(o_k(t_i)) with every symbol stamped i·t_k
+    (the paper's τ_j = i·t_k for the whole block).  The word is
+    functional because the sampled values need not be periodic.
+    """
+    if period <= 0:
+        raise ValueError("sampling period must be positive")
+    # Cache per-block encodings; block lengths may vary with the value.
+    blocks: List[List[Any]] = []
+    offsets: List[int] = [0]
+
+    def ensure_block(i: int) -> None:
+        while len(blocks) <= i:
+            b = enc_value_block(name, values(len(blocks) * period))
+            blocks.append(b)
+            offsets.append(offsets[-1] + len(b))
+
+    def fn(j: int) -> Pair:
+        # find the block containing global index j
+        i = 0
+        ensure_block(0)
+        while offsets[len(blocks)] <= j:
+            ensure_block(len(blocks))
+        # binary search over offsets
+        import bisect
+
+        i = bisect.bisect_right(offsets, j) - 1
+        sym = blocks[i][j - offsets[i]]
+        return (sym, i * period)
+
+    return TimedWord.functional(fn)
+
+
+def db_B_word(
+    invariants: Dict[str, Any],
+    derived: Dict[str, Sequence[str]],
+    images: Dict[str, Tuple[int, Callable[[int], Any]]],
+) -> TimedWord:
+    """db_B = db₀ db₁ … db_r  (eq. (6)), Definition 3.5 concatenation.
+
+    ``images`` maps object name → (period t_k, value function).
+    """
+    words = [db0_word(invariants, derived)]
+    for name in sorted(images):
+        period, values = images[name]
+        words.append(dbk_word(name, period, values))
+    return concat_many(words)
+
+
+# ----------------------------------------------------------------------
+# query words
+# ----------------------------------------------------------------------
+
+def enc_query_header(
+    query_name: str,
+    candidate: Tuple[Any, ...],
+    issue_time: int,
+    min_acceptable: Optional[int],
+) -> List[Any]:
+    """The header block of aq: [min_acc] enc_q(s) $ enc_q(q) $."""
+    header: List[Any] = []
+    if min_acceptable is not None:
+        header.append(min_acceptable)
+    header.extend(_q_chars(repr(candidate)))
+    header.append(SEP)
+    header.extend(_q_chars(f"{query_name}@{issue_time}"))
+    header.append(SEP)
+    return header
+
+
+def aq_word(
+    query_name: str,
+    candidate: Tuple[Any, ...],
+    issue_time: int,
+    spec: DeadlineSpec,
+) -> TimedWord:
+    """aq_[q,s,t]: the Section 5.1.3 aperiodic-query word.
+
+    Mirrors the Section 4.1 cases, with every timestamp offset by the
+    issue time t and per-query markers ("wq", t) / ("dq", t).
+    """
+    t = issue_time
+    wq, dq = ("wq", t), ("dq", t)
+    min_acc = None if spec.kind is DeadlineKind.NONE else spec.min_acceptable
+    header = enc_query_header(query_name, candidate, t, min_acc)
+    prefix: List[Pair] = [(s, t) for s in header]
+
+    if spec.kind is DeadlineKind.NONE:
+        return TimedWord.lasso(prefix=prefix, loop=[(wq, t + 1)], shift=1)
+
+    t_d = spec.t_d
+    assert t_d is not None
+    deadline_at = t + t_d  # the paper: "the moment … is t + t_d"
+    prefix.extend((wq, tt) for tt in range(t + 1, deadline_at))
+
+    if spec.kind is DeadlineKind.FIRM:
+        return TimedWord.lasso(
+            prefix=prefix, loop=[(dq, deadline_at), (0, deadline_at)], shift=1
+        )
+
+    assert spec.usefulness is not None
+    t_stable = max(deadline_at, spec.usefulness.stable_after(deadline_at))
+    for tt in range(deadline_at, t_stable):
+        prefix.append((dq, tt))
+        prefix.append((int(spec.usefulness(tt)), tt))
+    stable = int(spec.usefulness(t_stable))
+    return TimedWord.lasso(
+        prefix=prefix, loop=[(dq, t_stable), (stable, t_stable)], shift=1
+    )
+
+
+def pq_word(
+    query_name: str,
+    candidates: Callable[[int], Tuple[Any, ...]],
+    issue_time: int,
+    period: int,
+    spec_for: Callable[[int], DeadlineSpec],
+) -> TimedWord:
+    """pq_[q,s,t,t_p] = aq_[q,s₁,t] aq_[q,s₂,t+t_p] …  (lazy merge).
+
+    ``candidates(i)`` is the tuple s_i of the i-th invocation (1-based);
+    ``spec_for(i)`` its deadline class.  The infinite concatenation is
+    built directly as the time-ordered merge with earlier invocations
+    winning ties (Definition 3.5 applied left to right); Lemma 5.1
+    guarantees the result is well-behaved, which experiment E8 checks
+    against :func:`lemma51_bound`.
+    """
+    if period <= 0:
+        raise ValueError("query period must be positive")
+
+    streams: List[Iterator[Pair]] = []
+    heads: List[Optional[Pair]] = []
+
+    def open_stream(i: int) -> Iterator[Pair]:
+        w = aq_word(query_name, candidates(i), issue_time + (i - 1) * period, spec_for(i))
+        j = 0
+        while True:
+            yield w[j]
+            j += 1
+
+    def ensure_streams(upto_time: int) -> None:
+        # Invocation i is issued at issue_time + (i-1)·period.
+        while issue_time + len(streams) * period <= upto_time:
+            it = open_stream(len(streams) + 1)
+            streams.append(it)
+            heads.append(next(it))
+
+    cache: List[Pair] = []
+
+    def produce_next() -> Pair:
+        # Always make sure every stream whose first symbol could be the
+        # minimum is open: a new invocation's symbols start at its issue
+        # time, so opening streams up to the current best time suffices.
+        ensure_streams(issue_time)
+        while True:
+            best_idx = -1
+            for idx, head in enumerate(heads):
+                if head is None:
+                    continue
+                if best_idx < 0 or head[1] < heads[best_idx][1]:  # type: ignore[index]
+                    best_idx = idx
+            assert best_idx >= 0
+            best_time = heads[best_idx][1]  # type: ignore[index]
+            before = len(streams)
+            ensure_streams(best_time)
+            if len(streams) == before:
+                break
+        pair = heads[best_idx]  # type: ignore[assignment]
+        heads[best_idx] = next(streams[best_idx])
+        return pair  # type: ignore[return-value]
+
+    def fn(j: int) -> Pair:
+        while len(cache) <= j:
+            cache.append(produce_next())
+        return cache[j]
+
+    return TimedWord.functional(fn)
+
+
+def lemma51_bound(k: int, issue_time: int, period: int, header_len: int) -> int:
+    """The Lemma 5.1 index bound: symbols with τ_j < k number at most
+    (i+1)·|enc_q(q)$enc_q(s)$| + 2·k·i, where i counts the invocations
+    issued before time k."""
+    if k <= issue_time:
+        i = 0
+    else:
+        i = (k - issue_time) // period
+    return (i + 1) * header_len + 2 * k * max(i, 1)

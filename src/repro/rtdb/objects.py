@@ -1,0 +1,184 @@
+"""Image / derived / invariant objects — Section 5.1.2, after the
+HRDM-derived data model of Vrbsky [34].
+
+* **Image objects** hold information "obtained directly from the
+  external environment"; each carries its most recent sampling time and
+  an archival history of snapshots.
+* **Derived objects** are computed from image (and other) objects; the
+  timestamp of a derived object is "the oldest valid time of the data
+  objects used to derive it".
+* **Invariant objects** are constant with time (timestamp = current
+  time under the temporal reading).
+
+Consistency (Section 5.1.2): age a(x) = now − t_x, dispersion
+d(x, y) = |t_x − t_y|; a set Y is *absolutely consistent* when every
+age is ≤ T_a and *relatively consistent* when every pairwise dispersion
+is ≤ T_r.
+"""
+
+from __future__ import annotations
+
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DataObject",
+    "ImageObject",
+    "DerivedObject",
+    "InvariantObject",
+    "age",
+    "dispersion",
+    "absolutely_consistent",
+    "relatively_consistent",
+]
+
+
+class DataObject:
+    """Base: every object has a name, a value, and a timestamp t_x."""
+
+    name: str
+
+    def value(self) -> Any:
+        raise NotImplementedError
+
+    def timestamp(self, now: int) -> int:
+        """t_x (``now`` is needed only by invariant objects)."""
+        raise NotImplementedError
+
+
+class ImageObject(DataObject):
+    """An externally sampled value with archival snapshots.
+
+    ``sample(value, t)`` records a new reading; ``history`` keeps the
+    archival variants I₁ … I_{n−1} available ("archival sets of image
+    objects are typically maintained, so that different snapshots at
+    different points in time are available").
+    """
+
+    def __init__(self, name: str, period: int = 1, initial: Any = None):
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.name = name
+        self.period = period  # the t_k of Section 5.1.3
+        self._history: List[Tuple[int, Any]] = []
+        if initial is not None:
+            self._history.append((0, initial))
+
+    def sample(self, value: Any, t: int) -> None:
+        if self._history and t < self._history[-1][0]:
+            raise ValueError("samples must arrive in time order")
+        self._history.append((t, value))
+
+    def value(self) -> Any:
+        if not self._history:
+            raise ValueError(f"image object {self.name} never sampled")
+        return self._history[-1][1]
+
+    def value_at(self, t: int) -> Any:
+        """The snapshot in force at time t (latest sample ≤ t)."""
+        best: Optional[Any] = None
+        for ts, v in self._history:
+            if ts <= t:
+                best = v
+            else:
+                break
+        if best is None:
+            raise ValueError(f"image object {self.name} has no sample ≤ {t}")
+        return best
+
+    def timestamp(self, now: int = 0) -> int:
+        if not self._history:
+            raise ValueError(f"image object {self.name} never sampled")
+        return self._history[-1][0]
+
+    @property
+    def history(self) -> List[Tuple[int, Any]]:
+        return list(self._history)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ImageObject({self.name}, samples={len(self._history)})"
+
+
+class DerivedObject(DataObject):
+    """A value computed from source objects.
+
+    The derivation is re-evaluated on demand (or eagerly by the rule
+    engine); its timestamp is the **oldest** source timestamp, per the
+    paper.
+    """
+
+    def __init__(self, name: str, sources: Sequence[DataObject], fn: Callable[..., Any]):
+        if not sources:
+            raise ValueError("a derived object needs at least one source")
+        self.name = name
+        self.sources = list(sources)
+        self.fn = fn
+        self._cached: Optional[Any] = None
+        self._cached_at: Optional[int] = None
+
+    def recompute(self, now: int) -> Any:
+        self._cached = self.fn(*(s.value() for s in self.sources))
+        self._cached_at = now
+        return self._cached
+
+    def value(self) -> Any:
+        if self._cached is None:
+            return self.fn(*(s.value() for s in self.sources))
+        return self._cached
+
+    def timestamp(self, now: int = 0) -> int:
+        return min(s.timestamp(now) for s in self.sources)
+
+    def staleness(self, now: int) -> int:
+        """Chronons since the cached value was computed (∞-ish if never)."""
+        return now - self._cached_at if self._cached_at is not None else now + 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DerivedObject({self.name} ← {[s.name for s in self.sources]})"
+
+
+class InvariantObject(DataObject):
+    """A value constant with time; as temporal data its timestamp is
+    always the current time."""
+
+    def __init__(self, name: str, value: Any):
+        self.name = name
+        self._value = value
+
+    def value(self) -> Any:
+        return self._value
+
+    def timestamp(self, now: int = 0) -> int:
+        return now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"InvariantObject({self.name}={self._value!r})"
+
+
+# ----------------------------------------------------------------------
+# consistency predicates
+# ----------------------------------------------------------------------
+
+def age(obj: DataObject, now: int) -> int:
+    """a(x) = now − t_x."""
+    return now - obj.timestamp(now)
+
+
+def dispersion(x: DataObject, y: DataObject, now: int) -> int:
+    """d(x, y) = |t_x − t_y|."""
+    return abs(x.timestamp(now) - y.timestamp(now))
+
+
+def absolutely_consistent(objects: Iterable[DataObject], now: int, threshold: int) -> bool:
+    """∀x ∈ Y: a(x) ≤ T_a."""
+    return all(age(o, now) <= threshold for o in objects)
+
+
+def relatively_consistent(objects: Iterable[DataObject], now: int, threshold: int) -> bool:
+    """∀x, y ∈ Y: d(x, y) ≤ T_r."""
+    objs = list(objects)
+    return all(
+        dispersion(objs[i], objs[j], now) <= threshold
+        for i in range(len(objs))
+        for j in range(i + 1, len(objs))
+    )

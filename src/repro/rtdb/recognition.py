@@ -1,0 +1,117 @@
+"""The classical recognition problem — Section 5.1.1, eq. (5).
+
+For a query q the recognition problem is the language
+
+    { enc(I) $ enc(u)  |  u ∈ q(I) }                               (5)
+
+over a suitable encoding enc of instances and tuples.  Data complexity
+of q is the conventional complexity of this language; the real-time
+variant (Definition 5.1) replaces these classical words with timed
+ω-words — see :mod:`repro.rtdb.encode`.
+
+The encoding here is the canonical one used throughout the package:
+atomic symbols tagged by origin so the alphabets stay disjoint (the
+paper's standing assumption in Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from .algebra import Query
+from .relational import DatabaseInstance, DatabaseSchema
+
+__all__ = [
+    "SEP",
+    "enc_instance",
+    "enc_tuple",
+    "recognition_word",
+    "decode_recognition_word",
+    "recognizes",
+]
+
+#: The special symbol $ of eq. (5); not in the codomain of enc.
+SEP = "$"
+
+
+def _enc_atom(value: Any) -> List[Any]:
+    """Encode one constant as tagged character symbols."""
+    return [("db", ch) for ch in repr(value)] + [("db", ",")]
+
+
+def enc_tuple(values: Sequence[Any], relation: str = "") -> List[Any]:
+    """enc(u): the tuple's relation name then its constants."""
+    out: List[Any] = [("db", ch) for ch in relation] + [("db", "(")]
+    for v in values:
+        out.extend(_enc_atom(v))
+    out.append(("db", ")"))
+    return out
+
+
+def enc_instance(db: DatabaseInstance) -> List[Any]:
+    """enc(I): relations in name order, rows in canonical order."""
+    out: List[Any] = []
+    for name in sorted(db.relations):
+        for row in db[name]:
+            out.extend(enc_tuple(row.values, relation=name))
+    return out
+
+
+def recognition_word(db: DatabaseInstance, candidate: Tuple[Any, ...]) -> List[Any]:
+    """The classical word enc(I)$enc(u)."""
+    return enc_instance(db) + [SEP] + enc_tuple(candidate)
+
+
+def decode_recognition_word(
+    word: Sequence[Any], schema: DatabaseSchema
+) -> Tuple[DatabaseInstance, Tuple[Any, ...]]:
+    """Invert :func:`recognition_word` (used by the recognizer and to
+    property-test the encoding round-trip)."""
+    try:
+        sep_at = list(word).index(SEP)
+    except ValueError as exc:
+        raise ValueError("word has no $ separator") from exc
+    db_part, tup_part = list(word[:sep_at]), list(word[sep_at + 1 :])
+
+    def chars(symbols: Sequence[Any]) -> str:
+        out = []
+        for s in symbols:
+            if not (isinstance(s, tuple) and len(s) == 2 and s[0] == "db"):
+                raise ValueError(f"non-db symbol {s!r} in encoding")
+            out.append(s[1])
+        return "".join(out)
+
+    def parse_tuples(text: str) -> List[Tuple[str, Tuple[Any, ...]]]:
+        result: List[Tuple[str, Tuple[Any, ...]]] = []
+        i = 0
+        while i < len(text):
+            open_at = text.index("(", i)
+            close_at = text.index(")", open_at)
+            rel = text[i:open_at]
+            body = text[open_at + 1 : close_at]
+            values = tuple(
+                eval(tok)  # noqa: S307 - inverse of repr on constants
+                for tok in body.split(",")
+                if tok
+            )
+            result.append((rel, values))
+            i = close_at + 1
+        return result
+
+    db = DatabaseInstance(schema)
+    for rel, values in parse_tuples(chars(db_part)):
+        db.insert(rel, values)
+    tuples = parse_tuples(chars(tup_part))
+    if len(tuples) != 1:
+        raise ValueError("candidate part must encode exactly one tuple")
+    return db, tuples[0][1]
+
+
+def recognizes(query: Query, schema: DatabaseSchema, word: Sequence[Any]) -> bool:
+    """Membership of a classical word in the eq. (5) language of q."""
+    try:
+        db, candidate = decode_recognition_word(word, schema)
+    except (ValueError, KeyError):
+        return False
+    result = query.evaluate(db)
+    return any(row.values == candidate for row in result)

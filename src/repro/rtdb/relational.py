@@ -1,0 +1,220 @@
+"""The relational model — Section 5.1.1, after Abiteboul–Hull–Vianu [2].
+
+Attributes come from a countably infinite set **att**, constants from
+the disjoint underlying domain **dom**; a relation is a name plus an
+ordered sort of attributes; instances are finite sets of tuples.  The
+module ends with :func:`ngc_example`, the National Gallery of Canada
+database of the paper's Figure 1, used verbatim by experiment E1/E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "RelationSchema",
+    "DatabaseSchema",
+    "Row",
+    "RelationInstance",
+    "DatabaseInstance",
+    "SchemaError",
+    "ngc_example",
+]
+
+
+class SchemaError(ValueError):
+    """A tuple/instance violates its schema."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name with its ordered sort of attributes.
+
+    ``arity(R) = |sort(R)|`` (paper, Section 5.1.1).  ``domains`` is the
+    optional Dom mapping restricting per-attribute values.
+    """
+
+    name: str
+    sort: Tuple[str, ...]
+    domains: Optional[Mapping[str, FrozenSet[Any]]] = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.sort)) != len(self.sort):
+            raise SchemaError(f"duplicate attributes in sort of {self.name}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.sort)
+
+    def validate(self, values: Tuple[Any, ...]) -> None:
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"tuple of arity {len(values)} over {self.name} (arity {self.arity})"
+            )
+        if self.domains:
+            for attr, v in zip(self.sort, values):
+                dom = self.domains.get(attr)
+                if dom is not None and v not in dom:
+                    raise SchemaError(f"{v!r} ∉ Dom({attr}) in {self.name}")
+
+
+@dataclass(frozen=True)
+class Row:
+    """A tuple R(a₁, …, a_n) over a relation schema."""
+
+    relation: str
+    values: Tuple[Any, ...]
+
+    def as_dict(self, schema: RelationSchema) -> Dict[str, Any]:
+        return dict(zip(schema.sort, self.values))
+
+    def __getitem__(self, i: int) -> Any:
+        return self.values[i]
+
+
+class RelationInstance:
+    """A finite set of tuples over one relation schema."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Tuple[Any, ...]] = ()):
+        self.schema = schema
+        self._rows: Set[Row] = set()
+        for values in rows:
+            self.add(values)
+
+    def add(self, values: Tuple[Any, ...]) -> Row:
+        self.schema.validate(tuple(values))
+        row = Row(self.schema.name, tuple(values))
+        self._rows.add(row)
+        return row
+
+    def discard(self, values: Tuple[Any, ...]) -> None:
+        self._rows.discard(Row(self.schema.name, tuple(values)))
+
+    def rows(self) -> FrozenSet[Row]:
+        return frozenset(self._rows)
+
+    def __contains__(self, values: Tuple[Any, ...]) -> bool:
+        return Row(self.schema.name, tuple(values)) in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows, key=lambda r: tuple(map(repr, r.values))))
+
+    def copy(self) -> "RelationInstance":
+        out = RelationInstance(self.schema)
+        out._rows = set(self._rows)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationInstance):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RelationInstance({self.schema.name}, {len(self)} rows)"
+
+
+class DatabaseSchema:
+    """A non-empty finite set **R** of relation schemas."""
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        self.relations: Dict[str, RelationSchema] = {}
+        for r in relations:
+            if r.name in self.relations:
+                raise SchemaError(f"duplicate relation name {r.name}")
+            self.relations[r.name] = r
+        if not self.relations:
+            raise SchemaError("a database schema is non-empty")
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def names(self) -> List[str]:
+        return sorted(self.relations)
+
+
+class DatabaseInstance:
+    """An instance **I** over **R**: a relation instance per schema."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self.relations: Dict[str, RelationInstance] = {
+            name: RelationInstance(rs) for name, rs in schema.relations.items()
+        }
+
+    def __getitem__(self, name: str) -> RelationInstance:
+        return self.relations[name]
+
+    def insert(self, relation: str, values: Tuple[Any, ...]) -> Row:
+        return self.relations[relation].add(values)
+
+    def delete(self, relation: str, values: Tuple[Any, ...]) -> None:
+        self.relations[relation].discard(values)
+
+    def total_rows(self) -> int:
+        return sum(len(r) for r in self.relations.values())
+
+    def copy(self) -> "DatabaseInstance":
+        out = DatabaseInstance(self.schema)
+        for name, rel in self.relations.items():
+            out.relations[name] = rel.copy()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self.relations == other.relations
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{n}:{len(r)}" for n, r in sorted(self.relations.items()))
+        return f"DatabaseInstance({parts})"
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the National Gallery of Canada example database
+# ----------------------------------------------------------------------
+
+def ngc_example() -> DatabaseInstance:
+    """The paper's Figure 1 database instance, verbatim.
+
+    Schema NGC = {Exhibitions, Schedules} with
+    sort(Exhibitions) = (Title, Description, Artist) and
+    sort(Schedules) = (City, Title, Date); the Exhibitions instance has
+    6 tuples and the Schedules instance 3.
+    """
+    exhibitions = RelationSchema("Exhibitions", ("Title", "Description", "Artist"))
+    schedules = RelationSchema("Schedules", ("City", "Title", "Date"))
+    db = DatabaseInstance(DatabaseSchema([exhibitions, schedules]))
+    for row in [
+        ("Terre Sauvage", "Canadian Landscape Paintings", "Thompson"),
+        ("Terre Sauvage", "Canadian Landscape Paintings", "Harris"),
+        ("Terre Sauvage", "Canadian Landscape Paintings", "MacDonald"),
+        ("Painter of the Soil", "Works on Paper", "Schaefer"),
+        ("Sorrowful Images", "Early Nederlandish Devotional Diptychs", "Aelbrecht"),
+        ("Sorrowful Images", "Early Nederlandish Devotional Diptychs", "Dieric"),
+    ]:
+        db.insert("Exhibitions", row)
+    for row in [
+        ("Mexico City", "Terre Sauvage", "October 1999"),
+        ("St. Catharines", "Painter of the Soil", "November 1999"),
+        ("Hamilton", "Sorrowful Images", "November 1999"),
+    ]:
+        db.insert("Schedules", row)
+    return db

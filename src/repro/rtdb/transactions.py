@@ -1,0 +1,192 @@
+"""Transaction scheduling under deadlines — the §5.1.2 contention
+dimension (after Lehr, Kim & Son [24], the paper's deadline citation).
+
+"The transactions must be timely, that is, they must complete within
+their time constraints (deadlines)."  This module runs transactions
+with firm/soft deadlines against a contended database lock on the
+simulation kernel, under three scheduling policies:
+
+* **FIFO** — arrival order (the contention-oblivious baseline);
+* **EDF** — earliest deadline first (the classic real-time policy);
+* **LSF** — least slack first (deadline − remaining work).
+
+The miss-rate comparison across load factors is the E16 ablation bench
+(an extension experiment; see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..deadlines.spec import DeadlineKind
+from ..kernel.events import Event
+from ..kernel.simulator import Simulator
+
+__all__ = ["Policy", "Transaction", "TransactionResult", "TransactionScheduler", "ScheduleOutcome"]
+
+
+class Policy(Enum):
+    FIFO = "fifo"
+    EDF = "edf"  # earliest deadline first
+    LSF = "lsf"  # least slack first
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One unit of timed work against the database.
+
+    ``deadline`` is absolute; ``kind`` distinguishes firm transactions
+    (late completion is worthless and counted as a miss) from soft ones
+    (late completion is recorded with its tardiness).
+    """
+
+    name: str
+    release: int  # arrival time
+    work: int  # chronons of lock-holding work
+    deadline: int  # absolute deadline
+    kind: DeadlineKind = DeadlineKind.FIRM
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+        if self.deadline <= self.release:
+            raise ValueError("deadline must fall after release")
+
+
+@dataclass
+class TransactionResult:
+    transaction: Transaction
+    started: Optional[int]
+    finished: Optional[int]
+
+    @property
+    def completed(self) -> bool:
+        return self.finished is not None
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completed and self.finished <= self.transaction.deadline
+
+    @property
+    def tardiness(self) -> int:
+        """Chronons past the deadline (0 when met or never finished)."""
+        if not self.completed:
+            return 0
+        return max(0, self.finished - self.transaction.deadline)
+
+
+@dataclass
+class ScheduleOutcome:
+    policy: Policy
+    results: List[TransactionResult]
+
+    @property
+    def miss_count(self) -> int:
+        return sum(1 for r in self.results if not r.met_deadline)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.miss_count / len(self.results) if self.results else 0.0
+
+    @property
+    def mean_tardiness(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.tardiness for r in self.results) / len(self.results)
+
+
+class TransactionScheduler:
+    """A single-lock transaction manager on the kernel.
+
+    Transactions queue for the database lock; the scheduler picks the
+    next holder by policy whenever the lock frees.  Work is
+    non-preemptive once granted (the common RTDB locking model).
+    Firm transactions whose deadline has already passed when the lock
+    becomes available are *aborted* rather than run ("a computation
+    that exceeds the deadline is useless").
+    """
+
+    def __init__(self, sim: Simulator, policy: Policy = Policy.EDF):
+        self.sim = sim
+        self.policy = policy
+        self._counter = itertools.count()
+        self._ready: List[Tuple[Any, int, Transaction]] = []  # heap
+        self._results: Dict[str, TransactionResult] = {}
+        self._lock_busy = False
+        self._wakeup: Optional[Event] = None
+
+    # -- priority keys ------------------------------------------------------
+    def _key(self, txn: Transaction) -> Any:
+        if self.policy is Policy.FIFO:
+            return txn.release
+        if self.policy is Policy.EDF:
+            return txn.deadline
+        # LSF: slack = deadline − now − remaining work
+        return txn.deadline - self.sim.now - txn.work
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, txn: Transaction) -> None:
+        """Register a transaction; it arrives at its release time."""
+        if txn.name in self._results:
+            raise ValueError(f"duplicate transaction name {txn.name!r}")
+        self._results[txn.name] = TransactionResult(txn, None, None)
+        self.sim.process(self._arrival(txn), name=f"txn:{txn.name}")
+
+    def _arrival(self, txn: Transaction) -> Generator[Event, Any, None]:
+        if txn.release > self.sim.now:
+            yield self.sim.timeout(txn.release - self.sim.now)
+        heapq.heappush(self._ready, (self._key(txn), next(self._counter), txn))
+        self._kick()
+
+    # -- the dispatcher -----------------------------------------------------------
+    def _kick(self) -> None:
+        if self._lock_busy or not self._ready:
+            return
+        self.sim.process(self._dispatch(), name="txn-dispatch")
+
+    def _dispatch(self) -> Generator[Event, Any, None]:
+        if self._lock_busy:
+            return
+        self._lock_busy = True
+        try:
+            while self._ready:
+                # LSF keys drift with time: re-heapify on each grant.
+                if self.policy is Policy.LSF:
+                    entries = [(self._key(t), c, t) for _k, c, t in self._ready]
+                    heapq.heapify(entries)
+                    self._ready = entries
+                _key, _c, txn = heapq.heappop(self._ready)
+                result = self._results[txn.name]
+                if (
+                    txn.kind is DeadlineKind.FIRM
+                    and self.sim.now >= txn.deadline
+                ):
+                    # late firm transaction: abort (useless work)
+                    continue
+                result.started = self.sim.now
+                yield self.sim.timeout(txn.work)
+                result.finished = self.sim.now
+        finally:
+            self._lock_busy = False
+
+    # -- results ---------------------------------------------------------------------
+    def outcome(self) -> ScheduleOutcome:
+        return ScheduleOutcome(
+            policy=self.policy, results=list(self._results.values())
+        )
+
+
+def run_workload(
+    policy: Policy, transactions: List[Transaction], horizon: int = 100_000
+) -> ScheduleOutcome:
+    """Convenience driver: schedule a workload to completion."""
+    sim = Simulator()
+    sched = TransactionScheduler(sim, policy)
+    for txn in transactions:
+        sched.submit(txn)
+    sim.run(until=horizon)
+    return sched.outcome()

@@ -1,0 +1,284 @@
+"""Timed ω-languages and the Theorem 3.3 operations.
+
+A (well-behaved) timed ω-language is a set of (well-behaved) timed
+ω-words.  The paper defines union, intersection and complement in the
+obvious way, concatenation element-wise through Definition 3.5, and
+Kleene closure through Definition 3.6 (note the paper's convention
+``L⁰ = ∅``, *not* {ε}).
+
+Membership in an arbitrary language of infinite words is of course not
+decidable in general; the class hierarchy here is honest about that:
+
+* :class:`PredicateLanguage` — membership is a user predicate;
+* :class:`FiniteLanguage` — an explicit finite set of words
+  (finite/lasso words have decidable equality, so membership is exact);
+* the operation classes combine the operands' ``contains`` answers and
+  raise :class:`MembershipUndecidable` where no procedure exists
+  (e.g. membership in the concatenation of two predicate languages).
+
+Every language can optionally *generate* members (``sample``), which is
+what the hypothesis-based closure tests and the E4 benchmark use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterable, List, Optional
+
+from .concat import ConcatUndefined, concat
+from .timedword import TimedWord
+from .timeseq import Trilean
+
+__all__ = [
+    "MembershipUndecidable",
+    "TimedLanguage",
+    "PredicateLanguage",
+    "FiniteLanguage",
+    "UnionLanguage",
+    "IntersectionLanguage",
+    "ComplementLanguage",
+    "ConcatLanguage",
+    "KleeneClosure",
+]
+
+
+class MembershipUndecidable(NotImplementedError):
+    """No membership procedure exists for this language/word combination."""
+
+
+class TimedLanguage:
+    """Abstract timed ω-language."""
+
+    name: str = "L"
+
+    def contains(self, word: TimedWord) -> bool:
+        """Exact membership; may raise :class:`MembershipUndecidable`."""
+        raise MembershipUndecidable(self.name)
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        """Produce some member (for generators/ablation harnesses)."""
+        raise MembershipUndecidable(f"{self.name} cannot generate members")
+
+    def is_well_behaved_language(self, samples: int = 16, seed: int = 0) -> Trilean:
+        """Sampled check that members are well-behaved timed ω-words."""
+        rng = random.Random(seed)
+        verdict = Trilean.TRUE
+        for _ in range(samples):
+            try:
+                w = self.sample(rng)
+            except MembershipUndecidable:
+                return Trilean.UNKNOWN
+            wb = w.is_well_behaved()
+            if wb is Trilean.FALSE:
+                return Trilean.FALSE
+            if wb is Trilean.UNKNOWN:
+                verdict = Trilean.UNKNOWN
+        return verdict
+
+    # -- Theorem 3.3 operations ------------------------------------------
+    def union(self, other: "TimedLanguage") -> "UnionLanguage":
+        return UnionLanguage(self, other)
+
+    def intersection(self, other: "TimedLanguage") -> "IntersectionLanguage":
+        return IntersectionLanguage(self, other)
+
+    def complement(self) -> "ComplementLanguage":
+        return ComplementLanguage(self)
+
+    def concatenate(self, other: "TimedLanguage") -> "ConcatLanguage":
+        return ConcatLanguage(self, other)
+
+    def kleene(self, max_power: int = 8) -> "KleeneClosure":
+        return KleeneClosure(self, max_power=max_power)
+
+    __or__ = union
+    __and__ = intersection
+    __invert__ = complement
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.__class__.__name__} {self.name}>"
+
+
+class PredicateLanguage(TimedLanguage):
+    """Language given by a membership predicate (and optional sampler)."""
+
+    def __init__(
+        self,
+        predicate: Callable[[TimedWord], bool],
+        name: str = "L",
+        sampler: Optional[Callable[[random.Random], TimedWord]] = None,
+    ):
+        self.predicate = predicate
+        self.name = name
+        self.sampler = sampler
+
+    def contains(self, word: TimedWord) -> bool:
+        return bool(self.predicate(word))
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        if self.sampler is None:
+            raise MembershipUndecidable(f"{self.name} has no sampler")
+        return self.sampler(rng)
+
+
+class FiniteLanguage(TimedLanguage):
+    """An explicit finite set of timed words.
+
+    Equality of finite and lasso words is decidable
+    (:meth:`TimedWord.__eq__`), so membership is exact.
+    """
+
+    def __init__(self, words: Iterable[TimedWord], name: str = "L"):
+        self.words: List[TimedWord] = list(words)
+        self.name = name
+
+    def contains(self, word: TimedWord) -> bool:
+        return any(word == w for w in self.words)
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        if not self.words:
+            raise MembershipUndecidable("empty language has no members")
+        return rng.choice(self.words)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+class UnionLanguage(TimedLanguage):
+    """L₁ ∪ L₂ (Theorem 3.3: straightforwardly defined)."""
+
+    def __init__(self, left: TimedLanguage, right: TimedLanguage):
+        self.left, self.right = left, right
+        self.name = f"({left.name} ∪ {right.name})"
+
+    def contains(self, word: TimedWord) -> bool:
+        return self.left.contains(word) or self.right.contains(word)
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        first, second = (self.left, self.right) if rng.random() < 0.5 else (self.right, self.left)
+        try:
+            return first.sample(rng)
+        except MembershipUndecidable:
+            return second.sample(rng)
+
+
+class IntersectionLanguage(TimedLanguage):
+    """L₁ ∩ L₂."""
+
+    def __init__(self, left: TimedLanguage, right: TimedLanguage):
+        self.left, self.right = left, right
+        self.name = f"({left.name} ∩ {right.name})"
+
+    def contains(self, word: TimedWord) -> bool:
+        return self.left.contains(word) and self.right.contains(word)
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        # Rejection-sample from the left operand.
+        for _ in range(10_000):
+            w = self.left.sample(rng)
+            if self.right.contains(w):
+                return w
+        raise MembershipUndecidable(f"could not sample from {self.name}")
+
+
+class ComplementLanguage(TimedLanguage):
+    """The complement (within all timed ω-words over the alphabet)."""
+
+    def __init__(self, inner: TimedLanguage):
+        self.inner = inner
+        self.name = f"¬{inner.name}"
+
+    def contains(self, word: TimedWord) -> bool:
+        return not self.inner.contains(word)
+
+
+class ConcatLanguage(TimedLanguage):
+    """L = {w₁w₂ | w₁ ∈ L₁, w₂ ∈ L₂} with Definition 3.5 concatenation.
+
+    Membership is exact when both operands are :class:`FiniteLanguage`
+    (enumerate pairs, concatenate, compare); otherwise only sampling is
+    supported.
+    """
+
+    def __init__(self, left: TimedLanguage, right: TimedLanguage):
+        self.left, self.right = left, right
+        self.name = f"{left.name}·{right.name}"
+
+    def contains(self, word: TimedWord) -> bool:
+        if isinstance(self.left, FiniteLanguage) and isinstance(self.right, FiniteLanguage):
+            for w1, w2 in itertools.product(self.left.words, self.right.words):
+                try:
+                    if concat(w1, w2) == word:
+                        return True
+                except ConcatUndefined:
+                    continue
+            return False
+        raise MembershipUndecidable(
+            f"membership in {self.name} needs finite operand languages"
+        )
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        for _ in range(100):
+            w1 = self.left.sample(rng)
+            w2 = self.right.sample(rng)
+            try:
+                return concat(w1, w2)
+            except ConcatUndefined:
+                continue
+        raise MembershipUndecidable(f"sampled pairs from {self.name} never concatenate")
+
+
+class KleeneClosure(TimedLanguage):
+    """L* = ∪_{0 ≤ k < ω} L^k with L⁰ = ∅ (Definition 3.6, verbatim).
+
+    The paper's convention makes L* = L¹ ∪ L² ∪ … (no empty word).
+    Membership enumerates concatenations up to ``max_power`` for finite
+    base languages; the power is a completeness bound, reported via
+    :class:`MembershipUndecidable` when exceeded... in practice each
+    concatenation strictly grows symbol multiset size, so for a finite
+    word the search is exhaustive once products outgrow it.
+    """
+
+    def __init__(self, base: TimedLanguage, max_power: int = 8):
+        self.base = base
+        self.max_power = max_power
+        self.name = f"({base.name})*"
+
+    def power(self, k: int) -> TimedLanguage:
+        """L^k per Definition 3.6 (L⁰ = ∅, L¹ = L, L^k = L·L^{k-1})."""
+        if k == 0:
+            return FiniteLanguage([], name=f"{self.base.name}^0")
+        lang: TimedLanguage = self.base
+        for _ in range(k - 1):
+            lang = ConcatLanguage(self.base, lang)
+        return lang
+
+    def contains(self, word: TimedWord) -> bool:
+        if not isinstance(self.base, FiniteLanguage):
+            raise MembershipUndecidable(
+                f"membership in {self.name} needs a finite base language"
+            )
+        if not self.base.words:
+            return False  # ∪ of L^k over an empty L is empty
+        current: List[TimedWord] = list(self.base.words)
+        for _k in range(1, self.max_power + 1):
+            if any(word == w for w in current):
+                return True
+            nxt: List[TimedWord] = []
+            for w1, w2 in itertools.product(self.base.words, current):
+                try:
+                    nxt.append(concat(w1, w2))
+                except ConcatUndefined:
+                    continue
+            current = nxt
+        return False
+
+    def sample(self, rng: random.Random) -> TimedWord:
+        k = rng.randint(1, self.max_power)
+        out: Optional[TimedWord] = None
+        for _ in range(k):
+            w = self.base.sample(rng)
+            out = w if out is None else concat(out, w)
+        assert out is not None
+        return out

@@ -1,0 +1,99 @@
+"""The subsequence relation ⊑ of Section 2.
+
+σ′ ⊑ σ iff every element of σ′ occurs in σ and the matching is
+order-preserving.  Definition 3.5 (concatenation) requires both
+operands — as sequences of (symbol, time) *pairs* — to be subsequences
+of the result; the checkers here are what the property-based tests and
+the concatenation validator use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from .timedword import TimedWord
+
+__all__ = [
+    "is_subsequence",
+    "is_timed_subsequence",
+    "complementary_split",
+]
+
+
+def is_subsequence(small: Sequence[Any], big: Sequence[Any]) -> bool:
+    """Greedy order-preserving containment test for finite sequences.
+
+    Greedy matching is complete for the subsequence relation: if any
+    order-preserving embedding exists, matching each element of
+    ``small`` to the earliest available position of ``big`` also
+    succeeds.
+    """
+    it = iter(big)
+    return all(any(x == y for y in it) for x in small)
+
+
+def is_timed_subsequence(small: TimedWord, big: TimedWord, n: Optional[int] = None) -> bool:
+    """Subsequence test on (symbol, time) pairs of timed words.
+
+    For finite words the test is exact.  For infinite words ``n``
+    bounds the expansion of both (default: enough of ``big`` to cover
+    ``small``'s first ``n`` pairs); an infinite ``small`` inside an
+    infinite ``big`` is checked on the sampled window only.
+    """
+    if small.is_finite and big.is_finite:
+        return is_subsequence(small.take(len(small)), big.take(len(big)))
+    if n is None:
+        n = 512
+    small_pairs = small.take(n if not small.is_finite else len(small))
+    # A pair (s, t) of `small` can only be matched inside `big` at
+    # positions with timestamp ≤ ... actually = t; expand `big` until
+    # its timestamps pass the largest small timestamp (works only for
+    # words whose times progress — callers pass lassos).
+    if not small_pairs:
+        return True
+    t_max = max(t for _s, t in small_pairs)
+    big_pairs = []
+    i = 0
+    budget = 10 * n + 1000
+    while i < budget:
+        try:
+            pair = big[i]
+        except IndexError:
+            break
+        big_pairs.append(pair)
+        if pair[1] > t_max:
+            break
+        i += 1
+    return is_subsequence(small_pairs, big_pairs)
+
+
+def complementary_split(
+    merged: Sequence[Tuple[Any, int]],
+    first: Sequence[Tuple[Any, int]],
+    second: Sequence[Tuple[Any, int]],
+) -> bool:
+    """Check that ``merged`` is an interleaving of exactly ``first`` and
+    ``second`` (Definition 3.5 item 1's "furthermore" clause: every
+    element of the result comes from one of the operands, and both
+    operands embed).
+
+    Decided by dynamic programming over (i, j) positions — greedy is
+    *not* complete for two simultaneous embeddings.
+    """
+    n, m = len(first), len(second)
+    if len(merged) != n + m:
+        return False
+    # reachable[j] at step k: merged[:k] splits into first[:k-j], second[:j]
+    reachable = {0}
+    for k, pair in enumerate(merged):
+        nxt = set()
+        for j in reachable:
+            i = k - j
+            if i < n and first[i] == pair:
+                nxt.add(j)
+            if j < m and second[j] == pair:
+                nxt.add(j + 1)
+        if not nxt:
+            return False
+        reachable = nxt
+    return m in reachable

@@ -1,0 +1,276 @@
+"""Time sequences — Definition 3.1 of the paper.
+
+A *time sequence* τ = τ₁τ₂… is a (finite or infinite) sequence of
+natural-number timestamps satisfying **monotonicity**: τᵢ ≤ τᵢ₊₁.  A
+*well-behaved* time sequence additionally satisfies **progress**: for
+every t ∈ ℕ there is a finite i with τᵢ > t — hence it is necessarily
+infinite.  The paper departs from Alur–Dill [10] by making time
+discrete; we follow it and use non-negative integers throughout.
+
+Infinite sequences appear in two executable representations:
+
+* **lasso** (eventually periodic with a constant per-period shift):
+  a finite prefix, a finite loop of offsets, and a per-iteration shift
+  Δ.  Every construction in the paper (Sections 4–5) produces lasso
+  time sequences, and well-behavedness is *decidable* on lassos
+  (Δ > 0 ⟺ progress).
+* **functional** (arbitrary ``i ↦ τᵢ``): progress is only
+  semi-decidable; :meth:`TimeSequence.is_well_behaved` then samples a
+  finite horizon and reports honestly via a three-valued answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSequence", "Trilean", "OMEGA"]
+
+
+class Trilean(Enum):
+    """Three-valued verdicts for properties of infinite objects."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        # Conservative coercion: only a definite TRUE is truthy.
+        return self is Trilean.TRUE
+
+
+class _Omega:
+    """The ordinal ω, used as the length of infinite words.
+
+    The paper stresses ω ∉ ℕ; we honour that by making OMEGA compare
+    strictly greater than every int and unequal to all of them.
+    """
+
+    _instance: Optional["_Omega"] = None
+
+    def __new__(cls) -> "_Omega":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return True
+        if isinstance(other, _Omega):
+            return False
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        return isinstance(other, (int, _Omega))
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, (int, _Omega)):
+            return False
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        return isinstance(other, _Omega)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Omega)
+
+    def __hash__(self) -> int:
+        return hash("omega")
+
+    def __repr__(self) -> str:
+        return "ω"
+
+
+OMEGA = _Omega()
+
+
+@dataclass(frozen=True)
+class TimeSequence:
+    """A finite, lasso, or functional time sequence.
+
+    Exactly one of the following shapes holds:
+
+    * finite: ``loop`` is empty and ``fn`` is None; the sequence is
+      just ``prefix``.
+    * lasso: ``loop`` non-empty; element ``prefix + k·|loop| + j`` has
+      timestamp ``loop[j] + k·shift`` (k ≥ 0, 0 ≤ j < |loop|).
+    * functional: ``fn`` maps index (0-based) to timestamp; length ω.
+    """
+
+    prefix: Tuple[int, ...] = ()
+    loop: Tuple[int, ...] = ()
+    shift: int = 0
+    fn: Optional[Callable[[int], int]] = field(default=None, compare=False)
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def finite(values: Sequence[int]) -> "TimeSequence":
+        """A finite time sequence (allowed by Definition 3.1)."""
+        return TimeSequence(prefix=tuple(int(v) for v in values))
+
+    @staticmethod
+    def lasso(prefix: Sequence[int], loop: Sequence[int], shift: int) -> "TimeSequence":
+        """Eventually periodic: prefix, then loop shifted by ``shift``/cycle."""
+        if not loop:
+            raise ValueError("lasso loop must be non-empty")
+        return TimeSequence(
+            prefix=tuple(int(v) for v in prefix),
+            loop=tuple(int(v) for v in loop),
+            shift=int(shift),
+        )
+
+    @staticmethod
+    def functional(fn: Callable[[int], int]) -> "TimeSequence":
+        """An arbitrary infinite sequence given by ``i ↦ τᵢ`` (0-based)."""
+        return TimeSequence(fn=fn)
+
+    @staticmethod
+    def arithmetic(start: int, step: int, offset_len: int = 0, offset_value: int = 0) -> "TimeSequence":
+        """τ = offset_value^offset_len, start, start+step, start+2·step, …
+
+        The workhorse shape of the paper's Section 4 constructions
+        ("τᵢ = i − m − n for i > m+n" is ``arithmetic(1, 1, m+n, 0)``).
+        """
+        return TimeSequence.lasso(
+            prefix=(offset_value,) * offset_len, loop=(start,), shift=step
+        )
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def is_finite(self) -> bool:
+        return not self.loop and self.fn is None
+
+    def __len__(self) -> int:
+        if not self.is_finite:
+            raise TypeError("infinite time sequence has length ω; use .length")
+        return len(self.prefix)
+
+    @property
+    def length(self):
+        """len for finite sequences, :data:`OMEGA` otherwise."""
+        return len(self.prefix) if self.is_finite else OMEGA
+
+    # -- access -----------------------------------------------------------------
+    def __getitem__(self, i: int) -> int:
+        """τ_{i+1} in paper terms (0-based here)."""
+        if i < 0:
+            raise IndexError("negative index into a time sequence")
+        if self.fn is not None:
+            value = self.fn(i)
+            if value != int(value) or value < 0:
+                raise ValueError(f"functional time sequence produced {value!r} at {i}")
+            return int(value)
+        if i < len(self.prefix):
+            return self.prefix[i]
+        if not self.loop:
+            raise IndexError(f"index {i} out of range for finite time sequence")
+        j = i - len(self.prefix)
+        k, r = divmod(j, len(self.loop))
+        return self.loop[r] + k * self.shift
+
+    def take(self, n: int) -> List[int]:
+        """The first ``n`` timestamps (clipped to the length if finite)."""
+        if self.is_finite:
+            n = min(n, len(self.prefix))
+        return [self[i] for i in range(n)]
+
+    def __iter__(self) -> Iterator[int]:
+        i = 0
+        while True:
+            try:
+                yield self[i]
+            except IndexError:
+                return
+            i += 1
+
+    # -- Definition 3.1 predicates ---------------------------------------------
+    def is_monotone(self, horizon: int = 4096) -> Trilean:
+        """Monotonicity τᵢ ≤ τᵢ₊₁ and non-negativity.
+
+        Decidable for finite sequences and lassos (checking one loop
+        unrolling plus the wraparound suffices); sampled up to
+        ``horizon`` for functional sequences.
+        """
+        if self.is_finite:
+            vals = self.prefix
+            ok = all(v >= 0 for v in vals) and all(
+                vals[i] <= vals[i + 1] for i in range(len(vals) - 1)
+            )
+            return Trilean.TRUE if ok else Trilean.FALSE
+        if self.fn is None:
+            # Lasso: prefix monotone, junction, loop monotone, wraparound
+            # into the shifted next iteration, and shift keeps values
+            # non-decreasing across iterations.
+            n = len(self.prefix) + 2 * len(self.loop) + 1
+            vals = [self[i] for i in range(n)]
+            ok = all(v >= 0 for v in vals) and all(
+                vals[i] <= vals[i + 1] for i in range(len(vals) - 1)
+            )
+            ok = ok and self.shift >= 0
+            return Trilean.TRUE if ok else Trilean.FALSE
+        vals = [self[i] for i in range(horizon)]
+        if any(v < 0 for v in vals) or any(
+            vals[i] > vals[i + 1] for i in range(len(vals) - 1)
+        ):
+            return Trilean.FALSE
+        return Trilean.UNKNOWN
+
+    def is_well_behaved(self, horizon: int = 4096) -> Trilean:
+        """Progress: ∀t ∃i finite with τᵢ > t (Definition 3.1).
+
+        * finite sequences: never well-behaved (the paper notes a
+          well-behaved time sequence is always infinite);
+        * lassos: decidable — progress ⟺ shift > 0 (each loop
+          iteration raises every timestamp by Δ);
+        * functional: TRUE is never provable from samples, so the
+          verdict is FALSE (if monotonicity fails) or UNKNOWN.
+        """
+        mono = self.is_monotone(horizon)
+        if mono is Trilean.FALSE:
+            return Trilean.FALSE
+        if self.is_finite:
+            return Trilean.FALSE
+        if self.fn is None:
+            if self.shift > 0:
+                return mono  # TRUE (lasso monotonicity is decidable)
+            return Trilean.FALSE  # timestamps are bounded by max(loop)
+        return Trilean.UNKNOWN
+
+    # -- queries used by Lemma 5.1 ------------------------------------------------
+    def first_index_reaching(self, t: int, horizon: int = 1_000_000) -> Optional[int]:
+        """Smallest 0-based i with τᵢ ≥ t, or None within ``horizon``.
+
+        This is the k′ of Lemma 5.1 (up to indexing convention).  For
+        lassos it is computed in O(prefix + loop) arithmetic; for
+        functional sequences it scans up to ``horizon``.
+        """
+        if self.is_finite or self.fn is not None:
+            n = len(self.prefix) if self.is_finite else horizon
+            for i in range(n):
+                if self[i] >= t:
+                    return i
+            return None
+        for i, v in enumerate(self.prefix):
+            if v >= t:
+                return i
+        if self.shift <= 0:
+            for j, v in enumerate(self.loop):
+                if v >= t:
+                    return len(self.prefix) + j
+            return None
+        # Need loop[j] + k·shift ≥ t for the smallest (k, j) in index order.
+        best: Optional[int] = None
+        for j, v in enumerate(self.loop):
+            k = max(0, -(-(t - v) // self.shift)) if v < t else 0
+            idx = len(self.prefix) + k * len(self.loop) + j
+            if best is None or idx < best:
+                best = idx
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.is_finite:
+            return f"TimeSequence{self.prefix}"
+        if self.fn is not None:
+            return "TimeSequence(<functional>)"
+        return f"TimeSequence(prefix={self.prefix}, loop={self.loop}, shift={self.shift})"

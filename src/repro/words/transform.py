@@ -1,0 +1,144 @@
+"""Word transformations: retiming, filtering, projection.
+
+Utility operators the paper uses implicitly when relocating
+constructions in time (e.g. the Section 5.1.3 aq words are the Section
+4.1 shapes "issued at time t"), realized as explicit, well-tested
+operations on all three word representations.
+
+* :func:`delay` — shift every timestamp by a constant (delaying a
+  well-behaved word preserves well-behavedness; *advancing* may not
+  produce a timed word at all and is validated);
+* :func:`stretch` — multiply every timestamp (granularity change; the
+  paper: "one can define a granularity of time as fine as desired");
+* :func:`filter_symbols` — keep only symbols satisfying a predicate
+  (the projection used when reading one operand back out of a merge);
+* :func:`relabel` — map symbols pointwise (alphabet renaming).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .timedword import Pair, TimedWord
+
+__all__ = ["delay", "stretch", "filter_symbols", "relabel", "iterate_omega"]
+
+
+def iterate_omega(word: TimedWord, period: Optional[int] = None) -> TimedWord:
+    """wω: infinite iteration of a finite timed word.
+
+    Copy k of ``word`` has every timestamp shifted by k·period — the
+    construction behind L_ω-style languages (Theorem 3.1's l₁$l₂$…)
+    and the paper's periodic examples.  ``period`` defaults to the
+    smallest shift keeping the result monotone: max(τ) − min(τ) + 1
+    (so consecutive copies never interleave); passing a larger period
+    inserts idle time between copies.  The result is a lasso word,
+    hence everything downstream stays decidable.  It is well-behaved
+    iff period > 0, which the default guarantees.
+    """
+    if not word.is_finite:
+        raise ValueError("iterate_omega needs a finite word")
+    if len(word) == 0:
+        raise ValueError("cannot iterate the empty word")
+    times = [t for _s, t in word.prefix]
+    min_period = max(times) - min(times) + 1
+    if period is None:
+        period = min_period
+    if period < min_period:
+        raise ValueError(
+            f"period {period} would interleave copies (need ≥ {min_period})"
+        )
+    return TimedWord.lasso(prefix=(), loop=list(word.prefix), shift=period)
+
+
+def delay(word: TimedWord, dt: int) -> TimedWord:
+    """(σ, τ) ↦ (σ, τ + dt).  Negative dt must not push times below 0."""
+    if word.fn is not None:
+        base = word.fn
+
+        def fn(i: int) -> Pair:
+            s, t = base(i)
+            if t + dt < 0:
+                raise ValueError("delay would produce a negative timestamp")
+            return (s, t + dt)
+
+        return TimedWord.functional(fn)
+    prefix = [(s, t + dt) for s, t in word.prefix]
+    if any(t < 0 for _s, t in prefix):
+        raise ValueError("delay would produce a negative timestamp")
+    if word.is_finite:
+        return TimedWord.finite(prefix)
+    loop = [(s, t + dt) for s, t in word.loop]
+    if any(t < 0 for _s, t in loop):
+        raise ValueError("delay would produce a negative timestamp")
+    return TimedWord.lasso(prefix, loop, word.shift)
+
+
+def stretch(word: TimedWord, factor: int) -> TimedWord:
+    """(σ, τ) ↦ (σ, factor·τ): a coarser time granularity.
+
+    Monotonicity and progress are preserved for factor ≥ 1.
+    """
+    if factor < 1:
+        raise ValueError("stretch factor must be ≥ 1")
+    if word.fn is not None:
+        base = word.fn
+
+        def fn(i: int) -> Pair:
+            s, t = base(i)
+            return (s, factor * t)
+
+        return TimedWord.functional(fn)
+    prefix = [(s, factor * t) for s, t in word.prefix]
+    if word.is_finite:
+        return TimedWord.finite(prefix)
+    loop = [(s, factor * t) for s, t in word.loop]
+    return TimedWord.lasso(prefix, loop, factor * word.shift)
+
+
+def filter_symbols(word: TimedWord, keep: Callable[[Any], bool]) -> TimedWord:
+    """Keep only pairs whose symbol satisfies ``keep``.
+
+    Finite words filter exactly.  Lassos filter prefix and loop
+    separately: the result is a lasso iff the loop retains at least one
+    symbol; a fully-filtered loop collapses the word to its finite
+    filtered prefix.  Functional words filter lazily.
+    """
+    if word.fn is not None:
+        base = word.fn
+        cache: List[Pair] = []
+        cursor = [0]
+
+        def fn(i: int) -> Pair:
+            while len(cache) <= i:
+                pair = base(cursor[0])  # IndexError propagates = end
+                cursor[0] += 1
+                if keep(pair[0]):
+                    cache.append(pair)
+            return cache[i]
+
+        return TimedWord.functional(fn)
+    prefix = [(s, t) for s, t in word.prefix if keep(s)]
+    if word.is_finite:
+        return TimedWord.finite(prefix)
+    loop = [(s, t) for s, t in word.loop if keep(s)]
+    if not loop:
+        return TimedWord.finite(prefix)
+    return TimedWord.lasso(prefix, loop, word.shift)
+
+
+def relabel(word: TimedWord, mapping: Callable[[Any], Any]) -> TimedWord:
+    """Apply ``mapping`` to every symbol (times untouched)."""
+    if word.fn is not None:
+        base = word.fn
+
+        def fn(i: int) -> Pair:
+            s, t = base(i)
+            return (mapping(s), t)
+
+        return TimedWord.functional(fn)
+    prefix = [(mapping(s), t) for s, t in word.prefix]
+    if word.is_finite:
+        return TimedWord.finite(prefix)
+    loop = [(mapping(s), t) for s, t in word.loop]
+    return TimedWord.lasso(prefix, loop, word.shift)

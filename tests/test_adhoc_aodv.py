@@ -1,0 +1,94 @@
+"""Tests for the AODV-style reactive hop-by-hop router."""
+
+import pytest
+
+from repro.adhoc import (
+    AdhocNetwork,
+    AodvRouter,
+    DiskRange,
+    Message,
+    Position,
+    StationaryMobility,
+)
+from repro.kernel import Simulator
+
+
+def line_network(n=4, spacing=10.0, radius=15.0):
+    positions = {i: Position(i * spacing, 0.0) for i in range(1, n + 1)}
+    mob = StationaryMobility(positions)
+    pred = DiskRange(mob.trajectories(), {i: radius for i in positions})
+    sim = Simulator()
+    net = AdhocNetwork(sim, pred, list(positions))
+    routers = {i: AodvRouter() for i in positions}
+    for i, r in routers.items():
+        net.attach(i, r)
+    net.start()
+    return sim, net, routers
+
+
+class TestAodv:
+    def test_idle_network_transmits_nothing(self):
+        sim, net, _ = line_network()
+        sim.run(until=200)
+        assert len(net.trace.hops) == 0
+
+    def test_multihop_delivery(self):
+        sim, net, _ = line_network(5)
+        msg = Message(src=1, dst=5, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=200)
+        assert net.trace.delivery_time(msg.uid) is not None
+
+    def test_reverse_routes_installed_by_discovery(self):
+        sim, net, routers = line_network(4)
+        msg = Message(src=1, dst=4, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=200)
+        # every node on the path learned a route back to the origin
+        assert routers[2].routes[1].next_hop == 1
+        assert routers[3].routes[1].next_hop == 2
+        # and the origin learned the forward route
+        assert routers[1].routes[4].next_hop == 2
+
+    def test_forward_state_is_hop_by_hop(self):
+        """Data packets carry no source route: intermediate nodes
+        forward on their own tables."""
+        sim, net, routers = line_network(4)
+        msg = Message(src=1, dst=4, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=200)
+        data = net.trace.data_hops(msg.uid)
+        assert all(p.body.route is None for p in data)
+        assert len(data) == 3  # unicast chain 1→2→3→4
+
+    def test_route_cache_avoids_second_discovery(self):
+        sim, net, _ = line_network(4)
+        m1 = Message(src=1, dst=4, body="a", created_at=0)
+        net.originate(m1)
+        sim.run(until=100)
+        control_after_first = len(net.trace.control_hops())
+        m2 = Message(src=1, dst=4, body="b", created_at=sim.now)
+        net.originate(m2)
+        sim.run(until=200)
+        assert net.trace.delivery_time(m2.uid) is not None
+        assert len(net.trace.control_hops()) == control_after_first
+
+    def test_unreachable_destination_never_delivered(self):
+        sim, net, _ = line_network(2, spacing=100.0)
+        msg = Message(src=1, dst=2, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=300)
+        assert net.trace.delivery_time(msg.uid) is None
+
+    def test_fresher_request_overrides_route(self):
+        from repro.adhoc.routing.aodv import AodvRouter as R, RouteState
+
+        r = R()
+        r.bind(AdhocNetwork(Simulator(), DiskRange({1: lambda t: Position(0, 0)}, {1: 1.0}), [1]), 1)
+        r._install(9, next_hop=2, hops=5, freshness=1)
+        r._install(9, next_hop=3, hops=9, freshness=2)  # fresher wins
+        assert r.routes[9].next_hop == 3
+        r._install(9, next_hop=4, hops=2, freshness=2)  # same freshness: shorter wins
+        assert r.routes[9].next_hop == 4
+        r._install(9, next_hop=5, hops=1, freshness=1)  # stale: ignored
+        assert r.routes[9].next_hop == 4

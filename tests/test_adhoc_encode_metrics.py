@@ -1,0 +1,192 @@
+"""Tests for the §5.2 encodings, the R_{n,u} validator, and metrics."""
+
+import pytest
+
+from repro.adhoc import (
+    AdhocNetwork,
+    DiskRange,
+    FloodingRouter,
+    HopRecord,
+    Message,
+    Position,
+    StationaryMobility,
+    delivery_ratio,
+    extract_route,
+    message_word,
+    network_word,
+    node_word,
+    path_optimality,
+    receive_word,
+    routing_overhead,
+    routing_word,
+    shortest_path_length,
+    validate_route,
+)
+from repro.kernel import Simulator
+from repro.words import Trilean
+
+
+def grid_pred(n=4, spacing=10.0, radius=15.0):
+    positions = {i: Position(i * spacing, 0.0) for i in range(1, n + 1)}
+    mob = StationaryMobility(positions)
+    return DiskRange(mob.trajectories(), {i: radius for i in positions})
+
+
+def flooded_run(n=4):
+    pred = grid_pred(n)
+    sim = Simulator()
+    net = AdhocNetwork(sim, pred, list(range(1, n + 1)))
+    for i in range(1, n + 1):
+        net.attach(i, FloodingRouter())
+    net.start()
+    msg = Message(src=1, dst=n, body="b", created_at=0)
+    net.originate(msg)
+    sim.run(until=60)
+    return pred, net, msg
+
+
+class TestWords:
+    def test_node_word_structure(self):
+        pred = grid_pred(2)
+        w = node_word(1, "radio", pred.trajectories[1])
+        pairs = w.take(40)
+        # invariant block and first position at τ = 0
+        zero_syms = [s for s, t in pairs if t == 0]
+        assert "".join(zero_syms).startswith("$1@q:radio$")
+        # position block at τ = 1 exists
+        assert any(t == 1 for _s, t in pairs)
+
+    def test_node_word_times_progress(self):
+        pred = grid_pred(2)
+        w = node_word(1, "radio", pred.trajectories[1])
+        ts = [t for _s, t in w.take(200)]
+        assert ts == sorted(ts)
+        assert ts[-1] >= 3
+
+    def test_message_word_at_generation_time(self):
+        hop = HopRecord(sent_at=7, src=1, dst=2, body="payload", kind="data")
+        w = message_word(hop)
+        assert all(t == 7 for _s, t in w.take(len(w)))
+        assert "".join(s for s, _t in w.take(len(w))).startswith("$7@1@2@")
+
+    def test_receive_word_at_receive_time(self):
+        hop = HopRecord(sent_at=7, src=1, dst=2, body="p", kind="data")
+        w = receive_word(hop)
+        assert all(t == 8 for _s, t in w.take(len(w)))
+
+    def test_network_word_merges_all_nodes(self):
+        pred = grid_pred(3)
+        w = network_word(pred)
+        zero_text = "".join(s for s, t in w.take(120) if t == 0)
+        for node in ("$1@", "$2@", "$3@"):
+            assert node in zero_text
+
+    def test_routing_word_contains_messages(self):
+        pred, net, msg = flooded_run(3)
+        w = routing_word(pred, net.trace, max_hops=4)
+        text = "".join(s for s, _t in w.take(400))
+        assert "@payload" not in text  # body is 'b'
+        assert "$0@1@0@" in text or "$0@1@" in text  # the m_u of the first hop
+
+
+class TestRouteExtraction:
+    def test_chain_reaches_destination(self):
+        pred, net, msg = flooded_run(4)
+        chain = extract_route(net.trace, msg)
+        assert chain
+        assert chain[0].src == msg.src
+        assert chain[0].sent_at == msg.created_at
+
+    def test_chain_length_matches_line_topology(self):
+        pred, net, msg = flooded_run(4)
+        chain = extract_route(net.trace, msg)
+        assert len(chain) == 3  # 1→2→3→4
+
+    def test_undelivered_gives_empty_chain(self):
+        pred = grid_pred(2, spacing=100.0)
+        sim = Simulator()
+        net = AdhocNetwork(sim, pred, [1, 2])
+        net.attach(1, FloodingRouter())
+        net.attach(2, FloodingRouter())
+        net.start()
+        msg = Message(src=1, dst=2, body="b", created_at=0)
+        net.originate(msg)
+        sim.run(until=30)
+        assert extract_route(net.trace, msg) == []
+
+
+class TestRnuValidator:
+    def test_successful_route_in_language(self):
+        pred, net, msg = flooded_run(4)
+        v = validate_route(pred, net.trace, msg)
+        assert v.in_language, v.violations
+        assert v.delivered and v.f == 3
+
+    def test_lost_message_not_in_R(self):
+        pred = grid_pred(2, spacing=100.0)
+        sim = Simulator()
+        net = AdhocNetwork(sim, pred, [1, 2])
+        net.attach(1, FloodingRouter())
+        net.attach(2, FloodingRouter())
+        net.start()
+        msg = Message(src=1, dst=2, body="b", created_at=0)
+        net.originate(msg)
+        sim.run(until=30)
+        v = validate_route(pred, net.trace, msg)
+        assert not v.in_language
+        assert any("cond. 3" in viol for viol in v.violations)
+
+    def test_lost_message_in_R_prime(self):
+        """R′_{n,u}: lossy variant admits undelivered messages."""
+        pred = grid_pred(2, spacing=100.0)
+        sim = Simulator()
+        net = AdhocNetwork(sim, pred, [1, 2])
+        net.attach(1, FloodingRouter())
+        net.attach(2, FloodingRouter())
+        net.start()
+        msg = Message(src=1, dst=2, body="b", created_at=0)
+        net.originate(msg)
+        sim.run(until=30)
+        v = validate_route(pred, net.trace, msg, require_delivery=False)
+        assert v.in_language
+
+    def test_strict_relay_condition(self):
+        """Condition 2's t′_i = t_{i+1} holds for immediate forwarders."""
+        pred, net, msg = flooded_run(4)
+        v = validate_route(pred, net.trace, msg, strict_relay=True)
+        assert v.in_language, v.violations
+
+    def test_range_condition_checked(self):
+        """Tampering with the range predicate surfaces violations."""
+        pred, net, msg = flooded_run(4)
+        # a predicate that denies everything invalidates the trace
+        tight = DiskRange(pred.trajectories, {i: 0.1 for i in pred.radii})
+        v = validate_route(tight, net.trace, msg)
+        assert not v.in_language
+        assert any("range" in viol for viol in v.violations)
+
+
+class TestMetrics:
+    def test_overhead_counts_all_hops(self):
+        pred, net, msg = flooded_run(4)
+        assert routing_overhead(net.trace) == len(net.trace.hops)
+
+    def test_shortest_path_on_line(self):
+        pred = grid_pred(5)
+        assert shortest_path_length(pred, 1, 5, 0) == 4
+        assert shortest_path_length(pred, 1, 1, 0) == 0
+
+    def test_shortest_path_disconnected(self):
+        pred = grid_pred(2, spacing=100.0)
+        assert shortest_path_length(pred, 1, 2, 0) is None
+
+    def test_flooding_path_optimality_zero(self):
+        """Flooding finds shortest paths: excess = 0 on a static line."""
+        pred, net, msg = flooded_run(5)
+        assert path_optimality(pred, net.trace, msg) == 0
+
+    def test_delivery_ratio(self):
+        pred, net, msg = flooded_run(3)
+        lost = Message(src=1, dst=3, body="never-sent", created_at=0)
+        assert delivery_ratio(net.trace, [msg, lost]) == 0.5
+        assert delivery_ratio(net.trace, []) == 1.0

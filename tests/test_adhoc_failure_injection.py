@@ -1,0 +1,90 @@
+"""Failure injection: radio loss in the ad hoc network."""
+
+import pytest
+
+from repro.adhoc import (
+    AdhocNetwork,
+    DiskRange,
+    FloodingRouter,
+    Message,
+    Position,
+    Scenario,
+    StationaryMobility,
+    run_scenario,
+)
+from repro.kernel import Simulator
+
+
+def _line(n=4, spacing=10.0, radius=15.0, loss_rate=0.0, seed=0):
+    positions = {i: Position(i * spacing, 0.0) for i in range(1, n + 1)}
+    mob = StationaryMobility(positions)
+    pred = DiskRange(mob.trajectories(), {i: radius for i in positions})
+    sim = Simulator()
+    net = AdhocNetwork(sim, pred, list(positions), loss_rate=loss_rate, loss_seed=seed)
+    for i in positions:
+        net.attach(i, FloodingRouter())
+    net.start()
+    return sim, net
+
+
+class TestLossInjection:
+    def test_invalid_rate_rejected(self):
+        positions = {1: Position(0, 0)}
+        pred = DiskRange(
+            StationaryMobility(positions).trajectories(), {1: 10.0}
+        )
+        with pytest.raises(ValueError):
+            AdhocNetwork(Simulator(), pred, [1], loss_rate=1.0)
+        with pytest.raises(ValueError):
+            AdhocNetwork(Simulator(), pred, [1], loss_rate=-0.1)
+
+    def test_zero_loss_drops_nothing(self):
+        sim, net = _line(loss_rate=0.0)
+        msg = Message(src=1, dst=4, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=50)
+        assert net.frames_dropped == 0
+        assert net.trace.delivery_time(msg.uid) is not None
+
+    def test_total_loss_blocks_everything(self):
+        sim, net = _line(loss_rate=0.99, seed=1)
+        for i in range(6):
+            net.originate(Message(src=1, dst=4, body=i, created_at=0))
+        sim.run(until=50)
+        assert net.frames_dropped > 0
+        # with 99% loss on a 3-hop path, essentially nothing gets through
+        assert len(net.trace.delivered) <= 1
+
+    def test_loss_is_seeded_and_reproducible(self):
+        def run(seed):
+            sim, net = _line(loss_rate=0.4, seed=seed)
+            msg = Message(src=1, dst=4, body="x", created_at=0)
+            net.originate(msg)
+            sim.run(until=50)
+            return net.frames_dropped, net.trace.delivery_time(msg.uid)
+
+        assert run(7) == run(7)
+
+    def test_delivery_degrades_with_loss(self):
+        """The R′ shape: delivery ratio falls as loss rises."""
+        ratios = []
+        for loss in (0.0, 0.3, 0.7):
+            delivered = total = 0
+            for seed in range(5):
+                sc = Scenario(
+                    n_nodes=10, n_messages=6, horizon=200, seed=seed,
+                    stationary=True, loss_rate=loss,
+                )
+                run = run_scenario(FloodingRouter, sc)
+                delivered += run.metrics.delivered
+                total += run.metrics.messages
+            ratios.append(delivered / total)
+        assert ratios[0] >= ratios[1] >= ratios[2]
+        assert ratios[0] > ratios[2]
+
+    def test_dropped_frames_still_counted_as_overhead(self):
+        """The sender paid for the transmission even if nobody heard."""
+        sim, net = _line(loss_rate=0.8, seed=3)
+        net.originate(Message(src=1, dst=4, body="x", created_at=0))
+        sim.run(until=50)
+        assert len(net.trace.hops) >= 1  # the transmission is recorded

@@ -1,0 +1,153 @@
+"""Tests for §5.2 geometry, the range predicate, and mobility models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adhoc import (
+    Arena,
+    ConstantVelocityMobility,
+    DiskRange,
+    Position,
+    RandomWaypointMobility,
+    StationaryMobility,
+    distance,
+)
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert distance(Position(0, 0), Position(3, 4)) == 5.0
+
+    def test_position_iterable(self):
+        x, y = Position(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+
+
+class TestDiskRange:
+    def _pred(self, radius=10.0):
+        positions = {
+            1: Position(0, 0),
+            2: Position(5, 0),
+            3: Position(50, 0),
+        }
+        mob = StationaryMobility(positions)
+        return DiskRange(mob.trajectories(), {n: radius for n in positions})
+
+    def test_in_range(self):
+        pred = self._pred()
+        assert pred(1, 2, t=0)
+        assert not pred(1, 3, t=0)
+
+    def test_never_self_range(self):
+        pred = self._pred()
+        assert not pred(1, 1, t=0)
+
+    def test_asymmetric_radii(self):
+        positions = {1: Position(0, 0), 2: Position(5, 0)}
+        mob = StationaryMobility(positions)
+        pred = DiskRange(mob.trajectories(), {1: 10.0, 2: 1.0})
+        assert pred(1, 2, 0)  # 1's big radio reaches 2
+        assert not pred(2, 1, 0)  # 2's tiny radio does not reach 1
+
+    def test_obstacle_blocks(self):
+        positions = {1: Position(0, 0), 2: Position(5, 0)}
+        mob = StationaryMobility(positions)
+        pred = DiskRange(
+            mob.trajectories(),
+            {1: 10.0, 2: 10.0},
+            obstacle=lambda a, b: True,
+        )
+        assert not pred(1, 2, 0)
+
+    def test_neighbours_sorted(self):
+        pred = self._pred(radius=100.0)
+        assert pred.neighbours(1, 0) == (2, 3)
+
+    def test_positions_at(self):
+        pred = self._pred()
+        snap = pred.positions_at(0)
+        assert snap[2] == Position(5, 0)
+
+
+class TestConstantVelocity:
+    def test_straight_line(self):
+        arena = Arena(1000, 1000)
+        mob = ConstantVelocityMobility(
+            arena, {1: Position(0, 0)}, {1: (2.0, 1.0)}
+        )
+        traj = mob.trajectory(1)
+        assert traj(10) == Position(20.0, 10.0)
+
+    def test_reflection_at_walls(self):
+        arena = Arena(10, 10)
+        mob = ConstantVelocityMobility(arena, {1: Position(0, 0)}, {1: (3.0, 0.0)})
+        traj = mob.trajectory(1)
+        assert traj(4).x == pytest.approx(8.0)  # 12 reflected to 8
+        assert 0 <= traj(7).x <= 10
+
+    @given(st.integers(0, 500))
+    def test_always_inside_arena(self, t):
+        arena = Arena(100, 50)
+        mob = ConstantVelocityMobility(
+            arena, {1: Position(3, 4)}, {1: (7.3, -2.9)}
+        )
+        p = mob.trajectory(1)(t)
+        assert 0 <= p.x <= arena.width
+        assert 0 <= p.y <= arena.height
+
+
+class TestRandomWaypoint:
+    def test_deterministic_given_seed(self):
+        a = RandomWaypointMobility(Arena(), 5, seed=42)
+        b = RandomWaypointMobility(Arena(), 5, seed=42)
+        for node in range(1, 6):
+            for t in (0, 10, 100):
+                assert a.position(node, t) == b.position(node, t)
+
+    def test_different_seeds_differ(self):
+        a = RandomWaypointMobility(Arena(), 3, seed=1)
+        b = RandomWaypointMobility(Arena(), 3, seed=2)
+        assert any(
+            a.position(n, 50) != b.position(n, 50) for n in range(1, 4)
+        )
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 5), st.integers(0, 300))
+    def test_positions_inside_arena(self, node, t):
+        arena = Arena(200, 100)
+        mob = RandomWaypointMobility(arena, 5, seed=9)
+        p = mob.position(node, t)
+        assert -1e-9 <= p.x <= arena.width + 1e-9
+        assert -1e-9 <= p.y <= arena.height + 1e-9
+
+    def test_speed_respected(self):
+        mob = RandomWaypointMobility(Arena(), 2, min_speed=1, max_speed=5, seed=3)
+        for t in range(0, 100):
+            p0 = mob.position(1, t)
+            p1 = mob.position(1, t + 1)
+            assert distance(p0, p1) <= 5.0 + 1e-6
+
+    def test_pause_time_freezes_position(self):
+        """A paused node sits still at its waypoint."""
+        mob = RandomWaypointMobility(Arena(100, 100), 1, pause_time=1000,
+                                     min_speed=10, max_speed=10, seed=5)
+        # Travel to the first waypoint takes < 100·√2/10 ≈ 15 chronons;
+        # afterwards the long pause holds the position.
+        p50 = mob.position(1, 50)
+        p60 = mob.position(1, 60)
+        assert p50 == p60
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Arena(), 0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Arena(), 1, min_speed=5, max_speed=1)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Arena(), 1, min_speed=0)
+
+    def test_negative_time_rejected(self):
+        mob = RandomWaypointMobility(Arena(), 1)
+        with pytest.raises(ValueError):
+            mob.position(1, -1)

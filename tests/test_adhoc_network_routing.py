@@ -1,0 +1,221 @@
+"""Tests for the radio network and the four routing protocols."""
+
+import pytest
+
+from repro.adhoc import (
+    AdhocNetwork,
+    DiskRange,
+    DreamRouter,
+    DsdvRouter,
+    DsrRouter,
+    FloodingRouter,
+    Message,
+    Position,
+    Scenario,
+    StationaryMobility,
+    run_scenario,
+)
+from repro.kernel import Simulator
+
+
+def line_network(n=4, spacing=10.0, radius=15.0):
+    """Nodes on a line, each reaching only its neighbours."""
+    positions = {i: Position(i * spacing, 0.0) for i in range(1, n + 1)}
+    mob = StationaryMobility(positions)
+    pred = DiskRange(mob.trajectories(), {i: radius for i in positions})
+    sim = Simulator()
+    net = AdhocNetwork(sim, pred, list(positions))
+    return sim, net, pred
+
+
+class TestRadio:
+    def test_unit_time_delivery(self):
+        """§5.2.1: t′ = t + 1."""
+        sim, net, _ = line_network(2)
+        net.attach(1, FloodingRouter())
+        net.attach(2, FloodingRouter())
+        net.start()
+        msg = Message(src=1, dst=2, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=10)
+        assert net.trace.delivery_time(msg.uid) == 1
+
+    def test_out_of_range_not_delivered(self):
+        sim, net, _ = line_network(2, spacing=100.0, radius=15.0)
+        net.attach(1, FloodingRouter())
+        net.attach(2, FloodingRouter())
+        net.start()
+        msg = Message(src=1, dst=2, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=20)
+        assert net.trace.delivery_time(msg.uid) is None
+
+    def test_trace_records_hops_and_receives(self):
+        sim, net, _ = line_network(3)
+        for i in (1, 2, 3):
+            net.attach(i, FloodingRouter())
+        net.start()
+        msg = Message(src=1, dst=3, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=20)
+        assert len(net.trace.hops) >= 2
+        assert net.trace.receives
+
+    def test_connectivity_snapshot(self):
+        _sim, net, _ = line_network(3)
+        snap = net.connectivity_snapshot(0)
+        assert snap[1] == [2]
+        assert snap[2] == [1, 3]
+
+    def test_attach_unknown_node_rejected(self):
+        _sim, net, _ = line_network(2)
+        with pytest.raises(ValueError):
+            net.attach(99, FloodingRouter())
+
+    def test_double_start_rejected(self):
+        sim, net, _ = line_network(2)
+        net.attach(1, FloodingRouter())
+        net.attach(2, FloodingRouter())
+        net.start()
+        with pytest.raises(RuntimeError):
+            net.start()
+
+
+def deliver_over_line(router_factory, n=4, horizon=300):
+    sim, net, pred = line_network(n)
+    for i in range(1, n + 1):
+        net.attach(i, router_factory())
+    net.start()
+    # let proactive protocols converge
+    sim.run(until=horizon // 2)
+    msg = Message(src=1, dst=n, body="payload", created_at=sim.now)
+    net.originate(msg)
+    sim.run(until=horizon)
+    return net, msg
+
+
+class TestFlooding:
+    def test_delivers_multihop(self):
+        net, msg = deliver_over_line(FloodingRouter)
+        assert net.trace.delivery_time(msg.uid) is not None
+
+    def test_duplicate_suppression(self):
+        net, msg = deliver_over_line(FloodingRouter, n=4)
+        # each node transmits the packet at most once: ≤ n data hops
+        assert len(net.trace.data_hops(msg.uid)) <= 4
+
+    def test_ttl_limits_propagation(self):
+        sim, net, _ = line_network(6)
+        for i in range(1, 7):
+            net.attach(i, FloodingRouter(ttl=2))
+        net.start()
+        msg = Message(src=1, dst=6, body="x", created_at=0)
+        net.originate(msg)
+        sim.run(until=100)
+        assert net.trace.delivery_time(msg.uid) is None
+
+
+class TestDsdv:
+    def test_delivers_after_convergence(self):
+        net, msg = deliver_over_line(lambda: DsdvRouter(beacon_period=10), n=4)
+        assert net.trace.delivery_time(msg.uid) is not None
+
+    def test_control_traffic_flows_continuously(self):
+        """Proactive: beacons happen without any data traffic."""
+        sim, net, _ = line_network(3)
+        for i in (1, 2, 3):
+            net.attach(i, DsdvRouter(beacon_period=10))
+        net.start()
+        sim.run(until=100)
+        assert len(net.trace.control_hops()) >= 3 * 9
+
+    def test_routes_use_next_hops_not_floods(self):
+        net, msg = deliver_over_line(lambda: DsdvRouter(beacon_period=10), n=5)
+        data = net.trace.data_hops(msg.uid)
+        # unicast chain: one hop per link, ≈ 4, definitely < flood count
+        assert 1 <= len(data) <= 6
+
+    def test_sequence_numbers_prefer_fresh_routes(self):
+        sim, net, _ = line_network(2)
+        r1 = DsdvRouter(beacon_period=10)
+        net.attach(1, r1)
+        net.attach(2, DsdvRouter(beacon_period=10))
+        net.start()
+        sim.run(until=60)
+        entry = r1.table[2]
+        assert entry.next_hop == 2 and entry.metric == 1
+
+
+class TestDsr:
+    def test_reactive_no_idle_control(self):
+        """Without data traffic, DSR transmits nothing."""
+        sim, net, _ = line_network(4)
+        for i in range(1, 5):
+            net.attach(i, DsrRouter())
+        net.start()
+        sim.run(until=200)
+        assert len(net.trace.hops) == 0
+
+    def test_discovery_then_source_routing(self):
+        net, msg = deliver_over_line(DsrRouter, n=4)
+        assert net.trace.delivery_time(msg.uid) is not None
+        # control traffic exists (RREQ/RREP) but is bounded per discovery
+        assert 0 < len(net.trace.control_hops()) < 40
+
+    def test_route_cache_reused(self):
+        sim, net, _ = line_network(4)
+        routers = {i: DsrRouter() for i in range(1, 5)}
+        for i, r in routers.items():
+            net.attach(i, r)
+        net.start()
+        m1 = Message(src=1, dst=4, body="a", created_at=0)
+        net.originate(m1)
+        sim.run(until=100)
+        control_after_first = len(net.trace.control_hops())
+        m2 = Message(src=1, dst=4, body="b", created_at=sim.now)
+        net.originate(m2)
+        sim.run(until=200)
+        assert net.trace.delivery_time(m2.uid) is not None
+        # no new discovery needed: control count unchanged
+        assert len(net.trace.control_hops()) == control_after_first
+
+
+class TestDream:
+    def test_delivers_with_position_knowledge(self):
+        net, msg = deliver_over_line(
+            lambda: DreamRouter(beacon_period=10, beacon_scope=4), n=4
+        )
+        assert net.trace.delivery_time(msg.uid) is not None
+
+    def test_beacons_populate_location_tables(self):
+        sim, net, _ = line_network(3)
+        routers = {i: DreamRouter(beacon_period=10, beacon_scope=3) for i in (1, 2, 3)}
+        for i, r in routers.items():
+            net.attach(i, r)
+        net.start()
+        sim.run(until=60)
+        assert 3 in routers[1].locations
+        assert 1 in routers[3].locations
+
+    def test_greedy_forwarding_progress(self):
+        net, msg = deliver_over_line(
+            lambda: DreamRouter(beacon_period=10, beacon_scope=4), n=5
+        )
+        data = net.trace.data_hops(msg.uid)
+        assert data, "data hops were made"
+
+
+class TestScenarioDriver:
+    def test_seeded_scenarios_reproducible(self):
+        sc = Scenario(n_nodes=8, n_messages=3, horizon=150, seed=11)
+        a = run_scenario(FloodingRouter, sc)
+        b = run_scenario(FloodingRouter, sc)
+        assert a.metrics.row() == b.metrics.row()
+
+    def test_metrics_fields_populated(self):
+        sc = Scenario(n_nodes=8, n_messages=3, horizon=150, seed=2)
+        run = run_scenario(FloodingRouter, sc)
+        m = run.metrics
+        assert m.messages == 3
+        assert m.overhead == m.control_hops + m.data_hops
+        assert 0.0 <= m.delivery_ratio <= 1.0

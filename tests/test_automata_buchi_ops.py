@@ -1,0 +1,91 @@
+"""Tests for the Büchi union/intersection constructions."""
+
+import itertools
+
+import pytest
+
+from repro.automata import BuchiAutomaton, LassoWord, buchi_intersection, buchi_union
+
+
+def inf_symbol_automaton(symbol: str, alphabet: str = "ab") -> BuchiAutomaton:
+    """Accepts words with infinitely many occurrences of ``symbol``."""
+    transitions = []
+    for a in alphabet:
+        target = "hit" if a == symbol else "idle"
+        transitions.append(("idle", target, a))
+        transitions.append(("hit", target, a))
+    return BuchiAutomaton(alphabet, ["idle", "hit"], "idle", transitions, ["hit"])
+
+
+INF_A = inf_symbol_automaton("a")
+INF_B = inf_symbol_automaton("b")
+
+WORDS = [
+    LassoWord("", "a"),      # only a's
+    LassoWord("", "b"),      # only b's
+    LassoWord("", "ab"),     # both infinitely often
+    LassoWord("ab", "a"),    # finitely many b's
+    LassoWord("ba", "b"),    # finitely many a's
+    LassoWord("aabb", "ba"), # both, phase-shifted
+]
+
+
+class TestUnion:
+    def test_union_semantics_on_lassos(self):
+        u = buchi_union(INF_A, INF_B)
+        for w in WORDS:
+            expected = INF_A.accepts_lasso(w) or INF_B.accepts_lasso(w)
+            assert u.accepts_lasso(w) == expected, w
+
+    def test_union_with_empty_language(self):
+        empty = BuchiAutomaton("ab", [0], 0, [(0, 0, "a"), (0, 0, "b")], [])
+        u = buchi_union(INF_A, empty)
+        for w in WORDS:
+            assert u.accepts_lasso(w) == INF_A.accepts_lasso(w)
+
+    def test_union_alphabets_merge(self):
+        c_machine = inf_symbol_automaton("c", alphabet="c")
+        u = buchi_union(INF_A, c_machine)
+        assert u.accepts_lasso(LassoWord("", "c"))
+        assert u.accepts_lasso(LassoWord("", "a"))
+
+
+class TestIntersection:
+    def test_intersection_semantics_on_lassos(self):
+        i = buchi_intersection(INF_A, INF_B)
+        for w in WORDS:
+            expected = INF_A.accepts_lasso(w) and INF_B.accepts_lasso(w)
+            assert i.accepts_lasso(w) == expected, w
+
+    def test_intersection_with_itself(self):
+        i = buchi_intersection(INF_A, INF_A)
+        for w in WORDS:
+            assert i.accepts_lasso(w) == INF_A.accepts_lasso(w)
+
+    def test_intersection_emptiness(self):
+        """inf-many-a's ∩ finitely-many-a's = ∅ … approximated here by
+        intersecting with an automaton accepting only bω-tails."""
+        only_b_tail = BuchiAutomaton(
+            "ab",
+            [0, 1],
+            0,
+            [(0, 0, "a"), (0, 0, "b"), (0, 1, "b"), (1, 1, "b")],
+            [1],
+        )
+        i = buchi_intersection(INF_A, only_b_tail)
+        assert i.is_empty_language()
+
+    def test_de_morgan_style_crosscheck(self):
+        """(L₁ ∩ L₂) ⊆ L₁ ∪ L₂ on every probe word."""
+        i = buchi_intersection(INF_A, INF_B)
+        u = buchi_union(INF_A, INF_B)
+        for w in WORDS:
+            if i.accepts_lasso(w):
+                assert u.accepts_lasso(w)
+
+    def test_found_lasso_in_both(self):
+        i = buchi_intersection(INF_A, INF_B)
+        witness = i.find_accepted_lasso()
+        assert witness is not None
+        assert INF_A.accepts_lasso(witness)
+        assert INF_B.accepts_lasso(witness)

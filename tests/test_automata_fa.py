@@ -1,0 +1,138 @@
+"""Tests for general finite automata (§2 preliminaries)."""
+
+import pytest
+
+from repro.automata import LAMBDA, FiniteAutomaton
+
+
+@pytest.fixture
+def ab_star():
+    """DFA for a·b* (total)."""
+    return FiniteAutomaton(
+        "ab",
+        ["q0", "q1", "dead"],
+        "q0",
+        [
+            ("q0", "q1", "a"),
+            ("q1", "q1", "b"),
+            ("q0", "dead", "b"),
+            ("q1", "dead", "a"),
+            ("dead", "dead", "a"),
+            ("dead", "dead", "b"),
+        ],
+        ["q1"],
+    )
+
+
+@pytest.fixture
+def nfa_ends_ab():
+    """NFA for Σ*ab."""
+    return FiniteAutomaton(
+        "ab",
+        [0, 1, 2],
+        0,
+        [(0, 0, "a"), (0, 0, "b"), (0, 1, "a"), (1, 2, "b")],
+        [2],
+    )
+
+
+class TestValidation:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteAutomaton("a", ["s"], "t", [], [])
+
+    def test_accepting_subset_enforced(self):
+        with pytest.raises(ValueError):
+            FiniteAutomaton("a", ["s"], "s", [], ["t"])
+
+    def test_unknown_transition_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteAutomaton("a", ["s"], "s", [("s", "s", "z")], [])
+
+    def test_unknown_transition_state_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteAutomaton("a", ["s"], "s", [("s", "t", "a")], [])
+
+
+class TestAcceptance:
+    def test_dfa_accepts(self, ab_star):
+        assert ab_star.accepts("a")
+        assert ab_star.accepts("abbb")
+        assert not ab_star.accepts("")
+        assert not ab_star.accepts("ba")
+        assert not ab_star.accepts("aab")
+
+    def test_nfa_accepts(self, nfa_ends_ab):
+        assert nfa_ends_ab.accepts("ab")
+        assert nfa_ends_ab.accepts("babab")
+        assert not nfa_ends_ab.accepts("ba")
+        assert not nfa_ends_ab.accepts("")
+
+    def test_run_traces_state_sets(self, nfa_ends_ab):
+        trace = nfa_ends_ab.run("ab")
+        assert trace[0] == frozenset({0})
+        assert 2 in trace[-1]
+
+
+class TestLambdaMoves:
+    def test_lambda_closure(self):
+        fa = FiniteAutomaton(
+            "a",
+            ["s", "t", "u"],
+            "s",
+            [("s", "t", LAMBDA), ("t", "u", "a")],
+            ["u"],
+        )
+        assert fa.lambda_closure({"s"}) == frozenset({"s", "t"})
+        assert fa.accepts("a")
+
+    def test_chained_lambda(self):
+        fa = FiniteAutomaton(
+            "a",
+            [0, 1, 2],
+            0,
+            [(0, 1, LAMBDA), (1, 2, LAMBDA)],
+            [2],
+        )
+        assert fa.accepts("")
+
+
+class TestConstructions:
+    def test_determinize_preserves_language(self, nfa_ends_ab):
+        dfa = nfa_ends_ab.determinize()
+        for word in ("", "a", "ab", "aab", "abb", "bab", "abab"):
+            assert dfa.accepts(word) == nfa_ends_ab.accepts(word), word
+
+    def test_complement_flips(self, nfa_ends_ab):
+        comp = nfa_ends_ab.complement()
+        for word in ("", "a", "ab", "ba", "abab", "bb"):
+            assert comp.accepts(word) != nfa_ends_ab.accepts(word), word
+
+    def test_product_is_intersection(self, ab_star, nfa_ends_ab):
+        dfa2 = nfa_ends_ab.determinize()
+        prod = ab_star.product(dfa2)
+        for word in ("ab", "abb", "a", "abbb", "bab"):
+            expected = ab_star.accepts(word) and nfa_ends_ab.accepts(word)
+            assert prod.accepts(word) == expected, word
+
+    def test_product_rejects_lambda(self):
+        fa = FiniteAutomaton("a", [0, 1], 0, [(0, 1, LAMBDA)], [1])
+        with pytest.raises(ValueError):
+            fa.product(fa)
+
+
+class TestEmptiness:
+    def test_nonempty(self, ab_star):
+        assert not ab_star.is_empty()
+
+    def test_empty_when_accepting_unreachable(self):
+        fa = FiniteAutomaton("a", [0, 1], 0, [(0, 0, "a")], [1])
+        assert fa.is_empty()
+
+    def test_shortest_accepted(self, nfa_ends_ab):
+        word = nfa_ends_ab.shortest_accepted()
+        assert word == ["a", "b"]
+
+    def test_shortest_accepted_none_when_empty(self):
+        fa = FiniteAutomaton("a", [0, 1], 0, [(0, 0, "a")], [1])
+        assert fa.shortest_accepted() is None

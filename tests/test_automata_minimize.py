@@ -1,0 +1,97 @@
+"""Tests for DFA minimization and the bounded-L growth experiment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import (
+    FiniteAutomaton,
+    bounded_l_dfa,
+    l_membership,
+    minimal_states_for_bounded_l,
+    minimize_dfa,
+)
+
+
+def ab_star_redundant():
+    """a·b* with duplicated equivalent states."""
+    return FiniteAutomaton(
+        "ab",
+        ["q0", "q1", "q1bis", "dead", "dead2"],
+        "q0",
+        [
+            ("q0", "q1", "a"),
+            ("q1", "q1bis", "b"),
+            ("q1bis", "q1", "b"),
+            ("q0", "dead", "b"),
+            ("q1", "dead2", "a"),
+            ("q1bis", "dead", "a"),
+            ("dead", "dead", "a"),
+            ("dead", "dead2", "b"),
+            ("dead2", "dead", "a"),
+            ("dead2", "dead2", "b"),
+        ],
+        ["q1", "q1bis"],
+    )
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        m = minimize_dfa(ab_star_redundant())
+        assert len(m.states) == 3  # start, accept, sink
+
+    def test_language_preserved(self):
+        fa = ab_star_redundant()
+        m = minimize_dfa(fa)
+        for word in ("", "a", "ab", "abb", "abbb", "ba", "aa", "abab"):
+            assert m.accepts(word) == fa.accepts(word), word
+
+    def test_minimizing_twice_is_stable(self):
+        m1 = minimize_dfa(ab_star_redundant())
+        m2 = minimize_dfa(m1)
+        assert len(m1.states) == len(m2.states)
+
+    def test_nfa_input_determinized_first(self):
+        nfa = FiniteAutomaton(
+            "ab", [0, 1, 2], 0,
+            [(0, 0, "a"), (0, 0, "b"), (0, 1, "a"), (1, 2, "b")],
+            [2],
+        )
+        m = minimize_dfa(nfa)
+        for word in ("ab", "aab", "bab", "ba", "", "abab"):
+            assert m.accepts(word) == nfa.accepts(word), word
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab", max_size=10))
+    def test_minimized_equivalence_property(self, word):
+        fa = ab_star_redundant()
+        assert minimize_dfa(fa).accepts(word) == fa.accepts(word)
+
+
+class TestBoundedL:
+    def test_bounded_dfa_agrees_with_oracle(self):
+        dfa = bounded_l_dfa(3)
+        for u in range(0, 3):
+            for x in range(0, 5):
+                for v in range(0, 3):
+                    for d in range(0, 5):
+                        w = "a" * u + "b" * x + "c" * v + "d" * d
+                        expected = (
+                            l_membership(w) and 1 <= x <= 3 and x == d
+                        )
+                        assert dfa.accepts(w) == expected, w
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            bounded_l_dfa(0)
+
+    def test_minimal_growth_is_linear(self):
+        """|minimal DFA for L_X| = 3X + 3 — growing without bound, the
+        mechanical complement to the fooling-set certificate."""
+        sizes = {x: minimal_states_for_bounded_l(x) for x in (1, 2, 4, 8)}
+        assert sizes == {1: 6, 2: 9, 4: 15, 8: 27}
+        for x, n in sizes.items():
+            assert n == 3 * x + 3
+
+    def test_growth_strictly_monotone(self):
+        values = [minimal_states_for_bounded_l(x) for x in range(1, 7)]
+        assert all(b > a for a, b in zip(values, values[1:]))

@@ -1,0 +1,125 @@
+"""Tests for Büchi and Muller ω-automata (§2.1)."""
+
+import pytest
+
+from repro.automata import BuchiAutomaton, LassoWord, MullerAutomaton
+
+
+@pytest.fixture
+def inf_a():
+    """Büchi: infinitely many a's over {a, b}."""
+    return BuchiAutomaton(
+        "ab",
+        ["s", "t"],
+        "s",
+        [("s", "t", "a"), ("s", "s", "b"), ("t", "t", "a"), ("t", "s", "b")],
+        ["t"],
+    )
+
+
+class TestLassoWord:
+    def test_indexing(self):
+        w = LassoWord("ab", "cd")
+        assert w.take(6) == list("abcdcd")
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            LassoWord("a", "")
+
+
+class TestBuchiAcceptance:
+    def test_accepts_infinitely_many_a(self, inf_a):
+        assert inf_a.accepts_lasso(LassoWord("", "a"))
+        assert inf_a.accepts_lasso(LassoWord("bbb", "ab"))
+        assert inf_a.accepts_lasso(LassoWord("a", "ba"))
+
+    def test_rejects_finitely_many_a(self, inf_a):
+        assert not inf_a.accepts_lasso(LassoWord("", "b"))
+        assert not inf_a.accepts_lasso(LassoWord("aaaa", "b"))
+
+    def test_rejects_when_run_dies(self, inf_a):
+        # symbol outside transitions kills every run
+        dead = BuchiAutomaton("ab", ["s"], "s", [("s", "s", "a")], ["s"])
+        assert not dead.accepts_lasso(LassoWord("b", "a"))
+        assert not dead.accepts_lasso(LassoWord("", "ab"))
+
+    def test_nondeterministic_acceptance(self):
+        """NFA Büchi: guess the position after which only a's appear."""
+        even_a_tail = BuchiAutomaton(
+            "ab",
+            [0, 1],
+            0,
+            [(0, 0, "a"), (0, 0, "b"), (0, 1, "a"), (1, 1, "a")],
+            [1],
+        )
+        assert even_a_tail.accepts_lasso(LassoWord("bab", "a"))
+        assert not even_a_tail.accepts_lasso(LassoWord("", "ab"))
+
+
+class TestBuchiEmptiness:
+    def test_nonempty_language(self, inf_a):
+        assert not inf_a.is_empty_language()
+
+    def test_empty_when_no_accepting_cycle(self):
+        # accepting state has no cycle through it
+        b = BuchiAutomaton("a", [0, 1], 0, [(0, 1, "a"), (1, 1, "a")], [0])
+        assert b.is_empty_language()
+
+    def test_find_accepted_lasso_is_accepted(self, inf_a):
+        w = inf_a.find_accepted_lasso()
+        assert w is not None
+        assert inf_a.accepts_lasso(w)
+
+    def test_find_accepted_lasso_none_for_empty(self):
+        b = BuchiAutomaton("a", [0, 1], 0, [(0, 1, "a"), (1, 1, "a")], [0])
+        assert b.find_accepted_lasso() is None
+
+
+class TestMuller:
+    @pytest.fixture
+    def machine(self):
+        """Deterministic automaton over {a,b}: s --a--> t, t --a--> t,
+        t --b--> s, s --b--> s."""
+        return MullerAutomaton(
+            "ab",
+            ["s", "t"],
+            "s",
+            [("s", "t", "a"), ("s", "s", "b"), ("t", "t", "a"), ("t", "s", "b")],
+            [["t"]],
+        )
+
+    def test_accepts_exact_inf_set(self, machine):
+        # (a)^ω: eventually always in t -> inf = {t} ∈ F
+        assert machine.accepts_lasso(LassoWord("b", "a"))
+
+    def test_rejects_larger_inf_set(self, machine):
+        # (ab)^ω visits both s and t infinitely often -> inf = {s,t} ∉ F
+        assert not machine.accepts_lasso(LassoWord("", "ab"))
+
+    def test_rejects_smaller_inf_set(self, machine):
+        # (b)^ω stays in s -> inf = {s} ∉ F
+        assert not machine.accepts_lasso(LassoWord("", "b"))
+
+    def test_family_with_both_sets(self):
+        m = MullerAutomaton(
+            "ab",
+            ["s", "t"],
+            "s",
+            [("s", "t", "a"), ("s", "s", "b"), ("t", "t", "a"), ("t", "s", "b")],
+            [["t"], ["s", "t"]],
+        )
+        assert m.accepts_lasso(LassoWord("", "ab"))
+        assert m.accepts_lasso(LassoWord("b", "a"))
+        assert not m.accepts_lasso(LassoWord("", "b"))
+
+    def test_nondeterministic_rejected(self):
+        m = MullerAutomaton(
+            "a", [0, 1], 0, [(0, 0, "a"), (0, 1, "a")], [[1]]
+        )
+        with pytest.raises(ValueError):
+            m.accepts_lasso(LassoWord("", "a"))
+
+    def test_dead_run_rejects(self):
+        m = MullerAutomaton("ab", [0], 0, [(0, 0, "a")], [[0]])
+        assert not m.accepts_lasso(LassoWord("b", "a"))
+        assert not m.accepts_lasso(LassoWord("a", "b"))

@@ -1,0 +1,141 @@
+"""Tests for the Theorem 3.1 / Corollary 3.2 machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.automata import (
+    BuchiAutomaton,
+    LassoWord,
+    dfa_state_lower_bound,
+    fooling_set,
+    l_membership,
+    l_omega_lasso,
+    l_omega_membership_prefix,
+    l_omega_word,
+    l_word,
+    separating_suffix,
+    theorem31_construction,
+    verify_fooling_set,
+)
+from repro.words import Trilean
+
+
+class TestLMembership:
+    def test_canonical_members(self):
+        assert l_membership("abcd")
+        assert l_membership("aabbccdd"[0:2] + "bb" + "c" + "dd") is False or True
+        assert l_membership(l_word(2, 3, 1))
+
+    def test_mismatched_counts_rejected(self):
+        assert not l_membership("abbcd")
+        assert not l_membership("abcdd")
+
+    def test_order_enforced(self):
+        assert not l_membership("bacd")
+        assert not l_membership("abdc")
+
+    def test_positivity_enforced(self):
+        assert not l_membership("bcd")  # u = 0
+        assert not l_membership("abd")  # v = 0
+        assert not l_membership("")
+
+    def test_l_word_validation(self):
+        with pytest.raises(ValueError):
+            l_word(0, 1, 1)
+
+    @given(st.integers(1, 10), st.integers(1, 10), st.integers(1, 10))
+    def test_l_word_always_member(self, u, x, v):
+        assert l_membership(l_word(u, x, v))
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8), st.integers(1, 8))
+    def test_wrong_d_count_never_member(self, u, x, v, delta):
+        word = "a" * u + "b" * x + "c" * v + "d" * (x + delta)
+        assert not l_membership(word)
+
+
+class TestFoolingSet:
+    def test_pairwise_separation(self):
+        assert verify_fooling_set(32)
+
+    def test_separating_suffix_works(self):
+        p1, p2 = "ab", "abb"
+        z = separating_suffix(p1, p2)
+        assert z is not None
+        assert l_membership(p1 + z) != l_membership(p2 + z)
+
+    def test_equal_prefixes_not_separable(self):
+        assert separating_suffix("ab", "ab") is None
+
+    def test_lower_bound_grows_unboundedly(self):
+        """The non-regularity evidence: for every n the bound holds."""
+        for n in (1, 4, 16, 64):
+            assert dfa_state_lower_bound(n) == n
+
+    def test_fooling_set_size(self):
+        assert len(fooling_set(10)) == 10
+
+
+class TestTheorem31Construction:
+    def _candidate_buchi(self):
+        """A (wrong) candidate acceptor of L_ω: accepts anything with
+        infinitely many $'s — regular, hence necessarily wrong."""
+        transitions = [("s", "s", sym) for sym in "abcd"]
+        transitions += [("f", "s", sym) for sym in "abcd"]
+        transitions += [("s", "f", "$"), ("f", "f", "$")]
+        return BuchiAutomaton("abcd$", ["s", "f"], "s", transitions, ["f"])
+
+    def test_surgery_produces_finite_automaton(self):
+        buchi = self._candidate_buchi()
+        word = l_omega_lasso([(1, 1, 1)], (1, 2, 1))
+        # A concrete run of the candidate over the word (deterministic here).
+        states = ["s"]
+        lookup = {(t.source, t.symbol): t.target for t in buchi.transitions}
+        for i in range(24):
+            states.append(lookup[(states[-1], word[i])])
+        a_prime = theorem31_construction(buchi, states, word)
+        # The proof says A' would accept exactly L — but the candidate is
+        # wrong, so A' must misclassify some word w.r.t. L.
+        mistakes = 0
+        for probe in ["abcd", "abbcd", "aabcdd", l_word(1, 2, 1)]:
+            if a_prime.accepts(probe) != l_membership(probe):
+                mistakes += 1
+        assert mistakes > 0, "a regular candidate cannot decide L"
+
+    def test_surgery_accepts_blocks_seen_on_the_run(self):
+        buchi = self._candidate_buchi()
+        word = l_omega_lasso([], (1, 1, 1))
+        states = ["s"]
+        lookup = {(t.source, t.symbol): t.target for t in buchi.transitions}
+        for i in range(20):
+            states.append(lookup[(states[-1], word[i])])
+        a_prime = theorem31_construction(buchi, states, word)
+        # the block the run parsed between $'s is accepted by A'
+        assert a_prime.accepts("abcd")
+
+
+class TestLOmegaWords:
+    def test_lasso_structure(self):
+        w = l_omega_lasso([(1, 1, 1)], (2, 1, 1))
+        assert "".join(w.take(5)) == "abcd$"
+
+    def test_timed_variant_well_behaved(self):
+        """Corollary 3.2's words are well-behaved timed ω-words."""
+        w = l_omega_word([(1, 2, 1)], (1, 1, 2), period=3)
+        assert w.is_well_behaved() is Trilean.TRUE
+
+    def test_timed_variant_symbols_match_lasso(self):
+        lasso = l_omega_lasso([(1, 1, 1)], (1, 1, 1))
+        timed = l_omega_word([(1, 1, 1)], (1, 1, 1))
+        assert [s for s, _t in timed.take(10)] == lasso.take(10)
+
+    def test_prefix_membership_checker(self):
+        good = list("abcd$abbcdd$")
+        bad = list("abcd$abbcd$")
+        assert l_omega_membership_prefix(good)
+        assert not l_omega_membership_prefix(bad)
+
+    def test_open_block_prefix_ok(self):
+        assert l_omega_membership_prefix(list("abcd$aab"))
+
+    def test_open_block_bad_shape_rejected(self):
+        assert not l_omega_membership_prefix(list("abcd$ba"))

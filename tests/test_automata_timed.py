@@ -1,0 +1,172 @@
+"""Tests for timed Büchi automata (§2.1, Alur–Dill)."""
+
+import pytest
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition, max_constant
+from repro.kernel import And, Ge, Le, Not, TrueConstraint, gt, lt
+from repro.words import TimedWord
+
+
+def bounded_gap_tba(bound=2):
+    """Accepts timed words over {a} whose inter-arrival gap is ≤ bound."""
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+class TestValidation:
+    def test_unknown_clock_in_reset_rejected(self):
+        with pytest.raises(ValueError):
+            TimedBuchiAutomaton(
+                "a",
+                ["s"],
+                "s",
+                [TimedTransition.make("s", "s", "a", resets=["y"])],
+                ["x"],
+                ["s"],
+            )
+
+    def test_unknown_clock_in_guard_rejected(self):
+        with pytest.raises(ValueError):
+            TimedBuchiAutomaton(
+                "a",
+                ["s"],
+                "s",
+                [TimedTransition.make("s", "s", "a", guard=Le("y", 1))],
+                ["x"],
+                ["s"],
+            )
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            TimedBuchiAutomaton(
+                "a",
+                ["s"],
+                "s",
+                [TimedTransition.make("s", "s", "z")],
+                [],
+                ["s"],
+            )
+
+
+class TestMaxConstant:
+    def test_collects_largest(self):
+        g = And(Le("x", 3), Not(Ge("y", 7)))
+        assert max_constant(g) == 7
+
+    def test_true_constraint_zero(self):
+        assert max_constant(TrueConstraint()) == 0
+
+
+class TestRuns:
+    def test_guard_blocks_run(self):
+        tba = bounded_gap_tba(bound=2)
+        fast = TimedWord.finite([("a", 1), ("a", 2), ("a", 4)])
+        slow = TimedWord.finite([("a", 1), ("a", 5)])
+        assert tba.has_run_over_prefix(fast, 3)
+        assert not tba.has_run_over_prefix(slow, 2)
+
+    def test_reset_semantics(self):
+        """Clock measures since last reset, not absolute time."""
+        tba = bounded_gap_tba(bound=3)
+        word = TimedWord.finite([("a", 3), ("a", 6), ("a", 9)])
+        assert tba.has_run_over_prefix(word, 3)
+
+    def test_initial_valuation_zero(self):
+        """First symbol at a large time fails a tight guard without reset."""
+        tba = TimedBuchiAutomaton(
+            "a",
+            ["s"],
+            "s",
+            [TimedTransition.make("s", "s", "a", guard=Le("x", 1))],
+            ["x"],
+            ["s"],
+        )
+        late = TimedWord.finite([("a", 10)])
+        assert not tba.has_run_over_prefix(late, 1)
+
+    def test_configs_after_prefix_counts(self):
+        tba = bounded_gap_tba(2)
+        word = TimedWord.finite([("a", 1), ("a", 2)])
+        configs = tba.configs_after_prefix(word, 2)
+        assert len(configs) == 1
+        state, vals = next(iter(configs))
+        assert state == "s" and vals == (0,)
+
+
+class TestLassoAcceptance:
+    def test_accepts_fast_lasso(self):
+        tba = bounded_gap_tba(2)
+        fast = TimedWord.lasso([], [("a", 1)], shift=2)
+        assert tba.accepts_lasso(fast)
+
+    def test_rejects_slow_lasso(self):
+        tba = bounded_gap_tba(2)
+        slow = TimedWord.lasso([], [("a", 1)], shift=5)
+        assert not tba.accepts_lasso(slow)
+
+    def test_boundary_gap_exactly_bound(self):
+        tba = bounded_gap_tba(2)
+        boundary = TimedWord.lasso([], [("a", 1)], shift=2)
+        assert tba.accepts_lasso(boundary)
+        over = TimedWord.lasso([], [("a", 1)], shift=3)
+        assert not tba.accepts_lasso(over)
+
+    def test_prefix_violation_forgiven_nowhere(self):
+        """A guard violation in the prefix kills all runs forever."""
+        tba = bounded_gap_tba(2)
+        word = TimedWord.lasso([("a", 1), ("a", 9)], [("a", 10)], shift=1)
+        assert not tba.accepts_lasso(word)
+
+    def test_accepting_state_must_recur(self):
+        """Two states; only 'u' accepts, and 'u' is reached on a slow
+        symbol — the fast lasso never visits it."""
+        tba = TimedBuchiAutomaton(
+            "a",
+            ["s", "u"],
+            "s",
+            [
+                TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", 2)),
+                TimedTransition.make("s", "u", "a", resets=["x"], guard=gt("x", 2)),
+                TimedTransition.make("u", "u", "a", resets=["x"], guard=gt("x", 2)),
+            ],
+            ["x"],
+            ["u"],
+        )
+        fast = TimedWord.lasso([], [("a", 1)], shift=1)
+        slow = TimedWord.lasso([], [("a", 3)], shift=3)
+        assert not tba.accepts_lasso(fast)
+        assert tba.accepts_lasso(slow)
+
+    def test_requires_lasso_word(self):
+        tba = bounded_gap_tba(2)
+        with pytest.raises(ValueError):
+            tba.accepts_lasso(TimedWord.finite([("a", 1)]))
+        with pytest.raises(ValueError):
+            tba.accepts_lasso(TimedWord.functional(lambda i: ("a", i)))
+
+    def test_corollary_32_tba_without_clocks_is_buchi(self):
+        """A TBA with C = ∅ behaves as a plain Büchi automaton — the
+        device invoked in the Corollary 3.2 proof."""
+        tba = TimedBuchiAutomaton(
+            "ab",
+            ["s", "t"],
+            "s",
+            [
+                TimedTransition.make("s", "t", "a"),
+                TimedTransition.make("t", "t", "a"),
+                TimedTransition.make("t", "s", "b"),
+                TimedTransition.make("s", "s", "b"),
+            ],
+            [],
+            ["t"],
+        )
+        only_a = TimedWord.lasso([], [("a", 1)], shift=1)
+        only_b = TimedWord.lasso([], [("b", 1)], shift=1)
+        assert tba.accepts_lasso(only_a)
+        assert not tba.accepts_lasso(only_b)

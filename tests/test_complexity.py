@@ -1,0 +1,180 @@
+"""Tests for the rt-complexity programme (§3.2, §7)."""
+
+import pytest
+
+from repro.complexity import (
+    CONST,
+    LINSPACE,
+    LOGSPACE,
+    ResourceBound,
+    classify_growth,
+    hierarchy_matrix,
+    measure_space_curve,
+    predicted_first_miss,
+    rt_space_membership,
+    run_stream_echo,
+    stream_word,
+)
+from repro.machine import RealTimeAlgorithm
+from repro.words import TimedWord, Trilean
+
+
+class TestResourceBounds:
+    def test_bounds_positive(self):
+        for bound in (CONST, LOGSPACE, LINSPACE):
+            assert bound(0) >= 1
+            assert bound(100) >= 1
+
+    def test_logspace_grows_slowly(self):
+        assert LOGSPACE(10**6) < LINSPACE(100)
+
+
+def make_parity_acceptor():
+    """Accept iff the number of 'a's in the length-prefixed block is
+    even — O(1) space."""
+
+    def prog(ctx):
+        count = 0
+        n, _t = yield ctx.input.read()
+        for _ in range(n):
+            sym, _t = yield ctx.input.read()
+            if sym == "a":
+                count += 1
+        ctx.storage["parity"] = count % 2
+        if count % 2 == 0:
+            ctx.accept()
+        else:
+            ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+def parity_instance(n, member=True):
+    a_count = (n // 2) * 2  # even number of a's
+    if not member:
+        a_count -= 1  # odd (callers use n ≥ 2)
+    syms = ["a"] * a_count + ["b"] * (n - a_count)
+    pairs = [(n, 0)] + [(s, i + 1) for i, s in enumerate(syms)]
+    return TimedWord.lasso(pairs, [("w", n + 2)], shift=1)
+
+
+class TestRtSpaceMembership:
+    def test_constant_space_acceptor_certified(self):
+        instances = [
+            (n, parity_instance(n, member=True), True) for n in (4, 8, 16)
+        ] + [(n, parity_instance(n, member=False), False) for n in (4, 8)]
+        ev = rt_space_membership(make_parity_acceptor, instances, CONST)
+        assert ev.holds, ev.failures
+
+    def test_violation_reported(self):
+        def hungry_prog(ctx):
+            n, _t = yield ctx.input.read()
+            for i in range(n):
+                ctx.storage[i] = i
+            ctx.accept()
+
+        tight = ResourceBound("O(1)-tight", lambda n: 2)
+        instances = [(16, parity_instance(16), True)]
+        ev = rt_space_membership(
+            lambda: RealTimeAlgorithm(hungry_prog), instances, tight
+        )
+        assert not ev.within_bound
+        assert ev.failures
+
+    def test_wrong_decision_reported(self):
+        def always_accept(ctx):
+            yield ctx.input.read()
+            ctx.accept()
+
+        instances = [(4, parity_instance(4, member=False), False)]
+        ev = rt_space_membership(
+            lambda: RealTimeAlgorithm(always_accept), instances, CONST
+        )
+        assert not ev.decisions_correct
+
+
+class TestStreamEcho:
+    def test_stream_word_shape(self):
+        w = stream_word(3)
+        pairs = w.take(6)
+        assert [s for s, _t in pairs] == [
+            ("s", 1), ("s", 2), ("s", 3), ("s", 1), ("s", 2), ("s", 3)
+        ]
+        assert w.is_well_behaved() is Trilean.TRUE
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            stream_word(0)
+        with pytest.raises(ValueError):
+            run_stream_echo(0, 1)
+
+    def test_enough_processors_succeed(self):
+        assert run_stream_echo(k=4, p=4).success
+        assert run_stream_echo(k=4, p=6).success
+
+    def test_too_few_processors_fail(self):
+        r = run_stream_echo(k=4, p=3, deadline=8, horizon=1000)
+        assert not r.success
+        assert r.first_miss is not None
+
+    def test_backlog_bounded_iff_enough_processors(self):
+        ok = run_stream_echo(k=3, p=3, horizon=500)
+        assert ok.max_backlog <= 3
+        bad = run_stream_echo(k=3, p=2, deadline=50, horizon=500)
+        assert bad.max_backlog > 10
+
+
+class TestHierarchy:
+    def test_diagonal_split(self):
+        """The experimental answer to the paper's open question, on
+        this family: success ⟺ p ≥ k."""
+        m = hierarchy_matrix(5, deadline=6, horizon=800)
+        for k in range(1, 6):
+            for p in range(1, 6):
+                assert m[(k, p)].success == (p >= k), (k, p)
+
+    def test_predicted_first_miss_matches_simulation(self):
+        for k in range(2, 6):
+            p = k - 1
+            result = run_stream_echo(k, p, deadline=6, horizon=800)
+            predicted = predicted_first_miss(k, p, 6)
+            assert result.first_miss == predicted, (k, p)
+
+    def test_prediction_none_when_sufficient(self):
+        assert predicted_first_miss(3, 3, 6) is None
+        assert predicted_first_miss(3, 5, 6) is None
+
+
+class TestSpaceCurves:
+    def test_constant_space_classified(self):
+        def acceptor_factory():
+            return make_parity_acceptor()
+
+        curve = measure_space_curve(
+            acceptor_factory,
+            lambda n: parity_instance(n),
+            sizes=[4, 8, 16, 32, 64],
+        )
+        assert curve.label == "O(1)"
+
+    def test_linear_space_classified(self):
+        def hungry(ctx):
+            n, _t = yield ctx.input.read()
+            for i in range(n):
+                ctx.storage[i] = i
+            ctx.accept()
+
+        curve = measure_space_curve(
+            lambda: RealTimeAlgorithm(hungry),
+            lambda n: parity_instance(n),
+            sizes=[4, 8, 16, 32, 64],
+        )
+        assert curve.label == "O(n)"
+
+    def test_classify_growth_labels(self):
+        assert classify_growth([1, 2, 4, 8], [5, 5, 5, 5]) == "O(1)"
+        assert classify_growth([4, 8, 16, 32], [4, 8, 16, 32]) == "O(n)"
+        assert classify_growth(
+            [4, 16, 64, 256], [16, 256, 4096, 65536]
+        ) == "superlinear"
+        assert classify_growth([1, 2], [1, 2]) == "insufficient data"

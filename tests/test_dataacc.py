@@ -1,0 +1,249 @@
+"""Tests for Section 4.2: the data-accumulating paradigm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataacc import (
+    Correction,
+    CorrectingSortSolver,
+    DataAccInstance,
+    InsertionSortSolver,
+    PolynomialArrivalLaw,
+    PrefixSumSolver,
+    RunningMinSolver,
+    dataacc_acceptor,
+    encode_dataacc,
+    make_instance,
+    run_calgorithm,
+    run_dalgorithm,
+    termination_time,
+)
+
+
+class TestArrivalLaw:
+    def test_amount_at_zero_is_n(self):
+        law = PolynomialArrivalLaw(n=10, k=2, gamma=0.5, beta=1.0)
+        assert law.amount(0) == 10
+
+    def test_amount_monotone(self):
+        law = PolynomialArrivalLaw(n=5, k=1.5, gamma=0.3, beta=0.8)
+        values = [law.amount(t) for t in range(50)]
+        assert values == sorted(values)
+
+    def test_arrival_time_inverts_amount(self):
+        law = PolynomialArrivalLaw(n=5, k=0.7, gamma=0.0, beta=1.0)
+        for j in range(1, 40):
+            t = law.arrival_time(j)
+            assert law.amount(t) >= j
+            if t > 0:
+                assert law.amount(t - 1) < j
+
+    def test_initial_batch_at_time_zero(self):
+        law = PolynomialArrivalLaw(n=5, k=1, beta=1)
+        assert all(law.arrival_time(j) == 0 for j in range(1, 6))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PolynomialArrivalLaw(n=-1)
+        with pytest.raises(ValueError):
+            PolynomialArrivalLaw(n=1, k=0)
+        with pytest.raises(ValueError):
+            PolynomialArrivalLaw(n=1, beta=0)
+
+    @given(st.integers(0, 100), st.integers(1, 50))
+    def test_amount_nonnegative_monotone_property(self, t, n):
+        law = PolynomialArrivalLaw(n=n, k=1.0, gamma=0.2, beta=0.7)
+        assert law.amount(t) >= n
+        assert law.amount(t + 1) >= law.amount(t)
+
+
+class TestTerminationAnalysis:
+    def test_sublinear_always_terminates(self):
+        law = PolynomialArrivalLaw(n=100, k=3.0, beta=0.5)
+        assert law.terminates_asymptotically(1)
+        assert termination_time(law, 1, horizon=100_000) is not None
+
+    def test_critical_below_threshold_terminates(self):
+        law = PolynomialArrivalLaw(n=50, k=0.5, beta=1.0)  # c·k = 0.5 < 1
+        assert law.terminates_asymptotically(1)
+        assert termination_time(law, 1) is not None
+
+    def test_critical_above_threshold_diverges(self):
+        law = PolynomialArrivalLaw(n=50, k=1.5, beta=1.0)  # c·k = 1.5 > 1
+        assert not law.terminates_asymptotically(1)
+        assert termination_time(law, 1, horizon=20_000) is None
+
+    def test_superlinear_diverges(self):
+        law = PolynomialArrivalLaw(n=10, k=1.0, beta=2.0)
+        assert not law.terminates_asymptotically(1)
+
+    def test_closed_form_crossover(self):
+        """β = 1: termination time ≈ c·n/(1 − c·k) (= 200 here, ±1 for
+        the integer floor in the law)."""
+        law = PolynomialArrivalLaw(n=100, k=0.5, gamma=0.0, beta=1.0)
+        t = termination_time(law, 1)
+        assert t is not None and 198 <= t <= 201
+        # exact fixed-point property: first t with t ≥ c·f(n, t)
+        assert t >= law.amount(t)
+        assert t - 1 < law.amount(t - 1)
+
+    def test_invalid_cost(self):
+        law = PolynomialArrivalLaw(n=1)
+        with pytest.raises(ValueError):
+            termination_time(law, 0)
+
+
+class TestDAlgorithm:
+    def test_simulation_matches_analysis(self):
+        law = PolynomialArrivalLaw(n=50, k=0.5, gamma=0.0, beta=1.0)
+        analytic = termination_time(law, 1)
+        result = run_dalgorithm(InsertionSortSolver(), law, data=lambda j: j % 7, horizon=5_000)
+        assert result.terminated
+        assert result.termination_time == analytic
+
+    def test_divergence_detected(self):
+        law = PolynomialArrivalLaw(n=20, k=2.0, beta=1.0)
+        result = run_dalgorithm(InsertionSortSolver(), law, data=lambda j: j, horizon=1_000)
+        assert not result.terminated
+        assert result.termination_time is None
+
+    def test_online_invariant_solution_sorted(self):
+        law = PolynomialArrivalLaw(n=10, k=0.3, beta=1.0)
+        result = run_dalgorithm(InsertionSortSolver(), law, data=lambda j: (j * 13) % 30)
+        assert result.terminated
+        assert list(result.solution) == sorted(result.solution)
+        assert len(result.solution) == result.items_processed
+
+    def test_running_min_solver(self):
+        law = PolynomialArrivalLaw(n=10, k=0.3, beta=1.0)
+        result = run_dalgorithm(RunningMinSolver(), law, data=lambda j: 100 - j)
+        assert result.terminated
+        assert result.solution == (100 - result.items_processed,)
+
+    def test_prefix_sum_solver(self):
+        law = PolynomialArrivalLaw(n=5, k=0.2, beta=1.0)
+        result = run_dalgorithm(PrefixSumSolver(), law, data=lambda j: j)
+        assert result.terminated
+        p = result.items_processed
+        assert result.solution == (p * (p + 1) // 2,)
+
+    def test_slower_worker_diverges_where_faster_terminates(self):
+        law = PolynomialArrivalLaw(n=30, k=0.6, beta=1.0)
+        fast = run_dalgorithm(InsertionSortSolver(cost_per_item=1), law, data=lambda j: j, horizon=3_000)
+        slow = run_dalgorithm(InsertionSortSolver(cost_per_item=2), law, data=lambda j: j, horizon=3_000)
+        assert fast.terminated
+        assert not slow.terminated  # c·k = 1.2 > 1
+
+    def test_lead_narrows_termination_window(self):
+        """lead=1 (the §4.2 marker semantics) requires a two-chronon
+        quiet period, so it terminates no earlier than the plain rule;
+        a β<1 law guarantees such gaps eventually appear."""
+        law = PolynomialArrivalLaw(n=10, k=2.0, beta=0.5)
+        plain = run_dalgorithm(InsertionSortSolver(), law, data=lambda j: j, horizon=10_000)
+        with_lead = run_dalgorithm(
+            InsertionSortSolver(), law, data=lambda j: j, horizon=10_000, lead=1
+        )
+        assert plain.terminated and with_lead.terminated
+        assert with_lead.termination_time >= plain.termination_time
+
+    def test_steady_beta1_law_never_opens_marker_window(self):
+        """With k = 0.5 exactly, a datum arrives every second chronon —
+        the §4.2 window (two quiet chronons) never opens even though the
+        plain d-algorithm terminates.  A genuine model subtlety."""
+        law = PolynomialArrivalLaw(n=10, k=0.5, beta=1.0)
+        plain = run_dalgorithm(InsertionSortSolver(), law, data=lambda j: j, horizon=2_000)
+        with_lead = run_dalgorithm(
+            InsertionSortSolver(), law, data=lambda j: j, horizon=2_000, lead=1
+        )
+        assert plain.terminated
+        assert not with_lead.terminated
+
+
+class TestCAlgorithm:
+    def test_terminates_and_applies_corrections(self):
+        law = PolynomialArrivalLaw(n=4, k=0.3, beta=1.0)
+        result = run_calgorithm(
+            CorrectingSortSolver(),
+            [5, 3, 8, 1],
+            law,
+            corrections=lambda j: Correction(j % 4, j * 10),
+            horizon=2_000,
+        )
+        assert result.terminated
+        assert list(result.solution) == sorted(result.solution)
+
+    def test_correction_replaces_value(self):
+        solver = CorrectingSortSolver()
+        solver.initialize([5, 3, 8])
+        solver.apply(Correction(index=1, value=100))
+        assert solver.solution() == (5, 8, 100)
+
+    def test_fast_corrections_diverge(self):
+        law = PolynomialArrivalLaw(n=2, k=3.0, beta=1.0)
+        result = run_calgorithm(
+            CorrectingSortSolver(),
+            [1, 2],
+            law,
+            corrections=lambda j: Correction(j % 2, j),
+            horizon=500,
+        )
+        assert not result.terminated
+
+
+class TestSection42Acceptor:
+    LAW = PolynomialArrivalLaw(n=5, k=0.4, gamma=0.0, beta=1.0)
+
+    @staticmethod
+    def data(j):
+        return (j * 3) % 17
+
+    def test_truthful_instance_accepted(self):
+        inst = make_instance(self.LAW, self.data, InsertionSortSolver, horizon=5_000)
+        assert inst is not None
+        report = dataacc_acceptor(InsertionSortSolver).decide(
+            encode_dataacc(inst), horizon=5_000
+        )
+        assert report.accepted
+
+    def test_bogus_instance_rejected(self):
+        inst = make_instance(
+            self.LAW, self.data, InsertionSortSolver, horizon=5_000, truthful=False
+        )
+        report = dataacc_acceptor(InsertionSortSolver).decide(
+            encode_dataacc(inst), horizon=5_000
+        )
+        assert not report.accepted
+
+    def test_diverging_law_has_no_instance(self):
+        law = PolynomialArrivalLaw(n=5, k=2.0, beta=1.0)
+        assert make_instance(law, self.data, InsertionSortSolver, horizon=500) is None
+
+    def test_word_header_carries_proposed_output(self):
+        inst = make_instance(self.LAW, self.data, InsertionSortSolver, horizon=5_000)
+        word = encode_dataacc(inst)
+        m = len(inst.proposed_output)
+        header = [s for s, _t in word.take(m)]
+        assert header == [("O", y) for y in inst.proposed_output]
+
+    def test_markers_precede_data_by_one_chronon(self):
+        inst = make_instance(self.LAW, self.data, InsertionSortSolver, horizon=5_000)
+        word = encode_dataacc(inst)
+        m, n = len(inst.proposed_output), self.LAW.n
+        pairs = word.take(m + n + 8)
+        tail = pairs[m + n :]
+        for marker, datum in zip(tail[0::2], tail[1::2]):
+            assert marker[0] == "c"
+            assert marker[1] == max(0, datum[1] - 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.5, 2.0), st.integers(3, 10))
+    def test_acceptor_roundtrip_random_laws(self, k, n):
+        # β < 1 so inter-arrival gaps grow and the §4.2 marker window
+        # is guaranteed to open eventually (see the lead tests above).
+        law = PolynomialArrivalLaw(n=n, k=k, gamma=0.0, beta=0.6)
+        inst = make_instance(law, self.data, RunningMinSolver, horizon=3_000)
+        assert inst is not None
+        report = dataacc_acceptor(RunningMinSolver).decide(
+            encode_dataacc(inst), horizon=3_000
+        )
+        assert report.accepted

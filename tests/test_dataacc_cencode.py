@@ -1,0 +1,83 @@
+"""Tests for the c-algorithm word encoding and acceptor (§4.2 tail)."""
+
+import pytest
+
+from repro.dataacc import (
+    CAlgInstance,
+    Correction,
+    CorrectingSortSolver,
+    PolynomialArrivalLaw,
+    calgorithm_acceptor,
+    encode_calgorithm,
+    make_c_instance,
+)
+from repro.words import Trilean
+
+LAW = PolynomialArrivalLaw(n=4, k=1.0, gamma=0.0, beta=0.6)
+INITIAL = (5, 3, 8, 1)
+
+
+def corrections(j):
+    return Correction(j % 4, j * 10)
+
+
+class TestEncoding:
+    def test_header_layout(self):
+        inst = CAlgInstance(LAW, INITIAL, corrections, proposed_output=(1, 3, 5, 8))
+        word = encode_calgorithm(inst)
+        pairs = word.take(8)
+        assert pairs[0] == (("O", 1), 0)
+        assert pairs[4] == (("I", 5), 0)
+        assert all(t == 0 for _s, t in pairs)
+
+    def test_corrections_announced_by_markers(self):
+        inst = CAlgInstance(LAW, INITIAL, corrections, proposed_output=())
+        word = encode_calgorithm(inst)
+        tail = word.take(16)[4:]
+        markers = [p for p in tail if p[0] == "c"]
+        corrs = [p for p in tail if isinstance(p[0], tuple) and p[0][0] == "C"]
+        assert markers and corrs
+        for marker, corr in zip(markers, corrs):
+            assert marker[1] <= corr[1]
+
+    def test_word_times_monotone(self):
+        inst = CAlgInstance(LAW, INITIAL, corrections, proposed_output=())
+        word = encode_calgorithm(inst)
+        times = [t for _s, t in word.take(60)]
+        assert times == sorted(times)
+
+
+class TestAcceptor:
+    def test_truthful_instance_accepted(self):
+        inst = make_c_instance(LAW, INITIAL, corrections, CorrectingSortSolver, horizon=3000)
+        assert inst is not None
+        rep = calgorithm_acceptor(CorrectingSortSolver).decide(
+            encode_calgorithm(inst), horizon=3000
+        )
+        assert rep.accepted
+        assert rep.f_count > 1
+
+    def test_bogus_instance_rejected(self):
+        inst = make_c_instance(
+            LAW, INITIAL, corrections, CorrectingSortSolver, horizon=3000,
+            truthful=False,
+        )
+        rep = calgorithm_acceptor(CorrectingSortSolver).decide(
+            encode_calgorithm(inst), horizon=3000
+        )
+        assert not rep.accepted
+        assert rep.f_count == 0
+
+    def test_solution_is_corrected_not_initial(self):
+        """The accepted proposal reflects applied corrections."""
+        inst = make_c_instance(LAW, INITIAL, corrections, CorrectingSortSolver, horizon=3000)
+        assert inst.proposed_output != tuple(sorted(INITIAL))
+        assert list(inst.proposed_output) == sorted(inst.proposed_output)
+
+    def test_diverging_corrections_no_instance(self):
+        fast = PolynomialArrivalLaw(n=2, k=4.0, beta=1.0)
+        inst = make_c_instance(
+            fast, (1, 2), lambda j: Correction(j % 2, j), CorrectingSortSolver,
+            horizon=400,
+        )
+        assert inst is None

@@ -1,0 +1,141 @@
+"""Tests for the p-shovelers problem (Luccio–Pagli [26, 27])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataacc import (
+    InsertionSortSolver,
+    PolynomialArrivalLaw,
+    PrefixSumSolver,
+    minimum_processors,
+    parallel_termination_time,
+    run_parallel_dalgorithm,
+    run_dalgorithm,
+    strict_parallel_termination_time,
+    termination_time,
+)
+
+
+class TestAnalysis:
+    def test_p1_reduces_to_sequential(self):
+        law = PolynomialArrivalLaw(n=64, k=0.5, beta=1.0)
+        assert parallel_termination_time(law, 1, 1) == termination_time(law, 1)
+
+    def test_more_processors_never_slower(self):
+        law = PolynomialArrivalLaw(n=100, k=0.5, beta=1.0)
+        times = [parallel_termination_time(law, 1, p) for p in (1, 2, 4, 8)]
+        assert all(t is not None for t in times)
+        assert times == sorted(times, reverse=True)
+
+    def test_parallelism_rescues_divergence(self):
+        """The paper's 'difference between success and failure'."""
+        law = PolynomialArrivalLaw(n=32, k=2.5, beta=1.0)  # ck = 2.5 > 1
+        assert parallel_termination_time(law, 1, 1, horizon=20_000) is None
+        assert parallel_termination_time(law, 1, 3, horizon=20_000) is not None
+
+    def test_minimum_processors_closed_form_beta1(self):
+        for k in (0.5, 1.5, 2.5, 3.9):
+            law = PolynomialArrivalLaw(n=32, k=k, gamma=0.0, beta=1.0)
+            p_min = minimum_processors(law, 1)
+            assert p_min == int(k) + 1, (k, p_min)
+
+    def test_minimum_processors_sublinear_is_one(self):
+        law = PolynomialArrivalLaw(n=1000, k=50.0, beta=0.5)
+        assert minimum_processors(law, 1) == 1
+
+    def test_minimum_processors_gamma_dependence(self):
+        """p_min grows with the beforehand amount when γ > 0."""
+        p_small = minimum_processors(PolynomialArrivalLaw(n=16, k=1.0, gamma=0.5, beta=1.0), 1)
+        p_large = minimum_processors(PolynomialArrivalLaw(n=256, k=1.0, gamma=0.5, beta=1.0), 1)
+        assert p_small < p_large
+        assert p_small == 5  # ⌊√16⌋ + 1
+        assert p_large == 17  # ⌊√256⌋ + 1
+
+    def test_superlinear_early_crossing(self):
+        """β > 1 has no *asymptotic* fix, but an early crossing can
+        clear the pile before the law takes off: amount(t)/t = 4/t + t
+        is minimized at t=2 with value 4, so p=4 crosses there."""
+        law = PolynomialArrivalLaw(n=4, k=1.0, beta=2.0)
+        assert minimum_processors(law, 1, p_max=32, horizon=5_000) == 4
+        assert parallel_termination_time(law, 1, 4, horizon=100) == 2
+        assert parallel_termination_time(law, 1, 3, horizon=5_000) is None
+
+    def test_invalid_arguments(self):
+        law = PolynomialArrivalLaw(n=4)
+        with pytest.raises(ValueError):
+            parallel_termination_time(law, 1, 0)
+        with pytest.raises(ValueError):
+            parallel_termination_time(law, 0, 1)
+
+
+class TestSimulation:
+    def test_simulation_matches_strict_analysis(self):
+        """The exact discrete recursion predicts the simulator."""
+        for k, p in ((0.5, 1), (0.5, 2), (0.8, 2), (1.5, 3), (2.5, 4)):
+            law = PolynomialArrivalLaw(n=40, k=k, gamma=0.0, beta=1.0)
+            strict = strict_parallel_termination_time(law, p, horizon=10_000)
+            sim = run_parallel_dalgorithm(
+                PrefixSumSolver, law, data=lambda j: 1, p=p, horizon=10_000
+            )
+            assert sim.terminated == (strict is not None), (k, p)
+            if strict is not None:
+                assert sim.termination_time == strict, (k, p)
+
+    def test_fluid_vs_strict_gap_free_law(self):
+        """The model subtlety: with k ≥ 1 (an arrival every chronon),
+        fluid catch-up exists for p > ck but the paper's strict
+        termination ('…before another datum arrives') never happens —
+        there is no arrival-free instant, for ANY p."""
+        law = PolynomialArrivalLaw(n=60, k=1.5, gamma=0.0, beta=1.0)
+        assert parallel_termination_time(law, 1, 2) is not None  # fluid: fine
+        for p in (2, 8, 64):
+            assert strict_parallel_termination_time(law, p, horizon=5_000) is None
+        sim = run_parallel_dalgorithm(
+            PrefixSumSolver, law, data=lambda j: 1, p=8, horizon=2_000
+        )
+        assert not sim.terminated  # the simulator agrees with strict
+
+    def test_p1_simulation_equals_sequential_runner(self):
+        law = PolynomialArrivalLaw(n=30, k=0.5, beta=1.0)
+        seq = run_dalgorithm(InsertionSortSolver(), law, data=lambda j: j, horizon=5_000)
+        par = run_parallel_dalgorithm(
+            InsertionSortSolver, law, data=lambda j: j, p=1, horizon=5_000
+        )
+        assert par.terminated and seq.terminated
+        assert par.termination_time == seq.termination_time
+
+    def test_under_provisioned_diverges(self):
+        law = PolynomialArrivalLaw(n=16, k=2.5, beta=1.0)
+        sim = run_parallel_dalgorithm(
+            PrefixSumSolver, law, data=lambda j: 1, p=2, horizon=2_000
+        )
+        assert not sim.terminated
+
+    def test_work_is_shared(self):
+        law = PolynomialArrivalLaw(n=100, k=0.5, beta=1.0)
+        sim = run_parallel_dalgorithm(
+            PrefixSumSolver, law, data=lambda j: 1, p=4, horizon=5_000
+        )
+        assert sim.terminated
+        busy = [w for w in sim.per_worker if w > 0]
+        assert len(busy) == 4  # everyone shoveled
+        assert sum(sim.per_worker) == sim.items_processed
+
+    def test_zero_processors_rejected(self):
+        law = PolynomialArrivalLaw(n=4)
+        with pytest.raises(ValueError):
+            run_parallel_dalgorithm(PrefixSumSolver, law, lambda j: 1, p=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 6), st.floats(0.15, 0.95))
+    def test_strict_recursion_matches_sim_property(self, p, k):
+        """Across random (p, k < 1) pairs the recursion and the kernel
+        simulation agree exactly (gaps exist, so termination happens)."""
+        law = PolynomialArrivalLaw(n=24, k=k, gamma=0.0, beta=1.0)
+        strict = strict_parallel_termination_time(law, p, horizon=4_000)
+        sim = run_parallel_dalgorithm(
+            PrefixSumSolver, law, data=lambda j: 1, p=p, horizon=4_000
+        )
+        assert sim.terminated == (strict is not None)
+        if strict is not None:
+            assert sim.termination_time == strict

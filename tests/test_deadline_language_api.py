@@ -1,0 +1,57 @@
+"""Tests for the L(Π) language API (sampler path, robustness)."""
+
+import random
+
+import pytest
+
+from repro.deadlines import (
+    DeadlineInstance,
+    DeadlineKind,
+    DeadlineSpec,
+    encode_instance,
+    language_of,
+    sorting_problem,
+)
+from repro.words import TimedWord
+
+
+PROB = sorting_problem(time_per_item=1)
+
+
+def random_instance(rng: random.Random) -> DeadlineInstance:
+    n = rng.randint(1, 4)
+    data = tuple(rng.randint(0, 9) for _ in range(n))
+    return DeadlineInstance(
+        PROB, data, tuple(sorted(data)), DeadlineSpec(DeadlineKind.NONE)
+    )
+
+
+class TestLanguageOf:
+    def test_sampler_generates_members(self):
+        lang = language_of(PROB, rng_instances=random_instance)
+        rng = random.Random(1)
+        for _ in range(3):
+            w = lang.sample(rng)
+            assert lang.contains(w)
+
+    def test_rejects_foreign_words(self):
+        lang = language_of(PROB)
+        # a §4.2-style word is not an encoded §4.1 instance
+        foreign = TimedWord.lasso([(("X", 1), 0)], [("w", 1)], shift=1)
+        assert not lang.contains(foreign)
+
+    def test_rejects_wrong_solutions(self):
+        lang = language_of(PROB)
+        inst = DeadlineInstance(
+            PROB, (3, 1), (3, 1), DeadlineSpec(DeadlineKind.NONE)
+        )
+        assert not lang.contains(encode_instance(inst))
+
+    def test_closure_with_itself(self):
+        """L(Π) ∪ L(Π) = L(Π) pointwise (sanity of the predicate)."""
+        lang = language_of(PROB)
+        good = encode_instance(
+            DeadlineInstance(PROB, (2, 1), (1, 2), DeadlineSpec(DeadlineKind.NONE))
+        )
+        union = lang | lang
+        assert union.contains(good) == lang.contains(good)

@@ -1,0 +1,203 @@
+"""Tests for Section 4.1: computing with deadlines.
+
+The central property (experiment E5 in miniature): the acceptor's
+decision equals the instance oracle on every instance class.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deadlines import (
+    DEADLINE,
+    WAIT,
+    DeadlineInstance,
+    DeadlineKind,
+    DeadlineSpec,
+    HyperbolicUsefulness,
+    LinearDecayUsefulness,
+    StepUsefulness,
+    decide_instance,
+    decode_prefix,
+    encode_instance,
+    sorting_problem,
+)
+from repro.words import Trilean
+
+
+PROB = sorting_problem(time_per_item=2)  # duration = 2n
+INP = (3, 1, 2)
+GOOD = (1, 2, 3)
+BAD = (3, 2, 1)
+
+
+def spec_none():
+    return DeadlineSpec(DeadlineKind.NONE)
+
+
+def spec_firm(t_d):
+    return DeadlineSpec(DeadlineKind.FIRM, t_d=t_d)
+
+
+def spec_soft(t_d, max_value=10, min_acc=1):
+    return DeadlineSpec(
+        DeadlineKind.SOFT,
+        t_d=t_d,
+        usefulness=HyperbolicUsefulness(max_value=max_value, t_d=t_d),
+        min_acceptable=min_acc,
+    )
+
+
+class TestSpecValidation:
+    def test_none_with_t_d_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineSpec(DeadlineKind.NONE, t_d=5)
+
+    def test_firm_needs_positive_t_d(self):
+        with pytest.raises(ValueError):
+            DeadlineSpec(DeadlineKind.FIRM, t_d=0)
+
+    def test_soft_needs_usefulness(self):
+        with pytest.raises(ValueError):
+            DeadlineSpec(DeadlineKind.SOFT, t_d=5)
+
+    def test_min_acceptable_positive(self):
+        with pytest.raises(ValueError):
+            DeadlineSpec(DeadlineKind.FIRM, t_d=5, min_acceptable=0)
+
+    def test_firm_usefulness_is_zero(self):
+        assert spec_firm(5).usefulness_at(5) == 0
+        assert spec_firm(5).usefulness_at(100) == 0
+
+
+class TestUsefulnessFunctions:
+    def test_hyperbolic_paper_example(self):
+        """u(t) = max·1/(t − t_d) with max=10, t_d=20."""
+        u = HyperbolicUsefulness(max_value=10, t_d=20)
+        assert u(20) == 10  # clamped at the deadline
+        assert u(21) == 10
+        assert u(22) == 5
+        assert u(30) == 1
+        assert u(31) == 0
+
+    def test_hyperbolic_stabilizes(self):
+        u = HyperbolicUsefulness(max_value=10, t_d=20)
+        t_s = u.stable_after(20)
+        assert u(t_s) == u(t_s + 100) == 0
+
+    def test_linear_decay(self):
+        u = LinearDecayUsefulness(max_value=6, t_d=10, slope=2)
+        assert u(10) == 6 and u(11) == 4 and u(13) == 0
+
+    def test_step(self):
+        u = StepUsefulness(max_value=5, t_d=10, grace=3)
+        assert u(13) == 5 and u(14) == 0
+
+
+class TestEncoding:
+    def test_case_i_shape(self):
+        inst = DeadlineInstance(PROB, INP, GOOD, spec_none())
+        word = encode_instance(inst)
+        pairs = word.take(10)
+        # header at time 0: o then ι (no min_acc)
+        assert pairs[0] == (("O", 1), 0)
+        assert pairs[3] == (("I", 3), 0)
+        # then w's, one per chronon
+        assert pairs[6] == (WAIT, 1)
+        assert pairs[7] == (WAIT, 2)
+
+    def test_case_ii_shape(self):
+        inst = DeadlineInstance(PROB, INP, GOOD, spec_firm(4))
+        pairs = encode_instance(inst).take(14)
+        assert pairs[0] == (1, 0)  # min acceptable
+        assert pairs[7] == (WAIT, 1)
+        assert (DEADLINE, 4) in pairs
+        at = pairs.index((DEADLINE, 4))
+        assert pairs[at + 1] == (0, 4)  # eq. (2): usefulness 0
+
+    def test_case_iii_usefulness_values(self):
+        inst = DeadlineInstance(PROB, INP, GOOD, spec_soft(4, max_value=6))
+        pairs = encode_instance(inst).take(30)
+        at = pairs.index((DEADLINE, 4))
+        assert pairs[at + 1] == (6, 4)  # u(4) clamped to max
+        at5 = pairs.index((DEADLINE, 5))
+        assert pairs[at5 + 1] == (6, 5)  # 6 // 1
+        at7 = pairs.index((DEADLINE, 7))
+        assert pairs[at7 + 1] == (2, 7)  # 6 // 3
+
+    def test_words_are_well_behaved(self):
+        for spec in (spec_none(), spec_firm(5), spec_soft(5)):
+            inst = DeadlineInstance(PROB, INP, GOOD, spec)
+            assert encode_instance(inst).is_well_behaved() is Trilean.TRUE
+
+    def test_decode_roundtrip(self):
+        inst = DeadlineInstance(PROB, INP, GOOD, spec_firm(9))
+        word = encode_instance(inst)
+        header = decode_prefix(word.take(7))
+        assert header.min_acceptable == 1
+        assert header.proposed_output == GOOD
+        assert header.input_word == INP
+
+    def test_decode_no_deadline_header(self):
+        inst = DeadlineInstance(PROB, INP, GOOD, spec_none())
+        header = decode_prefix(encode_instance(inst).take(6))
+        assert header.min_acceptable is None
+
+
+class TestAcceptorMatchesOracle:
+    """Acceptor decision ≡ oracle — the E5 property."""
+
+    CASES = [
+        (GOOD, spec_none(), True),
+        (BAD, spec_none(), False),
+        (GOOD, spec_firm(10), True),   # duration 6 < 10
+        (GOOD, spec_firm(6), False),   # completion == deadline: late
+        (GOOD, spec_firm(3), False),
+        (BAD, spec_firm(10), False),
+        (GOOD, spec_soft(5, 10, 1), True),   # u(6) = 10 ≥ 1
+        (GOOD, spec_soft(5, 10, 11), False),
+        (BAD, spec_soft(5, 10, 1), False),
+    ]
+
+    @pytest.mark.parametrize("proposed,spec,expected", CASES)
+    def test_acceptor_equals_oracle(self, proposed, spec, expected):
+        inst = DeadlineInstance(PROB, INP, proposed, spec)
+        assert inst.oracle() == expected
+        report = decide_instance(inst)
+        assert report.accepted == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        st.integers(1, 20),
+        st.booleans(),
+    )
+    def test_firm_random_instances(self, data, t_d, truthful):
+        inp = tuple(data)
+        proposed = tuple(sorted(inp)) if truthful else tuple(sorted(inp)) + (99,)
+        inst = DeadlineInstance(PROB, inp, proposed, spec_firm(t_d))
+        assert decide_instance(inst).accepted == inst.oracle()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        st.integers(1, 12),
+        st.integers(1, 12),
+    )
+    def test_soft_random_instances(self, data, t_d, min_acc):
+        inp = tuple(data)
+        inst = DeadlineInstance(
+            PROB, inp, tuple(sorted(inp)), spec_soft(t_d, max_value=8, min_acc=min_acc)
+        )
+        assert decide_instance(inst).accepted == inst.oracle()
+
+
+class TestAbsorbingStates:
+    def test_accept_emits_f_forever(self):
+        inst = DeadlineInstance(PROB, INP, GOOD, spec_none())
+        report = decide_instance(inst)
+        assert report.f_count > 5
+
+    def test_reject_never_emits_f(self):
+        inst = DeadlineInstance(PROB, INP, BAD, spec_none())
+        report = decide_instance(inst)
+        assert report.f_count == 0

@@ -1,0 +1,163 @@
+"""Grab-bag of edge-case tests across modules: empty structures,
+degenerate parameters, and boundary semantics."""
+
+import pytest
+
+from repro.adhoc import HopRecord, Message, TraceLog
+from repro.dataacc import PolynomialArrivalLaw, arrival_schedule
+from repro.kernel import Simulator
+from repro.parallel import PCGS, Component, Production
+from repro.rtdb import Lifespan, db0_word, dbk_word
+from repro.words import OMEGA, TimeSequence, TimedWord, Trilean, concat
+
+
+class TestWordsEdges:
+    def test_empty_finite_word(self):
+        w = TimedWord.finite([])
+        assert len(w) == 0
+        assert w.is_well_behaved() is Trilean.FALSE
+        assert w.take(5) == []
+
+    def test_concat_two_empty(self):
+        e = TimedWord.finite([])
+        assert len(concat(e, e)) == 0
+
+    def test_single_symbol_lasso(self):
+        w = TimedWord.lasso([], [("x", 0)], shift=1)
+        assert w.take(3) == [("x", 0), ("x", 1), ("x", 2)]
+
+    def test_large_index_lasso_constant_time(self):
+        """Lasso access is O(1): index 10^9 works instantly."""
+        w = TimedWord.lasso([], [("x", 1)], shift=1)
+        s, t = w[10**9]
+        assert t == 1 + 10**9
+
+    def test_time_sequence_large_first_index(self):
+        ts = TimeSequence.lasso([], [1], shift=1)
+        assert ts.first_index_reaching(10**6) == 10**6 - 1
+
+    def test_omega_comparisons_with_floats(self):
+        assert OMEGA > 10**12
+
+
+class TestDb0Edges:
+    def test_empty_invariants_and_derived(self):
+        w = db0_word({}, {})
+        # just the two phase separators
+        assert [s for s, _t in w.take(len(w))] == ["$", "$"]
+
+    def test_variable_length_encodings(self):
+        w = dbk_word("x", period=2, values=lambda t: "v" * (1 + t // 2))
+        pairs = w.take(30)
+        times = [t for _s, t in pairs]
+        assert times == sorted(times)
+        # block lengths differ yet indexing stays consistent
+        assert pairs == [w[i] for i in range(30)]
+
+
+class TestLifespanEdges:
+    def test_instant_algebra(self):
+        p = Lifespan.instant(5)
+        assert 5 in p and 4 not in p
+        assert p.duration() == 1
+        assert (p & Lifespan.instant(5)) == p
+        assert (p & Lifespan.instant(6)).is_empty()
+
+    def test_adjacent_instants_merge(self):
+        merged = Lifespan.instant(3) | Lifespan.instant(4)
+        assert merged == Lifespan.between(3, 4)
+
+    def test_empty_identities(self):
+        e = Lifespan.empty()
+        a = Lifespan.between(1, 9)
+        assert (a | e) == a
+        assert (a & e).is_empty()
+        assert (a - e) == a
+
+
+class TestTraceLogEdges:
+    def test_empty_trace(self):
+        log = TraceLog()
+        assert log.delivery_time(1) is None
+        assert log.data_hops() == []
+        assert log.control_hops() == []
+
+    def test_delivery_recorded_once(self):
+        log = TraceLog()
+        msg = Message(src=1, dst=2, body="x", created_at=0)
+        log.record_delivery(msg, at=5)
+        log.record_delivery(msg, at=9)
+        # first delivery wins in delivery_time
+        assert log.delivery_time(msg.uid) == 5
+
+    def test_hop_received_at(self):
+        hop = HopRecord(sent_at=7, src=1, dst=2, body=None, kind="data")
+        assert hop.received_at == 8
+
+
+class TestArrivalEdges:
+    def test_zero_initial_amount(self):
+        law = PolynomialArrivalLaw(n=0, k=1.0, beta=1.0)
+        assert law.amount(0) == 0
+        assert law.arrival_time(1) == 1
+
+    def test_schedule_is_sorted(self):
+        law = PolynomialArrivalLaw(n=3, k=0.7, beta=0.8)
+        sched = arrival_schedule(law, 20)
+        assert sched == sorted(sched)
+        assert sched[:3] == [0, 0, 0]  # the beforehand batch
+
+
+class TestPcgsEdges:
+    def test_single_component_plain_grammar(self):
+        c = Component({"S"}, "S", [Production("S", ("a", "S")), Production("S", ("b",))])
+        g = PCGS([c])
+        words = g.language_sample(tries=60, seed=5)
+        assert ("b",) in words
+        assert any(len(w) > 1 for w in words)
+        # every word is a^n b
+        for w in words:
+            assert w[-1] == "b" and all(s == "a" for s in w[:-1])
+
+    def test_nonreturning_mode_accumulates(self):
+        c1 = Component({"S"}, "S", [Production("S", (query(2), query(2)))])
+        c2 = Component({"T"}, "T", [Production("T", ("x",))])
+        g_ret = PCGS([c1, c2], returning=True)
+        g_non = PCGS([c1, c2], returning=False)
+        # after one rewrite + communication the master holds two copies
+        forms = [(query(2), query(2)), ("x",)]
+        out_ret = g_ret.communication_step(list(forms))
+        out_non = g_non.communication_step(list(forms))
+        assert out_ret[0] == out_non[0] == ("x", "x")
+        assert out_ret[1] == ("T",)     # returning: back to axiom
+        assert out_non[1] == ("x",)     # non-returning: keeps its form
+
+
+def query(j):
+    from repro.parallel import query as q
+
+    return q(j)
+
+
+class TestSimulatorEdges:
+    def test_start_time_offset(self):
+        sim = Simulator(start=100)
+        fired = []
+
+        def proc(sim):
+            yield sim.timeout(5)
+            fired.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert fired == [105]
+
+    def test_run_until_zero(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(10)
+
+        sim.process(proc(sim))
+        sim.run(until=0)
+        assert sim.now == 0

@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+import pytest
+
+from repro.adhoc import (
+    FloodingRouter,
+    Scenario,
+    run_scenario,
+    validate_route,
+)
+from repro.dataacc import (
+    InsertionSortSolver,
+    PolynomialArrivalLaw,
+    dataacc_acceptor,
+    encode_dataacc,
+    make_instance,
+    run_dalgorithm,
+    termination_time,
+)
+from repro.deadlines import (
+    DeadlineInstance,
+    DeadlineKind,
+    DeadlineSpec,
+    decide_instance,
+    encode_instance,
+    language_of,
+    sorting_problem,
+)
+from repro.rtdb import (
+    QueryRegistry,
+    RecognitionInstance,
+    decide_aperiodic,
+    figure2_query,
+    ngc_example,
+    recognition_word,
+    recognizes,
+)
+from repro.words import Trilean, concat
+
+
+class TestClaim1Pipeline:
+    """Claim 1: well-behaved timed ω-languages model real-time
+    computations — every paper construction yields well-behaved words
+    whose acceptors realize the intended semantics."""
+
+    def test_all_deadline_words_well_behaved(self):
+        prob = sorting_problem()
+        for spec in (
+            DeadlineSpec(DeadlineKind.NONE),
+            DeadlineSpec(DeadlineKind.FIRM, t_d=5),
+        ):
+            inst = DeadlineInstance(prob, (2, 1), (1, 2), spec)
+            assert encode_instance(inst).is_well_behaved() is Trilean.TRUE
+
+    def test_language_of_membership_via_acceptor(self):
+        prob = sorting_problem()
+        lang = language_of(prob)
+        good = DeadlineInstance(prob, (2, 1), (1, 2), DeadlineSpec(DeadlineKind.NONE))
+        bad = DeadlineInstance(prob, (2, 1), (2, 1), DeadlineSpec(DeadlineKind.NONE))
+        assert lang.contains(encode_instance(good))
+        assert not lang.contains(encode_instance(bad))
+
+    def test_deadline_language_closed_under_union_with_dataacc(self):
+        """Theorem 3.3 applies across application domains: the union of
+        a §4.1 language and a §4.2 language is a timed language whose
+        membership splits by construction."""
+        prob = sorting_problem()
+        l_deadline = language_of(prob)
+        law = PolynomialArrivalLaw(n=5, k=1.0, beta=0.6)
+        inst = make_instance(law, lambda j: j % 5, InsertionSortSolver, horizon=3000)
+        from repro.words import PredicateLanguage
+
+        l_dataacc = PredicateLanguage(
+            lambda word: dataacc_acceptor(InsertionSortSolver)
+            .decide(word, horizon=3000)
+            .accepted,
+            name="L(d)",
+        )
+        union = l_deadline | l_dataacc
+        good_deadline = encode_instance(
+            DeadlineInstance(prob, (3, 1), (1, 3), DeadlineSpec(DeadlineKind.NONE))
+        )
+        assert union.contains(good_deadline)
+        assert union.contains(encode_dataacc(inst))
+
+
+class TestSection42AgainstAnalysis:
+    def test_simulation_analysis_acceptor_agree(self):
+        """Three independent artifacts — the closed-form solver, the
+        kernel simulation, and the ω-word acceptor — agree."""
+        law = PolynomialArrivalLaw(n=8, k=1.2, gamma=0.0, beta=0.6)
+        analytic = termination_time(law, 1, horizon=50_000)
+        assert analytic is not None
+        sim_run = run_dalgorithm(
+            InsertionSortSolver(), law, data=lambda j: j % 11, horizon=50_000
+        )
+        assert sim_run.terminated
+        assert sim_run.termination_time == analytic
+        inst = make_instance(law, lambda j: j % 11, InsertionSortSolver, horizon=50_000)
+        report = dataacc_acceptor(InsertionSortSolver).decide(
+            encode_dataacc(inst), horizon=50_000
+        )
+        assert report.accepted
+
+
+class TestRecognitionClassicalVsRealTime:
+    def test_figure2_tuples_recognized_both_ways(self):
+        """Eq. (5) classical recognition and the timed L_aq acceptor
+        agree on membership of the same query results."""
+        db = ngc_example()
+        q = figure2_query()
+        # classical
+        assert recognizes(q, db.schema, recognition_word(db, ("Dieric", "Hamilton")))
+        assert not recognizes(q, db.schema, recognition_word(db, ("Nobody", "Nowhere")))
+        # real-time: express the same question over an object-state DB
+        registry = QueryRegistry(
+            queries={
+                "nov": lambda st: {
+                    ("Dieric", "Hamilton"),
+                    ("Aelbrecht", "Hamilton"),
+                    ("Schaefer", "St. Catharines"),
+                }
+            },
+        )
+        inst = RecognitionInstance(
+            invariants={"catalog": "NGC"},
+            derived={},
+            images={"clock": (5, lambda t: t)},
+            query_name="nov",
+            issue_time=7,
+            spec=DeadlineSpec(DeadlineKind.NONE),
+        )
+        ok = decide_aperiodic(registry, inst, ("Dieric", "Hamilton"), horizon=2000)
+        bad = decide_aperiodic(registry, inst, ("Nobody", "Nowhere"), horizon=2000)
+        assert ok.accepted and not bad.accepted
+
+
+class TestAdhocPipeline:
+    def test_scenario_routes_validate_against_R(self):
+        """Full pipeline: mobility → simulation → trace → R_{n,u}."""
+        sc = Scenario(n_nodes=10, pause_time=500, n_messages=5, horizon=250,
+                      seed=13, stationary=True)
+        run = run_scenario(FloodingRouter, sc)
+        delivered = [
+            m for m in run.messages
+            if run.network.trace.delivery_time(m.uid) is not None
+        ]
+        assert delivered, "at least one message delivered in a static 10-node arena"
+        for m in delivered:
+            v = validate_route(run.range_pred, run.network.trace, m)
+            assert v.in_language, v.violations
+
+
+class TestDeterminismAcrossSubsystems:
+    def test_full_stack_reproducibility(self):
+        """Identical seeds ⇒ identical metrics, decisions, and words."""
+        sc = Scenario(n_nodes=8, n_messages=4, horizon=200, seed=5)
+        r1 = run_scenario(FloodingRouter, sc)
+        r2 = run_scenario(FloodingRouter, sc)
+        assert r1.metrics.row() == r2.metrics.row()
+        prob = sorting_problem()
+        inst = DeadlineInstance(prob, (5, 2, 8), (2, 5, 8), DeadlineSpec(DeadlineKind.FIRM, t_d=20))
+        assert decide_instance(inst).accepted == decide_instance(inst).accepted

@@ -1,0 +1,136 @@
+"""Unit tests for clocks and the Φ(X) constraint algebra (§2.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import (
+    And,
+    Clock,
+    ClockValuation,
+    Ge,
+    Le,
+    Not,
+    Or,
+    Simulator,
+    TrueConstraint,
+    eq,
+    gt,
+    lt,
+)
+
+
+class TestClock:
+    def test_reads_elapsed_time(self):
+        sim = Simulator()
+        clock = Clock(sim, "x")
+
+        def proc(sim):
+            yield sim.timeout(7)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert clock.read() == 7
+
+    def test_reset_zeroes(self):
+        sim = Simulator()
+        clock = Clock(sim, "x")
+
+        def proc(sim):
+            yield sim.timeout(5)
+            clock.reset()
+            yield sim.timeout(3)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert clock.read() == 3
+
+
+class TestConstraints:
+    def test_le_ge_primitives(self):
+        v = {"x": 5}
+        assert Le("x", 5).evaluate(v)
+        assert Le("x", 6).evaluate(v)
+        assert not Le("x", 4).evaluate(v)
+        assert Ge("x", 5).evaluate(v)
+        assert not Ge("x", 6).evaluate(v)
+
+    def test_not_and(self):
+        v = {"x": 5, "y": 2}
+        d = And(Le("x", 10), Not(Le("y", 1)))
+        assert d.evaluate(v)
+        assert not d.evaluate({"x": 11, "y": 2})
+        assert not d.evaluate({"x": 5, "y": 1})
+
+    def test_true_constraint(self):
+        assert TrueConstraint().evaluate({})
+        assert TrueConstraint().clocks() == frozenset()
+
+    def test_derived_lt_gt_eq(self):
+        assert lt("x", 5).evaluate({"x": 4})
+        assert not lt("x", 5).evaluate({"x": 5})
+        assert gt("x", 5).evaluate({"x": 6})
+        assert not gt("x", 5).evaluate({"x": 5})
+        assert eq("x", 5).evaluate({"x": 5})
+        assert not eq("x", 5).evaluate({"x": 4})
+
+    def test_or_de_morgan(self):
+        d = Or(Le("x", 2), Ge("x", 8))
+        assert d.evaluate({"x": 1})
+        assert d.evaluate({"x": 9})
+        assert not d.evaluate({"x": 5})
+
+    def test_operator_sugar(self):
+        d = Le("x", 5) & Ge("y", 1)
+        assert d.evaluate({"x": 3, "y": 2})
+        d2 = ~Le("x", 5)
+        assert d2.evaluate({"x": 6})
+        d3 = Le("x", 1) | Ge("x", 9)
+        assert d3.evaluate({"x": 0}) and d3.evaluate({"x": 10})
+
+    def test_clocks_collects_names(self):
+        d = And(Le("x", 5), Not(Ge("y", 1)))
+        assert d.clocks() == frozenset({"x", "y"})
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_lt_is_strictly_less(self, value, bound):
+        assert lt("x", bound).evaluate({"x": value}) == (value < bound)
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_eq_matches_equality(self, value, bound):
+        assert eq("x", bound).evaluate({"x": value}) == (value == bound)
+
+
+class TestClockValuation:
+    def test_zero_initialization(self):
+        v = ClockValuation.zero(["x", "y"])
+        assert v == {"x": 0, "y": 0}
+
+    def test_advanced_is_uniform_and_pure(self):
+        v = ClockValuation({"x": 1, "y": 2})
+        w = v.advanced(5)
+        assert w == {"x": 6, "y": 7}
+        assert v == {"x": 1, "y": 2}
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ClockValuation({"x": 0}).advanced(-1)
+
+    def test_reset_selective(self):
+        v = ClockValuation({"x": 5, "y": 7})
+        w = v.reset(["x"])
+        assert w == {"x": 0, "y": 7}
+
+    def test_reset_unknown_clock_rejected(self):
+        with pytest.raises(KeyError):
+            ClockValuation({"x": 0}).reset(["z"])
+
+    @given(st.dictionaries(st.sampled_from("xyz"), st.integers(0, 50), min_size=1),
+           st.integers(0, 20))
+    def test_advance_preserves_guard_monotonicity(self, vals, delta):
+        """Advancing time can only flip x ≥ c from false to true."""
+        v = ClockValuation(vals)
+        w = v.advanced(delta)
+        for c in vals:
+            for bound in (0, 10, 60):
+                if Ge(c, bound).evaluate(v):
+                    assert Ge(c, bound).evaluate(w)

@@ -1,0 +1,171 @@
+"""Unit tests for the event primitives (repro.kernel.events)."""
+
+import pytest
+
+from repro.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventQueue,
+    EventState,
+    Priority,
+    SimulationError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_untriggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.ok
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_then_run_triggers(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        sim.run()
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_failed_event_carries_exception(self, sim):
+        ev = sim.event()
+        exc = RuntimeError("boom")
+        ev.fail(exc)
+        sim.run()
+        assert ev.triggered and not ev.ok
+        assert ev.value is exc
+
+    def test_callback_after_trigger_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        sim.run()
+        hits = []
+        ev.add_callback(lambda e: hits.append(e.value))
+        assert hits == [1]
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, sim):
+        seen = []
+
+        def proc(sim):
+            yield sim.timeout(7)
+            seen.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert seen == [7]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_timeout_value_passthrough(self, sim):
+        got = []
+
+        def proc(sim):
+            v = yield sim.timeout(3, value="hello")
+            got.append(v)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert got == ["hello"]
+
+    def test_non_integer_time_rejected_in_integer_mode(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(0.5)
+
+    def test_dense_time_allowed_when_disabled(self):
+        sim = Simulator(integer_time=False)
+        done = []
+
+        def proc(sim):
+            yield sim.timeout(0.5)
+            done.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert done == [0.5]
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(5), sim.timeout(9)
+        any_ev = sim.any_of([t1, t2])
+        sim.run(until=any_ev)
+        assert sim.now == 5
+        assert t1.triggered and not t2.triggered
+
+    def test_all_of_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(5), sim.timeout(9)
+        all_ev = sim.all_of([t1, t2])
+        sim.run(until=all_ev)
+        assert sim.now == 9
+
+    def test_empty_condition_vacuously_true(self, sim):
+        ev = sim.all_of([])
+        sim.run()
+        assert ev.triggered and ev.ok
+
+    def test_all_of_value_maps_children(self, sim):
+        t1 = sim.timeout(1, value="a")
+        t2 = sim.timeout(2, value="b")
+        all_ev = sim.all_of([t1, t2])
+        sim.run()
+        assert set(all_ev.value.values()) == {"a", "b"}
+
+
+class TestEventQueue:
+    def test_fifo_within_equal_time_and_priority(self):
+        q = EventQueue()
+        sim = Simulator()
+        events = [Event(sim, name=str(i)) for i in range(5)]
+        for ev in events:
+            q.push(10, Priority.NORMAL, ev)
+        popped = [q.pop()[1].name for _ in range(5)]
+        assert popped == ["0", "1", "2", "3", "4"]
+
+    def test_priority_orders_equal_times(self):
+        q = EventQueue()
+        sim = Simulator()
+        low = Event(sim, name="low")
+        urgent = Event(sim, name="urgent")
+        q.push(10, Priority.LOW, low)
+        q.push(10, Priority.URGENT, urgent)
+        assert q.pop()[1].name == "urgent"
+
+    def test_time_orders_before_priority(self):
+        q = EventQueue()
+        sim = Simulator()
+        early = Event(sim, name="early")
+        urgent = Event(sim, name="urgent-late")
+        q.push(5, Priority.LOW, early)
+        q.push(10, Priority.URGENT, urgent)
+        assert q.pop()[1].name == "early"
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1, 0, Event(Simulator()))
+        assert q and len(q) == 1

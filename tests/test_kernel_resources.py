@@ -1,0 +1,176 @@
+"""Unit tests for stores, channels, and resources."""
+
+import pytest
+
+from repro.kernel import Channel, Resource, SimulationError, Simulator, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append(item)
+
+        def producer(sim):
+            yield sim.timeout(5)
+            yield store.put("x")
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == ["x"]
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer(sim):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(sim):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bounded_store_blocks_putter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer(sim):
+            yield store.put("a")
+            start = sim.now
+            yield store.put("b")  # blocks until the consumer drains
+            times.append((start, sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(10)
+            yield store.get()
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert times == [(0, 10)]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_getter_blocks_until_item(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer(sim):
+            yield sim.timeout(7)
+            yield store.put(1)
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [(1, 7)]
+
+
+class TestChannel:
+    def test_latency_delays_delivery(self):
+        sim = Simulator()
+        chan = Channel(sim, latency=3)
+        got = []
+
+        def consumer(sim):
+            item = yield chan.get()
+            got.append((item, sim.now))
+
+        def producer(sim):
+            chan.put("msg")
+            yield sim.timeout(0)
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [("msg", 3)]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            Channel(Simulator(), latency=-1)
+
+    def test_zero_latency_is_store(self):
+        sim = Simulator()
+        chan = Channel(sim, latency=0)
+        got = []
+
+        def consumer(sim):
+            got.append((yield chan.get()))
+
+        def producer(sim):
+            yield chan.put(9)
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [9]
+
+
+class TestResource:
+    def test_capacity_admits_up_to_limit(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        grants = []
+
+        def user(sim, uid, hold):
+            req = yield res.request()
+            grants.append((uid, sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+
+        sim.process(user(sim, "a", 10))
+        sim.process(user(sim, "b", 10))
+        sim.process(user(sim, "c", 10))
+        sim.run()
+        assert grants[0] == ("a", 0)
+        assert grants[1] == ("b", 0)
+        assert grants[2] == ("c", 10)  # queued until a slot frees
+
+    def test_release_foreign_request_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res2 = Resource(sim, capacity=1)
+        req = res.request()
+        sim.run()
+        with pytest.raises(SimulationError):
+            res2.release(req)
+
+    def test_count_tracks_holders(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=3)
+
+        def user(sim):
+            req = yield res.request()
+            yield sim.timeout(5)
+            res.release(req)
+
+        for _ in range(3):
+            sim.process(user(sim))
+        sim.run(until=1)
+        assert res.count == 3
+        sim.run()
+        assert res.count == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)

@@ -1,0 +1,224 @@
+"""Unit tests for the simulator and process machinery."""
+
+import pytest
+
+from repro.kernel import (
+    Interrupt,
+    ProcessDied,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestBasicExecution:
+    def test_empty_run_returns(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.now == 0
+
+    def test_run_until_horizon_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=50)
+        assert sim.now == 50
+
+    def test_process_return_value_becomes_event_value(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(3)
+            return "result"
+
+        def parent(sim, out):
+            value = yield sim.process(child(sim))
+            out.append(value)
+
+        out = []
+        sim.process(parent(sim, out))
+        sim.run()
+        assert out == ["result"]
+
+    def test_step_on_empty_queue_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unwatched_crash_propagates(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1)
+            raise ValueError("crash")
+
+        sim.process(bad(sim))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_watched_crash_flows_to_waiter(self):
+        sim = Simulator()
+        caught = []
+
+        def bad(sim):
+            yield sim.timeout(1)
+            raise ValueError("crash")
+
+        def watcher(sim):
+            try:
+                yield sim.process(bad(sim))
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(watcher(sim))
+        sim.run()
+        assert caught == ["crash"]
+
+    def test_horizon_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+
+        def proc(sim):
+            yield sim.timeout(10)
+            seen.append("early")
+            yield sim.timeout(100)
+            seen.append("late")
+
+        sim.process(proc(sim))
+        sim.run(until=50)
+        assert seen == ["early"]
+        assert sim.now == 50
+
+    def test_run_until_event(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5)
+            return "done"
+
+        p = sim.process(proc(sim))
+        value = sim.run(until=p)
+        assert value == "done"
+        assert sim.now == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(sim, wid):
+                for i in range(3):
+                    yield sim.timeout(2)
+                    log.append((sim.now, wid, i))
+
+            for w in range(4):
+                sim.process(worker(sim, w))
+            sim.run()
+            return log
+
+        assert build() == build()
+
+    def test_equal_time_processes_fifo(self):
+        sim = Simulator()
+        order = []
+
+        def worker(sim, wid):
+            yield sim.timeout(5)
+            order.append(wid)
+
+        for w in range(5):
+            sim.process(worker(sim, w))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+                log.append("overslept")
+            except Interrupt as i:
+                log.append(("interrupted", i.cause, sim.now))
+
+        def interrupter(sim, target):
+            yield sim.timeout(3)
+            target.interrupt(cause="wake!")
+
+        target = sim.process(sleeper(sim))
+        sim.process(interrupter(sim, target))
+        sim.run()
+        assert log == [("interrupted", "wake!", 3)]
+
+    def test_interrupt_dead_process_raises(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(ProcessDied):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulator()
+        log = []
+
+        def resilient(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(5)
+            log.append(sim.now)
+
+        def interrupter(sim, target):
+            yield sim.timeout(10)
+            target.interrupt()
+
+        target = sim.process(resilient(sim))
+        sim.process(interrupter(sim, target))
+        sim.run()
+        assert log == [15]
+
+
+class TestProcessState:
+    def test_is_alive_transitions(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5)
+
+        p = sim.process(proc(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_self_interrupt_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def proc(sim):
+            me = sim.active_process
+            try:
+                me.interrupt()
+            except SimulationError as exc:
+                errors.append(str(exc))
+            yield sim.timeout(1)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,111 @@
+"""Tests for kernel execution tracing."""
+
+import pytest
+
+from repro.kernel import Simulator, Tracer
+
+
+def two_workers(sim):
+    def worker(sim, wid, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+
+    sim.process(worker(sim, "a", 2), name="worker-a")
+    sim.process(worker(sim, "b", 3), name="worker-b")
+
+
+class TestTracer:
+    def test_records_dispatched_events(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        two_workers(sim)
+        sim.run()
+        assert len(tracer) > 0
+        assert any(name.startswith("Timeout") for _t, name in tracer.timeline())
+
+    def test_times_are_monotone(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        two_workers(sim)
+        sim.run()
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_deterministic_traces(self):
+        def run():
+            sim = Simulator()
+            tracer = Tracer(sim)
+            two_workers(sim)
+            sim.run()
+            return tracer.timeline()
+
+        assert run() == run()
+
+    def test_name_filter(self):
+        sim = Simulator()
+        tracer = Tracer(sim, name_filter=lambda n: n.startswith("init"))
+        two_workers(sim)
+        sim.run()
+        assert all(n.startswith("init") for _t, n in tracer.timeline())
+        assert len(tracer) == 2  # the two process boot events
+
+    def test_limit_and_dropped(self):
+        sim = Simulator()
+        tracer = Tracer(sim, limit=3)
+        two_workers(sim)
+        sim.run()
+        assert len(tracer) == 3
+        assert tracer.dropped > 0
+
+    def test_events_at_and_first(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        two_workers(sim)
+        sim.run()
+        at2 = tracer.events_at(2)
+        assert at2 and all(r.time == 2 for r in at2)
+        first_init = tracer.first("init:worker-a")
+        assert first_init is not None and first_init.time == 0
+
+    def test_counts(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        two_workers(sim)
+        sim.run()
+        counts = tracer.counts()
+        assert counts.get("Timeout(2)") == 3
+        assert counts.get("Timeout(3)") == 3
+
+    def test_single_tracer_per_sim(self):
+        sim = Simulator()
+        Tracer(sim)
+        with pytest.raises(RuntimeError):
+            Tracer(sim)
+
+    def test_detach_stops_recording(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        two_workers(sim)
+        sim.run(until=2)
+        n = len(tracer)
+        tracer.detach()
+        sim.run()
+        assert len(tracer) == n
+
+    def test_tracing_does_not_change_behavior(self):
+        def run(traced):
+            sim = Simulator()
+            if traced:
+                Tracer(sim)
+            out = []
+
+            def proc(sim):
+                for i in range(4):
+                    yield sim.timeout(i + 1)
+                    out.append(sim.now)
+
+            sim.process(proc(sim))
+            sim.run()
+            return out
+
+        assert run(True) == run(False)

@@ -1,0 +1,272 @@
+"""Tests for the Definition 3.3/3.4 acceptor substrate."""
+
+import pytest
+
+from repro.machine import (
+    ACCEPT_SYMBOL,
+    InputTape,
+    OutputTape,
+    RealTimeAlgorithm,
+    SpaceLimitExceeded,
+    TapeProtocolError,
+    Verdict,
+    WorkerMonitorAcceptor,
+    WorkerSignal,
+    WorkingStorage,
+)
+from repro.kernel import Simulator
+from repro.words import TimedWord
+
+
+class TestInputTape:
+    def test_availability_rule(self):
+        """A symbol with timestamp τ is not readable before τ."""
+        sim = Simulator()
+        word = TimedWord.finite([("a", 0), ("b", 5)])
+        tape = InputTape(sim, word)
+        reads = []
+
+        def reader(sim):
+            for _ in range(2):
+                pair = yield tape.read()
+                reads.append((pair, sim.now))
+
+        sim.process(reader(sim))
+        sim.run()
+        assert reads == [(("a", 0), 0), (("b", 5), 5)]
+
+    def test_poll_drains_arrived(self):
+        sim = Simulator()
+        word = TimedWord.finite([("a", 0), ("b", 0), ("c", 9)])
+        tape = InputTape(sim, word)
+        polled = []
+
+        def poller(sim):
+            yield sim.timeout(1)
+            polled.extend(tape.poll())
+
+        sim.process(poller(sim))
+        sim.run()
+        assert polled == [("a", 0), ("b", 0)]
+
+    def test_peek_does_not_consume(self):
+        sim = Simulator()
+        tape = InputTape(sim, TimedWord.finite([("a", 0)]))
+        got = []
+
+        def proc(sim):
+            yield sim.timeout(1)
+            assert tape.peek_pending() == [("a", 0)]
+            assert tape.peek_pending() == [("a", 0)]
+            got.append((yield tape.read()))
+
+        sim.process(proc(sim))
+        sim.run()
+        assert got == [("a", 0)]
+
+    def test_current_symbol_tracks_latest(self):
+        sim = Simulator()
+        tape = InputTape(sim, TimedWord.finite([("a", 0), ("b", 3)]))
+        seen = []
+
+        def proc(sim):
+            yield sim.timeout(1)
+            seen.append(tape.current_symbol())
+            yield sim.timeout(5)
+            seen.append(tape.current_symbol())
+
+        sim.process(proc(sim))
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_nonmonotone_word_raises(self):
+        sim = Simulator()
+        InputTape(sim, TimedWord.finite([("a", 5), ("b", 1)]))
+        with pytest.raises(TapeProtocolError):
+            sim.run()
+
+    def test_infinite_word_fed_lazily(self):
+        sim = Simulator()
+        tape = InputTape(sim, TimedWord.lasso([], [("x", 1)], shift=1))
+        sim.run(until=10)
+        assert tape.arrived_count == 10
+
+
+class TestOutputTape:
+    def test_one_symbol_per_chronon(self):
+        sim = Simulator()
+        out = OutputTape(sim)
+        out.write("f")
+        with pytest.raises(TapeProtocolError):
+            out.write("f")
+
+    def test_writes_at_distinct_times(self):
+        sim = Simulator()
+        out = OutputTape(sim)
+
+        def writer(sim):
+            for _ in range(3):
+                out.write("f")
+                yield sim.timeout(1)
+
+        sim.process(writer(sim))
+        sim.run()
+        assert out.count("f") == 3
+        assert out.observed_contents() == [("f", 0), ("f", 1), ("f", 2)]
+
+    def test_can_write_reflects_rule(self):
+        sim = Simulator()
+        out = OutputTape(sim)
+        assert out.can_write()
+        out.write("f")
+        assert not out.can_write()
+
+
+class TestWorkingStorage:
+    def test_peak_tracking(self):
+        st = WorkingStorage()
+        st["a"] = 1
+        st["b"] = 2
+        del st["a"]
+        st["c"] = 3
+        assert st.used == 2
+        assert st.peak == 2
+        st["d"] = 4
+        assert st.peak == 3
+
+    def test_limit_enforced(self):
+        st = WorkingStorage(limit=2)
+        st["a"] = 1
+        st["b"] = 2
+        st["a"] = 99  # overwrite is fine
+        with pytest.raises(SpaceLimitExceeded):
+            st["c"] = 3
+
+    def test_get_and_contains(self):
+        st = WorkingStorage()
+        st["k"] = "v"
+        assert "k" in st and st.get("k") == "v"
+        assert st.get("missing", 0) == 0
+
+
+class TestRealTimeAlgorithm:
+    def test_accept_writes_f_forever(self):
+        def prog(ctx):
+            sym, _t = yield ctx.input.read()
+            ctx.accept()
+
+        alg = RealTimeAlgorithm(prog)
+        report = alg.decide(TimedWord.lasso([("a", 0)], [("w", 1)], shift=1))
+        assert report.accepted
+        assert report.f_count > 5  # the absorbing state keeps writing f
+
+    def test_reject_writes_no_f(self):
+        def prog(ctx):
+            yield ctx.input.read()
+            ctx.reject()
+
+        alg = RealTimeAlgorithm(prog)
+        report = alg.decide(TimedWord.lasso([("a", 0)], [("w", 1)], shift=1))
+        assert not report.accepted
+        assert report.f_count == 0
+
+    def test_undecided_within_horizon(self):
+        def prog(ctx):
+            while True:
+                yield ctx.timeout(1)
+
+        alg = RealTimeAlgorithm(prog)
+        report = alg.decide(TimedWord.lasso([], [("w", 1)], shift=1), horizon=50)
+        assert report.verdict is Verdict.UNDECIDED
+
+    def test_space_metering_reported(self):
+        def prog(ctx):
+            for i in range(5):
+                ctx.storage[i] = i
+            yield ctx.input.read()
+            ctx.accept()
+
+        report = RealTimeAlgorithm(prog).decide(
+            TimedWord.lasso([("a", 0)], [("w", 1)], shift=1)
+        )
+        assert report.space_peak == 5
+
+    def test_space_limit_enforced_through_decide(self):
+        def prog(ctx):
+            for i in range(100):
+                ctx.storage[i] = i
+            yield ctx.input.read()
+            ctx.accept()
+
+        alg = RealTimeAlgorithm(prog, space_limit=10)
+        with pytest.raises(SpaceLimitExceeded):
+            alg.decide(TimedWord.lasso([("a", 0)], [("w", 1)], shift=1))
+
+    def test_count_f_runs_fixed_horizon(self):
+        def prog(ctx):
+            while True:
+                if ctx.output.can_write():
+                    ctx.emit_f()
+                yield ctx.timeout(2)
+
+        report = RealTimeAlgorithm(prog).count_f(
+            TimedWord.lasso([], [("w", 1)], shift=1), horizon=20
+        )
+        assert report.f_count == 11  # t = 0, 2, ..., 20
+
+    def test_decided_at_recorded(self):
+        def prog(ctx):
+            yield ctx.timeout(7)
+            ctx.accept()
+
+        report = RealTimeAlgorithm(prog).decide(
+            TimedWord.lasso([], [("w", 1)], shift=1)
+        )
+        assert report.decided_at == 7
+
+
+class TestWorkerMonitor:
+    def test_monitor_imposes_verdict_on_signal(self):
+        def worker(ctx, signals):
+            yield ctx.timeout(3)
+            yield signals.put(WorkerSignal("done", payload=42))
+
+        def decision(ctx, sig):
+            return Verdict.ACCEPT if sig.payload == 42 else Verdict.REJECT
+
+        acceptor = WorkerMonitorAcceptor(worker, decision)
+        report = acceptor.decide(TimedWord.lasso([], [("w", 1)], shift=1))
+        assert report.accepted
+        assert report.decided_at == 3
+
+    def test_monitor_can_defer(self):
+        """None from the decision keeps monitoring until a later signal."""
+
+        def worker(ctx, signals):
+            yield signals.put(WorkerSignal("progress"))
+            yield ctx.timeout(5)
+            yield signals.put(WorkerSignal("done"))
+
+        def decision(ctx, sig):
+            return Verdict.ACCEPT if sig.kind == "done" else None
+
+        report = WorkerMonitorAcceptor(worker, decision).decide(
+            TimedWord.lasso([], [("w", 1)], shift=1)
+        )
+        assert report.accepted and report.decided_at == 5
+
+    def test_signal_timestamps(self):
+        stamps = []
+
+        def worker(ctx, signals):
+            yield ctx.timeout(4)
+            yield signals.put(WorkerSignal("done"))
+
+        def decision(ctx, sig):
+            stamps.append(sig.at)
+            return Verdict.REJECT
+
+        WorkerMonitorAcceptor(worker, decision).decide(
+            TimedWord.lasso([], [("w", 1)], shift=1)
+        )
+        assert stamps == [4]

@@ -1,0 +1,101 @@
+"""Tests for the TBA → real-time algorithm compilation (§3.1.1 claim)."""
+
+import pytest
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.kernel import Le, gt
+from repro.machine import NondeterministicTBAError, tba_to_algorithm
+from repro.words import TimedWord
+
+
+def bounded_gap_tba(bound=2):
+    """Deterministic TBA: every inter-arrival gap ≤ bound."""
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+def two_phase_tba():
+    """Deterministic: accept iff eventually gaps exceed 2 forever."""
+    return TimedBuchiAutomaton(
+        "ab",
+        ["fast", "slow"],
+        "fast",
+        [
+            TimedTransition.make("fast", "fast", "a", resets=["x"], guard=Le("x", 2)),
+            TimedTransition.make("fast", "slow", "b", resets=["x"]),
+            TimedTransition.make("slow", "slow", "a", resets=["x"], guard=gt("x", 2)),
+        ],
+        ["x"],
+        ["slow"],
+    )
+
+
+class TestCompilation:
+    def test_nondeterministic_rejected_by_default(self):
+        tba = TimedBuchiAutomaton(
+            "a",
+            ["s", "t"],
+            "s",
+            [
+                TimedTransition.make("s", "s", "a"),
+                TimedTransition.make("s", "t", "a"),
+            ],
+            [],
+            ["t"],
+        )
+        with pytest.raises(NondeterministicTBAError):
+            tba_to_algorithm(tba)
+        # but allowed explicitly
+        tba_to_algorithm(tba, allow_nondeterministic=True)
+
+
+class TestAgreementWithAutomatonJudge:
+    """On lasso words, the compiled machine's f-rate verdict equals the
+    region-graph decision procedure."""
+
+    @pytest.mark.parametrize("shift,expected", [(2, True), (5, False)])
+    def test_bounded_gap_language(self, shift, expected):
+        tba = bounded_gap_tba(2)
+        word = TimedWord.lasso([], [("a", 1)], shift=shift)
+        assert tba.accepts_lasso(word) is expected
+        machine = tba_to_algorithm(tba)
+        if expected:
+            report = machine.count_f(word, horizon=100)
+            # accepting configs recur: f's keep coming
+            assert report.f_count >= 20
+        else:
+            report = machine.decide(word, horizon=100)
+            assert not report.accepted  # the run died → s_r
+
+    def test_two_phase_language(self):
+        tba = two_phase_tba()
+        good = TimedWord.lasso([("a", 1), ("a", 2), ("b", 3)], [("a", 7)], shift=4)
+        bad = TimedWord.lasso([], [("a", 1)], shift=1)
+        assert tba.accepts_lasso(good)
+        assert not tba.accepts_lasso(bad)
+        machine_good = tba_to_algorithm(tba).count_f(good, horizon=200)
+        assert machine_good.f_count >= 10
+        machine_bad = tba_to_algorithm(tba).count_f(bad, horizon=200)
+        assert machine_bad.f_count == 0
+
+    def test_dead_run_enters_reject(self):
+        tba = bounded_gap_tba(1)
+        slow = TimedWord.lasso([], [("a", 3)], shift=3)
+        report = tba_to_algorithm(tba).decide(slow, horizon=100)
+        assert not report.accepted
+        assert report.decided_at is not None
+
+    def test_storage_holds_clock_valuations(self):
+        """The §3.1.1 point: clocks live in working storage."""
+        tba = bounded_gap_tba(2)
+        machine = tba_to_algorithm(tba)
+        report = machine.count_f(
+            TimedWord.lasso([], [("a", 1)], shift=2), horizon=50
+        )
+        assert report.space_peak >= 2  # configs + prev_t cells

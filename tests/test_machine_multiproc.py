@@ -1,0 +1,97 @@
+"""Tests for the multiprocessor real-time algorithm (rt-PROC concrete)."""
+
+import pytest
+
+from repro.complexity import run_stream_echo, stream_word
+from repro.machine import MultiProcessorAlgorithm, stream_echo_acceptor
+from repro.machine.rtalgorithm import Verdict
+from repro.words import TimedWord
+
+
+class TestConstruction:
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            stream_echo_acceptor(0, deadline=4)
+
+
+class TestStreamEchoAcceptor:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_sufficient_processors_accept(self, k):
+        rep = stream_echo_acceptor(k, deadline=8).decide(
+            stream_word(k), horizon=1_000
+        )
+        assert rep.accepted
+        assert rep.f_count > 0
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_insufficient_processors_reject(self, k):
+        rep = stream_echo_acceptor(k - 1, deadline=8).decide(
+            stream_word(k), horizon=1_000
+        )
+        assert rep.verdict is Verdict.REJECT
+        assert rep.f_count == 0
+
+    def test_overprovisioning_also_accepts(self):
+        rep = stream_echo_acceptor(7, deadline=8).decide(
+            stream_word(3), horizon=1_000
+        )
+        assert rep.accepted
+
+    def test_machine_agrees_with_queue_recursion(self):
+        """The Definition 3.3 machine and the abstract queue model of
+        repro.complexity give the same success split."""
+        for k in (2, 3, 5):
+            for p in (k - 1, k):
+                machine = stream_echo_acceptor(p, deadline=8).decide(
+                    stream_word(k), horizon=1_500
+                )
+                abstract = run_stream_echo(k, p, deadline=8, horizon=1_500)
+                assert machine.accepted == abstract.success, (k, p)
+
+    def test_reject_time_near_predicted_miss(self):
+        """The machine detects the miss within a few chronons of the
+        queue model's first-miss closed form (pipeline offsets differ
+        by small constants)."""
+        from repro.complexity import predicted_first_miss
+
+        for k in (2, 3, 4):
+            rep = stream_echo_acceptor(k - 1, deadline=8).decide(
+                stream_word(k), horizon=1_000
+            )
+            predicted = predicted_first_miss(k, k - 1, 8)
+            assert rep.decided_at is not None
+            assert abs(rep.decided_at - predicted) <= 4, (k, rep.decided_at, predicted)
+
+
+class TestCustomPrograms:
+    def test_supervisor_and_workers_share_storage(self):
+        """A 2-processor machine summing the first 6 tape values."""
+
+        def supervisor(ctx, work):
+            ctx.storage["sum"] = 0
+            ctx.storage["done"] = 0
+            for _ in range(6):
+                sym, t = yield ctx.input.read()
+                yield work.put(sym)
+            while ctx.storage["done"] < 6:
+                yield ctx.timeout(1)
+            if ctx.storage["sum"] == 21:
+                ctx.accept()
+            else:
+                ctx.reject()
+
+        def worker(wid, ctx, work):
+            while True:
+                value = yield work.get()
+                yield ctx.timeout(1)
+                ctx.storage["sum"] = ctx.storage["sum"] + value
+                ctx.storage["done"] = ctx.storage["done"] + 1
+
+        machine = MultiProcessorAlgorithm(2, supervisor, worker)
+        word = TimedWord.lasso(
+            [(v, i) for i, v in enumerate([1, 2, 3, 4, 5, 6])],
+            [(0, 6)],
+            shift=1,
+        )
+        rep = machine.decide(word, horizon=200)
+        assert rep.accepted

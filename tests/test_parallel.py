@@ -1,0 +1,267 @@
+"""Tests for the §6 explicit parallel/distributed models."""
+
+import pytest
+
+from repro.parallel import (
+    PCGS,
+    Component,
+    ParallelSystem,
+    Pram,
+    PramConflictError,
+    PramVariant,
+    ProcessBehaviour,
+    Production,
+    query,
+)
+from repro.words import Trilean
+
+
+class TestProcessBehaviour:
+    def test_word_views(self):
+        b = ProcessBehaviour(1)
+        b.record_compute("init", 0)
+        b.record_send(2, "hi", 1)
+        b.record_receive(2, "yo", 4)
+        assert b.c_word().take(1) == [(("c", 1, "init"), 0)]
+        assert b.l_word().take(1) == [(("l", 1, 2, "hi"), 1)]
+        assert b.r_word().take(1) == [(("r", 1, 2, "yo"), 4)]
+
+    def test_behaviour_word_merges_by_time(self):
+        """c_k l_k r_k via Definition 3.5: time-ordered."""
+        b = ProcessBehaviour(1)
+        b.record_compute("late", 9)
+        b.record_send(2, "m", 3)
+        b.record_receive(2, "x", 5)
+        word = b.behaviour_word()
+        times = [t for _s, t in word.take(3)]
+        assert times == [3, 5, 9]
+
+    def test_communication_free_flag(self):
+        b = ProcessBehaviour(1)
+        b.record_compute("only", 0)
+        assert b.communication_free
+        b.record_send(2, "m", 1)
+        assert not b.communication_free
+
+
+class TestParallelSystem:
+    def test_ping_pong(self):
+        system = ParallelSystem(2, latency=1)
+
+        def p1(ctx):
+            yield ctx.send(2, "ping")
+            frm, msg = yield ctx.recv()
+            return (frm, msg)
+
+        def p2(ctx):
+            frm, msg = yield ctx.recv()
+            yield ctx.send(1, "pong")
+
+        system.add_process(1, p1)
+        system.add_process(2, p2)
+        run = system.run(until=100)
+        assert run.results[1] == (2, "pong")
+
+    def test_latency_delays_messages(self):
+        system = ParallelSystem(2, latency=5)
+        arrival = []
+
+        def p1(ctx):
+            yield ctx.send(2, "x")
+
+        def p2(ctx):
+            yield ctx.recv()
+            arrival.append(ctx.now)
+
+        system.add_process(1, p1)
+        system.add_process(2, p2)
+        system.run(until=100)
+        assert arrival == [5]
+
+    def test_behaviour_tuple_shape(self):
+        system = ParallelSystem(3, latency=1)
+
+        def worker(ctx):
+            yield ctx.compute("w", 2)
+
+        for pid in (1, 2, 3):
+            system.add_process(pid, worker)
+        run = system.run()
+        words = run.behaviour_tuple()
+        assert len(words) == 3
+
+    def test_sends_recorded_in_l_and_r(self):
+        system = ParallelSystem(2, latency=1)
+
+        def p1(ctx):
+            yield ctx.send(2, "data")
+
+        def p2(ctx):
+            yield ctx.recv()
+
+        system.add_process(1, p1)
+        system.add_process(2, p2)
+        run = system.run()
+        assert len(run.behaviours[1].sent) == 1
+        assert len(run.behaviours[2].received) == 1
+
+    def test_pid_out_of_range(self):
+        system = ParallelSystem(2)
+        with pytest.raises(ValueError):
+            system.add_process(5, lambda ctx: iter(()))
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSystem(0)
+
+
+class TestPram:
+    def _sum_program(self, n):
+        def program(pid, step, mem):
+            stride = 2**step
+            base = (pid - 1) * 2 * stride
+            if stride >= n:
+                return False
+            if base + stride < n:
+                a = mem.read(base)
+                b = mem.read(base + stride)
+                mem.write(base, (a or 0) + (b or 0))
+            return True
+
+        return program
+
+    def test_tree_reduction(self):
+        pram = Pram(4, PramVariant.EREW)
+        pram.load(list(range(1, 9)))
+        run = pram.run(self._sum_program(8))
+        assert run.memory[0] == 36
+
+    def test_pram_runs_are_communication_free(self):
+        """§6: on the PRAM, l_k and r_k are null words."""
+        pram = Pram(4, PramVariant.EREW)
+        pram.load(list(range(8)))
+        run = pram.run(self._sum_program(8))
+        assert run.communication_free
+
+    def test_erew_detects_concurrent_read(self):
+        pram = Pram(2, PramVariant.EREW)
+        pram.load([1])
+
+        def program(pid, step, mem):
+            mem.read(0)
+            return False
+
+        with pytest.raises(PramConflictError):
+            pram.run(program)
+
+    def test_crew_allows_concurrent_read(self):
+        pram = Pram(2, PramVariant.CREW)
+        pram.load([1])
+
+        def program(pid, step, mem):
+            mem.read(0)
+            return False
+
+        run = pram.run(program)
+        assert run.steps == 1
+
+    def test_crew_rejects_concurrent_write(self):
+        pram = Pram(2, PramVariant.CREW)
+
+        def program(pid, step, mem):
+            mem.write(0, pid)
+            return False
+
+        with pytest.raises(PramConflictError):
+            pram.run(program)
+
+    def test_crcw_common_allows_agreeing_writes(self):
+        pram = Pram(3, PramVariant.CRCW_COMMON)
+
+        def program(pid, step, mem):
+            mem.write(0, 42)
+            return False
+
+        run = pram.run(program)
+        assert run.memory[0] == 42
+
+    def test_crcw_common_rejects_disagreement(self):
+        pram = Pram(2, PramVariant.CRCW_COMMON)
+
+        def program(pid, step, mem):
+            mem.write(0, pid)
+            return False
+
+        with pytest.raises(PramConflictError):
+            pram.run(program)
+
+    def test_synchronous_reads_see_pre_step_memory(self):
+        """A swap without a temporary works on a synchronous PRAM."""
+        pram = Pram(2, PramVariant.EREW)
+        pram.load([10, 20])
+
+        def program(pid, step, mem):
+            if step == 0:
+                other = 1 - (pid - 1)
+                mem.write(pid - 1, mem.read(other))
+            return step < 1
+
+        run = pram.run(program)
+        assert run.memory[0] == 20 and run.memory[1] == 10
+
+
+class TestPCGS:
+    def test_communication_step_copies_form(self):
+        c1 = Component({"S"}, "S", [Production("S", ("a", query(2), "b"))])
+        c2 = Component({"T"}, "T", [Production("T", ("c",))])
+        g = PCGS([c1, c2])
+        forms = [("a", query(2), "b"), ("c",)]
+        out = g.communication_step(forms)
+        assert out[0] == ("a", "c", "b")
+
+    def test_returning_resets_queried_component(self):
+        c1 = Component({"S"}, "S", [])
+        c2 = Component({"T"}, "T", [])
+        g = PCGS([c1, c2], returning=True)
+        out = g.communication_step([(query(2),), ("x", "y")])
+        assert out[0] == ("x", "y")
+        assert out[1] == ("T",)
+
+    def test_nonreturning_keeps_form(self):
+        c1 = Component({"S"}, "S", [])
+        c2 = Component({"T"}, "T", [])
+        g = PCGS([c1, c2], returning=False)
+        out = g.communication_step([(query(2),), ("x",)])
+        assert out[1] == ("x",)
+
+    def test_derivation_terminates_on_terminal_master(self):
+        c1 = Component({"S"}, "S", [Production("S", ("a", "b"))])
+        g = PCGS([c1])
+        assert g.derive() == ("a", "b")
+
+    def test_query_out_of_range_rejected(self):
+        c1 = Component({"S"}, "S", [])
+        g = PCGS([c1])
+        with pytest.raises(ValueError):
+            g.communication_step([(query(9),)])
+
+    def test_language_sample_two_components(self):
+        """Master pulls from the helper: words contain helper output."""
+        c1 = Component(
+            {"S"}, "S",
+            [Production("S", ("a", query(2), "b")), Production("S", ("a", "b"))],
+        )
+        c2 = Component({"T"}, "T", [Production("T", ("c",))])
+        g = PCGS([c1, c2])
+        words = g.language_sample(tries=100)
+        assert ("a", "b") in words
+        assert ("a", "c", "b") in words
+
+    def test_blocked_derivation_returns_none(self):
+        c1 = Component({"S"}, "S", [Production("S", ("S",))])
+        g = PCGS([c1])
+        assert g.derive(max_steps=10) is None
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            PCGS([])

@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests: algebraic laws spanning modules.
+
+These are the invariants a user composing the library relies on:
+Definition 3.5 merge laws, retiming/iteration interplay, tape/word
+round trips, and determinism of the full stack.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Simulator
+from repro.machine import InputTape
+from repro.words import (
+    TimedWord,
+    Trilean,
+    concat,
+    delay,
+    filter_symbols,
+    is_subsequence,
+    iterate_omega,
+    relabel,
+    stretch,
+)
+
+
+def finite_words(tag="a", max_size=6):
+    return st.lists(
+        st.integers(0, 10), min_size=0, max_size=max_size
+    ).map(lambda ts: TimedWord.finite([(f"{tag}{i}", t) for i, t in enumerate(sorted(ts))]))
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=100)
+    @given(finite_words("a"), finite_words("b"), finite_words("c"))
+    def test_concat_associative_on_disjoint_alphabets(self, a, b, c):
+        """(a·b)·c = a·(b·c) when symbols are distinct: both sides are
+        the unique stable 3-way merge with priority a > b > c."""
+        assert concat(concat(a, b), c) == concat(a, concat(b, c))
+
+    @settings(max_examples=100)
+    @given(finite_words("a"), finite_words("b"))
+    def test_concat_length_and_multiset(self, a, b):
+        m = concat(a, b)
+        assert len(m) == len(a) + len(b)
+        assert sorted(map(repr, m.take(len(m)))) == sorted(
+            map(repr, a.take(len(a)) + b.take(len(b)))
+        )
+
+    @settings(max_examples=60)
+    @given(finite_words("a"), finite_words("b"))
+    def test_operand_recovery(self, a, b):
+        """filter ∘ concat recovers each operand exactly."""
+        m = concat(a, b)
+        back_a = filter_symbols(m, lambda s: s.startswith("a"))
+        back_b = filter_symbols(m, lambda s: s.startswith("b"))
+        assert back_a == a
+        assert back_b == b
+
+
+class TestRetimingAlgebra:
+    @settings(max_examples=60)
+    @given(finite_words(), st.integers(0, 8), st.integers(0, 8))
+    def test_delay_composes_additively(self, w, d1, d2):
+        assert delay(delay(w, d1), d2) == delay(w, d1 + d2)
+
+    @settings(max_examples=60)
+    @given(finite_words(), st.integers(1, 4), st.integers(1, 4))
+    def test_stretch_composes_multiplicatively(self, w, f1, f2):
+        assert stretch(stretch(w, f1), f2) == stretch(w, f1 * f2)
+
+    @settings(max_examples=60)
+    @given(finite_words("a"), finite_words("b"), st.integers(1, 4))
+    def test_stretch_distributes_over_concat(self, a, b, f):
+        assert stretch(concat(a, b), f) == concat(stretch(a, f), stretch(b, f))
+
+    @settings(max_examples=40)
+    @given(finite_words(), st.integers(0, 6))
+    def test_relabel_delay_commute(self, w, d):
+        up = lambda s: s.upper()
+        assert relabel(delay(w, d), up) == delay(relabel(w, up), d)
+
+
+class TestIterateOmega:
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=5))
+    def test_iteration_well_behaved(self, ts):
+        w = TimedWord.finite([(i, t) for i, t in enumerate(sorted(ts))])
+        ww = iterate_omega(w)
+        assert ww.is_well_behaved() is Trilean.TRUE
+
+    def test_copies_do_not_interleave(self):
+        w = TimedWord.finite([("x", 0), ("y", 3)])
+        ww = iterate_omega(w)
+        assert ww.take(4) == [("x", 0), ("y", 3), ("x", 4), ("y", 7)]
+
+    def test_explicit_period_spacing(self):
+        w = TimedWord.finite([("x", 0)])
+        ww = iterate_omega(w, period=10)
+        assert [t for _s, t in ww.take(3)] == [0, 10, 20]
+
+    def test_too_small_period_rejected(self):
+        w = TimedWord.finite([("x", 0), ("y", 5)])
+        with pytest.raises(ValueError):
+            iterate_omega(w, period=3)
+
+    def test_infinite_or_empty_rejected(self):
+        with pytest.raises(ValueError):
+            iterate_omega(TimedWord.lasso([], [("x", 1)], 1))
+        with pytest.raises(ValueError):
+            iterate_omega(TimedWord.finite([]))
+
+    def test_each_copy_is_subsequence(self):
+        w = TimedWord.finite([("p", 1), ("q", 2)])
+        ww = iterate_omega(w)
+        window = ww.take(10)
+        assert is_subsequence(w.take(2), window)
+
+
+class TestTapeWordRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(finite_words(max_size=5))
+    def test_tape_delivers_exactly_the_word(self, w):
+        sim = Simulator()
+        tape = InputTape(sim, w)
+        got = []
+
+        def reader(sim):
+            for _ in range(len(w)):
+                pair = yield tape.read()
+                got.append(pair)
+
+        sim.process(reader(sim))
+        sim.run()
+        assert got == w.take(len(w))
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_words(max_size=5))
+    def test_arrival_times_respected(self, w):
+        """Each pair is delivered at exactly its timestamp."""
+        sim = Simulator()
+        tape = InputTape(sim, w)
+        stamps = []
+
+        def reader(sim):
+            for _ in range(len(w)):
+                _pair = yield tape.read()
+                stamps.append(sim.now)
+
+        sim.process(reader(sim))
+        sim.run()
+        assert stamps == [t for _s, t in w.take(len(w))]

@@ -1,0 +1,103 @@
+"""Tests for anytime/approximate query processing (Vrbsky [34])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtdb import (
+    AnytimeEvaluator,
+    DatabaseInstance,
+    DatabaseSchema,
+    Difference,
+    NaturalJoin,
+    NonMonotoneQueryError,
+    Projection,
+    Relation,
+    RelationSchema,
+    Selection,
+    figure2_query,
+    ngc_example,
+)
+
+
+@pytest.fixture
+def evaluator():
+    return AnytimeEvaluator(figure2_query(), ngc_example())
+
+
+class TestGuarantees:
+    def test_subset_guarantee_at_every_budget(self, evaluator):
+        """Vrbsky's certainty property: every partial answer is a
+        subset of the exact one."""
+        exact = evaluator.exact()
+        for budget in range(0, evaluator.total_inputs + 2):
+            ans = evaluator.evaluate(budget)
+            assert ans.tuples <= exact, budget
+
+    def test_monotone_improvement(self, evaluator):
+        sizes = [
+            len(evaluator.evaluate(b).tuples)
+            for b in range(0, evaluator.total_inputs + 1)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_full_budget_is_exact(self, evaluator):
+        ans = evaluator.evaluate(evaluator.total_inputs)
+        assert ans.exhausted
+        assert ans.tuples == evaluator.exact()
+        assert ans.completeness == 1.0
+
+    def test_zero_budget_is_empty(self, evaluator):
+        ans = evaluator.evaluate(0)
+        assert ans.tuples == set()
+        assert ans.completeness == 0.0
+
+    def test_difference_rejected(self):
+        db = ngc_example()
+        q = Difference(Relation("Schedules"), Relation("Schedules"))
+        with pytest.raises(NonMonotoneQueryError):
+            AnytimeEvaluator(q, db)
+
+    def test_negative_budget_rejected(self, evaluator):
+        with pytest.raises(ValueError):
+            evaluator.evaluate(-1)
+
+
+class TestQualityCurve:
+    def test_recall_reaches_one(self, evaluator):
+        curve = evaluator.quality_curve([0, 3, 6, 9, 12])
+        recalls = [rec for _b, _c, rec in curve]
+        assert recalls[-1] == 1.0
+        assert recalls == sorted(recalls)
+
+    def test_recall_empty_exact_is_one(self):
+        db = ngc_example()
+        q = Selection(Relation("Schedules"), "City", "=", "Nowhere")
+        ev = AnytimeEvaluator(q, db)
+        assert ev.evaluate(1).recall_against(ev.exact()) == 1.0
+
+
+class TestRoundRobin:
+    def test_budget_spread_across_relations(self):
+        """Join queries need tuples from both sides early; round-robin
+        consumption gives joins a chance at small budgets."""
+        ev = AnytimeEvaluator(
+            NaturalJoin(Relation("Exhibitions"), Relation("Schedules")),
+            ngc_example(),
+        )
+        ans = ev.evaluate(4)  # 2 from each relation
+        assert ans.consumed == 4
+        # with 2 exhibitions + 2 schedules consumed, a match can exist
+        assert isinstance(ans.tuples, set)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=0, max_size=12))
+    def test_subset_property_random_instances(self, rows):
+        rs = RelationSchema("R", ("A", "B"))
+        db = DatabaseInstance(DatabaseSchema([rs]))
+        for row in rows:
+            db.insert("R", row)
+        q = Projection(Selection(Relation("R"), "A", ">=", 2), ("B",))
+        ev = AnytimeEvaluator(q, db)
+        exact = ev.exact()
+        for b in range(0, len(rows) + 1, max(1, len(rows) // 3 or 1)):
+            assert ev.evaluate(b).tuples <= exact

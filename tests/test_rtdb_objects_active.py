@@ -1,0 +1,274 @@
+"""Tests for §5.1.2: image/derived/invariant objects, consistency, and
+the active-database rule engine."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.rtdb import (
+    DBEvent,
+    DerivedObject,
+    FiringMode,
+    ImageObject,
+    InvariantObject,
+    Rule,
+    RuleEngine,
+    absolutely_consistent,
+    age,
+    dispersion,
+    relatively_consistent,
+)
+
+
+class TestImageObject:
+    def test_sampling_and_value(self):
+        o = ImageObject("temp", period=5)
+        o.sample(20, 0)
+        o.sample(25, 5)
+        assert o.value() == 25
+        assert o.timestamp() == 5
+
+    def test_value_at_snapshot(self):
+        o = ImageObject("temp", period=5)
+        o.sample(20, 0)
+        o.sample(25, 5)
+        o.sample(30, 10)
+        assert o.value_at(0) == 20
+        assert o.value_at(7) == 25
+        assert o.value_at(100) == 30
+
+    def test_out_of_order_sampling_rejected(self):
+        o = ImageObject("x", period=1)
+        o.sample(1, 10)
+        with pytest.raises(ValueError):
+            o.sample(2, 5)
+
+    def test_unsampled_reads_rejected(self):
+        o = ImageObject("x", period=1)
+        with pytest.raises(ValueError):
+            o.value()
+        with pytest.raises(ValueError):
+            o.value_at(0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            ImageObject("x", period=0)
+
+
+class TestDerivedObject:
+    def test_timestamp_is_oldest_source(self):
+        a = ImageObject("a", 1)
+        b = ImageObject("b", 1)
+        a.sample(1, 3)
+        b.sample(2, 9)
+        d = DerivedObject("sum", [a, b], lambda x, y: x + y)
+        assert d.timestamp() == 3  # oldest valid time, per the paper
+        assert d.value() == 3
+
+    def test_recompute_caches(self):
+        a = ImageObject("a", 1)
+        a.sample(1, 0)
+        d = DerivedObject("twice", [a], lambda x: 2 * x)
+        d.recompute(now=0)
+        a.sample(10, 5)
+        assert d.value() == 2  # cached
+        d.recompute(now=5)
+        assert d.value() == 20
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            DerivedObject("d", [], lambda: 0)
+
+
+class TestConsistency:
+    def _objs(self):
+        a = ImageObject("a", 1)
+        b = ImageObject("b", 1)
+        a.sample(0, 8)
+        b.sample(0, 5)
+        return a, b
+
+    def test_age(self):
+        a, _b = self._objs()
+        assert age(a, now=10) == 2
+
+    def test_invariant_age_is_zero(self):
+        v = InvariantObject("unit", "m")
+        assert age(v, now=99) == 0
+
+    def test_dispersion(self):
+        a, b = self._objs()
+        assert dispersion(a, b, now=10) == 3
+
+    def test_absolute_consistency_threshold(self):
+        a, b = self._objs()
+        assert absolutely_consistent([a, b], now=10, threshold=5)
+        assert not absolutely_consistent([a, b], now=10, threshold=4)
+
+    def test_relative_consistency_threshold(self):
+        a, b = self._objs()
+        assert relatively_consistent([a, b], now=10, threshold=3)
+        assert not relatively_consistent([a, b], now=10, threshold=2)
+
+
+class TestRuleEngine:
+    def _engine(self):
+        sim = Simulator()
+        return sim, RuleEngine(sim, context={})
+
+    def test_immediate_firing(self):
+        sim, engine = self._engine()
+        fired = []
+        engine.add_rule(
+            Rule(
+                "r",
+                "evt",
+                condition=lambda e, c: True,
+                action=lambda e, c: fired.append(e.attr("x")),
+                mode=FiringMode.IMMEDIATE,
+            )
+        )
+        engine.raise_event(DBEvent.make("evt", x=42))
+        assert fired == [42]
+
+    def test_condition_gates_firing(self):
+        sim, engine = self._engine()
+        fired = []
+        engine.add_rule(
+            Rule(
+                "r",
+                "evt",
+                condition=lambda e, c: e.attr("x") > 10,
+                action=lambda e, c: fired.append(e.attr("x")),
+            )
+        )
+        engine.raise_event(DBEvent.make("evt", x=5))
+        engine.raise_event(DBEvent.make("evt", x=15))
+        assert fired == [15]
+
+    def test_deferred_waits_for_commit(self):
+        sim, engine = self._engine()
+        fired = []
+        engine.add_rule(
+            Rule(
+                "r",
+                "evt",
+                condition=lambda e, c: True,
+                action=lambda e, c: fired.append("fired"),
+                mode=FiringMode.DEFERRED,
+            )
+        )
+        engine.begin()
+        engine.raise_event(DBEvent.make("evt"))
+        assert fired == []
+        engine.commit()
+        assert fired == ["fired"]
+
+    def test_deferred_without_txn_degrades_to_immediate(self):
+        sim, engine = self._engine()
+        fired = []
+        engine.add_rule(
+            Rule(
+                "r", "evt",
+                condition=lambda e, c: True,
+                action=lambda e, c: fired.append(1),
+                mode=FiringMode.DEFERRED,
+            )
+        )
+        engine.raise_event(DBEvent.make("evt"))
+        assert fired == [1]
+
+    def test_concurrent_spawns_process_with_duration(self):
+        sim, engine = self._engine()
+        fired = []
+        engine.add_rule(
+            Rule(
+                "r", "evt",
+                condition=lambda e, c: True,
+                action=lambda e, c: fired.append(sim.now),
+                mode=FiringMode.CONCURRENT,
+                duration=7,
+            )
+        )
+        engine.raise_event(DBEvent.make("evt"))
+        assert fired == []  # not yet: runs concurrently
+        sim.run()
+        assert fired == [7]
+
+    def test_cascading_events(self):
+        """An action may generate events that trigger other rules."""
+        sim, engine = self._engine()
+        log = []
+        engine.add_rule(
+            Rule(
+                "first", "a",
+                condition=lambda e, c: True,
+                action=lambda e, c: (log.append("a"), [DBEvent.make("b")])[1],
+            )
+        )
+        engine.add_rule(
+            Rule(
+                "second", "b",
+                condition=lambda e, c: True,
+                action=lambda e, c: log.append("b"),
+            )
+        )
+        engine.raise_event(DBEvent.make("a"))
+        assert log == ["a", "b"]
+
+    def test_cascade_limit_guards_nontermination(self):
+        sim, engine = self._engine()
+        engine.cascade_limit = 10
+        engine.add_rule(
+            Rule(
+                "loop", "a",
+                condition=lambda e, c: True,
+                action=lambda e, c: [DBEvent.make("a")],
+            )
+        )
+        with pytest.raises(RuntimeError):
+            engine.raise_event(DBEvent.make("a"))
+
+    def test_nested_transactions_rejected(self):
+        sim, engine = self._engine()
+        engine.begin()
+        with pytest.raises(RuntimeError):
+            engine.begin()
+
+    def test_commit_without_begin_rejected(self):
+        sim, engine = self._engine()
+        with pytest.raises(RuntimeError):
+            engine.commit()
+
+    def test_paper_monthchange_rule(self):
+        """The paper's example rule: on MonthChange if true then
+        del(Date < CurrentDate)."""
+        from repro.rtdb import ngc_example
+
+        sim = Simulator()
+        db = ngc_example()
+        engine = RuleEngine(sim, context=db)
+
+        months = ["January", "February", "March", "April", "May", "June",
+                  "July", "August", "September", "October", "November",
+                  "December"]
+
+        def as_key(date):
+            month, year = date.split()
+            return (int(year), months.index(month))
+
+        def del_stale(event, db):
+            current = as_key(event.attr("current"))
+            stale = [
+                row.values
+                for row in db["Schedules"]
+                if as_key(row.values[2]) < current
+            ]
+            for values in stale:
+                db.delete("Schedules", values)
+
+        engine.add_rule(
+            Rule("del-stale", "MonthChange", lambda e, c: True, del_stale)
+        )
+        engine.raise_event(DBEvent.make("MonthChange", current="November 1999"))
+        # the October 1999 exhibition is stale and gets deleted
+        assert len(db["Schedules"]) == 2

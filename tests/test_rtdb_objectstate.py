@@ -1,0 +1,61 @@
+"""Tests for the acceptor-side database state (repro.rtdb.queries)."""
+
+import pytest
+
+from repro.rtdb.queries import ObjectState, QueryRegistry
+
+
+class TestObjectState:
+    def test_invariant_lookup(self):
+        st = ObjectState(invariants={"unit": "c"})
+        assert st.value("unit", {}) == "c"
+
+    def test_image_lookup(self):
+        st = ObjectState(images={"temp": 21}, image_stamp={"temp": 9})
+        assert st.value("temp", {}) == 21
+
+    def test_derived_recomputes_through_sources(self):
+        st = ObjectState(
+            images={"a": 3, "b": 4},
+            derived_sources={"sum": ("a", "b")},
+        )
+        assert st.value("sum", {"sum": lambda x, y: x + y}) == 7
+
+    def test_derived_chains(self):
+        """Derived objects may depend on other derived objects."""
+        st = ObjectState(
+            images={"x": 2},
+            derived_sources={"d1": ("x",), "d2": ("d1",)},
+        )
+        derivations = {"d1": lambda v: v * 10, "d2": lambda v: v + 1}
+        assert st.value("d2", derivations) == 21
+
+    def test_unknown_object_raises(self):
+        st = ObjectState()
+        with pytest.raises(KeyError):
+            st.value("ghost", {})
+
+    def test_invariants_shadow_nothing(self):
+        """Lookup order is invariants → images → derived; names are
+        disjoint by construction, so any hit is unambiguous."""
+        st = ObjectState(
+            invariants={"k": 1},
+            images={"m": 2},
+            derived_sources={"d": ("m",)},
+        )
+        assert st.value("k", {}) == 1
+        assert st.value("m", {}) == 2
+        assert st.value("d", {"d": lambda v: -v}) == -2
+
+
+class TestQueryRegistry:
+    def test_default_eval_cost(self):
+        reg = QueryRegistry(queries={"q": lambda st: set()})
+        assert reg.eval_cost("q", ObjectState()) == 1
+
+    def test_queries_receive_state(self):
+        reg = QueryRegistry(
+            queries={"names": lambda st: {(n,) for n in st.images}}
+        )
+        st = ObjectState(images={"s1": 0, "s2": 1})
+        assert reg.queries["names"](st) == {("s1",), ("s2",)}

@@ -1,0 +1,182 @@
+"""Tests for the Definition 5.1 recognition acceptors (L_aq, L_pq) and
+the running RealTimeDatabase integration."""
+
+import pytest
+
+from repro.deadlines import DeadlineKind, DeadlineSpec, HyperbolicUsefulness
+from repro.kernel import Simulator
+from repro.rtdb import (
+    FiringMode,
+    QueryRegistry,
+    RealTimeDatabase,
+    RecognitionInstance,
+    decide_aperiodic,
+    serve_periodic,
+)
+
+
+REGISTRY = QueryRegistry(
+    queries={
+        "hot": lambda st: {(n,) for n, v in st.images.items() if v >= 25},
+        "all": lambda st: {(n,) for n in st.images},
+    },
+    derivations={"hi": lambda a: a + 1},
+    eval_cost=lambda name, st: 2,
+)
+
+
+def instance(spec, issue_time=12, temp=lambda t: 30):
+    return RecognitionInstance(
+        invariants={"unit": "c"},
+        derived={"hi": ("temp",)},
+        images={"temp": (3, temp)},
+        query_name="hot",
+        issue_time=issue_time,
+        spec=spec,
+    )
+
+
+class TestAperiodicAcceptor:
+    def test_member_accepted(self):
+        inst = instance(DeadlineSpec(DeadlineKind.NONE))
+        report = decide_aperiodic(REGISTRY, inst, ("temp",), horizon=3000)
+        assert report.accepted
+
+    def test_nonmember_rejected(self):
+        inst = instance(DeadlineSpec(DeadlineKind.NONE))
+        report = decide_aperiodic(REGISTRY, inst, ("nothot",), horizon=3000)
+        assert not report.accepted
+
+    def test_query_sees_state_at_issue_time(self):
+        """Image value crosses the threshold at t=9; a query at t=12
+        sees the hot value, a query whose images never reach it fails."""
+        warm = instance(DeadlineSpec(DeadlineKind.NONE), temp=lambda t: 20 + t)
+        report = decide_aperiodic(REGISTRY, warm, ("temp",), horizon=3000)
+        assert report.accepted
+        cold = instance(DeadlineSpec(DeadlineKind.NONE), temp=lambda t: 10)
+        report2 = decide_aperiodic(REGISTRY, cold, ("temp",), horizon=3000)
+        assert not report2.accepted
+
+    def test_firm_deadline_met(self):
+        inst = instance(DeadlineSpec(DeadlineKind.FIRM, t_d=10))
+        report = decide_aperiodic(REGISTRY, inst, ("temp",), horizon=3000)
+        assert report.accepted
+
+    def test_firm_deadline_missed(self):
+        slow = QueryRegistry(
+            queries=REGISTRY.queries,
+            derivations=REGISTRY.derivations,
+            eval_cost=lambda name, st: 50,
+        )
+        inst = instance(DeadlineSpec(DeadlineKind.FIRM, t_d=10))
+        report = decide_aperiodic(slow, inst, ("temp",), horizon=3000)
+        assert not report.accepted
+
+    def test_soft_deadline_grace(self):
+        """Completion after t_d but while usefulness ≥ min: accepted."""
+        slowish = QueryRegistry(
+            queries=REGISTRY.queries,
+            derivations=REGISTRY.derivations,
+            eval_cost=lambda name, st: 6,
+        )
+        spec = DeadlineSpec(
+            DeadlineKind.SOFT,
+            t_d=4,
+            usefulness=HyperbolicUsefulness(max_value=8, t_d=16),
+            min_acceptable=1,
+        )
+        inst = instance(spec)
+        report = decide_aperiodic(slowish, inst, ("temp",), horizon=3000)
+        assert report.accepted
+
+    def test_soft_deadline_exhausted(self):
+        very_slow = QueryRegistry(
+            queries=REGISTRY.queries,
+            derivations=REGISTRY.derivations,
+            eval_cost=lambda name, st: 40,
+        )
+        spec = DeadlineSpec(
+            DeadlineKind.SOFT,
+            t_d=4,
+            usefulness=HyperbolicUsefulness(max_value=8, t_d=16),
+            min_acceptable=2,
+        )
+        inst = instance(spec)
+        report = decide_aperiodic(very_slow, inst, ("temp",), horizon=3000)
+        assert not report.accepted
+
+
+class TestPeriodicAcceptor:
+    def test_all_served_counts_f_per_invocation(self):
+        inst = instance(DeadlineSpec(DeadlineKind.NONE), issue_time=10)
+        report = serve_periodic(
+            REGISTRY, inst, candidates=lambda i: ("temp",), period=20, horizon=210
+        )
+        assert report.f_count == 10  # invocations at 10, 30, …, 190, 210... within horizon
+
+    def test_failure_stops_serving(self):
+        """A failed invocation imposes s_r: no further f's."""
+        inst = instance(DeadlineSpec(DeadlineKind.NONE), issue_time=10)
+        report = serve_periodic(
+            REGISTRY,
+            inst,
+            candidates=lambda i: ("temp",) if i < 3 else ("bogus",),
+            period=20,
+            horizon=300,
+        )
+        assert report.f_count == 2
+
+
+class TestRealTimeDatabaseIntegration:
+    def _db(self, mode=FiringMode.DEFERRED):
+        sim = Simulator()
+        db = RealTimeDatabase(sim, lambda name, t: t * 2, derived_mode=mode)
+        db.add_image("sensor", period=4)
+        db.add_invariant("unit", "c")
+        db.add_derived("double", ["sensor"], lambda v: v * 2)
+        return sim, db
+
+    def test_sampling_updates_images(self):
+        sim, db = self._db()
+        db.start_sampling(horizon=20)
+        sim.run(until=20)
+        assert db.images["sensor"].value() == 40
+        assert len(db.images["sensor"].history) == 6  # t = 0,4,...,20
+
+    def test_derived_refresh_follows_sampling(self):
+        sim, db = self._db()
+        db.start_sampling(horizon=20)
+        sim.run(until=20)
+        assert db.derived["double"].value() == 80
+
+    def test_archival_snapshot(self):
+        sim, db = self._db()
+        db.start_sampling(horizon=20)
+        sim.run(until=20)
+        assert db.archival_snapshot(9)["sensor"] == 16  # sample at t=8
+
+    def test_consistency_depends_on_period(self):
+        sim, db = self._db()
+        db.start_sampling(horizon=21)
+        sim.run(until=21)
+        # last sample at t=20, age 1 at t=21
+        report = db.check_consistency(absolute_threshold=1, relative_threshold=0)
+        assert report.absolute and report.relative
+        sim2 = Simulator()
+        db2 = RealTimeDatabase(sim2, lambda n, t: 0)
+        db2.add_image("slow", period=50)
+        db2.start_sampling(horizon=60)
+        sim2.run(until=99)
+        late = db2.check_consistency(absolute_threshold=10, relative_threshold=10)
+        assert not late.absolute
+
+    def test_double_start_rejected(self):
+        sim, db = self._db()
+        db.start_sampling(horizon=10)
+        with pytest.raises(RuntimeError):
+            db.start_sampling(horizon=10)
+
+    def test_unknown_source_object_rejected(self):
+        sim, db = self._db()
+        with pytest.raises(KeyError):
+            db.add_derived("bad", ["nope"], lambda v: v)

@@ -1,0 +1,188 @@
+"""Tests for the recognition problem (eq. 5) and the §5.1.3 timed-word
+constructions (db_0, db_k, db_B, aq, pq, Lemma 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deadlines import DeadlineKind, DeadlineSpec, HyperbolicUsefulness
+from repro.rtdb import (
+    SEP,
+    aq_word,
+    db0_word,
+    db_B_word,
+    dbk_word,
+    figure2_query,
+    lemma51_bound,
+    ngc_example,
+    pq_word,
+    recognition_word,
+    recognizes,
+)
+from repro.rtdb.recognition import decode_recognition_word
+from repro.words import Trilean
+
+
+class TestClassicalRecognition:
+    def test_positive_instance(self):
+        db = ngc_example()
+        word = recognition_word(db, ("Schaefer", "St. Catharines"))
+        assert recognizes(figure2_query(), db.schema, word)
+
+    def test_negative_instance(self):
+        db = ngc_example()
+        word = recognition_word(db, ("Thompson", "Mexico City"))
+        assert not recognizes(figure2_query(), db.schema, word)
+
+    def test_malformed_word_rejected_not_crashing(self):
+        db = ngc_example()
+        assert not recognizes(figure2_query(), db.schema, ["garbage"])
+
+    def test_roundtrip_decoding(self):
+        db = ngc_example()
+        word = recognition_word(db, ("A", "B"))
+        decoded_db, candidate = decode_recognition_word(word, db.schema)
+        assert candidate == ("A", "B")
+        assert decoded_db == db
+
+    def test_word_has_single_separator(self):
+        db = ngc_example()
+        word = recognition_word(db, ("x",))
+        assert word.count(SEP) == 1
+
+
+class TestDbWords:
+    def test_db0_structure(self):
+        w = db0_word({"unit": "c"}, {"hi": ("temp",)})
+        syms = [s for s, t in w.take(len(w))]
+        times = [t for _s, t in w.take(len(w))]
+        assert all(t == 0 for t in times)
+        assert syms.count(SEP) >= 2  # block terminators + 2 bare seps
+
+    def test_dbk_block_times_are_period_multiples(self):
+        w = dbk_word("temp", period=4, values=lambda t: t)
+        pairs = w.take(40)
+        times = {t for _s, t in pairs}
+        assert times <= {0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40}
+
+    def test_dbk_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            dbk_word("x", period=0, values=lambda t: 0)
+
+    def test_db_B_merges_phases_in_order(self):
+        """Eq. (6): invariants, then derived, then image samples."""
+        w = db_B_word({"u": 1}, {"d": ("img",)}, {"img": (3, lambda t: t)})
+        syms = [s for s, _t in w.take(60)]
+        # find the two bare separators ending phase 0 and phase 1
+        text_syms = []
+        for s in syms:
+            text_syms.append(s[1] if isinstance(s, tuple) else s)
+        joined = "".join(text_syms)
+        assert joined.index("u=1") < joined.index("d<-img") < joined.index("img=0")
+
+
+class TestAqWords:
+    def test_no_deadline_shape(self):
+        w = aq_word("q", ("x",), issue_time=10, spec=DeadlineSpec(DeadlineKind.NONE))
+        pairs = w.take(25)
+        header = [p for p in pairs if p[1] == 10]
+        assert header, "header symbols at the issue time"
+        assert ("wq", 10) in [s for s, _t in pairs]
+        assert w.is_well_behaved() is Trilean.TRUE
+
+    def test_firm_deadline_markers(self):
+        spec = DeadlineSpec(DeadlineKind.FIRM, t_d=5)
+        w = aq_word("q", ("x",), issue_time=10, spec=spec)
+        syms = [s for s, _t in w.take(60)]
+        dq = ("dq", 10)
+        assert dq in syms
+        at = syms.index(dq)
+        assert syms[at + 1] == 0  # eq. (7): firm usefulness is 0
+
+    def test_firm_deadline_at_absolute_time(self):
+        """Deadline occurs at t + t_d (the paper's relative deadline)."""
+        spec = DeadlineSpec(DeadlineKind.FIRM, t_d=5)
+        w = aq_word("q", ("x",), issue_time=10, spec=spec)
+        first_dq_time = next(t for s, t in w.take(60) if s == ("dq", 10))
+        assert first_dq_time == 15
+
+    def test_soft_deadline_usefulness_decays(self):
+        spec = DeadlineSpec(
+            DeadlineKind.SOFT,
+            t_d=3,
+            usefulness=HyperbolicUsefulness(max_value=6, t_d=13),
+            min_acceptable=2,
+        )
+        w = aq_word("q", ("x",), issue_time=10, spec=spec)
+        pairs = w.take(60)
+        values = [s for s, _t in pairs if isinstance(s, int) and s != 2]
+        # skip header min_acc (2); the sequence of u-values is non-increasing
+        u_vals = [s for s, _t in pairs if isinstance(s, int)][1:]
+        assert u_vals == sorted(u_vals, reverse=True)
+
+    def test_min_acceptable_is_first_symbol(self):
+        spec = DeadlineSpec(DeadlineKind.FIRM, t_d=5, min_acceptable=7)
+        w = aq_word("q", ("x",), issue_time=4, spec=spec)
+        assert w[0] == (7, 4)
+
+
+class TestPqWordsAndLemma51:
+    def _pq(self, period=10, t=5):
+        return pq_word(
+            "q",
+            lambda i: (f"s{i}",),
+            issue_time=t,
+            period=period,
+            spec_for=lambda i: DeadlineSpec(DeadlineKind.FIRM, t_d=4),
+        )
+
+    def test_monotone_times(self):
+        w = self._pq()
+        times = [t for _s, t in w.take(300)]
+        assert times == sorted(times)
+
+    def test_headers_of_each_invocation_present(self):
+        w = self._pq(period=8, t=3)
+        pairs = w.take(400)
+        times = [t for s, t in pairs if isinstance(s, tuple) and s[0] == "q"]
+        assert 3 in times and 11 in times and 19 in times
+
+    def test_earlier_invocation_wins_ties(self):
+        """At a shared chronon, query i's symbols precede query i+1's
+        (left-to-right Definition 3.5 concatenation)."""
+        w = self._pq(period=4, t=2)
+        pairs = w.take(200)
+        # at invocation 2's issue time (6), markers of invocation 1
+        # (wq/dq tagged 2) must appear before invocation 2's header
+        at6 = [s for s, t in pairs if t == 6]
+        tag1 = [i for i, s in enumerate(at6) if isinstance(s, tuple) and s[0] in ("wq", "dq") and s[1] == 2]
+        hdr2 = [i for i, s in enumerate(at6) if isinstance(s, tuple) and s[0] == "q"]
+        if tag1 and hdr2:
+            assert max(tag1) < min(hdr2)
+
+    def test_progress_lemma51(self):
+        """Lemma 5.1: the word is well-behaved — for every k a finite
+        index k′ has τ_{k′} ≥ k, and k′ respects the paper's bound."""
+        w = self._pq(period=10, t=5)
+        ts = w.time_sequence
+        header_len = len(repr(("s1",))) + len("q@5") + 2 + 1
+        for k in (8, 16, 32, 64):
+            kprime = ts.first_index_reaching(k, horizon=200_000)
+            assert kprime is not None
+            assert kprime <= lemma51_bound(k, 5, 10, header_len + 4)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            pq_word("q", lambda i: (), 0, 0, lambda i: DeadlineSpec(DeadlineKind.NONE))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 20), st.integers(0, 10))
+    def test_pq_always_monotone(self, period, t):
+        w = pq_word(
+            "q",
+            lambda i: (i,),
+            issue_time=t,
+            period=period,
+            spec_for=lambda i: DeadlineSpec(DeadlineKind.NONE),
+        )
+        times = [tt for _s, tt in w.take(150)]
+        assert times == sorted(times)

@@ -1,0 +1,216 @@
+"""Tests for the relational model and algebra — §5.1.1, Figures 1–2."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtdb import (
+    DatabaseInstance,
+    DatabaseSchema,
+    Difference,
+    NaturalJoin,
+    Product,
+    Projection,
+    Relation,
+    RelationInstance,
+    RelationSchema,
+    Rename,
+    SchemaError,
+    Selection,
+    Union,
+    figure2_query,
+    ngc_example,
+)
+
+
+class TestSchemas:
+    def test_arity(self):
+        rs = RelationSchema("R", ("A", "B", "C"))
+        assert rs.arity == 3
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_tuple_arity_validated(self):
+        rs = RelationSchema("R", ("A", "B"))
+        inst = RelationInstance(rs)
+        with pytest.raises(SchemaError):
+            inst.add((1,))
+
+    def test_domain_mapping_enforced(self):
+        rs = RelationSchema(
+            "R", ("A",), domains={"A": frozenset({"x", "y"})}
+        )
+        inst = RelationInstance(rs)
+        inst.add(("x",))
+        with pytest.raises(SchemaError):
+            inst.add(("z",))
+
+    def test_database_schema_nonempty(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([])
+
+    def test_duplicate_relation_names_rejected(self):
+        r = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError):
+            DatabaseSchema([r, RelationSchema("R", ("B",))])
+
+
+class TestInstances:
+    def test_set_semantics(self):
+        rs = RelationSchema("R", ("A",))
+        inst = RelationInstance(rs)
+        inst.add((1,))
+        inst.add((1,))
+        assert len(inst) == 1
+
+    def test_contains_and_discard(self):
+        rs = RelationSchema("R", ("A", "B"))
+        inst = RelationInstance(rs, [(1, 2)])
+        assert (1, 2) in inst
+        inst.discard((1, 2))
+        assert (1, 2) not in inst
+
+    def test_copy_independent(self):
+        db = ngc_example()
+        db2 = db.copy()
+        db2.insert("Schedules", ("Kingston", "Terre Sauvage", "December 1999"))
+        assert db.total_rows() + 1 == db2.total_rows()
+
+
+class TestFigure1:
+    def test_schema_matches_paper(self):
+        db = ngc_example()
+        assert db.schema.names() == ["Exhibitions", "Schedules"]
+        assert db["Exhibitions"].schema.sort == ("Title", "Description", "Artist")
+        assert db["Exhibitions"].schema.arity == 3
+
+    def test_cardinalities_match_paper(self):
+        """Fig. 1: 6 Exhibitions tuples, 3 Schedules tuples."""
+        db = ngc_example()
+        assert len(db["Exhibitions"]) == 6
+        assert len(db["Schedules"]) == 3
+
+    def test_sample_tuples(self):
+        db = ngc_example()
+        assert ("Painter of the Soil", "Works on Paper", "Schaefer") in db["Exhibitions"]
+        assert ("Mexico City", "Terre Sauvage", "October 1999") in db["Schedules"]
+
+
+class TestFigure2:
+    def test_query_reproduces_figure_2(self):
+        """The paper's query answer, tuple for tuple."""
+        result = figure2_query()(ngc_example())
+        assert {r.values for r in result} == {
+            ("Schaefer", "St. Catharines"),
+            ("Aelbrecht", "Hamilton"),
+            ("Dieric", "Hamilton"),
+        }
+
+    def test_result_sort(self):
+        result = figure2_query()(ngc_example())
+        assert result.schema.sort == ("Artist", "City")
+
+
+class TestAlgebraOperators:
+    @pytest.fixture
+    def db(self):
+        return ngc_example()
+
+    def test_selection(self, db):
+        q = Selection(Relation("Schedules"), "City", "=", "Hamilton")
+        assert len(q(db)) == 1
+
+    def test_selection_contains(self, db):
+        q = Selection(Relation("Schedules"), "Date", "contains", "1999")
+        assert len(q(db)) == 3
+
+    def test_selection_unknown_attr(self, db):
+        q = Selection(Relation("Schedules"), "Nope", "=", 1)
+        with pytest.raises(SchemaError):
+            q(db)
+
+    def test_selection_bad_operator(self, db):
+        q = Selection(Relation("Schedules"), "City", "~", 1)
+        with pytest.raises(SchemaError):
+            q(db)
+
+    def test_projection_set_semantics(self, db):
+        q = Projection(Relation("Exhibitions"), ("Title",))
+        assert len(q(db)) == 3  # three distinct titles among 6 rows
+
+    def test_projection_unknown_attr(self, db):
+        with pytest.raises(SchemaError):
+            Projection(Relation("Exhibitions"), ("Nope",))(db)
+
+    def test_natural_join_on_title(self, db):
+        q = NaturalJoin(Relation("Exhibitions"), Relation("Schedules"))
+        joined = q(db)
+        # every Exhibitions row has exactly one Schedules partner
+        assert len(joined) == 6
+        assert set(joined.schema.sort) == {
+            "Title", "Description", "Artist", "City", "Date",
+        }
+
+    def test_join_is_commutative_up_to_sort(self, db):
+        a = NaturalJoin(Relation("Exhibitions"), Relation("Schedules"))(db)
+        b = NaturalJoin(Relation("Schedules"), Relation("Exhibitions"))(db)
+        key = lambda rel: {
+            tuple(sorted(zip(rel.schema.sort, row.values))) for row in rel
+        }
+        assert key(a) == key(b)
+
+    def test_rename(self, db):
+        q = Rename(Relation("Schedules"), (("City", "Location"),))
+        assert q(db).schema.sort == ("Location", "Title", "Date")
+
+    def test_union_and_difference(self, db):
+        nov = Selection(Relation("Schedules"), "Date", "contains", "November")
+        okt = Selection(Relation("Schedules"), "Date", "contains", "October")
+        assert len(Union(nov, okt)(db)) == 3
+        assert len(Difference(Relation("Schedules"), nov)(db)) == 1
+
+    def test_union_incompatible_sorts(self, db):
+        with pytest.raises(SchemaError):
+            Union(Relation("Schedules"), Relation("Exhibitions"))(db)
+
+    def test_product_requires_disjoint_sorts(self, db):
+        with pytest.raises(SchemaError):
+            Product(Relation("Schedules"), Relation("Schedules"))(db)
+
+    def test_product_cardinality(self, db):
+        ren = Rename(
+            Relation("Schedules"),
+            (("City", "C2"), ("Title", "T2"), ("Date", "D2")),
+        )
+        q = Product(Relation("Schedules"), ren)
+        assert len(q(db)) == 9
+
+    def test_selection_projection_commute_when_attr_kept(self, db):
+        """σ then π == π then σ when the selection attribute survives."""
+        a = Projection(
+            Selection(Relation("Schedules"), "City", "=", "Hamilton"),
+            ("City", "Title"),
+        )(db)
+        b = Selection(
+            Projection(Relation("Schedules"), ("City", "Title")),
+            "City", "=", "Hamilton",
+        )(db)
+        assert {r.values for r in a} == {r.values for r in b}
+
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12))
+    def test_union_idempotent_property(self, rows):
+        rs = RelationSchema("R", ("A", "B"))
+        db = DatabaseInstance(DatabaseSchema([rs]))
+        for row in rows:
+            db.insert("R", row)
+        u = Union(Relation("R"), Relation("R"))(db)
+        assert {r.values for r in u} == rows
+
+    @given(st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10))
+    def test_difference_self_is_empty_property(self, rows):
+        rs = RelationSchema("R", ("A", "B"))
+        db = DatabaseInstance(DatabaseSchema([rs]))
+        for row in rows:
+            db.insert("R", row)
+        assert len(Difference(Relation("R"), Relation("R"))(db)) == 0

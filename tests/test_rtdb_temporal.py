@@ -1,0 +1,145 @@
+"""Tests for temporal databases — §5.1.2: lifespans form a boolean
+algebra of interval unions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtdb import Interval, Lifespan, TemporalRelation
+from repro.rtdb.relational import RelationSchema
+
+
+# strategy: lifespans as unions of small intervals
+def lifespans():
+    return st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 10)),
+        max_size=4,
+    ).map(lambda ps: Lifespan([Interval(lo, lo + w) for lo, w in ps]))
+
+
+class TestInterval:
+    def test_membership(self):
+        iv = Interval(2, 5)
+        assert 2 in iv and 5 in iv and 3 in iv
+        assert 1 not in iv and 6 not in iv
+
+    def test_degenerate_instant(self):
+        iv = Interval(4, 4)
+        assert iv.is_instant and 4 in iv
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 3)
+
+
+class TestLifespanNormalization:
+    def test_overlapping_merge(self):
+        ls = Lifespan([Interval(0, 5), Interval(3, 8)])
+        assert ls.intervals == (Interval(0, 8),)
+
+    def test_adjacent_merge_discrete(self):
+        """[0,2] ∪ [3,5] = [0,5] in discrete time."""
+        ls = Lifespan([Interval(0, 2), Interval(3, 5)])
+        assert ls.intervals == (Interval(0, 5),)
+
+    def test_disjoint_stay_separate(self):
+        ls = Lifespan([Interval(0, 2), Interval(5, 7)])
+        assert len(ls.intervals) == 2
+
+    def test_duration(self):
+        assert Lifespan([Interval(0, 2), Interval(5, 7)]).duration() == 6
+        assert Lifespan.from_(3).duration() == float("inf")
+
+    def test_earliest(self):
+        assert Lifespan([Interval(5, 7), Interval(1, 2)]).earliest() == 1
+        assert Lifespan.empty().earliest() is None
+
+
+class TestBooleanAlgebra:
+    def test_union(self):
+        a = Lifespan.between(0, 3)
+        b = Lifespan.between(10, 12)
+        u = a | b
+        assert 2 in u and 11 in u and 5 not in u
+
+    def test_intersection(self):
+        a = Lifespan.between(0, 10)
+        b = Lifespan.between(5, 15)
+        assert (a & b).intervals == (Interval(5, 10),)
+
+    def test_complement_bounded(self):
+        c = Lifespan.between(3, 5).complement()
+        assert 2 in c and 6 in c and 4 not in c
+        assert c.intervals[-1].hi == float("inf")
+
+    def test_complement_unbounded(self):
+        c = Lifespan.from_(10).complement()
+        assert c.intervals == (Interval(0, 9),)
+
+    def test_difference(self):
+        d = Lifespan.between(0, 10) - Lifespan.between(4, 6)
+        assert d.intervals == (Interval(0, 3), Interval(7, 10))
+
+    def test_always_complement_empty(self):
+        assert Lifespan.always().complement().is_empty()
+        assert Lifespan.empty().complement() == Lifespan.always()
+
+    @given(lifespans())
+    def test_involution(self, ls):
+        assert ls.complement().complement() == ls
+
+    @given(lifespans())
+    def test_excluded_middle(self, ls):
+        assert (ls | ls.complement()) == Lifespan.always()
+        assert (ls & ls.complement()).is_empty()
+
+    @given(lifespans(), lifespans())
+    def test_de_morgan(self, a, b):
+        assert (a | b).complement() == (a.complement() & b.complement())
+        assert (a & b).complement() == (a.complement() | b.complement())
+
+    @given(lifespans(), lifespans())
+    def test_union_commutative_associative_sampled(self, a, b):
+        assert (a | b) == (b | a)
+        assert (a & b) == (b & a)
+
+    @given(lifespans(), lifespans(), st.integers(0, 60))
+    def test_pointwise_semantics(self, a, b, t):
+        assert (t in (a | b)) == (t in a or t in b)
+        assert (t in (a & b)) == (t in a and t in b)
+        assert (t in a.complement()) == (t not in a)
+
+
+class TestTemporalRelation:
+    @pytest.fixture
+    def rel(self):
+        schema = RelationSchema("Readings", ("Sensor", "Value"))
+        tr = TemporalRelation(schema)
+        tr.assert_row(("s1", 20), Lifespan.between(0, 10))
+        tr.assert_row(("s1", 25), Lifespan.from_(11))
+        tr.assert_row(("s2", 7), Lifespan.between(5, 8))
+        return tr
+
+    def test_snapshot_is_instantaneous_instance(self, rel):
+        assert rel.snapshot(6) == [("s1", 20), ("s2", 7)]
+        assert rel.snapshot(12) == [("s1", 25)]
+
+    def test_retract_splits_lifespan(self, rel):
+        rel.retract_row(("s1", 20), Lifespan.between(3, 5))
+        ls = rel.lifespan_of(("s1", 20))
+        assert 2 in ls and 4 not in ls and 6 in ls
+
+    def test_full_retraction_removes_row(self, rel):
+        rel.retract_row(("s2", 7), Lifespan.always())
+        assert len(rel) == 2
+
+    def test_assert_merges_spans(self, rel):
+        rel.assert_row(("s2", 7), Lifespan.between(9, 12))
+        assert rel.lifespan_of(("s2", 7)) == Lifespan.between(5, 12)
+
+    def test_schema_validated(self, rel):
+        with pytest.raises(Exception):
+            rel.assert_row(("only-one",), Lifespan.always())

@@ -1,0 +1,196 @@
+"""Tests for Definition 3.5 concatenation and Definition 3.6 closure.
+
+The property-based block checks the three defining clauses on random
+finite operands: the result is a timed word (monotone), both operands
+embed as subsequences (item 1), equal-time runs stay contiguous in
+operand order (items 2–3), and the merge is an exact interleaving.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.words import (
+    ConcatUndefined,
+    TimedWord,
+    Trilean,
+    complementary_split,
+    concat,
+    concat_many,
+    is_subsequence,
+    naive_concat,
+)
+from repro.words.concat import _functional_merge
+
+
+def finite_words(alphabet="ab", max_size=8):
+    return st.lists(
+        st.tuples(st.sampled_from(alphabet), st.integers(0, 12)),
+        min_size=0,
+        max_size=max_size,
+    ).map(lambda ps: TimedWord.finite(sorted(ps, key=lambda p: p[1])))
+
+
+class TestFiniteConcat:
+    def test_merge_orders_by_time(self):
+        a = TimedWord.finite([("a", 0), ("b", 5)])
+        b = TimedWord.finite([("x", 2), ("y", 7)])
+        m = concat(a, b)
+        assert m.take(4) == [("a", 0), ("x", 2), ("b", 5), ("y", 7)]
+
+    def test_tie_break_first_operand_wins(self):
+        """Item 3: equal arrival times → first word's symbol precedes."""
+        a = TimedWord.finite([("a", 5)])
+        b = TimedWord.finite([("b", 5)])
+        assert concat(a, b).take(2) == [("a", 5), ("b", 5)]
+        assert concat(b, a).take(2) == [("b", 5), ("a", 5)]
+
+    def test_equal_time_runs_stay_contiguous(self):
+        """Item 2: a same-time subword of one operand stays a subword."""
+        a = TimedWord.finite([("a1", 3), ("a2", 3), ("a3", 3)])
+        b = TimedWord.finite([("b1", 3)])
+        m = concat(a, b)
+        assert m.take(4) == [("a1", 3), ("a2", 3), ("a3", 3), ("b1", 3)]
+
+    def test_empty_operands(self):
+        a = TimedWord.finite([])
+        b = TimedWord.finite([("x", 1)])
+        assert concat(a, b) == b
+        assert concat(b, a) == b
+
+    @settings(max_examples=200)
+    @given(finite_words(), finite_words("xy"))
+    def test_definition_35_clauses(self, a, b):
+        m = concat(a, b)
+        pairs = m.take(len(a) + len(b))
+        # result is a timed word
+        assert m.is_valid() is not Trilean.FALSE
+        # both operands are subsequences (item 1)
+        assert is_subsequence(a.take(len(a)), pairs)
+        assert is_subsequence(b.take(len(b)), pairs)
+        # exact interleaving: every symbol comes from one operand
+        assert complementary_split(pairs, a.take(len(a)), b.take(len(b)))
+
+    @settings(max_examples=100)
+    @given(finite_words(), finite_words("xy"))
+    def test_concat_is_deterministic(self, a, b):
+        assert concat(a, b) == concat(a, b)
+
+    @settings(max_examples=100)
+    @given(finite_words(), finite_words("xy"))
+    def test_length_additivity(self, a, b):
+        assert len(concat(a, b)) == len(a) + len(b)
+
+
+class TestFiniteInfiniteConcat:
+    def test_finite_into_lasso_prefix(self):
+        fin = TimedWord.finite([("z", 2)])
+        inf = TimedWord.lasso([("h", 0)], [("w", 1)], shift=1)
+        m = concat(fin, inf)
+        assert m.fn is None and not m.is_finite  # still a lasso
+        assert m.take(5) == [("h", 0), ("w", 1), ("z", 2), ("w", 2), ("w", 3)]
+
+    def test_lasso_then_finite(self):
+        inf = TimedWord.lasso([], [("w", 1)], shift=1)
+        fin = TimedWord.finite([("z", 3)])
+        m = concat(inf, fin)
+        # tie at 3 goes to the lasso (first operand)
+        assert m.take(5) == [("w", 1), ("w", 2), ("w", 3), ("z", 3), ("w", 4)]
+
+    def test_result_still_well_behaved(self):
+        fin = TimedWord.finite([("z", 100)])
+        inf = TimedWord.lasso([], [("w", 1)], shift=1)
+        assert concat(fin, inf).is_well_behaved() is Trilean.TRUE
+
+    def test_finite_outlasting_stuck_lasso_undefined(self):
+        """A symbol after infinitely many bounded-time symbols has no
+        position in an ω-word."""
+        fin = TimedWord.finite([("z", 10)])
+        stuck = TimedWord.lasso([], [("w", 5)], shift=0)
+        with pytest.raises(ConcatUndefined):
+            concat(fin, stuck)
+
+    def test_finite_at_stuck_time_is_fine(self):
+        fin = TimedWord.finite([("z", 5)])
+        stuck = TimedWord.lasso([], [("w", 5)], shift=0)
+        m = concat(fin, stuck)
+        assert m.take(3) == [("z", 5), ("w", 5), ("w", 5)]
+
+    @given(finite_words(max_size=5), st.integers(1, 4))
+    def test_finite_lasso_matches_lazy_merge(self, fin, shift):
+        inf = TimedWord.lasso([("h", 0)], [("u", 1), ("v", 2)], shift=shift)
+        exact = concat(fin, inf)
+        lazy = _functional_merge(fin, inf)
+        assert exact.take(40) == lazy.take(40)
+
+
+class TestLassoLassoConcat:
+    def test_commensurable_shifts_give_lasso(self):
+        a = TimedWord.lasso([("p", 0)], [("a", 1)], shift=2)
+        b = TimedWord.lasso([], [("b", 2)], shift=3)
+        m = concat(a, b)
+        assert m.fn is None, "expected an exact lasso result"
+        assert m.shift == 6  # lcm(2, 3)
+
+    def test_matches_lazy_merge_long_prefix(self):
+        a = TimedWord.lasso([("p", 0)], [("a", 1)], shift=2)
+        b = TimedWord.lasso([], [("b", 2)], shift=3)
+        exact = concat(a, b)
+        lazy = _functional_merge(a, b)
+        assert exact.take(200) == lazy.take(200)
+
+    def test_result_well_behaved(self):
+        a = TimedWord.lasso([], [("a", 1)], shift=1)
+        b = TimedWord.lasso([], [("b", 1)], shift=1)
+        assert concat(a, b).is_well_behaved() is Trilean.TRUE
+
+    def test_progressing_with_stuck_undefined(self):
+        a = TimedWord.lasso([], [("a", 1)], shift=1)
+        stuck = TimedWord.lasso([], [("w", 5)], shift=0)
+        with pytest.raises(ConcatUndefined):
+            concat(a, stuck)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_lasso_lasso_always_matches_lazy(self, s1, s2, t1, t2):
+        a = TimedWord.lasso([], [("a", t1)], shift=s1)
+        b = TimedWord.lasso([], [("b", t2)], shift=s2)
+        exact = concat(a, b)
+        lazy = _functional_merge(a, b)
+        assert exact.take(120) == lazy.take(120)
+
+
+class TestConcatMany:
+    def test_left_fold(self):
+        words = [
+            TimedWord.finite([("a", 0)]),
+            TimedWord.finite([("b", 1)]),
+            TimedWord.finite([("c", 2)]),
+        ]
+        assert concat_many(words).take(3) == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_many([])
+
+
+class TestNaiveConcatAblation:
+    """The paper's point: naive concatenation usually breaks
+    monotonicity — this is the E15 ablation in miniature."""
+
+    def test_naive_breaks_monotonicity(self):
+        a = TimedWord.finite([("a", 9)])
+        b = TimedWord.finite([("b", 1)])
+        bad = naive_concat(a, b)
+        assert bad.is_valid() is Trilean.FALSE
+        good = concat(a, b)
+        assert good.is_valid() is Trilean.TRUE
+
+    def test_naive_ok_only_when_presorted(self):
+        a = TimedWord.finite([("a", 1)])
+        b = TimedWord.finite([("b", 5)])
+        assert naive_concat(a, b).is_valid() is Trilean.TRUE
+
+    @settings(max_examples=100)
+    @given(finite_words(max_size=6), finite_words("xy", max_size=6))
+    def test_definition_35_never_fails_where_naive_may(self, a, b):
+        assert concat(a, b).is_valid() is Trilean.TRUE

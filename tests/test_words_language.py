@@ -1,0 +1,185 @@
+"""Tests for timed ω-languages and Theorem 3.3 closure operations."""
+
+import random
+
+import pytest
+
+from repro.words import (
+    FiniteLanguage,
+    KleeneClosure,
+    MembershipUndecidable,
+    PredicateLanguage,
+    TimedWord,
+    Trilean,
+    concat,
+)
+
+
+def w(*pairs):
+    return TimedWord.finite(list(pairs))
+
+
+WB1 = TimedWord.lasso([("a", 0)], [("x", 1)], shift=1)
+WB2 = TimedWord.lasso([("b", 0)], [("y", 1)], shift=1)
+WB3 = TimedWord.lasso([("c", 0)], [("z", 2)], shift=2)
+
+
+@pytest.fixture
+def l12():
+    return FiniteLanguage([WB1, WB2], name="L12")
+
+
+@pytest.fixture
+def l23():
+    return FiniteLanguage([WB2, WB3], name="L23")
+
+
+class TestFiniteLanguage:
+    def test_membership_exact_on_lassos(self, l12):
+        assert l12.contains(WB1)
+        assert l12.contains(TimedWord.lasso([("a", 0), ("x", 1)], [("x", 2)], shift=1))
+        assert not l12.contains(WB3)
+
+    def test_sampling(self, l12):
+        rng = random.Random(0)
+        for _ in range(5):
+            assert l12.contains(l12.sample(rng))
+
+    def test_empty_language_cannot_sample(self):
+        with pytest.raises(MembershipUndecidable):
+            FiniteLanguage([]).sample(random.Random(0))
+
+
+class TestBooleanOps:
+    """Theorem 3.3: closure under ∪, ∩, complement."""
+
+    def test_union(self, l12, l23):
+        u = l12 | l23
+        assert u.contains(WB1) and u.contains(WB3)
+
+    def test_intersection(self, l12, l23):
+        i = l12 & l23
+        assert i.contains(WB2)
+        assert not i.contains(WB1)
+        assert not i.contains(WB3)
+
+    def test_complement(self, l12):
+        c = ~l12
+        assert not c.contains(WB1)
+        assert c.contains(WB3)
+
+    def test_double_complement(self, l12):
+        cc = ~~l12
+        assert cc.contains(WB1) == l12.contains(WB1)
+        assert cc.contains(WB3) == l12.contains(WB3)
+
+    def test_de_morgan_on_samples(self, l12, l23):
+        lhs = ~(l12 | l23)
+        rhs = (~l12) & (~l23)
+        for word in (WB1, WB2, WB3):
+            assert lhs.contains(word) == rhs.contains(word)
+
+    def test_union_preserves_well_behavedness(self, l12, l23):
+        assert (l12 | l23).is_well_behaved_language() is Trilean.TRUE
+
+
+class TestConcatLanguage:
+    def test_membership_on_finite_bases(self):
+        a = FiniteLanguage([w(("a", 0))], name="A")
+        b = FiniteLanguage([w(("b", 1))], name="B")
+        ab = a.concatenate(b)
+        assert ab.contains(w(("a", 0), ("b", 1)))
+        assert not ab.contains(w(("b", 0), ("a", 1)))
+
+    def test_merge_semantics_not_append(self):
+        """Concatenation merges by time: the 'second' word's symbols can
+        precede the first's."""
+        a = FiniteLanguage([w(("a", 9))], name="A")
+        b = FiniteLanguage([w(("b", 1))], name="B")
+        ab = a.concatenate(b)
+        assert ab.contains(w(("b", 1), ("a", 9)))
+
+    def test_predicate_base_membership_undecidable(self):
+        p = PredicateLanguage(lambda word: True, name="P")
+        f = FiniteLanguage([w(("a", 0))])
+        with pytest.raises(MembershipUndecidable):
+            p.concatenate(f).contains(w(("a", 0)))
+
+    def test_sampling_concatenation(self):
+        a = FiniteLanguage([WB1], name="A")
+        b = FiniteLanguage([w(("k", 0))], name="B")
+        lang = b.concatenate(a)
+        rng = random.Random(1)
+        sample = lang.sample(rng)
+        assert sample == concat(w(("k", 0)), WB1)
+
+
+class TestKleeneClosure:
+    """Definition 3.6, including the paper's L⁰ = ∅ convention."""
+
+    def test_l0_is_empty(self):
+        base = FiniteLanguage([w(("a", 0))], name="A")
+        star = KleeneClosure(base)
+        assert isinstance(star.power(0), FiniteLanguage)
+        assert len(star.power(0)) == 0
+
+    def test_star_contains_base(self):
+        base = FiniteLanguage([w(("a", 0))], name="A")
+        star = base.kleene()
+        assert star.contains(w(("a", 0)))
+
+    def test_star_excludes_empty_word(self):
+        """L⁰ = ∅ means ε ∉ L* (unless ε ∈ L)."""
+        base = FiniteLanguage([w(("a", 0))], name="A")
+        assert not base.kleene().contains(w())
+
+    def test_star_contains_powers(self):
+        base = FiniteLanguage([w(("a", 0))], name="A")
+        star = base.kleene(max_power=4)
+        assert star.contains(w(("a", 0), ("a", 0)))
+        assert star.contains(w(("a", 0), ("a", 0), ("a", 0)))
+
+    def test_star_respects_merge_order(self):
+        base = FiniteLanguage([w(("a", 0), ("b", 3))], name="A")
+        star = base.kleene(max_power=3)
+        # L² merges two copies: a a b b (ties: first operand first)
+        assert star.contains(w(("a", 0), ("a", 0), ("b", 3), ("b", 3)))
+        assert not star.contains(w(("a", 0), ("b", 3), ("b", 3), ("a", 4)))
+
+    def test_empty_base_star_empty(self):
+        star = FiniteLanguage([]).kleene()
+        assert not star.contains(w(("a", 0)))
+
+    def test_sampling_star(self):
+        base = FiniteLanguage([w(("a", 0))], name="A")
+        star = base.kleene(max_power=3)
+        rng = random.Random(0)
+        for _ in range(5):
+            sample = star.sample(rng)
+            assert star.contains(sample)
+
+
+class TestPredicateLanguage:
+    def test_predicate_membership(self):
+        lang = PredicateLanguage(
+            lambda word: word.symbol_at(0) == "a", name="starts-a"
+        )
+        assert lang.contains(w(("a", 0), ("b", 1)))
+        assert not lang.contains(w(("b", 0)))
+
+    def test_sampler_used(self):
+        lang = PredicateLanguage(
+            lambda word: True,
+            sampler=lambda rng: w(("s", rng.randint(0, 3))),
+        )
+        sample = lang.sample(random.Random(0))
+        assert sample.symbol_at(0) == "s"
+
+    def test_no_sampler_raises(self):
+        lang = PredicateLanguage(lambda word: True)
+        with pytest.raises(MembershipUndecidable):
+            lang.sample(random.Random(0))
+
+    def test_well_behavedness_check_unknown_without_sampler(self):
+        lang = PredicateLanguage(lambda word: True)
+        assert lang.is_well_behaved_language() is Trilean.UNKNOWN

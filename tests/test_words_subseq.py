@@ -1,0 +1,114 @@
+"""Direct tests for the subsequence machinery (§2, used by Def. 3.5)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.words import (
+    TimedWord,
+    complementary_split,
+    is_subsequence,
+    is_timed_subsequence,
+)
+
+
+class TestIsSubsequence:
+    def test_basic_cases(self):
+        assert is_subsequence("ace", "abcde")
+        assert is_subsequence("", "abc")
+        assert is_subsequence("abc", "abc")
+        assert not is_subsequence("aa", "a")
+        assert not is_subsequence("ba", "ab")
+
+    def test_multiset_respecting(self):
+        assert is_subsequence("aab", "aaab")
+        assert not is_subsequence("aaab", "aab")
+
+    @given(st.text("ab", max_size=8), st.text("ab", max_size=8))
+    def test_greedy_equals_bruteforce(self, small, big):
+        """Greedy matching is complete for the subsequence relation."""
+        def brute(s, b):
+            if len(s) > len(b):
+                return False
+            return any(
+                all(s[i] == b[j] for i, j in enumerate(idxs))
+                for idxs in itertools.combinations(range(len(b)), len(s))
+            )
+
+        assert is_subsequence(small, big) == brute(small, big)
+
+    @given(st.text("abc", max_size=10))
+    def test_reflexive(self, word):
+        assert is_subsequence(word, word)
+
+
+class TestTimedSubsequence:
+    def test_finite_in_finite(self):
+        small = TimedWord.finite([("a", 1), ("c", 5)])
+        big = TimedWord.finite([("a", 1), ("b", 3), ("c", 5)])
+        assert is_timed_subsequence(small, big)
+        assert not is_timed_subsequence(big, small)
+
+    def test_finite_in_lasso(self):
+        small = TimedWord.finite([("w", 2), ("w", 4)])
+        big = TimedWord.lasso([], [("w", 1)], shift=1)
+        assert is_timed_subsequence(small, big)
+
+    def test_finite_not_in_lasso_wrong_times(self):
+        small = TimedWord.finite([("w", 2), ("w", 2)])  # two at time 2
+        big = TimedWord.lasso([], [("w", 1)], shift=1)  # one per chronon
+        assert not is_timed_subsequence(small, big)
+
+    def test_empty_always_subsequence(self):
+        big = TimedWord.lasso([], [("x", 1)], shift=1)
+        assert is_timed_subsequence(TimedWord.finite([]), big)
+
+
+class TestComplementarySplit:
+    def test_valid_interleaving(self):
+        a = [("a", 0), ("a", 2)]
+        b = [("b", 1)]
+        merged = [("a", 0), ("b", 1), ("a", 2)]
+        assert complementary_split(merged, a, b)
+
+    def test_length_mismatch(self):
+        assert not complementary_split([("a", 0)], [("a", 0)], [("b", 1)])
+
+    def test_wrong_symbol_rejected(self):
+        a = [("a", 0)]
+        b = [("b", 1)]
+        assert not complementary_split([("a", 0), ("x", 1)], a, b)
+
+    def test_ambiguous_interleaving_needs_dp(self):
+        """A case where greedy assignment to one operand fails but the
+        DP finds the split: identical symbols in both operands."""
+        a = [("x", 0), ("y", 1)]
+        b = [("x", 0)]
+        merged = [("x", 0), ("x", 0), ("y", 1)]
+        assert complementary_split(merged, a, b)
+        assert complementary_split(merged, b, a)
+
+    def test_order_within_operand_enforced(self):
+        a = [("p", 0), ("q", 1)]
+        merged = [("q", 1), ("p", 0)]
+        assert not complementary_split(merged, a, [])
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.tuples(st.sampled_from("ab"), st.integers(0, 5)), max_size=5),
+        st.lists(st.tuples(st.sampled_from("ab"), st.integers(0, 5)), max_size=5),
+    )
+    def test_any_true_interleaving_accepted(self, a, b):
+        """Zip-style interleavings of the operands always validate."""
+        merged = []
+        ia = ib = 0
+        # deterministic alternation interleaving
+        while ia < len(a) or ib < len(b):
+            if ia < len(a):
+                merged.append(a[ia])
+                ia += 1
+            if ib < len(b):
+                merged.append(b[ib])
+                ib += 1
+        assert complementary_split(merged, a, b)

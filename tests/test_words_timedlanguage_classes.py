@@ -1,0 +1,89 @@
+"""Direct tests for the language combinator classes (names, nesting,
+error paths) that the operator-level tests exercise only implicitly."""
+
+import random
+
+import pytest
+
+from repro.words import (
+    ComplementLanguage,
+    ConcatLanguage,
+    FiniteLanguage,
+    IntersectionLanguage,
+    MembershipUndecidable,
+    PredicateLanguage,
+    TimedLanguage,
+    TimedWord,
+    UnionLanguage,
+)
+
+
+W1 = TimedWord.finite([("a", 0)])
+W2 = TimedWord.finite([("b", 1)])
+LA = FiniteLanguage([W1], name="A")
+LB = FiniteLanguage([W2], name="B")
+
+
+class TestNames:
+    def test_operation_names_compose(self):
+        assert (LA | LB).name == "(A ∪ B)"
+        assert (LA & LB).name == "(A ∩ B)"
+        assert (~LA).name == "¬A"
+        assert LA.concatenate(LB).name == "A·B"
+        assert LA.kleene().name == "(A)*"
+
+    def test_nested_names(self):
+        lang = ~(LA | LB)
+        assert lang.name == "¬(A ∪ B)"
+
+
+class TestAbstractBase:
+    def test_base_contains_undecidable(self):
+        with pytest.raises(MembershipUndecidable):
+            TimedLanguage().contains(W1)
+
+    def test_base_sample_undecidable(self):
+        with pytest.raises(MembershipUndecidable):
+            TimedLanguage().sample(random.Random(0))
+
+
+class TestCombinatorErrorPaths:
+    def test_complement_of_predicate(self):
+        lang = ComplementLanguage(PredicateLanguage(lambda w: len(w) == 1))
+        assert not lang.contains(W1)
+        assert lang.contains(TimedWord.finite([("a", 0), ("b", 1)]))
+
+    def test_intersection_sampler_rejection_exhausts(self):
+        """Sampling an empty intersection raises after bounded tries."""
+        inter = IntersectionLanguage(LA, LB)  # disjoint singletons
+        with pytest.raises(MembershipUndecidable):
+            inter.sample(random.Random(0))
+
+    def test_union_sampler_falls_back(self):
+        """If one side cannot sample, the union samples the other."""
+        no_sampler = PredicateLanguage(lambda w: False, name="P")
+        union = UnionLanguage(no_sampler, LA)
+        # try enough times to hit both branch orders
+        for seed in range(6):
+            w = union.sample(random.Random(seed))
+            assert w == W1
+
+    def test_concat_sampler_gives_up_on_undefined_pairs(self):
+        """If every sampled pair fails to concatenate, sampling raises."""
+        stuck = FiniteLanguage(
+            [TimedWord.lasso([], [("s", 5)], shift=0)], name="stuck"
+        )
+        late = FiniteLanguage([TimedWord.finite([("z", 99)])], name="late")
+        lang = ConcatLanguage(late, stuck)
+        with pytest.raises(MembershipUndecidable):
+            lang.sample(random.Random(0))
+
+    def test_kleene_power_one_is_base(self):
+        star = LA.kleene()
+        p1 = star.power(1)
+        assert p1.contains(W1)
+
+    def test_kleene_membership_requires_finite_base(self):
+        star = PredicateLanguage(lambda w: True).kleene()
+        with pytest.raises(MembershipUndecidable):
+            star.contains(W1)

@@ -1,0 +1,149 @@
+"""Tests for time sequences — Definition 3.1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words import OMEGA, TimeSequence, Trilean
+
+
+# strategy: monotone non-negative integer lists
+monotone_lists = st.lists(st.integers(0, 50), min_size=1, max_size=20).map(
+    lambda xs: sorted(xs)
+)
+
+
+class TestOmega:
+    def test_omega_exceeds_every_int(self):
+        assert OMEGA > 10**18
+        assert not (OMEGA < 10**18)
+        assert OMEGA != 5
+
+    def test_omega_equals_itself(self):
+        assert OMEGA == OMEGA
+        assert OMEGA >= OMEGA and OMEGA <= OMEGA
+
+
+class TestFinite:
+    def test_finite_basics(self):
+        ts = TimeSequence.finite([0, 1, 1, 3])
+        assert len(ts) == 4
+        assert ts.length == 4
+        assert list(ts) == [0, 1, 1, 3]
+
+    def test_finite_is_monotone(self):
+        assert TimeSequence.finite([0, 1, 2]).is_monotone() is Trilean.TRUE
+        assert TimeSequence.finite([2, 1]).is_monotone() is Trilean.FALSE
+
+    def test_finite_never_well_behaved(self):
+        """The paper: a well-behaved time sequence is always infinite."""
+        assert TimeSequence.finite([0, 1, 2]).is_well_behaved() is Trilean.FALSE
+
+    def test_negative_values_not_monotone(self):
+        assert TimeSequence.finite([-1, 0]).is_monotone() is Trilean.FALSE
+
+    def test_index_out_of_range(self):
+        ts = TimeSequence.finite([1, 2])
+        with pytest.raises(IndexError):
+            ts[5]
+        with pytest.raises(IndexError):
+            ts[-1]
+
+    @given(monotone_lists)
+    def test_monotone_lists_are_monotone(self, xs):
+        assert TimeSequence.finite(xs).is_monotone() is Trilean.TRUE
+
+
+class TestLasso:
+    def test_lasso_indexing(self):
+        ts = TimeSequence.lasso(prefix=[0, 0], loop=[1, 2], shift=3)
+        # prefix 0,0 then 1,2, 4,5, 7,8, ...
+        assert ts.take(8) == [0, 0, 1, 2, 4, 5, 7, 8]
+
+    def test_lasso_length_is_omega(self):
+        ts = TimeSequence.lasso([], [1], 1)
+        assert ts.length == OMEGA
+        with pytest.raises(TypeError):
+            len(ts)
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSequence.lasso([0], [], 1)
+
+    def test_positive_shift_is_well_behaved(self):
+        ts = TimeSequence.lasso([0], [1], shift=1)
+        assert ts.is_well_behaved() is Trilean.TRUE
+
+    def test_zero_shift_not_well_behaved(self):
+        """Bounded timestamps violate progress."""
+        ts = TimeSequence.lasso([0], [5], shift=0)
+        assert ts.is_well_behaved() is Trilean.FALSE
+        assert ts.is_monotone() is Trilean.TRUE
+
+    def test_nonmonotone_loop_detected(self):
+        ts = TimeSequence.lasso([], [3, 1], shift=5)
+        assert ts.is_monotone() is Trilean.FALSE
+
+    def test_wraparound_monotonicity_detected(self):
+        # loop [1, 9] with shift 2: 1,9, 3,11 -> 9 > 3 breaks monotone
+        ts = TimeSequence.lasso([], [1, 9], shift=2)
+        assert ts.is_monotone() is Trilean.FALSE
+
+    def test_arithmetic_constructor(self):
+        ts = TimeSequence.arithmetic(1, 1, offset_len=3, offset_value=0)
+        assert ts.take(7) == [0, 0, 0, 1, 2, 3, 4]
+        assert ts.is_well_behaved() is Trilean.TRUE
+
+    @given(st.lists(st.integers(0, 10), min_size=0, max_size=5).map(sorted),
+           st.integers(1, 5), st.integers(1, 4))
+    def test_lasso_with_progress_always_well_behaved(self, prefix, start, shift):
+        base = (prefix[-1] if prefix else 0) + start
+        ts = TimeSequence.lasso(prefix, [base], shift)
+        assert ts.is_well_behaved() is Trilean.TRUE
+
+
+class TestFunctional:
+    def test_functional_access(self):
+        ts = TimeSequence.functional(lambda i: i * i)
+        assert ts.take(4) == [0, 1, 4, 9]
+
+    def test_functional_well_behavedness_unknown(self):
+        ts = TimeSequence.functional(lambda i: i)
+        assert ts.is_well_behaved() is Trilean.UNKNOWN
+
+    def test_functional_nonmonotone_detected(self):
+        ts = TimeSequence.functional(lambda i: 10 - i if i < 10 else 0)
+        assert ts.is_monotone(horizon=20) is Trilean.FALSE
+        assert ts.is_well_behaved(horizon=20) is Trilean.FALSE
+
+    def test_functional_rejects_bad_values(self):
+        ts = TimeSequence.functional(lambda i: -1)
+        with pytest.raises(ValueError):
+            ts[0]
+
+
+class TestFirstIndexReaching:
+    def test_finite(self):
+        ts = TimeSequence.finite([0, 2, 5, 9])
+        assert ts.first_index_reaching(5) == 2
+        assert ts.first_index_reaching(100) is None
+
+    def test_lasso_closed_form_matches_scan(self):
+        ts = TimeSequence.lasso([0, 0], [1, 3], shift=4)
+        for t in range(0, 40):
+            closed = ts.first_index_reaching(t)
+            scan = next(i for i in range(500) if ts[i] >= t)
+            assert closed == scan, (t, closed, scan)
+
+    def test_stuck_lasso_returns_none_beyond_bound(self):
+        ts = TimeSequence.lasso([0], [5], shift=0)
+        assert ts.first_index_reaching(6) is None
+        assert ts.first_index_reaching(5) == 1
+
+    @given(st.integers(0, 30), st.integers(1, 5), st.integers(1, 5))
+    def test_arithmetic_first_index(self, t, start, shift):
+        ts = TimeSequence.arithmetic(start, shift)
+        idx = ts.first_index_reaching(t)
+        assert idx is not None
+        assert ts[idx] >= t
+        if idx > 0:
+            assert ts[idx - 1] < t

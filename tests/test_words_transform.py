@@ -1,0 +1,121 @@
+"""Tests for word transformations (delay/stretch/filter/relabel)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.words import (
+    TimedWord,
+    Trilean,
+    concat,
+    delay,
+    filter_symbols,
+    relabel,
+    stretch,
+)
+
+
+FIN = TimedWord.finite([("a", 0), ("b", 3), ("c", 3)])
+LASSO = TimedWord.lasso([("h", 0)], [("x", 2), ("y", 3)], shift=2)
+
+
+class TestDelay:
+    def test_shifts_times(self):
+        w = delay(FIN, 5)
+        assert w.take(3) == [("a", 5), ("b", 8), ("c", 8)]
+
+    def test_preserves_well_behavedness(self):
+        assert delay(LASSO, 7).is_well_behaved() is Trilean.TRUE
+
+    def test_negative_delay_validated(self):
+        with pytest.raises(ValueError):
+            delay(FIN, -1)
+        # but a word starting later can be advanced
+        w = delay(delay(FIN, 5), -2)
+        assert w.time_at(0) == 3
+
+    def test_functional_delay(self):
+        w = TimedWord.functional(lambda i: ("z", i))
+        assert delay(w, 4).take(3) == [("z", 4), ("z", 5), ("z", 6)]
+
+    def test_section_513_idiom(self):
+        """aq-at-time-t ≡ delay of the time-0 shape — the §5.1.3 move."""
+        base = TimedWord.lasso([("hdr", 0)], [("w", 1)], shift=1)
+        at_t = delay(base, 12)
+        assert at_t.time_at(0) == 12
+        assert at_t.is_well_behaved() is Trilean.TRUE
+
+    @given(st.integers(0, 50))
+    def test_delay_distributes_over_concat(self, dt):
+        a = TimedWord.finite([("a", 1)])
+        b = TimedWord.finite([("b", 4)])
+        lhs = delay(concat(a, b), dt)
+        rhs = concat(delay(a, dt), delay(b, dt))
+        assert lhs == rhs
+
+
+class TestStretch:
+    def test_multiplies_times(self):
+        w = stretch(FIN, 3)
+        assert w.take(3) == [("a", 0), ("b", 9), ("c", 9)]
+
+    def test_lasso_shift_scaled(self):
+        w = stretch(LASSO, 2)
+        assert w.shift == 4
+        assert w.is_well_behaved() is Trilean.TRUE
+
+    def test_identity(self):
+        assert stretch(FIN, 1) == FIN
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            stretch(FIN, 0)
+
+    @given(st.integers(1, 6))
+    def test_monotone_preserved(self, f):
+        w = stretch(LASSO, f)
+        times = [t for _s, t in w.take(20)]
+        assert times == sorted(times)
+
+
+class TestFilter:
+    def test_finite_filter(self):
+        w = filter_symbols(FIN, lambda s: s != "b")
+        assert w.take(2) == [("a", 0), ("c", 3)]
+
+    def test_lasso_filter_keeps_loop(self):
+        w = filter_symbols(LASSO, lambda s: s != "x")
+        assert not w.is_finite
+        assert w.take(3) == [("h", 0), ("y", 3), ("y", 5)]
+
+    def test_lasso_filter_collapsing_loop(self):
+        """Filtering every loop symbol collapses to a finite word."""
+        w = filter_symbols(LASSO, lambda s: s == "h")
+        assert w.is_finite
+        assert w.take(5) == [("h", 0)]
+
+    def test_operand_recovery_from_merge(self):
+        """Reading an operand back out of a Definition 3.5 merge."""
+        a = TimedWord.finite([(("A", i), 2 * i) for i in range(4)])
+        b = TimedWord.finite([(("B", i), 2 * i + 1) for i in range(4)])
+        merged = concat(a, b)
+        back = filter_symbols(merged, lambda s: s[0] == "A")
+        assert back == a
+
+    def test_functional_filter_lazy(self):
+        w = TimedWord.functional(lambda i: (("even" if i % 2 == 0 else "odd"), i))
+        evens = filter_symbols(w, lambda s: s == "even")
+        assert [t for _s, t in evens.take(3)] == [0, 2, 4]
+
+
+class TestRelabel:
+    def test_pointwise_mapping(self):
+        w = relabel(FIN, str.upper)
+        assert [s for s, _t in w.take(3)] == ["A", "B", "C"]
+
+    def test_times_untouched(self):
+        w = relabel(LASSO, lambda s: (s, s))
+        assert [t for _s, t in w.take(5)] == [t for _s, t in LASSO.take(5)]
+
+    def test_composes_with_filter(self):
+        w = relabel(filter_symbols(FIN, lambda s: s != "b"), str.upper)
+        assert w.take(2) == [("A", 0), ("C", 3)]
