@@ -8,11 +8,49 @@ printable rows so that running
 
 shows both the timing table (pytest-benchmark) and the reproduced
 figure/table rows.
+
+Observability capture: pass ``--obs-dir DIR`` (or set ``REPRO_OBS_DIR``)
+to write, per benchmark, a Chrome trace (``<test>.trace.json``) and a
+metrics snapshot (``<test>.metrics.json``) from the repro.obs hooks —
+the attributable breakdown behind each ``BENCH_*.json`` timing number.
+See docs/observability.md.
 """
 
+import os
+import re
 from typing import Dict, List
 
 import pytest
+
+from repro.obs import Instrumentation, export, hooks
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-dir",
+        default=os.environ.get("REPRO_OBS_DIR") or None,
+        help="capture a repro.obs trace + metrics snapshot per benchmark into this directory",
+    )
+
+
+@pytest.fixture(autouse=True)
+def obs_capture(request):
+    """Per-test repro.obs capture, active only with --obs-dir/REPRO_OBS_DIR."""
+    obs_dir = request.config.getoption("--obs-dir")
+    if not obs_dir:
+        yield None
+        return
+    inst = Instrumentation()
+    with hooks.instrumented(inst):
+        yield inst
+    os.makedirs(obs_dir, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    export.write_chrome_trace(
+        os.path.join(obs_dir, f"{stem}.trace.json"), inst.spans, inst.registry
+    )
+    export.write_metrics(
+        os.path.join(obs_dir, f"{stem}.metrics.json"), inst.registry
+    )
 
 
 class Report:

@@ -14,8 +14,19 @@ hot?" query becomes pq_[q,s,t,t_p], and the Definition 5.1 acceptor
 serves it — one f per successful invocation.
 
 Run:  python examples/sensor_plant_rtdb.py
+
+With observability (docs/observability.md walks through the output):
+
+    python examples/sensor_plant_rtdb.py --trace out.json --metrics metrics.json
+
+``out.json`` is a Chrome trace_event file (load it in chrome://tracing
+or https://ui.perfetto.dev); the metrics dump shows the kernel, machine,
+and rtdb counters this run produced.
 """
 
+import argparse
+
+from repro import obs
 from repro.deadlines import DeadlineKind, DeadlineSpec
 from repro.kernel import Simulator
 from repro.rtdb import (
@@ -24,6 +35,14 @@ from repro.rtdb import (
     RecognitionInstance,
     serve_periodic,
 )
+
+parser = argparse.ArgumentParser(description="§5.1 RTDB walk-through")
+parser.add_argument("--trace", metavar="PATH", default=None,
+                    help="write a Chrome trace_event JSON here")
+parser.add_argument("--metrics", metavar="PATH", default=None,
+                    help="write a JSON metrics dump here (.txt for text)")
+cli = parser.parse_args()
+inst = obs.install() if (cli.trace or cli.metrics) else None
 
 HORIZON = 120
 
@@ -110,3 +129,16 @@ print(f"  invocations completing within the horizon: {servable}")
 print(f"  f symbols on the output tape: {report.f_count}")
 assert report.f_count == servable, "every completed invocation should be served"
 print("  -> every invocation served so far: the word is in L_pq (eq. 10)")
+
+# -- 3. observability artifacts (only with --trace / --metrics) ---------------
+
+if inst is not None:
+    obs.uninstall()
+    if cli.trace:
+        doc = obs.write_chrome_trace(cli.trace, inst.spans, inst.registry)
+        assert not obs.validate_chrome_trace(doc)
+        print(f"\nwrote Chrome trace ({len(doc['traceEvents'])} events) to {cli.trace}")
+    if cli.metrics:
+        fmt = "text" if cli.metrics.endswith(".txt") else "json"
+        obs.write_metrics(cli.metrics, inst.registry, fmt=fmt)
+        print(f"wrote metrics dump ({fmt}) to {cli.metrics}")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Docs consistency checker (run by CI and tests/test_docs.py).
+
+Three checks, all cheap and dependency-free:
+
+1. **Coverage** — every package under ``src/repro/`` is mentioned in
+   ``docs/architecture.md`` (as ``repro.<name>``), so the module map
+   cannot silently go stale when a subsystem is added.
+2. **Links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` resolves to an existing file.
+3. **References** — every ``src/…``, ``tests/…``, ``benchmarks/…``, or
+   ``examples/…`` path quoted in the docs exists, so the paper map and
+   metric inventory always point at real code.
+
+Exit status 0 iff everything holds; problems are printed one per line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PATH_RE = re.compile(r"`((?:src|tests|benchmarks|examples)/[A-Za-z0-9_./-]+\.py)`")
+
+
+def check_package_coverage() -> list:
+    """Every src/repro/* package appears in docs/architecture.md."""
+    problems = []
+    arch = ROOT / "docs" / "architecture.md"
+    if not arch.exists():
+        return ["docs/architecture.md is missing"]
+    text = arch.read_text()
+    pkg_root = ROOT / "src" / "repro"
+    for child in sorted(pkg_root.iterdir()):
+        if not (child / "__init__.py").exists():
+            continue
+        if f"repro.{child.name}" not in text:
+            problems.append(
+                f"docs/architecture.md: package repro.{child.name} not documented"
+            )
+    return problems
+
+
+def check_links() -> list:
+    """Relative markdown links resolve to existing files."""
+    problems = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            problems.append(f"{doc.relative_to(ROOT)} is missing")
+            continue
+        for target in LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = (doc.parent / target.split("#")[0]).resolve()
+            if not target_path.exists():
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_code_references() -> list:
+    """Backticked repo paths in the docs point at real files."""
+    problems = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            continue
+        for ref in PATH_RE.findall(doc.read_text()):
+            if not (ROOT / ref).exists():
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: dangling code reference -> {ref}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_package_coverage() + check_links() + check_code_references()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(DOC_FILES)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,10 @@ with every substrate the paper's applications require:
 ``repro.complexity``
     The rt-SPACE / rt-PROC complexity-class programme of Sections
     3.2 and 7, including the processor-hierarchy experiments.
+``repro.obs``
+    The unified observability layer: named metrics, nestable timing
+    spans, Chrome-trace/metrics exporters, and the pluggable hooks the
+    kernel, machine, RTDB, and ad hoc layers report through.
 """
 
 __version__ = "1.0.0"
@@ -51,6 +55,7 @@ from . import (  # noqa: F401
     deadlines,
     kernel,
     machine,
+    obs,
     parallel,
     rtdb,
     words,
@@ -67,5 +72,6 @@ __all__ = [
     "adhoc",
     "parallel",
     "complexity",
+    "obs",
     "__version__",
 ]

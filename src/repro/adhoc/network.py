@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ..kernel.events import Event, Priority
 from ..kernel.simulator import Simulator
+from ..obs import hooks as _obs
 from .geometry import DiskRange
 from .messages import HopRecord, Message, TraceLog
 
@@ -99,13 +100,20 @@ class AdhocNetwork:
             message_uid=message_uid,
         )
         self.trace.record_hop(hop)
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("adhoc.frames_transmitted", kind=kind)
         hearers = [n for n in self.range.neighbours(sender, now) if n != sender]
         for hearer in hearers:
             if intended is not None and hearer != intended:
                 continue  # link-layer filtering of unicast frames
             if self.loss_rate and self._loss_rng.random() < self.loss_rate:
                 self.frames_dropped += 1
+                if h is not None:
+                    h.count("adhoc.frames_dropped")
                 continue  # injected radio loss: frame never heard
+            if h is not None:
+                h.count("adhoc.frames_heard")
             self.trace.record_receive(hop, hearer)
             self._schedule_delivery(hearer, sender, payload, hop)
         return hop

@@ -8,6 +8,16 @@ node, unless it receives a message from (or about) that node".  The
 only its own node id, its own position (via the network's range
 predicate applied to itself), packets it hears, and whatever it chooses
 to transmit.
+
+Observability (see ``docs/observability.md``): when
+:mod:`repro.obs.hooks` are installed, the base-class helpers report the
+Section 5.2.6 overhead quantities every concrete router is compared
+by — ``adhoc.data_sent`` / ``adhoc.control_sent`` counters labeled by
+protocol (control transmissions are the ``g`` in the paper's ``f+g``
+routing-overhead measure), ``adhoc.delivered`` (end-to-end message
+deliveries), ``adhoc.delivery_latency`` (histogram of ``t'_f − t_1``,
+origination to delivery), and ``adhoc.delivery_hops`` (histogram of the
+hop count ``f`` actually paid per delivered message).
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ...kernel.events import Event
+from ...obs import hooks as _obs
 from ..messages import Message
 from ..network import AdhocNetwork
 
@@ -81,6 +92,9 @@ class RoutingProtocol:
     def send_data(self, packet: DataPacket, next_hop: Optional[int]) -> None:
         """Transmit a data packet (unicast to ``next_hop`` or flood)."""
         assert self.network is not None
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("adhoc.data_sent", protocol=self.name)
         self.network.transmit(
             self.node,
             packet,
@@ -92,11 +106,19 @@ class RoutingProtocol:
     def send_control(self, payload: Any, intended: Optional[int] = None) -> None:
         """Transmit a routing/control packet (an rt_j of the model)."""
         assert self.network is not None
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("adhoc.control_sent", protocol=self.name)
         self.network.transmit(self.node, payload, kind="control", intended=intended)
 
     def deliver(self, packet: DataPacket) -> None:
         """This node is the end-to-end destination: hand up."""
         assert self.network is not None
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("adhoc.delivered", protocol=self.name)
+            h.observe("adhoc.delivery_latency", self.now - packet.message.created_at)
+            h.observe("adhoc.delivery_hops", packet.hops)
         self.network.deliver_to_application(packet.message, self.now)
 
     def every(self, period: int, fn, jitter_offset: int = 0) -> None:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
 from ..kernel.simulator import Simulator
+from ..obs import hooks as _obs
 from .geometry import DiskRange, Position
 from .messages import Message
 from .metrics import ScenarioMetrics, compute_metrics
@@ -57,6 +58,26 @@ def run_scenario(
     scenario: Scenario,
 ) -> ScenarioRun:
     """Simulate one scenario under one protocol and measure it."""
+    h = _obs.HOOKS
+    if h is None:
+        return _run_scenario(protocol_factory, scenario)
+    probe = protocol_factory()
+    with h.span(
+        "adhoc.scenario",
+        protocol=probe.name,
+        n_nodes=scenario.n_nodes,
+        horizon=scenario.horizon,
+    ):
+        run = _run_scenario(protocol_factory, scenario)
+    h.count("adhoc.scenarios", protocol=run.metrics.protocol)
+    h.count("adhoc.messages_originated", len(run.messages), protocol=run.metrics.protocol)
+    return run
+
+
+def _run_scenario(
+    protocol_factory: Callable[[], RoutingProtocol],
+    scenario: Scenario,
+) -> ScenarioRun:
     rng = random.Random(scenario.seed)
     node_ids = list(range(1, scenario.n_nodes + 1))
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Iterable, List, Optional
 
+from ..obs import hooks as _obs
 from .events import (
     AllOf,
     AnyOf,
@@ -174,6 +175,9 @@ class Simulator:
         if self.integer_time and int(when) != when:
             raise SimulationError(f"non-integer event time {when!r} with integer_time=True")
         self._queue.push(when, priority, event, failed)
+        h = _obs.HOOKS
+        if h is not None:
+            h.kernel_scheduled()
 
     # -- event factories ----------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -186,6 +190,9 @@ class Simulator:
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Register a generator as a running process."""
+        h = _obs.HOOKS
+        if h is not None:
+            h.kernel_process_started()
         return Process(self, generator, name=name)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
@@ -208,6 +215,9 @@ class Simulator:
         event._mark(failed)
         if self._tracer is not None:
             self._tracer.record(when, event.name or type(event).__name__, not failed)
+        h = _obs.HOOKS
+        if h is not None:
+            h.kernel_event(not failed)
         callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks or ():
             fn(event)
@@ -219,6 +229,16 @@ class Simulator:
         Returns the value of the ``until`` event if one was given and it
         fired, else ``None``.
         """
+        h = _obs.HOOKS
+        if h is None:
+            return self._run(until)
+        with h.span("kernel.run", until=str(until), start_at=str(self.now)):
+            try:
+                return self._run(until)
+            finally:
+                h.kernel_run_done(len(self._queue))
+
+    def _run(self, until: Any = None) -> Any:
         stop_value: Any = None
         if isinstance(until, Event):
             sentinel = until

@@ -16,6 +16,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs import hooks as _obs
 from .simulator import Simulator
 
 __all__ = ["TraceRecord", "Tracer"]
@@ -70,6 +71,9 @@ class Tracer:
         if len(self.records) >= self.limit:
             self.dropped += 1
             return
+        h = _obs.HOOKS
+        if h is not None:
+            h.kernel_trace_record()
         self.records.append(TraceRecord(time, name, ok, self._seq))
 
     # -- queries --------------------------------------------------------

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Generator, Optional
 
 from ..kernel.events import Event, SimulationError
 from ..kernel.simulator import Simulator
+from ..obs import hooks as _obs
 from ..words.timedword import TimedWord
 from .tape import InputTape, OutputTape
 
@@ -202,8 +203,28 @@ class RealTimeAlgorithm:
         sim.process(self.program(ctx), name=self.name)
         return ctx
 
+    def _report_run(self, mode: str, report: DecisionReport) -> DecisionReport:
+        """Publish one judged run to the installed hooks, if any."""
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("machine.runs", mode=mode)
+            h.count("machine.verdicts", verdict=report.verdict.value)
+            if report.f_count:
+                h.count("machine.f_symbols", report.f_count)
+            h.observe("machine.space_peak", report.space_peak)
+            if report.decided_at is not None:
+                h.observe("machine.decision_chronon", report.decided_at)
+        return report
+
     def decide(self, word: TimedWord, horizon: int = 10_000) -> DecisionReport:
         """Judge acceptance of ``word`` (Definition 3.4 discipline)."""
+        h = _obs.HOOKS
+        if h is not None:
+            with h.span("machine.decide", algorithm=self.name, horizon=horizon):
+                return self._report_run("decide", self._decide(word, horizon))
+        return self._decide(word, horizon)
+
+    def _decide(self, word: TimedWord, horizon: int) -> DecisionReport:
         ctx = self._build(word)
         decided_at: Optional[int] = None
         # Run until the verdict fires or the horizon passes.
@@ -227,6 +248,13 @@ class RealTimeAlgorithm:
 
     def count_f(self, word: TimedWord, horizon: int) -> DecisionReport:
         """Run for exactly ``horizon`` chronons and count the f's."""
+        h = _obs.HOOKS
+        if h is not None:
+            with h.span("machine.count_f", algorithm=self.name, horizon=horizon):
+                return self._report_run("count_f", self._count_f(word, horizon))
+        return self._count_f(word, horizon)
+
+    def _count_f(self, word: TimedWord, horizon: int) -> DecisionReport:
         ctx = self._build(word)
         ctx.sim.run(until=horizon)
         return DecisionReport(

@@ -1,0 +1,78 @@
+"""repro.obs — the unified observability layer.
+
+Every subsystem in this reproduction is ultimately a *measurement*
+machine: acceptors count ``f`` symbols, the RTDB acceptors time query
+service, the routing layer counts the paper's ``f+g`` overhead.  This
+package is the substrate those measurements (and the benchmark
+harness's perf trajectory) report through:
+
+:mod:`repro.obs.registry`
+    Named :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+    metrics with labeled children; deterministic snapshots.
+:mod:`repro.obs.spans`
+    Nestable wall-clock timing spans with a thread-local context.
+:mod:`repro.obs.export`
+    Chrome ``trace_event`` JSON (loads in ``chrome://tracing`` and
+    Perfetto) and text/JSON metrics dumps.
+:mod:`repro.obs.hooks`
+    The pluggable instrumentation slot the kernel, machine, RTDB, and
+    ad hoc layers call through — opt-in, and a single attribute check
+    when disabled.
+
+Quick start::
+
+    from repro.obs import Instrumentation, instrumented, write_chrome_trace
+
+    with instrumented() as inst:
+        ...  # any repro workload: simulators, acceptors, scenarios
+    write_chrome_trace("out.json", inst.spans, inst.registry)
+    print(render_metrics_text(inst.registry))
+
+See ``docs/observability.md`` for the metric inventory and a worked
+example.
+"""
+
+from .export import (  # noqa: F401
+    chrome_trace,
+    metrics_dict,
+    render_metrics_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from .hooks import (  # noqa: F401
+    Instrumentation,
+    current,
+    install,
+    instrumented,
+    uninstall,
+)
+from .registry import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+)
+from .spans import Span, SpanRecorder  # noqa: F401
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricRegistry",
+    "Span",
+    "SpanRecorder",
+    "Instrumentation",
+    "install",
+    "uninstall",
+    "current",
+    "instrumented",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_dict",
+    "render_metrics_text",
+    "write_metrics",
+]

@@ -1,0 +1,166 @@
+"""Exporters: Chrome ``trace_event`` JSON and metrics dumps.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace` renders a :class:`~repro.obs.spans.SpanRecorder`
+  as the Trace Event Format's *JSON object* flavour — a dict with a
+  ``traceEvents`` list of complete (``"ph": "X"``) events — which loads
+  directly in ``chrome://tracing`` and https://ui.perfetto.dev.
+* :func:`metrics_dict` / :func:`render_metrics_text` snapshot a
+  :class:`~repro.obs.registry.MetricRegistry` as JSON or a
+  Prometheus-exposition-style text block for terminals and CI logs.
+
+:func:`validate_chrome_trace` is the schema contract the tests
+round-trip against; keep it in sync with what the viewers require
+(name/ph/ts/pid/tid present, X events carry a duration).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from .registry import MetricRegistry
+from .spans import SpanRecorder
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_dict",
+    "render_metrics_text",
+    "write_metrics",
+]
+
+#: Category tag stamped on every emitted trace event.
+TRACE_CATEGORY = "repro"
+
+
+def chrome_trace(
+    spans: SpanRecorder,
+    registry: Optional[MetricRegistry] = None,
+    pid: int = 0,
+) -> Dict[str, Any]:
+    """The Trace Event Format JSON-object for ``spans``.
+
+    Timestamps are microseconds (the format's unit), rebased to the
+    earliest span so traces start near t=0 in the viewer.  A final
+    metrics snapshot, if a registry is given, rides along in
+    ``otherData`` (viewers ignore unknown keys; tooling can read it).
+    """
+    done = [s for s in spans.completed() if s.end_ns is not None]
+    base_ns = min((s.start_ns for s in done), default=0)
+    events: List[Dict[str, Any]] = []
+    for s in done:
+        events.append(
+            {
+                "name": s.name,
+                "cat": TRACE_CATEGORY,
+                "ph": "X",
+                "ts": (s.start_ns - base_ns) / 1000.0,
+                "dur": (s.end_ns - base_ns) / 1000.0 - (s.start_ns - base_ns) / 1000.0,
+                "pid": pid,
+                "tid": s.tid,
+                "args": dict(s.args),
+            }
+        )
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "spans_dropped": spans.dropped},
+    }
+    if registry is not None:
+        doc["otherData"]["metrics"] = metrics_dict(registry)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key, types in (
+            ("name", str),
+            ("ph", str),
+            ("ts", (int, float)),
+            ("pid", int),
+            ("tid", int),
+        ):
+            if not isinstance(ev.get(key), types):
+                problems.append(f"event {i}: missing/invalid {key!r}")
+        if ev.get("ph") == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event {i}: X event without numeric 'dur'")
+        if isinstance(ev.get("ts"), (int, float)) and ev["ts"] < 0:
+            problems.append(f"event {i}: negative timestamp")
+    return problems
+
+
+def write_chrome_trace(
+    path: str,
+    spans: SpanRecorder,
+    registry: Optional[MetricRegistry] = None,
+) -> Dict[str, Any]:
+    """Write the trace JSON to ``path``; returns the document."""
+    doc = chrome_trace(spans, registry)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# metrics dumps
+# ----------------------------------------------------------------------
+
+def metrics_dict(registry: MetricRegistry) -> Dict[str, Any]:
+    """JSON-ready snapshot: ``{"metrics": [sample, ...]}``."""
+    return {"metrics": registry.collect()}
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_metrics_text(registry: MetricRegistry) -> str:
+    """Prometheus-exposition-style text block for terminals/CI logs."""
+    lines: List[str] = []
+    for sample in registry.collect():
+        series = sample["name"] + _format_labels(sample["labels"])
+        if sample["type"] == "histogram":
+            lines.append(f"{series}_count {sample['count']}")
+            lines.append(f"{series}_sum {sample['sum']}")
+            for q, v in sample["quantiles"].items():
+                lines.append(f"{series}_q{q} {v}")
+        else:
+            lines.append(f"{series} {sample['value']}")
+            if sample["type"] == "gauge":
+                lines.append(f"{series}_peak {sample['peak']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(
+    path: str,
+    registry: MetricRegistry,
+    fmt: str = "json",
+) -> Union[Dict[str, Any], str]:
+    """Write a metrics dump as ``fmt`` = ``"json"`` or ``"text"``."""
+    if fmt == "json":
+        doc = metrics_dict(registry)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        return doc
+    if fmt == "text":
+        text = render_metrics_text(registry)
+        with open(path, "w") as fh:
+            fh.write(text)
+        return text
+    raise ValueError(f"unknown metrics format {fmt!r} (use 'json' or 'text')")

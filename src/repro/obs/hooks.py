@@ -1,0 +1,147 @@
+"""The pluggable instrumentation API the subsystems call through.
+
+Attachment model
+----------------
+One process-wide slot, :data:`HOOKS`.  Instrumented call sites in the
+kernel, machine, RTDB, and ad hoc layers all follow the same fast-path
+discipline the kernel's ``Tracer`` established::
+
+    from repro.obs import hooks as _obs
+    ...
+    h = _obs.HOOKS
+    if h is not None:          # single attribute check when disabled
+        h.kernel_event(ok)
+
+With nothing installed the cost is one module-attribute read and a
+``None`` test — uninstrumented runs pay ~nothing, and (crucially) the
+hooks never influence scheduling, so an instrumented run dispatches the
+exact same event sequence as a bare one (regression-tested in
+``tests/test_obs_hooks.py``).
+
+Install with :func:`install` / :func:`uninstall`, or lexically with the
+:func:`instrumented` context manager (save/restore semantics, so it
+nests).  An :class:`Instrumentation` bundles one
+:class:`~repro.obs.registry.MetricRegistry` and one
+:class:`~repro.obs.spans.SpanRecorder`; hot-path counters are pre-bound
+at construction so per-event work is one ``inc``.
+
+The metric inventory each subsystem exposes is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, ContextManager, Iterator, Optional
+
+from .registry import MetricRegistry
+from .spans import SpanRecorder
+
+__all__ = [
+    "Instrumentation",
+    "HOOKS",
+    "install",
+    "uninstall",
+    "current",
+    "instrumented",
+]
+
+#: The installed instrumentation, or None.  Call sites read this
+#: directly (module attribute) — that read is the entire disabled cost.
+HOOKS: Optional["Instrumentation"] = None
+
+
+class Instrumentation:
+    """One registry + one span recorder + the subsystem callbacks."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        spans: Optional[SpanRecorder] = None,
+    ):
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.spans = spans if spans is not None else SpanRecorder()
+        r = self.registry
+        # Pre-bound hot-path metrics (one dict lookup saved per event).
+        self._k_dispatched = r.counter(
+            "kernel.events_dispatched", "events popped by Simulator.step"
+        )
+        self._k_failed = r.counter(
+            "kernel.events_failed", "dispatched events carrying a failure"
+        )
+        self._k_scheduled = r.counter(
+            "kernel.events_scheduled", "events pushed onto the event list"
+        )
+        self._k_processes = r.counter(
+            "kernel.processes_started", "generator processes registered"
+        )
+        self._k_trace_records = r.counter(
+            "kernel.trace_records", "TraceRecords captured by Tracer"
+        )
+        self._k_pending = r.gauge(
+            "kernel.pending_events", "event-list size sampled after each run"
+        )
+
+    # -- generic API ------------------------------------------------------
+    def count(self, name: str, n: float = 1, **labels: Any) -> None:
+        self.registry.counter(name).labels(**labels).inc(n)  # type: ignore[attr-defined]
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.registry.gauge(name).labels(**labels).set(value)  # type: ignore[attr-defined]
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.registry.histogram(name).labels(**labels).observe(value)  # type: ignore[attr-defined]
+
+    def span(self, name: str, **args: Any) -> ContextManager:
+        return self.spans.span(name, **args)
+
+    # -- kernel fast path -------------------------------------------------
+    def kernel_event(self, ok: bool) -> None:
+        self._k_dispatched.inc()
+        if not ok:
+            self._k_failed.inc()
+
+    def kernel_scheduled(self) -> None:
+        self._k_scheduled.inc()
+
+    def kernel_process_started(self) -> None:
+        self._k_processes.inc()
+
+    def kernel_trace_record(self) -> None:
+        self._k_trace_records.inc()
+
+    def kernel_run_done(self, pending: int) -> None:
+        self._k_pending.set(pending)
+
+
+def install(inst: Optional[Instrumentation] = None) -> Instrumentation:
+    """Install ``inst`` (or a fresh one) as the process-wide hooks."""
+    global HOOKS
+    if inst is None:
+        inst = Instrumentation()
+    HOOKS = inst
+    return inst
+
+
+def uninstall() -> Optional[Instrumentation]:
+    """Remove the installed hooks; returns what was installed."""
+    global HOOKS
+    prev, HOOKS = HOOKS, None
+    return prev
+
+
+def current() -> Optional[Instrumentation]:
+    """The installed instrumentation, if any."""
+    return HOOKS
+
+
+@contextmanager
+def instrumented(inst: Optional[Instrumentation] = None) -> Iterator[Instrumentation]:
+    """Install hooks for a lexical scope, restoring the previous ones."""
+    global HOOKS
+    prev = HOOKS
+    active = install(inst)
+    try:
+        yield active
+    finally:
+        HOOKS = prev

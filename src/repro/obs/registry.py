@@ -1,0 +1,245 @@
+"""Named metrics: counters, gauges, histograms, and their registry.
+
+The metric model is deliberately Prometheus-shaped (the idiom every
+production python service already speaks) but zero-dependency and
+deterministic:
+
+* a :class:`Counter` only goes up (events dispatched, frames sent, f
+  symbols written);
+* a :class:`Gauge` is a sampled level (pending events, storage cells in
+  use);
+* a :class:`Histogram` keeps the raw observations so exact quantiles
+  are available — simulation-scale cardinalities make reservoirs
+  unnecessary, and exactness keeps the benchmark reports reproducible.
+
+Each metric may carry *labeled children* (``counter.labels(kind="data")``)
+so one logical series fans out by protocol, verdict, event kind, etc.
+:meth:`MetricRegistry.collect` renders everything as a deterministic,
+sorted list of plain-dict samples — the single source for both the text
+dump and the JSON export in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import insort
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "MetricError"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+
+#: Quantiles reported by default in histogram snapshots.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricError(ValueError):
+    """Bad metric name, kind collision, or invalid operation."""
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common base: name, help text, and labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_values: LabelKey = labels
+        self._children: Dict[LabelKey, "Metric"] = {}
+
+    def labels(self, **labels: Any) -> "Metric":
+        """The child metric for this label combination (created lazily)."""
+        if not labels:
+            return self
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name, self.help, labels=self.label_values + key)
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterable["Metric"]:
+        for key in sorted(self._children):
+            yield self._children[key]
+
+    def sample(self) -> Dict[str, Any]:
+        """One plain-dict sample for this metric (no children)."""
+        raise NotImplementedError
+
+    def _base_sample(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.label_values),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        lbl = "".join(f" {k}={v}" for k, v in self.label_values)
+        return f"<{self.kind} {self.name}{lbl}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
+        super().__init__(name, help, labels)
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def sample(self) -> Dict[str, Any]:
+        return {**self._base_sample(), "value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down; remembers its peak."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
+        super().__init__(name, help, labels)
+        self.value: float = 0
+        self.peak: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.peak = max(self.peak, value)
+
+    def inc(self, n: float = 1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+    def sample(self) -> Dict[str, Any]:
+        return {**self._base_sample(), "value": self.value, "peak": self.peak}
+
+
+class Histogram(Metric):
+    """Exact-quantile histogram over all observations.
+
+    Observations are kept in sorted order (insertion is O(n) per
+    observe, fine at simulation scale) so ``quantile`` is exact and the
+    snapshot is independent of observation order — determinism the
+    regression harness relies on.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
+        super().__init__(name, help, labels)
+        self._sorted: List[float] = []
+        self.count = 0
+        self.sum: float = 0
+
+    def observe(self, value: float) -> None:
+        insort(self._sorted, value)
+        self.count += 1
+        self.sum += value
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._sorted[0] if self._sorted else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._sorted[-1] if self._sorted else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Exact q-quantile (linear interpolation between order stats)."""
+        if not 0 <= q <= 1:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        if not self._sorted:
+            return None
+        pos = q * (len(self._sorted) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(self._sorted) - 1)
+        frac = pos - lo
+        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+
+    def sample(self) -> Dict[str, Any]:
+        return {
+            **self._base_sample(),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "quantiles": {str(q): self.quantile(q) for q in DEFAULT_QUANTILES},
+        }
+
+
+class MetricRegistry:
+    """Creates, deduplicates, and snapshots named metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    twice with the same name returns the same object, and requesting an
+    existing name as a different kind raises :class:`MetricError` (the
+    classic silent-shadowing bug in hand-rolled metrics dicts).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested as {cls.kind}"  # type: ignore[attr-defined]
+                )
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> List[Dict[str, Any]]:
+        """All samples (parents then labeled children), name-sorted."""
+        out: List[Dict[str, Any]] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            has_children = False
+            for child in metric.children():
+                out.append(child.sample())
+                has_children = True
+            if not has_children:
+                out.append(metric.sample())
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

@@ -1,0 +1,151 @@
+"""Nestable wall-clock timing spans with a thread-local context stack.
+
+A *span* brackets one unit of work (a ``Simulator.run``, one acceptor
+decision, one routed scenario).  Spans nest: entering a span inside
+another records the parent relationship and depth, which is exactly the
+structure Chrome's trace viewer draws as stacked bars (see
+:mod:`repro.obs.export`).
+
+The recorder is thread-safe in the only way that matters here: each
+thread keeps its own open-span stack (``threading.local``), and
+finished spans are appended under a lock with a first-seen thread
+numbering, so a single-threaded run is bit-for-bit deterministic given
+a deterministic clock.  Tests inject a fake clock for that; production
+use defaults to :func:`time.perf_counter_ns`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) timed region."""
+
+    name: str
+    start_ns: int
+    seq: int                      # start order, globally unique
+    tid: int                      # small per-recorder thread number
+    depth: int                    # nesting depth within its thread, 0 = root
+    parent_seq: Optional[int]     # seq of the enclosing span, if any
+    args: Dict[str, Any] = field(default_factory=dict)
+    end_ns: Optional[int] = None
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        return None if self.end_ns is None else self.end_ns - self.start_ns
+
+
+class SpanRecorder:
+    """Collects spans; hand it to :func:`repro.obs.export.chrome_trace`.
+
+    Parameters
+    ----------
+    clock:
+        Nanosecond monotonic clock; override with a deterministic stub
+        in tests.
+    limit:
+        Completed spans beyond this are counted in ``dropped`` instead
+        of stored — the same memory guard the kernel ``Tracer`` uses.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        limit: int = 250_000,
+    ):
+        self.clock = clock
+        self.limit = limit
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._seq = 0
+        self._thread_ids: Dict[int, int] = {}
+
+    # -- internals --------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._thread_ids:
+                self._thread_ids[ident] = len(self._thread_ids)
+            return self._thread_ids[ident]
+
+    # -- recording --------------------------------------------------------
+    def begin(self, name: str, **args: Any) -> Span:
+        """Open a span; prefer the :meth:`span` context manager."""
+        stack = self._stack()
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        span = Span(
+            name=name,
+            start_ns=self.clock(),
+            seq=seq,
+            tid=self._tid(),
+            depth=len(stack),
+            parent_seq=stack[-1].seq if stack else None,
+            args=dict(args),
+        )
+        stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close ``span`` (and anything erroneously left open above it)."""
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
+            top.end_ns = self.clock()
+            self._store(top)
+            if top is span:
+                break
+        return span
+
+    def _store(self, span: Span) -> None:
+        with self._lock:
+            if len(self.spans) >= self.limit:
+                self.dropped += 1
+                return
+            self.spans.append(span)
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Span]:
+        """``with recorder.span("kernel.run", until=100): ...``"""
+        s = self.begin(name, **args)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # -- queries ----------------------------------------------------------
+    def completed(self) -> List[Span]:
+        """Finished spans in deterministic start (seq) order."""
+        return sorted(self.spans, key=lambda s: s.seq)
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.completed() if s.name == name]
+
+    def open_depth(self) -> int:
+        """Current nesting depth on the calling thread."""
+        return len(self._stack())
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)

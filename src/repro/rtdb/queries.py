@@ -28,6 +28,7 @@ from ..kernel.events import Event
 from ..kernel.resources import Store
 from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
 from ..machine.rtalgorithm import Context, DecisionReport, Verdict
+from ..obs import hooks as _obs
 from ..words.concat import concat
 from ..words.timedword import TimedWord
 from .encode import SEP, aq_word, db_B_word, pq_word
@@ -168,6 +169,10 @@ def rtdb_acceptor(registry: QueryRegistry, periodic: bool = False) -> WorkerMoni
                 qfn = registry.queries[pending.name]
                 answer = qfn(state)
                 ok = pending.candidate in answer
+                h = _obs.HOOKS
+                if h is not None:
+                    h.count("rtdb.queries_evaluated", query=pending.name)
+                    h.observe("rtdb.query_cost", cost)
                 yield signals.put(WorkerSignal("query-done", payload=(pending, ok)))
                 continue
             raise ValueError(f"unexpected symbol {sym!r} on the tape")
@@ -192,6 +197,10 @@ def rtdb_acceptor(registry: QueryRegistry, periodic: bool = False) -> WorkerMoni
         if not ok:
             return Verdict.REJECT
         served["count"] += 1
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("rtdb.invocations_served")
+            h.observe("rtdb.service_latency", ctx.sim.now - pending.issued_at)
         if ctx.output.can_write():
             ctx.emit_f()
         return None  # keep serving
@@ -258,6 +267,12 @@ def decide_aperiodic(
     horizon: int = 20_000,
 ) -> DecisionReport:
     """Membership of db_B·aq in L_aq, by running the acceptor."""
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("rtdb.acceptor_runs", language="L_aq")
+        with h.span("rtdb.decide_aperiodic", query=instance.query_name, horizon=horizon):
+            word = instance.aperiodic_word(candidate)
+            return rtdb_acceptor(registry).decide(word, horizon=horizon)
     word = instance.aperiodic_word(candidate)
     return rtdb_acceptor(registry).decide(word, horizon=horizon)
 
@@ -271,5 +286,16 @@ def serve_periodic(
 ) -> DecisionReport:
     """Run the periodic acceptor for ``horizon`` chronons; the f-count
     is the number of successfully served invocations."""
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("rtdb.acceptor_runs", language="L_pq")
+        with h.span(
+            "rtdb.serve_periodic",
+            query=instance.query_name,
+            period=period,
+            horizon=horizon,
+        ):
+            word = instance.periodic_word(candidates, period)
+            return rtdb_acceptor(registry, periodic=True).count_f(word, horizon=horizon)
     word = instance.periodic_word(candidates, period)
     return rtdb_acceptor(registry, periodic=True).count_f(word, horizon=horizon)

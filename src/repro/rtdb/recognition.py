@@ -12,12 +12,23 @@ variant (Definition 5.1) replaces these classical words with timed
 The encoding here is the canonical one used throughout the package:
 atomic symbols tagged by origin so the alphabets stay disjoint (the
 paper's standing assumption in Section 4).
+
+Observability (see ``docs/observability.md``): when
+:mod:`repro.obs.hooks` are installed, this module reports the
+quantities a Section 5.1 recognizer is judged by —
+``rtdb.words_encoded`` / ``rtdb.words_decoded`` (counters over eq. (5)
+words built and parsed), ``rtdb.word_symbols`` (histogram of |enc(I)$
+enc(u)|, the input-size parameter of data complexity), and
+``rtdb.recognitions`` labeled ``outcome=hit|miss|malformed`` (membership
+verdicts of :func:`recognizes`), each membership test wrapped in an
+``rtdb.recognize`` span.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Sequence, Tuple
 
+from ..obs import hooks as _obs
 from .algebra import Query
 from .relational import DatabaseInstance, DatabaseSchema
 
@@ -59,7 +70,12 @@ def enc_instance(db: DatabaseInstance) -> List[Any]:
 
 def recognition_word(db: DatabaseInstance, candidate: Tuple[Any, ...]) -> List[Any]:
     """The classical word enc(I)$enc(u)."""
-    return enc_instance(db) + [SEP] + enc_tuple(candidate)
+    word = enc_instance(db) + [SEP] + enc_tuple(candidate)
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("rtdb.words_encoded")
+        h.observe("rtdb.word_symbols", len(word))
+    return word
 
 
 def decode_recognition_word(
@@ -104,14 +120,28 @@ def decode_recognition_word(
     tuples = parse_tuples(chars(tup_part))
     if len(tuples) != 1:
         raise ValueError("candidate part must encode exactly one tuple")
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("rtdb.words_decoded")
     return db, tuples[0][1]
 
 
 def recognizes(query: Query, schema: DatabaseSchema, word: Sequence[Any]) -> bool:
     """Membership of a classical word in the eq. (5) language of q."""
+    h = _obs.HOOKS
+    if h is None:
+        return _recognizes(query, schema, word) == "hit"
+    with h.spans.span("rtdb.recognize", symbols=len(word)):
+        outcome = _recognizes(query, schema, word)
+    h.count("rtdb.recognitions", outcome=outcome)
+    return outcome == "hit"
+
+
+def _recognizes(query: Query, schema: DatabaseSchema, word: Sequence[Any]) -> str:
     try:
         db, candidate = decode_recognition_word(word, schema)
     except (ValueError, KeyError):
-        return False
+        return "malformed"
     result = query.evaluate(db)
-    return any(row.values == candidate for row in result)
+    hit = any(row.values == candidate for row in result)
+    return "hit" if hit else "miss"

@@ -1,0 +1,39 @@
+"""The docs stay true: package coverage, links, and code references.
+
+Runs the same checker CI runs (``scripts/check_docs.py``) so a stale
+module map, broken link, or dangling code path fails tier-1 locally,
+not just in the workflow.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+CHECKER = ROOT / "scripts" / "check_docs.py"
+
+
+def test_docs_pages_exist():
+    for page in ("architecture.md", "observability.md", "paper_map.md"):
+        assert (ROOT / "docs" / page).exists(), f"docs/{page} missing"
+
+
+def test_readme_links_paper_map():
+    assert "docs/paper_map.md" in (ROOT / "README.md").read_text()
+
+
+def test_docs_checker_passes():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True, timeout=60
+    )
+    assert result.returncode == 0, f"docs check failed:\n{result.stdout}{result.stderr}"
+
+
+def test_every_package_in_architecture_md():
+    text = (ROOT / "docs" / "architecture.md").read_text()
+    packages = sorted(
+        p.parent.name for p in (ROOT / "src" / "repro").glob("*/__init__.py")
+    )
+    assert packages, "no packages found under src/repro"
+    missing = [p for p in packages if f"repro.{p}" not in text]
+    assert not missing, f"undocumented packages: {missing}"

@@ -1,0 +1,119 @@
+"""Exporter contracts: Chrome trace schema round-trip, metrics dumps."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricRegistry,
+    SpanRecorder,
+    chrome_trace,
+    metrics_dict,
+    render_metrics_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0
+
+    def __call__(self):
+        self.t += 500
+        return self.t
+
+
+def sample_spans():
+    rec = SpanRecorder(clock=FakeClock())
+    with rec.span("kernel.run", until="100"):
+        with rec.span("machine.decide", algorithm="A"):
+            pass
+    return rec
+
+
+def sample_registry():
+    reg = MetricRegistry()
+    reg.counter("kernel.events_dispatched").inc(7)
+    reg.counter("adhoc.frames_transmitted").labels(kind="data").inc(3)
+    reg.gauge("kernel.pending_events").set(2)
+    h = reg.histogram("rtdb.service_latency")
+    for v in (1, 2, 3, 4):
+        h.observe(v)
+    return reg
+
+
+class TestChromeTrace:
+    def test_json_round_trip_preserves_schema(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(str(path), sample_spans(), sample_registry())
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(doc))
+        assert validate_chrome_trace(loaded) == []
+
+    def test_event_fields(self):
+        doc = chrome_trace(sample_spans())
+        evs = doc["traceEvents"]
+        assert [e["name"] for e in evs] == ["kernel.run", "machine.decide"]
+        for e in evs:
+            assert e["ph"] == "X"
+            assert e["cat"] == "repro"
+            assert e["ts"] >= 0 and e["dur"] > 0
+        # nested span sits inside its parent's interval
+        outer, inner = evs
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+        assert inner["args"] == {"algorithm": "A"}
+
+    def test_timestamps_rebased_to_zero(self):
+        doc = chrome_trace(sample_spans())
+        assert min(e["ts"] for e in doc["traceEvents"]) == 0
+
+    def test_metrics_ride_in_other_data(self):
+        doc = chrome_trace(sample_spans(), sample_registry())
+        names = {m["name"] for m in doc["otherData"]["metrics"]["metrics"]}
+        assert "kernel.events_dispatched" in names
+
+    def test_open_spans_are_excluded(self):
+        rec = SpanRecorder(clock=FakeClock())
+        rec.begin("never-closed")
+        assert chrome_trace(rec)["traceEvents"] == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        bad_event = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0, "pid": 0, "tid": 0}]}
+        assert any("dur" in p for p in validate_chrome_trace(bad_event))
+        ok = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 0, "tid": 0}]}
+        assert validate_chrome_trace(ok) == []
+
+
+class TestMetricsDump:
+    def test_json_dump_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        doc = write_metrics(str(path), sample_registry())
+        assert json.loads(path.read_text()) == json.loads(json.dumps(doc))
+        assert doc == metrics_dict(sample_registry())
+
+    def test_text_dump_shape(self):
+        text = render_metrics_text(sample_registry())
+        lines = text.strip().splitlines()
+        assert 'adhoc.frames_transmitted{kind="data"} 3' in lines
+        assert "kernel.events_dispatched 7" in lines
+        assert "kernel.pending_events 2" in lines
+        assert "rtdb.service_latency_count 4" in lines
+        assert "rtdb.service_latency_q0.5 2.5" in lines
+
+    def test_text_file_write(self, tmp_path):
+        path = tmp_path / "metrics.txt"
+        text = write_metrics(str(path), sample_registry(), fmt="text")
+        assert path.read_text() == text
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_metrics(str(tmp_path / "m"), sample_registry(), fmt="xml")
+
+    def test_empty_registry(self):
+        assert render_metrics_text(MetricRegistry()) == ""
+        assert metrics_dict(MetricRegistry()) == {"metrics": []}

@@ -1,0 +1,147 @@
+"""Hook installation semantics and the no-interference guarantee.
+
+The load-bearing test here is the regression at the bottom: an
+instrumented run must dispatch the *identical* TraceRecord sequence as
+an uninstrumented one — observability must never perturb the kernel's
+determinism contract.
+"""
+
+import pytest
+
+from repro.adhoc import FloodingRouter, Scenario, run_scenario
+from repro.kernel import Simulator
+from repro.kernel.trace import Tracer
+from repro.machine import RealTimeAlgorithm
+from repro.obs import Instrumentation, current, install, instrumented, uninstall
+from repro.rtdb import figure2_query, ngc_example, recognition_word, recognizes
+from repro.words import TimedWord
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_hooks():
+    assert current() is None, "another test leaked installed hooks"
+    yield
+    uninstall()
+
+
+class TestInstallation:
+    def test_install_uninstall(self):
+        inst = install()
+        assert current() is inst
+        assert uninstall() is inst
+        assert current() is None
+
+    def test_instrumented_restores_previous(self):
+        outer = install()
+        with instrumented() as inner:
+            assert current() is inner and inner is not outer
+        assert current() is outer
+
+    def test_instrumented_accepts_existing(self):
+        mine = Instrumentation()
+        with instrumented(mine) as got:
+            assert got is mine
+
+
+def kernel_workload(tracer_on: bool):
+    """A deterministic multi-process run; returns the trace timeline."""
+    sim = Simulator()
+    tracer = Tracer(sim) if tracer_on else None
+
+    def ticker(period, n):
+        for _ in range(n):
+            yield sim.timeout(period)
+
+    def waiter(proc):
+        yield proc
+
+    fast = sim.process(ticker(2, 5), name="fast")
+    sim.process(ticker(3, 4), name="slow")
+    sim.process(waiter(fast), name="waiter")
+    sim.run(until=30)
+    return [(r.time, r.name, r.ok, r.seq) for r in tracer.records] if tracer else None
+
+
+class TestNoInterference:
+    def test_identical_trace_with_and_without_hooks(self):
+        bare = kernel_workload(tracer_on=True)
+        with instrumented():
+            hooked = kernel_workload(tracer_on=True)
+        assert hooked == bare
+
+    def test_identical_acceptor_report_with_and_without_hooks(self):
+        def program(ctx):
+            sym, _at = yield ctx.input.read()
+            ctx.accept() if sym == "go" else ctx.reject()
+
+        word = TimedWord.finite([("go", 1)])
+        bare = RealTimeAlgorithm(program, name="A").decide(word)
+        with instrumented():
+            hooked = RealTimeAlgorithm(program, name="A").decide(word)
+        assert (hooked.verdict, hooked.f_count, hooked.decided_at) == (
+            bare.verdict,
+            bare.f_count,
+            bare.decided_at,
+        )
+
+    def test_identical_scenario_with_and_without_hooks(self):
+        scn = Scenario(n_nodes=8, n_messages=4, horizon=120, seed=7)
+        bare = run_scenario(FloodingRouter, scn).metrics
+        with instrumented():
+            hooked = run_scenario(FloodingRouter, scn).metrics
+        assert hooked == bare
+
+
+class TestSubsystemCounters:
+    def test_kernel_counters(self):
+        with instrumented() as inst:
+            kernel_workload(tracer_on=True)
+        reg = inst.registry
+        assert reg.counter("kernel.events_dispatched").value > 0
+        assert reg.counter("kernel.events_scheduled").value > 0
+        assert reg.counter("kernel.processes_started").value == 3
+        assert reg.counter("kernel.trace_records").value > 0
+        assert len(inst.spans.by_name("kernel.run")) == 1
+
+    def test_machine_counters(self):
+        def program(ctx):
+            yield ctx.timeout(1)
+            ctx.accept()
+
+        with instrumented() as inst:
+            RealTimeAlgorithm(program, name="A").decide(TimedWord.finite([("x", 0)]))
+        reg = inst.registry
+        assert reg.counter("machine.runs").labels(mode="decide").value == 1
+        assert reg.counter("machine.verdicts").labels(verdict="accept").value == 1
+        assert reg.counter("machine.f_symbols").value > 0
+        assert len(inst.spans.by_name("machine.decide")) == 1
+
+    def test_rtdb_counters(self):
+        db = ngc_example()
+        q = figure2_query()
+        with instrumented() as inst:
+            word = recognition_word(db, ("Schaefer", "St. Catharines"))
+            assert recognizes(q, db.schema, word)
+            assert not recognizes(q, db.schema, ["garbage"])
+        reg = inst.registry
+        assert reg.counter("rtdb.words_encoded").value == 1
+        assert reg.counter("rtdb.recognitions").labels(outcome="hit").value == 1
+        assert reg.counter("rtdb.recognitions").labels(outcome="malformed").value == 1
+        assert len(inst.spans.by_name("rtdb.recognize")) == 2
+
+    def test_adhoc_counters(self):
+        with instrumented() as inst:
+            run_scenario(FloodingRouter, Scenario(n_nodes=8, n_messages=4, horizon=120, seed=7))
+        reg = inst.registry
+        sent = reg.counter("adhoc.frames_transmitted")
+        assert sent.labels(kind="data").value > 0
+        assert reg.counter("adhoc.scenarios").labels(protocol="flooding").value == 1
+        assert reg.counter("adhoc.delivered").labels(protocol="flooding").value > 0
+        assert reg.histogram("adhoc.delivery_latency").count > 0
+        assert len(inst.spans.by_name("adhoc.scenario")) == 1
+
+    def test_disabled_hooks_record_nothing(self):
+        inst = Instrumentation()
+        kernel_workload(tracer_on=False)
+        assert inst.registry.counter("kernel.events_dispatched").value == 0
+        assert len(inst.spans) == 0

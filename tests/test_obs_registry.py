@@ -1,0 +1,129 @@
+"""Metric registry semantics: counters, gauges, exact histograms, labels."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricError, MetricRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(MetricError):
+            Counter("c").inc(-1)
+
+    def test_invalid_name(self):
+        with pytest.raises(MetricError):
+            Counter("9bad name!")
+
+
+class TestGauge:
+    def test_set_inc_dec_and_peak(self):
+        g = Gauge("g")
+        g.set(3)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 1
+        assert g.peak == 5
+
+    def test_dec_does_not_move_peak(self):
+        g = Gauge("g")
+        g.set(2)
+        g.dec(10)
+        assert g.value == -8 and g.peak == 2
+
+
+class TestHistogram:
+    def test_exact_quantiles(self):
+        h = Histogram("h")
+        for v in [5, 1, 3, 2, 4]:  # insertion order must not matter
+            h.observe(v)
+        assert h.quantile(0) == 1
+        assert h.quantile(1) == 5
+        assert h.quantile(0.5) == 3
+        assert h.quantile(0.25) == 2
+        assert h.count == 5 and h.sum == 15
+        assert h.min == 1 and h.max == 5
+
+    def test_quantile_interpolates(self):
+        h = Histogram("h")
+        h.observe(0)
+        h.observe(10)
+        assert h.quantile(0.5) == 5
+        assert h.quantile(0.9) == 9
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) is None
+        assert h.min is None and h.max is None
+        assert h.sample()["count"] == 0
+
+    def test_quantile_domain(self):
+        with pytest.raises(MetricError):
+            Histogram("h").quantile(1.5)
+
+    def test_order_independence(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in [3, 1, 2]:
+            a.observe(v)
+        for v in [1, 2, 3]:
+            b.observe(v)
+        sa, sb = a.sample(), b.sample()
+        sa.pop("name"), sb.pop("name")
+        assert sa == sb
+
+
+class TestLabels:
+    def test_children_are_cached(self):
+        c = Counter("adhoc.sent")
+        assert c.labels(protocol="aodv") is c.labels(protocol="aodv")
+        assert c.labels(protocol="aodv") is not c.labels(protocol="dsr")
+
+    def test_label_order_is_canonical(self):
+        c = Counter("c")
+        assert c.labels(a="1", b="2") is c.labels(b="2", a="1")
+
+    def test_no_labels_returns_parent(self):
+        c = Counter("c")
+        assert c.labels() is c
+
+    def test_collect_lists_children_sorted(self):
+        reg = MetricRegistry()
+        c = reg.counter("frames")
+        c.labels(kind="data").inc(2)
+        c.labels(kind="control").inc(1)
+        samples = reg.collect()
+        assert [s["labels"]["kind"] for s in samples] == ["control", "data"]
+        assert [s["value"] for s in samples] == [1, 2]
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_collision_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+
+    def test_collect_is_name_sorted_and_plain(self):
+        reg = MetricRegistry()
+        reg.gauge("b").set(1)
+        reg.counter("a").inc()
+        reg.histogram("c").observe(2)
+        samples = reg.collect()
+        assert [s["name"] for s in samples] == ["a", "b", "c"]
+        assert [s["type"] for s in samples] == ["counter", "gauge", "histogram"]
+
+    def test_reset_and_len(self):
+        reg = MetricRegistry()
+        reg.counter("a")
+        assert len(reg) == 1 and "a" in reg
+        reg.reset()
+        assert len(reg) == 0 and "a" not in reg

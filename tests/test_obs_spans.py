@@ -1,0 +1,136 @@
+"""Span nesting, deterministic ordering, thread locality, and limits."""
+
+import threading
+
+from repro.obs import SpanRecorder
+
+
+class FakeClock:
+    """Deterministic nanosecond clock: +1000 ns per reading."""
+
+    def __init__(self):
+        self.t = 0
+
+    def __call__(self) -> int:
+        self.t += 1000
+        return self.t
+
+
+def recorder():
+    return SpanRecorder(clock=FakeClock())
+
+
+class TestNesting:
+    def test_depths_and_parents(self):
+        rec = recorder()
+        with rec.span("outer") as outer:
+            with rec.span("mid") as mid:
+                with rec.span("inner") as inner:
+                    pass
+        assert (outer.depth, mid.depth, inner.depth) == (0, 1, 2)
+        assert inner.parent_seq == mid.seq
+        assert mid.parent_seq == outer.seq
+        assert outer.parent_seq is None
+
+    def test_sibling_spans_share_parent(self):
+        rec = recorder()
+        with rec.span("outer") as outer:
+            with rec.span("a") as a:
+                pass
+            with rec.span("b") as b:
+                pass
+        assert a.parent_seq == b.parent_seq == outer.seq
+        assert a.depth == b.depth == 1
+
+    def test_open_depth_tracks_stack(self):
+        rec = recorder()
+        assert rec.open_depth() == 0
+        with rec.span("s"):
+            assert rec.open_depth() == 1
+        assert rec.open_depth() == 0
+
+    def test_end_closes_dangling_children(self):
+        rec = recorder()
+        outer = rec.begin("outer")
+        rec.begin("leaked")
+        rec.end(outer)  # must close the leaked child too
+        assert rec.open_depth() == 0
+        assert all(s.end_ns is not None for s in rec.completed())
+
+
+class TestDeterminism:
+    def run_workload(self):
+        rec = recorder()
+        with rec.span("run", until=100):
+            for i in range(3):
+                with rec.span("step", i=i):
+                    pass
+        return [
+            (s.name, s.seq, s.depth, s.start_ns, s.end_ns, tuple(sorted(s.args.items())))
+        for s in rec.completed()]
+
+    def test_identical_runs_identical_spans(self):
+        assert self.run_workload() == self.run_workload()
+
+    def test_completed_is_start_ordered(self):
+        rec = recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        # inner *finishes* first but outer *started* first
+        assert [s.name for s in rec.completed()] == ["outer", "inner"]
+        seqs = [s.seq for s in rec.completed()]
+        assert seqs == sorted(seqs)
+
+    def test_durations_positive_with_fake_clock(self):
+        rec = recorder()
+        with rec.span("s"):
+            pass
+        (s,) = rec.completed()
+        assert s.duration_ns == 1000
+
+
+class TestThreads:
+    def test_stacks_are_thread_local(self):
+        rec = SpanRecorder(clock=FakeClock())
+        done = threading.Event()
+        depths = {}
+
+        def worker():
+            with rec.span("worker-span"):
+                depths["worker"] = rec.open_depth()
+            done.set()
+
+        with rec.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            done.wait(5)
+            t.join(5)
+            depths["main"] = rec.open_depth()
+        # each thread saw only its own open span
+        assert depths == {"worker": 1, "main": 1}
+        tids = {s.name: s.tid for s in rec.spans}
+        assert tids["main-span"] != tids["worker-span"]
+
+    def test_thread_numbering_is_small_ints(self):
+        rec = recorder()
+        with rec.span("s") as s:
+            pass
+        assert s.tid == 0
+
+
+class TestLimit:
+    def test_drops_beyond_limit(self):
+        rec = SpanRecorder(clock=FakeClock(), limit=2)
+        for i in range(5):
+            with rec.span(f"s{i}"):
+                pass
+        assert len(rec) == 2
+        assert rec.dropped == 3
+
+    def test_clear(self):
+        rec = recorder()
+        with rec.span("s"):
+            pass
+        rec.clear()
+        assert len(rec) == 0 and rec.dropped == 0
