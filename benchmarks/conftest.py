@@ -14,10 +14,19 @@ to write, per benchmark, a Chrome trace (``<test>.trace.json``) and a
 metrics snapshot (``<test>.metrics.json``) from the repro.obs hooks —
 the attributable breakdown behind each ``BENCH_*.json`` timing number.
 See docs/observability.md.
+
+Machine-readable summary: pass ``--bench-json PATH`` (or set
+``REPRO_BENCH_JSON``) to write one JSON document with a row per
+benchmark — wall time, kernel events dispatched, and any rows the test
+recorded through the ``bench_record`` fixture (the engine batch bench
+uses it for serial-vs-batched words/sec).  ``BENCH_engine.json`` in the
+repo root is such a capture.
 """
 
+import json
 import os
 import re
+import time
 from typing import Dict, List
 
 import pytest
@@ -31,6 +40,68 @@ def pytest_addoption(parser):
         default=os.environ.get("REPRO_OBS_DIR") or None,
         help="capture a repro.obs trace + metrics snapshot per benchmark into this directory",
     )
+    parser.addoption(
+        "--bench-json",
+        default=os.environ.get("REPRO_BENCH_JSON") or None,
+        help="write a machine-readable per-benchmark summary (wall time, events, custom rows) to this path",
+    )
+
+
+#: Rows accumulated for --bench-json, keyed by test node name.
+_BENCH_ROWS: List[Dict[str, object]] = []
+
+
+@pytest.fixture(autouse=True)
+def _bench_json_capture(request):
+    """Per-test wall-time + kernel-event capture for --bench-json."""
+    path = request.config.getoption("--bench-json")
+    if not path:
+        yield None
+        return
+    own = hooks.current() is None
+    inst = hooks.install() if own else hooks.current()
+    events_before = inst.registry.counter("kernel.events_dispatched").value
+    row: Dict[str, object] = {"test": request.node.name, "records": []}
+    request.node._bench_json_row = row
+    start = time.perf_counter()
+    try:
+        yield row
+    finally:
+        row["wall_s"] = round(time.perf_counter() - start, 6)
+        row["events_dispatched"] = (
+            inst.registry.counter("kernel.events_dispatched").value - events_before
+        )
+        if own:
+            hooks.uninstall()
+        _BENCH_ROWS.append(row)
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record named measurements into the --bench-json row (no-op
+    without the option), e.g. ``bench_record(mode="pool", wps=1234)``."""
+
+    def record(**fields):
+        row = getattr(request.node, "_bench_json_row", None)
+        if row is not None:
+            row["records"].append(fields)
+
+    return record
+
+
+def pytest_sessionfinish(session):
+    path = session.config.getoption("--bench-json", default=None)
+    if not path or not _BENCH_ROWS:
+        return
+    doc = {
+        "suite": "benchmarks",
+        "generated_by": "benchmarks/conftest.py --bench-json",
+        "benchmarks": _BENCH_ROWS,
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(autouse=True)

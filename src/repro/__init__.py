@@ -19,6 +19,11 @@ with every substrate the paper's applications require:
     The Definition 3.3/3.4 acceptor: timed input tape, write-only
     output tape, metered working storage, and the two-process
     worker/monitor harness of Section 4.
+``repro.engine``
+    The unified decision layer every domain judges through: the shared
+    Verdict/DecisionReport vocabulary, pluggable decision strategies
+    (the E14 lasso-exact / long-prefix-empirical pair), batched
+    ``decide_many`` fan-out, and the compiled-acceptor cache.
 ``repro.deadlines``
     Computing with deadlines (Section 4.1): firm/soft/no-deadline
     instance encodings and the L(Π) acceptor.
@@ -53,6 +58,7 @@ from . import (  # noqa: F401
     complexity,
     dataacc,
     deadlines,
+    engine,
     kernel,
     machine,
     obs,
@@ -66,6 +72,7 @@ __all__ = [
     "words",
     "automata",
     "machine",
+    "engine",
     "deadlines",
     "dataacc",
     "rtdb",

@@ -3,6 +3,7 @@
 from .encode import (
     NodeView,
     RouteValidation,
+    decide_route,
     distributed_views,
     node_view,
     extract_route,
@@ -10,6 +11,7 @@ from .encode import (
     network_word,
     node_word,
     receive_word,
+    route_acceptor,
     routing_word,
     validate_route,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "routing_word",
     "extract_route",
     "validate_route",
+    "route_acceptor",
+    "decide_route",
     "RouteValidation",
     "NodeView",
     "node_view",

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
+from .. import engine
+from ..obs import hooks as _obs
 from ..words.concat import concat, concat_many
 from ..words.timedword import Pair, TimedWord
 from .geometry import DiskRange, Trajectory
@@ -46,6 +48,8 @@ __all__ = [
     "RouteValidation",
     "extract_route",
     "validate_route",
+    "route_acceptor",
+    "decide_route",
     "NodeView",
     "node_view",
     "distributed_views",
@@ -368,3 +372,58 @@ def validate_route(
         chain=chain,
         violations=violations,
     )
+
+
+def route_acceptor(
+    range_pred: DiskRange,
+    trace: TraceLog,
+    require_delivery: bool = True,
+    strict_relay: bool = True,
+) -> "engine.FunctionAcceptor":
+    """R_{n,u} as an engine acceptor.
+
+    The word *is* the message here (the trace already denotes the run);
+    each judgement executes :func:`validate_route` and reports the
+    chain length as the f-count, with the violations as evidence.
+    """
+
+    def judge(message: Message, horizon: int) -> engine.DecisionReport:
+        v = validate_route(
+            range_pred,
+            trace,
+            message,
+            require_delivery=require_delivery,
+            strict_relay=strict_relay,
+        )
+        report = engine.DecisionReport(
+            verdict=engine.Verdict.ACCEPT if v.in_language else engine.Verdict.REJECT,
+            f_count=v.f,
+            horizon=horizon,
+        )
+        report.evidence["delivered"] = v.delivered
+        report.evidence["violations"] = list(v.violations)
+        return report
+
+    name = "R'_{n,u}" if not require_delivery else "R_{n,u}"
+    return engine.FunctionAcceptor(judge, name=name)
+
+
+@_obs.spanned(
+    "adhoc.decide_route",
+    args=lambda range_pred, trace, message, require_delivery=True, strict_relay=True: {
+        "message": message.uid,
+        "strict": strict_relay,
+    },
+)
+def decide_route(
+    range_pred: DiskRange,
+    trace: TraceLog,
+    message: Message,
+    require_delivery: bool = True,
+    strict_relay: bool = True,
+) -> "engine.DecisionReport":
+    """Membership of a routed message in R_{n,u}, through the engine."""
+    acceptor = route_acceptor(
+        range_pred, trace, require_delivery=require_delivery, strict_relay=strict_relay
+    )
+    return engine.decide(acceptor, message)

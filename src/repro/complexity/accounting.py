@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
+from .. import engine
 from ..machine.rtalgorithm import RealTimeAlgorithm
 from ..words.timedword import TimedWord
 
@@ -40,7 +41,7 @@ def measure_space_curve(
     peaks: List[int] = []
     for n in sizes:
         acceptor = acceptor_factory()
-        report = acceptor.decide(instance_for(n), horizon=horizon)
+        report = engine.decide(acceptor, instance_for(n), horizon=horizon)
         peaks.append(report.space_peak)
     curve = SpaceCurve(sizes=list(sizes), peaks=peaks, label="")
     curve.label = classify_growth(curve.sizes, curve.peaks)

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
+from .. import engine
 from ..machine.rtalgorithm import (
     RealTimeAlgorithm,
     SpaceLimitExceeded,
@@ -96,7 +97,7 @@ def rt_space_membership(
         sizes.append(n)
         limits.append(bound(n))
         try:
-            report = acceptor.decide(word, horizon=horizon)
+            report = engine.decide(acceptor, word, horizon=horizon)
         except SpaceLimitExceeded as exc:
             within = False
             peaks.append(bound(n) + 1)

@@ -20,12 +20,14 @@ from .encode import (
     MARKER,
     DataAccInstance,
     dataacc_acceptor,
+    decide_dataacc,
     encode_dataacc,
     make_instance,
 )
 from .cencode import (
     CAlgInstance,
     calgorithm_acceptor,
+    decide_calgorithm,
     encode_calgorithm,
     make_c_instance,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "DataAccInstance",
     "encode_dataacc",
     "dataacc_acceptor",
+    "decide_dataacc",
     "make_instance",
     "ParallelDRunResult",
     "run_parallel_dalgorithm",
@@ -66,5 +69,6 @@ __all__ = [
     "CAlgInstance",
     "encode_calgorithm",
     "calgorithm_acceptor",
+    "decide_calgorithm",
     "make_c_instance",
 ]

@@ -14,16 +14,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
+from .. import engine
 from ..kernel.events import Event
 from ..kernel.resources import Store
 from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
-from ..machine.rtalgorithm import Context, Verdict
+from ..machine.rtalgorithm import Context, DecisionReport, Verdict
+from ..obs import hooks as _obs
 from ..words.timedword import Pair, TimedWord
 from .arrival import ArrivalLaw
 from .calgorithm import Correction, CorrectingSolver
 from .encode import MARKER
 
-__all__ = ["CAlgInstance", "encode_calgorithm", "calgorithm_acceptor", "make_c_instance"]
+__all__ = [
+    "CAlgInstance",
+    "encode_calgorithm",
+    "calgorithm_acceptor",
+    "decide_calgorithm",
+    "make_c_instance",
+]
 
 
 @dataclass(frozen=True)
@@ -127,6 +135,25 @@ def calgorithm_acceptor(
     return WorkerMonitorAcceptor(worker, monitor_decision, name="L(c-alg)")
 
 
+@_obs.spanned(
+    "dataacc.decide_c",
+    args=lambda instance, solver_factory, horizon=100_000: {"horizon": horizon},
+)
+def decide_calgorithm(
+    instance: CAlgInstance,
+    solver_factory: Callable[[], CorrectingSolver],
+    horizon: int = 100_000,
+) -> DecisionReport:
+    """Judge one c-algorithm instance through the engine (cached
+    acceptor, fresh simulator per run)."""
+    acceptor = engine.cached_acceptor(
+        ("dataacc-c", id(solver_factory)),
+        lambda: calgorithm_acceptor(solver_factory),
+        solver_factory,
+    )
+    return engine.decide(acceptor, encode_calgorithm(instance), horizon=horizon)
+
+
 def make_c_instance(
     law: ArrivalLaw,
     initial_data: Sequence[Any],
@@ -171,7 +198,7 @@ def make_c_instance(
         return verdict
 
     acceptor.monitor_decision = capturing_decision
-    acceptor.decide(word, horizon=horizon)
+    engine.decide(acceptor, word, horizon=horizon)
     if not captured:
         return None  # no termination window within the horizon
     solution = captured[0]

@@ -26,15 +26,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from .. import engine
 from ..kernel.events import Event
 from ..kernel.resources import Store
 from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
-from ..machine.rtalgorithm import Context, Verdict
+from ..machine.rtalgorithm import Context, DecisionReport, Verdict
+from ..obs import hooks as _obs
 from ..words.timedword import Pair, TimedWord
 from .arrival import ArrivalLaw
 from .dalgorithm import OnlineSolver
 
-__all__ = ["MARKER", "DataAccInstance", "encode_dataacc", "dataacc_acceptor", "make_instance"]
+__all__ = [
+    "MARKER",
+    "DataAccInstance",
+    "encode_dataacc",
+    "dataacc_acceptor",
+    "decide_dataacc",
+    "make_instance",
+]
 
 MARKER = "c"
 
@@ -136,6 +145,29 @@ def dataacc_acceptor(solver_factory: Callable[[], OnlineSolver]) -> WorkerMonito
         return Verdict.REJECT
 
     return WorkerMonitorAcceptor(worker, monitor_decision, name="L(d-alg)")
+
+
+@_obs.spanned(
+    "dataacc.decide",
+    args=lambda instance, solver_factory, horizon=100_000: {"horizon": horizon},
+)
+def decide_dataacc(
+    instance: DataAccInstance,
+    solver_factory: Callable[[], OnlineSolver],
+    horizon: int = 100_000,
+) -> DecisionReport:
+    """Judge one d-algorithm instance through the engine.
+
+    The acceptor's finite control depends only on ``solver_factory``,
+    so it is cached across instances; each run still gets a fresh
+    simulator.
+    """
+    acceptor = engine.cached_acceptor(
+        ("dataacc", id(solver_factory)),
+        lambda: dataacc_acceptor(solver_factory),
+        solver_factory,
+    )
+    return engine.decide(acceptor, encode_dataacc(instance), horizon=horizon)
 
 
 def make_instance(

@@ -19,10 +19,12 @@ from __future__ import annotations
 import random
 from typing import Any, Generator, Optional, Tuple
 
+from .. import engine
 from ..kernel.events import Event
 from ..kernel.resources import Store
 from ..machine.monitor import WorkerMonitorAcceptor, WorkerSignal
 from ..machine.rtalgorithm import Context, Verdict
+from ..obs import hooks as _obs
 from ..words.language import PredicateLanguage
 from ..words.timedword import TimedWord
 from .encode import DEADLINE, decode_prefix, encode_instance
@@ -108,11 +110,27 @@ def deadline_acceptor(problem: Problem) -> WorkerMonitorAcceptor:
     return WorkerMonitorAcceptor(worker, monitor_decision, name=f"L({problem.name})")
 
 
+def _acceptor_for(problem: Problem) -> WorkerMonitorAcceptor:
+    """The (cached) Section 4.1 acceptor for one problem."""
+    return engine.cached_acceptor(
+        ("deadlines", id(problem)),
+        lambda: deadline_acceptor(problem),
+        problem,
+    )
+
+
+@_obs.spanned(
+    "deadlines.decide_instance",
+    args=lambda instance, horizon=50_000: {
+        "problem": instance.problem.name,
+        "horizon": horizon,
+    },
+)
 def decide_instance(instance: DeadlineInstance, horizon: int = 50_000):
-    """Encode an instance, run the acceptor, and return the report."""
+    """Encode an instance, judge it through the engine, and return the
+    report (lasso-exact: the acceptor always reaches s_f or s_r)."""
     word = encode_instance(instance)
-    acceptor = deadline_acceptor(instance.problem)
-    return acceptor.decide(word, horizon=horizon)
+    return engine.decide(_acceptor_for(instance.problem), word, horizon=horizon)
 
 
 def language_of(problem: Problem, rng_instances=None) -> PredicateLanguage:
@@ -126,7 +144,7 @@ def language_of(problem: Problem, rng_instances=None) -> PredicateLanguage:
     def predicate(word: TimedWord) -> bool:
         # Round-trip through the acceptor: the acceptor *is* the
         # membership procedure for encoded words.
-        report = deadline_acceptor(problem).decide(word, horizon=50_000)
+        report = engine.decide(_acceptor_for(problem), word, horizon=50_000)
         return report.accepted
 
     sampler = None

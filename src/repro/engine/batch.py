@@ -1,0 +1,217 @@
+"""Batched, parallel decision fan-out and the compiled-acceptor cache.
+
+``decide_many`` is the production entry point the ROADMAP's batching
+direction calls for: judge a whole sweep of words against one acceptor,
+optionally across a process pool, with three guarantees:
+
+* **Deterministic order** — reports come back in word order regardless
+  of worker count or chunking;
+* **Bit-identical to serial** — every run builds a fresh
+  :class:`~repro.kernel.simulator.Simulator`, so a word's report is a
+  pure function of (acceptor, word, horizon, strategy, seed) and the
+  pooled path returns exactly what the serial path would;
+* **Seeded** — each word's report carries ``evidence["seed"] =
+  seed + index``, so sampled strategies stay reproducible under any
+  fan-out.
+
+The pool uses the ``fork`` start method (Linux; the CI smoke job pins
+it): the parent stashes the job in a module global before forking, so
+acceptors and words — which close over arbitrary generator programs and
+are therefore unpicklable — are inherited by memory copy and never
+serialized.  Only chunk index ranges travel to the children and only
+plain :class:`~repro.engine.verdict.DecisionReport` lists travel back.
+Where ``fork`` is unavailable (or ``workers <= 1``) the call degrades
+to the serial loop, results unchanged.
+
+The second half of the module is the compiled-acceptor LRU: building an
+acceptor is often far more expensive than one decision (notably the
+TBA→machine compilation of :mod:`repro.machine.from_tba`, which used to
+be recompiled on every call).  :func:`cached_acceptor` memoizes any
+identity-keyed construction, anchoring the keyed objects so ``id``
+reuse cannot alias entries; :func:`compiled_tba` is the TBA
+specialization.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from collections import OrderedDict
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from ..obs import hooks as _obs
+from .strategies import DEFAULT_HORIZON, DecisionStrategy, get_strategy
+from .verdict import DecisionReport
+
+__all__ = [
+    "decide_many",
+    "AcceptorCache",
+    "cached_acceptor",
+    "compiled_tba",
+    "clear_caches",
+]
+
+#: The in-flight pooled job: (acceptor, words, horizon, strategy, seed).
+#: Set by the parent immediately before forking, inherited by children.
+_JOB: Optional[Tuple[Any, Sequence[Any], int, DecisionStrategy, int]] = None
+
+
+def _decide_one(
+    acceptor: Any,
+    word: Any,
+    horizon: int,
+    strategy: DecisionStrategy,
+    seed: int,
+    index: int,
+) -> DecisionReport:
+    """One seeded, index-stamped decision (shared by both paths)."""
+    report = strategy.run(acceptor, word, horizon)
+    report.evidence["seed"] = seed + index
+    report.evidence["index"] = index
+    return report
+
+
+def _run_chunk(bounds: Tuple[int, int]) -> List[DecisionReport]:
+    """Pool worker: judge one contiguous index range of the job."""
+    acceptor, words, horizon, strategy, seed = _JOB  # type: ignore[misc]
+    lo, hi = bounds
+    return [
+        _decide_one(acceptor, words[i], horizon, strategy, seed, i)
+        for i in range(lo, hi)
+    ]
+
+
+def decide_many(
+    acceptor: Any,
+    words: Sequence[Any],
+    *,
+    horizon: int = DEFAULT_HORIZON,
+    strategy: Union[str, DecisionStrategy] = "lasso-exact",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    seed: int = 0,
+) -> List[DecisionReport]:
+    """Judge every word in ``words``, optionally across a process pool.
+
+    Returns one report per word, in word order.  ``workers > 1``
+    fans chunks out over forked processes when the platform supports
+    it; the serial fallback produces identical reports.
+    """
+    global _JOB
+    words = list(words)
+    strat = get_strategy(strategy)
+    n = len(words)
+    use_pool = (
+        workers > 1
+        and n > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("engine.batches", mode="pool" if use_pool else "serial")
+        h.count("engine.batch_words", n)
+
+    def run() -> List[DecisionReport]:
+        global _JOB
+        if not use_pool:
+            return [
+                _decide_one(acceptor, words[i], horizon, strat, seed, i)
+                for i in range(n)
+            ]
+        size = chunk_size or max(1, math.ceil(n / (workers * 4)))
+        chunks = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        ctx = multiprocessing.get_context("fork")
+        _JOB = (acceptor, words, horizon, strat, seed)
+        try:
+            with ctx.Pool(processes=min(workers, len(chunks))) as pool:
+                parts = pool.map(_run_chunk, chunks)
+        finally:
+            _JOB = None
+        return [report for part in parts for report in part]
+
+    if h is None:
+        return run()
+    with h.span(
+        "engine.decide_many",
+        words=n,
+        workers=workers if use_pool else 1,
+        strategy=strat.name,
+        horizon=horizon,
+    ):
+        return run()
+
+
+# ----------------------------------------------------------------------
+# compiled-acceptor cache
+# ----------------------------------------------------------------------
+
+class AcceptorCache:
+    """A small LRU of compiled acceptors.
+
+    Keys are arbitrary hashables — typically ``(tag, id(obj), …)``.
+    Because ``id`` keys are only valid while the keyed object lives,
+    every entry also *anchors* the objects it was keyed on, so a cached
+    entry can never be served for a recycled id.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Any, Tuple[Tuple[Any, ...], Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: Any, factory: Callable[[], Any], *anchors: Any) -> Any:
+        entry = self._entries.get(key)
+        h = _obs.HOOKS
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if h is not None:
+                h.count("engine.acceptor_cache", outcome="hit")
+            return entry[1]
+        self.misses += 1
+        if h is not None:
+            h.count("engine.acceptor_cache", outcome="miss")
+        acceptor = factory()
+        self._entries[key] = (anchors, acceptor)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return acceptor
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide cache every domain's decide helper shares.
+_CACHE = AcceptorCache()
+
+
+def cached_acceptor(key: Any, factory: Callable[[], Any], *anchors: Any) -> Any:
+    """Memoized acceptor construction through the shared engine cache."""
+    return _CACHE.get_or_build(key, factory, *anchors)
+
+
+def compiled_tba(tba: Any, allow_nondeterministic: bool = False) -> Any:
+    """The cached TBA→machine compilation (Section 3.1.1, executable).
+
+    Same contract as :func:`repro.machine.from_tba.tba_to_algorithm`,
+    but repeated calls on the same automaton reuse the compiled
+    :class:`~repro.machine.rtalgorithm.RealTimeAlgorithm`.
+    """
+    from ..machine.from_tba import tba_to_algorithm
+
+    return cached_acceptor(
+        ("tba", id(tba), allow_nondeterministic),
+        lambda: tba_to_algorithm(tba, allow_nondeterministic=allow_nondeterministic),
+        tba,
+    )
+
+
+def clear_caches() -> None:
+    """Drop every cached acceptor (tests and long-lived services)."""
+    _CACHE.clear()

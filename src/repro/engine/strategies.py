@@ -1,0 +1,176 @@
+"""Pluggable decision procedures over Definition 3.4 acceptors.
+
+The E14 ablation (``benchmarks/bench_def34_acceptance.py``) contrasts
+two ways of judging "infinitely many f on the output tape"; before the
+engine existed they were hard-wired per call site (``decide`` vs
+``count_f``).  Here they are first-class strategies, selectable per
+request:
+
+* :class:`LassoExact` (``"lasso-exact"``) — the paper's own
+  absorbing-verdict discipline: run until s_f/s_r is declared or the
+  horizon passes.  Exact on the lasso words every Section 4/5
+  construction produces, and O(decision point) regardless of horizon.
+* :class:`LongPrefixEmpirical` (``"long-prefix-empirical"``) — run a
+  long prefix, count f's, and decide empirically (f_count > 0 ⟺
+  accept).  Linear in the horizon and only horizon-confident, but
+  applicable to machines that never declare an absorbing state.
+* :class:`FRate` (``"f-rate"``) — the raw prefix count with no verdict
+  rewrite, for languages judged by f-*rate* (the periodic L_pq service
+  discipline, eq. (10)).
+
+An *acceptor* is anything exposing the machine judge protocol —
+``decide(word, horizon=…)`` and ``count_f(word, horizon)`` returning a
+:class:`~repro.engine.verdict.DecisionReport` — i.e. every
+:class:`~repro.machine.rtalgorithm.RealTimeAlgorithm`, or a plain
+callable wrapped in :class:`FunctionAcceptor` (how the ad hoc routing
+validator joins the engine without being a machine).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..obs import hooks as _obs
+from .verdict import DecisionReport, Verdict
+
+__all__ = [
+    "DecisionStrategy",
+    "LassoExact",
+    "LongPrefixEmpirical",
+    "FRate",
+    "FunctionAcceptor",
+    "STRATEGIES",
+    "get_strategy",
+    "decide",
+]
+
+#: Default judging horizon, matching the machine layer's.
+DEFAULT_HORIZON = 10_000
+
+
+class DecisionStrategy:
+    """A decision procedure: (acceptor, word, horizon) → report."""
+
+    name: str = "strategy"
+
+    def run(self, acceptor: Any, word: Any, horizon: int) -> DecisionReport:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class LassoExact(DecisionStrategy):
+    """Absorbing-verdict judging (the paper's acceptors' own discipline)."""
+
+    name = "lasso-exact"
+
+    def run(self, acceptor: Any, word: Any, horizon: int) -> DecisionReport:
+        report = acceptor.decide(word, horizon=horizon)
+        report.strategy = self.name
+        report.evidence.setdefault("discipline", "absorbing-verdict")
+        return report
+
+
+class LongPrefixEmpirical(DecisionStrategy):
+    """Prefix f-counting with an empirical accept/reject rewrite.
+
+    The raw machine verdict (usually UNDECIDED — ``count_f`` never
+    waits for an absorbing state) is preserved in
+    ``evidence["raw_verdict"]``; the report's verdict becomes the
+    empirical judgement f_count > 0 ⟺ ACCEPT, which is what the E14
+    agreement sweep compares against the exact discipline.
+    """
+
+    name = "long-prefix-empirical"
+
+    def run(self, acceptor: Any, word: Any, horizon: int) -> DecisionReport:
+        report = acceptor.count_f(word, horizon)
+        report.strategy = self.name
+        report.evidence.setdefault("discipline", "prefix-f-count")
+        report.evidence["raw_verdict"] = report.verdict.value
+        report.verdict = Verdict.ACCEPT if report.f_count > 0 else Verdict.REJECT
+        return report
+
+
+class FRate(DecisionStrategy):
+    """Raw prefix f-counting, verdict untouched (f-rate judging)."""
+
+    name = "f-rate"
+
+    def run(self, acceptor: Any, word: Any, horizon: int) -> DecisionReport:
+        report = acceptor.count_f(word, horizon)
+        report.strategy = self.name
+        report.evidence.setdefault("discipline", "prefix-f-count")
+        return report
+
+
+class FunctionAcceptor:
+    """Adapts a plain decision function to the acceptor protocol.
+
+    ``fn(word, horizon)`` must return a :class:`DecisionReport`; both
+    judge entry points delegate to it, so any strategy degrades to
+    "call the function".  This is how non-machine validators (the ad
+    hoc R_{n,u} checker) ride the batch layer.
+    """
+
+    def __init__(self, fn: Callable[[Any, int], DecisionReport], name: str = "fn"):
+        self.fn = fn
+        self.name = name
+
+    def decide(self, word: Any, horizon: int = DEFAULT_HORIZON) -> DecisionReport:
+        return self.fn(word, horizon)
+
+    def count_f(self, word: Any, horizon: int) -> DecisionReport:
+        return self.fn(word, horizon)
+
+
+#: Registry of selectable strategies (the E14 pair + f-rate).
+STRATEGIES: Dict[str, DecisionStrategy] = {
+    s.name: s for s in (LassoExact(), LongPrefixEmpirical(), FRate())
+}
+
+
+def get_strategy(spec: Union[str, DecisionStrategy]) -> DecisionStrategy:
+    """Resolve a strategy name (or pass an instance through)."""
+    if isinstance(spec, DecisionStrategy):
+        return spec
+    try:
+        return STRATEGIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown decision strategy {spec!r}; known: {sorted(STRATEGIES)}"
+        ) from None
+
+
+def decide(
+    acceptor: Any,
+    word: Any,
+    *,
+    horizon: int = DEFAULT_HORIZON,
+    strategy: Union[str, DecisionStrategy] = "lasso-exact",
+    seed: Optional[int] = None,
+) -> DecisionReport:
+    """Judge one word through the engine.
+
+    The single-word entry point every domain's decide helper now routes
+    through; ``seed`` is recorded in the evidence (reserved for sampled
+    strategies, and what makes batch fan-out reproducible).
+    """
+    strat = get_strategy(strategy)
+    h = _obs.HOOKS
+    if h is None:
+        report = strat.run(acceptor, word, horizon)
+    else:
+        with h.span(
+            "engine.decide",
+            strategy=strat.name,
+            horizon=horizon,
+            acceptor=getattr(acceptor, "name", type(acceptor).__name__),
+        ):
+            report = strat.run(acceptor, word, horizon)
+        h.count("engine.decisions", strategy=strat.name)
+        h.count("engine.verdicts", verdict=report.verdict.value)
+    if seed is not None:
+        report.evidence["seed"] = seed
+    return report

@@ -244,9 +244,13 @@ class Simulator:
             sentinel = until
 
             def _halt(ev: Event) -> None:
-                raise StopSimulation(ev.value if ev.ok else ev.value)
+                if ev.ok:
+                    raise StopSimulation(ev.value)
+                raise ev.value  # the until-event failed: surface its exception
 
             if sentinel.triggered:
+                if not sentinel.ok:
+                    raise sentinel.value
                 return sentinel.value
             sentinel.add_callback(_halt)
             horizon = None

@@ -17,9 +17,9 @@ machines that never declare one.
 
 from __future__ import annotations
 
-from enum import Enum
 from typing import Any, Callable, Dict, Generator, Optional
 
+from ..engine.verdict import DecisionReport, Verdict
 from ..kernel.events import Event, SimulationError
 from ..kernel.simulator import Simulator
 from ..obs import hooks as _obs
@@ -38,14 +38,6 @@ __all__ = [
 
 #: The designated output symbol f of Definition 3.4.
 ACCEPT_SYMBOL = "f"
-
-
-class Verdict(Enum):
-    """Outcome of judging a run."""
-
-    ACCEPT = "accept"
-    REJECT = "reject"
-    UNDECIDED = "undecided"
 
 
 class SpaceLimitExceeded(SimulationError):
@@ -151,26 +143,9 @@ class Context:
 
 Program = Callable[[Context], Generator[Event, Any, Any]]
 
-
-class DecisionReport:
-    """Result of judging a run of a real-time algorithm on a word."""
-
-    def __init__(self, verdict: Verdict, f_count: int, horizon: int, space_peak: int, decided_at: Optional[int]):
-        self.verdict = verdict
-        self.f_count = f_count
-        self.horizon = horizon
-        self.space_peak = space_peak
-        self.decided_at = decided_at
-
-    @property
-    def accepted(self) -> bool:
-        return self.verdict is Verdict.ACCEPT
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return (
-            f"DecisionReport({self.verdict.value}, f={self.f_count}, "
-            f"horizon={self.horizon}, space={self.space_peak}, at={self.decided_at})"
-        )
+# Verdict and DecisionReport are the engine-wide vocabulary now; see
+# repro.engine.verdict.  Re-exported here for the historical import
+# path (``from repro.machine import Verdict``).
 
 
 class RealTimeAlgorithm:
@@ -216,13 +191,13 @@ class RealTimeAlgorithm:
                 h.observe("machine.decision_chronon", report.decided_at)
         return report
 
+    @_obs.spanned(
+        "machine.decide",
+        args=lambda self, word, horizon=10_000: {"algorithm": self.name, "horizon": horizon},
+    )
     def decide(self, word: TimedWord, horizon: int = 10_000) -> DecisionReport:
         """Judge acceptance of ``word`` (Definition 3.4 discipline)."""
-        h = _obs.HOOKS
-        if h is not None:
-            with h.span("machine.decide", algorithm=self.name, horizon=horizon):
-                return self._report_run("decide", self._decide(word, horizon))
-        return self._decide(word, horizon)
+        return self._report_run("decide", self._decide(word, horizon))
 
     def _decide(self, word: TimedWord, horizon: int) -> DecisionReport:
         ctx = self._build(word)
@@ -246,13 +221,13 @@ class RealTimeAlgorithm:
             decided_at=decided_at,
         )
 
+    @_obs.spanned(
+        "machine.count_f",
+        args=lambda self, word, horizon: {"algorithm": self.name, "horizon": horizon},
+    )
     def count_f(self, word: TimedWord, horizon: int) -> DecisionReport:
         """Run for exactly ``horizon`` chronons and count the f's."""
-        h = _obs.HOOKS
-        if h is not None:
-            with h.span("machine.count_f", algorithm=self.name, horizon=horizon):
-                return self._report_run("count_f", self._count_f(word, horizon))
-        return self._count_f(word, horizon)
+        return self._report_run("count_f", self._count_f(word, horizon))
 
     def _count_f(self, word: TimedWord, horizon: int) -> DecisionReport:
         ctx = self._build(word)

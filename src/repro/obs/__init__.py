@@ -45,6 +45,7 @@ from .hooks import (  # noqa: F401
     current,
     install,
     instrumented,
+    spanned,
     uninstall,
 )
 from .registry import (  # noqa: F401
@@ -69,6 +70,7 @@ __all__ = [
     "uninstall",
     "current",
     "instrumented",
+    "spanned",
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",

@@ -31,8 +31,9 @@ The metric inventory each subsystem exposes is documented in
 
 from __future__ import annotations
 
+import functools
 from contextlib import contextmanager
-from typing import Any, ContextManager, Iterator, Optional
+from typing import Any, Callable, ContextManager, Iterator, Mapping, Optional
 
 from .registry import MetricRegistry
 from .spans import SpanRecorder
@@ -44,6 +45,7 @@ __all__ = [
     "uninstall",
     "current",
     "instrumented",
+    "spanned",
 ]
 
 #: The installed instrumentation, or None.  Call sites read this
@@ -133,6 +135,48 @@ def uninstall() -> Optional[Instrumentation]:
 def current() -> Optional[Instrumentation]:
     """The installed instrumentation, if any."""
     return HOOKS
+
+
+def spanned(
+    name: str,
+    args: Optional[Callable[..., Mapping[str, Any]]] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator form of the span fast path.
+
+    Replaces the hand-rolled call-site boilerplate::
+
+        h = _obs.HOOKS
+        if h is not None:
+            with h.span("machine.decide", algorithm=self.name, ...):
+                return self._decide(word, horizon)
+        return self._decide(word, horizon)
+
+    with::
+
+        @spanned("machine.decide",
+                 args=lambda self, word, horizon=10_000:
+                     {"algorithm": self.name, "horizon": horizon})
+        def decide(self, word, horizon=10_000): ...
+
+    ``args`` (optional) receives the wrapped call's arguments verbatim
+    and returns the span's args mapping; it is only evaluated when
+    hooks are installed, so the disabled cost stays one attribute read
+    and a ``None`` test.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(*call_args: Any, **call_kwargs: Any) -> Any:
+            h = HOOKS
+            if h is None:
+                return fn(*call_args, **call_kwargs)
+            span_args = dict(args(*call_args, **call_kwargs)) if args else {}
+            with h.span(name, **span_args):
+                return fn(*call_args, **call_kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 @contextmanager

@@ -23,6 +23,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
+from .. import engine
 from ..deadlines.spec import DeadlineSpec
 from ..kernel.events import Event
 from ..kernel.resources import Store
@@ -260,23 +261,52 @@ class RecognitionInstance:
         )
 
 
+def _acceptor_for(registry: QueryRegistry, periodic: bool) -> WorkerMonitorAcceptor:
+    """The (cached) Definition 5.1 acceptor for one registry/flavour.
+
+    The acceptor's finite control is a pure function of the registry,
+    so repeated judgements against the same registry reuse it; every
+    run still gets a fresh :class:`~repro.kernel.simulator.Simulator`.
+    """
+    return engine.cached_acceptor(
+        ("rtdb", id(registry), periodic),
+        lambda: rtdb_acceptor(registry, periodic=periodic),
+        registry,
+    )
+
+
+@_obs.spanned(
+    "rtdb.decide_aperiodic",
+    args=lambda registry, instance, candidate, horizon=20_000: {
+        "query": instance.query_name,
+        "horizon": horizon,
+    },
+)
 def decide_aperiodic(
     registry: QueryRegistry,
     instance: RecognitionInstance,
     candidate: Tuple[Any, ...],
     horizon: int = 20_000,
 ) -> DecisionReport:
-    """Membership of db_B·aq in L_aq, by running the acceptor."""
+    """Membership of db_B·aq in L_aq, through the engine's lasso-exact
+    strategy (the acceptor always declares an absorbing verdict)."""
     h = _obs.HOOKS
     if h is not None:
         h.count("rtdb.acceptor_runs", language="L_aq")
-        with h.span("rtdb.decide_aperiodic", query=instance.query_name, horizon=horizon):
-            word = instance.aperiodic_word(candidate)
-            return rtdb_acceptor(registry).decide(word, horizon=horizon)
     word = instance.aperiodic_word(candidate)
-    return rtdb_acceptor(registry).decide(word, horizon=horizon)
+    return engine.decide(
+        _acceptor_for(registry, periodic=False), word, horizon=horizon
+    )
 
 
+@_obs.spanned(
+    "rtdb.serve_periodic",
+    args=lambda registry, instance, candidates, period, horizon: {
+        "query": instance.query_name,
+        "period": period,
+        "horizon": horizon,
+    },
+)
 def serve_periodic(
     registry: QueryRegistry,
     instance: RecognitionInstance,
@@ -285,17 +315,15 @@ def serve_periodic(
     horizon: int,
 ) -> DecisionReport:
     """Run the periodic acceptor for ``horizon`` chronons; the f-count
-    is the number of successfully served invocations."""
+    is the number of successfully served invocations (engine ``f-rate``
+    strategy: raw verdict, empirical f-count)."""
     h = _obs.HOOKS
     if h is not None:
         h.count("rtdb.acceptor_runs", language="L_pq")
-        with h.span(
-            "rtdb.serve_periodic",
-            query=instance.query_name,
-            period=period,
-            horizon=horizon,
-        ):
-            word = instance.periodic_word(candidates, period)
-            return rtdb_acceptor(registry, periodic=True).count_f(word, horizon=horizon)
     word = instance.periodic_word(candidates, period)
-    return rtdb_acceptor(registry, periodic=True).count_f(word, horizon=horizon)
+    return engine.decide(
+        _acceptor_for(registry, periodic=True),
+        word,
+        horizon=horizon,
+        strategy="f-rate",
+    )

@@ -108,6 +108,26 @@ class TestBasicExecution:
         assert value == "done"
         assert sim.now == 5
 
+    def test_run_until_failed_event_raises(self):
+        # Regression: the failure arm of run(until=event) used to fall
+        # through to StopSimulation(ev.value), silently *returning* the
+        # exception instead of raising it.
+        sim = Simulator()
+        ev = sim.event(name="doomed")
+        ev.fail(ValueError("boom"), delay=3)
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(until=ev)
+        assert sim.now == 3
+
+    def test_run_until_already_failed_event_raises(self):
+        sim = Simulator()
+        ev = sim.event(name="doomed")
+        ev.fail(ValueError("boom"), delay=0)
+        sim.run()  # fires (and defuses via this watcher-less dispatch)
+        assert not ev.ok
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(until=ev)
+
 
 class TestDeterminism:
     def test_same_seed_same_trace(self):

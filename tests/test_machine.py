@@ -270,3 +270,45 @@ class TestWorkerMonitor:
             TimedWord.lasso([], [("w", 1)], shift=1)
         )
         assert stamps == [4]
+
+
+class TestGeneratorBackedWords:
+    """decide/count_f on functional (non-lasso) words — the arrival-law
+    regime of Section 4.2, where the word has no finite description."""
+
+    @staticmethod
+    def accept_after(n):
+        def prog(ctx):
+            total = 0
+            for _ in range(n):
+                v, _t = yield ctx.input.read()
+                total += v
+            if total == n:
+                ctx.accept()
+            else:
+                ctx.reject()
+
+        return RealTimeAlgorithm(prog)
+
+    def test_decide_on_functional_word(self):
+        # symbol 1 arrives at every chronon i, forever — no lasso form.
+        word = TimedWord.functional(lambda i: (1, i))
+        report = self.accept_after(6).decide(word, horizon=1_000)
+        assert report.accepted
+        assert report.decided_at == 5  # sixth symbol arrives at chronon 5
+        assert report.f_count > 0
+
+    def test_decide_rejects_on_functional_word(self):
+        word = TimedWord.functional(lambda i: (2, i))
+        report = self.accept_after(6).decide(word, horizon=1_000)
+        assert not report.accepted
+        assert report.f_count == 0
+
+    def test_count_f_on_functional_word(self):
+        # Quadratic arrival law: datum i arrives at i^2 — genuinely
+        # non-periodic timing, still judged over a fixed prefix.
+        word = TimedWord.functional(lambda i: (1, i * i))
+        report = self.accept_after(4).count_f(word, horizon=100)
+        assert report.verdict is Verdict.ACCEPT  # absorbing state reached
+        # f flows every chronon from the decision (at 3^2=9) to the horizon
+        assert report.f_count > 50
