@@ -19,11 +19,17 @@ Both procedures are engine strategies now (``lasso-exact`` /
 """
 
 import pytest
+from conftest import quick_sized
 
 from repro.automata import BuchiAutomaton, LassoWord
 from repro.engine import decide
 from repro.machine import RealTimeAlgorithm
 from repro.words import TimedWord
+
+HORIZONS = quick_sized([100, 1_000, 10_000], [100, 1_000])
+AGREE_NS = quick_sized((8, 16, 64), (8, 16))
+AGREE_HORIZON = quick_sized(5_000, 1_000)
+CYCLE_LENS = quick_sized([2, 8, 32], [2, 8])
 
 
 def make_word(n: int, member: bool):
@@ -51,7 +57,7 @@ def make_acceptor():
     return RealTimeAlgorithm(prog)
 
 
-@pytest.mark.parametrize("horizon", [100, 1_000, 10_000])
+@pytest.mark.parametrize("horizon", HORIZONS)
 def test_e14_absorbing_verdict_flat_in_horizon(benchmark, report, horizon):
     word = make_word(32, member=True)
     acceptor = make_acceptor()
@@ -64,7 +70,7 @@ def test_e14_absorbing_verdict_flat_in_horizon(benchmark, report, horizon):
     report.add(horizon=horizon, decided_at=rep.decided_at, f=rep.f_count)
 
 
-@pytest.mark.parametrize("horizon", [100, 1_000, 10_000])
+@pytest.mark.parametrize("horizon", HORIZONS)
 def test_e14_prefix_counting_linear_in_horizon(benchmark, report, horizon):
     word = make_word(32, member=True)
     acceptor = make_acceptor()
@@ -81,14 +87,14 @@ def test_e14_prefix_counting_linear_in_horizon(benchmark, report, horizon):
 
 def test_e14_judges_agree(once, report):
     def sweep():
-        for n in (8, 16, 64):
+        for n in AGREE_NS:
             for member in (True, False):
                 word = make_word(n, member)
-                a = decide(make_acceptor(), word, horizon=5_000)
+                a = decide(make_acceptor(), word, horizon=AGREE_HORIZON)
                 b = decide(
                     make_acceptor(),
                     word,
-                    horizon=5_000,
+                    horizon=AGREE_HORIZON,
                     strategy="long-prefix-empirical",
                 )
                 agree = a.accepted == b.accepted
@@ -99,7 +105,7 @@ def test_e14_judges_agree(once, report):
     once(sweep)
 
 
-@pytest.mark.parametrize("cycle_len", [2, 8, 32])
+@pytest.mark.parametrize("cycle_len", CYCLE_LENS)
 def test_e14_buchi_lasso_acceptance_cost(benchmark, report, cycle_len):
     """The automaton-side judge: Büchi acceptance of u·vω."""
     buchi = BuchiAutomaton(

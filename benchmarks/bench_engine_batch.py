@@ -19,10 +19,10 @@ Words/sec per regime land in the ``--bench-json`` capture
 parameters.
 """
 
-import os
 import time
 
 import pytest
+from conftest import quick_sized
 
 from repro.automata import TimedBuchiAutomaton, TimedTransition
 from repro.engine import Verdict, clear_caches, compiled_tba, decide_many
@@ -30,10 +30,9 @@ from repro.kernel import Le
 from repro.machine import RealTimeAlgorithm, tba_to_algorithm
 from repro.words import TimedWord
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
-N_WORDS = 16 if QUICK else 64
-HORIZON = 200 if QUICK else 400
-SWEEP_HORIZON = 1_000 if QUICK else 5_000
+N_WORDS = quick_sized(64, 16)
+HORIZON = quick_sized(400, 200)
+SWEEP_HORIZON = quick_sized(5_000, 1_000)
 
 
 def make_parity_word(n, member):

@@ -10,6 +10,7 @@ the measured k′ of each pq word never exceeds the Lemma 5.1 bound.
 """
 
 import pytest
+from conftest import quick_sized
 
 from repro.deadlines import DeadlineKind, DeadlineSpec, HyperbolicUsefulness
 from repro.rtdb import (
@@ -31,6 +32,12 @@ REGISTRY = QueryRegistry(
     derivations={},
     eval_cost=lambda name, st: 2,
 )
+
+N_SENSORS = quick_sized([1, 4, 16], [1, 4])
+PERIODS = quick_sized([5, 10, 50], [5, 10])
+SERVICE_HORIZON = quick_sized(400, 200)
+LEMMA_KS = quick_sized((16, 64, 256), (16, 64))
+LEMMA_HORIZON = quick_sized(500_000, 100_000)
 
 
 def _instance(spec, issue_time=12, n_sensors=1):
@@ -74,7 +81,7 @@ def test_e7_decision_matrix(once, report):
     once(sweep)
 
 
-@pytest.mark.parametrize("n_sensors", [1, 4, 16])
+@pytest.mark.parametrize("n_sensors", N_SENSORS)
 def test_e7_acceptance_cost_vs_db_size(benchmark, report, n_sensors):
     """eq. (9) membership cost as the database grows."""
     inst = _instance(DeadlineSpec(DeadlineKind.NONE), n_sensors=n_sensors)
@@ -87,11 +94,11 @@ def test_e7_acceptance_cost_vs_db_size(benchmark, report, n_sensors):
     report.add(sensors=n_sensors, decided_at=rep.decided_at)
 
 
-@pytest.mark.parametrize("period", [5, 10, 50])
+@pytest.mark.parametrize("period", PERIODS)
 def test_e8_periodic_service(benchmark, report, period):
     """eq. (10): one f per served invocation."""
     inst = _instance(DeadlineSpec(DeadlineKind.NONE), issue_time=10)
-    horizon = 400
+    horizon = SERVICE_HORIZON
 
     def serve():
         return serve_periodic(
@@ -110,7 +117,7 @@ def test_e8_lemma51_bound(once, report):
     """Measured k′ vs the Lemma 5.1 bound across periods and horizons."""
 
     def sweep():
-        for period in (5, 10, 50):
+        for period in PERIODS:
             w = pq_word(
                 "hot",
                 lambda i: ("temp0",),
@@ -120,8 +127,8 @@ def test_e8_lemma51_bound(once, report):
             )
             ts = w.time_sequence
             header_len = len(repr(("temp0",))) + len("hot@5") + 3
-            for k in (16, 64, 256):
-                kprime = ts.first_index_reaching(k, horizon=500_000)
+            for k in LEMMA_KS:
+                kprime = ts.first_index_reaching(k, horizon=LEMMA_HORIZON)
                 bound = lemma51_bound(k, 5, period, header_len + 4)
                 report.add(period=period, k=k, k_prime=kprime, bound=bound,
                            within=kprime is not None and kprime <= bound)

@@ -11,6 +11,7 @@ every n.
 """
 
 import pytest
+from conftest import quick_sized
 
 from repro.adhoc import (
     FloodingRouter,
@@ -21,6 +22,12 @@ from repro.adhoc import (
     validate_route,
 )
 from repro.words import Trilean
+
+MATRIX_NS = quick_sized((10, 30, 60), (10, 30))
+VALIDATOR_NS = quick_sized([10, 50, 200], [10, 50])
+WORD_NS = quick_sized([5, 20], [5])
+NETWORK_WINDOW = quick_sized(400, 200)
+ROUTING_WINDOW = quick_sized(600, 300)
 
 
 def _run(n_nodes, seed=7):
@@ -37,7 +44,7 @@ def _run(n_nodes, seed=7):
 
 def test_e10_membership_matrix(once, report):
     def sweep():
-        for n in (10, 30, 60):
+        for n in MATRIX_NS:
             run = _run(n)
             delivered = in_lang = 0
             for m in run.messages:
@@ -52,7 +59,7 @@ def test_e10_membership_matrix(once, report):
     once(sweep)
 
 
-@pytest.mark.parametrize("n_nodes", [10, 50, 200])
+@pytest.mark.parametrize("n_nodes", VALIDATOR_NS)
 def test_e10_validator_cost(benchmark, report, n_nodes):
     run = _run(n_nodes)
     target = run.messages[0]
@@ -65,14 +72,14 @@ def test_e10_validator_cost(benchmark, report, n_nodes):
                delivered=v.delivered)
 
 
-@pytest.mark.parametrize("n_nodes", [5, 20])
+@pytest.mark.parametrize("n_nodes", WORD_NS)
 def test_e10_network_word_construction(benchmark, report, n_nodes):
     """a_n = h₁…h_n: build and expand a window of the merged word."""
     run = _run(n_nodes)
 
     def build():
         w = network_word(run.range_pred)
-        return w.take(400)
+        return w.take(NETWORK_WINDOW)
 
     pairs = benchmark(build)
     times = [t for _s, t in pairs]
@@ -86,7 +93,7 @@ def test_e10_routing_word_well_formed(once, report):
     def build():
         run = _run(8)
         w = routing_word(run.range_pred, run.network.trace, max_hops=10)
-        pairs = w.take(600)
+        pairs = w.take(ROUTING_WINDOW)
         times = [t for _s, t in pairs]
         assert times == sorted(times)
         report.add(nodes=8, embedded_hops=10, window=len(pairs))

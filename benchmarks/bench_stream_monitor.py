@@ -1,0 +1,178 @@
+"""Online monitoring throughput: events/sec, fan-in, and the ablation.
+
+Three regimes over :mod:`repro.stream`:
+
+* **single-session** — raw ingest throughput of one monitor, both
+  flavours: the O(state) :class:`TBAMonitor` stepping configuration
+  sets directly, and the machine-hosted :class:`Monitor` pumping a
+  private simulator (the exact-agreement path, paying kernel events);
+* **multiplexed** — one :class:`SessionMux` sustaining hundreds of
+  concurrent sessions (the bounded-memory demo: per-session reorder
+  buffers stay under ``buffer_limit``, the per-language analysis is
+  shared), driven through the timestamp-ordered
+  :func:`~repro.stream.sources.replay_into_mux` merge;
+* **online-vs-batch ablation** — ``engine.decide`` under
+  ``"online-incremental"`` vs ``"lasso-exact"``: the per-event overhead
+  the incremental path pays for never having to see the whole word.
+
+Events/sec per regime land in the ``--bench-json`` capture
+(``BENCH_stream.json`` in the repo root).  Set ``REPRO_BENCH_QUICK=1``
+for CI-sized parameters (the stream-smoke CI job does).
+"""
+
+import time
+
+import pytest
+from conftest import quick_sized
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.engine import compiled_tba, decide
+from repro.kernel import Le
+from repro.stream import (
+    Monitor,
+    SessionMux,
+    StreamVerdict,
+    TBAMonitor,
+    analysis_for,
+    checkpoint,
+    replay_into_mux,
+    restore,
+)
+from repro.words import TimedWord
+
+N_EVENTS = quick_sized(2_000, 500)
+N_SESSIONS = quick_sized(500, 200)
+MUX_UNTIL = quick_sized(60, 30)
+ABLATION_HORIZON = quick_sized(400, 200)
+BUFFER_LIMIT = 16
+
+
+def bounded_gap_tba(bound=2):
+    """Deterministic TBA: every inter-arrival gap ≤ bound."""
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+TBA = bounded_gap_tba()
+ANALYSIS = analysis_for(TBA)
+EVENTS = [("a", t) for t in range(1, N_EVENTS + 1)]
+
+
+def steady_word():
+    return TimedWord.lasso([], [("a", 1)], shift=1)
+
+
+def stalling_word():
+    return TimedWord.lasso([("a", 1), ("a", 10)], [("a", 11)], shift=1)
+
+
+def test_single_session_tba_events_per_sec(benchmark, report, bench_record):
+    """The O(state) path: configuration stepping, no simulator."""
+
+    def ingest_all():
+        monitor = TBAMonitor(TBA, analysis=ANALYSIS)
+        for symbol, t in EVENTS:
+            monitor.ingest(symbol, t)
+        return monitor
+
+    monitor = benchmark(ingest_all)
+    assert monitor.verdict is StreamVerdict.ACCEPTING
+    assert monitor.events_released == N_EVENTS
+    eps = round(N_EVENTS / max(benchmark.stats.stats.mean, 1e-9), 1)
+    bench_record(mode="single-session-tba", events=N_EVENTS, events_per_sec=eps)
+    report.add(monitor="TBAMonitor", events=N_EVENTS, eps=eps)
+
+
+def test_single_session_machine_events_per_sec(benchmark, report, bench_record):
+    """The exact-agreement path: a private simulator pumped per event."""
+    acceptor = compiled_tba(TBA)
+
+    def ingest_all():
+        monitor = Monitor(acceptor)
+        for symbol, t in EVENTS:
+            monitor.ingest(symbol, t)
+        return monitor
+
+    monitor = benchmark(ingest_all)
+    assert monitor.verdict is StreamVerdict.ACCEPTING
+    assert monitor.f_count == N_EVENTS  # one f per accepting visit
+    eps = round(N_EVENTS / max(benchmark.stats.stats.mean, 1e-9), 1)
+    bench_record(mode="single-session-machine", events=N_EVENTS, events_per_sec=eps)
+    report.add(monitor="Monitor", events=N_EVENTS, eps=eps)
+
+
+def test_mux_sustains_concurrent_sessions(once, report, bench_record):
+    """The ≥200-session fan-in with bounded memory, timestamp-merged."""
+    fleet = {}
+    for i in range(N_SESSIONS):
+        fleet[f"s{i:04d}"] = stalling_word() if i % 10 == 9 else steady_word()
+
+    def drive():
+        mux = SessionMux(TBA, buffer_limit=BUFFER_LIMIT, drop_policy="drop-new")
+        t0 = time.perf_counter()
+        verdicts = replay_into_mux(mux, fleet, until=MUX_UNTIL)
+        return mux, verdicts, time.perf_counter() - t0
+
+    mux, verdicts, elapsed = once(drive)
+    stats = mux.stats()
+    rejected = sum(1 for v in verdicts.values() if v is StreamVerdict.REJECTED)
+    events = sum(s.monitor.events_ingested for s in mux._sessions.values())
+    eps = round(events / max(elapsed, 1e-9), 1)
+    # bounded memory: every session's reorder buffer under the limit,
+    # session table exactly the fleet
+    assert N_SESSIONS >= 200
+    assert stats["active"] == N_SESSIONS
+    assert all(s.monitor.pending <= BUFFER_LIMIT for s in mux._sessions.values())
+    assert rejected == N_SESSIONS // 10  # exactly the stalling streams
+    bench_record(
+        mode="multiplexed",
+        sessions=N_SESSIONS,
+        events=events,
+        events_per_sec=eps,
+        pending_total=stats["pending_total"],
+    )
+    report.add(sessions=N_SESSIONS, events=events, eps=eps, rejected=rejected)
+
+
+@pytest.mark.parametrize("strategy", ["lasso-exact", "online-incremental"])
+def test_online_vs_batch_ablation(benchmark, report, bench_record, strategy):
+    """What the incremental path costs relative to the batch loop."""
+    acceptor = compiled_tba(TBA)
+    words = [steady_word() if i % 2 == 0 else stalling_word() for i in range(8)]
+
+    def judge_all():
+        return [
+            decide(acceptor, w, horizon=ABLATION_HORIZON, strategy=strategy)
+            for w in words
+        ]
+
+    reports = benchmark(judge_all)
+    assert [r.accepted for r in reports] == [False] * 8  # REJECT or UNDECIDED
+    assert [r.verdict.value for r in reports] == ["undecided", "reject"] * 4
+    wps = round(len(words) / max(benchmark.stats.stats.mean, 1e-9), 1)
+    bench_record(mode=f"ablation:{strategy}", words=len(words), words_per_sec=wps)
+    report.add(strategy=strategy, horizon=ABLATION_HORIZON, wps=wps)
+
+
+def test_checkpoint_round_trip_cost(benchmark, report, bench_record):
+    """Snapshot+restore of a live TBA session (the O(state) claim)."""
+    monitor = TBAMonitor(TBA, analysis=ANALYSIS)
+    for symbol, t in EVENTS:
+        monitor.ingest(symbol, t)
+
+    def round_trip():
+        return restore(checkpoint(monitor), tba=TBA, analysis=ANALYSIS)
+
+    resumed = benchmark(round_trip)
+    assert resumed.verdict is monitor.verdict
+    assert resumed.configs == monitor.configs
+    rps = round(1 / max(benchmark.stats.stats.mean, 1e-9), 1)
+    bench_record(mode="checkpoint-round-trip", events_behind=N_EVENTS,
+                 round_trips_per_sec=rps)
+    report.add(events_behind=N_EVENTS, round_trips_per_sec=rps)

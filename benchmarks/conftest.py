@@ -34,6 +34,22 @@ import pytest
 from repro.obs import Instrumentation, export, hooks
 
 
+#: CI sizing knob: REPRO_BENCH_QUICK=1 shrinks every parameter sweep to
+#: smoke-test scale (the bench-smoke / stream-smoke CI jobs set it).
+BENCH_QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def quick_sized(full, quick):
+    """Pick the CI-sized variant of a sweep parameter under
+    REPRO_BENCH_QUICK=1, the full-sized one otherwise.
+
+    Bench modules import this (``from conftest import quick_sized`` —
+    pytest puts benchmarks/ on sys.path) so every long-running sweep
+    shares one sizing switch instead of a private ``QUICK`` flag.
+    """
+    return quick if BENCH_QUICK else full
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--obs-dir",

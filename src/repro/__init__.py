@@ -44,6 +44,10 @@ with every substrate the paper's applications require:
 ``repro.complexity``
     The rt-SPACE / rt-PROC complexity-class programme of Sections
     3.2 and 7, including the processor-hierarchy experiments.
+``repro.stream``
+    The online monitoring runtime: incremental three-valued monitors
+    over live event streams, session multiplexing with bounded buffers
+    and backpressure, domain source adapters, and checkpoint/restore.
 ``repro.obs``
     The unified observability layer: named metrics, nestable timing
     spans, Chrome-trace/metrics exporters, and the pluggable hooks the
@@ -64,6 +68,7 @@ from . import (  # noqa: F401
     obs,
     parallel,
     rtdb,
+    stream,
     words,
 )
 
@@ -79,6 +84,7 @@ __all__ = [
     "adhoc",
     "parallel",
     "complexity",
+    "stream",
     "obs",
     "__version__",
 ]

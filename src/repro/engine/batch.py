@@ -159,6 +159,7 @@ class AcceptorCache:
         self._entries: "OrderedDict[Any, Tuple[Tuple[Any, ...], Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_build(self, key: Any, factory: Callable[[], Any], *anchors: Any) -> Any:
         entry = self._entries.get(key)
@@ -176,12 +177,18 @@ class AcceptorCache:
         self._entries[key] = (anchors, acceptor)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            if h is not None:
+                h.count("engine.acceptor_cache", outcome="eviction")
+        if h is not None:
+            h.gauge("engine.acceptor_cache_size", len(self._entries))
         return acceptor
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -130,16 +130,28 @@ STRATEGIES: Dict[str, DecisionStrategy] = {
     s.name: s for s in (LassoExact(), LongPrefixEmpirical(), FRate())
 }
 
+#: Strategies registered by other packages when imported.  The engine
+#: cannot import them statically (they import the engine), so
+#: :func:`get_strategy` imports the owning module on first request.
+_LAZY_STRATEGIES: Dict[str, str] = {
+    "online-incremental": "repro.stream",
+}
+
 
 def get_strategy(spec: Union[str, DecisionStrategy]) -> DecisionStrategy:
     """Resolve a strategy name (or pass an instance through)."""
     if isinstance(spec, DecisionStrategy):
         return spec
+    if spec not in STRATEGIES and spec in _LAZY_STRATEGIES:
+        import importlib
+
+        importlib.import_module(_LAZY_STRATEGIES[spec])
     try:
         return STRATEGIES[spec]
     except KeyError:
         raise ValueError(
-            f"unknown decision strategy {spec!r}; known: {sorted(STRATEGIES)}"
+            f"unknown decision strategy {spec!r}; known: "
+            f"{sorted(set(STRATEGIES) | set(_LAZY_STRATEGIES))}"
         ) from None
 
 

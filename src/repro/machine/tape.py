@@ -41,9 +41,16 @@ class InputTape:
 
     ``horizon`` caps how far an infinite word is fed; the feeder stops
     quietly there (simulations always run to finite time anyway).
+
+    Passing ``word=None`` creates a *push-driven* tape: no feeder
+    process runs, and symbols arrive one at a time through :meth:`push`
+    — how :mod:`repro.stream` feeds live events into an acceptor that
+    was written against the batch tape.
     """
 
-    def __init__(self, sim: Simulator, word: TimedWord, horizon: int = 1_000_000):
+    def __init__(
+        self, sim: Simulator, word: Optional[TimedWord], horizon: int = 1_000_000
+    ):
         self.sim = sim
         self.word = word
         self.horizon = horizon
@@ -52,7 +59,8 @@ class InputTape:
         self._waiters: Deque[Event] = deque()
         self._last_symbol: Optional[Pair] = None
         self.delivered = 0
-        sim.process(self._feeder(), name="input-tape")
+        if word is not None:
+            sim.process(self._feeder(), name="input-tape")
 
     def _feeder(self):
         i = 0
@@ -70,6 +78,27 @@ class InputTape:
                 yield self.sim.timeout(delay, priority=Priority.HIGH)
             self._deliver((symbol, t))
             i += 1
+
+    def push(self, symbol: Any, t: int) -> None:
+        """Schedule one pair for delivery at time ``t`` (push-driven tapes).
+
+        The pair becomes available at exactly ``t`` with the same HIGH
+        priority the feeder uses, so a consumer blocked on :meth:`read`
+        wakes before ordinary processes at that instant.  Pushing into
+        the past violates the availability rule and raises
+        :class:`TapeProtocolError`.
+        """
+        delay = t - self.sim.now
+        if delay < 0:
+            raise TapeProtocolError(
+                f"cannot push symbol at t={t}: simulation is already at {self.sim.now}"
+            )
+        pair = (symbol, t)
+        if delay == 0:
+            self._deliver(pair)
+        else:
+            ev = self.sim.timeout(delay, priority=Priority.HIGH)
+            ev.add_callback(lambda _ev: self._deliver(pair))
 
     def _deliver(self, pair: Pair) -> None:
         self.delivered += 1
@@ -163,6 +192,11 @@ class OutputTape:
     def count(self, symbol: Any) -> int:
         """|o(A, w)|_symbol over the writes so far."""
         return sum(1 for s, _t in self._writes if s == symbol)
+
+    def written_since(self, n: int) -> List[Pair]:
+        """Writes with index ≥ ``n`` — lets incremental observers (the
+        stream monitor) track new output in O(new) instead of rescanning."""
+        return self._writes[n:]
 
     def __len__(self) -> int:
         return len(self._writes)

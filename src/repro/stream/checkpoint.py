@@ -1,0 +1,258 @@
+"""Checkpoint/restore: sessions that survive a process restart.
+
+A long-lived monitoring service must be able to drain, snapshot, and
+resume without re-reading its streams from the beginning.  Monitor
+state is tiny by construction, and this module turns it into plain
+JSON-able dictionaries:
+
+* :class:`~repro.stream.monitor.TBAMonitor` — a *direct* snapshot: the
+  capped configuration set, previous timestamp, reorder buffer, and
+  counters.  O(state), independent of how many events were ingested.
+* :class:`~repro.stream.monitor.Monitor` — generator state is not
+  serializable, so machine-backed monitors checkpoint by *replay*: the
+  monitor must be built with ``keep_history=True``, the snapshot
+  carries the released-event log, and restore re-applies it to a fresh
+  machine.  O(events) but exact (the machine re-dispatches the same
+  event sequence).
+* :class:`~repro.stream.session.SessionMux` — per-session snapshots
+  plus the mux counters.
+
+Symbols, TBA states, and clock values cross the serialization boundary
+as ``repr`` strings inverted by :func:`ast.literal_eval`, so streams
+must use literal-evaluable symbols (strings, numbers, tuples — every
+encoding in this repo qualifies).
+
+Observability: ``stream.checkpoints`` counted with ``op=save|restore``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Any, Callable, Dict, Optional
+
+from ..automata.timed import TimedBuchiAutomaton
+from ..obs import hooks as _obs
+from .monitor import Monitor, StreamVerdict, TBAAnalysis, TBAMonitor, analysis_for
+from .session import SessionMux, _Session
+
+__all__ = [
+    "checkpoint",
+    "restore",
+    "checkpoint_mux",
+    "restore_mux",
+    "save_json",
+    "load_json",
+]
+
+FORMAT_VERSION = 1
+
+
+def _enc(value: Any) -> str:
+    text = repr(value)
+    try:
+        roundtrip = ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        raise ValueError(
+            f"symbol {value!r} is not literal-evaluable; checkpointing "
+            "requires plain-data stream symbols"
+        ) from None
+    if roundtrip != value:
+        raise ValueError(f"symbol {value!r} does not survive repr round-trip")
+    return text
+
+
+def _dec(text: str) -> Any:
+    return ast.literal_eval(text)
+
+
+def _base_state(monitor: Any) -> Dict[str, Any]:
+    return {
+        "verdict": monitor.verdict.value,
+        "max_seen": monitor.max_seen,
+        "lateness": monitor.lateness,
+        "late_policy": monitor.late_policy,
+        "events_ingested": monitor.events_ingested,
+        "events_released": monitor.events_released,
+        "late_events": monitor.late_events,
+        "verdict_flips": monitor.verdict_flips,
+        "seq": monitor._seq,
+        "buffer": [[t, seq, _enc(sym)] for t, seq, sym in sorted(monitor._heap)],
+    }
+
+
+def _restore_base(monitor: Any, state: Dict[str, Any]) -> None:
+    monitor.verdict = StreamVerdict(state["verdict"])
+    monitor.max_seen = state["max_seen"]
+    monitor.events_ingested = state["events_ingested"]
+    monitor.events_released = state["events_released"]
+    monitor.late_events = state["late_events"]
+    monitor.verdict_flips = state["verdict_flips"]
+    monitor._seq = state["seq"]
+    monitor._heap = [(t, seq, _dec(sym)) for t, seq, sym in state["buffer"]]
+
+
+def checkpoint(monitor: Any) -> Dict[str, Any]:
+    """Snapshot one monitor into a JSON-able dictionary."""
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("stream.checkpoints", op="save")
+    if isinstance(monitor, TBAMonitor):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "tba",
+            "state": dict(
+                _base_state(monitor),
+                configs=[
+                    [_enc(state), list(vals)]
+                    for state, vals in sorted(monitor.configs, key=repr)
+                ],
+                prev_t=monitor.prev_t,
+                f_window=monitor.f_window,
+                accept_visits=monitor.accept_visits,
+                last_accept_time=monitor._last_accept_time,
+                green_locked=monitor._green_locked,
+            ),
+        }
+    if isinstance(monitor, Monitor):
+        if not monitor.keep_history:
+            raise ValueError(
+                "machine-backed monitors checkpoint by replay; build the "
+                "Monitor with keep_history=True"
+            )
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "machine",
+            "state": dict(
+                _base_state(monitor),
+                history=[[_enc(sym), t] for sym, t in monitor.history],
+                f_window=monitor.f_window,
+            ),
+        }
+    raise TypeError(f"cannot checkpoint {type(monitor).__name__}")
+
+
+def restore(
+    snapshot: Dict[str, Any],
+    *,
+    tba: Optional[TimedBuchiAutomaton] = None,
+    acceptor: Any = None,
+    analysis: Optional[TBAAnalysis] = None,
+) -> Any:
+    """Rebuild a monitor from a :func:`checkpoint` snapshot.
+
+    The language artifact is *not* serialized (it is code): pass the
+    same ``tba`` for a ``"tba"`` snapshot or the same ``acceptor`` for a
+    ``"machine"`` one.
+    """
+    if snapshot.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {snapshot.get('version')!r}")
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("stream.checkpoints", op="restore")
+    state = snapshot["state"]
+    kind = snapshot["kind"]
+    if kind == "tba":
+        if tba is None:
+            raise ValueError("restoring a 'tba' snapshot needs tba=...")
+        monitor = TBAMonitor(
+            tba,
+            analysis=analysis,
+            lateness=state["lateness"],
+            late_policy=state["late_policy"],
+            f_window=state["f_window"],
+        )
+        monitor.configs = frozenset(
+            (_dec(s), tuple(vals)) for s, vals in state["configs"]
+        )
+        monitor.prev_t = state["prev_t"]
+        monitor.accept_visits = state["accept_visits"]
+        monitor._last_accept_time = state["last_accept_time"]
+        monitor._green_locked = state["green_locked"]
+        _restore_base(monitor, state)
+        return monitor
+    if kind == "machine":
+        if acceptor is None:
+            raise ValueError("restoring a 'machine' snapshot needs acceptor=...")
+        monitor = Monitor(
+            acceptor,
+            lateness=state["lateness"],
+            late_policy=state["late_policy"],
+            f_window=state["f_window"],
+            keep_history=True,
+        )
+        # Replay the released-event log through the machine, then pin
+        # the ingestion counters back to the snapshot's values (replay
+        # re-counts releases and flips).
+        for sym, t in state["history"]:
+            monitor._advance(_dec(sym), t)
+        _restore_base(monitor, state)
+        return monitor
+    raise ValueError(f"unknown checkpoint kind {kind!r}")
+
+
+def checkpoint_mux(mux: SessionMux) -> Dict[str, Any]:
+    """Snapshot a whole mux (every session plus the mux counters)."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "mux",
+        "counters": {
+            "drops": mux.drops,
+            "sessions_opened": mux.sessions_opened,
+            "sessions_closed": mux.sessions_closed,
+            "sessions_evicted": mux.sessions_evicted,
+        },
+        "sessions": {
+            name: {
+                "snapshot": checkpoint(s.monitor),
+                "last_event_time": s.last_event_time,
+                "drops": s.drops,
+            }
+            for name, s in mux._sessions.items()
+        },
+    }
+
+
+def restore_mux(
+    snapshot: Dict[str, Any],
+    mux: SessionMux,
+    *,
+    tba: Optional[TimedBuchiAutomaton] = None,
+    acceptor: Any = None,
+) -> SessionMux:
+    """Repopulate a freshly-constructed mux from :func:`checkpoint_mux`.
+
+    ``mux`` must be empty and configured like the one snapshotted (the
+    configuration, like the acceptor, is code and is not serialized).
+    """
+    if len(mux):
+        raise ValueError("restore_mux needs an empty mux")
+    if snapshot.get("kind") != "mux":
+        raise ValueError(f"not a mux snapshot: kind={snapshot.get('kind')!r}")
+    counters = snapshot["counters"]
+    mux.drops = counters["drops"]
+    mux.sessions_opened = counters["sessions_opened"]
+    mux.sessions_closed = counters["sessions_closed"]
+    mux.sessions_evicted = counters["sessions_evicted"]
+    for name, entry in snapshot["sessions"].items():
+        monitor = restore(entry["snapshot"], tba=tba, acceptor=acceptor)
+        session = _Session(name, monitor)
+        session.last_event_time = entry["last_event_time"]
+        session.drops = entry["drops"]
+        mux._sessions[name] = session
+    h = _obs.HOOKS
+    if h is not None:
+        h.gauge("stream.sessions_active", len(mux._sessions))
+    return mux
+
+
+def save_json(path: str, snapshot: Dict[str, Any]) -> None:
+    """Write a snapshot to disk as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Read a snapshot back from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

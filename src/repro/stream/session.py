@@ -1,0 +1,270 @@
+"""Multiplexing many live streams over shared compiled acceptors.
+
+A service front-end does not monitor one stream; it monitors thousands
+of named sessions against a handful of *languages*.  The
+:class:`SessionMux` owns that fan-in: sessions are created on first
+event, every session gets its own O(state) monitor, and the expensive
+per-language artifacts are shared — one
+:class:`~repro.stream.monitor.TBAAnalysis` per automaton (via the
+engine's acceptor LRU) and one acceptor object per machine-protocol
+language (each session's :class:`~repro.stream.monitor.Monitor` builds
+only a private simulator around the shared program).
+
+Boundedness is explicit, not accidental:
+
+* ``buffer_limit`` caps each session's reorder buffer; an event that
+  would overflow it triggers the ``drop_policy`` — ``"drop-new"``
+  (discard the incoming event), ``"drop-old"`` (force-apply the oldest
+  buffered event to make room; order-safe), or ``"reject"`` (raise
+  :class:`BackpressureError` so the caller can shed load).
+* ``max_sessions`` bounds the session table; opening past it raises
+  :class:`BackpressureError`.
+* ``evict_idle`` retires sessions whose newest event is older than
+  ``idle_ttl`` (event time, so replay and live traffic age alike).
+
+Observability: ``stream.sessions`` (``op=opened|closed|evicted``), the
+``stream.sessions_active`` gauge, and ``stream.drops`` (``policy=…``);
+per-event metrics come from the monitors themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..automata.timed import TimedBuchiAutomaton
+from ..engine.verdict import DecisionReport
+from ..obs import hooks as _obs
+from .monitor import Monitor, StreamVerdict, TBAMonitor, analysis_for
+
+__all__ = ["BackpressureError", "SessionReport", "SessionMux"]
+
+DROP_POLICIES = ("drop-new", "drop-old", "reject")
+
+
+class BackpressureError(RuntimeError):
+    """The mux refused work under its explicit bounding policy."""
+
+
+@dataclass
+class SessionReport:
+    """Lifecycle summary handed back when a session closes."""
+
+    name: str
+    verdict: StreamVerdict
+    events_ingested: int
+    events_released: int
+    late_events: int
+    drops: int
+    verdict_flips: int
+    decision: Optional[DecisionReport] = None
+
+
+class _Session:
+    __slots__ = ("name", "monitor", "last_event_time", "drops")
+
+    def __init__(self, name: str, monitor: Any):
+        self.name = name
+        self.monitor = monitor
+        self.last_event_time: Optional[int] = None
+        self.drops = 0
+
+
+class SessionMux:
+    """Route named event streams into per-session online monitors.
+
+    ``acceptor`` is the shared language artifact: a
+    :class:`~repro.automata.timed.TimedBuchiAutomaton` (sessions get
+    :class:`TBAMonitor`\\ s over one cached analysis) or any
+    machine-protocol acceptor (sessions get :class:`Monitor`\\ s around
+    the shared program).  ``monitor_factory`` overrides the choice —
+    any zero-argument callable returning a monitor.
+    """
+
+    def __init__(
+        self,
+        acceptor: Any = None,
+        *,
+        monitor_factory: Optional[Callable[[], Any]] = None,
+        lateness: int = 0,
+        late_policy: str = "drop",
+        f_window: Optional[int] = None,
+        buffer_limit: int = 64,
+        drop_policy: str = "drop-new",
+        max_sessions: Optional[int] = None,
+        idle_ttl: Optional[int] = None,
+    ):
+        if (acceptor is None) == (monitor_factory is None):
+            raise ValueError("pass exactly one of acceptor / monitor_factory")
+        if buffer_limit < 1:
+            raise ValueError(f"buffer_limit must be >= 1, got {buffer_limit}")
+        if drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"drop_policy must be one of {DROP_POLICIES}, got {drop_policy!r}"
+            )
+        self.acceptor = acceptor
+        self.buffer_limit = buffer_limit
+        self.drop_policy = drop_policy
+        self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.drops = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_evicted = 0
+        self._sessions: Dict[str, _Session] = {}
+        if monitor_factory is not None:
+            self._factory = monitor_factory
+        elif isinstance(acceptor, TimedBuchiAutomaton):
+            analysis = analysis_for(acceptor)
+            self._factory = lambda: TBAMonitor(
+                acceptor,
+                analysis=analysis,
+                lateness=lateness,
+                late_policy=late_policy,
+                f_window=f_window,
+            )
+        else:
+            self._factory = lambda: Monitor(
+                acceptor,
+                lateness=lateness,
+                late_policy=late_policy,
+                f_window=f_window,
+            )
+
+    # -- session table -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    @property
+    def active(self) -> List[str]:
+        return list(self._sessions)
+
+    def monitor(self, name: str) -> Any:
+        """The named session's monitor (KeyError if unknown)."""
+        return self._sessions[name].monitor
+
+    def open(self, name: str) -> Any:
+        """Create a session explicitly; returns its monitor."""
+        if name in self._sessions:
+            raise ValueError(f"session {name!r} already open")
+        if self.max_sessions is not None and len(self._sessions) >= self.max_sessions:
+            raise BackpressureError(
+                f"session table full ({self.max_sessions}); close or evict first"
+            )
+        session = _Session(name, self._factory())
+        self._sessions[name] = session
+        self.sessions_opened += 1
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("stream.sessions", op="opened")
+            h.gauge("stream.sessions_active", len(self._sessions))
+        return session.monitor
+
+    # -- ingestion ---------------------------------------------------------
+    def ingest(self, name: str, symbol: Any, t: int) -> StreamVerdict:
+        """Feed one event into the named session (opened on demand)."""
+        session = self._sessions.get(name)
+        if session is None:
+            self.open(name)
+            session = self._sessions[name]
+        monitor = session.monitor
+        if monitor.pending >= self.buffer_limit:
+            if self.drop_policy == "reject":
+                raise BackpressureError(
+                    f"session {name!r} buffer full ({self.buffer_limit})"
+                )
+            h = _obs.HOOKS
+            if h is not None:
+                h.count("stream.drops", policy=self.drop_policy)
+            self.drops += 1
+            session.drops += 1
+            if self.drop_policy == "drop-new":
+                return monitor.verdict
+            monitor.release_oldest()
+        if session.last_event_time is None or t > session.last_event_time:
+            session.last_event_time = t
+        return monitor.ingest(symbol, t)
+
+    def verdicts(self) -> Dict[str, StreamVerdict]:
+        """Current verdict-so-far of every open session."""
+        return {name: s.monitor.verdict for name, s in self._sessions.items()}
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, name: str, horizon: Optional[int] = None) -> SessionReport:
+        """Flush and retire a session, returning its summary.
+
+        With ``horizon`` given and a machine-backed monitor, the
+        session is finished through :meth:`Monitor.finish` and the
+        batch-equivalent :class:`~repro.engine.verdict.DecisionReport`
+        rides along in ``decision``.
+        """
+        session = self._sessions.pop(name)
+        monitor = session.monitor
+        decision: Optional[DecisionReport] = None
+        if horizon is not None and hasattr(monitor, "finish"):
+            decision = monitor.finish(horizon)
+        else:
+            monitor.flush()
+        self.sessions_closed += 1
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("stream.sessions", op="closed")
+            h.gauge("stream.sessions_active", len(self._sessions))
+        return SessionReport(
+            name=name,
+            verdict=monitor.verdict,
+            events_ingested=monitor.events_ingested,
+            events_released=monitor.events_released,
+            late_events=monitor.late_events,
+            drops=session.drops,
+            verdict_flips=monitor.verdict_flips,
+            decision=decision,
+        )
+
+    def evict_idle(
+        self, now: Optional[int] = None, idle_ttl: Optional[int] = None
+    ) -> List[str]:
+        """Retire sessions idle for more than ``idle_ttl`` event-time
+        chronons; returns the evicted names."""
+        ttl = idle_ttl if idle_ttl is not None else self.idle_ttl
+        if ttl is None:
+            raise ValueError("no idle_ttl configured or passed")
+        if now is None:
+            stamps = [
+                s.last_event_time
+                for s in self._sessions.values()
+                if s.last_event_time is not None
+            ]
+            if not stamps:
+                return []
+            now = max(stamps)
+        victims = [
+            name
+            for name, s in self._sessions.items()
+            if s.last_event_time is None or now - s.last_event_time > ttl
+        ]
+        h = _obs.HOOKS
+        for name in victims:
+            self._sessions.pop(name)
+            self.sessions_evicted += 1
+            if h is not None:
+                h.count("stream.sessions", op="evicted")
+        if victims and h is not None:
+            h.gauge("stream.sessions_active", len(self._sessions))
+        return victims
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate counters (the bounded-memory demo's assertions)."""
+        return {
+            "active": len(self._sessions),
+            "opened": self.sessions_opened,
+            "closed": self.sessions_closed,
+            "evicted": self.sessions_evicted,
+            "drops": self.drops,
+            "pending_total": sum(
+                s.monitor.pending for s in self._sessions.values()
+            ),
+        }

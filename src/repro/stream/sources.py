@@ -1,0 +1,179 @@
+"""Event sources: feeding monitors and muxes from the existing domains.
+
+The monitors consume bare ``(symbol, timestamp)`` events; this module
+adapts the repo's word builders and simulation traces into such
+streams:
+
+* :func:`events_of` / :func:`replay` — drive any
+  :class:`~repro.words.timedword.TimedWord` (finite, lasso, or
+  functional) through a monitor, yielding the verdict after each event.
+  The online counterpart of handing the whole word to
+  :func:`repro.engine.decide`.
+* :func:`rtdb_periodic_monitor` / :func:`rtdb_periodic_stream` — the
+  §5.1 periodic recognition language L_pq (eq. (10)) as a live feed:
+  the database description then the periodic query invocations of a
+  :class:`~repro.rtdb.queries.RecognitionInstance`, monitored by the
+  (cached) Definition 5.1 acceptor.  Each served invocation is one f,
+  so ``f_window`` naturally tracks the serving obligation.
+* :func:`receive_stream` — the §5.2 receive events r_u of an ad hoc
+  network :class:`~repro.adhoc.messages.TraceLog` as a stream (one
+  symbol per hop actually heard), e.g. for a bounded-gap TBA watching
+  that traffic keeps flowing — the online complement of the offline
+  :func:`~repro.adhoc.encode.validate_route`.
+* :func:`replay_into_mux` — timestamp-ordered merge of many named
+  words into a :class:`~repro.stream.session.SessionMux` (the
+  ≥200-concurrent-session demo in ``benchmarks/bench_stream_monitor.py``
+  runs on this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..adhoc.messages import TraceLog
+from ..obs import hooks as _obs
+from ..rtdb.queries import QueryRegistry, RecognitionInstance, _acceptor_for
+from ..words.timedword import Pair, TimedWord
+from .monitor import Monitor, StreamVerdict
+from .session import SessionMux
+
+__all__ = [
+    "events_of",
+    "replay",
+    "rtdb_periodic_monitor",
+    "rtdb_periodic_stream",
+    "receive_stream",
+    "replay_into_mux",
+]
+
+
+def events_of(
+    word: TimedWord,
+    *,
+    until: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Pair]:
+    """The word's pairs as a plain event iterator.
+
+    Stops at the word's end (finite words), past ``until`` (timestamp
+    bound — how infinite lassos are clipped), or after ``limit`` events.
+    """
+    i = 0
+    while limit is None or i < limit:
+        try:
+            symbol, t = word[i]
+        except IndexError:
+            return
+        if until is not None and t > until:
+            return
+        yield symbol, t
+        i += 1
+
+
+def replay(
+    word: TimedWord,
+    monitor: Any,
+    *,
+    until: Optional[int] = None,
+    limit: Optional[int] = None,
+    stop_when_absorbed: bool = True,
+) -> Iterator[Tuple[Pair, StreamVerdict]]:
+    """Stream a word through a monitor, yielding each step's verdict."""
+    for symbol, t in events_of(word, until=until, limit=limit):
+        verdict = monitor.ingest(symbol, t)
+        yield (symbol, t), verdict
+        if stop_when_absorbed and monitor.absorbed:
+            return
+
+
+def rtdb_periodic_monitor(
+    registry: QueryRegistry,
+    *,
+    period: Optional[int] = None,
+    lateness: int = 0,
+    late_policy: str = "raise",
+) -> Monitor:
+    """An online monitor for the L_pq serving discipline (eq. (10)).
+
+    Wraps the cached Definition 5.1 periodic acceptor: each served
+    invocation emits one f and the first failure imposes s_r, so the
+    verdict-so-far reads ACCEPTING while serving keeps up and flips to
+    REJECTED the moment an invocation fails.  Passing ``period`` sets
+    the f-window to one period, so a *stalled* feed also degrades to
+    INCONCLUSIVE instead of coasting on old f's.
+    """
+    return Monitor(
+        _acceptor_for(registry, periodic=True),
+        lateness=lateness,
+        late_policy=late_policy,
+        f_window=period,
+    )
+
+
+def rtdb_periodic_stream(
+    instance: RecognitionInstance,
+    candidates: Any,
+    period: int,
+    *,
+    until: int,
+) -> Iterator[Pair]:
+    """The db_B · pq word of one recognition instance as live events."""
+    return events_of(instance.periodic_word(candidates, period), until=until)
+
+
+def receive_stream(
+    trace: TraceLog,
+    *,
+    node: Optional[int] = None,
+    symbol: Any = "r",
+) -> Iterator[Pair]:
+    """The r_u receive events of an ad hoc trace as a timed stream.
+
+    One ``symbol`` per hop actually heard (optionally only those heard
+    by ``node``), at its reception time t′ — the raw material for
+    monitoring liveness of traffic with e.g. a bounded-gap TBA.
+    """
+    receives = [r for r in trace.receives if node is None or r.dst == node]
+    for r in sorted(receives, key=lambda r: r.received_at):
+        yield symbol, r.received_at
+
+
+def replay_into_mux(
+    mux: SessionMux,
+    words: Mapping[str, TimedWord],
+    *,
+    until: int,
+    limit_per_stream: Optional[int] = None,
+) -> Dict[str, StreamVerdict]:
+    """Merge named words by timestamp and drive them through a mux.
+
+    Events across streams are interleaved in global timestamp order
+    (ties broken by stream name), which is how a shared front-end would
+    see concurrent sessions; returns the final verdict per stream.
+    """
+    h = _obs.HOOKS
+
+    def run() -> Dict[str, StreamVerdict]:
+        iters: Dict[str, Iterator[Pair]] = {
+            name: events_of(word, until=until, limit=limit_per_stream)
+            for name, word in words.items()
+        }
+        heap: list = []
+        for name, it in iters.items():
+            first = next(it, None)
+            if first is not None:
+                heap.append((first[1], name, first[0]))
+        heapq.heapify(heap)
+        while heap:
+            t, name, symbol = heapq.heappop(heap)
+            mux.ingest(name, symbol, t)
+            nxt = next(iters[name], None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[1], name, nxt[0]))
+        return mux.verdicts()
+
+    if h is None:
+        return run()
+    with h.span("stream.replay", streams=len(words), until=until):
+        return run()

@@ -82,6 +82,11 @@ class TestStrategies:
         with pytest.raises(ValueError, match="unknown decision strategy"):
             get_strategy("guesswork")
 
+    def test_online_incremental_resolves_lazily(self):
+        # The stream package registers itself on first lookup.
+        strat = get_strategy("online-incremental")
+        assert strat.name == "online-incremental"
+
     def test_strategy_instance_passes_through(self):
         strat = engine.LassoExact()
         assert get_strategy(strat) is strat
@@ -163,9 +168,31 @@ class TestAcceptorCache:
         for i in range(3):
             cache.get_or_build(("k", i), object)
         assert len(cache) == 2
-        # key 0 was evicted: rebuilding it is a miss
+        assert cache.evictions == 1
+        # key 0 was evicted: rebuilding it is a miss (and evicts key 1)
         cache.get_or_build(("k", 0), object)
         assert cache.misses == 4
+        assert cache.evictions == 2
+
+    def test_eviction_counters_reach_obs(self):
+        with instrumented() as inst:
+            cache = AcceptorCache(maxsize=2)
+            for i in range(3):
+                cache.get_or_build(("k", i), object)
+            cache.get_or_build(("k", 2), object)  # one hit
+        counter = inst.registry.counter("engine.acceptor_cache")
+        assert counter.labels(outcome="miss").value == 3
+        assert counter.labels(outcome="eviction").value == 1
+        assert counter.labels(outcome="hit").value == 1
+        assert inst.registry.gauge("engine.acceptor_cache_size").value == 2
+
+    def test_clear_resets_eviction_count(self):
+        cache = AcceptorCache(maxsize=1)
+        cache.get_or_build(("k", 0), object)
+        cache.get_or_build(("k", 1), object)
+        assert cache.evictions == 1
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
 
     def test_compiled_tba_reuses_compilation(self):
         clear_caches()

@@ -1,0 +1,197 @@
+"""Tests for repro.stream.checkpoint — snapshot/resume round-trips."""
+
+import json
+
+import pytest
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.kernel import Le
+from repro.machine import RealTimeAlgorithm
+from repro.stream import (
+    Monitor,
+    SessionMux,
+    StreamVerdict,
+    TBAMonitor,
+    checkpoint,
+    checkpoint_mux,
+    load_json,
+    restore,
+    restore_mux,
+    save_json,
+)
+
+
+def bounded_gap_tba(bound=2):
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+def make_parity_acceptor():
+    def prog(ctx):
+        n, _t = yield ctx.input.read()
+        total = 0
+        for _ in range(n):
+            v, _t = yield ctx.input.read()
+            total += v
+        if total % 2 == 0:
+            ctx.accept()
+        else:
+            ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+def drive_both(a, b, events):
+    for symbol, t in events:
+        va = a.ingest(symbol, t)
+        vb = b.ingest(symbol, t)
+        assert va is vb
+
+
+class TestTBASnapshots:
+    def test_round_trip_resumes_identically(self):
+        tba = bounded_gap_tba()
+        original = TBAMonitor(tba, lateness=2)
+        for t in (1, 2, 4):
+            original.ingest("a", t)
+        snap = checkpoint(original)
+        resumed = restore(snap, tba=tba)
+        assert resumed.verdict is original.verdict
+        assert resumed.configs == original.configs
+        assert resumed.prev_t == original.prev_t
+        assert resumed.accept_visits == original.accept_visits
+        assert resumed.events_ingested == original.events_ingested
+        # the resumed monitor and the original agree on the future,
+        # including the buffered tail and a later guard violation
+        drive_both(original, resumed, [("a", 5), ("a", 6), ("a", 20)])
+        # the gap of 14 rejects once the buffered tail is applied
+        assert original.flush() is StreamVerdict.REJECTED
+        assert resumed.flush() is StreamVerdict.REJECTED
+
+    def test_snapshot_carries_the_reorder_buffer(self):
+        tba = bounded_gap_tba(10)
+        original = TBAMonitor(tba, lateness=5)
+        original.ingest("a", 8)
+        original.ingest("a", 6)  # buffered: watermark is 3
+        assert original.pending == 2
+        resumed = restore(checkpoint(original), tba=tba)
+        assert resumed.pending == 2
+        assert resumed.flush() is original.flush()
+        assert resumed.prev_t == original.prev_t
+
+    def test_snapshot_is_json_serializable(self):
+        monitor = TBAMonitor(bounded_gap_tba())
+        monitor.ingest("a", 1)
+        text = json.dumps(checkpoint(monitor))
+        assert "tba" in text
+
+    def test_save_and_load_json(self, tmp_path):
+        monitor = TBAMonitor(bounded_gap_tba())
+        monitor.ingest("a", 1)
+        path = str(tmp_path / "snap.json")
+        save_json(path, checkpoint(monitor))
+        resumed = restore(load_json(path), tba=bounded_gap_tba())
+        assert resumed.verdict is monitor.verdict
+        assert resumed.configs == monitor.configs
+
+    def test_restore_requires_the_automaton(self):
+        snap = checkpoint(TBAMonitor(bounded_gap_tba()))
+        with pytest.raises(ValueError, match="needs tba"):
+            restore(snap)
+
+
+class TestMachineSnapshots:
+    def events(self):
+        return [(3, 0), (1, 1), (1, 2)]
+
+    def test_round_trip_by_replay(self):
+        original = Monitor(make_parity_acceptor(), keep_history=True)
+        for symbol, t in self.events():
+            original.ingest(symbol, t)
+        snap = checkpoint(original)
+        resumed = restore(snap, acceptor=make_parity_acceptor())
+        assert resumed.verdict is original.verdict
+        assert resumed.f_count == original.f_count
+        assert resumed.events_released == original.events_released
+        assert resumed.history == original.history
+        # one more symbol decides the parity for both alike
+        drive_both(original, resumed, [(1, 3)])
+        assert original.verdict is resumed.verdict
+        assert original.verdict is StreamVerdict.REJECTED  # 1+1+1 is odd
+
+    def test_checkpoint_requires_history(self):
+        monitor = Monitor(make_parity_acceptor())
+        with pytest.raises(ValueError, match="keep_history"):
+            checkpoint(monitor)
+
+    def test_restore_requires_the_acceptor(self):
+        monitor = Monitor(make_parity_acceptor(), keep_history=True)
+        with pytest.raises(ValueError, match="needs acceptor"):
+            restore(checkpoint(monitor))
+
+
+class TestGuards:
+    def test_non_literal_symbols_refuse_to_serialize(self):
+        monitor = TBAMonitor(bounded_gap_tba(), lateness=100)
+        monitor._heap.append((5, 0, object()))
+        with pytest.raises(ValueError, match="literal-evaluable"):
+            checkpoint(monitor)
+
+    def test_unknown_version_rejected(self):
+        snap = checkpoint(TBAMonitor(bounded_gap_tba()))
+        snap["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            restore(snap, tba=bounded_gap_tba())
+
+    def test_unknown_monitor_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot checkpoint"):
+            checkpoint(object())
+
+
+class TestMuxSnapshots:
+    def test_round_trip_restores_every_session(self):
+        tba = bounded_gap_tba()
+        mux = SessionMux(tba, lateness=1)
+        mux.ingest("alpha", "a", 1)
+        mux.ingest("alpha", "a", 2)
+        mux.ingest("beta", "a", 1)
+        mux.ingest("beta", "a", 10)  # beta is doomed
+        mux.ingest("beta", "a", 11)
+        snap = checkpoint_mux(mux)
+        fresh = SessionMux(tba, lateness=1)
+        restored = restore_mux(snap, fresh, tba=tba)
+        assert restored is fresh
+        assert sorted(restored.active) == ["alpha", "beta"]
+        assert restored.verdicts() == mux.verdicts()
+        assert restored.verdicts()["beta"] is StreamVerdict.REJECTED
+        assert restored.stats() == mux.stats()
+        # the restored sessions keep monitoring
+        assert restored.ingest("alpha", "a", 3) is mux.ingest("alpha", "a", 3)
+
+    def test_restore_needs_an_empty_mux(self):
+        tba = bounded_gap_tba()
+        mux = SessionMux(tba)
+        mux.ingest("s", "a", 1)
+        snap = checkpoint_mux(mux)
+        with pytest.raises(ValueError, match="empty mux"):
+            restore_mux(snap, mux, tba=tba)
+
+    def test_mux_snapshot_survives_json(self, tmp_path):
+        tba = bounded_gap_tba()
+        mux = SessionMux(tba)
+        mux.ingest("s", "a", 1)
+        path = str(tmp_path / "mux.json")
+        save_json(path, checkpoint_mux(mux))
+        restored = restore_mux(load_json(path), SessionMux(tba), tba=tba)
+        assert restored.verdicts() == {"s": StreamVerdict.ACCEPTING}
+
+    def test_wrong_kind_rejected(self):
+        snap = checkpoint(TBAMonitor(bounded_gap_tba()))
+        with pytest.raises(ValueError, match="not a mux snapshot"):
+            restore_mux(snap, SessionMux(bounded_gap_tba()), tba=bounded_gap_tba())

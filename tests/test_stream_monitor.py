@@ -1,0 +1,354 @@
+"""Tests for repro.stream monitors — incremental verdicts online.
+
+The load-bearing invariant: judging a word online, one event at a
+time, agrees with the batch ``lasso-exact`` judgement on the full
+property-test corpus (zero disagreements).  Plus watermark/late-event
+regressions and the TBAMonitor's exact-liveness semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.engine import Verdict, clear_caches, compiled_tba, decide
+from repro.kernel import And, Ge, Le, TrueConstraint
+from repro.machine import RealTimeAlgorithm
+from repro.stream import (
+    LateEventError,
+    Monitor,
+    StreamVerdict,
+    TBAMonitor,
+    analysis_for,
+    events_of,
+)
+from repro.words import TimedWord
+
+
+# -- corpus builders --------------------------------------------------------
+
+def bounded_gap_tba(bound):
+    """Deterministic TBA: every inter-arrival gap ≤ bound."""
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+def alternating_tba():
+    """Deterministic two-symbol TBA: strict a/b alternation, accepting on b."""
+    return TimedBuchiAutomaton(
+        "ab",
+        ["s", "t"],
+        "s",
+        [
+            TimedTransition.make("s", "t", "a", resets=["x"], guard=Le("x", 4)),
+            TimedTransition.make("t", "s", "b", resets=["x"], guard=Le("x", 4)),
+        ],
+        ["x"],
+        ["s"],
+    )
+
+
+def window_tba():
+    """Deterministic TBA: gaps must land in the window [1, 3]."""
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [
+            TimedTransition.make(
+                "s", "s", "a", resets=["x"], guard=And(Ge("x", 1), Le("x", 3))
+            )
+        ],
+        ["x"],
+        ["s"],
+    )
+
+
+TBA_FAMILY = [bounded_gap_tba(1), bounded_gap_tba(2), alternating_tba(), window_tba()]
+
+
+def random_lasso(rng, alphabet):
+    """A random lasso word: short prefix, short loop, gaps in 1..4."""
+    alphabet = sorted(alphabet)
+    t = 0
+    prefix = []
+    for _ in range(rng.randint(0, 4)):
+        t += rng.randint(1, 4)
+        prefix.append((rng.choice(alphabet), t))
+    start = prefix[-1][1] if prefix else 0
+    loop = []
+    for _ in range(rng.randint(1, 3)):
+        t += rng.randint(1, 4)
+        loop.append((rng.choice(alphabet), t))
+    return TimedWord.lasso(prefix, loop, shift=loop[-1][1] - start)
+
+
+def make_parity_word(n, member):
+    total_parity = 0 if member else 1
+    syms = [1] * n
+    if sum(syms) % 2 != total_parity:
+        syms[0] = 2
+    pairs = [(n, 0)] + [(s, i + 1) for i, s in enumerate(syms)]
+    return TimedWord.lasso(pairs, [("w", n + 2)], shift=1)
+
+
+def make_parity_acceptor():
+    def prog(ctx):
+        n, _t = yield ctx.input.read()
+        total = 0
+        for _ in range(n):
+            v, _t = yield ctx.input.read()
+            total += v
+        if total % 2 == 0:
+            ctx.accept()
+        else:
+            ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+def report_key(report):
+    return (report.verdict, report.f_count, report.decided_at, report.space_peak)
+
+
+# -- stream-vs-batch agreement ---------------------------------------------
+
+class TestOnlineBatchAgreement:
+    def test_compiled_tba_corpus_zero_disagreements(self):
+        """~60 seeded (automaton, lasso word) cases: the online strategy
+        must render the identical report the batch judge does."""
+        clear_caches()
+        disagreements = []
+        for ti, tba in enumerate(TBA_FAMILY):
+            acceptor = compiled_tba(tba)
+            rng = random.Random(1000 + ti)
+            for wi in range(15):
+                word = random_lasso(rng, tba.alphabet)
+                batch = decide(acceptor, word, horizon=300, strategy="lasso-exact")
+                online = decide(
+                    acceptor, word, horizon=300, strategy="online-incremental"
+                )
+                if report_key(batch) != report_key(online):
+                    disagreements.append((ti, wi, batch, online))
+        assert disagreements == []
+
+    def test_machine_acceptor_agreement_covers_all_verdicts(self):
+        for n in (4, 8, 16):
+            for member in (True, False):
+                word = make_parity_word(n, member)
+                batch = decide(make_parity_acceptor(), word, horizon=2_000)
+                online = decide(
+                    make_parity_acceptor(),
+                    word,
+                    horizon=2_000,
+                    strategy="online-incremental",
+                )
+                assert report_key(batch) == report_key(online)
+                assert online.accepted == member
+                assert online.strategy == "online-incremental"
+                assert online.evidence["events_ingested"] > 0
+
+    def test_online_strategy_stops_at_absorbing_verdict(self):
+        # A rejecting word decides early; the monitor must not ingest
+        # the entire horizon's worth of events past that point.
+        tba = bounded_gap_tba(2)
+        word = TimedWord.lasso([("a", 1), ("a", 10)], [("a", 11)], shift=1)
+        report = decide(
+            compiled_tba(tba), word, horizon=5_000, strategy="online-incremental"
+        )
+        assert report.verdict is Verdict.REJECT
+        assert report.evidence["events_ingested"] <= 3
+
+
+# -- the generic machine monitor -------------------------------------------
+
+class TestMonitor:
+    def test_verdict_so_far_tracks_f_obligations(self):
+        tba = bounded_gap_tba(2)
+        monitor = Monitor(compiled_tba(tba))
+        assert monitor.verdict is StreamVerdict.INCONCLUSIVE
+        v = monitor.ingest("a", 1)
+        assert v is StreamVerdict.ACCEPTING  # an f per accepting visit
+        assert monitor.f_count >= 1
+
+    def test_rejection_is_absorbing(self):
+        tba = bounded_gap_tba(2)
+        monitor = Monitor(compiled_tba(tba))
+        monitor.ingest("a", 1)
+        assert monitor.ingest("a", 10) is StreamVerdict.REJECTED
+        assert monitor.absorbed
+        # further events are no-ops, not errors
+        assert monitor.ingest("a", 11) is StreamVerdict.REJECTED
+
+    def test_f_window_degrades_stalled_stream(self):
+        tba = bounded_gap_tba(10)
+        monitor = Monitor(compiled_tba(tba), f_window=2)
+        assert monitor.ingest("a", 1) is StreamVerdict.ACCEPTING
+        # the next event arrives 8 chronons later: the last f is stale
+        # at ingestion time even though the step itself re-accepts
+        # (the new f lands at t, so the verdict recovers immediately)
+        v = monitor.ingest("a", 9)
+        assert v is StreamVerdict.ACCEPTING
+        assert monitor.f_count == 2
+
+    def test_finish_matches_batch_report(self):
+        word = make_parity_word(8, True)
+        monitor = Monitor(make_parity_acceptor())
+        for symbol, t in events_of(word, until=200):
+            monitor.ingest(symbol, t)
+            if monitor.absorbed:
+                break
+        online = monitor.finish(2_000)
+        batch = decide(make_parity_acceptor(), word, horizon=2_000)
+        assert report_key(online) == report_key(batch)
+        assert online.evidence["events_released"] == monitor.events_released
+
+    def test_keep_history_records_released_events(self):
+        monitor = Monitor(make_parity_acceptor(), keep_history=True)
+        monitor.ingest(2, 0)
+        monitor.ingest(1, 1)
+        assert monitor.history == [(2, 0), (1, 1)]
+
+
+# -- watermark / out-of-order ----------------------------------------------
+
+class TestWatermark:
+    def test_watermark_none_before_first_event(self):
+        monitor = TBAMonitor(bounded_gap_tba(2), lateness=2)
+        assert monitor.watermark is None
+        monitor.ingest("a", 5)
+        assert monitor.watermark == 3
+
+    def test_out_of_order_within_lateness_is_buffered_and_reordered(self):
+        monitor = Monitor(
+            make_parity_acceptor(), lateness=3, keep_history=True
+        )
+        monitor.ingest(3, 2)  # arrives first ...
+        monitor.ingest(3, 1)  # ... but t=1 precedes it
+        monitor.ingest(2, 0)
+        monitor.ingest("w", 6)  # watermark 3: releases 0,1,2
+        assert [t for _s, t in monitor.history] == [0, 1, 2]
+        assert monitor.pending == 1
+        monitor.flush()
+        assert [t for _s, t in monitor.history] == [0, 1, 2, 6]
+        assert monitor.pending == 0
+
+    def test_late_event_raises_by_default(self):
+        monitor = TBAMonitor(bounded_gap_tba(2), lateness=1)
+        monitor.ingest("a", 10)
+        with pytest.raises(LateEventError):
+            monitor.ingest("a", 5)
+        assert monitor.late_events == 1
+
+    def test_late_event_drop_policy_counts_and_discards(self):
+        monitor = TBAMonitor(bounded_gap_tba(2), lateness=1, late_policy="drop")
+        monitor.ingest("a", 10)
+        v = monitor.ingest("a", 5)
+        assert v is monitor.verdict
+        assert monitor.late_events == 1
+        assert monitor.events_ingested == 1  # the late event never counted
+
+    def test_lateness_zero_applies_immediately(self):
+        monitor = TBAMonitor(bounded_gap_tba(2))
+        monitor.ingest("a", 1)
+        assert monitor.pending == 0
+        assert monitor.events_released == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="lateness"):
+            TBAMonitor(bounded_gap_tba(2), lateness=-1)
+        with pytest.raises(ValueError, match="late_policy"):
+            TBAMonitor(bounded_gap_tba(2), late_policy="ignore")
+        with pytest.raises(ValueError, match="negative timestamp"):
+            TBAMonitor(bounded_gap_tba(2)).ingest("a", -1)
+
+
+# -- the direct TBA monitor -------------------------------------------------
+
+class TestTBAMonitor:
+    def test_rejection_agrees_with_lasso_membership(self):
+        """REJECTED is exact: whenever the monitor rejects a lasso's
+        prefix, the lasso is genuinely outside the language."""
+        for ti, tba in enumerate(TBA_FAMILY):
+            rng = random.Random(2000 + ti)
+            for _ in range(15):
+                word = random_lasso(rng, tba.alphabet)
+                monitor = TBAMonitor(tba)
+                for symbol, t in events_of(word, until=200):
+                    monitor.ingest(symbol, t)
+                    if monitor.absorbed:
+                        break
+                if monitor.verdict is StreamVerdict.REJECTED:
+                    assert not tba.accepts_lasso(word)
+
+    def test_green_lock_on_total_accepting_tba(self):
+        tba = TimedBuchiAutomaton(
+            "a",
+            ["s"],
+            "s",
+            [TimedTransition.make("s", "s", "a", guard=TrueConstraint())],
+            [],
+            ["s"],
+        )
+        analysis = analysis_for(tba)
+        assert analysis.deterministic
+        assert analysis.green  # every continuation accepts
+        monitor = TBAMonitor(tba)
+        assert monitor.verdict is StreamVerdict.ACCEPTING
+        assert monitor.absorbed  # the guarantee is absorbing
+
+    def test_no_green_guarantee_for_nondeterministic_tba(self):
+        tba = TimedBuchiAutomaton(
+            "a",
+            ["s", "t"],
+            "s",
+            [
+                TimedTransition.make("s", "s", "a", guard=TrueConstraint()),
+                TimedTransition.make("s", "t", "a", guard=TrueConstraint()),
+                TimedTransition.make("t", "t", "a", guard=TrueConstraint()),
+            ],
+            [],
+            ["s"],
+        )
+        analysis = analysis_for(tba)
+        assert not analysis.deterministic
+        assert analysis.green == frozenset()
+
+    def test_guard_violation_rejects_immediately(self):
+        monitor = TBAMonitor(bounded_gap_tba(2))
+        assert monitor.ingest("a", 1) is StreamVerdict.ACCEPTING
+        assert monitor.ingest("a", 10) is StreamVerdict.REJECTED
+        assert monitor.absorbed
+        # absorbed: the step is a no-op
+        monitor.ingest("a", 11)
+        assert monitor.verdict is StreamVerdict.REJECTED
+
+    def test_f_window_inconclusive_between_accepting_visits(self):
+        monitor = TBAMonitor(alternating_tba(), f_window=0)
+        assert monitor.ingest("a", 1) is StreamVerdict.INCONCLUSIVE
+        assert monitor.ingest("b", 2) is StreamVerdict.ACCEPTING
+        assert monitor.ingest("a", 3) is StreamVerdict.INCONCLUSIVE
+        assert monitor.verdict_flips >= 2
+
+    def test_accept_visits_counted(self):
+        monitor = TBAMonitor(bounded_gap_tba(2))
+        for t in (1, 2, 3):
+            monitor.ingest("a", t)
+        assert monitor.accept_visits == 3
+
+    def test_analysis_cached_per_automaton(self):
+        tba = bounded_gap_tba(3)
+        assert analysis_for(tba) is analysis_for(tba)
+
+
+class TestStreamVerdict:
+    def test_projection_onto_batch_vocabulary(self):
+        assert StreamVerdict.ACCEPTING.as_verdict() is Verdict.ACCEPT
+        assert StreamVerdict.REJECTED.as_verdict() is Verdict.REJECT
+        assert StreamVerdict.INCONCLUSIVE.as_verdict() is Verdict.UNDECIDED

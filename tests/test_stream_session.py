@@ -1,0 +1,229 @@
+"""Tests for repro.stream.session — bounded multi-stream fan-in."""
+
+import pytest
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.engine import compiled_tba
+from repro.kernel import Le
+from repro.machine import RealTimeAlgorithm
+from repro.obs import instrumented
+from repro.stream import BackpressureError, SessionMux, StreamVerdict, TBAMonitor
+from repro.words import TimedWord
+
+
+def bounded_gap_tba(bound=2):
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+def make_parity_acceptor():
+    def prog(ctx):
+        n, _t = yield ctx.input.read()
+        total = 0
+        for _ in range(n):
+            v, _t = yield ctx.input.read()
+            total += v
+        if total % 2 == 0:
+            ctx.accept()
+        else:
+            ctx.reject()
+
+    return RealTimeAlgorithm(prog)
+
+
+def buffering_mux(**kwargs):
+    """A mux whose sessions buffer everything (huge lateness), so the
+    reorder heap fills deterministically for backpressure tests."""
+    return SessionMux(bounded_gap_tba(), lateness=1_000, **kwargs)
+
+
+class TestSessionTable:
+    def test_sessions_open_on_first_event(self):
+        mux = SessionMux(bounded_gap_tba())
+        assert mux.ingest("alpha", "a", 1) is StreamVerdict.ACCEPTING
+        assert "alpha" in mux
+        assert len(mux) == 1
+        assert isinstance(mux.monitor("alpha"), TBAMonitor)
+
+    def test_explicit_open_rejects_duplicates(self):
+        mux = SessionMux(bounded_gap_tba())
+        mux.open("alpha")
+        with pytest.raises(ValueError, match="already open"):
+            mux.open("alpha")
+
+    def test_max_sessions_backpressure(self):
+        mux = SessionMux(bounded_gap_tba(), max_sessions=2)
+        mux.open("a")
+        mux.open("b")
+        with pytest.raises(BackpressureError, match="session table full"):
+            mux.open("c")
+        mux.close("a")
+        mux.open("c")  # room again after close
+        assert sorted(mux.active) == ["b", "c"]
+
+    def test_sessions_share_one_analysis(self):
+        mux = SessionMux(bounded_gap_tba())
+        mux.open("a")
+        mux.open("b")
+        assert mux.monitor("a").analysis is mux.monitor("b").analysis
+
+    def test_exactly_one_language_artifact_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SessionMux()
+        with pytest.raises(ValueError, match="exactly one"):
+            SessionMux(bounded_gap_tba(), monitor_factory=lambda: None)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="buffer_limit"):
+            SessionMux(bounded_gap_tba(), buffer_limit=0)
+        with pytest.raises(ValueError, match="drop_policy"):
+            SessionMux(bounded_gap_tba(), drop_policy="spill")
+
+
+class TestBackpressure:
+    def fill(self, mux, name="s", n=4):
+        for t in range(1, n + 1):
+            mux.ingest(name, "a", t)
+        return mux.monitor(name)
+
+    def test_drop_new_discards_the_incoming_event(self):
+        mux = buffering_mux(buffer_limit=4, drop_policy="drop-new")
+        monitor = self.fill(mux)
+        assert monitor.pending == 4
+        v = mux.ingest("s", "a", 5)
+        assert v is monitor.verdict
+        assert monitor.pending == 4  # nothing new buffered
+        assert mux.drops == 1
+        assert mux.stats()["drops"] == 1
+
+    def test_drop_old_force_applies_the_oldest(self):
+        mux = buffering_mux(buffer_limit=4, drop_policy="drop-old")
+        monitor = self.fill(mux)
+        mux.ingest("s", "a", 5)
+        assert monitor.pending == 4  # one out (applied), one in
+        assert monitor.events_released == 1
+        assert mux.drops == 1
+
+    def test_reject_raises(self):
+        mux = buffering_mux(buffer_limit=4, drop_policy="reject")
+        self.fill(mux)
+        with pytest.raises(BackpressureError, match="buffer full"):
+            mux.ingest("s", "a", 5)
+
+    def test_buffers_are_per_session(self):
+        mux = buffering_mux(buffer_limit=4, drop_policy="reject")
+        self.fill(mux, "one")
+        # a second session has its own (empty) buffer
+        mux.ingest("two", "a", 1)
+        assert mux.monitor("two").pending == 1
+
+
+class TestLifecycle:
+    def test_close_reports_the_session_story(self):
+        mux = SessionMux(bounded_gap_tba())
+        mux.ingest("s", "a", 1)
+        mux.ingest("s", "a", 2)
+        report = mux.close("s")
+        assert report.name == "s"
+        assert report.verdict is StreamVerdict.ACCEPTING
+        assert report.events_ingested == 2
+        assert report.decision is None
+        assert "s" not in mux
+        assert mux.sessions_closed == 1
+
+    def test_close_with_horizon_finishes_machine_monitors(self):
+        mux = SessionMux(compiled_tba(bounded_gap_tba()))
+        word = TimedWord.lasso([("a", 1), ("a", 10)], [("a", 11)], shift=1)
+        for i in range(3):
+            mux.ingest("s", *word[i])
+        report = mux.close("s", horizon=400)
+        assert report.decision is not None
+        assert not report.decision.accepted  # the gap of 9 broke the bound
+
+    def test_evict_idle_by_event_time(self):
+        mux = SessionMux(bounded_gap_tba(), idle_ttl=50)
+        mux.ingest("old", "a", 10)
+        mux.ingest("new", "a", 100)
+        victims = mux.evict_idle()
+        assert victims == ["old"]
+        assert mux.active == ["new"]
+        assert mux.sessions_evicted == 1
+
+    def test_evict_idle_explicit_now_and_ttl(self):
+        mux = SessionMux(bounded_gap_tba())
+        mux.ingest("s", "a", 10)
+        assert mux.evict_idle(now=200, idle_ttl=100) == ["s"]
+        with pytest.raises(ValueError, match="idle_ttl"):
+            mux.evict_idle()
+
+    def test_stats_shape(self):
+        mux = buffering_mux(buffer_limit=8)
+        mux.ingest("a", "a", 1)
+        mux.ingest("b", "a", 1)
+        mux.close("a")
+        stats = mux.stats()
+        assert stats == {
+            "active": 1,
+            "opened": 2,
+            "closed": 1,
+            "evicted": 0,
+            "drops": 0,
+            "pending_total": 1,
+        }
+
+
+class TestMachineBackedSessions:
+    def test_monitor_factory_override(self):
+        mux = SessionMux(monitor_factory=lambda: TBAMonitor(bounded_gap_tba()))
+        assert mux.ingest("s", "a", 1) is StreamVerdict.ACCEPTING
+
+    def test_sessions_wrap_the_shared_program(self):
+        acceptor = make_parity_acceptor()
+        mux = SessionMux(acceptor)
+        # two sessions, two verdicts, one acceptor object
+        for name, member in [("yes", True), ("no", False)]:
+            total_parity = 0 if member else 1
+            syms = [1, 1]
+            if sum(syms) % 2 != total_parity:
+                syms[0] = 2
+            mux.ingest(name, 2, 0)
+            mux.ingest(name, syms[0], 1)
+            mux.ingest(name, syms[1], 2)
+            mux.ingest(name, "w", 3)
+        assert mux.monitor("yes").acceptor is mux.monitor("no").acceptor
+        assert mux.verdicts() == {
+            "yes": StreamVerdict.ACCEPTING,
+            "no": StreamVerdict.REJECTED,
+        }
+
+
+class TestSessionObservability:
+    def test_lifecycle_counters_reach_obs(self):
+        with instrumented() as inst:
+            mux = SessionMux(bounded_gap_tba(), idle_ttl=10)
+            mux.ingest("a", "a", 1)
+            mux.ingest("b", "a", 100)
+            mux.close("b")
+            mux.evict_idle(now=100)
+        counter = inst.registry.counter("stream.sessions")
+        assert counter.labels(op="opened").value == 2
+        assert counter.labels(op="closed").value == 1
+        assert counter.labels(op="evicted").value == 1
+        assert inst.registry.gauge("stream.sessions_active").value == 0
+        assert inst.registry.gauge("stream.sessions_active").peak == 2
+
+    def test_drop_counter_reaches_obs(self):
+        with instrumented() as inst:
+            mux = buffering_mux(buffer_limit=1, drop_policy="drop-new")
+            mux.ingest("s", "a", 1)
+            mux.ingest("s", "a", 2)
+        assert (
+            inst.registry.counter("stream.drops").labels(policy="drop-new").value
+            == 1
+        )

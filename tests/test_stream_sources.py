@@ -1,0 +1,166 @@
+"""Tests for repro.stream.sources — domain adapters into monitors."""
+
+from repro.adhoc.messages import HopRecord, TraceLog
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.deadlines import DeadlineKind, DeadlineSpec
+from repro.kernel import Le
+from repro.obs import instrumented
+from repro.rtdb import QueryRegistry, RecognitionInstance
+from repro.stream import (
+    SessionMux,
+    StreamVerdict,
+    TBAMonitor,
+    events_of,
+    receive_stream,
+    replay,
+    replay_into_mux,
+    rtdb_periodic_monitor,
+    rtdb_periodic_stream,
+)
+from repro.words import TimedWord
+
+
+def bounded_gap_tba(bound=2):
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+REGISTRY = QueryRegistry(
+    queries={
+        "hot": lambda st: {(n,) for n, v in st.images.items() if v >= 20},
+    },
+    derivations={},
+    eval_cost=lambda name, st: 2,
+)
+
+
+def rtdb_instance():
+    return RecognitionInstance(
+        invariants={"site": "plant"},
+        derived={},
+        images={"temp0": (3, lambda t: 20 + t % 10)},
+        query_name="hot",
+        issue_time=12,
+        spec=DeadlineSpec(DeadlineKind.NONE),
+    )
+
+
+class TestEventsOf:
+    def test_finite_word_ends_the_stream(self):
+        word = TimedWord.finite([("a", 1), ("b", 3)])
+        assert list(events_of(word)) == [("a", 1), ("b", 3)]
+
+    def test_lasso_clipped_by_until(self):
+        word = TimedWord.lasso([], [("a", 1)], shift=1)
+        events = list(events_of(word, until=5))
+        assert events == [("a", t) for t in range(1, 6)]
+
+    def test_limit_caps_event_count(self):
+        word = TimedWord.lasso([], [("a", 1)], shift=1)
+        assert len(list(events_of(word, limit=3))) == 3
+
+
+class TestReplay:
+    def test_yields_per_event_verdicts(self):
+        word = TimedWord.lasso([], [("a", 1)], shift=1)
+        steps = list(replay(word, TBAMonitor(bounded_gap_tba()), until=4))
+        assert [v for _e, v in steps] == [StreamVerdict.ACCEPTING] * 4
+
+    def test_stops_at_the_absorbing_verdict(self):
+        word = TimedWord.lasso([("a", 1), ("a", 10)], [("a", 11)], shift=1)
+        steps = list(replay(word, TBAMonitor(bounded_gap_tba()), until=100))
+        assert len(steps) == 2  # the gap of 9 rejects; nothing after
+        assert steps[-1][1] is StreamVerdict.REJECTED
+
+    def test_stop_when_absorbed_false_keeps_streaming(self):
+        word = TimedWord.lasso([("a", 1), ("a", 10)], [("a", 11)], shift=1)
+        monitor = TBAMonitor(bounded_gap_tba())
+        steps = list(replay(word, monitor, until=15, stop_when_absorbed=False))
+        assert len(steps) == 7  # t = 1, 10, 11, 12, 13, 14, 15
+
+
+class TestRtdbAdapters:
+    def test_periodic_serving_monitored_online(self):
+        """The §5.1 L_pq feed: database then periodic invocations, each
+        served one earns an f; the verdict-so-far reads ACCEPTING."""
+        monitor = rtdb_periodic_monitor(REGISTRY)
+        stream = rtdb_periodic_stream(
+            rtdb_instance(), lambda i: ("temp0",), 10, until=80
+        )
+        for symbol, t in stream:
+            monitor.ingest(symbol, t)
+        assert monitor.verdict is StreamVerdict.ACCEPTING
+        assert monitor.f_count >= 1
+        report = monitor.finish(100)
+        assert report.f_count >= monitor.f_count > 0
+
+    def test_period_sets_the_f_window(self):
+        monitor = rtdb_periodic_monitor(REGISTRY, period=10)
+        assert monitor.f_window == 10
+
+
+class TestReceiveStream:
+    def trace(self):
+        log = TraceLog()
+        hops = [
+            HopRecord(sent_at=4, src=1, dst=2, body="m", kind="data"),
+            HopRecord(sent_at=1, src=0, dst=1, body="m", kind="data"),
+            HopRecord(sent_at=2, src=0, dst=3, body="m", kind="data"),
+        ]
+        for hop in hops:
+            log.record_hop(hop)
+            log.record_receive(hop, hop.dst)
+        return log
+
+    def test_receives_stream_in_time_order(self):
+        events = list(receive_stream(self.trace()))
+        assert events == [("r", 2), ("r", 3), ("r", 5)]
+
+    def test_node_filter_and_symbol_override(self):
+        events = list(receive_stream(self.trace(), node=1, symbol="heard"))
+        assert events == [("heard", 2)]
+
+    def test_feeds_a_liveness_tba(self):
+        # gaps between receives stay ≤ 2: traffic keeps flowing
+        monitor = TBAMonitor(bounded_gap_tba(2))
+        for symbol, t in receive_stream(self.trace(), symbol="a"):
+            monitor.ingest(symbol, t)
+        assert monitor.verdict is StreamVerdict.ACCEPTING
+
+
+class TestReplayIntoMux:
+    def words(self, n):
+        words = {}
+        for i in range(n):
+            if i % 2 == 0:
+                words[f"s{i:03d}"] = TimedWord.lasso([], [("a", 1)], shift=1)
+            else:
+                words[f"s{i:03d}"] = TimedWord.lasso(
+                    [("a", 1), ("a", 10)], [("a", 11)], shift=1
+                )
+        return words
+
+    def test_merged_replay_renders_per_stream_verdicts(self):
+        mux = SessionMux(bounded_gap_tba())
+        verdicts = replay_into_mux(mux, self.words(6), until=40)
+        for name, verdict in verdicts.items():
+            expected = (
+                StreamVerdict.ACCEPTING
+                if int(name[1:]) % 2 == 0
+                else StreamVerdict.REJECTED
+            )
+            assert verdict is expected
+        assert mux.stats()["active"] == 6
+
+    def test_replay_emits_an_obs_span(self):
+        with instrumented() as inst:
+            mux = SessionMux(bounded_gap_tba())
+            replay_into_mux(mux, self.words(2), until=10)
+        spans = [s for s in inst.spans.completed() if s.name == "stream.replay"]
+        assert len(spans) == 1
