@@ -19,6 +19,17 @@ systems argue for) and gives every domain one substrate:
     :func:`decide_many` (chunked, seeded, deterministically-ordered
     process-pool fan-out) and the compiled-acceptor LRU
     (:func:`cached_acceptor`, :func:`compiled_tba`).
+``engine.resilience``
+    The fault-tolerant fan-out: :func:`decide_many_resilient` survives
+    killed workers (chunk retries with capped backoff and splitting),
+    enforces a per-batch wall-clock deadline budget, and degrades
+    gracefully (serial fallback, cheaper-strategy fallback) with
+    explicit evidence markers — see ``docs/architecture.md``'s
+    "Failure model & recovery".
+``engine.faults``
+    Reproducible fault injection (process-killing, exception-raising,
+    and delaying acceptor wrappers over a fork-safe
+    :class:`FileFuse`) for the resilience tests and benchmarks.
 
 The machine, deadlines, dataacc, rtdb, and adhoc decide helpers all
 route through here; see ``docs/architecture.md``.
@@ -30,6 +41,19 @@ from .batch import (
     clear_caches,
     compiled_tba,
     decide_many,
+)
+from .faults import (
+    CrashingAcceptor,
+    DelayingAcceptor,
+    FailingAcceptor,
+    FileFuse,
+    InjectedFault,
+)
+from .resilience import (
+    BatchOutcome,
+    DegradePolicy,
+    RetryPolicy,
+    decide_many_resilient,
 )
 from .strategies import (
     STRATEGIES,
@@ -59,4 +83,13 @@ __all__ = [
     "cached_acceptor",
     "compiled_tba",
     "clear_caches",
+    "decide_many_resilient",
+    "RetryPolicy",
+    "DegradePolicy",
+    "BatchOutcome",
+    "FileFuse",
+    "CrashingAcceptor",
+    "FailingAcceptor",
+    "DelayingAcceptor",
+    "InjectedFault",
 ]

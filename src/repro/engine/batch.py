@@ -15,11 +15,17 @@ optionally across a process pool, with three guarantees:
   fan-out.
 
 The pool uses the ``fork`` start method (Linux; the CI smoke job pins
-it): the parent stashes the job in a module global before forking, so
-acceptors and words — which close over arbitrary generator programs and
-are therefore unpicklable — are inherited by memory copy and never
-serialized.  Only chunk index ranges travel to the children and only
-plain :class:`~repro.engine.verdict.DecisionReport` lists travel back.
+it): the parent publishes the job in a token-keyed registry before
+forking, so acceptors and words — which close over arbitrary generator
+programs and are therefore unpicklable — are inherited by memory copy
+and never serialized.  Only ``(token, lo, hi)`` chunk descriptors
+travel to the children and only plain
+:class:`~repro.engine.verdict.DecisionReport` lists travel back.  The
+token makes the hand-off reentrant: concurrent ``decide_many`` calls
+(from threads, or nested inside an acceptor) each fork against their
+own registry entry.  The fault-tolerant variant of this fan-out —
+worker-death retries, deadline budgets, graceful degradation — lives in
+:mod:`repro.engine.resilience` on the same chunk protocol.
 Where ``fork`` is unavailable (or ``workers <= 1``) the call degrades
 to the serial loop, results unchanged.
 
@@ -34,10 +40,12 @@ specialization.
 
 from __future__ import annotations
 
+import itertools
 import math
 import multiprocessing
+import threading
 from collections import OrderedDict
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs import hooks as _obs
 from .strategies import DEFAULT_HORIZON, DecisionStrategy, get_strategy
@@ -51,9 +59,30 @@ __all__ = [
     "clear_caches",
 ]
 
-#: The in-flight pooled job: (acceptor, words, horizon, strategy, seed).
-#: Set by the parent immediately before forking, inherited by children.
-_JOB: Optional[Tuple[Any, Sequence[Any], int, DecisionStrategy, int]] = None
+#: In-flight pooled jobs, keyed by a per-call token:
+#: token -> (acceptor, words, horizon, strategy, seed).  The parent
+#: registers its job under a fresh token immediately before forking and
+#: the children look it up by the token travelling with each chunk, so
+#: two concurrent ``decide_many`` calls (threads, or a decision nested
+#: inside an acceptor) can never clobber each other's hand-off.
+_JOBS: Dict[int, Tuple[Any, Sequence[Any], int, DecisionStrategy, int]] = {}
+_JOBS_LOCK = threading.Lock()
+_JOB_TOKENS = itertools.count()
+
+
+def _register_job(
+    job: Tuple[Any, Sequence[Any], int, DecisionStrategy, int]
+) -> int:
+    """Claim a token and publish ``job`` for children forked after now."""
+    with _JOBS_LOCK:
+        token = next(_JOB_TOKENS)
+        _JOBS[token] = job
+    return token
+
+
+def _release_job(token: int) -> None:
+    with _JOBS_LOCK:
+        _JOBS.pop(token, None)
 
 
 def _decide_one(
@@ -71,10 +100,10 @@ def _decide_one(
     return report
 
 
-def _run_chunk(bounds: Tuple[int, int]) -> List[DecisionReport]:
-    """Pool worker: judge one contiguous index range of the job."""
-    acceptor, words, horizon, strategy, seed = _JOB  # type: ignore[misc]
-    lo, hi = bounds
+def _run_chunk(task: Tuple[int, int, int]) -> List[DecisionReport]:
+    """Pool worker: judge one contiguous index range of the tokened job."""
+    token, lo, hi = task
+    acceptor, words, horizon, strategy, seed = _JOBS[token]
     return [
         _decide_one(acceptor, words[i], horizon, strategy, seed, i)
         for i in range(lo, hi)
@@ -97,7 +126,16 @@ def decide_many(
     fans chunks out over forked processes when the platform supports
     it; the serial fallback produces identical reports.
     """
-    global _JOB
+    if workers < 1:
+        raise ValueError(
+            f"workers must be >= 1, got {workers} (use workers=1 for the "
+            "serial path)"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(
+            f"chunk_size must be >= 1 or None for automatic sizing, got "
+            f"{chunk_size}"
+        )
     words = list(words)
     strat = get_strategy(strategy)
     n = len(words)
@@ -112,21 +150,22 @@ def decide_many(
         h.count("engine.batch_words", n)
 
     def run() -> List[DecisionReport]:
-        global _JOB
         if not use_pool:
             return [
                 _decide_one(acceptor, words[i], horizon, strat, seed, i)
                 for i in range(n)
             ]
-        size = chunk_size or max(1, math.ceil(n / (workers * 4)))
-        chunks = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        size = chunk_size if chunk_size is not None else max(
+            1, math.ceil(n / (workers * 4))
+        )
         ctx = multiprocessing.get_context("fork")
-        _JOB = (acceptor, words, horizon, strat, seed)
+        token = _register_job((acceptor, words, horizon, strat, seed))
+        chunks = [(token, lo, min(lo + size, n)) for lo in range(0, n, size)]
         try:
             with ctx.Pool(processes=min(workers, len(chunks))) as pool:
                 parts = pool.map(_run_chunk, chunks)
         finally:
-            _JOB = None
+            _release_job(token)
         return [report for part in parts for report in part]
 
     if h is None:
@@ -152,9 +191,18 @@ class AcceptorCache:
     Because ``id`` keys are only valid while the keyed object lives,
     every entry also *anchors* the objects it was keyed on, so a cached
     entry can never be served for a recycled id.
+
+    ``maxsize=0`` means *no caching*: every lookup bypasses the table
+    and rebuilds (counted as ``outcome="bypass"`` in the obs counter),
+    rather than the old insert-then-immediately-evict churn that
+    reported a hit-capable cache while never serving one.
     """
 
     def __init__(self, maxsize: int = 128):
+        if maxsize < 0:
+            raise ValueError(
+                f"maxsize must be >= 0 (0 disables caching), got {maxsize}"
+            )
         self.maxsize = maxsize
         self._entries: "OrderedDict[Any, Tuple[Tuple[Any, ...], Any]]" = OrderedDict()
         self.hits = 0
@@ -162,8 +210,14 @@ class AcceptorCache:
         self.evictions = 0
 
     def get_or_build(self, key: Any, factory: Callable[[], Any], *anchors: Any) -> Any:
-        entry = self._entries.get(key)
         h = _obs.HOOKS
+        if self.maxsize == 0:
+            self.misses += 1
+            if h is not None:
+                h.count("engine.acceptor_cache", outcome="bypass")
+                h.gauge("engine.acceptor_cache_size", 0)
+            return factory()
+        entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1

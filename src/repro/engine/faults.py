@@ -1,0 +1,203 @@
+"""Fault injection for the decision fan-out (tests and benchmarks).
+
+Real-time parallel models treat processor failure as a first-class
+event, so the resilience layer needs faults it can summon on demand.
+This module provides acceptor *wrappers* that misbehave in controlled,
+reproducible ways while staying transparent to the judge protocol —
+when a wrapper does not fire, the report it returns is byte-for-byte
+the inner acceptor's, which is what lets the fault suite assert the
+bit-identical-to-serial guarantee end to end:
+
+* :class:`CrashingAcceptor` — SIGKILLs its own process mid-decision
+  (a dead pool worker, the hard failure mode: no exception, no
+  traceback, just a closed pipe);
+* :class:`FailingAcceptor` — raises an exception mid-decision (a soft
+  failure the worker can report before exiting);
+* :class:`DelayingAcceptor` — sleeps real wall-clock time per decision
+  (a slow worker, for exercising deadline budgets).
+
+Cross-process arming is the subtle part: pool workers are *forked*, so
+an in-memory "fail once" flag armed in the parent would re-fire in
+every retry child.  :class:`FileFuse` solves it with an append-only
+file shared through the filesystem — each firing claims one byte under
+``O_APPEND`` (atomic on POSIX), so "fail exactly N times, process-wide"
+holds across any number of forks.
+
+By default the crash/fail wrappers only fire in *forked children*
+(``in_children_only=True``): the parent pid is recorded at
+construction, so a serial run — or the resilience layer's parent-side
+serial fallback — judges through them unharmed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import time
+from typing import Any, Callable, Optional
+
+from .strategies import DEFAULT_HORIZON
+from .verdict import DecisionReport
+
+__all__ = [
+    "FileFuse",
+    "CrashingAcceptor",
+    "FailingAcceptor",
+    "DelayingAcceptor",
+    "InjectedFault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """The exception :class:`FailingAcceptor` raises when it fires."""
+
+
+class FileFuse:
+    """A process-shared budget of fault firings.
+
+    ``pop()`` atomically claims one shot and returns True while shots
+    remain; once the budget is spent every later ``pop()`` — in this
+    process or any fork — returns False.  Backed by a file so the claim
+    survives ``fork()`` and is visible to retries in fresh children.
+    """
+
+    def __init__(self, shots: int = 1, path: Optional[str] = None):
+        if shots < 0:
+            raise ValueError(f"shots must be >= 0, got {shots}")
+        self.shots = shots
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-fuse-")
+            os.close(fd)
+        self.path = path
+        open(self.path, "ab").close()
+
+    def pop(self) -> bool:
+        """Claim one shot; True iff the fault should fire now."""
+        if self.shots == 0:
+            return False
+        with open(self.path, "ab") as fh:
+            fh.write(b"x")
+            fh.flush()
+            return fh.tell() <= self.shots
+
+    @property
+    def spent(self) -> int:
+        """How many shots have been claimed so far (capped at shots)."""
+        return min(os.path.getsize(self.path), self.shots)
+
+    def reset(self) -> None:
+        with open(self.path, "wb"):
+            pass
+
+
+class _Wrapper:
+    """Transparent acceptor wrapper base: both judge entry points pass
+    through the fault hook, everything else delegates to the inner
+    acceptor (so ``name``/``space_limit``-style attributes survive)."""
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+
+    def _before(self, word: Any) -> None:
+        raise NotImplementedError
+
+    def decide(self, word: Any, horizon: int = DEFAULT_HORIZON) -> DecisionReport:
+        self._before(word)
+        return self.inner.decide(word, horizon=horizon)
+
+    def count_f(self, word: Any, horizon: int) -> DecisionReport:
+        self._before(word)
+        return self.inner.count_f(word, horizon)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+
+class CrashingAcceptor(_Wrapper):
+    """Kill the judging process with SIGKILL while the fuse has shots.
+
+    The worker dies without unwinding — exactly what a OOM-killed or
+    segfaulted pool process looks like from the parent: the result pipe
+    closes with nothing on it.  With ``in_children_only`` (default) the
+    pid recorded at construction is immune, so only forked workers die.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        fuse: FileFuse,
+        *,
+        match: Optional[Callable[[Any], bool]] = None,
+        in_children_only: bool = True,
+    ):
+        super().__init__(inner)
+        self.fuse = fuse
+        self.match = match
+        self._parent_pid = os.getpid() if in_children_only else None
+
+    def _before(self, word: Any) -> None:
+        if self._parent_pid is not None and os.getpid() == self._parent_pid:
+            return
+        if self.match is not None and not self.match(word):
+            return
+        if self.fuse.pop():
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class FailingAcceptor(_Wrapper):
+    """Raise :class:`InjectedFault` while the fuse has shots.
+
+    Unlike a crash this is a *soft* failure: the worker catches it and
+    reports the chunk as failed, so the parent sees the reason.  Fires
+    in any process by default (``in_children_only=False``) — the serial
+    retry path needs to be exercisable too.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        fuse: FileFuse,
+        *,
+        match: Optional[Callable[[Any], bool]] = None,
+        in_children_only: bool = False,
+    ):
+        super().__init__(inner)
+        self.fuse = fuse
+        self.match = match
+        self._parent_pid = os.getpid() if in_children_only else None
+
+    def _before(self, word: Any) -> None:
+        if self._parent_pid is not None and os.getpid() == self._parent_pid:
+            return
+        if self.match is not None and not self.match(word):
+            return
+        if self.fuse.pop():
+            raise InjectedFault(
+                f"injected fault (fuse {os.path.basename(self.fuse.path)})"
+            )
+
+
+class DelayingAcceptor(_Wrapper):
+    """Sleep ``delay_s`` wall-clock seconds before every judgement.
+
+    The slow-worker fault: reports stay bit-identical to the inner
+    acceptor's, only later — which is what a deadline budget has to cut
+    off.  ``match`` restricts the slowness to selected words.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        delay_s: float,
+        *,
+        match: Optional[Callable[[Any], bool]] = None,
+    ):
+        super().__init__(inner)
+        self.delay_s = delay_s
+        self.match = match
+
+    def _before(self, word: Any) -> None:
+        if self.match is not None and not self.match(word):
+            return
+        time.sleep(self.delay_s)

@@ -1,0 +1,465 @@
+"""Fault-tolerant decision fan-out: the crash-recovering pool path.
+
+:func:`repro.engine.batch.decide_many` assumes a well-behaved pool: a
+SIGKILLed worker hangs the whole sweep, an exception aborts it, and a
+slow word holds every verdict hostage.  Production fan-out needs the
+failure model real-time parallel computation treats as first-class:
+processors die, and recovery itself has a timing budget.  This module
+is that layer, built on the same tokened chunk protocol as the plain
+pool (same :func:`~repro.engine.batch._run_chunk`, same fork
+inheritance of unpicklable acceptors) but with one forked process per
+chunk and an explicit result pipe, so the parent *sees* every failure:
+
+* **worker death** — the child's pipe closes with nothing on it
+  (SIGKILL, OOM, segfault).  The chunk is retried with capped
+  exponential backoff, optionally split in half first so a single
+  poison word is isolated in O(log chunk) retries;
+* **worker exception** — the child reports the error before exiting;
+  same retry path, with the reason preserved;
+* **deadline budget** — ``deadline_s`` bounds the whole batch in
+  wall-clock seconds.  On expiry every still-missing word gets an
+  explicit :data:`~repro.engine.verdict.Verdict.UNDECIDED` report
+  (the engine's inconclusive verdict) marked
+  ``evidence["degraded"] = "deadline"`` — partial results, never a
+  hang;
+* **graceful degradation** — a chunk that exhausts its retries falls
+  back to the parent's serial loop under the same strategy (reports
+  stay bit-identical to the serial path and carry *no* marker), then
+  optionally to a cheaper strategy (``fallback_strategy``, typically
+  ``"long-prefix-empirical"``), whose reports are explicitly marked
+  ``evidence["degraded"] = "strategy-fallback:<name>"``.
+
+The invariant the fault suite pins: **every unmarked report is
+bit-identical to what the serial path would have produced** — retries
+and serial fallback re-run the pure per-word function, so fault
+recovery is invisible in the verdict stream; only *marked* reports may
+differ, and the marker says why.
+
+Observability: ``engine.retries{reason}``, ``engine.degraded{mode}``,
+``engine.deadline_misses``, and the ``engine.decide_many_resilient``
+span.  Fault wrappers for tests/benchmarks live in
+:mod:`repro.engine.faults`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from ..obs import hooks as _obs
+from .batch import _decide_one, _register_job, _release_job, _run_chunk
+from .strategies import DEFAULT_HORIZON, DecisionStrategy, get_strategy
+from .verdict import DecisionReport, Verdict
+
+__all__ = [
+    "RetryPolicy",
+    "DegradePolicy",
+    "BatchOutcome",
+    "decide_many_resilient",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed chunks are retried.
+
+    ``backoff_base * 2**attempt`` seconds between attempts, capped at
+    ``backoff_cap``; ``split_chunks`` halves a failed multi-word chunk
+    before requeueing so a poison word is cornered in O(log n) retries.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_cap: float = 1.0
+    split_chunks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base/backoff_cap must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """What happens after retries are exhausted.
+
+    ``serial_fallback`` re-judges the chunk in the parent under the
+    *same* strategy (bit-identical, unmarked); ``fallback_strategy``
+    names a cheaper strategy tried next (marked in evidence).  With
+    both disabled, abandoned words get UNDECIDED reports marked
+    ``degraded="abandoned"``.
+    """
+
+    serial_fallback: bool = True
+    fallback_strategy: Optional[str] = None
+
+
+@dataclass
+class BatchOutcome:
+    """One resilient batch: the reports plus the recovery ledger."""
+
+    reports: List[DecisionReport]
+    mode: str = "serial"
+    retries: int = 0
+    worker_deaths: int = 0
+    serial_fallbacks: int = 0
+    degraded_indices: List[int] = field(default_factory=list)
+    deadline_missed: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True iff every report is the undegraded serial-identical one."""
+        return not self.degraded_indices and not self.deadline_missed
+
+
+class _Chunk:
+    __slots__ = ("lo", "hi", "attempt", "not_before")
+
+    def __init__(self, lo: int, hi: int, attempt: int = 0, not_before: float = 0.0):
+        self.lo = lo
+        self.hi = hi
+        self.attempt = attempt
+        self.not_before = not_before
+
+    def indices(self) -> range:
+        return range(self.lo, self.hi)
+
+
+def _chunk_child(conn: Any, token: int, lo: int, hi: int) -> None:
+    """Forked child: judge one chunk, ship the reports (or the error)."""
+    try:
+        reports = _run_chunk((token, lo, hi))
+        conn.send(("ok", reports))
+    except BaseException as exc:  # noqa: BLE001 — report anything, then die
+        try:
+            conn.send(("err", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _inconclusive(
+    index: int, seed: int, strat_name: str, reason: str, detail: Optional[str] = None
+) -> DecisionReport:
+    """The explicit INCONCLUSIVE remainder report (UNDECIDED + marker)."""
+    evidence = {"seed": seed + index, "index": index, "degraded": reason}
+    if detail is not None:
+        evidence["error"] = detail
+    return DecisionReport(
+        verdict=Verdict.UNDECIDED, horizon=0, evidence=evidence, strategy=strat_name
+    )
+
+
+def decide_many_resilient(
+    acceptor: Any,
+    words: Sequence[Any],
+    *,
+    horizon: int = DEFAULT_HORIZON,
+    strategy: Union[str, DecisionStrategy] = "lasso-exact",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    seed: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    degrade: Optional[DegradePolicy] = None,
+    deadline_s: Optional[float] = None,
+) -> BatchOutcome:
+    """Judge every word, surviving worker faults within a time budget.
+
+    Same contract as :func:`~repro.engine.batch.decide_many` — one
+    report per word, in word order, unmarked reports bit-identical to
+    the serial path — plus the failure model described in the module
+    docstring.  Returns a :class:`BatchOutcome` carrying the reports
+    and the recovery ledger.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(
+            f"chunk_size must be >= 1 or None for automatic sizing, got {chunk_size}"
+        )
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+    retry = retry if retry is not None else RetryPolicy()
+    degrade = degrade if degrade is not None else DegradePolicy()
+    words = list(words)
+    strat = get_strategy(strategy)
+    n = len(words)
+    use_pool = (
+        workers > 1
+        and n > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("engine.batches", mode="pool" if use_pool else "serial")
+        h.count("engine.batch_words", n)
+
+    start = time.perf_counter()
+    deadline_at = None if deadline_s is None else start + deadline_s
+    outcome = BatchOutcome(reports=[], mode="pool" if use_pool else "serial")
+
+    def run() -> None:
+        slots: List[Optional[DecisionReport]] = [None] * n
+        if use_pool:
+            _run_pooled(
+                slots, acceptor, words, horizon, strat, seed, workers,
+                chunk_size, retry, degrade, deadline_at, outcome,
+            )
+        else:
+            _run_serial(
+                slots, acceptor, words, horizon, strat, seed,
+                retry, degrade, deadline_at, outcome,
+            )
+        for i in range(n):
+            if slots[i] is None:
+                slots[i] = _inconclusive(i, seed, strat.name, "deadline")
+                outcome.degraded_indices.append(i)
+        outcome.degraded_indices.sort()
+        outcome.reports = slots  # type: ignore[assignment]
+        if outcome.deadline_missed and h is not None:
+            h.count("engine.deadline_misses")
+
+    if h is None:
+        run()
+    else:
+        with h.span(
+            "engine.decide_many_resilient",
+            words=n,
+            workers=workers if use_pool else 1,
+            strategy=strat.name,
+            horizon=horizon,
+            deadline_s=deadline_s if deadline_s is not None else 0,
+        ):
+            run()
+    outcome.elapsed_s = time.perf_counter() - start
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# degrade ladder (shared by both paths)
+# ----------------------------------------------------------------------
+
+def _degrade_index(
+    slots: List[Optional[DecisionReport]],
+    i: int,
+    acceptor: Any,
+    words: Sequence[Any],
+    horizon: int,
+    strat: DecisionStrategy,
+    seed: int,
+    degrade: DegradePolicy,
+    outcome: BatchOutcome,
+    *,
+    try_serial: bool,
+    detail: Optional[str],
+    deadline_at: Optional[float],
+) -> None:
+    """Last-resort judgement of one word after retries are exhausted."""
+    h = _obs.HOOKS
+    if deadline_at is not None and time.perf_counter() >= deadline_at:
+        outcome.deadline_missed = True
+        slots[i] = _inconclusive(i, seed, strat.name, "deadline", detail)
+        outcome.degraded_indices.append(i)
+        return
+    if try_serial:
+        try:
+            slots[i] = _decide_one(acceptor, words[i], horizon, strat, seed, i)
+            outcome.serial_fallbacks += 1
+            if h is not None:
+                h.count("engine.degraded", mode="serial-fallback")
+            return
+        except Exception as exc:
+            detail = repr(exc)
+    if degrade.fallback_strategy is not None:
+        cheap = get_strategy(degrade.fallback_strategy)
+        try:
+            report = _decide_one(acceptor, words[i], horizon, cheap, seed, i)
+            report.evidence["degraded"] = f"strategy-fallback:{cheap.name}"
+            slots[i] = report
+            outcome.degraded_indices.append(i)
+            if h is not None:
+                h.count("engine.degraded", mode="strategy-fallback")
+            return
+        except Exception as exc:
+            detail = repr(exc)
+    slots[i] = _inconclusive(i, seed, strat.name, "abandoned", detail)
+    outcome.degraded_indices.append(i)
+    if h is not None:
+        h.count("engine.degraded", mode="abandoned")
+
+
+# ----------------------------------------------------------------------
+# serial path: retries + deadline without a pool
+# ----------------------------------------------------------------------
+
+def _run_serial(
+    slots: List[Optional[DecisionReport]],
+    acceptor: Any,
+    words: Sequence[Any],
+    horizon: int,
+    strat: DecisionStrategy,
+    seed: int,
+    retry: RetryPolicy,
+    degrade: DegradePolicy,
+    deadline_at: Optional[float],
+    outcome: BatchOutcome,
+) -> None:
+    h = _obs.HOOKS
+    for i in range(len(words)):
+        if deadline_at is not None and time.perf_counter() >= deadline_at:
+            outcome.deadline_missed = True
+            return
+        attempt = 0
+        while True:
+            try:
+                slots[i] = _decide_one(acceptor, words[i], horizon, strat, seed, i)
+                break
+            except Exception as exc:
+                attempt += 1
+                outcome.retries += 1
+                if h is not None:
+                    h.count("engine.retries", reason="exception")
+                if attempt > retry.max_retries:
+                    # serial judging just failed, so the ladder skips
+                    # the (identical) serial-fallback rung
+                    _degrade_index(
+                        slots, i, acceptor, words, horizon, strat, seed,
+                        degrade, outcome, try_serial=False,
+                        detail=repr(exc), deadline_at=deadline_at,
+                    )
+                    break
+                delay = retry.delay(attempt)
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.perf_counter()))
+                time.sleep(delay)
+
+
+# ----------------------------------------------------------------------
+# pooled path: one forked process per chunk, explicit result pipes
+# ----------------------------------------------------------------------
+
+def _run_pooled(
+    slots: List[Optional[DecisionReport]],
+    acceptor: Any,
+    words: Sequence[Any],
+    horizon: int,
+    strat: DecisionStrategy,
+    seed: int,
+    workers: int,
+    chunk_size: Optional[int],
+    retry: RetryPolicy,
+    degrade: DegradePolicy,
+    deadline_at: Optional[float],
+    outcome: BatchOutcome,
+) -> None:
+    import math
+
+    h = _obs.HOOKS
+    n = len(words)
+    size = chunk_size if chunk_size is not None else max(
+        1, math.ceil(n / (workers * 4))
+    )
+    ctx = multiprocessing.get_context("fork")
+    token = _register_job((acceptor, list(words), horizon, strat, seed))
+    pending: List[_Chunk] = [
+        _Chunk(lo, min(lo + size, n)) for lo in range(0, n, size)
+    ]
+    live: dict = {}  # parent_conn -> (process, chunk)
+
+    def launch(chunk: _Chunk) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_chunk_child,
+            args=(child_conn, token, chunk.lo, chunk.hi),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        live[parent_conn] = (proc, chunk)
+
+    def fail(chunk: _Chunk, reason: str, detail: Optional[str]) -> None:
+        attempt = chunk.attempt + 1
+        if reason == "worker-death":
+            outcome.worker_deaths += 1
+        if attempt > retry.max_retries:
+            for i in chunk.indices():
+                if slots[i] is None:
+                    _degrade_index(
+                        slots, i, acceptor, words, horizon, strat, seed,
+                        degrade, outcome, try_serial=degrade.serial_fallback,
+                        detail=detail, deadline_at=deadline_at,
+                    )
+            return
+        outcome.retries += 1
+        if h is not None:
+            h.count("engine.retries", reason=reason)
+        not_before = time.perf_counter() + retry.delay(attempt)
+        if retry.split_chunks and chunk.hi - chunk.lo > 1:
+            mid = (chunk.lo + chunk.hi) // 2
+            pending.append(_Chunk(chunk.lo, mid, attempt, not_before))
+            pending.append(_Chunk(mid, chunk.hi, attempt, not_before))
+        else:
+            pending.append(_Chunk(chunk.lo, chunk.hi, attempt, not_before))
+
+    def reap(conn: Any) -> None:
+        proc, chunk = live.pop(conn)
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            msg = None
+        conn.close()
+        proc.join()
+        if msg is not None and msg[0] == "ok":
+            for report in msg[1]:
+                slots[report.evidence["index"]] = report
+        elif msg is not None:
+            fail(chunk, "exception", msg[1])
+        else:
+            fail(chunk, "worker-death", f"exitcode={proc.exitcode}")
+
+    try:
+        while pending or live:
+            now = time.perf_counter()
+            if deadline_at is not None and now >= deadline_at:
+                outcome.deadline_missed = True
+                for proc, _chunk in live.values():
+                    proc.kill()
+                    proc.join()
+                for conn in list(live):
+                    conn.close()
+                live.clear()
+                pending.clear()
+                return
+            eligible = [c for c in pending if c.not_before <= now]
+            for chunk in eligible[: max(0, workers - len(live))]:
+                pending.remove(chunk)
+                launch(chunk)
+            if live:
+                timeout: Optional[float] = None
+                waits = [c.not_before - now for c in pending if c.not_before > now]
+                if waits:
+                    timeout = max(0.0, min(waits))
+                if deadline_at is not None:
+                    remaining = max(0.0, deadline_at - now)
+                    timeout = remaining if timeout is None else min(timeout, remaining)
+                for conn in multiprocessing.connection.wait(
+                    list(live), timeout=timeout
+                ):
+                    reap(conn)
+            elif pending:
+                target = min(c.not_before for c in pending)
+                if deadline_at is not None:
+                    target = min(target, deadline_at)
+                time.sleep(max(0.0, target - time.perf_counter()))
+    finally:
+        _release_job(token)

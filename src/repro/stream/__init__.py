@@ -26,6 +26,10 @@ shape needs verdicts over live traffic.  This package is that runtime:
 ``stream.checkpoint``
     Serialize/restore monitor and mux state so sessions survive a
     process restart.
+``stream.supervisor``
+    :class:`MuxSupervisor` — periodic checkpoints plus an event
+    journal in front of a live mux, with crash injection and timed
+    failover that loses zero verdicts for accepted events.
 
 Importing this package also registers the ``"online-incremental"``
 strategy with :mod:`repro.engine` (``engine.decide(...,
@@ -59,8 +63,11 @@ from .sources import (
     rtdb_periodic_stream,
 )
 from .strategy import OnlineIncremental
+from .supervisor import CrashedError, MuxSupervisor
 
 __all__ = [
+    "MuxSupervisor",
+    "CrashedError",
     "StreamVerdict",
     "LateEventError",
     "Monitor",

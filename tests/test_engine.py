@@ -1,5 +1,7 @@
 """Tests for repro.engine — the unified decision layer."""
 
+import threading
+
 import pytest
 
 from repro import engine
@@ -151,6 +153,52 @@ class TestDecideMany:
         snap = inst.registry.counter("engine.batch_words").value
         assert snap == 4
 
+    def test_rejects_invalid_chunk_size(self):
+        words = sweep_words()[:4]
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            decide_many(make_acceptor(), words, workers=2, chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            decide_many(make_acceptor(), words, workers=2, chunk_size=-3)
+
+    def test_rejects_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            decide_many(make_acceptor(), sweep_words()[:2], workers=0)
+
+    def test_concurrent_calls_do_not_clobber_jobs(self):
+        # regression: the in-flight pooled job used to live in a single
+        # module global, so two threads forking at once could inherit
+        # each other's (acceptor, words) and return interleaved garbage
+        words_a = sweep_words()
+        words_b = list(reversed(sweep_words()))
+        acceptor = make_acceptor()
+        expected_a = decide_many(acceptor, words_a, horizon=2_000, seed=1)
+        expected_b = decide_many(acceptor, words_b, horizon=2_000, seed=2)
+        results = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def run(tag, words, seed):
+            try:
+                barrier.wait(timeout=30)
+                results[tag] = decide_many(
+                    acceptor, words, horizon=2_000, workers=3, seed=seed
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        for _ in range(3):  # a few rounds to give the race room to bite
+            threads = [
+                threading.Thread(target=run, args=("a", words_a, 1)),
+                threading.Thread(target=run, args=("b", words_b, 2)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, errors
+            assert results["a"] == expected_a
+            assert results["b"] == expected_b
+
 
 class TestAcceptorCache:
     def test_hit_and_miss_accounting(self):
@@ -185,6 +233,28 @@ class TestAcceptorCache:
         assert counter.labels(outcome="eviction").value == 1
         assert counter.labels(outcome="hit").value == 1
         assert inst.registry.gauge("engine.acceptor_cache_size").value == 2
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize must be >= 0"):
+            AcceptorCache(maxsize=-1)
+
+    def test_maxsize_zero_is_explicit_no_caching(self):
+        # regression: maxsize=0 used to insert then immediately evict
+        # its own entry, reporting a hit-capable cache that never hit
+        cache = AcceptorCache(maxsize=0)
+        built = []
+        factory = lambda: built.append(1) or object()  # noqa: E731
+        with instrumented() as inst:
+            first = cache.get_or_build(("k", 1), factory)
+            second = cache.get_or_build(("k", 1), factory)
+        assert first is not second  # rebuilt every time, never served
+        assert len(built) == 2
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.evictions == 0
+        assert cache.misses == 2
+        counter = inst.registry.counter("engine.acceptor_cache")
+        assert counter.labels(outcome="bypass").value == 2
+        assert inst.registry.gauge("engine.acceptor_cache_size").value == 0
 
     def test_clear_resets_eviction_count(self):
         cache = AcceptorCache(maxsize=1)

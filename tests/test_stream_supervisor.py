@@ -1,0 +1,197 @@
+"""Failover tests for repro.stream.supervisor — the crash-recovering mux.
+
+The pinned guarantee: a recovered mux re-emits no wrong verdicts and
+loses none for events the supervisor accepted — with the journal on,
+it agrees with an uninterrupted run event for event; with the journal
+off, everything up to the latest checkpoint (in particular every
+watermarked event) survives.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import TimedBuchiAutomaton, TimedTransition
+from repro.kernel import Le
+from repro.machine import RealTimeAlgorithm
+from repro.obs import instrumented
+from repro.stream import (
+    CrashedError,
+    Monitor,
+    MuxSupervisor,
+    SessionMux,
+    load_json,
+)
+
+
+def bounded_gap_tba(bound=3):
+    return TimedBuchiAutomaton(
+        "a",
+        ["s"],
+        "s",
+        [TimedTransition.make("s", "s", "a", resets=["x"], guard=Le("x", bound))],
+        ["x"],
+        ["s"],
+    )
+
+
+def traffic(sessions=10, events=400, seed=7):
+    """Deterministic multi-session feed with rejecting gaps mixed in."""
+    rng = random.Random(seed)
+    clock = {f"s{i}": 0 for i in range(sessions)}
+    out = []
+    for _ in range(events):
+        name = rng.choice(list(clock))
+        clock[name] += rng.choice([1, 2, 3, 3, 5])  # gap 5 breaks the bound
+        out.append((name, "a", clock[name]))
+    return out
+
+
+@pytest.fixture
+def tba():
+    return bounded_gap_tba()
+
+
+@pytest.fixture
+def factory(tba):
+    return lambda: SessionMux(
+        tba,
+        lateness=2,
+        late_policy="drop",
+        buffer_limit=8,
+        drop_policy="drop-old",
+    )
+
+
+class TestFailover:
+    def test_crash_recovery_agrees_with_uninterrupted_run(self, tba, factory):
+        events = traffic()
+        reference = factory()
+        for name, sym, t in events:
+            reference.ingest(name, sym, t)
+
+        supervisor = MuxSupervisor(factory, checkpoint_every=50, tba=tba)
+        for k, (name, sym, t) in enumerate(events):
+            if k in (137, 291):  # two mid-stream host losses
+                supervisor.crash()
+            supervisor.ingest(name, sym, t)  # auto-recovers
+
+        assert supervisor.failovers == 2
+        assert supervisor.verdicts() == reference.verdicts()
+        assert supervisor.mux.stats()["drops"] == reference.stats()["drops"]
+
+    def test_no_wrong_verdicts_without_journal(self, tba, factory):
+        # journal off: recovery restarts from the checkpoint; everything
+        # the checkpoint holds (all watermarked events plus the
+        # serialized reorder buffers) survives, and nothing is invented
+        events = traffic(events=150)
+        supervisor = MuxSupervisor(
+            factory, checkpoint_every=10_000, journal=False, tba=tba,
+            auto_recover=False,
+        )
+        for name, sym, t in events[:100]:
+            supervisor.ingest(name, sym, t)
+        supervisor.checkpoint()
+        at_checkpoint = dict(supervisor.verdicts())
+        for name, sym, t in events[100:]:
+            supervisor.ingest(name, sym, t)
+        supervisor.crash()
+        supervisor.recover()
+        assert supervisor.verdicts() == at_checkpoint
+
+    def test_recovery_latency_is_measured(self, tba, factory):
+        supervisor = MuxSupervisor(factory, checkpoint_every=50, tba=tba)
+        for name, sym, t in traffic(events=120):
+            supervisor.ingest(name, sym, t)
+        supervisor.crash()
+        latency = supervisor.recover()
+        assert latency > 0
+        assert supervisor.last_recovery_s == latency
+
+    def test_crashed_guard_without_auto_recover(self, tba, factory):
+        supervisor = MuxSupervisor(factory, tba=tba, auto_recover=False)
+        supervisor.crash()
+        assert supervisor.crashed
+        with pytest.raises(CrashedError, match="recover"):
+            supervisor.ingest("s0", "a", 1)
+        supervisor.recover()
+        assert not supervisor.crashed
+        supervisor.ingest("s0", "a", 1)
+
+
+class TestMachineBackedSessions:
+    def test_machine_monitor_failover(self):
+        def prog(ctx):
+            total = 0
+            for _ in range(3):
+                v, _t = yield ctx.input.read()
+                total += v
+            if total % 2 == 0:
+                ctx.accept()
+            else:
+                ctx.reject()
+
+        acceptor = RealTimeAlgorithm(prog)
+        factory = lambda: SessionMux(  # noqa: E731
+            monitor_factory=lambda: Monitor(
+                acceptor, lateness=1, late_policy="drop", keep_history=True
+            )
+        )
+        events = [
+            ("even", 1, 1), ("odd", 1, 1), ("even", 1, 2), ("odd", 1, 2),
+            ("even", 2, 3), ("odd", 1, 3), ("even", 1, 5), ("odd", 1, 5),
+        ]
+        reference = factory()
+        for name, sym, t in events:
+            reference.ingest(name, sym, t)
+
+        supervisor = MuxSupervisor(
+            factory, checkpoint_every=3, acceptor=acceptor
+        )
+        for k, (name, sym, t) in enumerate(events):
+            if k == 5:
+                supervisor.crash()
+            supervisor.ingest(name, sym, t)
+        assert supervisor.failovers == 1
+        assert supervisor.verdicts() == reference.verdicts()
+
+
+class TestSupervisorLedger:
+    def test_checkpoint_cadence_and_journal_depth(self, tba, factory):
+        supervisor = MuxSupervisor(factory, checkpoint_every=25, tba=tba)
+        for name, sym, t in traffic(events=110):
+            supervisor.ingest(name, sym, t)
+        stats = supervisor.stats()
+        assert stats["checkpoints"] == 4
+        assert stats["journal_depth"] == 10
+        assert stats["events_since_checkpoint"] == 10
+        assert stats["failovers"] == 0
+
+    def test_snapshot_path_persists_json(self, tba, factory, tmp_path):
+        path = tmp_path / "mux.json"
+        supervisor = MuxSupervisor(
+            factory, checkpoint_every=20, tba=tba, snapshot_path=str(path)
+        )
+        for name, sym, t in traffic(events=60):
+            supervisor.ingest(name, sym, t)
+        doc = load_json(str(path))
+        assert doc["kind"] == "mux"
+        assert doc["sessions"]
+
+    def test_validation(self, tba, factory):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            MuxSupervisor(factory, checkpoint_every=0, tba=tba)
+
+    def test_failover_metrics(self, tba, factory):
+        with instrumented() as inst:
+            supervisor = MuxSupervisor(factory, checkpoint_every=30, tba=tba)
+            for name, sym, t in traffic(events=90):
+                supervisor.ingest(name, sym, t)
+            supervisor.crash()
+            supervisor.recover()
+        assert inst.registry.counter("stream.failovers").value == 1
+        assert (
+            inst.registry.counter("stream.supervisor_checkpoints").value == 3
+        )
+        spans = [s.name for s in inst.spans.completed()]
+        assert "stream.failover" in spans
