@@ -1,16 +1,24 @@
 """Online monitoring throughput: events/sec, fan-in, and the ablation.
 
-Three regimes over :mod:`repro.stream`:
+Three regimes over :mod:`repro.stream`, each measured on both stepping
+paths so the compiled-vs-interpreted speedup is a committed artifact
+(``docs/performance.md`` reads these rows):
 
-* **single-session** — raw ingest throughput of one monitor, both
-  flavours: the O(state) :class:`TBAMonitor` stepping configuration
-  sets directly, and the machine-hosted :class:`Monitor` pumping a
-  private simulator (the exact-agreement path, paying kernel events);
+* **single-session** — raw ingest throughput of one monitor:
+  ``single-session-tba`` is the interpreted :class:`TBAMonitor`
+  baseline (``compiled=False``, per-event dict stepping),
+  ``single-session-tba-compiled`` the same events through the
+  :class:`~repro.stream.compiled.CompiledTBA` bulk scan
+  (``ingest_many``), and ``single-session-machine`` the machine-hosted
+  :class:`Monitor` pumping a private simulator (the exact-agreement
+  path, paying kernel events);
 * **multiplexed** — one :class:`SessionMux` sustaining hundreds of
   concurrent sessions (the bounded-memory demo: per-session reorder
   buffers stay under ``buffer_limit``, the per-language analysis is
-  shared), driven through the timestamp-ordered
-  :func:`~repro.stream.sources.replay_into_mux` merge;
+  shared): ``multiplexed`` replays the timestamp-ordered merge one
+  event at a time into interpreted monitors, ``multiplexed-compiled``
+  feeds the same merge in chunks through
+  :meth:`~repro.stream.session.SessionMux.ingest_batch`;
 * **online-vs-batch ablation** — ``engine.decide`` under
   ``"online-incremental"`` vs ``"lasso-exact"``: the per-event overhead
   the incremental path pays for never having to see the whole word.
@@ -35,6 +43,7 @@ from repro.stream import (
     TBAMonitor,
     analysis_for,
     checkpoint,
+    compiled_for,
     replay_into_mux,
     restore,
 )
@@ -73,10 +82,10 @@ def stalling_word():
 
 
 def test_single_session_tba_events_per_sec(benchmark, report, bench_record):
-    """The O(state) path: configuration stepping, no simulator."""
+    """The interpreted baseline: per-event configuration stepping."""
 
     def ingest_all():
-        monitor = TBAMonitor(TBA, analysis=ANALYSIS)
+        monitor = TBAMonitor(TBA, analysis=ANALYSIS, compiled=False)
         for symbol, t in EVENTS:
             monitor.ingest(symbol, t)
         return monitor
@@ -87,6 +96,28 @@ def test_single_session_tba_events_per_sec(benchmark, report, bench_record):
     eps = round(N_EVENTS / max(benchmark.stats.stats.mean, 1e-9), 1)
     bench_record(mode="single-session-tba", events=N_EVENTS, events_per_sec=eps)
     report.add(monitor="TBAMonitor", events=N_EVENTS, eps=eps)
+
+
+def test_single_session_tba_compiled_events_per_sec(
+    benchmark, report, bench_record
+):
+    """The compiled path: the same events through the bulk table scan."""
+    if compiled_for(ANALYSIS) is None:
+        pytest.skip("compiled stepping unavailable (numpy absent/disabled)")
+
+    def ingest_all():
+        monitor = TBAMonitor(TBA, analysis=ANALYSIS, compiled=True)
+        monitor.ingest_many(EVENTS)
+        return monitor
+
+    monitor = benchmark(ingest_all)
+    assert monitor.verdict is StreamVerdict.ACCEPTING
+    assert monitor.events_released == N_EVENTS
+    eps = round(N_EVENTS / max(benchmark.stats.stats.mean, 1e-9), 1)
+    bench_record(
+        mode="single-session-tba-compiled", events=N_EVENTS, events_per_sec=eps
+    )
+    report.add(monitor="TBAMonitor[compiled]", events=N_EVENTS, eps=eps)
 
 
 def test_single_session_machine_events_per_sec(benchmark, report, bench_record):
@@ -107,19 +138,14 @@ def test_single_session_machine_events_per_sec(benchmark, report, bench_record):
     report.add(monitor="Monitor", events=N_EVENTS, eps=eps)
 
 
-def test_mux_sustains_concurrent_sessions(once, report, bench_record):
-    """The ≥200-session fan-in with bounded memory, timestamp-merged."""
-    fleet = {}
-    for i in range(N_SESSIONS):
-        fleet[f"s{i:04d}"] = stalling_word() if i % 10 == 9 else steady_word()
+def _fleet():
+    return {
+        f"s{i:04d}": stalling_word() if i % 10 == 9 else steady_word()
+        for i in range(N_SESSIONS)
+    }
 
-    def drive():
-        mux = SessionMux(TBA, buffer_limit=BUFFER_LIMIT, drop_policy="drop-new")
-        t0 = time.perf_counter()
-        verdicts = replay_into_mux(mux, fleet, until=MUX_UNTIL)
-        return mux, verdicts, time.perf_counter() - t0
 
-    mux, verdicts, elapsed = once(drive)
+def _check_and_record(mode, mux, verdicts, elapsed, report, bench_record):
     stats = mux.stats()
     rejected = sum(1 for v in verdicts.values() if v is StreamVerdict.REJECTED)
     events = sum(s.monitor.events_ingested for s in mux._sessions.values())
@@ -131,13 +157,54 @@ def test_mux_sustains_concurrent_sessions(once, report, bench_record):
     assert all(s.monitor.pending <= BUFFER_LIMIT for s in mux._sessions.values())
     assert rejected == N_SESSIONS // 10  # exactly the stalling streams
     bench_record(
-        mode="multiplexed",
+        mode=mode,
         sessions=N_SESSIONS,
         events=events,
         events_per_sec=eps,
         pending_total=stats["pending_total"],
     )
     report.add(sessions=N_SESSIONS, events=events, eps=eps, rejected=rejected)
+
+
+def test_mux_sustains_concurrent_sessions(once, report, bench_record):
+    """The ≥200-session fan-in with bounded memory, timestamp-merged."""
+    fleet = _fleet()
+
+    def drive():
+        mux = SessionMux(
+            TBA,
+            buffer_limit=BUFFER_LIMIT,
+            drop_policy="drop-new",
+            compiled=False,
+        )
+        t0 = time.perf_counter()
+        verdicts = replay_into_mux(mux, fleet, until=MUX_UNTIL)
+        return mux, verdicts, time.perf_counter() - t0
+
+    mux, verdicts, elapsed = once(drive)
+    _check_and_record(
+        "multiplexed", mux, verdicts, elapsed, report, bench_record
+    )
+
+
+def test_mux_batched_compiled_sessions(once, report, bench_record):
+    """The same fan-in, chunked through vectorized ``ingest_batch``."""
+    if compiled_for(ANALYSIS) is None:
+        pytest.skip("compiled stepping unavailable (numpy absent/disabled)")
+    fleet = _fleet()
+
+    def drive():
+        mux = SessionMux(
+            TBA, buffer_limit=BUFFER_LIMIT, drop_policy="drop-new"
+        )
+        t0 = time.perf_counter()
+        verdicts = replay_into_mux(mux, fleet, until=MUX_UNTIL, batch=4096)
+        return mux, verdicts, time.perf_counter() - t0
+
+    mux, verdicts, elapsed = once(drive)
+    _check_and_record(
+        "multiplexed-compiled", mux, verdicts, elapsed, report, bench_record
+    )
 
 
 @pytest.mark.parametrize("strategy", ["lasso-exact", "online-incremental"])

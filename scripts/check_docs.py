@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs consistency checker (run by CI and tests/test_docs.py).
 
-Three checks, all cheap and dependency-free:
+Four checks, all cheap and dependency-free:
 
 1. **Coverage** — every package under ``src/repro/`` is mentioned in
    ``docs/architecture.md`` (as ``repro.<name>``), so the module map
@@ -11,6 +11,8 @@ Three checks, all cheap and dependency-free:
 3. **References** — every ``src/…``, ``tests/…``, ``benchmarks/…``, or
    ``examples/…`` path quoted in the docs exists, so the paper map and
    metric inventory always point at real code.
+4. **Required docs** — the core guides (``REQUIRED_DOCS``) exist, so a
+   rename or deletion cannot silently drop one from the glob.
 
 Exit status 0 iff everything holds; problems are printed one per line.
 """
@@ -24,6 +26,15 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 
 DOC_FILES = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+
+#: Guides that must exist — the glob above would silently shrink if one
+#: were renamed or deleted.
+REQUIRED_DOCS = [
+    "docs/architecture.md",
+    "docs/observability.md",
+    "docs/paper_map.md",
+    "docs/performance.md",
+]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 PATH_RE = re.compile(r"`((?:src|tests|benchmarks|examples)/[A-Za-z0-9_./-]+\.py)`")
@@ -79,8 +90,22 @@ def check_code_references() -> list:
     return problems
 
 
+def check_required_docs() -> list:
+    """The core guides exist under their canonical names."""
+    return [
+        f"required doc missing: {rel}"
+        for rel in REQUIRED_DOCS
+        if not (ROOT / rel).exists()
+    ]
+
+
 def main() -> int:
-    problems = check_package_coverage() + check_links() + check_code_references()
+    problems = (
+        check_package_coverage()
+        + check_links()
+        + check_code_references()
+        + check_required_docs()
+    )
     for p in problems:
         print(p)
     if problems:

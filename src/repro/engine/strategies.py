@@ -24,6 +24,16 @@ An *acceptor* is anything exposing the machine judge protocol —
 :class:`~repro.machine.rtalgorithm.RealTimeAlgorithm`, or a plain
 callable wrapped in :class:`FunctionAcceptor` (how the ad hoc routing
 validator joins the engine without being a machine).
+
+A fourth strategy, ``"online-incremental"``
+(:mod:`repro.stream.strategy`), registers lazily on first
+:func:`get_strategy` request: it replays the word through the stream
+runtime's monitor and also accepts a *raw*
+:class:`~repro.automata.timed.TimedBuchiAutomaton`, wrapping it with
+the cached :func:`~repro.engine.batch.compiled_tba` machine (streaming
+judgement itself runs on the vectorized tables of
+:mod:`repro.stream.compiled` where available — see
+``docs/performance.md``).
 """
 
 from __future__ import annotations

@@ -14,10 +14,17 @@ shape needs verdicts over live traffic.  This package is that runtime:
     push-driven tape (batch-agreement by construction), and
     :class:`TBAMonitor` steps a timed Büchi automaton's configuration
     set against a precomputed liveness analysis.
+``stream.compiled``
+    :class:`CompiledTBA` — the analysis lowered to dense integer
+    transition tables and bitset masks, so TBA stepping and lasso
+    acceptance are array lookups instead of dict interpretation
+    (automatic fallback when numpy is absent or the automaton exceeds
+    the table bounds; see ``docs/performance.md``).
 ``stream.session``
     :class:`SessionMux` — many named streams over shared compiled
     acceptors, with bounded per-session buffers, explicit
-    backpressure/drop policies, and close/evict lifecycle.
+    backpressure/drop policies, close/evict lifecycle, and
+    cross-session vectorized batch stepping (``ingest_batch``).
 ``stream.sources``
     Adapters from the existing domains: replay any
     :class:`~repro.words.timedword.TimedWord`, serve the §5.1 periodic
@@ -45,6 +52,7 @@ from .checkpoint import (
     restore_mux,
     save_json,
 )
+from .compiled import CompiledTBA, compiled_for, compilation_enabled
 from .monitor import (
     LateEventError,
     Monitor,
@@ -74,6 +82,9 @@ __all__ = [
     "TBAMonitor",
     "TBAAnalysis",
     "analysis_for",
+    "CompiledTBA",
+    "compiled_for",
+    "compilation_enabled",
     "BackpressureError",
     "SessionMux",
     "SessionReport",

@@ -234,8 +234,15 @@ def restore_mux(
     mux.sessions_opened = counters["sessions_opened"]
     mux.sessions_closed = counters["sessions_closed"]
     mux.sessions_evicted = counters["sessions_evicted"]
+    # One analysis per language, shared by every restored session —
+    # without this, each restore() re-derives it from scratch (the
+    # one-build-per-language invariant is pinned by
+    # tests/test_stream_compiled.py).
+    analysis = analysis_for(tba) if tba is not None else None
     for name, entry in snapshot["sessions"].items():
-        monitor = restore(entry["snapshot"], tba=tba, acceptor=acceptor)
+        monitor = restore(
+            entry["snapshot"], tba=tba, acceptor=acceptor, analysis=analysis
+        )
         session = _Session(name, monitor)
         session.last_event_time = entry["last_event_time"]
         session.drops = entry["drops"]

@@ -39,6 +39,20 @@ Two monitors share the ingestion machinery:
     (deterministic TBAs: every continuation stays alive and accepts, so
     ACCEPTING becomes a guarantee rather than an observation).
 
+    The TBA monitor has **two verdict-identical stepping paths**.  The
+    *interpreted* path calls ``TimedBuchiAutomaton._step_configs`` per
+    event (dict-built valuations, guard ASTs re-evaluated).  The
+    *compiled* path (:mod:`repro.stream.compiled`, the default when
+    numpy is available) steps a dense transition table / successor
+    bitset compiled once per analysis, so an event costs a couple of
+    array lookups; ``ingest_many`` additionally batches whole event
+    slices through one tight scan when no reorder buffering is in
+    play.  ``compiled=False`` (or ``REPRO_STREAM_COMPILED=0``, or a
+    missing numpy, or an automaton past the table bounds) falls back
+    to the interpreter; ``tests/test_stream_compiled.py`` pins the two
+    paths verdict-stream-identical.  Cost model and measured speedups:
+    ``docs/performance.md``.
+
 Out-of-order tolerance: events are buffered in a small reorder heap
 and applied only once the *watermark* (``max_seen − lateness``) passes
 them, so events may arrive up to ``lateness`` chronons late.  An event
@@ -66,6 +80,7 @@ from ..machine.from_tba import _is_deterministic
 from ..machine.rtalgorithm import ACCEPT_SYMBOL, Context, WorkingStorage
 from ..machine.tape import InputTape, OutputTape
 from ..obs import hooks as _obs
+from .compiled import compiled_for
 
 __all__ = [
     "StreamVerdict",
@@ -196,6 +211,20 @@ class _BaseMonitor:
         if h is not None:
             h.count("stream.events_released")
         self._advance(symbol, t)
+
+    def ingest_many(self, events) -> StreamVerdict:
+        """Feed a sequence of ``(symbol, t)`` events; returns the
+        verdict-so-far.
+
+        Semantically a loop of :meth:`ingest`; subclasses override it
+        with batched fast paths (:class:`TBAMonitor` scans compiled
+        transition tables without touching the reorder heap when no
+        buffering is in play).
+        """
+        v = self.verdict
+        for symbol, t in events:
+            v = self.ingest(symbol, t)
+        return v
 
     def flush(self) -> StreamVerdict:
         """Apply every buffered event regardless of the watermark."""
@@ -363,6 +392,11 @@ class TBAAnalysis:
     """
 
     def __init__(self, tba: TimedBuchiAutomaton):
+        h = _obs.HOOKS
+        if h is not None:
+            # One build per language is the invariant the mux relies on
+            # (tests/test_stream_compiled.py asserts on this counter).
+            h.count("stream.analysis_builds")
         self.tba = tba
         gap_classes = range(tba._cmax + 2)
         init = tba._initial_config()
@@ -477,11 +511,25 @@ def analysis_for(tba: TimedBuchiAutomaton) -> TBAAnalysis:
 class TBAMonitor(_BaseMonitor):
     """Direct configuration-set monitor for a timed Büchi automaton.
 
-    O(state) per event: one ``_step_configs`` call plus frozen-set
-    membership checks against the precomputed :class:`TBAAnalysis`.
-    The whole mutable state is (configuration set, previous timestamp,
-    reorder buffer, counters) — which is what makes
-    :mod:`repro.stream.checkpoint` a constant-size snapshot.
+    O(state) per event, on one of two verdict-identical paths chosen at
+    construction:
+
+    * **compiled** (default when available) — the
+      :class:`~repro.stream.compiled.CompiledTBA` artifact shared
+      through the analysis: an event is a dense-table lookup
+      (deterministic stepping) or a bitset OR (nondeterministic), plus
+      two flag reads for the judgement.  :meth:`ingest_many`
+      additionally scans whole event slices in one tight loop when no
+      reorder buffering is in play.
+    * **interpreted** — ``_step_configs`` over the frozen configuration
+      set, the fallback when numpy is absent, the automaton exceeds the
+      table bounds, ``REPRO_STREAM_COMPILED=0``, or ``compiled=False``.
+
+    Either way the whole mutable state is (configuration set, previous
+    timestamp, reorder buffer, counters) — which is what makes
+    :mod:`repro.stream.checkpoint` a constant-size snapshot;
+    ``configs`` stays the canonical view (a property on the compiled
+    path, decoded on demand).
 
     Verdict semantics: REJECTED exactly when no reachable configuration
     is ``live`` (no accepting continuation — exact even for
@@ -499,17 +547,81 @@ class TBAMonitor(_BaseMonitor):
         lateness: int = 0,
         late_policy: str = "raise",
         f_window: Optional[int] = None,
+        compiled: Optional[bool] = None,
     ):
         super().__init__(lateness=lateness, late_policy=late_policy)
         self.tba = tba
         self.analysis = analysis if analysis is not None else analysis_for(tba)
         self.f_window = f_window
-        self.configs: FrozenSet[Config] = frozenset({tba._initial_config()})
+        if compiled is False:
+            self._compiled = None
+        else:
+            self._compiled = compiled_for(self.analysis)
+            if compiled is True and self._compiled is None:
+                raise ValueError(
+                    "compiled stepping unavailable (numpy absent, "
+                    "REPRO_STREAM_COMPILED=0, or automaton exceeds the "
+                    "table bounds)"
+                )
+        comp = self._compiled
+        self._configs: Optional[FrozenSet[Config]] = None
+        self._ci: Optional[int] = None  # compiled deterministic state index
+        self._cmask: Optional[int] = None  # compiled nondeterministic bitset
+        if comp is None:
+            self._configs = frozenset({tba._initial_config()})
+        elif comp.deterministic:
+            self._ci = comp.initial_index
+        else:
+            self._cmask = 1 << comp.initial_index
         self.prev_t = 0
         self.accept_visits = 0
         self._last_accept_time: Optional[int] = None
         self._green_locked = False
         self._judge(0)
+
+    @property
+    def compiled(self) -> bool:
+        """Whether this monitor steps the compiled artifact."""
+        return self._compiled is not None
+
+    @property
+    def configs(self) -> FrozenSet[Config]:
+        """The reachable configuration set (decoded from the compiled
+        state representation when on the compiled path)."""
+        comp = self._compiled
+        if comp is None:
+            return self._configs  # type: ignore[return-value]
+        if comp.deterministic:
+            if self._ci == comp.trap:
+                return frozenset()
+            return frozenset({comp.configs[self._ci]})
+        return comp.decode_set(self._cmask)
+
+    @configs.setter
+    def configs(self, value) -> None:
+        value = frozenset(value)
+        comp = self._compiled
+        if comp is not None:
+            try:
+                mask = comp.encode_set(value)
+            except KeyError:
+                # Configurations outside this automaton's reachable
+                # universe (foreign snapshot): drop to the interpreter.
+                comp = self._compiled = None
+            else:
+                if not comp.deterministic:
+                    self._cmask = mask
+                    return
+                if mask == 0:
+                    self._ci = comp.trap
+                    return
+                if mask & (mask - 1) == 0:
+                    self._ci = mask.bit_length() - 1
+                    return
+                # >1 configurations under deterministic stepping can
+                # only come from a foreign snapshot; fall back too.
+                comp = self._compiled = None
+        self._configs = value
 
     @property
     def absorbed(self) -> bool:
@@ -520,20 +632,148 @@ class TBAMonitor(_BaseMonitor):
             return
         gap = t - self.prev_t
         self.prev_t = t
-        self.configs = frozenset(
-            self.tba._step_configs(set(self.configs), symbol, gap)
-        )
-        if any(c[0] in self.tba.accepting for c in self.configs):
+        comp = self._compiled
+        if comp is None:
+            self._configs = frozenset(
+                self.tba._step_configs(set(self._configs), symbol, gap)
+            )
+            accepting = any(c[0] in self.tba.accepting for c in self._configs)
+        elif comp.deterministic:
+            ci = comp.step_index(self._ci, symbol, gap)
+            self._ci = ci
+            accepting = comp.accepting_list[ci]
+        else:
+            mask = comp.step_mask(self._cmask, symbol, gap)
+            self._cmask = mask
+            accepting = bool(mask & comp.accepting_mask)
+        if accepting:
             self.accept_visits += 1
             self._last_accept_time = t
         self._judge(t)
 
+    def ingest_many(self, events) -> StreamVerdict:
+        """Batched ingest: one tight scan over the compiled table.
+
+        Verdict- and counter-identical to looping :meth:`ingest` (the
+        differential suite pins it), with two scope limits — the fast
+        scan only engages on the compiled deterministic path with
+        ``lateness == 0`` and an empty reorder buffer (otherwise it
+        delegates to the generic loop), and per-event
+        ``stream.watermark_lag`` observations are skipped (the lag is
+        identically zero here); ingested/released counts are recorded
+        in bulk.  Late or negative-timestamp events hand the remainder
+        of the slice back to :meth:`ingest` for identical policy
+        handling.
+        """
+        comp = self._compiled
+        if (
+            comp is None
+            or not comp.deterministic
+            or self.lateness != 0
+            or self._heap
+        ):
+            return super().ingest_many(events)
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        table = comp.table_list
+        sym_index = comp.sym_index
+        unknown = comp.n_symbols
+        cap = comp.gap_cap
+        acc = comp.accepting_list
+        live = comp.live_list
+        green = comp.green_list
+        get = sym_index.get
+        ci = self._ci
+        pt = self.prev_t
+        ms = self.max_seen
+        visits = self.accept_visits
+        lat = self._last_accept_time
+        glock = self._green_locked
+        fw = self.f_window
+        verdict = self.verdict
+        REJ = StreamVerdict.REJECTED
+        ACC = StreamVerdict.ACCEPTING
+        INC = StreamVerdict.INCONCLUSIVE
+        rejected = verdict is REJ
+        applied = 0
+        resume = False
+        wm = -1 if ms is None else ms  # sentinel: every t >= 0 passes
+        for symbol, t in events:
+            if t < wm or t < 0:
+                resume = True  # late/invalid: scalar path owns policy
+                break
+            applied += 1
+            wm = t
+            if rejected:
+                continue
+            gap = t - pt
+            pt = t
+            row = table[ci][get(symbol, unknown)]
+            ci = row[gap] if gap <= cap else row[cap]
+            if acc[ci]:
+                visits += 1
+                lat = t
+            if not live[ci]:
+                rejected = True
+                self._set_verdict(REJ)
+                verdict = REJ
+                continue
+            if glock or green[ci]:
+                glock = True
+                if verdict is not ACC:
+                    self._set_verdict(ACC)
+                    verdict = ACC
+            elif lat is not None and (fw is None or t - lat <= fw):
+                if verdict is not ACC:
+                    self._set_verdict(ACC)
+                    verdict = ACC
+            elif verdict is not INC:
+                self._set_verdict(INC)
+                verdict = INC
+        self._ci = ci
+        self.prev_t = pt
+        if wm >= 0:
+            self.max_seen = wm
+        self.accept_visits = visits
+        self._last_accept_time = lat
+        self._green_locked = glock
+        self.events_ingested += applied
+        self.events_released += applied
+        self._seq += applied
+        h = _obs.HOOKS
+        if h is not None and applied:
+            h.count("stream.events_ingested", applied, outcome="ok")
+            h.count("stream.events_released", applied)
+            h.count("stream.compiled_steps", applied, path="bulk")
+        if resume:
+            # `applied` events were consumed before the break, so the
+            # offending event and everything after it re-enter scalar.
+            for symbol, t in events[applied:]:
+                self.ingest(symbol, t)
+        return self.verdict
+
     def _judge(self, t: int) -> None:
-        an = self.analysis
-        if not (self.configs & an.live):
+        comp = self._compiled
+        if comp is None:
+            an = self.analysis
+            alive = bool(self._configs & an.live)
+            green = bool(an.green) and self._configs <= an.green
+        elif comp.deterministic:
+            ci = self._ci
+            alive = comp.live_list[ci]
+            green = comp.green_list[ci]
+        else:
+            mask = self._cmask
+            alive = bool(mask & comp.live_mask)
+            green = (
+                bool(comp.green_mask)
+                and mask != 0
+                and mask & ~comp.green_mask == 0
+            )
+        if not alive:
             self._set_verdict(StreamVerdict.REJECTED)
             return
-        if an.green and self.configs <= an.green:
+        if green:
             self._green_locked = True
         if self._green_locked or (
             self._last_accept_time is not None

@@ -5,10 +5,30 @@ of named sessions against a handful of *languages*.  The
 :class:`SessionMux` owns that fan-in: sessions are created on first
 event, every session gets its own O(state) monitor, and the expensive
 per-language artifacts are shared — one
-:class:`~repro.stream.monitor.TBAAnalysis` per automaton (via the
-engine's acceptor LRU) and one acceptor object per machine-protocol
-language (each session's :class:`~repro.stream.monitor.Monitor` builds
-only a private simulator around the shared program).
+:class:`~repro.stream.monitor.TBAAnalysis` **and one**
+:class:`~repro.stream.compiled.CompiledTBA` per automaton (via the
+engine's acceptor LRU and the analysis-attached compile cache — built
+once per language, never per session), and one acceptor object per
+machine-protocol language (each session's
+:class:`~repro.stream.monitor.Monitor` builds only a private simulator
+around the shared program).
+
+Ingestion has two paths, verdict-identical by construction and pinned
+so by ``tests/test_stream_compiled.py``:
+
+* :meth:`SessionMux.ingest` — one event into one session, the scalar
+  path every policy decision (late events, backpressure, drops) runs
+  through.
+* :meth:`SessionMux.ingest_batch` — many ``(name, symbol, t)`` events
+  at once.  Sessions on the compiled deterministic path with no
+  reorder buffering are advanced *together*: their state indices are
+  gathered into struct-of-arrays and one
+  :meth:`~repro.stream.compiled.CompiledTBA.step_many` table gather
+  advances every session in the wave (or, when a batch is dominated by
+  a few sessions, each session's slice runs through the monitor's
+  batched ``ingest_many`` scan).  Everything else — machine-backed
+  monitors, buffering sessions, late or out-of-order events — falls
+  back to the scalar path, event order preserved per session.
 
 Boundedness is explicit, not accidental:
 
@@ -35,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..automata.timed import TimedBuchiAutomaton
 from ..engine.verdict import DecisionReport
 from ..obs import hooks as _obs
+from .compiled import NUMPY, compiled_for
 from .monitor import Monitor, StreamVerdict, TBAMonitor, analysis_for
 
 __all__ = ["BackpressureError", "SessionReport", "SessionMux"]
@@ -93,6 +114,7 @@ class SessionMux:
         drop_policy: str = "drop-new",
         max_sessions: Optional[int] = None,
         idle_ttl: Optional[int] = None,
+        compiled: Optional[bool] = None,
     ):
         if (acceptor is None) == (monitor_factory is None):
             raise ValueError("pass exactly one of acceptor / monitor_factory")
@@ -112,16 +134,25 @@ class SessionMux:
         self.sessions_closed = 0
         self.sessions_evicted = 0
         self._sessions: Dict[str, _Session] = {}
+        #: The shared compiled artifact for batch stepping (None when
+        #: the language is not a TBA, compilation is off, or the
+        #: automaton fell back to the interpreter).
+        self._tba_compiled = None
         if monitor_factory is not None:
             self._factory = monitor_factory
         elif isinstance(acceptor, TimedBuchiAutomaton):
+            # Both per-language artifacts are built exactly once here
+            # and shared by every session (and by checkpoint restores).
             analysis = analysis_for(acceptor)
+            if compiled is not False:
+                self._tba_compiled = compiled_for(analysis)
             self._factory = lambda: TBAMonitor(
                 acceptor,
                 analysis=analysis,
                 lateness=lateness,
                 late_policy=late_policy,
                 f_window=f_window,
+                compiled=compiled,
             )
         else:
             self._factory = lambda: Monitor(
@@ -187,6 +218,200 @@ class SessionMux:
         if session.last_event_time is None or t > session.last_event_time:
             session.last_event_time = t
         return monitor.ingest(symbol, t)
+
+    def ingest_batch(self, events) -> int:
+        """Feed many ``(name, symbol, t)`` events, vectorizing across
+        sessions that share the compiled deterministic path.
+
+        Events are grouped per session (each session's relative order
+        preserved — sessions are independent, so cross-session order
+        carries no meaning).  Sessions whose monitor sits on the shared
+        :class:`~repro.stream.compiled.CompiledTBA` with no reorder
+        buffering, and whose slice of the batch is on-time and
+        nondecreasing, are advanced through the table: long
+        per-session runs go through the monitor's own bulk scan, short
+        ones are stepped *together* wave-by-wave with one
+        :meth:`~repro.stream.compiled.CompiledTBA.step_many` gather per
+        wave.  Everything else — machine-backed monitors, buffering or
+        late traffic, interpreter fallbacks — replays through
+        :meth:`ingest` so every policy decision stays on the scalar
+        path.  Verdicts and counters are identical either way (pinned
+        by ``tests/test_stream_compiled.py``).
+
+        Returns the number of events advanced through a vectorized
+        path (the rest went through :meth:`ingest`).
+        """
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        groups: Dict[str, List[Any]] = {}
+        order: List[str] = []
+        for name, symbol, t in events:
+            g = groups.get(name)
+            if g is None:
+                g = groups[name] = []
+                order.append(name)
+            g.append((symbol, t))
+        comp = self._tba_compiled
+        scalar: List[str] = []
+        waves: List[Any] = []
+        if comp is None or NUMPY is None or not comp.deterministic:
+            scalar = order
+        else:
+            for name in order:
+                session = self._sessions.get(name)
+                if session is None:
+                    self.open(name)
+                    session = self._sessions[name]
+                m = session.monitor
+                if (
+                    not isinstance(m, TBAMonitor)
+                    or m._compiled is not comp
+                    or m.lateness != 0
+                    or m._heap
+                ):
+                    scalar.append(name)
+                    continue
+                # The bulk scans assume on-time, in-order slices; a
+                # single late or negative timestamp sends the whole
+                # slice back to the scalar path (which owns policy).
+                floor = m.max_seen if m.max_seen is not None else 0
+                for _symbol, t in groups[name]:
+                    if t < floor or t < 0:
+                        scalar.append(name)
+                        break
+                    floor = t
+                else:
+                    waves.append((session, m, groups[name]))
+        vectorized = 0
+        if waves:
+            total = sum(len(slice_) for _s, _m, slice_ in waves)
+            if total >= 8 * len(waves):
+                # Few deep sessions: each monitor's own bulk scan
+                # beats assembling cross-session waves.
+                for session, m, slice_ in waves:
+                    m.ingest_many(slice_)
+                    t_last = slice_[-1][1]
+                    if (
+                        session.last_event_time is None
+                        or t_last > session.last_event_time
+                    ):
+                        session.last_event_time = t_last
+                    vectorized += len(slice_)
+            else:
+                vectorized = self._step_waves(comp, waves)
+        for name in scalar:
+            for symbol, t in groups[name]:
+                self.ingest(name, symbol, t)
+        return vectorized
+
+    def _step_waves(self, comp, waves) -> int:
+        """Advance many sessions together, one table gather per wave.
+
+        Wave ``k`` holds the ``k``-th event of every session that has
+        one: state indices, symbol columns, and clock gaps are gathered
+        into arrays, :meth:`CompiledTBA.step_many` advances the whole
+        wave in one fancy-indexed lookup, and the verdict bookkeeping
+        (mirroring ``TBAMonitor.ingest_many`` exactly) is applied per
+        member.  Rejection is absorbing: a rejected member keeps
+        counting events but its state and ``prev_t`` stay frozen, same
+        as the scalar path.  Per-event ``stream.watermark_lag``
+        observations are skipped (the lag is identically zero here).
+        """
+        np = NUMPY
+        REJ = StreamVerdict.REJECTED
+        ACC = StreamVerdict.ACCEPTING
+        INC = StreamVerdict.INCONCLUSIVE
+        acc_f = comp.accepting_list
+        live_f = comp.live_list
+        green_f = comp.green_list
+        sym_get = comp.sym_index.get
+        unknown = comp.n_symbols
+        total = 0
+        stepped = 0
+        depth = max(len(slice_) for _s, _m, slice_ in waves)
+        for k in range(depth):
+            wave_s: List[Any] = []
+            wave_m: List[Any] = []
+            wave_sym: List[int] = []
+            wave_t: List[int] = []
+            for session, m, slice_ in waves:
+                if k >= len(slice_):
+                    continue
+                symbol, t = slice_[k]
+                total += 1
+                if m.verdict is REJ:
+                    # Absorbed: counters and watermark advance, the
+                    # run state and prev_t stay frozen (scalar
+                    # `_advance` early-returns the same way).
+                    m.events_ingested += 1
+                    m.events_released += 1
+                    m._seq += 1
+                    m.max_seen = t
+                    if (
+                        session.last_event_time is None
+                        or t > session.last_event_time
+                    ):
+                        session.last_event_time = t
+                    continue
+                wave_s.append(session)
+                wave_m.append(m)
+                wave_sym.append(sym_get(symbol, unknown))
+                wave_t.append(t)
+            if not wave_m:
+                continue
+            n = len(wave_m)
+            states = np.fromiter(
+                (m._ci for m in wave_m), dtype=np.int32, count=n
+            )
+            ts = np.array(wave_t, dtype=np.int64)
+            gaps = ts - np.fromiter(
+                (m.prev_t for m in wave_m), dtype=np.int64, count=n
+            )
+            new = comp.step_many(
+                states, np.array(wave_sym, dtype=np.int32), gaps
+            ).tolist()
+            stepped += n
+            for i in range(n):
+                m = wave_m[i]
+                t = wave_t[i]
+                ci = new[i]
+                m._ci = ci
+                m.prev_t = t
+                m.max_seen = t
+                m.events_ingested += 1
+                m.events_released += 1
+                m._seq += 1
+                if acc_f[ci]:
+                    m.accept_visits += 1
+                    m._last_accept_time = t
+                session = wave_s[i]
+                if (
+                    session.last_event_time is None
+                    or t > session.last_event_time
+                ):
+                    session.last_event_time = t
+                if not live_f[ci]:
+                    m._set_verdict(REJ)
+                    continue
+                if green_f[ci]:
+                    m._green_locked = True
+                if m._green_locked or (
+                    m._last_accept_time is not None
+                    and (
+                        m.f_window is None
+                        or t - m._last_accept_time <= m.f_window
+                    )
+                ):
+                    m._set_verdict(ACC)
+                else:
+                    m._set_verdict(INC)
+        h = _obs.HOOKS
+        if h is not None and total:
+            h.count("stream.events_ingested", total, outcome="ok")
+            h.count("stream.events_released", total)
+            if stepped:
+                h.count("stream.compiled_steps", stepped, path="wave")
+        return total
 
     def verdicts(self) -> Dict[str, StreamVerdict]:
         """Current verdict-so-far of every open session."""

@@ -145,14 +145,23 @@ def replay_into_mux(
     *,
     until: int,
     limit_per_stream: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> Dict[str, StreamVerdict]:
     """Merge named words by timestamp and drive them through a mux.
 
     Events across streams are interleaved in global timestamp order
     (ties broken by stream name), which is how a shared front-end would
     see concurrent sessions; returns the final verdict per stream.
+
+    With ``batch`` set, merged events are handed to
+    :meth:`~repro.stream.session.SessionMux.ingest_batch` in chunks of
+    that size instead of one at a time — same verdicts (the mux falls
+    back to scalar ingestion per session where vectorized stepping
+    does not apply), one table gather per cross-session wave.
     """
     h = _obs.HOOKS
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
 
     def run() -> Dict[str, StreamVerdict]:
         iters: Dict[str, Iterator[Pair]] = {
@@ -165,12 +174,21 @@ def replay_into_mux(
             if first is not None:
                 heap.append((first[1], name, first[0]))
         heapq.heapify(heap)
+        chunk: list = []
         while heap:
             t, name, symbol = heapq.heappop(heap)
-            mux.ingest(name, symbol, t)
+            if batch is None:
+                mux.ingest(name, symbol, t)
+            else:
+                chunk.append((name, symbol, t))
+                if len(chunk) >= batch:
+                    mux.ingest_batch(chunk)
+                    chunk = []
             nxt = next(iters[name], None)
             if nxt is not None:
                 heapq.heappush(heap, (nxt[1], name, nxt[0]))
+        if chunk:
+            mux.ingest_batch(chunk)
         return mux.verdicts()
 
     if h is None:

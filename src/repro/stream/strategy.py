@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..automata.timed import TimedBuchiAutomaton
+from ..engine.batch import compiled_tba
 from ..engine.strategies import STRATEGIES, DecisionStrategy
 from ..engine.verdict import DecisionReport
 from .monitor import Monitor
@@ -35,6 +37,10 @@ class OnlineIncremental(DecisionStrategy):
     name = "online-incremental"
 
     def run(self, acceptor: Any, word: Any, horizon: int) -> DecisionReport:
+        if isinstance(acceptor, TimedBuchiAutomaton):
+            # Raw TBAs go through the cached §3.1.1 machine compilation
+            # so the stream and batch engines judge one shared program.
+            acceptor = compiled_tba(acceptor, allow_nondeterministic=True)
         monitor = Monitor(acceptor)
         i = 0
         while i < MAX_EVENTS:
