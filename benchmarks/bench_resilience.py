@@ -11,7 +11,11 @@ Three fault regimes, timed:
   to the serial path; the row separates clean-pool from
   faulted-pool throughput (the price of one retry);
 * **degraded throughput** — transient worker exceptions force retries;
-  words/sec with faults injected vs the clean pool.
+  words/sec with faults injected vs the clean pool;
+* **shard kill recovery** — one worker of a loaded
+  :class:`repro.shard.ShardRouter` is SIGKILLed and rebuilt from its
+  per-shard checkpoint+journal; the row records the respawn+replay
+  latency and pins verdict identity with an uninterrupted run.
 
 Rows land in the ``--bench-json`` capture (``BENCH_resilience.json``;
 the `resilience-smoke` CI job asserts the failover row).  Set
@@ -225,4 +229,51 @@ def test_degraded_mode_throughput(once, report, bench_record, tmp_path):
     )
     report.add(
         faults=shots, clean_wps=clean_wps, degraded_wps=degraded_wps
+    )
+
+
+def test_shard_kill_recovery_latency(once, report, bench_record):
+    """SIGKILL one shard of a loaded ShardRouter; time respawn+replay.
+
+    The per-shard analogue of the mux failover row: the dead worker is
+    rebuilt from its last checkpoint plus its journal, and the rebuilt
+    pool's verdicts must match an uninterrupted single-mux run
+    verdict-for-verdict.
+    """
+    from repro.shard import ShardRouter
+
+    tba = bounded_gap_tba()
+    events = traffic(N_SESSIONS, N_EVENTS)
+    reference = SessionMux(tba)
+    reference.ingest_batch(events)
+    split = (len(events) * 2) // 3
+
+    def run():
+        with ShardRouter(tba, n_shards=3, batch_events=128) as router:
+            router.ingest_batch(events[:split])
+            router.checkpoint()
+            router.ingest_batch(events[split:])
+            router.sync()
+            victim = router.shard_ids[1]
+            journal_depth = len(router._shards[victim].journal)
+            router.crash(victim)
+            recovery_s = router.recover(victim)
+            assert router.verdicts() == reference.verdicts()
+        return recovery_s, journal_depth
+
+    recovery_s, journal_depth = once(run)
+    bench_record(
+        mode="shard-kill-recovery",
+        sessions=N_SESSIONS,
+        events=N_EVENTS,
+        shards=3,
+        journal_depth=journal_depth,
+        recovery_ms=round(recovery_s * 1e3, 3),
+        recovered=True,
+    )
+    report.add(
+        sessions=N_SESSIONS,
+        events=N_EVENTS,
+        journal_depth=journal_depth,
+        recovery_ms=round(recovery_s * 1e3, 3),
     )

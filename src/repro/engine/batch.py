@@ -93,7 +93,10 @@ def _decide_one(
     seed: int,
     index: int,
 ) -> DecisionReport:
-    """One seeded, index-stamped decision (shared by both paths)."""
+    """One seeded, index-stamped decision (shared by every backend)."""
+    h = _obs.HOOKS
+    if h is not None:
+        h.count("engine.words_judged", strategy=strategy.name)
     report = strategy.run(acceptor, word, horizon)
     report.evidence["seed"] = seed + index
     report.evidence["index"] = index
@@ -110,6 +113,37 @@ def _run_chunk(task: Tuple[int, int, int]) -> List[DecisionReport]:
     ]
 
 
+def _run_chunk_metered(
+    task: Tuple[int, int, int]
+) -> Tuple[List[DecisionReport], Optional[List[Dict[str, Any]]]]:
+    """:func:`_run_chunk` under fresh child instrumentation.
+
+    A forked pool worker inherits the parent's hooks by memory *copy*:
+    anything it counts is invisible to the parent and dies with the
+    process.  When hooks were installed at fork time, the chunk runs
+    under a fresh registry instead and its full dump rides back with
+    the reports for the parent to merge — so ``engine.*`` / ``kernel.*``
+    counts match the serial path exactly (pinned by
+    ``tests/test_shard_metrics.py``).
+    """
+    from ..obs import hooks as _hooks
+
+    if _hooks.HOOKS is None:
+        return _run_chunk(task), None
+    with _hooks.instrumented() as inst:
+        reports = _run_chunk(task)
+    return reports, inst.registry.dump()
+
+
+#: Auto-backend heuristic floor: below ``max(this, 8 * workers)`` words
+#: a forked pool's startup cost dominates the work, so ``backend="auto"``
+#: routes ``workers > 1`` calls to the serial path (recorded in
+#: ``engine.backend_fallbacks{reason="small-batch"}``).
+MIN_POOL_WORDS = 64
+
+BACKENDS = ("auto", "serial", "fork", "shards")
+
+
 def decide_many(
     acceptor: Any,
     words: Sequence[Any],
@@ -119,12 +153,25 @@ def decide_many(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     seed: int = 0,
+    backend: str = "auto",
 ) -> List[DecisionReport]:
     """Judge every word in ``words``, optionally across a process pool.
 
-    Returns one report per word, in word order.  ``workers > 1``
-    fans chunks out over forked processes when the platform supports
-    it; the serial fallback produces identical reports.
+    Returns one report per word, in word order, bit-identical across
+    backends.  ``backend`` selects the fan-out:
+
+    * ``"serial"`` — the in-process loop;
+    * ``"fork"`` — the fork-per-batch pool (job inherited by memory
+      copy, so unpicklable acceptors work);
+    * ``"shards"`` — the persistent shard pool of :mod:`repro.shard`
+      (warm compiled acceptors across calls; requires a picklable
+      acceptor, and falls back with a recorded reason otherwise);
+    * ``"auto"`` (default) — serial for small batches where a pool
+      would lose, otherwise shards when the shared pool is already
+      warm, else fork.
+
+    Every routing-away-from-a-pool decision is counted in
+    ``engine.backend_fallbacks{reason=...}``.
     """
     if workers < 1:
         raise ValueError(
@@ -136,25 +183,69 @@ def decide_many(
             f"chunk_size must be >= 1 or None for automatic sizing, got "
             f"{chunk_size}"
         )
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     words = list(words)
     strat = get_strategy(strategy)
     n = len(words)
-    use_pool = (
+    # A raw TBA is accepted on every backend: shard workers receive it
+    # as-is (and compile it into their own warm cache); local judging
+    # goes through the same cached compilation here.
+    from ..automata.timed import TimedBuchiAutomaton
+
+    shippable = acceptor
+    if isinstance(acceptor, TimedBuchiAutomaton):
+        acceptor = compiled_tba(acceptor)
+    fork_ok = (
         workers > 1
         and n > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
     h = _obs.HOOKS
+
+    def fallback(reason: str, to: str) -> str:
+        if h is not None:
+            h.count("engine.backend_fallbacks", reason=reason)
+        return to
+
+    if backend == "serial" or workers <= 1 or n <= 1:
+        mode = "serial"
+    elif backend == "fork":
+        mode = "fork" if fork_ok else fallback("fork-unavailable", "serial")
+    elif backend == "shards":
+        mode = "shards" if fork_ok else fallback("fork-unavailable", "serial")
+    elif not fork_ok:
+        mode = "serial"
+    elif n < max(MIN_POOL_WORDS, 8 * workers):
+        mode = fallback("small-batch", "serial")
+    else:
+        from ..shard.pool import pool_is_warm
+
+        mode = "shards" if pool_is_warm() else "fork"
+    if mode == "shards":
+        # Preflight the pipe: a closure-laden acceptor or customized
+        # strategy cannot reach a persistent worker.
+        from ..shard import pool as _shard_pool
+
+        try:
+            lang_spec = _shard_pool.language_spec(shippable)
+            strat_spec = _shard_pool.strategy_spec(strat)
+        except _shard_pool.LanguageUnshippable as exc:
+            mode = fallback(exc.reason, "fork" if fork_ok else "serial")
+
     if h is not None:
-        h.count("engine.batches", mode="pool" if use_pool else "serial")
+        h.count(
+            "engine.batches", mode="pool" if mode == "fork" else mode
+        )
         h.count("engine.batch_words", n)
 
-    def run() -> List[DecisionReport]:
-        if not use_pool:
-            return [
-                _decide_one(acceptor, words[i], horizon, strat, seed, i)
-                for i in range(n)
-            ]
+    def run_serial() -> List[DecisionReport]:
+        return [
+            _decide_one(acceptor, words[i], horizon, strat, seed, i)
+            for i in range(n)
+        ]
+
+    def run_fork() -> List[DecisionReport]:
         size = chunk_size if chunk_size is not None else max(
             1, math.ceil(n / (workers * 4))
         )
@@ -163,19 +254,47 @@ def decide_many(
         chunks = [(token, lo, min(lo + size, n)) for lo in range(0, n, size)]
         try:
             with ctx.Pool(processes=min(workers, len(chunks))) as pool:
-                parts = pool.map(_run_chunk, chunks)
+                parts = pool.map(_run_chunk_metered, chunks)
         finally:
             _release_job(token)
-        return [report for part in parts for report in part]
+        if h is not None:
+            for _reports, delta in parts:
+                if delta:
+                    h.registry.merge(delta)
+        return [report for part, _delta in parts for report in part]
 
+    def run_shards() -> List[DecisionReport]:
+        from ..shard import pool as shard_pool
+
+        router = shard_pool.shared_pool(workers)
+        k = max(1, min(workers, router.n_shards))
+        size = chunk_size if chunk_size is not None else max(
+            1, math.ceil(n / (k * 4))
+        )
+        chunks = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+        slots, failures = shard_pool.run_chunks(
+            router, lang_spec, strat_spec, words, chunks,
+            horizon=horizon, seed=seed, workers=workers,
+        )
+        # Any chunk the pool could not finish is judged in-process —
+        # same pure function, so the batch stays bit-identical.
+        for lo, hi, reason, _detail in failures:
+            if h is not None:
+                h.count("engine.backend_fallbacks", reason=f"shard-{reason}")
+            for i in range(lo, hi):
+                slots[i] = _decide_one(acceptor, words[i], horizon, strat, seed, i)
+        return [slots[i] for i in range(n)]
+
+    run = {"serial": run_serial, "fork": run_fork, "shards": run_shards}[mode]
     if h is None:
         return run()
     with h.span(
         "engine.decide_many",
         words=n,
-        workers=workers if use_pool else 1,
+        workers=1 if mode == "serial" else workers,
         strategy=strat.name,
         horizon=horizon,
+        backend=mode,
     ):
         return run()
 

@@ -50,7 +50,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from ..obs import hooks as _obs
-from .batch import _decide_one, _register_job, _release_job, _run_chunk
+from .batch import BACKENDS, _decide_one, _register_job, _release_job, _run_chunk
 from .strategies import DEFAULT_HORIZON, DecisionStrategy, get_strategy
 from .verdict import DecisionReport, Verdict
 
@@ -135,10 +135,20 @@ class _Chunk:
 
 
 def _chunk_child(conn: Any, token: int, lo: int, hi: int) -> None:
-    """Forked child: judge one chunk, ship the reports (or the error)."""
+    """Forked child: judge one chunk, ship the reports (or the error).
+
+    When the parent had hooks installed at fork time, the chunk runs
+    under fresh child instrumentation and the registry dump rides back
+    with the reports — metrics recorded in the child would otherwise
+    die with it (see :func:`repro.engine.batch._run_chunk_metered`).
+    """
     try:
-        reports = _run_chunk((token, lo, hi))
-        conn.send(("ok", reports))
+        if _obs.HOOKS is None:
+            conn.send(("ok", _run_chunk((token, lo, hi)), None))
+        else:
+            with _obs.instrumented() as inst:
+                reports = _run_chunk((token, lo, hi))
+            conn.send(("ok", reports, inst.registry.dump()))
     except BaseException as exc:  # noqa: BLE001 — report anything, then die
         try:
             conn.send(("err", repr(exc)))
@@ -172,6 +182,7 @@ def decide_many_resilient(
     retry: Optional[RetryPolicy] = None,
     degrade: Optional[DegradePolicy] = None,
     deadline_s: Optional[float] = None,
+    backend: str = "auto",
 ) -> BatchOutcome:
     """Judge every word, surviving worker faults within a time budget.
 
@@ -180,6 +191,13 @@ def decide_many_resilient(
     the serial path — plus the failure model described in the module
     docstring.  Returns a :class:`BatchOutcome` carrying the reports
     and the recovery ledger.
+
+    ``backend`` picks the fan-out like ``decide_many``'s: ``"fork"``
+    (one forked process per chunk; also what ``"auto"`` chooses for
+    ``workers > 1``) or ``"shards"`` (the persistent pool of
+    :mod:`repro.shard` — worker deaths are healed by respawn and the
+    same retry/degrade ladder applies; needs a picklable acceptor and
+    falls back to fork with the reason recorded otherwise).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -189,28 +207,69 @@ def decide_many_resilient(
         )
     if deadline_s is not None and deadline_s <= 0:
         raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     retry = retry if retry is not None else RetryPolicy()
     degrade = degrade if degrade is not None else DegradePolicy()
     words = list(words)
     strat = get_strategy(strategy)
     n = len(words)
-    use_pool = (
+    # Raw TBAs are accepted like decide_many's: shipped as-is to shard
+    # workers, judged locally through the cached compilation.
+    from ..automata.timed import TimedBuchiAutomaton
+    from .batch import compiled_tba
+
+    shippable = acceptor
+    if isinstance(acceptor, TimedBuchiAutomaton):
+        acceptor = compiled_tba(acceptor)
+    fork_ok = (
         workers > 1
         and n > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
     h = _obs.HOOKS
+
+    def fallback(reason: str, to: str) -> str:
+        if h is not None:
+            h.count("engine.backend_fallbacks", reason=reason)
+        return to
+
+    if backend == "serial" or workers <= 1 or n <= 1:
+        mode = "serial"
+    elif not fork_ok:
+        mode = fallback("fork-unavailable", "serial")
+    elif backend == "shards":
+        mode = "shards"
+    else:  # "auto" and "fork" both take the fork path (the ladder's
+        # per-chunk process isolation is the battle-tested default)
+        mode = "fork"
+    lang_spec = strat_spec_ = None
+    if mode == "shards":
+        from ..shard import pool as _shard_pool
+
+        try:
+            lang_spec = _shard_pool.language_spec(shippable)
+            strat_spec_ = _shard_pool.strategy_spec(strat)
+        except _shard_pool.LanguageUnshippable as exc:
+            mode = fallback(exc.reason, "fork")
+    mode_label = {"serial": "serial", "fork": "pool", "shards": "shards"}[mode]
     if h is not None:
-        h.count("engine.batches", mode="pool" if use_pool else "serial")
+        h.count("engine.batches", mode=mode_label)
         h.count("engine.batch_words", n)
 
     start = time.perf_counter()
     deadline_at = None if deadline_s is None else start + deadline_s
-    outcome = BatchOutcome(reports=[], mode="pool" if use_pool else "serial")
+    outcome = BatchOutcome(reports=[], mode=mode_label)
 
     def run() -> None:
         slots: List[Optional[DecisionReport]] = [None] * n
-        if use_pool:
+        if mode == "shards":
+            _run_pooled_shards(
+                slots, acceptor, words, horizon, strat, seed, workers,
+                chunk_size, retry, degrade, deadline_at, outcome,
+                lang_spec, strat_spec_,
+            )
+        elif mode == "fork":
             _run_pooled(
                 slots, acceptor, words, horizon, strat, seed, workers,
                 chunk_size, retry, degrade, deadline_at, outcome,
@@ -235,10 +294,11 @@ def decide_many_resilient(
         with h.span(
             "engine.decide_many_resilient",
             words=n,
-            workers=workers if use_pool else 1,
+            workers=1 if mode == "serial" else workers,
             strategy=strat.name,
             horizon=horizon,
             deadline_s=deadline_s if deadline_s is not None else 0,
+            backend=mode,
         ):
             run()
     outcome.elapsed_s = time.perf_counter() - start
@@ -422,6 +482,8 @@ def _run_pooled(
         if msg is not None and msg[0] == "ok":
             for report in msg[1]:
                 slots[report.evidence["index"]] = report
+            if len(msg) > 2 and msg[2] and h is not None:
+                h.registry.merge(msg[2])
         elif msg is not None:
             fail(chunk, "exception", msg[1])
         else:
@@ -463,3 +525,108 @@ def _run_pooled(
                 time.sleep(max(0.0, target - time.perf_counter()))
     finally:
         _release_job(token)
+
+
+# ----------------------------------------------------------------------
+# shard-pool path: the same ladder over persistent workers
+# ----------------------------------------------------------------------
+
+def _run_pooled_shards(
+    slots: List[Optional[DecisionReport]],
+    acceptor: Any,
+    words: Sequence[Any],
+    horizon: int,
+    strat: DecisionStrategy,
+    seed: int,
+    workers: int,
+    chunk_size: Optional[int],
+    retry: RetryPolicy,
+    degrade: DegradePolicy,
+    deadline_at: Optional[float],
+    outcome: BatchOutcome,
+    lang_spec: Any,
+    strat_spec: Any,
+) -> None:
+    """Resilient fan-out over the persistent shard pool.
+
+    Round-based: every backoff-eligible chunk goes to the pool at once,
+    completed chunks fill their slots, and failures come back as
+    explicit records that re-enter the same retry ladder as the fork
+    path (capped backoff, optional chunk splitting, then the degrade
+    ladder).  Worker deaths are healed *inside* the pool by respawn —
+    the shard that died is back at strength before the retry fires —
+    which is the per-shard analogue of the fork path's
+    process-per-chunk isolation.
+    """
+    import math
+
+    from ..shard import pool as shard_pool
+
+    h = _obs.HOOKS
+    n = len(words)
+    router = shard_pool.shared_pool(workers)
+    k = max(1, min(workers, router.n_shards))
+    size = chunk_size if chunk_size is not None else max(
+        1, math.ceil(n / (k * 4))
+    )
+    pending: List[_Chunk] = [
+        _Chunk(lo, min(lo + size, n)) for lo in range(0, n, size)
+    ]
+
+    def fail(chunk: _Chunk, reason: str, detail: Optional[str]) -> None:
+        attempt = chunk.attempt + 1
+        if reason == "worker-death":
+            outcome.worker_deaths += 1
+        if attempt > retry.max_retries:
+            for i in chunk.indices():
+                if slots[i] is None:
+                    _degrade_index(
+                        slots, i, acceptor, words, horizon, strat, seed,
+                        degrade, outcome, try_serial=degrade.serial_fallback,
+                        detail=detail, deadline_at=deadline_at,
+                    )
+            return
+        outcome.retries += 1
+        if h is not None:
+            h.count("engine.retries", reason=reason)
+        not_before = time.perf_counter() + retry.delay(attempt)
+        if retry.split_chunks and chunk.hi - chunk.lo > 1:
+            mid = (chunk.lo + chunk.hi) // 2
+            pending.append(_Chunk(chunk.lo, mid, attempt, not_before))
+            pending.append(_Chunk(mid, chunk.hi, attempt, not_before))
+        else:
+            pending.append(_Chunk(chunk.lo, chunk.hi, attempt, not_before))
+
+    while pending:
+        now = time.perf_counter()
+        if deadline_at is not None and now >= deadline_at:
+            outcome.deadline_missed = True
+            return
+        eligible = [c for c in pending if c.not_before <= now]
+        if not eligible:
+            target = min(c.not_before for c in pending)
+            if deadline_at is not None:
+                target = min(target, deadline_at)
+            time.sleep(max(0.0, target - time.perf_counter()))
+            continue
+        for chunk in eligible:
+            pending.remove(chunk)
+        by_range = {(c.lo, c.hi): c for c in eligible}
+        results, failures = shard_pool.run_chunks(
+            router, lang_spec, strat_spec, words, list(by_range),
+            horizon=horizon, seed=seed, workers=workers,
+            deadline_at=deadline_at, max_retries=0,
+        )
+        for i, report in results.items():
+            slots[i] = report
+        for lo, hi, reason, detail in failures:
+            chunk = by_range[(lo, hi)]
+            if reason == "deadline":
+                # missing slots become explicit deadline markers upstream
+                outcome.deadline_missed = True
+                continue
+            fail(
+                chunk,
+                "worker-death" if reason in ("worker-death", "no-workers") else "exception",
+                detail,
+            )

@@ -50,6 +50,7 @@ from .hooks import (  # noqa: F401
 )
 from .registry import (  # noqa: F401
     Counter,
+    DeltaDumper,
     Gauge,
     Histogram,
     MetricError,
@@ -59,6 +60,7 @@ from .spans import Span, SpanRecorder  # noqa: F401
 
 __all__ = [
     "Counter",
+    "DeltaDumper",
     "Gauge",
     "Histogram",
     "MetricError",

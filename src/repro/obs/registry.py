@@ -17,6 +17,19 @@ so one logical series fans out by protocol, verdict, event kind, etc.
 :meth:`MetricRegistry.collect` renders everything as a deterministic,
 sorted list of plain-dict samples — the single source for both the text
 dump and the JSON export in :mod:`repro.obs.export`.
+
+Cross-process merging: metrics recorded inside a forked worker live in
+*that process's* registry and would vanish with it.
+:meth:`MetricRegistry.dump` serializes a registry's raw state (counter
+values, gauge value+peak, every histogram observation) as plain data a
+pipe can carry, and :meth:`MetricRegistry.merge` folds such a dump into
+another registry — counters add, gauge peaks take the max, histogram
+observations extend — so a parent can absorb its children's metrics
+exactly.  :class:`DeltaDumper` wraps ``dump`` for long-lived workers
+that report repeatedly: each call returns only what changed since the
+last one, so repeated merges never double-count.  The engine's process
+pools and the shard runtime (:mod:`repro.shard`) both ship these dumps
+back over their result pipes.
 """
 
 from __future__ import annotations
@@ -25,7 +38,14 @@ import re
 from bisect import insort
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "MetricError"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricError",
+    "DeltaDumper",
+]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
 
@@ -152,6 +172,11 @@ class Histogram(Metric):
         self.sum += value
 
     @property
+    def observations(self) -> List[float]:
+        """Every recorded observation, sorted (the raw merge payload)."""
+        return list(self._sorted)
+
+    @property
     def min(self) -> Optional[float]:
         return self._sorted[0] if self._sorted else None
 
@@ -243,3 +268,111 @@ class MetricRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
+
+    # -- cross-process merging --------------------------------------------
+    def dump(self) -> List[Dict[str, Any]]:
+        """The registry's raw state as plain data (pipe-transportable).
+
+        One entry per metric *leaf* (parents with labeled children dump
+        only the children, mirroring :meth:`collect`): counters carry
+        their value, gauges value and peak, histograms the full
+        observation list — everything :meth:`merge` needs to fold this
+        registry into another one losslessly.
+        """
+        out: List[Dict[str, Any]] = []
+
+        def entry(metric: Metric) -> Dict[str, Any]:
+            e: Dict[str, Any] = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": dict(metric.label_values),
+            }
+            if isinstance(metric, Counter):
+                e["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                e["value"] = metric.value
+                e["peak"] = metric.peak
+            elif isinstance(metric, Histogram):
+                e["observations"] = metric.observations
+            return e
+
+        for name in self.names():
+            metric = self._metrics[name]
+            children = list(metric.children())
+            for leaf in children or [metric]:
+                out.append(entry(leaf))
+        return out
+
+    def merge(self, entries: Iterable[Dict[str, Any]]) -> None:
+        """Fold a :meth:`dump` (typically from a child process) in.
+
+        Counters add, gauges take the dumped value and the max peak,
+        histograms replay the dumped observations.  Merging the same
+        dump twice double-counts — long-lived reporters should dump
+        deltas (:class:`DeltaDumper`).
+        """
+        for e in entries:
+            kind = e["kind"]
+            labels = e.get("labels") or {}
+            if kind == "counter":
+                if e["value"]:
+                    self.counter(e["name"]).labels(**labels).inc(e["value"])  # type: ignore[attr-defined]
+            elif kind == "gauge":
+                g = self.gauge(e["name"]).labels(**labels)
+                g.set(e["value"])  # type: ignore[attr-defined]
+                g.peak = max(g.peak, e.get("peak", e["value"]))  # type: ignore[attr-defined]
+            elif kind == "histogram":
+                hist = self.histogram(e["name"]).labels(**labels)
+                for value in e.get("observations", ()):
+                    hist.observe(value)  # type: ignore[attr-defined]
+            else:
+                raise MetricError(f"cannot merge metric kind {kind!r}")
+
+
+class DeltaDumper:
+    """Incremental :meth:`MetricRegistry.dump` for long-lived reporters.
+
+    A worker that ships its metrics more than once (the shard runtime
+    reports on every sync and again at shutdown) must not re-send what
+    the parent already merged.  Each :meth:`delta` call returns only
+    the growth since the previous call: counter deltas, histogram
+    observations added since the last cut, and gauges as-is (their
+    merge is idempotent up to last-write-wins on the value).
+    """
+
+    def __init__(self, registry: MetricRegistry):
+        self.registry = registry
+        self._counters: Dict[Tuple[str, LabelKey], float] = {}
+        self._hist_prev: Dict[Tuple[str, LabelKey], List[float]] = {}
+
+    @staticmethod
+    def _new_observations(prev: List[float], cur: List[float]) -> List[float]:
+        """Multiset difference of two sorted lists (cur ⊇ prev)."""
+        out: List[float] = []
+        i = 0
+        for value in cur:
+            if i < len(prev) and prev[i] == value:
+                i += 1
+            else:
+                out.append(value)
+        return out
+
+    def delta(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for e in self.registry.dump():
+            key = (e["name"], _label_key(e["labels"]))
+            if e["kind"] == "counter":
+                prev = self._counters.get(key, 0)
+                self._counters[key] = e["value"]
+                e = dict(e, value=e["value"] - prev)
+                if e["value"] == 0:
+                    continue
+            elif e["kind"] == "histogram":
+                obs = e["observations"]
+                fresh = self._new_observations(self._hist_prev.get(key, []), obs)
+                self._hist_prev[key] = obs
+                if not fresh:
+                    continue
+                e = dict(e, observations=fresh)
+            out.append(e)
+        return out

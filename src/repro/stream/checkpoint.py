@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import ast
 import json
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..automata.timed import TimedBuchiAutomaton
 from ..obs import hooks as _obs
@@ -41,6 +41,8 @@ __all__ = [
     "restore",
     "checkpoint_mux",
     "restore_mux",
+    "extract_sessions",
+    "restore_sessions",
     "save_json",
     "load_json",
 ]
@@ -251,6 +253,65 @@ def restore_mux(
     if h is not None:
         h.gauge("stream.sessions_active", len(mux._sessions))
     return mux
+
+
+def extract_sessions(mux: SessionMux, names) -> Dict[str, Dict[str, Any]]:
+    """Snapshot-and-remove named sessions from a live mux (migration).
+
+    Returns per-session entries shaped exactly like the values of
+    ``checkpoint_mux(mux)["sessions"]``, so they can be re-homed into
+    another mux with :func:`restore_sessions`.  Unknown names are
+    skipped (a stale placement map must not wedge a rebalance).  The
+    mux's lifetime counters are untouched: migration is *placement*
+    churn, not session churn — the shard runtime counts it separately
+    (``shard.placement_moves``).
+    """
+    entries: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        session = mux._sessions.pop(name, None)
+        if session is None:
+            continue
+        entries[name] = {
+            "snapshot": checkpoint(session.monitor),
+            "last_event_time": session.last_event_time,
+            "drops": session.drops,
+        }
+    h = _obs.HOOKS
+    if entries and h is not None:
+        h.gauge("stream.sessions_active", len(mux._sessions))
+    return entries
+
+
+def restore_sessions(
+    mux: SessionMux,
+    entries: Dict[str, Dict[str, Any]],
+    *,
+    tba: Optional[TimedBuchiAutomaton] = None,
+    acceptor: Any = None,
+) -> List[str]:
+    """Re-home :func:`extract_sessions` entries into a live mux.
+
+    The receiving mux may already hold sessions (unlike
+    :func:`restore_mux`); a name collision raises rather than silently
+    clobbering a live monitor.  Returns the restored names.
+    """
+    analysis = analysis_for(tba) if tba is not None else None
+    restored: List[str] = []
+    for name, entry in entries.items():
+        if name in mux._sessions:
+            raise ValueError(f"session {name!r} already live on this mux")
+        monitor = restore(
+            entry["snapshot"], tba=tba, acceptor=acceptor, analysis=analysis
+        )
+        session = _Session(name, monitor)
+        session.last_event_time = entry["last_event_time"]
+        session.drops = entry["drops"]
+        mux._sessions[name] = session
+        restored.append(name)
+    h = _obs.HOOKS
+    if restored and h is not None:
+        h.gauge("stream.sessions_active", len(mux._sessions))
+    return restored
 
 
 def save_json(path: str, snapshot: Dict[str, Any]) -> None:

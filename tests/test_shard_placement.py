@@ -1,0 +1,95 @@
+"""Tests for repro.shard.placement — the consistent-hash ring.
+
+Pins the three properties the shard runtime's session placement relies
+on: determinism across runs and processes (BLAKE2b, not salted
+``hash``), stability under membership change (only ~K/N names move),
+and reasonable balance from the virtual nodes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.shard import HashRing
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+NAMES = [f"session-{i}" for i in range(600)]
+
+
+def test_placement_deterministic_across_ring_builds():
+    a = HashRing(["s0", "s1", "s2"])
+    b = HashRing(["s2", "s0", "s1"])  # insertion order must not matter
+    assert a.place_many(NAMES) == b.place_many(NAMES)
+
+
+def test_placement_deterministic_across_processes():
+    # Python's builtin hash is salted per process; the ring must not be.
+    code = (
+        "from repro.shard import HashRing;"
+        "r = HashRing(['s0','s1','s2']);"
+        "print(','.join(r.place(f'session-{i}') for i in range(40)))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": SRC_DIR, "PYTHONHASHSEED": "random"},
+    ).stdout.strip()
+    local = ",".join(HashRing(["s0", "s1", "s2"]).place(n) for n in NAMES[:40])
+    assert out == local
+
+
+def test_adding_a_shard_moves_only_its_slice():
+    ring = HashRing(["s0", "s1", "s2"])
+    before = ring.place_many(NAMES)
+    ring.add("s3")
+    after = ring.place_many(NAMES)
+    moved = [n for n in NAMES if before[n] != after[n]]
+    # Every moved name moved *to* the new shard, never between old ones.
+    assert all(after[n] == "s3" for n in moved)
+    # ~1/4 of the names move; allow generous slack around K/N.
+    assert 0.05 * len(NAMES) < len(moved) < 0.5 * len(NAMES)
+
+
+def test_removing_a_shard_strands_only_its_sessions():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    before = ring.place_many(NAMES)
+    ring.remove("s1")
+    after = ring.place_many(NAMES)
+    for name in NAMES:
+        if before[name] != "s1":
+            assert after[name] == before[name]
+        else:
+            assert after[name] != "s1"
+
+
+def test_virtual_nodes_balance_the_load():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    counts = {s: 0 for s in ring.shards}
+    for name in NAMES:
+        counts[ring.place(name)] += 1
+    # 600 names over 4 shards: every shard holds a real share.
+    assert min(counts.values()) > len(NAMES) / 16
+
+
+def test_membership_errors():
+    ring = HashRing(["s0"])
+    with pytest.raises(ValueError):
+        ring.add("s0")
+    with pytest.raises(ValueError):
+        ring.remove("s9")
+    ring.remove("s0")
+    with pytest.raises(ValueError):
+        ring.place("anything")
+    with pytest.raises(ValueError):
+        HashRing(["s0"], replicas=0)
+
+
+def test_membership_introspection():
+    ring = HashRing(["s0", "s1"])
+    assert len(ring) == 2
+    assert "s1" in ring and "s7" not in ring
+    assert ring.shards == ["s0", "s1"]
