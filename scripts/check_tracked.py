@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Repo hygiene checker (run by CI and tests/test_repo_hygiene.py).
+
+Two checks, both cheap:
+
+1. **No tracked build artifacts** — ``git ls-files`` must contain no
+   ``*.pyc``/``*.pyo`` files and no paths under ``__pycache__/`` (PR 7
+   accidentally committed 99 of them; this guard keeps them out).
+2. **.gitignore coverage** — the patterns that prevent re-tracking
+   (``__pycache__/``, ``*.pyc``, ``.pytest_cache/``, ``.hypothesis/``,
+   ``.benchmarks/``) are present in ``.gitignore``.
+
+Exit status 0 iff everything holds; problems are printed one per line.
+When the working tree is not a git checkout (e.g. an sdist), the
+tracked-file check is skipped rather than failed.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Patterns .gitignore must carry so artifacts can never be re-tracked.
+REQUIRED_IGNORES = [
+    "__pycache__/",
+    "*.pyc",
+    ".pytest_cache/",
+    ".hypothesis/",
+    ".benchmarks/",
+]
+
+#: Tracked-path predicates that flag a build artifact.
+ARTIFACT_SUFFIXES = (".pyc", ".pyo")
+
+
+def tracked_files() -> list:
+    """``git ls-files`` of the repo, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return out.splitlines()
+
+
+def check_no_tracked_artifacts() -> list:
+    """No *.pyc / __pycache__ path is under version control."""
+    files = tracked_files()
+    if files is None:
+        return []  # not a git checkout: nothing tracked to check
+    problems = []
+    for path in files:
+        if path.endswith(ARTIFACT_SUFFIXES) or "__pycache__/" in path:
+            problems.append(f"tracked build artifact: {path}")
+    return problems
+
+
+def check_gitignore() -> list:
+    """.gitignore exists and carries every required pattern."""
+    gitignore = ROOT / ".gitignore"
+    if not gitignore.exists():
+        return [".gitignore is missing"]
+    lines = {line.strip() for line in gitignore.read_text().splitlines()}
+    return [
+        f".gitignore missing pattern: {pattern}"
+        for pattern in REQUIRED_IGNORES
+        if pattern not in lines
+    ]
+
+
+def main() -> int:
+    problems = check_no_tracked_artifacts() + check_gitignore()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} hygiene problem(s)", file=sys.stderr)
+        return 1
+    print("repo hygiene OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Repo hygiene: no tracked build artifacts, .gitignore coverage.
+
+Runs the same checks as ``scripts/check_tracked.py`` (the CI guard), so
+a locally-committed ``__pycache__`` fails the tier-1 suite before it
+ever reaches CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "scripts"))
+
+import check_tracked  # noqa: E402
+
+
+def test_no_tracked_pyc_or_pycache():
+    assert check_tracked.check_no_tracked_artifacts() == []
+
+
+def test_gitignore_covers_artifact_patterns():
+    assert check_tracked.check_gitignore() == []
+
+
+def test_guard_script_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_tracked.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
