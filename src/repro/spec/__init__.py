@@ -1,0 +1,75 @@
+"""``repro.spec`` — timer-bound spec combinators + conformance fuzzing.
+
+The declarative front half of the ROADMAP's spec-layer direction: build
+real-time specifications from ``Timer``/``MinTime``/``MaxTime`` bounds
+(:mod:`repro.spec.combinators`), compile them onto the engine/stream
+acceptor substrate (:mod:`repro.spec.compile`), evaluate them against
+an independent direct semantics (:mod:`repro.spec.semantics`), and
+differentially fuzz every decision path the repo has grown
+(:mod:`repro.spec.conformance` — also a CLI::
+
+    python -m repro.spec.conformance --seed 0 --cases 200
+
+).  See ``docs/spec.md`` for the combinator semantics and their mapping
+onto the paper's Definitions 3.4 / §4.1.
+"""
+
+from .combinators import (
+    Alt,
+    Both,
+    Eventually,
+    Loop,
+    PhaseSpec,
+    RTBound,
+    Seq,
+    Spec,
+    actions_of,
+    alt,
+    as_omega,
+    both,
+    eventually,
+    is_deterministic_spec,
+    loop,
+    max_bound,
+    phases_of,
+    rt_bound,
+    seq,
+    to_source,
+)
+from .compile import (
+    from_deadline_spec,
+    spec_acceptor,
+    spec_monitor,
+    to_deadline_spec,
+    to_tba,
+)
+from .semantics import holds
+
+__all__ = [
+    "Spec",
+    "PhaseSpec",
+    "RTBound",
+    "Seq",
+    "Loop",
+    "Eventually",
+    "Alt",
+    "Both",
+    "rt_bound",
+    "seq",
+    "loop",
+    "eventually",
+    "alt",
+    "both",
+    "as_omega",
+    "actions_of",
+    "phases_of",
+    "is_deterministic_spec",
+    "max_bound",
+    "to_source",
+    "to_tba",
+    "spec_acceptor",
+    "spec_monitor",
+    "to_deadline_spec",
+    "from_deadline_spec",
+    "holds",
+]

@@ -1,0 +1,279 @@
+"""Timer-bound spec combinators — the TLA+ ``RealTime`` reduction.
+
+Lamport's ``RealTime`` module (SNIPPETS.md, Snippets 2–3) reduces
+real-time specifications to three bound shapes on actions: ``Timer``
+(a clock tracking when an action last fired), ``MinTime(D)`` (the
+action may not fire before D has elapsed) and ``MaxTime(E)`` (it must
+fire before E elapses).  De Boer et al.'s timed correctness logic
+(PAPERS.md) lands on the same normal form.  This module is that normal
+form as a small combinator algebra over the paper's timed ω-words
+(Definition 3.2), compiled onto the acceptor substrate the engine and
+stream runtime already judge (Definitions 3.4 / §4.1):
+
+Phase layer (finite timed patterns)
+    * :func:`rt_bound` ``(action, min_delay, max_delay)`` — one timed
+      step: the *next* occurrence of ``action`` must arrive with
+      elapsed time in ``[min_delay, max_delay]`` since the phase
+      began; other symbols may pass freely while the budget lasts, but
+      any event past ``max_delay`` (or an early/late ``action``) kills
+      the run.  ``min_delay`` is ``MinTime``, ``max_delay`` is
+      ``MaxTime``, and the implicit phase clock is the ``Timer``.
+    * :func:`seq` — sequencing: each completed phase starts the next
+      one's timer (clock reset on the action edge).
+
+ω layer (timed ω-languages)
+    * :func:`loop` — iteration: the phase sequence completes again and
+      again, forever (a Büchi obligation — stalling forever mid-chain
+      rejects).
+    * :func:`eventually` — single-shot: complete the chain once, then
+      anything goes (the shape of a §4.1 firm deadline).
+    * :func:`alt` — disjunction (automaton union; nondeterministic).
+    * :func:`both` — conjunction *with fairness*: every conjunct's
+      Büchi obligation must be met infinitely often, enforced by the
+      round-robin fairness counter of the product construction in
+      :mod:`repro.spec.compile`.
+
+Every spec is a frozen, hashable dataclass; :func:`to_source` renders
+it back to constructor syntax (what the conformance harness's
+counterexample minimizer emits into regression tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple, Union
+
+__all__ = [
+    "Spec",
+    "PhaseSpec",
+    "RTBound",
+    "Seq",
+    "Loop",
+    "Eventually",
+    "Alt",
+    "Both",
+    "rt_bound",
+    "seq",
+    "loop",
+    "eventually",
+    "alt",
+    "both",
+    "phases_of",
+    "as_omega",
+    "actions_of",
+    "is_deterministic_spec",
+    "max_bound",
+    "to_source",
+]
+
+
+class Spec:
+    """Base class of ω-layer specs (denoting timed ω-languages)."""
+
+    __slots__ = ()
+
+
+class PhaseSpec:
+    """Base class of phase-layer specs (finite timed patterns)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RTBound(PhaseSpec):
+    """One timed step: next ``action`` in ``[lo, hi]`` chronons.
+
+    ``lo`` is the TLA+ ``MinTime`` bound, ``hi`` the ``MaxTime`` bound,
+    both measured on the implicit phase timer (reset when the phase is
+    entered).  While waiting, other symbols pass only as long as the
+    timer has not exceeded ``hi``.
+    """
+
+    action: Any
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"min_delay must be >= 0, got {self.lo}")
+        if self.hi < self.lo:
+            raise ValueError(
+                f"max_delay must be >= min_delay, got [{self.lo}, {self.hi}]"
+            )
+
+
+@dataclass(frozen=True)
+class Seq(PhaseSpec):
+    """A sequence of timed steps, each starting the next one's timer."""
+
+    phases: Tuple[RTBound, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("seq needs at least one phase")
+        for p in self.phases:
+            if not isinstance(p, RTBound):
+                raise TypeError(f"seq phases must be rt_bound specs, got {p!r}")
+
+
+@dataclass(frozen=True)
+class Loop(Spec):
+    """ω-iteration: the body chain completes infinitely often."""
+
+    body: Seq
+
+
+@dataclass(frozen=True)
+class Eventually(Spec):
+    """Single-shot: the body chain completes once; then anything."""
+
+    body: Seq
+
+
+@dataclass(frozen=True)
+class Alt(Spec):
+    """Disjunction: some component's language contains the word."""
+
+    parts: Tuple[Spec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("alt needs at least two components")
+
+
+@dataclass(frozen=True)
+class Both(Spec):
+    """Conjunction with fairness: every component's Büchi obligation
+    recurs (round-robin counter in the compiled product)."""
+
+    parts: Tuple[Spec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("both needs at least two components")
+
+
+# -- constructors ------------------------------------------------------
+
+def rt_bound(action: Any, min_delay: int = 0, max_delay: int = 0) -> RTBound:
+    """``MinTime(min_delay)`` ∧ ``MaxTime(max_delay)`` on ``action``."""
+    return RTBound(action, int(min_delay), int(max_delay))
+
+
+def seq(*specs: Union[RTBound, Seq]) -> Seq:
+    """Sequence phase specs (nested sequences are flattened)."""
+    phases = []
+    for s in specs:
+        if isinstance(s, Seq):
+            phases.extend(s.phases)
+        elif isinstance(s, RTBound):
+            phases.append(s)
+        else:
+            raise TypeError(f"seq takes rt_bound/seq specs, got {s!r}")
+    return Seq(tuple(phases))
+
+
+def loop(spec: Union[RTBound, Seq]) -> Loop:
+    """The body completes infinitely often (Büchi iteration)."""
+    return Loop(seq(spec))
+
+
+def eventually(spec: Union[RTBound, Seq]) -> Eventually:
+    """The body completes once; every continuation is then accepted."""
+    return Eventually(seq(spec))
+
+
+def as_omega(spec: Union[Spec, RTBound, Seq]) -> Spec:
+    """Coerce a phase spec to the ω layer (bare phases mean
+    :func:`eventually` — complete once, then anything)."""
+    if isinstance(spec, Spec):
+        return spec
+    if isinstance(spec, (RTBound, Seq)):
+        return eventually(spec)
+    raise TypeError(f"not a spec: {spec!r}")
+
+
+def alt(*specs: Union[Spec, RTBound, Seq]) -> Spec:
+    """Disjunction of ω-specs (phase specs coerce via :func:`as_omega`)."""
+    parts = tuple(as_omega(s) for s in specs)
+    if len(parts) == 1:
+        return parts[0]
+    return Alt(parts)
+
+
+def both(*specs: Union[Spec, RTBound, Seq]) -> Spec:
+    """Fair conjunction of ω-specs (phase specs coerce via
+    :func:`as_omega`)."""
+    parts = tuple(as_omega(s) for s in specs)
+    if len(parts) == 1:
+        return parts[0]
+    return Both(parts)
+
+
+# -- structural queries ------------------------------------------------
+
+def phases_of(spec: Union[RTBound, Seq]) -> Tuple[RTBound, ...]:
+    """The flattened phase chain of a phase-layer spec."""
+    if isinstance(spec, RTBound):
+        return (spec,)
+    if isinstance(spec, Seq):
+        return spec.phases
+    raise TypeError(f"not a phase spec: {spec!r}")
+
+
+def actions_of(spec: Union[Spec, PhaseSpec]) -> FrozenSet[Any]:
+    """Every action symbol the spec mentions."""
+    if isinstance(spec, RTBound):
+        return frozenset({spec.action})
+    if isinstance(spec, Seq):
+        return frozenset(p.action for p in spec.phases)
+    if isinstance(spec, (Loop, Eventually)):
+        return actions_of(spec.body)
+    if isinstance(spec, (Alt, Both)):
+        out: FrozenSet[Any] = frozenset()
+        for p in spec.parts:
+            out |= actions_of(p)
+        return out
+    raise TypeError(f"not a spec: {spec!r}")
+
+
+def is_deterministic_spec(spec: Union[Spec, PhaseSpec]) -> bool:
+    """Whether the compiled TBA is deterministic (no :func:`alt`)."""
+    if isinstance(spec, (RTBound, Seq, Loop, Eventually)):
+        return True
+    if isinstance(spec, Both):
+        return all(is_deterministic_spec(p) for p in spec.parts)
+    if isinstance(spec, Alt):
+        return False
+    raise TypeError(f"not a spec: {spec!r}")
+
+
+def max_bound(spec: Union[Spec, PhaseSpec]) -> int:
+    """The largest ``max_delay`` anywhere in the spec (region cap)."""
+    if isinstance(spec, RTBound):
+        return spec.hi
+    if isinstance(spec, Seq):
+        return max(p.hi for p in spec.phases)
+    if isinstance(spec, (Loop, Eventually)):
+        return max_bound(spec.body)
+    if isinstance(spec, (Alt, Both)):
+        return max(max_bound(p) for p in spec.parts)
+    raise TypeError(f"not a spec: {spec!r}")
+
+
+def to_source(spec: Union[Spec, PhaseSpec]) -> str:
+    """Constructor syntax for ``spec`` (used by emitted regression
+    tests; ``eval`` against this module's namespace rebuilds it)."""
+    if isinstance(spec, RTBound):
+        return f"rt_bound({spec.action!r}, {spec.lo}, {spec.hi})"
+    if isinstance(spec, Seq):
+        return "seq(" + ", ".join(to_source(p) for p in spec.phases) + ")"
+    if isinstance(spec, Loop):
+        return f"loop({to_source(spec.body)})"
+    if isinstance(spec, Eventually):
+        return f"eventually({to_source(spec.body)})"
+    if isinstance(spec, Alt):
+        return "alt(" + ", ".join(to_source(p) for p in spec.parts) + ")"
+    if isinstance(spec, Both):
+        return "both(" + ", ".join(to_source(p) for p in spec.parts) + ")"
+    raise TypeError(f"not a spec: {spec!r}")

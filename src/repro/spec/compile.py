@@ -1,0 +1,420 @@
+"""Compiling spec combinators onto the acceptor substrate.
+
+A phase chain becomes a single-clock deterministic TBA: one waiting
+state per phase, the phase timer as the clock (reset on every action
+edge), ``Le(x, hi)`` self-loops for the budgeted wait and
+``Ge(x, lo) ∧ Le(x, hi)`` action edges — exactly the TLA+
+``Timer``/``MinTime``/``MaxTime`` triple as automaton structure.
+
+The Büchi obligation of :class:`~repro.spec.combinators.Loop` needs
+one care point: the chain-completion state must be *transient* (an
+accepting state you can sit in forever would accept stalled streams).
+Completion therefore targets an accepting twin of the first waiting
+state which is left again on the very next event.
+:class:`~repro.spec.combinators.Eventually` instead targets an
+absorbing all-accepting state (which the stream layer's analysis
+recognizes as *green*: the verdict locks to ACCEPTING).
+
+:class:`~repro.spec.combinators.Alt` is automaton union (fresh initial
+state, component clocks renamed apart — nondeterministic).
+:class:`~repro.spec.combinators.Both` is the product construction with
+the round-robin *fairness counter* of generalized-Büchi
+degeneralization: the counter waits on component j until j's own
+accepting set is visited, wraps after the last component, and only the
+wrap states are accepting — so every conjunct's obligation recurs on
+any accepting run.
+
+Everything downstream consumes the result as-is: raw TBAs feed
+``engine.decide`` / ``decide_many`` (any backend) and
+:class:`~repro.stream.monitor.TBAMonitor`; :func:`spec_acceptor` wraps
+exact lasso acceptance for the batch engine; :func:`to_deadline_spec`
+bridges single-shot bounds onto the §4.1 deadline classes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..automata.timed import TimedBuchiAutomaton, TimedTransition
+from ..deadlines.spec import DeadlineKind, DeadlineSpec, StepUsefulness
+from ..engine.strategies import FunctionAcceptor
+from ..engine.verdict import DecisionReport, Verdict
+from ..kernel.clock import (
+    And,
+    ClockConstraint,
+    Ge,
+    Le,
+    Not,
+    TrueConstraint,
+)
+from .combinators import (
+    Alt,
+    Both,
+    Eventually,
+    Loop,
+    PhaseSpec,
+    RTBound,
+    Seq,
+    Spec,
+    actions_of,
+    as_omega,
+    phases_of,
+    to_source,
+)
+
+__all__ = [
+    "to_tba",
+    "spec_acceptor",
+    "spec_monitor",
+    "to_deadline_spec",
+    "from_deadline_spec",
+]
+
+
+# -- guard helpers -----------------------------------------------------
+
+def _rename_guard(guard: ClockConstraint, mapping: Dict[str, str]) -> ClockConstraint:
+    if isinstance(guard, TrueConstraint):
+        return guard
+    if isinstance(guard, Le):
+        return Le(mapping[guard.clock], guard.bound)
+    if isinstance(guard, Ge):
+        return Ge(mapping[guard.clock], guard.bound)
+    if isinstance(guard, Not):
+        return Not(_rename_guard(guard.inner, mapping))
+    if isinstance(guard, And):
+        return And(
+            _rename_guard(guard.left, mapping),
+            _rename_guard(guard.right, mapping),
+        )
+    raise TypeError(f"cannot rename clocks in {guard!r}")
+
+
+def _and_fold(guards: Iterable[ClockConstraint]) -> ClockConstraint:
+    out: Optional[ClockConstraint] = None
+    for g in guards:
+        if isinstance(g, TrueConstraint):
+            continue
+        out = g if out is None else And(out, g)
+    return out if out is not None else TrueConstraint()
+
+
+def _rename_clocks(tba: TimedBuchiAutomaton, prefix: str) -> TimedBuchiAutomaton:
+    """A copy of ``tba`` with every clock renamed ``prefix + name``."""
+    mapping = {c: f"{prefix}{c}" for c in tba.clocks}
+    transitions = [
+        TimedTransition(
+            tr.source,
+            tr.target,
+            tr.symbol,
+            frozenset(mapping[c] for c in tr.resets),
+            _rename_guard(tr.guard, mapping),
+        )
+        for tr in tba.transitions
+    ]
+    return TimedBuchiAutomaton(
+        alphabet=tba.alphabet,
+        states=tba.states,
+        initial=tba.initial,
+        transitions=transitions,
+        clocks=mapping.values(),
+        accepting=tba.accepting,
+    )
+
+
+# -- phase chains ------------------------------------------------------
+
+def _chain_tba(
+    phases: Tuple[RTBound, ...],
+    alphabet: Tuple[Any, ...],
+    looped: bool,
+    clock: str = "x",
+) -> TimedBuchiAutomaton:
+    n = len(phases)
+    wait = [("w", i) for i in range(n)]
+    done = ("h",) if looped else ("acc",)
+    states: List[Any] = wait + [done]
+    transitions: List[TimedTransition] = []
+
+    def action_edge(source: Any, i: int) -> TimedTransition:
+        p = phases[i]
+        target = wait[i + 1] if i + 1 < n else done
+        return TimedTransition(
+            source,
+            target,
+            p.action,
+            frozenset({clock}),
+            And(Ge(clock, p.lo), Le(clock, p.hi)),
+        )
+
+    def wait_edges(source: Any, i: int, target: Any) -> List[TimedTransition]:
+        p = phases[i]
+        return [
+            TimedTransition(source, target, b, frozenset(), Le(clock, p.hi))
+            for b in alphabet
+            if b != p.action
+        ]
+
+    for i in range(n):
+        transitions.append(action_edge(wait[i], i))
+        transitions.extend(wait_edges(wait[i], i, wait[i]))
+    if looped:
+        # The accepting twin of ("w", 0): entered exactly once per
+        # completion, left again on the next event.
+        transitions.append(action_edge(done, 0))
+        transitions.extend(wait_edges(done, 0, wait[0]))
+    else:
+        transitions.extend(
+            TimedTransition(done, done, b, frozenset(), TrueConstraint())
+            for b in alphabet
+        )
+    return TimedBuchiAutomaton(
+        alphabet=alphabet,
+        states=states,
+        initial=wait[0],
+        transitions=transitions,
+        clocks=(clock,),
+        accepting={done},
+    )
+
+
+# -- union (alt) -------------------------------------------------------
+
+def _union_tba(
+    parts: List[TimedBuchiAutomaton], alphabet: Tuple[Any, ...]
+) -> TimedBuchiAutomaton:
+    renamed = [_rename_clocks(t, f"a{i}.") for i, t in enumerate(parts)]
+    initial = ("alt",)
+    states: List[Any] = [initial]
+    transitions: List[TimedTransition] = []
+    accepting: List[Any] = []
+    clocks: List[str] = []
+    for i, t in enumerate(renamed):
+        clocks.extend(t.clocks)
+        states.extend((i, s) for s in t.states)
+        accepting.extend((i, s) for s in t.accepting)
+        for tr in t.transitions:
+            transitions.append(
+                TimedTransition(
+                    (i, tr.source), (i, tr.target), tr.symbol, tr.resets, tr.guard
+                )
+            )
+            if tr.source == t.initial:
+                # The fresh start also offers the component's initial
+                # moves (the standard ε-free NFA union).
+                transitions.append(
+                    TimedTransition(
+                        initial, (i, tr.target), tr.symbol, tr.resets, tr.guard
+                    )
+                )
+    return TimedBuchiAutomaton(
+        alphabet=alphabet,
+        states=states,
+        initial=initial,
+        transitions=transitions,
+        clocks=clocks,
+        accepting=accepting,
+    )
+
+
+# -- fair product (both) -----------------------------------------------
+
+def _product_tba(
+    parts: List[TimedBuchiAutomaton], alphabet: Tuple[Any, ...]
+) -> TimedBuchiAutomaton:
+    renamed = [_rename_clocks(t, f"b{i}.") for i, t in enumerate(parts)]
+    m = len(renamed)
+    clocks: List[str] = [c for t in renamed for c in t.clocks]
+    initial = (tuple(t.initial for t in renamed), 0)
+    states: List[Any] = [initial]
+    seen = {initial}
+    transitions: List[TimedTransition] = []
+    frontier = [initial]
+    while frontier:
+        svec, j = frontier.pop()
+        for a in alphabet:
+            options = [
+                t._by_source.get((svec[i], a), ()) for i, t in enumerate(renamed)
+            ]
+            if any(not opts for opts in options):
+                continue  # some component has no move: the product dies
+            combos: List[Tuple[TimedTransition, ...]] = [()]
+            for opts in options:
+                combos = [c + (tr,) for c in combos for tr in opts]
+            for combo in combos:
+                tvec = tuple(tr.target for tr in combo)
+                # Fairness counter: wait on component jj; advance when
+                # its own accepting set is entered; only the full wrap
+                # (j == m) is accepting.
+                jj = 0 if j == m else j
+                if tvec[jj] in renamed[jj].accepting:
+                    nj = jj + 1
+                    nj = m if nj == m else nj
+                else:
+                    nj = jj
+                target = (tvec, nj)
+                if target not in seen:
+                    seen.add(target)
+                    states.append(target)
+                    frontier.append(target)
+                transitions.append(
+                    TimedTransition(
+                        (svec, j),
+                        target,
+                        a,
+                        frozenset().union(*(tr.resets for tr in combo)),
+                        _and_fold(tr.guard for tr in combo),
+                    )
+                )
+    return TimedBuchiAutomaton(
+        alphabet=alphabet,
+        states=states,
+        initial=initial,
+        transitions=transitions,
+        clocks=clocks,
+        accepting=[s for s in states if s[1] == m],
+    )
+
+
+# -- entry points ------------------------------------------------------
+
+def _build_tba(spec: Spec, alphabet: Tuple[Any, ...]) -> TimedBuchiAutomaton:
+    if isinstance(spec, Loop):
+        return _chain_tba(spec.body.phases, alphabet, looped=True)
+    if isinstance(spec, Eventually):
+        return _chain_tba(spec.body.phases, alphabet, looped=False)
+    if isinstance(spec, Alt):
+        return _union_tba(
+            [_build_tba(p, alphabet) for p in spec.parts], alphabet
+        )
+    if isinstance(spec, Both):
+        return _product_tba(
+            [_build_tba(p, alphabet) for p in spec.parts], alphabet
+        )
+    raise TypeError(f"not an ω-spec: {spec!r}")
+
+
+@lru_cache(maxsize=512)
+def _to_tba_cached(spec: Spec, alphabet: Tuple[Any, ...]) -> TimedBuchiAutomaton:
+    return _build_tba(spec, alphabet)
+
+
+def to_tba(spec: Any, alphabet: Iterable[Any]) -> TimedBuchiAutomaton:
+    """Compile a spec over ``alphabet`` into a timed Büchi automaton.
+
+    Memoized per (spec, alphabet) — repeated compilations return the
+    *same* automaton object, so the stream layer's per-automaton
+    analysis and compiled-table caches are shared too.
+    """
+    omega = as_omega(spec)
+    alpha = tuple(sorted(set(alphabet), key=repr))
+    missing = actions_of(omega) - set(alpha)
+    if missing:
+        raise ValueError(
+            f"spec actions {sorted(missing, key=repr)} not in alphabet {alpha}"
+        )
+    return _to_tba_cached(omega, alpha)
+
+
+def spec_acceptor(spec: Any, alphabet: Iterable[Any]) -> FunctionAcceptor:
+    """An engine-consumable acceptor judging exact lasso acceptance.
+
+    Wraps :meth:`TimedBuchiAutomaton.accepts_lasso` of the compiled
+    automaton in a :class:`~repro.engine.strategies.FunctionAcceptor`,
+    so ``engine.decide``/``decide_many`` judge the spec's language
+    exactly (nondeterministic :func:`~repro.spec.combinators.alt`
+    included).
+    """
+    tba = to_tba(spec, alphabet)
+    source = to_source(as_omega(spec))
+
+    def fn(word: Any, horizon: int) -> DecisionReport:
+        ok = tba.accepts_lasso(word)
+        return DecisionReport(
+            verdict=Verdict.ACCEPT if ok else Verdict.REJECT,
+            horizon=horizon,
+            evidence={"spec": source},
+        )
+
+    return FunctionAcceptor(fn, name=f"spec:{source}")
+
+
+def spec_monitor(spec: Any, alphabet: Iterable[Any], **kwargs: Any):
+    """An online :class:`~repro.stream.monitor.TBAMonitor` for the spec
+    (keyword arguments pass through: lateness, f_window, compiled, …)."""
+    from ..stream.monitor import TBAMonitor
+
+    return TBAMonitor(to_tba(spec, alphabet), **kwargs)
+
+
+# -- §4.1 deadline bridge ----------------------------------------------
+
+def to_deadline_spec(
+    bound: RTBound,
+    *,
+    grace: int = 0,
+    max_value: int = 1,
+    min_acceptable: int = 1,
+) -> DeadlineSpec:
+    """A single-shot bound as a §4.1 deadline class.
+
+    ``rt_bound(a, 0, E)`` is the firm deadline ``t_d = E + 1`` (§4.1
+    (ii): completion at any time ``t < t_d`` — i.e. ``t ≤ E`` — counts).
+    With ``grace > 0`` it becomes the soft class (iii): the hard part
+    of the budget ends at ``t_d = E − grace`` and a
+    :class:`~repro.deadlines.spec.StepUsefulness` holds usefulness at
+    ``max`` through the remaining ``grace`` chronons, so the oracle
+    accepts completions up to ``t_d + grace = E`` — exactly the bound.
+    Either way, the §4.1 oracle and the timer bound accept the same
+    completion times (:func:`from_deadline_spec` is the inverse).
+
+    A positive ``min_delay`` is a ``MinTime`` lower bound; §4.1 has no
+    too-early notion, so it cannot be bridged.
+    """
+    if not isinstance(bound, RTBound):
+        raise TypeError(f"to_deadline_spec takes an rt_bound, got {bound!r}")
+    if bound.lo > 0:
+        raise ValueError(
+            "MinTime (min_delay > 0) has no §4.1 deadline class: the "
+            "paper's deadlines only bound lateness, not earliness"
+        )
+    if grace:
+        if grace >= bound.hi:
+            raise ValueError(
+                f"grace ({grace}) must be smaller than the max_delay "
+                f"({bound.hi}) — the §4.1 soft class needs t_d > 0"
+            )
+        t_d = bound.hi - grace
+        return DeadlineSpec(
+            kind=DeadlineKind.SOFT,
+            t_d=t_d,
+            usefulness=StepUsefulness(
+                max_value=max(max_value, min_acceptable), t_d=t_d, grace=grace
+            ),
+            min_acceptable=min_acceptable,
+        )
+    return DeadlineSpec(kind=DeadlineKind.FIRM, t_d=bound.hi + 1)
+
+
+def from_deadline_spec(dspec: DeadlineSpec, action: Any = "done") -> RTBound:
+    """The timer bound equivalent to a firm (or step-soft) deadline.
+
+    Inverse of :func:`to_deadline_spec` on the classes it covers: a
+    completion event satisfies the returned bound iff the §4.1 oracle
+    accepts the completion time.
+    """
+    if dspec.kind is DeadlineKind.FIRM:
+        return RTBound(action, 0, dspec.t_d - 1)
+    if dspec.kind is DeadlineKind.SOFT and isinstance(
+        dspec.usefulness, StepUsefulness
+    ):
+        if dspec.usefulness.max_value >= dspec.min_acceptable:
+            # u stays at max through t_d + grace, so completions up to
+            # and including that instant meet the acceptable limit.
+            return RTBound(action, 0, dspec.t_d + dspec.usefulness.grace)
+        return RTBound(action, 0, dspec.t_d - 1)
+    raise ValueError(
+        f"no timer-bound equivalent for {dspec.kind.value} deadline with "
+        f"{type(dspec.usefulness).__name__} usefulness"
+    )

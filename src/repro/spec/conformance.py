@@ -1,0 +1,723 @@
+"""Conformance fuzzing: every decision path must tell the same story.
+
+The repo has grown several independently-implemented routes from a
+timed specification to a verdict; each route pair below is a
+*differential oracle* — on any (spec, word) the two sides must agree,
+so a disagreement is a bug in one of them by construction, no expected
+output needed:
+
+``semantics``
+    the spec-compiled TBA (:func:`repro.spec.compile.spec_acceptor`,
+    exact lasso acceptance through ``engine.decide``) vs the direct
+    denotational semantics (:func:`repro.spec.semantics.holds`).
+``monitor``
+    :class:`~repro.stream.monitor.TBAMonitor` on the compiled
+    dense-table path vs the interpreted ``_step_configs`` path —
+    per-event verdict streams, accept-visit counters, and the
+    ``ingest_many`` bulk scan vs the event-at-a-time loop.
+``strategy``
+    ``engine.decide(strategy="online-incremental")`` (stream replay)
+    vs ``strategy="lasso-exact"`` (batch) on the shared §3.1.1 machine
+    compilation — report-identical, not just verdict-identical.
+``shards``
+    ``decide_many(backend="shards")`` (persistent worker pool, warm
+    compiled caches) vs ``backend="serial"`` on raw deterministic TBAs.
+``checkpoint``
+    mid-stream :func:`repro.stream.checkpoint.checkpoint` / ``restore``
+    across *both* stepping paths (compiled snapshot → interpreted
+    restore and vice versa, plus a JSON round-trip) vs the
+    uninterrupted run.
+
+Words and specs come from a seeded generator (reproducible without any
+third-party dependency; ``tests/test_spec_conformance.py`` adds a
+hypothesis-driven layer when hypothesis is importable).  On a
+disagreement the harness *minimizes* the counterexample — greedily
+shrinking the word (drop events, tighten times) and then the spec
+(drop alternatives, phases, bounds) while the disagreement persists —
+and emits a ready-to-paste regression test via
+:func:`regression_source`.
+
+CLI::
+
+    python -m repro.spec.conformance --seed 0 --cases 200
+
+exits non-zero iff any pair disagreed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..engine.batch import compiled_tba, decide_many
+from ..engine.strategies import decide
+from ..engine.verdict import Verdict
+from ..words.timedword import TimedWord
+from .combinators import (
+    Spec,
+    actions_of,
+    alt,
+    both,
+    eventually,
+    is_deterministic_spec,
+    loop,
+    max_bound,
+    rt_bound,
+    seq,
+    to_source,
+)
+from .compile import spec_acceptor, to_tba
+from .semantics import holds
+
+__all__ = [
+    "PAIRS",
+    "Disagreement",
+    "gen_spec",
+    "gen_word",
+    "check_pair",
+    "minimize",
+    "regression_source",
+    "run",
+    "main",
+]
+
+#: The differential oracle pairs, in the order the CLI reports them.
+PAIRS: Tuple[str, ...] = (
+    "semantics",
+    "monitor",
+    "strategy",
+    "shards",
+    "checkpoint",
+)
+
+#: Events replayed into stream monitors per word (prefix + unrollings).
+REPLAY_LOOPS = 3
+
+
+@dataclass
+class Disagreement:
+    """One oracle-pair violation, already minimized."""
+
+    pair: str
+    spec: Spec
+    alphabet: Tuple[Any, ...]
+    word: TimedWord
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.pair}] {self.detail}\n"
+            f"  spec:  {to_source(self.spec)}\n"
+            f"  word:  lasso(prefix={list(self.word.prefix)!r}, "
+            f"loop={list(self.word.loop)!r}, shift={self.word.shift})\n"
+            f"  alpha: {self.alphabet!r}\n"
+            f"{regression_source(self.pair, self.spec, self.alphabet, self.word)}"
+        )
+
+
+# -- seeded generators -------------------------------------------------
+
+def gen_spec(rng: random.Random, actions: Sequence[Any], depth: int = 2) -> Spec:
+    """A random ω-spec over ``actions`` (depth-bounded grammar walk)."""
+
+    def phase():
+        lo = rng.choice((0, 0, 0, 1, 2))
+        return rt_bound(rng.choice(actions), lo, lo + rng.randrange(4))
+
+    def chain():
+        return seq(*(phase() for _ in range(rng.randrange(1, 4))))
+
+    def go(d: int) -> Spec:
+        r = rng.random()
+        if d <= 0 or r < 0.40:
+            return loop(chain())
+        if r < 0.65:
+            return eventually(chain())
+        parts = 2 if rng.random() < 0.8 else 3
+        if r < 0.85:
+            return alt(*(go(d - 1) for _ in range(parts)))
+        return both(*(go(d - 1) for _ in range(parts)))
+
+    return go(depth)
+
+
+def gen_word(
+    rng: random.Random, spec: Spec, alphabet: Sequence[Any]
+) -> TimedWord:
+    """A random monotone lasso word, biased toward the spec's actions.
+
+    Covers the edge geometries the stream layer special-cases: shift-0
+    lassos (time never advances past the loop), zero gaps, and gaps
+    just past every spec bound.
+    """
+    bias = sorted(actions_of(spec), key=repr)
+    cap = max_bound(spec) + 2
+
+    def sym() -> Any:
+        if bias and rng.random() < 0.7:
+            return rng.choice(bias)
+        return rng.choice(list(alphabet))
+
+    def gap() -> int:
+        return rng.choice((0, 0, 1, 1, 2, cap - 1, cap))
+
+    t = 0
+    prefix: List[Tuple[Any, int]] = []
+    for _ in range(rng.randrange(4)):
+        prefix.append((sym(), t))
+        t += gap()
+    if rng.random() < 0.1:
+        # Shift-0 lasso: the same instants forever (well-behavedness
+        # violated on purpose — the paper's classical-word edge).
+        pairs = [(sym(), t) for _ in range(rng.randrange(1, 3))]
+        return TimedWord.lasso(prefix, pairs, shift=0)
+    pairs = []
+    t0 = t
+    for _ in range(rng.randrange(1, 4)):
+        pairs.append((sym(), t))
+        t += gap()
+    span = t - t0
+    return TimedWord.lasso(prefix, pairs, shift=span + rng.choice((0, 0, 1, 2)))
+
+
+def _events(word: TimedWord, n: int) -> List[Tuple[Any, int]]:
+    return [word[i] for i in range(n)]
+
+
+def _replay_len(word: TimedWord) -> int:
+    return len(word.prefix) + REPLAY_LOOPS * len(word.loop)
+
+
+def _horizon(word: TimedWord) -> int:
+    """A horizon safely past a few loop unrollings of ``word``."""
+    n = _replay_len(word)
+    return max(word.time_at(i) for i in range(n)) + 1
+
+
+# -- the oracle pairs --------------------------------------------------
+
+def _check_semantics(
+    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+) -> Optional[str]:
+    direct = holds(spec, word, alphabet)
+    report = decide(spec_acceptor(spec, alphabet), word, strategy="lasso-exact")
+    engine = report.verdict is Verdict.ACCEPT
+    if direct != engine:
+        return f"holds()={direct} but engine lasso-exact says {report.verdict}"
+    # The stream layer's *absorbing* verdicts are claims about every
+    # continuation, so on this word they must agree with the
+    # denotational truth: REJECTED ⇒ no accepting run through the
+    # consumed prefix; a green lock ⇒ every continuation accepts.
+    # (Catches TBAAnalysis live/green bugs, which the compiled-vs-
+    # interpreted differential shares and therefore cannot see.)
+    from ..stream.monitor import StreamVerdict, TBAMonitor
+
+    monitor = TBAMonitor(to_tba(spec, alphabet), compiled=False)
+    for s, t in _events(word, _replay_len(word)):
+        monitor.ingest(s, t)
+        if monitor.absorbed:
+            break
+    if monitor.verdict is StreamVerdict.REJECTED and direct:
+        return "holds()=True but the stream monitor absorbed into REJECTED"
+    if monitor._green_locked and not direct:
+        return "holds()=False but the stream monitor green-locked ACCEPTING"
+    return None
+
+
+def _monitor_trace(monitor, events) -> Tuple[List[str], int, bool]:
+    verdicts = []
+    for s, t in events:
+        verdicts.append(monitor.ingest(s, t).value)
+    return verdicts, monitor.accept_visits, monitor.absorbed
+
+
+#: Deterministic pair-check variations (kept out of the generator so a
+#: pinned (spec, word) regression replays every variation).
+F_WINDOWS: Tuple[Optional[int], ...] = (None, 0, 2)
+LATENESS = 2
+
+
+def _jittered(events, lateness: int):
+    """A bounded out-of-order permutation: reverse each run of events
+    whose times fit inside the lateness window (the worst legal
+    displacement — nothing ever drops below the watermark)."""
+    out: List[Tuple[Any, int]] = []
+    i = 0
+    while i < len(events):
+        j = i + 1
+        while j < len(events) and events[j][1] - events[i][1] <= lateness:
+            j += 1
+        out.extend(reversed(events[i:j]))
+        i = j
+    return out
+
+
+def _final(monitor) -> Tuple[str, int, int, int]:
+    return (
+        monitor.verdict.value,
+        monitor.accept_visits,
+        monitor.events_released,
+        monitor.verdict_flips,
+    )
+
+
+def _check_monitor(
+    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+) -> Optional[str]:
+    from ..stream.monitor import TBAMonitor
+
+    tba = to_tba(spec, alphabet)
+    if not TBAMonitor(tba).compiled:
+        return None  # compiled path unavailable here: nothing to compare
+    events = _events(word, _replay_len(word))
+    for fw in F_WINDOWS:
+        cv = _monitor_trace(TBAMonitor(tba, f_window=fw), events)
+        iv = _monitor_trace(TBAMonitor(tba, f_window=fw, compiled=False), events)
+        if cv != iv:
+            return (
+                f"f_window={fw}: compiled monitor trace {cv} != "
+                f"interpreted {iv}"
+            )
+        # The ingest_many bulk scan must match the event-at-a-time loop.
+        bulk = TBAMonitor(tba, f_window=fw)
+        bulk_verdict = bulk.ingest_many(events)
+        if (bulk_verdict.value, bulk.accept_visits) != (cv[0][-1], cv[1]):
+            return (
+                f"f_window={fw}: ingest_many says "
+                f"({bulk_verdict.value}, {bulk.accept_visits}) but the "
+                f"per-event loop says ({cv[0][-1]}, {cv[1]})"
+            )
+    # Out-of-order ingestion under a lateness bound: both stepping
+    # paths see the same released sequence, and the reorder machinery
+    # itself must agree with directly applying the release order.
+    shuffled = _jittered(events, LATENESS)
+    cl = TBAMonitor(tba, lateness=LATENESS)
+    il = TBAMonitor(tba, lateness=LATENESS, compiled=False)
+    ct = _monitor_trace(cl, shuffled)
+    it = _monitor_trace(il, shuffled)
+    if ct != it:
+        return (
+            f"lateness={LATENESS}: compiled monitor trace {ct} != "
+            f"interpreted {it}"
+        )
+    cl.flush()
+    il.flush()
+    if _final(cl) != _final(il):
+        return (
+            f"lateness={LATENESS}: flushed compiled state {_final(cl)} != "
+            f"interpreted {_final(il)}"
+        )
+    # The heap releases by (time, arrival); a stable sort by time of the
+    # shuffled feed is exactly that order.
+    direct = TBAMonitor(tba, compiled=False)
+    for s, t in sorted(shuffled, key=lambda p: p[1]):
+        direct.ingest(s, t)
+    if (cl.verdict, cl.accept_visits) != (direct.verdict, direct.accept_visits):
+        return (
+            f"lateness={LATENESS}: buffered run ends "
+            f"({cl.verdict.value}, {cl.accept_visits}) but direct release-"
+            f"order replay ends ({direct.verdict.value}, {direct.accept_visits})"
+        )
+    # Genuinely late events under late_policy="drop": splice stale
+    # copies into the feed, forcing ingest_many's mid-slice resume
+    # hand-off — bulk, scalar, and interpreted must all tell one story.
+    stale: List[Tuple[Any, int]] = []
+    for i, (s, t) in enumerate(events):
+        stale.append((s, t))
+        if i % 2 == 1 and t > 0:
+            stale.append((events[i // 2][0], max(t - 10, 0)))
+    runs = []
+    for kind in ("bulk", "scalar", "interpreted"):
+        m = TBAMonitor(
+            tba,
+            late_policy="drop",
+            compiled=False if kind == "interpreted" else None,
+        )
+        if kind == "bulk":
+            m.ingest_many(stale)
+        else:
+            for s, t in stale:
+                m.ingest(s, t)
+        runs.append((_final(m), m.late_events, m.events_ingested))
+    if len(set(runs)) != 1:
+        return (
+            f"late-drop feed diverges: bulk {runs[0]}, scalar {runs[1]}, "
+            f"interpreted {runs[2]}"
+        )
+    return None
+
+
+def _check_strategy(
+    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+) -> Optional[str]:
+    tba = to_tba(spec, alphabet)
+    machine = compiled_tba(tba, allow_nondeterministic=True)
+    horizon = _horizon(word)
+    online = decide(machine, word, strategy="online-incremental", horizon=horizon)
+    batch = decide(machine, word, strategy="lasso-exact", horizon=horizon)
+    a = (online.verdict, online.f_count, online.decided_at)
+    b = (batch.verdict, batch.f_count, batch.decided_at)
+    if a != b:
+        return f"online-incremental reports {a} but lasso-exact reports {b}"
+    truth = tba.accepts_lasso(word)
+    if word.shift == 0:
+        # Frozen-time lassos are resolved by exact region mathematics
+        # (engine.strategies.resolve_zeno): the verdict must equal the
+        # language answer, and the replay must not grind to the feeder
+        # cap (it is cut off at machine.tape.zeno_event_cap).
+        expect = Verdict.ACCEPT if truth else Verdict.REJECT
+        if batch.verdict is not expect:
+            return (
+                f"zeno lasso: lasso-exact reports {batch.verdict} but "
+                f"accepts_lasso says {truth}"
+            )
+    elif batch.verdict is Verdict.REJECT and truth:
+        # Machine rejection means every tracked run died — sound for
+        # any TBA, so it can never contradict the language answer.
+        return "lasso-exact reports REJECT but accepts_lasso says True"
+    return None
+
+
+def _check_shards(
+    spec: Spec,
+    alphabet: Tuple[Any, ...],
+    words: Sequence[TimedWord],
+) -> Optional[str]:
+    if not is_deterministic_spec(spec):
+        return None  # raw nondeterministic TBAs are a batch-local path
+    tba = to_tba(spec, alphabet)
+    # A word-scaled horizon keeps each machine run to a few dozen
+    # events (the default 10k-event horizon would dominate the sweep).
+    horizon = max(_horizon(w) for w in words)
+    serial = decide_many(tba, words, backend="serial", horizon=horizon)
+    sharded = decide_many(
+        tba, words, backend="shards", workers=2, horizon=horizon
+    )
+    sv = [r.verdict for r in serial]
+    shv = [r.verdict for r in sharded]
+    if sv != shv:
+        return f"serial verdicts {sv} != shards verdicts {shv}"
+    return None
+
+
+def _check_checkpoint(
+    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+) -> Optional[str]:
+    from ..stream.checkpoint import checkpoint as save_snapshot
+    from ..stream.checkpoint import restore as restore_snapshot
+    from ..stream.monitor import TBAMonitor
+
+    tba = to_tba(spec, alphabet)
+    events = _events(word, _replay_len(word))
+    cut = len(events) // 2
+    baseline = TBAMonitor(tba, compiled=False)
+    base_tail = _monitor_trace(baseline, events)
+    # Save on one stepping path, restore on the other (and through a
+    # JSON round-trip — snapshots must be path-neutral plain data).
+    for save_compiled, load_compiled in ((False, None), (None, False)):
+        first = TBAMonitor(tba, compiled=save_compiled)
+        for s, t in events[:cut]:
+            first.ingest(s, t)
+        snap = json.loads(json.dumps(save_snapshot(first)))
+        second = restore_snapshot(snap, tba=tba, compiled=load_compiled)
+        tail = []
+        for s, t in events[cut:]:
+            tail.append(second.ingest(s, t).value)
+        resumed = (
+            base_tail[0][:cut] + tail,
+            second.accept_visits,
+            second.absorbed,
+        )
+        if resumed != base_tail:
+            return (
+                f"save(compiled={save_compiled})→restore"
+                f"(compiled={load_compiled}) run {resumed} "
+                f"!= uninterrupted {base_tail}"
+            )
+    # Checkpoint with a *non-empty reorder buffer*: out-of-order feed
+    # under a lateness bound, snapshotted mid-window, must resume to
+    # the same flushed state as the uninterrupted buffered run.
+    shuffled = _jittered(events, LATENESS)
+    whole = TBAMonitor(tba, lateness=LATENESS, compiled=False)
+    for s, t in shuffled:
+        whole.ingest(s, t)
+    whole.flush()
+    for save_compiled, load_compiled in ((False, None), (None, False)):
+        first = TBAMonitor(tba, lateness=LATENESS, compiled=save_compiled)
+        for s, t in shuffled[:cut]:
+            first.ingest(s, t)
+        snap = json.loads(json.dumps(save_snapshot(first)))
+        second = restore_snapshot(snap, tba=tba, compiled=load_compiled)
+        for s, t in shuffled[cut:]:
+            second.ingest(s, t)
+        second.flush()
+        if _final(second) != _final(whole):
+            return (
+                f"buffered save(compiled={save_compiled})→restore"
+                f"(compiled={load_compiled}) flushes to {_final(second)} "
+                f"!= uninterrupted {_final(whole)}"
+            )
+    return None
+
+
+def check_pair(
+    pair: str,
+    spec: Spec,
+    alphabet: Sequence[Any],
+    word: TimedWord,
+) -> Optional[str]:
+    """Run one oracle pair on one case; ``None`` means agreement.
+
+    This is the entry point minimized counterexamples pin in their
+    emitted regression tests.
+    """
+    alpha = tuple(alphabet)
+    if pair == "semantics":
+        return _check_semantics(spec, alpha, word)
+    if pair == "monitor":
+        return _check_monitor(spec, alpha, word)
+    if pair == "strategy":
+        return _check_strategy(spec, alpha, word)
+    if pair == "shards":
+        return _check_shards(spec, alpha, [word])
+    if pair == "checkpoint":
+        return _check_checkpoint(spec, alpha, word)
+    raise ValueError(f"unknown pair {pair!r}; known: {PAIRS}")
+
+
+# -- counterexample minimization ---------------------------------------
+
+def _word_shrinks(word: TimedWord) -> Iterator[TimedWord]:
+    prefix, pairs, shift = list(word.prefix), list(word.loop), word.shift
+    for i in range(len(prefix)):
+        yield TimedWord.lasso(prefix[:i] + prefix[i + 1 :], pairs, shift)
+    if len(pairs) > 1:
+        for i in range(len(pairs)):
+            # Removing a loop pair only shrinks the span, so the old
+            # shift keeps the iterations monotone.
+            yield TimedWord.lasso(prefix, pairs[:i] + pairs[i + 1 :], shift)
+    span = pairs[-1][1] - pairs[0][1]
+    if shift > span:
+        yield TimedWord.lasso(prefix, pairs, span)
+    # Tighten one gap at a time (keeps monotonicity: later times drop by
+    # the same amount the gap lost).
+    times = [t for _, t in prefix] + [t for _, t in pairs]
+    for i in range(1, len(times)):
+        if times[i] > times[i - 1]:
+            squeezed = times[: i] + [t - 1 for t in times[i:]]
+            np = [(s, squeezed[j]) for j, (s, _) in enumerate(prefix)]
+            nl = [
+                (s, squeezed[len(prefix) + j]) for j, (s, _) in enumerate(pairs)
+            ]
+            yield TimedWord.lasso(np, nl, shift)
+
+
+def _spec_shrinks(spec: Spec) -> Iterator[Spec]:
+    from .combinators import Alt, Both, Eventually, Loop, RTBound, Seq
+
+    if isinstance(spec, (Alt, Both)):
+        for p in spec.parts:
+            yield p
+        rebuild = alt if isinstance(spec, Alt) else both
+        for i, p in enumerate(spec.parts):
+            for sp in _spec_shrinks(p):
+                parts = spec.parts[:i] + (sp,) + spec.parts[i + 1 :]
+                yield rebuild(*parts)
+        return
+    if isinstance(spec, (Loop, Eventually)):
+        rebuild = loop if isinstance(spec, Loop) else eventually
+        phases = spec.body.phases
+        if len(phases) > 1:
+            for i in range(len(phases)):
+                yield rebuild(Seq(phases[:i] + phases[i + 1 :]))
+        for i, p in enumerate(phases):
+            smaller = []
+            if p.lo > 0:
+                smaller.append(RTBound(p.action, 0, p.hi))
+            if p.hi > p.lo:
+                smaller.append(RTBound(p.action, p.lo, p.hi - 1))
+            for sp in smaller:
+                yield rebuild(Seq(phases[:i] + (sp,) + phases[i + 1 :]))
+
+
+def minimize(
+    pair: str,
+    spec: Spec,
+    alphabet: Sequence[Any],
+    word: TimedWord,
+) -> Tuple[Spec, TimedWord, str]:
+    """Greedily shrink a disagreeing case while it still disagrees."""
+
+    def fails(s: Spec, w: TimedWord) -> Optional[str]:
+        try:
+            return check_pair(pair, s, alphabet, w)
+        except Exception:  # a shrink that crashes is a different case
+            return None
+
+    detail = fails(spec, word)
+    assert detail is not None, "minimize() needs a disagreeing case"
+    changed = True
+    while changed:
+        changed = False
+        for w in _word_shrinks(word):
+            d = fails(spec, w)
+            if d is not None:
+                word, detail, changed = w, d, True
+                break
+        if changed:
+            continue
+        for s in _spec_shrinks(spec):
+            d = fails(s, word)
+            if d is not None:
+                spec, detail, changed = s, d, True
+                break
+    return spec, word, detail
+
+
+def regression_source(
+    pair: str,
+    spec: Spec,
+    alphabet: Sequence[Any],
+    word: TimedWord,
+) -> str:
+    """A ready-to-paste pytest function pinning the (fixed) case."""
+    name = f"test_conformance_{pair}_regression"
+    return (
+        f"def {name}():\n"
+        f"    # minimized by repro.spec.conformance\n"
+        f"    spec = {to_source(spec)}\n"
+        f"    word = TimedWord.lasso(\n"
+        f"        {list(word.prefix)!r},\n"
+        f"        {list(word.loop)!r},\n"
+        f"        shift={word.shift},\n"
+        f"    )\n"
+        f"    assert check_pair({pair!r}, spec, {tuple(alphabet)!r}, word) is None\n"
+    )
+
+
+# -- the sweep ---------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    cases: int = 0
+    checks: Dict[str, int] = field(default_factory=dict)
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+
+def run(
+    seed: int = 0,
+    cases: int = 200,
+    pairs: Sequence[str] = PAIRS,
+    words_per_case: int = 3,
+    depth: int = 2,
+    log: Callable[[str], None] = lambda line: None,
+) -> SweepStats:
+    """The conformance sweep: ``cases`` random specs, each fuzzed with
+    ``words_per_case`` words against every pair in ``pairs``."""
+    for p in pairs:
+        if p not in PAIRS:
+            raise ValueError(f"unknown pair {p!r}; known: {PAIRS}")
+    rng = random.Random(seed)
+    stats = SweepStats()
+    symbols = ["a", "b", "c", "d"]
+    for case in range(cases):
+        stats.cases += 1
+        actions = symbols[: rng.randrange(1, 4)]
+        # Sometimes widen the alphabet past the actions: symbols the
+        # spec never mentions still have to be stepped correctly.
+        alphabet = tuple(symbols[: len(actions) + rng.randrange(2)]) or ("a",)
+        spec = gen_spec(rng, actions, depth=depth)
+        words = [gen_word(rng, spec, alphabet) for _ in range(words_per_case)]
+        for pair in pairs:
+            if pair == "shards":
+                # One pooled batch per case (the pool is persistent, so
+                # this stays cheap across the sweep).
+                stats.checks[pair] = stats.checks.get(pair, 0) + 1
+                detail = _check_shards(spec, alphabet, words)
+                if detail is not None:
+                    log(f"case {case}: DISAGREEMENT {pair}, minimizing…")
+                    # Minimize against whichever single word still
+                    # disagrees on its own; fall back to the raw case.
+                    culprit = next(
+                        (w for w in words if check_pair(pair, spec, alphabet, w)),
+                        None,
+                    )
+                    if culprit is not None:
+                        mspec, mword, mdetail = minimize(
+                            pair, spec, alphabet, culprit
+                        )
+                    else:
+                        mspec, mword, mdetail = spec, words[0], detail
+                    stats.disagreements.append(
+                        Disagreement(pair, mspec, alphabet, mword, mdetail)
+                    )
+                continue
+            for word in words:
+                stats.checks[pair] = stats.checks.get(pair, 0) + 1
+                detail = check_pair(pair, spec, alphabet, word)
+                if detail is not None:
+                    log(f"case {case}: DISAGREEMENT {pair}, minimizing…")
+                    mspec, mword, mdetail = minimize(pair, spec, alphabet, word)
+                    stats.disagreements.append(
+                        Disagreement(pair, mspec, alphabet, mword, mdetail)
+                    )
+                    break
+    return stats
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spec.conformance",
+        description="Differential conformance fuzzing across the repo's "
+        "decision paths.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cases", type=int, default=200)
+    parser.add_argument(
+        "--pairs",
+        default=",".join(PAIRS),
+        help=f"comma-separated subset of {','.join(PAIRS)}",
+    )
+    parser.add_argument("--words-per-case", type=int, default=3)
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=2,
+        help="grammar nesting depth for generated specs (default 2)",
+    )
+    args = parser.parse_args(argv)
+    pairs = tuple(p for p in args.pairs.split(",") if p)
+    stats = run(
+        seed=args.seed,
+        cases=args.cases,
+        pairs=pairs,
+        words_per_case=args.words_per_case,
+        depth=args.depth,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    for pair in pairs:
+        bad = sum(1 for d in stats.disagreements if d.pair == pair)
+        print(
+            f"{pair:12s} {stats.checks.get(pair, 0):6d} checks  "
+            f"{bad} disagreement(s)"
+        )
+    for d in stats.disagreements:
+        print()
+        print(d.describe())
+    print(
+        f"\n{stats.cases} cases, seed {args.seed}: "
+        + (
+            f"{len(stats.disagreements)} DISAGREEMENT(S)"
+            if stats.disagreements
+            else "all decision paths agree"
+        )
+    )
+    return 1 if stats.disagreements else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Direct denotational semantics of the spec combinators.
+
+:func:`holds` decides spec satisfaction on lasso timed words *without
+touching any automaton*: a compositional evaluator over the spec AST
+(disjunction = OR of components, conjunction = AND, phase chains = a
+greedy walk).  It is deliberately a second, structurally different
+implementation of the same language — the conformance harness
+(:mod:`repro.spec.conformance`) differentially tests it against the
+compiled-TBA route through the engine and the stream runtime, so a bug
+in either side surfaces as a verdict disagreement.
+
+Why a greedy walk is complete here: a phase waits for the *first*
+occurrence of its action (non-action symbols merely pass, budget
+permitting), so the phase walker is deterministic — there is exactly
+one candidate run per phase chain.  Nondeterminism only enters through
+:func:`~repro.spec.combinators.alt`, whose semantics is the plain OR
+over components, each again deterministic.
+
+Deciding the ω-obligations on a lasso uses the same discrete region
+argument as :mod:`repro.automata.timed`: guards only distinguish
+elapsed times up to the largest bound, so the walker state
+``(phase index, capped elapsed)`` observed at loop boundaries must
+eventually repeat, and everything between two equal boundary states
+recurs forever.  :class:`~repro.spec.combinators.Loop` accepts iff a
+chain completion happens inside that recurring window;
+:class:`~repro.spec.combinators.Eventually` accepts iff a completion
+happens before the walk dies or provably never completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Tuple, Union
+
+from ..words.timedword import TimedWord
+from .combinators import (
+    Alt,
+    Both,
+    Eventually,
+    Loop,
+    PhaseSpec,
+    RTBound,
+    Spec,
+    as_omega,
+)
+
+__all__ = ["holds"]
+
+#: Safety valve on walker steps (far above any boundary-state cycle a
+#: generated spec/word pair can need; a hit is a bug, not a timeout).
+MAX_STEPS = 1_000_000
+
+
+def _walk_chain(
+    phases: Tuple[RTBound, ...],
+    word: TimedWord,
+    alphabet: FrozenSet[Any],
+    looped: bool,
+) -> bool:
+    """The unique run of a phase chain over a lasso word, judged.
+
+    Returns Büchi acceptance for ``looped=True`` (completions recur)
+    and reachability for ``looped=False`` (some completion happens).
+    """
+    p0 = len(word.prefix)
+    k = len(word.loop)
+    cap = max(p.hi for p in phases) + 1
+    phase = 0
+    t0 = 0
+    completions = 0
+    boundary_seen = {}
+    i = 0
+    while i < MAX_STEPS:
+        s, t = word[i]
+        if i >= p0 and (i - p0) % k == 0:
+            # Loop boundary: the future depends only on (phase, capped
+            # elapsed) here, so a repeat closes the recurring window.
+            state = (phase, min(t - t0, cap))
+            if state in boundary_seen:
+                return completions > boundary_seen[state] if looped else False
+            boundary_seen[state] = completions
+        if s not in alphabet:
+            return False  # unknown symbol: no transition, the run dies
+        p = phases[phase]
+        elapsed = t - t0
+        if s == p.action:
+            if not (p.lo <= elapsed <= p.hi):
+                return False  # early or late action: the run dies
+            t0 = t
+            phase += 1
+            if phase == len(phases):
+                completions += 1
+                if not looped:
+                    return True
+                phase = 0
+        elif elapsed > p.hi:
+            return False  # the budget expired while waiting
+        i += 1
+    raise RuntimeError("phase walker exceeded MAX_STEPS (semantics bug)")
+
+
+def holds(
+    spec: Union[Spec, PhaseSpec],
+    word: TimedWord,
+    alphabet: Iterable[Any],
+) -> bool:
+    """Does the lasso timed word satisfy the spec over ``alphabet``?
+
+    Symbols outside ``alphabet`` fail every spec (they fall off the
+    compiled automaton too — the alphabet is part of the language).
+    """
+    if not isinstance(word, TimedWord):
+        raise TypeError(f"spec semantics take a TimedWord, got {type(word).__name__}")
+    if word.fn is not None or word.is_finite:
+        raise ValueError("spec semantics are defined on lasso timed words")
+    omega = as_omega(spec)
+    alpha = frozenset(alphabet)
+    if isinstance(omega, Alt):
+        return any(holds(p, word, alpha) for p in omega.parts)
+    if isinstance(omega, Both):
+        return all(holds(p, word, alpha) for p in omega.parts)
+    if isinstance(omega, Loop):
+        return _walk_chain(omega.body.phases, word, alpha, looped=True)
+    if isinstance(omega, Eventually):
+        return _walk_chain(omega.body.phases, word, alpha, looped=False)
+    raise TypeError(f"not a spec: {spec!r}")

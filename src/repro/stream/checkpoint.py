@@ -140,12 +140,17 @@ def restore(
     tba: Optional[TimedBuchiAutomaton] = None,
     acceptor: Any = None,
     analysis: Optional[TBAAnalysis] = None,
+    compiled: Optional[bool] = None,
 ) -> Any:
     """Rebuild a monitor from a :func:`checkpoint` snapshot.
 
     The language artifact is *not* serialized (it is code): pass the
     same ``tba`` for a ``"tba"`` snapshot or the same ``acceptor`` for a
-    ``"machine"`` one.
+    ``"machine"`` one.  ``compiled`` picks the stepping path of the
+    rebuilt :class:`TBAMonitor` exactly like the constructor argument —
+    snapshots are path-neutral, so a monitor checkpointed on the
+    interpreted path may be restored onto the compiled one and vice
+    versa (the spec conformance harness cross-checks this).
     """
     if snapshot.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint version {snapshot.get('version')!r}")
@@ -163,6 +168,7 @@ def restore(
             lateness=state["lateness"],
             late_policy=state["late_policy"],
             f_window=state["f_window"],
+            compiled=compiled,
         )
         monitor.configs = frozenset(
             (_dec(s), tuple(vals)) for s, vals in state["configs"]
@@ -221,6 +227,7 @@ def restore_mux(
     *,
     tba: Optional[TimedBuchiAutomaton] = None,
     acceptor: Any = None,
+    compiled: Optional[bool] = None,
 ) -> SessionMux:
     """Repopulate a freshly-constructed mux from :func:`checkpoint_mux`.
 
@@ -243,7 +250,11 @@ def restore_mux(
     analysis = analysis_for(tba) if tba is not None else None
     for name, entry in snapshot["sessions"].items():
         monitor = restore(
-            entry["snapshot"], tba=tba, acceptor=acceptor, analysis=analysis
+            entry["snapshot"],
+            tba=tba,
+            acceptor=acceptor,
+            analysis=analysis,
+            compiled=compiled,
         )
         session = _Session(name, monitor)
         session.last_event_time = entry["last_event_time"]
@@ -288,6 +299,7 @@ def restore_sessions(
     *,
     tba: Optional[TimedBuchiAutomaton] = None,
     acceptor: Any = None,
+    compiled: Optional[bool] = None,
 ) -> List[str]:
     """Re-home :func:`extract_sessions` entries into a live mux.
 
@@ -301,7 +313,11 @@ def restore_sessions(
         if name in mux._sessions:
             raise ValueError(f"session {name!r} already live on this mux")
         monitor = restore(
-            entry["snapshot"], tba=tba, acceptor=acceptor, analysis=analysis
+            entry["snapshot"],
+            tba=tba,
+            acceptor=acceptor,
+            analysis=analysis,
+            compiled=compiled,
         )
         session = _Session(name, monitor)
         session.last_event_time = entry["last_event_time"]

@@ -1,0 +1,203 @@
+"""Tests for repro.spec — combinators, compilation, direct semantics."""
+
+import pytest
+
+from repro.deadlines.spec import DeadlineKind, DeadlineSpec, StepUsefulness
+from repro.engine import Verdict, decide
+from repro.spec import (
+    actions_of,
+    alt,
+    as_omega,
+    both,
+    eventually,
+    from_deadline_spec,
+    holds,
+    is_deterministic_spec,
+    loop,
+    max_bound,
+    phases_of,
+    rt_bound,
+    seq,
+    spec_acceptor,
+    spec_monitor,
+    to_deadline_spec,
+    to_source,
+    to_tba,
+)
+from repro.stream import StreamVerdict
+from repro.words import TimedWord
+
+AB = ("a", "b")
+
+
+def lasso(prefix, loop_pairs, shift):
+    return TimedWord.lasso(prefix, loop_pairs, shift=shift)
+
+
+# ---------------------------------------------------------------- shapes
+
+
+def test_rt_bound_validates():
+    with pytest.raises(ValueError):
+        rt_bound("a", -1, 2)
+    with pytest.raises(ValueError):
+        rt_bound("a", 3, 2)
+
+
+def test_seq_flattens_and_needs_phases():
+    s = seq(rt_bound("a", 0, 1), seq(rt_bound("b", 0, 2)))
+    assert len(s.phases) == 2
+    with pytest.raises(ValueError):
+        seq()
+
+
+def test_alt_both_need_parts():
+    with pytest.raises(ValueError):
+        alt()
+    with pytest.raises(ValueError):
+        both()
+    one = loop(rt_bound("a", 0, 1))
+    assert alt(one) == one  # single part collapses
+    assert both(one) == one
+
+
+def test_as_omega_wraps_chains():
+    # A bare phase chain is a one-shot obligation: ω-coercion is the
+    # absorbing "eventually", not iteration.
+    assert as_omega(rt_bound("a", 0, 1)) == eventually(rt_bound("a", 0, 1))
+    w = loop(rt_bound("a", 0, 1))
+    assert as_omega(w) is w
+
+
+def test_queries():
+    s = both(loop(rt_bound("a", 0, 3)), eventually(rt_bound("b", 1, 5)))
+    assert actions_of(s) == {"a", "b"}
+    assert [p.action for p in phases_of(seq(rt_bound("a", 0, 1)))] == ["a"]
+    assert max_bound(s) == 5
+    assert not is_deterministic_spec(alt(loop(rt_bound("a", 0, 1)), loop(rt_bound("b", 0, 1))))
+    assert is_deterministic_spec(loop(rt_bound("a", 0, 1)))
+
+
+def test_to_source_round_trips():
+    s = both(
+        loop(seq(rt_bound("a", 0, 3), rt_bound("b", 1, 2))),
+        alt(eventually(rt_bound("a", 0, 1)), loop(rt_bound("b", 0, 4))),
+    )
+    namespace = {
+        "rt_bound": rt_bound,
+        "seq": seq,
+        "loop": loop,
+        "eventually": eventually,
+        "alt": alt,
+        "both": both,
+    }
+    assert eval(to_source(s), namespace) == s
+
+
+# ----------------------------------------------------------- compilation
+
+
+def test_to_tba_rejects_foreign_actions():
+    with pytest.raises(ValueError):
+        to_tba(loop(rt_bound("z", 0, 1)), AB)
+
+
+def test_loop_accepts_periodic_word():
+    tba = to_tba(loop(rt_bound("a", 0, 2)), AB)
+    assert tba.accepts_lasso(lasso([], [("a", 0)], 2))
+    assert not tba.accepts_lasso(lasso([], [("a", 0)], 3))  # gap 3 > hi
+
+
+def test_eventually_is_absorbing():
+    tba = to_tba(eventually(rt_bound("a", 1, 2)), AB)
+    # completes once at the right distance, then anything goes
+    assert tba.accepts_lasso(lasso([("a", 1)], [("b", 2)], 9))
+    # too early: the MinTime lower bound kills the run
+    assert not tba.accepts_lasso(lasso([("a", 0)], [("b", 1)], 9))
+    # never completes: 'b' forever
+    assert not tba.accepts_lasso(lasso([], [("b", 0)], 1))
+
+
+def test_alt_accepts_either_branch():
+    s = alt(loop(rt_bound("a", 0, 1)), loop(rt_bound("b", 0, 3)))
+    tba = to_tba(s, AB)
+    assert tba.accepts_lasso(lasso([], [("a", 0)], 1))
+    assert tba.accepts_lasso(lasso([], [("b", 0)], 3))
+    assert not tba.accepts_lasso(lasso([], [("b", 0)], 4))
+
+
+def test_both_needs_fair_interleaving():
+    s = both(loop(rt_bound("a", 0, 2)), loop(rt_bound("b", 0, 2)))
+    tba = to_tba(s, AB)
+    assert tba.accepts_lasso(lasso([], [("a", 0), ("b", 1)], 2))
+    # only ever 'a': the second component starves
+    assert not tba.accepts_lasso(lasso([], [("a", 0)], 1))
+
+
+def test_compiled_agrees_with_holds_on_hand_built_words():
+    cases = [
+        (loop(rt_bound("a", 0, 2)), lasso([("b", 0)], [("a", 1), ("a", 2)], 2)),
+        (eventually(rt_bound("a", 1, 3)), lasso([], [("a", 0), ("b", 2)], 3)),
+        (
+            both(loop(rt_bound("a", 0, 4)), eventually(rt_bound("b", 0, 9))),
+            lasso([("b", 0)], [("a", 1)], 2),
+        ),
+    ]
+    for spec, word in cases:
+        assert holds(spec, word, AB) == to_tba(spec, AB).accepts_lasso(word)
+
+
+def test_spec_acceptor_joins_the_engine():
+    report = decide(
+        spec_acceptor(loop(rt_bound("a", 0, 2)), AB),
+        lasso([], [("a", 0)], 2),
+        strategy="lasso-exact",
+    )
+    assert report.verdict is Verdict.ACCEPT
+
+
+def test_spec_monitor_streams():
+    monitor = spec_monitor(loop(rt_bound("a", 0, 2)), AB)
+    for t in range(4):
+        verdict = monitor.ingest("a", t)
+    assert verdict is StreamVerdict.ACCEPTING
+
+
+def test_holds_requires_lasso_words():
+    with pytest.raises(TypeError):
+        holds(loop(rt_bound("a", 0, 1)), [("a", 0)], AB)
+
+
+# ------------------------------------------------------- deadline bridge
+
+
+def test_firm_deadline_round_trip():
+    spec = DeadlineSpec(kind=DeadlineKind.FIRM, t_d=20)
+    bound = from_deadline_spec(spec, "done")
+    assert (bound.lo, bound.hi) == (0, 19)
+    back = to_deadline_spec(bound)
+    assert back.t_d == 20 and back.kind is DeadlineKind.FIRM
+
+
+def test_soft_deadline_round_trip():
+    spec = DeadlineSpec(
+        kind=DeadlineKind.SOFT,
+        t_d=20,
+        usefulness=StepUsefulness(max_value=1, t_d=20, grace=5),
+    )
+    bound = from_deadline_spec(spec, "done")
+    assert (bound.lo, bound.hi) == (0, 25)
+    back = to_deadline_spec(bound, grace=5)
+    assert back.t_d == 20 and back.kind is DeadlineKind.SOFT
+    # §4.1 acceptance rule and the compiled bound agree at every
+    # completion time around the deadline.
+    tba = to_tba(eventually(bound), ("done", "tick"))
+    for t in range(0, 28):
+        word = lasso([("done", t)], [("tick", t + 1)], 1)
+        accepted = tba.accepts_lasso(word)
+        assert accepted == (t <= 25), t
+
+
+def test_to_deadline_spec_validates_grace():
+    with pytest.raises(ValueError):
+        to_deadline_spec(rt_bound("done", 0, 3), grace=3)
