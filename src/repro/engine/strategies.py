@@ -52,10 +52,45 @@ __all__ = [
     "STRATEGIES",
     "get_strategy",
     "decide",
+    "resolve_zeno",
 ]
 
 #: Default judging horizon, matching the machine layer's.
 DEFAULT_HORIZON = 10_000
+
+
+def resolve_zeno(report: DecisionReport, acceptor: Any, word: Any) -> DecisionReport:
+    """Exact verdict for a frozen-time lasso the machine could not absorb.
+
+    A lasso word with ``shift == 0`` repeats its loop forever at one
+    frozen timestamp, so the operational judge can never see the time
+    horizon pass: its replay is cut off after a bounded number of loop
+    unrollings (:func:`repro.machine.tape.zeno_event_cap`) and — unless
+    an absorbing verdict fired inside that window — comes back
+    UNDECIDED.  When the acceptor carries its source automaton
+    (``source_tba``, attached by the §3.1.1 compilation), the language
+    question is still exactly decidable by region mathematics, which is
+    what the ``lasso-exact`` contract promises.  This rewrites such an
+    UNDECIDED report in place: verdict from ``accepts_lasso``,
+    ``decided_at`` pinned to the stall instant, and
+    ``evidence["zeno"] = "region-exact"``.
+
+    Reports that already carry an absorbing verdict, and acceptors with
+    no source automaton, pass through untouched (the latter gain
+    ``evidence["zeno"] = "cutoff"`` so the bounded replay is visible).
+    """
+    if report.verdict is not Verdict.UNDECIDED:
+        return report
+    tba = getattr(acceptor, "source_tba", None)
+    if tba is None:
+        report.evidence["zeno"] = "cutoff"
+        return report
+    report.verdict = (
+        Verdict.ACCEPT if tba.accepts_lasso(word) else Verdict.REJECT
+    )
+    report.decided_at = word.time_at(len(word.prefix))
+    report.evidence["zeno"] = "region-exact"
+    return report
 
 
 class DecisionStrategy:
@@ -76,7 +111,11 @@ class LassoExact(DecisionStrategy):
     name = "lasso-exact"
 
     def run(self, acceptor: Any, word: Any, horizon: int) -> DecisionReport:
+        from ..machine.tape import zeno_event_cap
+
         report = acceptor.decide(word, horizon=horizon)
+        if zeno_event_cap(word) is not None:
+            report = resolve_zeno(report, acceptor, word)
         report.strategy = self.name
         report.evidence.setdefault("discipline", "absorbing-verdict")
         return report

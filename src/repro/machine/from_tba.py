@@ -87,4 +87,9 @@ def tba_to_algorithm(
                 if ctx.output.can_write():
                     ctx.emit_f()
 
-    return RealTimeAlgorithm(program, name="TBA-sim")
+    algo = RealTimeAlgorithm(program, name="TBA-sim")
+    # Keep the source automaton on the machine: judges use it to fall
+    # back on exact region mathematics where the operational discipline
+    # cannot decide (frozen-time lassos never reach the time horizon).
+    algo.source_tba = tba
+    return algo

@@ -24,7 +24,7 @@ from ..kernel.events import Event, SimulationError
 from ..kernel.simulator import Simulator
 from ..obs import hooks as _obs
 from ..words.timedword import TimedWord
-from .tape import InputTape, OutputTape
+from .tape import DEFAULT_FEEDER_CAP, InputTape, OutputTape, zeno_event_cap
 
 __all__ = [
     "ACCEPT_SYMBOL",
@@ -164,6 +164,12 @@ class RealTimeAlgorithm:
       by f-rate instead (e.g. periodic-query acceptors).
     """
 
+    #: The TBA this machine simulates, when it was produced by
+    #: :func:`repro.machine.from_tba.tba_to_algorithm` — lets judges
+    #: fall back on exact region mathematics where the operational
+    #: discipline cannot decide (frozen-time lassos).
+    source_tba: Optional[Any] = None
+
     def __init__(self, program: Program, name: str = "A", space_limit: Optional[int] = None):
         self.program = program
         self.name = name
@@ -171,7 +177,13 @@ class RealTimeAlgorithm:
 
     def _build(self, word: TimedWord) -> Context:
         sim = Simulator()
-        tape = InputTape(sim, word)
+        # Frozen-time lassos never outrun the time horizon; cap their
+        # feed so the judge stays O(decision point) instead of grinding
+        # to the feeder's default cap (see tape.zeno_event_cap).
+        cap = zeno_event_cap(word)
+        tape = InputTape(
+            sim, word, horizon=DEFAULT_FEEDER_CAP if cap is None else cap
+        )
         out = OutputTape(sim)
         storage = WorkingStorage(limit=self.space_limit)
         ctx = Context(sim, tape, out, storage)

@@ -18,7 +18,45 @@ from ..kernel.events import Event, Priority, SimulationError
 from ..kernel.simulator import Simulator
 from ..words.timedword import Pair, TimedWord
 
-__all__ = ["InputTape", "OutputTape", "TapeProtocolError"]
+__all__ = [
+    "InputTape",
+    "OutputTape",
+    "TapeProtocolError",
+    "DEFAULT_FEEDER_CAP",
+    "ZENO_UNROLL",
+    "zeno_event_cap",
+]
+
+#: Default event cap of the feeder process (infinite words are fed at
+#: most this many events; simulations run to finite time anyway).
+DEFAULT_FEEDER_CAP = 1_000_000
+
+#: Loop unrollings a judge delivers from a frozen-time lasso before
+#: cutting the feed off (see :func:`zeno_event_cap`).
+ZENO_UNROLL = 64
+
+
+def zeno_event_cap(word: Any) -> Optional[int]:
+    """Event cap for words whose time stalls forever (shift-0 lassos).
+
+    A lasso word with ``shift == 0`` repeats its loop at one frozen
+    timestamp, so a time-bounded judge never outruns it: without a cap
+    the feeder grinds to :data:`DEFAULT_FEEDER_CAP` events (seconds of
+    work) before giving up.  Delivering the prefix plus
+    :data:`ZENO_UNROLL` loop unrollings gives any absorbing verdict the
+    same chance to fire — the tracked configuration set cycles at the
+    frozen instant long before that — at a bounded cost.  Returns
+    ``None`` for every other shape: finite words and functional words
+    also carry the dataclass default ``shift == 0``, but only a lasso
+    (non-empty ``loop``, no ``fn``) can freeze time forever.
+    """
+    if (
+        getattr(word, "shift", None) == 0
+        and getattr(word, "fn", None) is None
+        and getattr(word, "loop", ())
+    ):
+        return len(getattr(word, "prefix", ())) + ZENO_UNROLL * len(word.loop)
+    return None
 
 
 class TapeProtocolError(SimulationError):
@@ -49,7 +87,10 @@ class InputTape:
     """
 
     def __init__(
-        self, sim: Simulator, word: Optional[TimedWord], horizon: int = 1_000_000
+        self,
+        sim: Simulator,
+        word: Optional[TimedWord],
+        horizon: int = DEFAULT_FEEDER_CAP,
     ):
         self.sim = sim
         self.word = word

@@ -20,14 +20,17 @@ from typing import Any
 
 from ..automata.timed import TimedBuchiAutomaton
 from ..engine.batch import compiled_tba
-from ..engine.strategies import STRATEGIES, DecisionStrategy
+from ..engine.strategies import STRATEGIES, DecisionStrategy, resolve_zeno
 from ..engine.verdict import DecisionReport
+from ..machine.tape import zeno_event_cap
 from .monitor import Monitor
 
 __all__ = ["OnlineIncremental", "MAX_EVENTS"]
 
 #: Event cap per judgement, matching the batch input tape's feeder
-#: horizon (guards shift-0 lassos that never outrun the time horizon).
+#: horizon.  Frozen-time lassos are cut off much earlier — at the same
+#: :func:`~repro.machine.tape.zeno_event_cap` the batch tape uses — and
+#: resolved exactly by :func:`~repro.engine.strategies.resolve_zeno`.
 MAX_EVENTS = 1_000_000
 
 
@@ -42,8 +45,10 @@ class OnlineIncremental(DecisionStrategy):
             # so the stream and batch engines judge one shared program.
             acceptor = compiled_tba(acceptor, allow_nondeterministic=True)
         monitor = Monitor(acceptor)
+        cap = zeno_event_cap(word)
+        limit = MAX_EVENTS if cap is None else min(cap, MAX_EVENTS)
         i = 0
-        while i < MAX_EVENTS:
+        while i < limit:
             try:
                 symbol, t = word[i]
             except IndexError:
@@ -55,6 +60,8 @@ class OnlineIncremental(DecisionStrategy):
                 break
             i += 1
         report = monitor.finish(horizon)
+        if cap is not None:
+            report = resolve_zeno(report, acceptor, word)
         report.strategy = self.name
         report.evidence.setdefault("discipline", "online-incremental")
         report.evidence["events_ingested"] = monitor.events_ingested

@@ -1,0 +1,198 @@
+"""Tests for repro.spec.conformance — the differential fuzzing harness.
+
+The seeded corpus tests pin the "all decision paths agree" property at
+a fixed budget; the regression tests below them are minimized
+counterexamples the harness surfaced, committed alongside their fixes.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.spec import eventually, loop, rt_bound, seq, to_tba
+from repro.spec.conformance import (
+    PAIRS,
+    check_pair,
+    gen_spec,
+    gen_word,
+    minimize,
+    run,
+)
+from repro.stream import SessionMux, checkpoint_mux, restore_mux
+from repro.words import TimedWord
+
+try:
+    from hypothesis import HealthCheck, given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - baked into the image
+    HAVE_HYPOTHESIS = False
+
+
+# ------------------------------------------------------ seeded corpus
+
+
+def test_seeded_corpus_agrees():
+    stats = run(seed=0, cases=40)
+    assert stats.disagreements == []
+    assert set(stats.checks) == set(PAIRS)
+
+
+def test_seeded_corpus_deep_grammar_agrees():
+    stats = run(seed=7, cases=15, depth=3)
+    assert stats.disagreements == []
+
+
+def test_unknown_pair_rejected():
+    with pytest.raises(ValueError):
+        run(cases=1, pairs=("nope",))
+
+
+def test_minimize_rejects_agreeing_case():
+    spec = loop(rt_bound("a", 0, 2))
+    word = TimedWord.lasso([], [("a", 0)], shift=2)
+    # minimize() is only meaningful on a disagreeing case; feeding it a
+    # passing one is a harness bug and fails fast.
+    with pytest.raises(AssertionError):
+        minimize("semantics", spec, ("a",), word)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_random_cases_agree(seed):
+        rng = random.Random(seed)
+        actions = ["a", "b"][: rng.randrange(1, 3)]
+        alphabet = ("a", "b", "c")[: len(actions) + rng.randrange(2)]
+        spec = gen_spec(rng, actions)
+        word = gen_word(rng, spec, alphabet)
+        for pair in PAIRS:
+            if pair == "shards":
+                continue  # pool spin-up per example is too heavy here
+            assert check_pair(pair, spec, alphabet, word) is None, pair
+
+
+# ------------------------------------------- whole-mux JSON round-trip
+
+
+def test_mux_json_round_trip_mid_fuzz_matches_uninterrupted():
+    spec = loop(seq(rt_bound("a", 0, 3), rt_bound("b", 0, 2)))
+    tba = to_tba(spec, ("a", "b", "c"))
+    rng = random.Random(11)
+    events = [
+        (f"s{rng.randrange(4)}", rng.choice("abc"), t)
+        for t in range(0, 60)
+        for _ in range(rng.randrange(3))
+    ]
+    cut = len(events) // 2
+
+    plain = SessionMux(tba, lateness=2)
+    for name, sym, t in events:
+        plain.ingest(name, sym, t)
+    baseline = plain.verdicts()
+
+    first = SessionMux(tba, lateness=2)
+    for name, sym, t in events[:cut]:
+        first.ingest(name, sym, t)
+    snapshot = json.loads(json.dumps(checkpoint_mux(first)))
+    second = restore_mux(snapshot, SessionMux(tba, lateness=2), tba=tba)
+    for name, sym, t in events[cut:]:
+        second.ingest(name, sym, t)
+    assert second.verdicts() == baseline
+    assert second.sessions_opened == plain.sessions_opened
+
+    # Cross-path restore: interpreted snapshot resumed on the compiled
+    # stepper (and vice versa) must continue identically too.
+    for src, dst in ((False, None), (None, False)):
+        one = SessionMux(tba, lateness=2, compiled=src)
+        for name, sym, t in events[:cut]:
+            one.ingest(name, sym, t)
+        snap = json.loads(json.dumps(checkpoint_mux(one)))
+        other = restore_mux(
+            snap, SessionMux(tba, lateness=2, compiled=dst), tba=tba, compiled=dst
+        )
+        for name, sym, t in events[cut:]:
+            other.ingest(name, sym, t)
+        assert other.verdicts() == baseline
+
+
+# ------------------------------------------------ pinned counterexamples
+#
+# Minimized by the harness, committed with the fix that makes them pass.
+# Before the zeno fix (machine.tape.zeno_event_cap +
+# engine.strategies.resolve_zeno), this frozen-time lasso made both
+# machine strategies grind to the tape's 1M-event feeder cap (~15s) and
+# return UNDECIDED, while exact region mathematics decides ACCEPT — a
+# violation of the lasso-exact contract ("exact on lasso words,
+# O(decision point) regardless of horizon").
+
+
+def test_conformance_strategy_regression():
+    # minimized by repro.spec.conformance
+    spec = loop(seq(rt_bound('a', 0, 2)))
+    word = TimedWord.lasso(
+        [],
+        [('a', 0)],
+        shift=0,
+    )
+    assert check_pair('strategy', spec, ('a', 'b'), word) is None
+
+
+def test_conformance_strategy_regression_rejecting_zeno():
+    # companion case: a frozen-time lasso the language rejects
+    spec = loop(seq(rt_bound('a', 0, 2)))
+    word = TimedWord.lasso(
+        [('a', 0)],
+        [('b', 0)],
+        shift=0,
+    )
+    assert check_pair('strategy', spec, ('a', 'b'), word) is None
+
+
+def test_conformance_shards_cover_zeno_words():
+    spec = loop(seq(rt_bound('a', 0, 2)))
+    words = [
+        TimedWord.lasso([], [('a', 0)], shift=0),
+        TimedWord.lasso([], [('a', 0)], shift=2),
+    ]
+    from repro.spec.conformance import _check_shards
+
+    assert _check_shards(spec, ('a', 'b'), words) is None
+
+
+def test_zeno_cap_only_fires_on_frozen_lassos():
+    # Finite and functional words carry the dataclass default shift=0
+    # too; capping them starved infinite functional words (e.g. the rtdb
+    # periodic-query feed) at ZENO_UNROLL events and zeroed their
+    # f-counts.  Only a genuine lasso can freeze time forever.
+    from repro.machine.tape import ZENO_UNROLL, zeno_event_cap
+
+    assert zeno_event_cap(TimedWord.finite([("a", 0), ("b", 1)])) is None
+    assert zeno_event_cap(TimedWord.functional(lambda i: ("a", i))) is None
+    assert zeno_event_cap(TimedWord.lasso([], [("a", 0)], shift=1)) is None
+    assert (
+        zeno_event_cap(TimedWord.lasso([("b", 0)], [("a", 1)], shift=0))
+        == 1 + ZENO_UNROLL
+    )
+
+
+def test_functional_words_outrun_the_zeno_cap():
+    # End-to-end shape of the rtdb regression: a functional word with
+    # advancing time must be fed past ZENO_UNROLL events.
+    from repro.machine import RealTimeAlgorithm
+    from repro.machine.tape import ZENO_UNROLL
+
+    def program(ctx):
+        while True:
+            yield ctx.input.read()
+            ctx.emit_f()
+
+    word = TimedWord.functional(lambda i: ("tick", i))
+    report = RealTimeAlgorithm(program).count_f(word, horizon=200)
+    assert report.f_count > ZENO_UNROLL
