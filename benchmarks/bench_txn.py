@@ -1,0 +1,165 @@
+"""Commit-protocol throughput under faults, monitored and judged.
+
+The ISSUE-9 workload bench: timed 2PC/3PC transactions from
+:mod:`repro.txn` pushed through the verification stack, measuring
+
+* **crash-rate sweep** — transactions/sec for 2PC and 3PC at
+  increasing crash rates, with the online :class:`SessionMux`
+  monitors *detached* (pure simulation) and *attached* (every
+  decision channel streamed through the compiled-TBA monitors) — the
+  monitoring overhead on a realistic heavy-traffic workload;
+* **offline backends** — the same recorded corpus judged through
+  ``decide_many`` on the serial and shards backends (words/sec,
+  verdicts pinned identical);
+* **three-path cross-check** — offline-exact vs online vs batched on
+  both backends over a faulted corpus, mismatches pinned to zero.
+
+Rows land in the ``--bench-json`` capture (``BENCH_txn.json``; the
+`txn-smoke` CI job asserts the sweep rows exist).  Set
+``REPRO_BENCH_QUICK=1`` for CI-sized parameters.  The documented
+transactions/sec figure is the ``txns_per_sec`` field of the
+crash-rate sweep rows (see docs/performance.md).
+"""
+
+import time
+
+from conftest import quick_sized
+
+from repro.txn import (
+    TxnConfig,
+    atomicity_ok,
+    corpus,
+    corpus_stats,
+    corpus_verdicts,
+    cross_check,
+    offline_batched,
+    offline_exact,
+    online_verdicts,
+)
+
+N_TXNS = quick_sized(200, 15)
+N_CHECK = quick_sized(60, 10)
+CRASH_RATES = quick_sized((0.0, 0.2, 0.4), (0.0, 0.4))
+PROTOCOLS = ("2pc", "3pc")
+
+
+def cfg_at(crash_rate: float) -> TxnConfig:
+    return TxnConfig(
+        n_participants=3,
+        d_lo=1,
+        d_hi=2,
+        abort_vote_rate=0.05,
+        participant_crash_rate=crash_rate / 2,
+        coordinator_crash_rate=crash_rate,
+    )
+
+
+def _warm_monitors() -> None:
+    """Build the property automata/analyses once, outside the timers
+    (an lru-cached one-time cost shared by every cell of the sweep)."""
+    for proto in PROTOCOLS:
+        online_verdicts(corpus(proto, cfg_at(0.0), 1))
+
+
+def test_txn_crash_rate_sweep(once, report, bench_record):
+    """2PC vs 3PC × crash rate × monitors detached/attached."""
+
+    def sweep():
+        _warm_monitors()
+        rows = []
+        for proto in PROTOCOLS:
+            for rate in CRASH_RATES:
+                cfg = cfg_at(rate)
+                t0 = time.perf_counter()
+                runs = corpus(proto, cfg, N_TXNS, base_seed=int(rate * 1000))
+                detached_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                verdicts, stream_stats = online_verdicts(runs)
+                attached_s = detached_s + (time.perf_counter() - t0)
+                stats = corpus_stats(runs)
+                judged = corpus_verdicts(runs, verdicts)
+                rows.append(
+                    {
+                        "protocol": proto,
+                        "crash_rate": rate,
+                        "runs": N_TXNS,
+                        "txns_per_sec": round(N_TXNS / detached_s, 1),
+                        "monitored_txns_per_sec": round(N_TXNS / attached_s, 1),
+                        "monitor_sessions": stream_stats["sessions"],
+                        "crashes": stats["crashes"],
+                        "outcomes": stats["outcomes"],
+                        "atomic": judged["atomic"],
+                        "all_decided": judged["all_decided"],
+                    }
+                )
+                # Atomicity must survive every cell of the sweep
+                # (crash-only faults; loss is exercised elsewhere).
+                assert judged["atomic"] == N_TXNS
+        return rows
+
+    for row in once(sweep):
+        report.add(**row)
+        bench_record(mode="crash-sweep", **row)
+
+
+def test_txn_offline_backends(once, report, bench_record):
+    """The recorded corpus judged by ``decide_many``: serial vs shards."""
+
+    def judge():
+        runs = []
+        for proto in PROTOCOLS:
+            runs += corpus(proto, cfg_at(0.2), N_TXNS // 2, base_seed=77)
+        rows = []
+        verdicts = {}
+        for backend in ("serial", "shards"):
+            t0 = time.perf_counter()
+            verdicts[backend] = offline_batched(runs, backend=backend, workers=2)
+            dt = time.perf_counter() - t0
+            rows.append(
+                {
+                    "backend": backend,
+                    "words": len(verdicts[backend]),
+                    "words_per_sec": round(len(verdicts[backend]) / dt, 1),
+                }
+            )
+        assert verdicts["serial"] == verdicts["shards"]
+        return rows
+
+    for row in once(judge):
+        report.add(**row)
+        bench_record(mode="offline-backends", **row)
+
+
+def test_txn_three_path_cross_check(once, report, bench_record):
+    """Offline-exact, online, serial and shards batched: one story."""
+
+    def check():
+        cfg = TxnConfig(
+            n_participants=2,
+            d_lo=1,
+            d_hi=2,
+            abort_vote_rate=0.1,
+            participant_crash_rate=0.2,
+            coordinator_crash_rate=0.3,
+            loss_rate=0.05,
+        )
+        runs = corpus("2pc", cfg, N_CHECK) + corpus("3pc", cfg, N_CHECK, base_seed=500)
+        t0 = time.perf_counter()
+        result = cross_check(runs, backends=("serial", "shards"))
+        dt = time.perf_counter() - t0
+        assert result.ok, result.mismatches[:5]
+        exact = offline_exact(runs)
+        agreed = corpus_verdicts(runs, exact)
+        return {
+            "runs": result.runs,
+            "checks": result.checks,
+            "mismatches": len(result.mismatches),
+            "checks_per_sec": round(result.checks / dt, 1),
+            "atomic": agreed["atomic"],
+            "atomic_oracle": sum(1 for r in runs if atomicity_ok(r)),
+        }
+
+    row = once(check)
+    assert row["atomic"] == row["atomic_oracle"]
+    report.add(**row)
+    bench_record(mode="cross-check", **row)

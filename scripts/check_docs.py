@@ -35,6 +35,7 @@ REQUIRED_DOCS = [
     "docs/paper_map.md",
     "docs/performance.md",
     "docs/spec.md",
+    "docs/txn.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

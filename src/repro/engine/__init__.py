@@ -46,8 +46,10 @@ from .faults import (
     CrashingAcceptor,
     DelayingAcceptor,
     FailingAcceptor,
+    FaultSchedule,
     FileFuse,
     InjectedFault,
+    MessageFaults,
 )
 from .resilience import (
     BatchOutcome,
@@ -92,4 +94,6 @@ __all__ = [
     "FailingAcceptor",
     "DelayingAcceptor",
     "InjectedFault",
+    "FaultSchedule",
+    "MessageFaults",
 ]

@@ -27,15 +27,26 @@ By default the crash/fail wrappers only fire in *forked children*
 (``in_children_only=True``): the parent pid is recorded at
 construction, so a serial run — or the resilience layer's parent-side
 serial fallback — judges through them unharmed.
+
+A second family serves simulated *distributed* workloads rather than
+the judge protocol: :class:`FaultSchedule` is a stateless seeded
+randomness source (every draw is a pure function of the seed and a
+caller-chosen key, so replaying a run replays its faults), and
+:class:`MessageFaults` applies per-message loss and extra delay from
+such a schedule.  Unlike the wrappers above these are usable *outside*
+fork children — the commit-protocol simulator (:mod:`repro.txn`) runs
+them in the parent process — while still honouring the
+``in_children_only`` contract when asked for it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import signal
 import tempfile
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from .strategies import DEFAULT_HORIZON
 from .verdict import DecisionReport
@@ -46,6 +57,8 @@ __all__ = [
     "FailingAcceptor",
     "DelayingAcceptor",
     "InjectedFault",
+    "FaultSchedule",
+    "MessageFaults",
 ]
 
 
@@ -201,3 +214,116 @@ class DelayingAcceptor(_Wrapper):
         if self.match is not None and not self.match(word):
             return
         time.sleep(self.delay_s)
+
+
+class FaultSchedule:
+    """Deterministic per-seed randomness keyed by caller-chosen tuples.
+
+    Every draw is ``blake2b(repr((seed,) + key))`` mapped to [0, 1):
+    stateless, so the same ``(seed, key)`` always answers the same way
+    regardless of draw order, process, or fork topology.  That is the
+    property the fork-pool fuses buy with a shared file — here it comes
+    for free, which is what makes the schedule usable in the parent
+    process and in children alike.
+
+    Keys should name the decision being made (``("loss", src, dst,
+    kind, attempt)``), not a sequence number: order-free keys keep a
+    simulation's faults stable under refactors that reorder draws.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def _u(self, *key: Any) -> float:
+        payload = repr((self.seed,) + key).encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def chance(self, p: float, *key: Any) -> bool:
+        """True with probability ``p`` (deterministic in seed + key)."""
+        if p <= 0.0:
+            return False
+        return self._u("chance", *key) < p
+
+    def pick(self, lo: int, hi: int, *key: Any) -> int:
+        """An integer in [lo, hi] (inclusive), deterministic in seed + key."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        return lo + int(self._u("pick", *key) * (hi - lo + 1))
+
+
+class MessageFaults:
+    """Per-message loss and extra-delay injection from a seeded schedule.
+
+    The network-fault counterpart of the acceptor wrappers: a simulated
+    sender asks :meth:`apply` what happens to one message, identified
+    by ``(src, dst, kind, attempt)``, and gets back its final delivery
+    delay — or ``None`` if the message is lost.  Decisions come from a
+    :class:`FaultSchedule`, so a run's fault pattern is a pure function
+    of the seed and survives replay, re-ordering, and forks.
+
+    ``in_children_only`` defaults to **False** — simulators drive this
+    from the parent process — but the contract is the same as the
+    wrappers': when True, calls from the constructing pid report every
+    message as delivered with its base delay.  ``match`` restricts
+    faults to selected messages (e.g. only decision broadcasts).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        loss_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        extra_delay: Tuple[int, int] = (1, 4),
+        match: Optional[Callable[[Any, Any, Any], bool]] = None,
+        in_children_only: bool = False,
+    ):
+        if not (0.0 <= loss_rate <= 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if not (0.0 <= delay_rate <= 1.0):
+            raise ValueError(f"delay_rate must be in [0, 1], got {delay_rate}")
+        lo, hi = extra_delay
+        if lo < 0 or hi < lo:
+            raise ValueError(f"extra_delay must satisfy 0 <= lo <= hi, got {extra_delay}")
+        self.schedule = FaultSchedule(seed)
+        self.loss_rate = loss_rate
+        self.delay_rate = delay_rate
+        self.extra_delay = (lo, hi)
+        self.match = match
+        self._parent_pid = os.getpid() if in_children_only else None
+        self.lost = 0
+        self.delayed = 0
+
+    def _protected(self) -> bool:
+        return self._parent_pid is not None and os.getpid() == self._parent_pid
+
+    def _matches(self, src: Any, dst: Any, kind: Any) -> bool:
+        return self.match is None or self.match(src, dst, kind)
+
+    def dropped(self, src: Any, dst: Any, kind: Any, attempt: int = 0) -> bool:
+        """Is this message lost?  (Does not count toward ``lost``.)"""
+        if self._protected() or not self._matches(src, dst, kind):
+            return False
+        return self.schedule.chance(self.loss_rate, "loss", src, dst, kind, attempt)
+
+    def extra(self, src: Any, dst: Any, kind: Any, attempt: int = 0) -> int:
+        """Extra delay chronons added to this message (0 when unaffected)."""
+        if self._protected() or not self._matches(src, dst, kind):
+            return 0
+        if not self.schedule.chance(self.delay_rate, "delay", src, dst, kind, attempt):
+            return 0
+        lo, hi = self.extra_delay
+        return self.schedule.pick(lo, hi, "delay-amount", src, dst, kind, attempt)
+
+    def apply(
+        self, src: Any, dst: Any, kind: Any, base_delay: int, attempt: int = 0
+    ) -> Optional[int]:
+        """Final delivery delay for one message, or None if it is lost."""
+        if self.dropped(src, dst, kind, attempt):
+            self.lost += 1
+            return None
+        extra = self.extra(src, dst, kind, attempt)
+        if extra:
+            self.delayed += 1
+        return base_delay + extra

@@ -37,9 +37,21 @@ shrinking the word (drop events, tighten times) and then the spec
 and emits a ready-to-paste regression test via
 :func:`regression_source`.
 
+Two generator modes share the oracle pairs and the minimizer.  The
+default fuzzes combinator *specs*; ``gen="tba"`` (CLI ``--gen tba``)
+fuzzes **raw random automata** from :func:`gen_tba` instead — states,
+guarded/resetting transitions, and accepting sets drawn directly, so
+the sweep covers TBA shapes the spec compiler never emits
+(nondeterministic branching that is not an ``alt`` of chains,
+multi-clock guards, unreachable or dead states).  The ``semantics``
+pair then reads ground truth from region-exact ``accepts_lasso``
+rather than the combinator denotation, and shrinking drops
+transitions/guards/resets/accepting states instead of spec phases.
+
 CLI::
 
     python -m repro.spec.conformance --seed 0 --cases 200
+    python -m repro.spec.conformance --gen tba --cases 100
 
 exits non-zero iff any pair disagreed.
 """
@@ -53,9 +65,12 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..automata.timed import TimedBuchiAutomaton, TimedTransition
 from ..engine.batch import compiled_tba, decide_many
 from ..engine.strategies import decide
 from ..engine.verdict import Verdict
+from ..kernel.clock import And, Ge, Le, Not, TrueConstraint
+from ..machine.from_tba import _is_deterministic
 from ..words.timedword import TimedWord
 from .combinators import (
     Spec,
@@ -75,15 +90,25 @@ from .semantics import holds
 
 __all__ = [
     "PAIRS",
+    "GENS",
+    "Case",
     "Disagreement",
     "gen_spec",
+    "gen_tba",
     "gen_word",
+    "case_source",
     "check_pair",
     "minimize",
     "regression_source",
     "run",
     "main",
 ]
+
+#: What an oracle pair judges: a combinator spec or a raw automaton.
+Case = Any  # Spec | TimedBuchiAutomaton
+
+#: The case generator modes ``run(gen=...)`` accepts.
+GENS: Tuple[str, ...] = ("spec", "tba")
 
 #: The differential oracle pairs, in the order the CLI reports them.
 PAIRS: Tuple[str, ...] = (
@@ -103,7 +128,7 @@ class Disagreement:
     """One oracle-pair violation, already minimized."""
 
     pair: str
-    spec: Spec
+    spec: Case
     alphabet: Tuple[Any, ...]
     word: TimedWord
     detail: str
@@ -111,7 +136,7 @@ class Disagreement:
     def describe(self) -> str:
         return (
             f"[{self.pair}] {self.detail}\n"
-            f"  spec:  {to_source(self.spec)}\n"
+            f"  spec:  {case_source(self.spec)}\n"
             f"  word:  lasso(prefix={list(self.word.prefix)!r}, "
             f"loop={list(self.word.loop)!r}, shift={self.word.shift})\n"
             f"  alpha: {self.alphabet!r}\n"
@@ -145,17 +170,84 @@ def gen_spec(rng: random.Random, actions: Sequence[Any], depth: int = 2) -> Spec
     return go(depth)
 
 
+def _case_tba(case: Case, alphabet: Tuple[Any, ...]) -> TimedBuchiAutomaton:
+    """The automaton a case denotes (raw, or compiled from the spec)."""
+    if isinstance(case, TimedBuchiAutomaton):
+        return case
+    return to_tba(case, alphabet)
+
+
+def _case_deterministic(case: Case) -> bool:
+    if isinstance(case, TimedBuchiAutomaton):
+        return _is_deterministic(case)
+    return is_deterministic_spec(case)
+
+
+def gen_tba(
+    rng: random.Random, alphabet: Sequence[Any], max_states: int = 4
+) -> TimedBuchiAutomaton:
+    """A random raw TBA over ``alphabet`` — shapes the compiler never
+    emits: arbitrary branching (including nondeterministic same-symbol
+    edges), multi-clock guards, self-loops, dead and unreachable
+    states, possibly-empty languages."""
+    n = rng.randrange(2, max_states + 1)
+    states = list(range(n))
+    clocks = ("x",) if rng.random() < 0.6 else ("x", "y")
+
+    def guard():
+        c = rng.choice(clocks)
+        k = rng.randrange(5)
+        r = rng.random()
+        if r < 0.30:
+            return TrueConstraint()
+        if r < 0.55:
+            return Le(c, k)
+        if r < 0.80:
+            return Ge(c, k)
+        if r < 0.90:
+            return And(Ge(c, k), Le(c, k + rng.randrange(3)))
+        return Not(Le(c, k))
+
+    def resets():
+        return tuple(c for c in clocks if rng.random() < 0.3)
+
+    transitions = []
+    for s in states:
+        for a in alphabet:
+            # 0, 1, or (nondeterministically) 2 edges per (state, symbol).
+            edges = rng.choice((0, 1, 1, 1, 2))
+            for _ in range(edges):
+                transitions.append(
+                    TimedTransition.make(
+                        s, rng.randrange(n), a, resets=resets(), guard=guard()
+                    )
+                )
+    accepting = [s for s in states if rng.random() < 0.5] or [n - 1]
+    return TimedBuchiAutomaton(
+        alphabet=tuple(alphabet),
+        states=states,
+        initial=0,
+        transitions=transitions,
+        clocks=clocks,
+        accepting=accepting,
+    )
+
+
 def gen_word(
-    rng: random.Random, spec: Spec, alphabet: Sequence[Any]
+    rng: random.Random, spec: Case, alphabet: Sequence[Any]
 ) -> TimedWord:
-    """A random monotone lasso word, biased toward the spec's actions.
+    """A random monotone lasso word, biased toward the case's actions.
 
     Covers the edge geometries the stream layer special-cases: shift-0
     lassos (time never advances past the loop), zero gaps, and gaps
     just past every spec bound.
     """
-    bias = sorted(actions_of(spec), key=repr)
-    cap = max_bound(spec) + 2
+    if isinstance(spec, TimedBuchiAutomaton):
+        bias = sorted({tr.symbol for tr in spec.transitions}, key=repr)
+        cap = spec._cmax + 2
+    else:
+        bias = sorted(actions_of(spec), key=repr)
+        cap = max_bound(spec) + 2
 
     def sym() -> Any:
         if bias and rng.random() < 0.7:
@@ -201,13 +293,23 @@ def _horizon(word: TimedWord) -> int:
 # -- the oracle pairs --------------------------------------------------
 
 def _check_semantics(
-    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+    spec: Case, alphabet: Tuple[Any, ...], word: TimedWord
 ) -> Optional[str]:
-    direct = holds(spec, word, alphabet)
-    report = decide(spec_acceptor(spec, alphabet), word, strategy="lasso-exact")
-    engine = report.verdict is Verdict.ACCEPT
-    if direct != engine:
-        return f"holds()={direct} but engine lasso-exact says {report.verdict}"
+    if isinstance(spec, TimedBuchiAutomaton):
+        # Raw automata have no combinator denotation; ground truth is
+        # region-exact ``accepts_lasso`` itself, and the differential
+        # content is the stream layer's absorbing claims below.
+        direct = spec.accepts_lasso(word)
+    else:
+        direct = holds(spec, word, alphabet)
+        report = decide(
+            spec_acceptor(spec, alphabet), word, strategy="lasso-exact"
+        )
+        engine = report.verdict is Verdict.ACCEPT
+        if direct != engine:
+            return (
+                f"holds()={direct} but engine lasso-exact says {report.verdict}"
+            )
     # The stream layer's *absorbing* verdicts are claims about every
     # continuation, so on this word they must agree with the
     # denotational truth: REJECTED ⇒ no accepting run through the
@@ -216,15 +318,15 @@ def _check_semantics(
     # interpreted differential shares and therefore cannot see.)
     from ..stream.monitor import StreamVerdict, TBAMonitor
 
-    monitor = TBAMonitor(to_tba(spec, alphabet), compiled=False)
+    monitor = TBAMonitor(_case_tba(spec, alphabet), compiled=False)
     for s, t in _events(word, _replay_len(word)):
         monitor.ingest(s, t)
         if monitor.absorbed:
             break
     if monitor.verdict is StreamVerdict.REJECTED and direct:
-        return "holds()=True but the stream monitor absorbed into REJECTED"
+        return "the word is accepted but the stream monitor absorbed into REJECTED"
     if monitor._green_locked and not direct:
-        return "holds()=False but the stream monitor green-locked ACCEPTING"
+        return "the word is rejected but the stream monitor green-locked ACCEPTING"
     return None
 
 
@@ -266,11 +368,11 @@ def _final(monitor) -> Tuple[str, int, int, int]:
 
 
 def _check_monitor(
-    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+    spec: Case, alphabet: Tuple[Any, ...], word: TimedWord
 ) -> Optional[str]:
     from ..stream.monitor import TBAMonitor
 
-    tba = to_tba(spec, alphabet)
+    tba = _case_tba(spec, alphabet)
     if not TBAMonitor(tba).compiled:
         return None  # compiled path unavailable here: nothing to compare
     events = _events(word, _replay_len(word))
@@ -352,9 +454,9 @@ def _check_monitor(
 
 
 def _check_strategy(
-    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+    spec: Case, alphabet: Tuple[Any, ...], word: TimedWord
 ) -> Optional[str]:
-    tba = to_tba(spec, alphabet)
+    tba = _case_tba(spec, alphabet)
     machine = compiled_tba(tba, allow_nondeterministic=True)
     horizon = _horizon(word)
     online = decide(machine, word, strategy="online-incremental", horizon=horizon)
@@ -383,13 +485,13 @@ def _check_strategy(
 
 
 def _check_shards(
-    spec: Spec,
+    spec: Case,
     alphabet: Tuple[Any, ...],
     words: Sequence[TimedWord],
 ) -> Optional[str]:
-    if not is_deterministic_spec(spec):
+    if not _case_deterministic(spec):
         return None  # raw nondeterministic TBAs are a batch-local path
-    tba = to_tba(spec, alphabet)
+    tba = _case_tba(spec, alphabet)
     # A word-scaled horizon keeps each machine run to a few dozen
     # events (the default 10k-event horizon would dominate the sweep).
     horizon = max(_horizon(w) for w in words)
@@ -405,13 +507,13 @@ def _check_shards(
 
 
 def _check_checkpoint(
-    spec: Spec, alphabet: Tuple[Any, ...], word: TimedWord
+    spec: Case, alphabet: Tuple[Any, ...], word: TimedWord
 ) -> Optional[str]:
     from ..stream.checkpoint import checkpoint as save_snapshot
     from ..stream.checkpoint import restore as restore_snapshot
     from ..stream.monitor import TBAMonitor
 
-    tba = to_tba(spec, alphabet)
+    tba = _case_tba(spec, alphabet)
     events = _events(word, _replay_len(word))
     cut = len(events) // 2
     baseline = TBAMonitor(tba, compiled=False)
@@ -466,14 +568,17 @@ def _check_checkpoint(
 
 def check_pair(
     pair: str,
-    spec: Spec,
+    spec: Case,
     alphabet: Sequence[Any],
     word: TimedWord,
 ) -> Optional[str]:
     """Run one oracle pair on one case; ``None`` means agreement.
 
-    This is the entry point minimized counterexamples pin in their
-    emitted regression tests.
+    ``spec`` is either a combinator :class:`Spec` or a raw
+    :class:`TimedBuchiAutomaton` (the ``gen="tba"`` mode); every pair
+    handles both, reading ground truth from ``accepts_lasso`` when
+    there is no combinator denotation.  This is the entry point
+    minimized counterexamples pin in their emitted regression tests.
     """
     alpha = tuple(alphabet)
     if pair == "semantics":
@@ -544,20 +649,57 @@ def _spec_shrinks(spec: Spec) -> Iterator[Spec]:
                 yield rebuild(Seq(phases[:i] + (sp,) + phases[i + 1 :]))
 
 
+def _tba_shrinks(tba: TimedBuchiAutomaton) -> Iterator[TimedBuchiAutomaton]:
+    """Smaller raw automata: drop a transition, erase a guard, clear a
+    reset set, drop an accepting state (the structural analogues of the
+    spec shrinks)."""
+
+    def rebuild(transitions, accepting):
+        return TimedBuchiAutomaton(
+            alphabet=tuple(sorted(tba.alphabet, key=repr)),
+            states=tuple(sorted(tba.states, key=repr)),
+            initial=tba.initial,
+            transitions=transitions,
+            clocks=tba.clocks,
+            accepting=accepting,
+        )
+
+    trs = tba.transitions
+    for i in range(len(trs)):
+        yield rebuild(trs[:i] + trs[i + 1 :], tba.accepting)
+    for i, tr in enumerate(trs):
+        if not isinstance(tr.guard, TrueConstraint):
+            eased = TimedTransition.make(
+                tr.source, tr.target, tr.symbol, resets=tr.resets
+            )
+            yield rebuild(trs[:i] + [eased] + trs[i + 1 :], tba.accepting)
+        if tr.resets:
+            bare = TimedTransition(
+                tr.source, tr.target, tr.symbol, frozenset(), tr.guard
+            )
+            yield rebuild(trs[:i] + [bare] + trs[i + 1 :], tba.accepting)
+    if len(tba.accepting) > 1:
+        for s in sorted(tba.accepting, key=repr):
+            yield rebuild(trs, tba.accepting - {s})
+
+
 def minimize(
     pair: str,
-    spec: Spec,
+    spec: Case,
     alphabet: Sequence[Any],
     word: TimedWord,
-) -> Tuple[Spec, TimedWord, str]:
+) -> Tuple[Case, TimedWord, str]:
     """Greedily shrink a disagreeing case while it still disagrees."""
 
-    def fails(s: Spec, w: TimedWord) -> Optional[str]:
+    def fails(s: Case, w: TimedWord) -> Optional[str]:
         try:
             return check_pair(pair, s, alphabet, w)
         except Exception:  # a shrink that crashes is a different case
             return None
 
+    case_shrinks = (
+        _tba_shrinks if isinstance(spec, TimedBuchiAutomaton) else _spec_shrinks
+    )
     detail = fails(spec, word)
     assert detail is not None, "minimize() needs a disagreeing case"
     changed = True
@@ -570,7 +712,7 @@ def minimize(
                 break
         if changed:
             continue
-        for s in _spec_shrinks(spec):
+        for s in case_shrinks(spec):
             d = fails(s, word)
             if d is not None:
                 spec, detail, changed = s, d, True
@@ -578,9 +720,46 @@ def minimize(
     return spec, word, detail
 
 
+def _guard_source(guard: Any) -> str:
+    if isinstance(guard, TrueConstraint):
+        return "TrueConstraint()"
+    if isinstance(guard, Le):
+        return f"Le({guard.clock!r}, {guard.bound!r})"
+    if isinstance(guard, Ge):
+        return f"Ge({guard.clock!r}, {guard.bound!r})"
+    if isinstance(guard, Not):
+        return f"Not({_guard_source(guard.inner)})"
+    if isinstance(guard, And):
+        return f"And({_guard_source(guard.left)}, {_guard_source(guard.right)})"
+    raise ValueError(f"unknown guard {guard!r}")
+
+
+def case_source(case: Case, indent: str = "") -> str:
+    """Reconstructible source for a case (spec combinators, or a
+    ``TimedBuchiAutomaton(...)`` literal for raw automata)."""
+    if not isinstance(case, TimedBuchiAutomaton):
+        return to_source(case)
+    pad = indent + "    "
+    lines = [f"{pad}TimedTransition.make({tr.source!r}, {tr.target!r}, "
+             f"{tr.symbol!r}, resets={tuple(sorted(tr.resets))!r}, "
+             f"guard={_guard_source(tr.guard)}),"
+             for tr in case.transitions]
+    body = "\n".join(lines)
+    return (
+        f"TimedBuchiAutomaton(\n"
+        f"{indent}    alphabet={tuple(sorted(case.alphabet, key=repr))!r},\n"
+        f"{indent}    states={tuple(sorted(case.states, key=repr))!r},\n"
+        f"{indent}    initial={case.initial!r},\n"
+        f"{indent}    transitions=[\n{body}\n{indent}    ],\n"
+        f"{indent}    clocks={case.clocks!r},\n"
+        f"{indent}    accepting={tuple(sorted(case.accepting, key=repr))!r},\n"
+        f"{indent})"
+    )
+
+
 def regression_source(
     pair: str,
-    spec: Spec,
+    spec: Case,
     alphabet: Sequence[Any],
     word: TimedWord,
 ) -> str:
@@ -589,7 +768,7 @@ def regression_source(
     return (
         f"def {name}():\n"
         f"    # minimized by repro.spec.conformance\n"
-        f"    spec = {to_source(spec)}\n"
+        f"    spec = {case_source(spec, indent='    ')}\n"
         f"    word = TimedWord.lasso(\n"
         f"        {list(word.prefix)!r},\n"
         f"        {list(word.loop)!r},\n"
@@ -614,13 +793,21 @@ def run(
     pairs: Sequence[str] = PAIRS,
     words_per_case: int = 3,
     depth: int = 2,
+    gen: str = "spec",
     log: Callable[[str], None] = lambda line: None,
 ) -> SweepStats:
-    """The conformance sweep: ``cases`` random specs, each fuzzed with
-    ``words_per_case`` words against every pair in ``pairs``."""
+    """The conformance sweep: ``cases`` random cases, each fuzzed with
+    ``words_per_case`` words against every pair in ``pairs``.
+
+    ``gen="spec"`` draws combinator specs (:func:`gen_spec`);
+    ``gen="tba"`` draws raw automata (:func:`gen_tba`) through the same
+    oracle pairs and minimizer.
+    """
     for p in pairs:
         if p not in PAIRS:
             raise ValueError(f"unknown pair {p!r}; known: {PAIRS}")
+    if gen not in GENS:
+        raise ValueError(f"unknown gen {gen!r}; known: {GENS}")
     rng = random.Random(seed)
     stats = SweepStats()
     symbols = ["a", "b", "c", "d"]
@@ -630,7 +817,10 @@ def run(
         # Sometimes widen the alphabet past the actions: symbols the
         # spec never mentions still have to be stepped correctly.
         alphabet = tuple(symbols[: len(actions) + rng.randrange(2)]) or ("a",)
-        spec = gen_spec(rng, actions, depth=depth)
+        if gen == "tba":
+            spec: Case = gen_tba(rng, alphabet)
+        else:
+            spec = gen_spec(rng, actions, depth=depth)
         words = [gen_word(rng, spec, alphabet) for _ in range(words_per_case)]
         for pair in pairs:
             if pair == "shards":
@@ -689,6 +879,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=2,
         help="grammar nesting depth for generated specs (default 2)",
     )
+    parser.add_argument(
+        "--gen",
+        choices=GENS,
+        default="spec",
+        help="case generator: combinator specs (default) or raw random TBAs",
+    )
     args = parser.parse_args(argv)
     pairs = tuple(p for p in args.pairs.split(",") if p)
     stats = run(
@@ -697,6 +893,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         pairs=pairs,
         words_per_case=args.words_per_case,
         depth=args.depth,
+        gen=args.gen,
         log=lambda line: print(line, file=sys.stderr),
     )
     for pair in pairs:

@@ -53,7 +53,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..automata.timed import TimedBuchiAutomaton
-from ..engine.verdict import DecisionReport
+from ..engine.verdict import DecisionReport, Verdict
 from ..obs import hooks as _obs
 from .compiled import NUMPY, compiled_for
 from .monitor import Monitor, StreamVerdict, TBAMonitor, analysis_for
@@ -133,6 +133,10 @@ class SessionMux:
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.sessions_evicted = 0
+        #: Per-victim summaries from :meth:`evict_idle` (an evicted
+        #: in-flight session must surface as UNDECIDED with evidence,
+        #: never vanish silently); drain with :meth:`drain_evictions`.
+        self.eviction_reports: List[SessionReport] = []
         self._sessions: Dict[str, _Session] = {}
         #: The shared compiled artifact for batch stepping (None when
         #: the language is not a TBA, compilation is off, or the
@@ -453,7 +457,19 @@ class SessionMux:
         self, now: Optional[int] = None, idle_ttl: Optional[int] = None
     ) -> List[str]:
         """Retire sessions idle for more than ``idle_ttl`` event-time
-        chronons; returns the evicted names."""
+        chronons; returns the evicted names.
+
+        Eviction is not a verdict: a session cut off mid-stream has
+        seen only a prefix of its word, so unless its monitor had
+        already absorbed (REJECTED, or green-locked ACCEPTING — states
+        no further event can change), the summary filed in
+        :attr:`eviction_reports` carries ``Verdict.UNDECIDED`` with the
+        eviction circumstances in ``decision.evidence`` (reason, the
+        monitor's verdict-so-far, buffered-event count, last event
+        time).  Buffered out-of-order events are *not* flushed first —
+        flushing would fabricate observations the watermark never
+        released.
+        """
         ttl = idle_ttl if idle_ttl is not None else self.idle_ttl
         if ttl is None:
             raise ValueError("no idle_ttl configured or passed")
@@ -473,13 +489,51 @@ class SessionMux:
         ]
         h = _obs.HOOKS
         for name in victims:
-            self._sessions.pop(name)
+            session = self._sessions.pop(name)
+            monitor = session.monitor
+            so_far = monitor.verdict
+            final = (
+                so_far.as_verdict()
+                if getattr(monitor, "absorbed", False)
+                else Verdict.UNDECIDED
+            )
+            decision = DecisionReport(
+                verdict=final,
+                f_count=getattr(monitor, "accept_visits", 0),
+                decided_at=session.last_event_time,
+                evidence={
+                    "evicted": "idle",
+                    "stream_verdict": so_far.value,
+                    "pending": monitor.pending,
+                    "last_event_time": session.last_event_time,
+                    "now": now,
+                },
+                strategy="evicted",
+            )
+            self.eviction_reports.append(
+                SessionReport(
+                    name=name,
+                    verdict=so_far,
+                    events_ingested=monitor.events_ingested,
+                    events_released=monitor.events_released,
+                    late_events=monitor.late_events,
+                    drops=session.drops,
+                    verdict_flips=monitor.verdict_flips,
+                    decision=decision,
+                )
+            )
             self.sessions_evicted += 1
             if h is not None:
                 h.count("stream.sessions", op="evicted")
         if victims and h is not None:
             h.gauge("stream.sessions_active", len(self._sessions))
         return victims
+
+    def drain_evictions(self) -> List[SessionReport]:
+        """Hand over (and clear) the accumulated eviction summaries."""
+        out = self.eviction_reports
+        self.eviction_reports = []
+        return out
 
     def stats(self) -> Dict[str, int]:
         """Aggregate counters (the bounded-memory demo's assertions)."""

@@ -1,0 +1,75 @@
+"""repro.txn — timed commit protocols as a verified workload.
+
+The distributed-commit instantiation of the paper's model: 2PC/3PC
+executed as §6 per-process timed words over the kernel
+(:mod:`repro.txn.protocol`), correctness and timeliness expressed as
+timer-bound specs compiled to TBAs (:mod:`repro.txn.properties`), and
+every run judged along three independent paths that must agree —
+region-exact offline, machine-replay ``decide_many`` (serial and
+sharded), and live :class:`~repro.stream.session.SessionMux` monitors
+(:mod:`repro.txn.verify`).  :mod:`repro.txn.workload` packages the
+corpus drivers the benchmark, example, and CI smoke share.
+
+See ``docs/txn.md`` for the protocol model, property table, and
+failure matrix.
+"""
+
+from .properties import (
+    DECISION_ALPHABET,
+    HANDSHAKE_ALPHABET,
+    Property,
+    abort_spec,
+    commit_spec,
+    decision_spec,
+    handshake_spec,
+    properties_for,
+    words_for,
+)
+from .protocol import (
+    PROTOCOLS,
+    TransactionRun,
+    TxnConfig,
+    atomicity_ok,
+    decided_within,
+    run_many,
+    run_transaction,
+)
+from .verify import (
+    CrossCheck,
+    corpus_verdicts,
+    cross_check,
+    offline_batched,
+    offline_exact,
+    online_verdicts,
+    txn_verdicts,
+)
+from .workload import corpus, corpus_stats, run_workload
+
+__all__ = [
+    "PROTOCOLS",
+    "TxnConfig",
+    "TransactionRun",
+    "run_transaction",
+    "run_many",
+    "atomicity_ok",
+    "decided_within",
+    "DECISION_ALPHABET",
+    "HANDSHAKE_ALPHABET",
+    "Property",
+    "commit_spec",
+    "abort_spec",
+    "decision_spec",
+    "handshake_spec",
+    "properties_for",
+    "words_for",
+    "CrossCheck",
+    "offline_exact",
+    "offline_batched",
+    "online_verdicts",
+    "cross_check",
+    "txn_verdicts",
+    "corpus_verdicts",
+    "corpus",
+    "corpus_stats",
+    "run_workload",
+]

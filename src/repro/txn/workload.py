@@ -1,0 +1,75 @@
+"""Corpus drivers shared by the txn benchmark, example, and CI smoke.
+
+Thin composition over :mod:`repro.txn.protocol` and
+:mod:`repro.txn.verify`: generate a seeded corpus for one
+(protocol, config) cell, optionally attach the online monitors and/or
+an offline backend, and summarize — the shape
+``benchmarks/bench_txn.py`` times and ``examples/timed_commit.py``
+narrates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from .protocol import TransactionRun, TxnConfig, run_many
+from .verify import corpus_verdicts, offline_batched, online_verdicts
+
+__all__ = ["corpus", "corpus_stats", "run_workload"]
+
+
+def corpus(
+    protocol: str, cfg: TxnConfig, n: int, base_seed: int = 0
+) -> List[TransactionRun]:
+    """``n`` seeded transactions (seeds ``base_seed .. base_seed+n-1``)."""
+    return run_many(protocol, cfg, list(range(base_seed, base_seed + n)))
+
+
+def corpus_stats(runs: List[TransactionRun]) -> Dict[str, Any]:
+    """Protocol-level tallies of a corpus (no spec judging)."""
+    outcomes = Counter(r.outcome for r in runs)
+    crashes = sum(
+        1 for r in runs for tc in r.crashed.values() if tc is not None
+    )
+    return {
+        "runs": len(runs),
+        "outcomes": dict(outcomes),
+        "crashes": crashes,
+        "messages_sent": sum(r.messages["sent"] for r in runs),
+        "messages_lost": sum(r.messages["lost"] for r in runs),
+        "recovery_rounds": sum(r.recovery_rounds for r in runs),
+    }
+
+
+def run_workload(
+    protocol: str,
+    cfg: TxnConfig,
+    n: int,
+    *,
+    base_seed: int = 0,
+    monitors: bool = False,
+    offline_backend: Optional[str] = None,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Generate a corpus and (optionally) verify it.
+
+    ``monitors=True`` attaches the online :class:`SessionMux` path and
+    folds the combined per-transaction judgements into the result;
+    ``offline_backend`` additionally judges the deterministic
+    properties through ``decide_many`` on that backend.
+    """
+    runs = corpus(protocol, cfg, n, base_seed)
+    result: Dict[str, Any] = {"protocol": protocol, **corpus_stats(runs)}
+    if monitors:
+        verdicts, stream_stats = online_verdicts(runs)
+        result["stream"] = stream_stats
+        result["verdicts"] = corpus_verdicts(runs, verdicts)
+    if offline_backend is not None:
+        batched = offline_batched(runs, backend=offline_backend, workers=workers)
+        result["offline"] = {
+            "backend": offline_backend,
+            "checks": len(batched),
+            "accepts": sum(1 for v in batched.values() if v.value == "accept"),
+        }
+    return result

@@ -196,3 +196,92 @@ def test_functional_words_outrun_the_zeno_cap():
     word = TimedWord.functional(lambda i: ("tick", i))
     report = RealTimeAlgorithm(program).count_f(word, horizon=200)
     assert report.f_count > ZENO_UNROLL
+
+
+# ------------------------------------------------- raw-random-TBA mode
+
+
+def test_tba_corpus_agrees():
+    stats = run(seed=0, cases=25, gen="tba")
+    assert stats.disagreements == []
+    assert set(stats.checks) == set(PAIRS)
+
+
+def test_unknown_gen_rejected():
+    with pytest.raises(ValueError, match="unknown gen"):
+        run(cases=1, gen="dfa")
+
+
+def test_gen_tba_is_seed_deterministic():
+    from repro.spec.conformance import gen_tba
+
+    a = gen_tba(random.Random(4), ("a", "b"))
+    b = gen_tba(random.Random(4), ("a", "b"))
+    assert a.states == b.states
+    assert a.transitions == b.transitions
+    assert a.accepting == b.accepting
+
+
+def test_gen_tba_produces_nondeterministic_shapes():
+    from repro.machine.from_tba import _is_deterministic
+    from repro.spec.conformance import gen_tba
+
+    rng = random.Random(0)
+    dets = [_is_deterministic(gen_tba(rng, ("a", "b"))) for _ in range(30)]
+    assert any(dets) and not all(dets)  # both shapes appear in the pool
+
+
+def test_tba_case_source_round_trips():
+    from repro.automata import TimedBuchiAutomaton, TimedTransition
+    from repro.kernel.clock import And, Ge, Le, Not, TrueConstraint
+    from repro.spec.conformance import case_source, gen_tba, gen_word
+
+    rng = random.Random(2)
+    tba = gen_tba(rng, ("a", "b"))
+    namespace = {
+        "TimedBuchiAutomaton": TimedBuchiAutomaton,
+        "TimedTransition": TimedTransition,
+        "And": And,
+        "Ge": Ge,
+        "Le": Le,
+        "Not": Not,
+        "TrueConstraint": TrueConstraint,
+    }
+    rebuilt = eval(case_source(tba), namespace)
+    assert rebuilt.states == tba.states
+    assert rebuilt.accepting == tba.accepting
+    assert sorted(rebuilt.transitions, key=repr) == sorted(
+        tba.transitions, key=repr
+    )
+    # Same language on a sample of words — the rebuilt automaton is the
+    # same automaton, not just the same shape.
+    for _ in range(10):
+        word = gen_word(rng, tba, ("a", "b"))
+        assert rebuilt.accepts_lasso(word) == tba.accepts_lasso(word)
+
+
+def test_tba_minimizer_shrinks_a_seeded_disagreement():
+    from repro.spec.conformance import _tba_shrinks, gen_tba
+
+    # No known real disagreement to shrink (the sweeps are clean), so
+    # pin the machinery instead: every shrink of a generated automaton
+    # is structurally smaller-or-equal and still a valid TBA.
+    rng = random.Random(6)
+    tba = gen_tba(rng, ("a", "b"))
+    shrinks = list(_tba_shrinks(tba))
+    assert shrinks
+    for small in shrinks:
+        assert small.alphabet == tba.alphabet
+        assert len(small.transitions) <= len(tba.transitions)
+        assert small.accepting  # never shrinks to an empty Büchi set
+
+
+def test_tba_mode_word_bias_uses_transition_symbols():
+    from repro.spec.conformance import gen_tba, gen_word
+
+    rng = random.Random(1)
+    tba = gen_tba(rng, ("a", "b", "c"))
+    used = {tr.symbol for tr in tba.transitions}
+    words = [gen_word(rng, tba, ("a", "b", "c")) for _ in range(20)]
+    seen = {s for w in words for s, _t in list(w.prefix) + list(w.loop)}
+    assert seen & used  # the bias steers words onto the automaton

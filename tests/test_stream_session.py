@@ -227,3 +227,81 @@ class TestSessionObservability:
             inst.registry.counter("stream.drops").labels(policy="drop-new").value
             == 1
         )
+
+
+class TestEvictionReports:
+    """Eviction is not a verdict: a mid-flight session must surface as
+    UNDECIDED with its circumstances on record, never silently drop."""
+
+    def test_mid_flight_eviction_is_undecided_with_evidence(self):
+        from repro.engine import Verdict
+
+        mux = SessionMux(bounded_gap_tba(), idle_ttl=50)
+        mux.ingest("txn", "a", 1)
+        mux.ingest("txn", "a", 2)  # in-bound gaps: ACCEPTING, not absorbed
+        mux.ingest("fresh", "a", 100)
+        assert mux.evict_idle() == ["txn"]
+        (report,) = mux.eviction_reports
+        assert report.name == "txn"
+        assert report.verdict is StreamVerdict.ACCEPTING  # verdict-so-far
+        decision = report.decision
+        assert decision.verdict is Verdict.UNDECIDED  # but not a claim
+        assert decision.strategy == "evicted"
+        assert decision.evidence["evicted"] == "idle"
+        assert decision.evidence["stream_verdict"] == "accepting"
+        assert decision.evidence["last_event_time"] == 2
+        assert decision.evidence["now"] == 100
+        assert report.events_ingested == 2
+
+    def test_absorbed_session_keeps_its_verdict(self):
+        from repro.engine import Verdict
+
+        mux = SessionMux(bounded_gap_tba(), idle_ttl=50)
+        mux.ingest("dead", "a", 1)
+        mux.ingest("dead", "a", 10)  # gap 9 breaks the bound: REJECTED
+        assert mux.monitor("dead").absorbed
+        mux.ingest("fresh", "a", 100)
+        mux.evict_idle()
+        (report,) = mux.drain_evictions()
+        # REJECTED is absorbing — no continuation changes it, so the
+        # eviction may keep the real verdict instead of UNDECIDED.
+        assert report.verdict is StreamVerdict.REJECTED
+        assert report.decision.verdict is Verdict.REJECT
+
+    def test_close_after_evict_raises(self):
+        mux = SessionMux(bounded_gap_tba(), idle_ttl=10)
+        mux.ingest("gone", "a", 1)
+        mux.ingest("fresh", "a", 100)
+        mux.evict_idle()
+        with pytest.raises(KeyError):
+            mux.close("gone")
+        # The session is genuinely retired, not resurrectable by close;
+        # its story lives in the eviction report alone.
+        assert [r.name for r in mux.eviction_reports] == ["gone"]
+
+    def test_drain_evictions_hands_over_and_clears(self):
+        mux = SessionMux(bounded_gap_tba(), idle_ttl=10)
+        mux.ingest("one", "a", 1)
+        mux.ingest("fresh", "a", 100)
+        mux.evict_idle()
+        drained = mux.drain_evictions()
+        assert [r.name for r in drained] == ["one"]
+        assert mux.eviction_reports == []
+        assert mux.drain_evictions() == []
+
+    def test_buffered_events_are_not_flushed(self):
+        from repro.engine import Verdict
+
+        # A session with events parked in its reorder buffer: eviction
+        # must not fabricate releases the watermark never authorized.
+        mux = SessionMux(bounded_gap_tba(), lateness=1_000, idle_ttl=10)
+        mux.ingest("held", "a", 1)
+        mux.ingest("held", "a", 2)
+        monitor = mux.monitor("held")
+        assert monitor.pending == 2 and monitor.events_released == 0
+        mux.ingest("fresh", "a", 5_000)
+        mux.evict_idle()
+        (report,) = mux.drain_evictions()
+        assert report.decision.verdict is Verdict.UNDECIDED
+        assert report.decision.evidence["pending"] == 2
+        assert report.events_released == 0

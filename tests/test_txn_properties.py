@@ -1,0 +1,143 @@
+"""Tests for repro.txn.properties — the §4.1 deadline property suite.
+
+Ground truth comes from two independent places: the plain-Python
+oracles on :class:`TransactionRun` and the denotational spec semantics
+(:func:`repro.spec.semantics.holds`); the compiled/monitored paths are
+cross-checked in ``test_txn_verify.py``.
+"""
+
+import pytest
+
+from repro.spec.semantics import holds
+from repro.txn import (
+    DECISION_ALPHABET,
+    HANDSHAKE_ALPHABET,
+    PROTOCOLS,
+    TxnConfig,
+    decided_within,
+    properties_for,
+    run_transaction,
+    words_for,
+)
+
+CALM = TxnConfig(n_participants=3, d_lo=1, d_hi=2)
+CRASHY = TxnConfig(
+    n_participants=3,
+    d_lo=1,
+    d_hi=2,
+    abort_vote_rate=0.15,
+    participant_crash_rate=0.25,
+    coordinator_crash_rate=0.3,
+)
+
+
+class TestSuiteShape:
+    @pytest.mark.parametrize("proto", PROTOCOLS)
+    def test_names_channels_determinism(self, proto):
+        suite = properties_for(CALM, proto)
+        assert set(suite) == {"commit", "abort", "decided", "fast", "handshake"}
+        for name, prop in suite.items():
+            assert prop.name == name
+        assert suite["handshake"].channel == "handshake"
+        assert suite["commit"].channel == "decision"
+        # commit/abort/handshake compile to deterministic chains; the
+        # alt-based decided/fast are the nondeterministic ones.
+        assert suite["commit"].deterministic
+        assert suite["abort"].deterministic
+        assert suite["handshake"].deterministic
+        assert not suite["decided"].deterministic
+        assert not suite["fast"].deterministic
+
+    def test_alphabets(self):
+        suite = properties_for(CALM, "3pc")
+        assert suite["commit"].alphabet == DECISION_ALPHABET
+        assert suite["handshake"].alphabet == HANDSHAKE_ALPHABET
+        assert "tick" in DECISION_ALPHABET and "tick" in HANDSHAKE_ALPHABET
+
+
+class TestAgainstDenotation:
+    @pytest.mark.parametrize("proto", PROTOCOLS)
+    def test_fault_free_run_satisfies_everything(self, proto):
+        run = run_transaction(proto, CALM, 1)
+        suite = properties_for(CALM, proto)
+        for p in run.processes:
+            word = run.decision_word(p)
+            assert holds(suite["commit"].spec, word, DECISION_ALPHABET)
+            assert not holds(suite["abort"].spec, word, DECISION_ALPHABET)
+            assert holds(suite["decided"].spec, word, DECISION_ALPHABET)
+            assert holds(suite["fast"].spec, word, DECISION_ALPHABET)
+        assert holds(
+            suite["handshake"].spec, run.handshake_word(), HANDSHAKE_ALPHABET
+        )
+
+    def test_decision_specs_match_the_oracle(self):
+        # holds() on the decision channel ⟺ the plain decided_within
+        # oracle, across a crashy sweep — per process, per deadline.
+        for proto in PROTOCOLS:
+            suite = properties_for(CRASHY, proto)
+            T = CRASHY.recovery_deadline(proto)
+            D = CRASHY.happy_deadline(proto)
+            for seed in range(15):
+                run = run_transaction(proto, CRASHY, seed)
+                by_T = decided_within(run, T)
+                by_D = decided_within(run, D)
+                for p in run.processes:
+                    word = run.decision_word(p)
+                    assert (
+                        holds(suite["decided"].spec, word, DECISION_ALPHABET)
+                        == by_T[p]
+                    ), (proto, seed, p)
+                    assert (
+                        holds(suite["fast"].spec, word, DECISION_ALPHABET)
+                        == by_D[p]
+                    ), (proto, seed, p)
+
+    def test_undecided_word_fails_every_decision_spec(self):
+        cfg = TxnConfig(
+            n_participants=3, d_lo=1, d_hi=2, coordinator_crash_rate=0.8
+        )
+        blocked = next(
+            run_transaction("2pc", cfg, s)
+            for s in range(60)
+            if run_transaction("2pc", cfg, s).outcome == "blocked"
+        )
+        suite = properties_for(cfg, "2pc")
+        p = next(
+            p
+            for p in blocked.processes
+            if blocked.alive(p) and blocked.decisions[p] is None
+        )
+        word = blocked.decision_word(p)
+        for name in ("commit", "abort", "decided", "fast"):
+            assert not holds(suite[name].spec, word, DECISION_ALPHABET), name
+
+    def test_3pc_abort_skips_the_commit_shaped_handshake(self):
+        # Documented intentionally: the 3PC handshake spec is the
+        # commit-shaped round trip, so an abort outcome rejects it.
+        cfg = TxnConfig(n_participants=3, d_lo=1, d_hi=2, abort_vote_rate=1.0)
+        run = run_transaction("3pc", cfg, 0)
+        assert run.outcome == "abort"
+        suite = properties_for(cfg, "3pc")
+        assert not holds(
+            suite["handshake"].spec, run.handshake_word(), HANDSHAKE_ALPHABET
+        )
+
+
+class TestWordsFor:
+    def test_decision_channel_covers_every_process(self):
+        run = run_transaction("2pc", CALM, 0)
+        suite = properties_for(CALM, "2pc")
+        words = words_for(run, suite["commit"])
+        assert set(words) == set(run.processes)
+
+    def test_handshake_channel_is_coordinator_only(self):
+        run = run_transaction("3pc", CALM, 0)
+        suite = properties_for(CALM, "3pc")
+        words = words_for(run, suite["handshake"])
+        assert set(words) == {"C"}
+
+    def test_frozen_tail_passthrough(self):
+        run = run_transaction("2pc", CALM, 0)
+        suite = properties_for(CALM, "2pc")
+        for word in words_for(run, suite["commit"], tail="frozen").values():
+            assert word.shift == 0

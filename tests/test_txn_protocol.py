@@ -1,0 +1,201 @@
+"""Tests for repro.txn.protocol — the timed 2PC/3PC simulator."""
+
+import pytest
+
+from repro.txn import (
+    PROTOCOLS,
+    TxnConfig,
+    atomicity_ok,
+    decided_within,
+    run_many,
+    run_transaction,
+)
+
+# Small delays keep the derived deadlines (and so the compiled
+# automata the property tests build) tight; semantics are unchanged.
+CALM = TxnConfig(n_participants=3, d_lo=1, d_hi=2)
+CRASHY = TxnConfig(
+    n_participants=3,
+    d_lo=1,
+    d_hi=2,
+    abort_vote_rate=0.1,
+    participant_crash_rate=0.25,
+    coordinator_crash_rate=0.3,
+)
+
+
+class TestConfig:
+    def test_derived_deadlines_are_ordered(self):
+        for proto in PROTOCOLS:
+            assert CALM.happy_deadline(proto) < CALM.recovery_deadline(proto)
+            assert CALM.recovery_deadline(proto) < CALM.report_at(proto)
+            assert CALM.decision_timeout(proto) < CALM.recovery_start(proto)
+
+    def test_3pc_budgets_extend_2pc(self):
+        assert CALM.decision_timeout("3pc") > CALM.decision_timeout("2pc")
+        assert CALM.report_at("3pc") > CALM.report_at("2pc")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(n_participants=0),
+            dict(d_lo=-1),
+            dict(d_lo=3, d_hi=2),
+            dict(abort_vote_rate=1.5),
+            dict(participant_crash_rate=-0.1),
+            dict(loss_rate=2.0),
+            dict(extra_delay=(3, 1)),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            TxnConfig(**bad)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_transaction("1pc", CALM, 0)
+
+
+class TestFaultFree:
+    def test_2pc_commits_unanimously_and_fast(self):
+        for seed in range(10):
+            run = run_transaction("2pc", CALM, seed)
+            assert run.outcome == "commit"
+            assert atomicity_ok(run)
+            within = decided_within(run, CALM.happy_deadline("2pc"))
+            assert all(within.values())
+            assert all(run.alive(p) for p in run.processes)
+
+    def test_3pc_commits_through_precommit_round(self):
+        run = run_transaction("3pc", CALM, 0)
+        assert run.outcome == "commit"
+        symbols = [s for s, _t in run.events["C"]]
+        # The coordinator's round trip in protocol order.
+        assert symbols.index("send_prepare") < symbols.index("send_precommit")
+        assert symbols.index("send_precommit") < symbols.index("commit")
+        ready = [s for s in symbols if s == "recv_ready"]
+        assert len(ready) == CALM.n_participants
+
+    def test_unanimous_no_vote_aborts(self):
+        cfg = TxnConfig(n_participants=3, d_lo=1, d_hi=2, abort_vote_rate=1.0)
+        for proto in PROTOCOLS:
+            run = run_transaction(proto, cfg, 3)
+            assert run.outcome == "abort"
+            assert all(dec[0] == "abort" for dec in run.decisions.values())
+
+    def test_handshake_word_is_monotone(self):
+        for proto in PROTOCOLS:
+            run = run_transaction(proto, CALM, 5)
+            word = run.handshake_word()
+            times = [t for _s, t in word.prefix]
+            assert times == sorted(times)
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        for proto in PROTOCOLS:
+            a = run_transaction(proto, CRASHY, 17)
+            b = run_transaction(proto, CRASHY, 17)
+            assert a.events == b.events
+            assert a.decisions == b.decisions
+            assert a.crashed == b.crashed
+            assert a.outcome == b.outcome
+
+    def test_seeds_vary_outcomes(self):
+        outcomes = {run_transaction("2pc", CRASHY, s).outcome for s in range(40)}
+        assert len(outcomes) > 1
+
+
+class TestFailureSemantics:
+    def test_crash_only_3pc_is_atomic_and_nonblocking(self):
+        # The 3PC guarantee the protocol was invented for: with crashes
+        # but no message loss, every surviving process decides, and no
+        # two processes decide differently.
+        cfg = TxnConfig(
+            n_participants=3,
+            d_lo=1,
+            d_hi=2,
+            participant_crash_rate=0.3,
+            coordinator_crash_rate=0.4,
+        )
+        crashes = 0
+        for run in run_many("3pc", cfg, list(range(60))):
+            assert atomicity_ok(run), run.seed
+            crashes += sum(1 for t in run.crashed.values() if t is not None)
+            for p in run.processes:
+                if run.alive(p):
+                    assert run.decisions[p] is not None, (run.seed, p)
+            # Never blocked (a survivor stuck undecided) and never
+            # mixed; "stalled" is allowed only when nobody survived.
+            assert run.outcome not in ("blocked", "mixed")
+            if run.outcome == "stalled":
+                assert not any(run.alive(p) for p in run.processes)
+        assert crashes > 0  # the sweep actually injected failures
+
+    def test_2pc_coordinator_crash_can_block(self):
+        cfg = TxnConfig(
+            n_participants=3, d_lo=1, d_hi=2, coordinator_crash_rate=0.8
+        )
+        runs = run_many("2pc", cfg, list(range(60)))
+        blocked = [r for r in runs for _ in [0] if r.outcome == "blocked"]
+        assert blocked, "no blocking run in the sweep"
+        for run in blocked:
+            # Blocked ⟺ some survivor is uncertain; atomicity still holds.
+            assert atomicity_ok(run)
+            undecided = [
+                p
+                for p in run.processes
+                if run.alive(p) and run.decisions[p] is None
+            ]
+            assert undecided
+
+    def test_crashed_processes_stop_recording(self):
+        cfg = TxnConfig(n_participants=3, d_lo=1, d_hi=2, participant_crash_rate=1.0)
+        run = run_transaction("2pc", cfg, 2)
+        for p, t_crash in run.crashed.items():
+            if t_crash is None:
+                continue
+            assert all(t <= t_crash for _s, t in run.events[p])
+
+    def test_message_loss_is_counted(self):
+        cfg = TxnConfig(n_participants=3, d_lo=1, d_hi=2, loss_rate=0.3)
+        runs = run_many("2pc", cfg, list(range(20)))
+        assert sum(r.messages["lost"] for r in runs) > 0
+        assert all(r.messages["sent"] >= r.messages["lost"] for r in runs)
+
+
+class TestWords:
+    def test_decision_word_tails(self):
+        run = run_transaction("2pc", CALM, 0)
+        adv = run.decision_word("P1", tail="advancing")
+        frozen = run.decision_word("P1", tail="frozen")
+        assert adv.shift == 1 and frozen.shift == 0
+        assert adv.prefix == frozen.prefix
+        assert adv.prefix[0][0] in ("commit", "abort")
+        with pytest.raises(ValueError):
+            run.decision_word("P1", tail="nope")
+
+    def test_undecided_process_reads_none(self):
+        cfg = TxnConfig(
+            n_participants=3, d_lo=1, d_hi=2, coordinator_crash_rate=0.8
+        )
+        blocked = next(
+            r
+            for r in run_many("2pc", cfg, list(range(60)))
+            if r.outcome == "blocked"
+        )
+        p = next(
+            p
+            for p in blocked.processes
+            if blocked.alive(p) and blocked.decisions[p] is None
+        )
+        word = blocked.decision_word(p)
+        assert word.prefix == (("none", blocked.report_at),)
+
+    def test_process_words_are_monotone(self):
+        for proto in PROTOCOLS:
+            run = run_transaction(proto, CRASHY, 9)
+            for p in run.processes:
+                word = run.process_word(p)
+                times = [t for _s, t in word.prefix]
+                assert times == sorted(times)

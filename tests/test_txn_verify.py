@@ -1,0 +1,127 @@
+"""Tests for repro.txn.verify — three verification paths, one story.
+
+The acceptance corpus below is the PR's contract: ≥200 seeded runs
+*including injected crashes*, judged offline-exact (region
+mathematics), offline-batched through ``decide_many`` on both the
+serial and shards backends, and online through compiled
+:class:`SessionMux` monitors — verdict-identical everywhere.
+"""
+
+import pytest
+
+from repro.engine import Verdict
+from repro.txn import (
+    TxnConfig,
+    atomicity_ok,
+    corpus,
+    corpus_stats,
+    corpus_verdicts,
+    cross_check,
+    offline_batched,
+    offline_exact,
+    online_verdicts,
+    run_workload,
+    txn_verdicts,
+)
+
+CRASHY = TxnConfig(
+    n_participants=2,
+    d_lo=1,
+    d_hi=2,
+    abort_vote_rate=0.1,
+    participant_crash_rate=0.2,
+    coordinator_crash_rate=0.3,
+    loss_rate=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def acceptance_corpus():
+    # ≥200 runs spanning both protocols, same crashy config.
+    return corpus("2pc", CRASHY, 100) + corpus("3pc", CRASHY, 100, base_seed=1000)
+
+
+@pytest.fixture(scope="module")
+def exact(acceptance_corpus):
+    return offline_exact(acceptance_corpus)
+
+
+class TestAcceptanceCorpus:
+    def test_corpus_is_big_and_actually_faulty(self, acceptance_corpus):
+        stats = corpus_stats(acceptance_corpus)
+        assert stats["runs"] >= 200
+        assert stats["crashes"] > 0
+        assert stats["messages_lost"] > 0
+        # Outcome diversity: the sweep exercises more than happy paths.
+        assert len(stats["outcomes"]) >= 3
+
+    def test_all_paths_agree(self, acceptance_corpus):
+        result = cross_check(acceptance_corpus, backends=("serial", "shards"))
+        assert result.ok, result.mismatches[:5]
+        assert result.runs >= 200
+        # exact+online over every key, both batched backends over the
+        # deterministic keys.
+        assert result.checks > 4 * len(acceptance_corpus)
+
+    def test_online_matches_exact_per_key(self, acceptance_corpus, exact):
+        online, stats = online_verdicts(acceptance_corpus)
+        assert set(online) == set(exact)
+        assert all(online[k] is exact[k] for k in exact)
+        assert stats["sessions"] > 0
+        assert stats["vectorized"] > 0  # the compiled batch path engaged
+
+    def test_shards_matches_serial_per_key(self, acceptance_corpus):
+        serial = offline_batched(acceptance_corpus, backend="serial")
+        shards = offline_batched(acceptance_corpus, backend="shards", workers=2)
+        assert set(serial) == set(shards)
+        assert all(serial[k] is shards[k] for k in serial)
+
+    def test_every_verdict_is_decisive(self, exact):
+        # Frozen/advancing tails close every word past its deadline, so
+        # no path should ever be left UNDECIDED.
+        assert all(v is not Verdict.UNDECIDED for v in exact.values())
+
+
+class TestCombinedJudgements:
+    def test_atomicity_matches_the_oracle(self, acceptance_corpus, exact):
+        for i, run in enumerate(acceptance_corpus):
+            tv = txn_verdicts(run, exact, i)
+            assert tv["atomic"] == atomicity_ok(run), run.seed
+
+    def test_blocked_runs_fail_blocking_freedom(self, acceptance_corpus, exact):
+        blocked = [
+            (i, r)
+            for i, r in enumerate(acceptance_corpus)
+            if r.outcome == "blocked"
+        ]
+        assert blocked, "corpus has no blocked run; widen the sweep"
+        for i, run in blocked:
+            assert not txn_verdicts(run, exact, i)["all_decided"]
+
+    def test_uniform_outcomes_decide_every_survivor(
+        self, acceptance_corpus, exact
+    ):
+        for i, run in enumerate(acceptance_corpus):
+            if run.outcome in ("commit", "abort"):
+                tv = txn_verdicts(run, exact, i)
+                assert tv["all_decided"], run.seed
+
+    def test_corpus_verdicts_aggregates(self, acceptance_corpus, exact):
+        agg = corpus_verdicts(acceptance_corpus, exact)
+        assert agg["runs"] == len(acceptance_corpus)
+        assert 0 < agg["all_decided"] <= agg["runs"]
+        assert agg["atomic"] == sum(
+            1 for r in acceptance_corpus if atomicity_ok(r)
+        )
+
+
+class TestWorkload:
+    def test_run_workload_with_monitors_and_backend(self):
+        result = run_workload(
+            "2pc", CRASHY, 10, monitors=True, offline_backend="serial"
+        )
+        assert result["runs"] == 10
+        assert result["verdicts"]["runs"] == 10
+        assert result["stream"]["sessions"] > 0
+        assert result["offline"]["backend"] == "serial"
+        assert result["offline"]["checks"] > 0
