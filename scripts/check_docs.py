@@ -34,6 +34,7 @@ REQUIRED_DOCS = [
     "docs/observability.md",
     "docs/paper_map.md",
     "docs/performance.md",
+    "docs/queries.md",
     "docs/spec.md",
     "docs/txn.md",
 ]

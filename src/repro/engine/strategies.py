@@ -205,19 +205,32 @@ def get_strategy(spec: Union[str, DecisionStrategy]) -> DecisionStrategy:
 
 
 def decide(
-    acceptor: Any,
-    word: Any,
+    acceptor: Any = None,
+    word: Any = None,
     *,
     horizon: int = DEFAULT_HORIZON,
     strategy: Union[str, DecisionStrategy] = "lasso-exact",
     seed: Optional[int] = None,
+    query: Any = None,
+    alphabet: Any = None,
 ) -> DecisionReport:
     """Judge one word through the engine.
 
     The single-word entry point every domain's decide helper now routes
     through; ``seed`` is recorded in the evidence (reserved for sampled
-    strategies, and what makes batch fan-out reproducible).
+    strategies, and what makes batch fan-out reproducible).  ``query``
+    (text or a :mod:`repro.query` builder query, ``alphabet`` optionally
+    widening its symbol set) stands in for ``acceptor``: the query
+    lowers to an exact-lasso acceptor and the word is judged against it.
     """
+    if (acceptor is None) == (query is None):
+        raise ValueError("pass exactly one of acceptor / query")
+    if query is not None:
+        from ..query import query_acceptor
+
+        acceptor = query_acceptor(query, alphabet)
+    elif alphabet is not None:
+        raise ValueError("alphabet= only applies to query= decisions")
     strat = get_strategy(strategy)
     h = _obs.HOOKS
     if h is None:

@@ -1,0 +1,118 @@
+"""One-liner queries for the paper's worked domains.
+
+Each adapter maps an existing domain object (a §4.1
+:class:`~repro.deadlines.spec.DeadlineSpec`, the rtdb §5.1.3
+``L_aq``/``L_pq`` timing patterns, a §5.2 routing delivery bound) onto
+a :class:`~repro.query.builder.Query`, so the domains stop hand-rolling
+automata for their *timing* obligations — ``monitor()``, ``decide``,
+and :class:`~repro.query.plan.QueryPlan` all consume the result
+directly.  These are timing skeletons: the domains' data encodings
+(``enc(I) $ enc(u)``, usefulness curves, Section 5.2.3 hop words) stay
+with their own modules; the query watches the event-level rhythm those
+encodings produce.
+
+    deadline_query(DeadlineSpec(kind=FIRM, t_d=5))    # §4.1 (ii)
+    aq_query(d_q=5)                                    # eq. (9) skeleton
+    pq_query(d_q=5, t_p=8)                             # eq. (10) skeleton
+    route_delivery_query(bound=12)                     # §5.2 delivery
+
+``delivery_events`` bridges the other direction: an adhoc
+:class:`~repro.adhoc.messages.TraceLog` becomes the ``(symbol, t)``
+stream the routing query monitors (``docs/queries.md`` walks a full
+simulate-then-monitor example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..deadlines.spec import DeadlineSpec
+from ..spec.compile import from_deadline_spec
+from .builder import ChainQuery, Q
+
+__all__ = [
+    "deadline_query",
+    "aq_query",
+    "pq_query",
+    "route_delivery_query",
+    "delivery_events",
+]
+
+
+def deadline_query(dspec: DeadlineSpec, action: Any = "done") -> ChainQuery:
+    """A §4.1 deadline instance as a single-shot query.
+
+    Routes through :func:`~repro.spec.compile.from_deadline_spec`, so
+    the query accepts a completion time iff the §4.1 oracle does —
+    firm deadlines (class ii) strictly before ``t_d``, step-soft ones
+    (class iii) through ``t_d + grace``.  Classes the bridge cannot
+    express (NONE, non-step usefulness) raise there.
+    """
+    bound = from_deadline_spec(dspec, action=action)
+    return Q.event(bound.action, bound.lo, bound.hi).once()
+
+
+def aq_query(
+    d_q: int,
+    *,
+    issue: Any = "issue",
+    answer: Any = "answer",
+    issue_within: int = 0,
+    grace: int = 0,
+) -> ChainQuery:
+    """The ``L_aq`` (eq. 9) timing skeleton: one query, one deadline.
+
+    The query is issued within ``issue_within`` chronons of stream
+    start and its answer must land strictly before ``d_q`` after the
+    issue (``grace`` shifts to the step-soft class) — the aperiodic
+    Section 5.1.3 obligation with the data encoding abstracted to the
+    two marker events.
+    """
+    return (
+        Q.event(issue, 0, issue_within).then(answer).deadline(d_q, grace).once()
+    )
+
+
+def pq_query(
+    d_q: int,
+    t_p: int,
+    *,
+    issue: Any = "issue",
+    answer: Any = "answer",
+    grace: int = 0,
+) -> ChainQuery:
+    """The ``L_pq`` (eq. 10) timing skeleton: a periodic query stream.
+
+    Every cycle re-issues within the period ``t_p`` of the previous
+    answer and answers strictly before ``d_q`` — forever (a Büchi
+    obligation: a stream that stops answering is rejected, exactly the
+    periodic Section 5.1.3 reading).
+    """
+    if t_p < 1:
+        raise ValueError(f"query period t_p must be >= 1, got {t_p}")
+    return Q.event(issue, 0, t_p).then(answer).deadline(d_q, grace).repeat()
+
+
+def route_delivery_query(bound: int, symbol: Any = "r") -> ChainQuery:
+    """The §5.2 delivery obligation: receive events keep arriving, each
+    within ``bound`` chronons of the previous one (the timed version of
+    "the routing process keeps delivering")."""
+    if bound < 0:
+        raise ValueError(f"delivery bound must be >= 0, got {bound}")
+    return Q.event(symbol).within(bound).repeat()
+
+
+def delivery_events(
+    trace: Any, node: Optional[int] = None, symbol: Any = "r"
+) -> List[Tuple[Any, int]]:
+    """An adhoc :class:`~repro.adhoc.messages.TraceLog`'s receive
+    records as a monitorable ``(symbol, t)`` stream (optionally only
+    the hops heard by ``node``), time-ordered — feed it straight to
+    ``route_delivery_query(...).monitor(...).ingest_many``."""
+    out = [
+        (symbol, r.received_at)
+        for r in trace.receives
+        if node is None or r.dst == node
+    ]
+    out.sort(key=lambda pair: pair[1])
+    return out

@@ -1,0 +1,290 @@
+"""The fluent query builder — CER-style composition over timer bounds.
+
+García & Riveros' CER framework (PAPERS.md) distills complex event
+queries to four operators — sequencing, disjunction, iteration, and
+time windows — and shows they compile to automata with O(state) work
+per event.  This module is that surface for the paper's timed
+ω-words: a :class:`Query` is an immutable description built with
+
+    Q.event("req").then("rsp").within(5)          # sequencing + window
+    Q.event("a") | Q.event("b").within(3)         # disjunction
+    Q.event("hb").within(10).repeat()             # iteration (ω)
+    Q.event("job").deadline(7, grace=2).once()    # §4.1 deadlines
+
+and :meth:`Query.lower` maps it onto the existing
+:mod:`repro.spec` combinators (``rt_bound``/``seq``/``loop``/
+``eventually``/``alt``/``both``) — from there the whole substrate
+already works: TBAs via ``to_tba``, engine acceptors, stream monitors.
+Nothing downstream knows queries exist; they are pure front-end.
+
+Timing model: every step is an ``rt_bound`` phase — the *next*
+occurrence of the step's action must arrive with elapsed time in
+``[after, within]`` chronons since the previous step completed (other
+symbols pass while the budget lasts).  A bare ``Q.event(a)`` means
+``[0, 0]``: `a` immediately.  ``.deadline(t_d)`` converts the last
+step's window through the §4.1 bridge
+(:func:`repro.spec.compile.from_deadline_spec`): firm deadlines accept
+completion strictly before ``t_d``; a ``grace`` makes it the step-soft
+class accepting through ``t_d + grace``.
+
+ω-coercion matches the combinators: a chain without ``.repeat()`` /
+``.once()`` denotes "complete once, then anything" (``as_omega``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Tuple
+
+from ..deadlines.spec import DeadlineKind, DeadlineSpec, StepUsefulness
+from ..spec.combinators import (
+    Spec,
+    actions_of,
+    as_omega,
+    eventually,
+    loop,
+    rt_bound,
+    seq,
+)
+from ..spec.compile import from_deadline_spec
+
+__all__ = ["Q", "Query", "ChainQuery", "OrQuery", "AndQuery", "QStep"]
+
+
+@dataclass(frozen=True)
+class QStep:
+    """One step of a chain: next ``action`` within ``[lo, hi]``."""
+
+    action: Any
+    lo: int = 0
+    hi: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"after() bound must be >= 0, got {self.lo}")
+        if self.hi < self.lo:
+            raise ValueError(
+                f"within() bound must be >= after() bound, "
+                f"got [{self.lo}, {self.hi}]"
+            )
+
+
+class Query:
+    """Base of all query nodes; immutable, hashable, composable."""
+
+    __slots__ = ()
+
+    # -- composition -------------------------------------------------------
+    def __or__(self, other: "Query") -> "Query":
+        """Disjunction — the stream matches either query."""
+        return OrQuery(_merge(OrQuery, self, other))
+
+    def __and__(self, other: "Query") -> "Query":
+        """Fair conjunction — both queries' obligations recur."""
+        return AndQuery(_merge(AndQuery, self, other))
+
+    # -- lowering ----------------------------------------------------------
+    def lower(self) -> Any:
+        """The equivalent :mod:`repro.spec` combinator spec."""
+        raise NotImplementedError
+
+    def spec(self) -> Spec:
+        """The lowered spec coerced to the ω layer (bare chains mean
+        *complete once, then anything*)."""
+        return as_omega(self.lower())
+
+    def default_alphabet(self) -> Tuple[Any, ...]:
+        """The query's own action set, sorted — the alphabet used when
+        none is given."""
+        return tuple(sorted(actions_of(self.spec()), key=repr))
+
+    def _alphabet(self, alphabet: Optional[Iterable[Any]]) -> Tuple[Any, ...]:
+        if alphabet is None:
+            return self.default_alphabet()
+        return tuple(sorted(set(alphabet), key=repr))
+
+    def tba(self, alphabet: Optional[Iterable[Any]] = None):
+        """Compile to a :class:`~repro.automata.timed.TimedBuchiAutomaton`
+        (memoized per (spec, alphabet) — repeats share one automaton)."""
+        from ..spec.compile import to_tba
+
+        return to_tba(self.spec(), self._alphabet(alphabet))
+
+    def acceptor(self, alphabet: Optional[Iterable[Any]] = None):
+        """An engine-consumable exact-lasso acceptor for the query."""
+        from ..spec.compile import spec_acceptor
+
+        return spec_acceptor(self.spec(), self._alphabet(alphabet))
+
+    def monitor(self, alphabet: Optional[Iterable[Any]] = None, **kwargs: Any):
+        """An online :class:`~repro.stream.monitor.TBAMonitor` (kwargs
+        pass through: lateness, f_window, compiled, …)."""
+        from ..spec.compile import spec_monitor
+
+        return spec_monitor(self.spec(), self._alphabet(alphabet), **kwargs)
+
+    def holds(self, word: Any, alphabet: Optional[Iterable[Any]] = None) -> bool:
+        """Direct denotational membership of a lasso word."""
+        from ..spec.semantics import holds
+
+        return holds(self.spec(), word, self._alphabet(alphabet))
+
+    def to_text(self) -> str:
+        """The query in the text grammar (``parse`` round-trips it)."""
+        from .grammar import to_text
+
+        return to_text(self)
+
+
+def _merge(cls: type, left: Query, right: Query) -> Tuple[Query, ...]:
+    if not isinstance(right, Query):
+        raise TypeError(f"cannot combine a query with {right!r}")
+    lp = left.parts if isinstance(left, cls) else (left,)
+    rp = right.parts if isinstance(right, cls) else (right,)
+    return lp + rp
+
+
+@dataclass(frozen=True)
+class ChainQuery(Query):
+    """A phase chain: steps in sequence, each window restarting on the
+    previous step's action; ``mode`` lifts it to the ω layer."""
+
+    steps: Tuple[QStep, ...]
+    mode: Optional[str] = None  # None (single-shot via coercion) | "repeat" | "once"
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a chain query needs at least one event step")
+        if self.mode not in (None, "repeat", "once"):
+            raise ValueError(f"unknown chain mode {self.mode!r}")
+
+    # -- chain building ----------------------------------------------------
+    def _un_omega(self, op: str) -> None:
+        if self.mode is not None:
+            raise ValueError(
+                f"{op}() must come before .repeat()/.once() — the ω "
+                f"operators close the chain"
+            )
+
+    def then(self, action: Any, lo: int = 0, hi: int = 0) -> "ChainQuery":
+        """Append a step: next ``action`` within ``[lo, hi]`` of the
+        previous step's completion."""
+        self._un_omega("then")
+        return ChainQuery(self.steps + (QStep(action, int(lo), int(hi)),))
+
+    def within(self, hi: int) -> "ChainQuery":
+        """Set the last step's ``MaxTime`` window."""
+        self._un_omega("within")
+        last = self.steps[-1]
+        return self._replace_last(QStep(last.action, last.lo, int(hi)))
+
+    def after(self, lo: int) -> "ChainQuery":
+        """Set the last step's ``MinTime`` bound (widening the window
+        if it was tighter)."""
+        self._un_omega("after")
+        last = self.steps[-1]
+        lo = int(lo)
+        return self._replace_last(QStep(last.action, lo, max(last.hi, lo)))
+
+    def deadline(self, t_d: int, grace: int = 0) -> "ChainQuery":
+        """Give the last step §4.1 deadline semantics.
+
+        ``grace == 0`` is the firm class (ii): completion strictly
+        before ``t_d`` (window ``[0, t_d - 1]``).  ``grace > 0`` is the
+        step-soft class (iii): usefulness holds through ``t_d + grace``
+        (window ``[0, t_d + grace]``).  Both go through the
+        :func:`~repro.spec.compile.from_deadline_spec` bridge, so the
+        window is *the* bound the §4.1 oracle accepts.
+        """
+        self._un_omega("deadline")
+        if t_d < 1:
+            raise ValueError(f"deadline t_d must be >= 1, got {t_d}")
+        if grace < 0:
+            raise ValueError(f"deadline grace must be >= 0, got {grace}")
+        last = self.steps[-1]
+        if grace:
+            dspec = DeadlineSpec(
+                kind=DeadlineKind.SOFT,
+                t_d=t_d,
+                usefulness=StepUsefulness(max_value=1, t_d=t_d, grace=grace),
+                min_acceptable=1,
+            )
+        else:
+            dspec = DeadlineSpec(kind=DeadlineKind.FIRM, t_d=t_d)
+        bound = from_deadline_spec(dspec, action=last.action)
+        return self._replace_last(QStep(last.action, bound.lo, bound.hi))
+
+    def _replace_last(self, step: QStep) -> "ChainQuery":
+        return ChainQuery(self.steps[:-1] + (step,))
+
+    # -- ω operators -------------------------------------------------------
+    def repeat(self) -> "ChainQuery":
+        """The chain completes again and again, forever (Büchi
+        iteration — stalling mid-chain rejects)."""
+        self._un_omega("repeat")
+        return ChainQuery(self.steps, "repeat")
+
+    def once(self) -> "ChainQuery":
+        """The chain completes once; every continuation then accepted."""
+        self._un_omega("once")
+        return ChainQuery(self.steps, "once")
+
+    def lower(self) -> Any:
+        body = seq(*(rt_bound(s.action, s.lo, s.hi) for s in self.steps))
+        if self.mode == "repeat":
+            return loop(body)
+        if self.mode == "once":
+            return eventually(body)
+        return body
+
+
+@dataclass(frozen=True)
+class OrQuery(Query):
+    """Disjunction of queries (lowered to ``alt`` — automaton union)."""
+
+    parts: Tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("a disjunction query needs at least two branches")
+
+    def lower(self) -> Any:
+        from ..spec.combinators import alt
+
+        return alt(*(p.lower() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class AndQuery(Query):
+    """Fair conjunction of queries (lowered to ``both`` — the
+    fairness-counter product)."""
+
+    parts: Tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("a conjunction query needs at least two branches")
+
+    def lower(self) -> Any:
+        from ..spec.combinators import both
+
+        return both(*(p.lower() for p in self.parts))
+
+
+class Q:
+    """The query entry point: ``Q.event(action)`` starts a chain."""
+
+    def __init__(self) -> None:  # pragma: no cover - misuse guard
+        raise TypeError("Q is a namespace, not a class to instantiate")
+
+    @staticmethod
+    def event(action: Any, lo: int = 0, hi: int = 0) -> ChainQuery:
+        """A chain whose first step is ``action`` within ``[lo, hi]``."""
+        return ChainQuery((QStep(action, int(lo), int(hi)),))
+
+    @staticmethod
+    def parse(text: str) -> Query:
+        """Parse the text grammar (see :mod:`repro.query.grammar`)."""
+        from .grammar import parse
+
+        return parse(text)

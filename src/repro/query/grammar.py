@@ -1,0 +1,215 @@
+"""The small text grammar over the query builder.
+
+Grammar (whitespace-insensitive; ``|`` binds loosest, then ``&``)::
+
+    query  := andq ('|' andq)*
+    andq   := term ('&' term)*
+    term   := 'repeat' '(' chain ')'
+            | 'once' '(' chain ')'
+            | '(' query ')'
+            | chain
+    chain  := step (';' step)*
+    step   := NAME mod*
+    mod    := 'within' INT | 'after' INT | 'deadline' INT ('grace' INT)?
+
+``NAME`` is ``[A-Za-z_][A-Za-z0-9_.-]*`` (minus the reserved words
+above); a bare step means window ``[0, 0]`` — the next event must be
+that action immediately, exactly :func:`repro.spec.combinators.rt_bound`
+defaults.  Examples::
+
+    parse("a ; b within 5")                  # sequencing + window
+    parse("repeat(hb within 10)")            # ω-iteration
+    parse("once(job deadline 7 grace 2)")    # §4.1 soft deadline
+    parse("a within 3 | b after 1 within 4") # disjunction
+
+Every production routes through the :class:`~repro.query.builder.Q`
+builder, so text and fluent queries validate identically and
+:func:`to_text` ∘ :func:`parse` is the identity on builder queries
+(``tests/test_query_grammar.py`` pins the round-trip both ways).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Tuple
+
+from .builder import AndQuery, ChainQuery, OrQuery, Q, Query
+
+__all__ = ["parse", "to_text", "ParseError", "RESERVED"]
+
+#: Words the grammar claims; they cannot be event names in text form.
+RESERVED = frozenset(
+    {"within", "after", "deadline", "grace", "repeat", "once"}
+)
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<int>\d+)|(?P<name>[A-Za-z_][A-Za-z0-9_.-]*)|(?P<punct>[|&;()]))"
+)
+
+
+class ParseError(ValueError):
+    """The query text does not match the grammar."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, Any]]:
+    tokens: List[Tuple[str, Any]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ParseError(f"cannot tokenize query text at {rest[:20]!r}")
+        pos = m.end()
+        if m.group("int") is not None:
+            tokens.append(("int", int(m.group("int"))))
+        elif m.group("name") is not None:
+            tokens.append(("name", m.group("name")))
+        else:
+            tokens.append(("punct", m.group("punct")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, Any]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ("eof", None)
+
+    def take(self) -> Tuple[str, Any]:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect_punct(self, p: str) -> None:
+        kind, value = self.take()
+        if kind != "punct" or value != p:
+            raise ParseError(f"expected {p!r}, got {value!r}")
+
+    def expect_int(self, context: str) -> int:
+        kind, value = self.take()
+        if kind != "int":
+            raise ParseError(f"{context} needs an integer, got {value!r}")
+        return value
+
+    # -- productions -------------------------------------------------------
+    def query(self) -> Query:
+        parts = [self.andq()]
+        while self.peek() == ("punct", "|"):
+            self.take()
+            parts.append(self.andq())
+        if len(parts) == 1:
+            return parts[0]
+        return OrQuery(tuple(parts))
+
+    def andq(self) -> Query:
+        parts = [self.term()]
+        while self.peek() == ("punct", "&"):
+            self.take()
+            parts.append(self.term())
+        if len(parts) == 1:
+            return parts[0]
+        return AndQuery(tuple(parts))
+
+    def term(self) -> Query:
+        kind, value = self.peek()
+        if kind == "name" and value in ("repeat", "once"):
+            self.take()
+            self.expect_punct("(")
+            chain = self.chain()
+            self.expect_punct(")")
+            return chain.repeat() if value == "repeat" else chain.once()
+        if (kind, value) == ("punct", "("):
+            self.take()
+            inner = self.query()
+            self.expect_punct(")")
+            return inner
+        return self.chain()
+
+    def chain(self) -> ChainQuery:
+        chain = self.step(None)
+        while self.peek() == ("punct", ";"):
+            self.take()
+            chain = self.step(chain)
+        return chain
+
+    def step(self, chain: Any) -> ChainQuery:
+        kind, name = self.take()
+        if kind != "name" or name in RESERVED:
+            raise ParseError(f"expected an event name, got {name!r}")
+        out = Q.event(name) if chain is None else chain.then(name)
+        while True:
+            kind, value = self.peek()
+            if kind != "name" or value not in RESERVED:
+                return out
+            self.take()
+            if value == "within":
+                out = out.within(self.expect_int("within"))
+            elif value == "after":
+                out = out.after(self.expect_int("after"))
+            elif value == "deadline":
+                t_d = self.expect_int("deadline")
+                grace = 0
+                if self.peek() == ("name", "grace"):
+                    self.take()
+                    grace = self.expect_int("grace")
+                out = out.deadline(t_d, grace)
+            else:
+                raise ParseError(f"misplaced {value!r} in step modifiers")
+
+
+def parse(text: str) -> Query:
+    """Parse query text into a :class:`~repro.query.builder.Query`."""
+    parser = _Parser(text)
+    if not parser.tokens:
+        raise ParseError("empty query text")
+    out = parser.query()
+    kind, value = parser.peek()
+    if kind != "eof":
+        raise ParseError(f"trailing input at {value!r}")
+    return out
+
+
+# -- rendering ---------------------------------------------------------
+
+def _step_text(action: Any, lo: int, hi: int) -> str:
+    name = str(action)
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.-]*", name) or name in RESERVED:
+        raise ValueError(
+            f"action {action!r} has no text form (names must match the "
+            f"grammar's NAME token and avoid reserved words)"
+        )
+    parts = [name]
+    if lo > 0:
+        parts.append(f"after {lo}")
+    if hi > lo or (lo == 0 and hi > 0):
+        parts.append(f"within {hi}")
+    return " ".join(parts)
+
+
+def to_text(query: Query) -> str:
+    """Render a query in the text grammar (inverse of :func:`parse`)."""
+    if isinstance(query, ChainQuery):
+        chain = " ; ".join(
+            _step_text(s.action, s.lo, s.hi) for s in query.steps
+        )
+        if query.mode is None:
+            return chain
+        return f"{query.mode}({chain})"
+    if isinstance(query, (OrQuery, AndQuery)):
+        sep = " | " if isinstance(query, OrQuery) else " & "
+        rendered = []
+        for p in query.parts:
+            text = to_text(p)
+            # `&` binds tighter than `|`: a disjunction branch inside a
+            # conjunction needs its parentheses back.
+            if isinstance(query, AndQuery) and isinstance(p, OrQuery):
+                text = f"({text})"
+            rendered.append(text)
+        return sep.join(rendered)
+    raise TypeError(f"not a query: {query!r}")

@@ -1,0 +1,667 @@
+"""Multi-query optimization: one shared automaton, many verdicts.
+
+Grez et al.'s complexity results for timed-pattern monitoring (see
+PAPERS.md) locate the cost of CER evaluation in the per-event state
+update — which the mux already shares *per language*.  This module
+extends the sharing across *different* queries: a :class:`QueryPlan`
+takes k phase-chain queries, completes each compiled chain automaton
+(adding an explicit dead state so no component can block the others),
+and runs the synchronous product as **one** deterministic TBA with one
+:class:`~repro.stream.monitor.TBAAnalysis` and one
+:class:`~repro.stream.compiled.CompiledTBA`.  Stepping the plan is a
+single table lookup per event no matter how many queries are loaded;
+shared phase-chain prefixes (the common case in fleets of sessions
+watching variations of the same protocol) collapse into shared regions
+of the product's configuration graph — ``stats()`` reports the fused
+size against the sum of per-query universes.
+
+Per-query verdicts come from *projections*, not extra stepping: the
+product run's channel-q projection is exactly component q's run, so
+:meth:`TBAAnalysis.live_for` / ``green_for`` re-derive each channel's
+liveness/guarantee sets over the one shared configuration universe and
+:meth:`~repro.stream.compiled.CompiledTBA.flag_view` turns them into
+flag rows over the one shared table.  Crucially the per-event cost of
+a channel is *zero*: channel REJECTED (out of ``live_q``) and the
+green guarantee are both **forward-closed** — the current state alone
+decides them — and accept recency derives from per-state visit
+bookkeeping (two O(1) writes per event), so :class:`PlanMonitor`
+judges channels lazily at read time.  The verdict streams are pinned
+identical to k independent per-query monitors by the conformance
+harness (``--gen query``) and ``tests/test_query_plan.py``.
+
+Scope: the plan shares *phase chains* (``Loop``/``Eventually``/bare
+sequences — everything :class:`~repro.query.builder.ChainQuery`
+builds).  ``alt``/``both`` queries have their own product/union
+structure and monitor fine individually; passing one here raises.
+
+Correctness sketch (why projections are sound): every completed
+component is total and semantically deterministic, hence so is the
+product — each timed word has exactly one product run, whose channel-q
+projection is exactly component q's run.  Büchi acceptance, liveness
+and green therefore factor through the projection, and the any-channel
+accepting set makes base liveness the union of channel liveness (a
+lasso visiting the any-channel set infinitely often visits *some*
+channel's set infinitely often, by pigeonhole on the cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..automata.timed import TimedBuchiAutomaton, TimedTransition
+from ..kernel.clock import Not, TrueConstraint
+from ..obs import hooks as _obs
+from ..spec.combinators import (
+    Alt,
+    Both,
+    PhaseSpec,
+    Spec,
+    actions_of,
+    as_omega,
+    to_source,
+)
+from ..spec.compile import _and_fold, _rename_clocks, to_tba
+from ..stream.compiled import compiled_for
+from ..stream.monitor import (
+    StreamVerdict,
+    TBAMonitor,
+    _BaseMonitor,
+    analysis_for,
+)
+from .builder import Query
+
+__all__ = ["QueryPlan", "PlanMonitor", "DEAD"]
+
+#: The explicit dead state completion adds to every component: entered
+#: when a chain's timer bound fails, absorbing and non-accepting — the
+#: structural stand-in for the interpreter's empty configuration set.
+DEAD = ("dead",)
+
+
+def _complete(tba: TimedBuchiAutomaton) -> TimedBuchiAutomaton:
+    """The same language over a *total* transition relation.
+
+    Every (state, symbol) cell gets an else-edge to :data:`DEAD`
+    guarded by the conjoined negations of the cell's existing guards,
+    so exactly the valuations that killed a run now move it to DEAD
+    instead.  DEAD self-loops unconditionally and is non-accepting:
+    liveness, green and acceptance of the original configurations are
+    untouched, but the automaton can no longer *block* — which is what
+    lets the product construction interleave components freely.
+    """
+    states = list(tba.states) + [DEAD]
+    transitions = list(tba.transitions)
+    for s in tba.states:
+        for a in tba.alphabet:
+            guards = [tr.guard for tr in tba._by_source.get((s, a), ())]
+            if any(isinstance(g, TrueConstraint) for g in guards):
+                continue  # some edge always fires; nothing escapes
+            transitions.append(
+                TimedTransition(
+                    s, DEAD, a, frozenset(), _and_fold(Not(g) for g in guards)
+                )
+            )
+    for a in tba.alphabet:
+        transitions.append(
+            TimedTransition(DEAD, DEAD, a, frozenset(), TrueConstraint())
+        )
+    return TimedBuchiAutomaton(
+        alphabet=tba.alphabet,
+        states=states,
+        initial=tba.initial,
+        transitions=transitions,
+        clocks=tba.clocks,
+        accepting=tba.accepting,
+    )
+
+
+def _product(
+    components: List[TimedBuchiAutomaton], alphabet: Tuple[Any, ...]
+) -> TimedBuchiAutomaton:
+    """The synchronous product of *completed* components.
+
+    No fairness counter here (contrast ``_product_tba`` in
+    :mod:`repro.spec.compile`): the plan does not conjoin obligations,
+    it tracks every component at once and judges each through its own
+    accepting projection.  Base accepting is the *any-component* set —
+    the disjunction — which makes base liveness the union of the
+    channels' (the headline REJECTED = every query dead).
+    """
+    m = len(components)
+    initial = tuple(t.initial for t in components)
+    states: List[Any] = [initial]
+    seen = {initial}
+    transitions: List[TimedTransition] = []
+    frontier = [initial]
+    while frontier:
+        svec = frontier.pop()
+        for a in alphabet:
+            options = [
+                t._by_source.get((svec[i], a), ())
+                for i, t in enumerate(components)
+            ]
+            combos: List[Tuple[TimedTransition, ...]] = [()]
+            for opts in options:
+                combos = [c + (tr,) for c in combos for tr in opts]
+            for combo in combos:
+                tvec = tuple(tr.target for tr in combo)
+                if tvec not in seen:
+                    seen.add(tvec)
+                    states.append(tvec)
+                    frontier.append(tvec)
+                transitions.append(
+                    TimedTransition(
+                        svec,
+                        tvec,
+                        a,
+                        frozenset().union(*(tr.resets for tr in combo)),
+                        _and_fold(tr.guard for tr in combo),
+                    )
+                )
+    accepting = [
+        s
+        for s in states
+        if any(s[i] in components[i].accepting for i in range(m))
+    ]
+    clocks = [c for t in components for c in t.clocks]
+    return TimedBuchiAutomaton(
+        alphabet=alphabet,
+        states=states,
+        initial=initial,
+        transitions=transitions,
+        clocks=clocks,
+        accepting=accepting,
+    )
+
+
+def _as_omega_spec(query: Any) -> Spec:
+    """Normalize a plan entry — query text, builder query, or spec —
+    to its ω-layer spec."""
+    if isinstance(query, str):
+        from .grammar import parse
+
+        return parse(query).spec()
+    if isinstance(query, Query):
+        return query.spec()
+    if isinstance(query, (Spec, PhaseSpec)):
+        return as_omega(query)
+    raise TypeError(
+        f"a plan entry must be query text, a Q query, or a spec; "
+        f"got {query!r}"
+    )
+
+
+class QueryPlan:
+    """k phase-chain queries fused into one shared product automaton.
+
+    ``queries`` maps channel names to query text, builder queries, or
+    phase-chain specs; identical lowered specs share one component.
+    ``alphabet`` defaults to the union of every query's actions (all
+    queries must watch the same symbol stream — that is what makes the
+    shared stepping sound).
+
+    Built artifacts: ``tba`` (the completed product), ``analysis``
+    (one :class:`~repro.stream.monitor.TBAAnalysis`), ``compiled``
+    (one :class:`~repro.stream.compiled.CompiledTBA`, or None when
+    gated off), and ``channels`` — per-name (accepting, live, green)
+    configuration sets over the shared universe.  :meth:`monitor`
+    makes a :class:`PlanMonitor`; handing the plan to
+    :class:`~repro.stream.session.SessionMux` (``plan=...``) monitors
+    it per session with all the batch fast paths intact.
+    """
+
+    def __init__(
+        self,
+        queries: Any,
+        alphabet: Optional[Iterable[Any]] = None,
+        *,
+        compiled: Optional[bool] = None,
+    ):
+        items = (
+            list(queries.items())
+            if isinstance(queries, Mapping)
+            else list(queries)
+        )
+        if not items:
+            raise ValueError("a query plan needs at least one query")
+        self.names: Tuple[str, ...] = tuple(name for name, _q in items)
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate channel names in {self.names}")
+        specs: Dict[str, Spec] = {}
+        for name, q in items:
+            omega = _as_omega_spec(q)
+            if isinstance(omega, (Alt, Both)):
+                raise ValueError(
+                    f"channel {name!r} lowers to "
+                    f"{type(omega).__name__.lower()}(...), which has no "
+                    f"shared-prefix chain structure; a QueryPlan fuses "
+                    f"phase chains only — monitor alt/both queries "
+                    f"individually (Query.monitor())"
+                )
+            specs[name] = omega
+        self.specs = specs
+
+        if alphabet is None:
+            symbols: set = set()
+            for omega in specs.values():
+                symbols |= actions_of(omega)
+            alpha = tuple(sorted(symbols, key=repr))
+        else:
+            alpha = tuple(sorted(set(alphabet), key=repr))
+        self.alphabet = alpha
+
+        # Dedup identical lowered specs into components.
+        comp_specs: List[Spec] = []
+        comp_index: Dict[Spec, int] = {}
+        self._comp_of: Dict[str, int] = {}
+        for name, omega in specs.items():
+            idx = comp_index.get(omega)
+            if idx is None:
+                idx = comp_index[omega] = len(comp_specs)
+                comp_specs.append(omega)
+            self._comp_of[name] = idx
+        self._comp_specs = comp_specs
+
+        components = [
+            _rename_clocks(_complete(to_tba(omega, alpha)), f"q{i}.")
+            for i, omega in enumerate(comp_specs)
+        ]
+        self.tba = _product(components, alpha)
+        self.analysis = analysis_for(self.tba)
+
+        # Per-channel verdict sets: project the shared universe onto
+        # each component's accepting states, then re-derive liveness
+        # and green against that projection.
+        self.channels: Dict[
+            str,
+            Tuple[FrozenSet[Any], FrozenSet[Any], FrozenSet[Any]],
+        ] = {}
+        for name, idx in self._comp_of.items():
+            acc_states = components[idx].accepting
+            acc = frozenset(
+                c for c in self.analysis.universe if c[0][idx] in acc_states
+            )
+            self.channels[name] = (
+                acc,
+                self.analysis.live_for(acc),
+                self.analysis.green_for(acc),
+            )
+
+        if compiled is False:
+            self.compiled = None
+        else:
+            self.compiled = compiled_for(self.analysis)
+            if compiled is True and self.compiled is None:
+                raise ValueError(
+                    "compiled stepping unavailable for this plan (numpy "
+                    "absent, REPRO_STREAM_COMPILED=0, or the product "
+                    "exceeds the table bounds) — drop queries or split "
+                    "the plan"
+                )
+        #: Lazily-built per-channel flag views for :attr:`compiled`
+        #: (shared read-only by every :class:`PlanMonitor`).
+        self._views: Optional[Tuple[List[Any], List[List[int]]]] = None
+        h = _obs.HOOKS
+        if h is not None:
+            h.count("query.plans")
+            h.observe("query.plan_configs", len(self.analysis.universe))
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def channel_views(self, comp: Any) -> Tuple[List[Any], List[List[int]]]:
+        """Per-channel ``(acc, live, green)`` flag lists and accepting
+        state indices against one compiled artifact — plan-level
+        constants, built once and shared by every monitor (building
+        them per session would dominate session setup)."""
+        if comp is self.compiled and self._views is not None:
+            return self._views
+        flags = [comp.flag_view(*self.channels[name]) for name in self.names]
+        acc_idx = [
+            [i for i, f in enumerate(acc) if f] for acc, _lv, _gr in flags
+        ]
+        if comp is self.compiled:
+            self._views = (flags, acc_idx)
+        return flags, acc_idx
+
+    def monitor(self, **kwargs: Any) -> "PlanMonitor":
+        """A per-session :class:`PlanMonitor` over the shared plan
+        (kwargs pass through: lateness, f_window, compiled, …)."""
+        return PlanMonitor(self, **kwargs)
+
+    def stats(self) -> Dict[str, Any]:
+        """The sharing ledger: fused product size vs the per-query sum.
+
+        ``per_query_configs`` builds (cached) stand-alone analyses for
+        each channel's own automaton — the exact monitors the plan
+        replaces.  A ``config_ratio`` below 1 means the fused graph is
+        outright smaller (heavily shared prefixes); above 1, the
+        product pays state for the stepping win — either way the
+        *per-event* cost is one table lookup instead of k, which is
+        what the BENCH_query ablation measures.
+        """
+        per_query = {
+            name: len(analysis_for(to_tba(omega, self.alphabet)).universe)
+            for name, omega in self.specs.items()
+        }
+        fused = len(self.analysis.universe)
+        return {
+            "queries": len(self.names),
+            "components": len(self._comp_specs),
+            "plan_configs": fused,
+            "per_query_configs": per_query,
+            "sum_per_query_configs": sum(per_query.values()),
+            "config_ratio": fused / sum(per_query.values()),
+            "deterministic": self.analysis.deterministic,
+            "compiled": self.compiled is not None,
+            "sources": {
+                name: to_source(omega) for name, omega in self.specs.items()
+            },
+        }
+
+
+class PlanMonitor(TBAMonitor):
+    """One monitor, k verdict channels, O(1) extra work per event.
+
+    The base-class machinery (watermark, reorder heap, compiled
+    stepping, headline verdict) runs on the plan's product automaton;
+    the headline verdict is the disjunction — REJECTED only once every
+    channel is dead — and :meth:`query_verdicts` is the real output.
+
+    Channels are judged *lazily*.  Per applied event the monitor
+    records only per-state occupancy (visit count and last-visit time
+    for the state it landed in — two O(1) writes).  At read time a
+    channel's LTL₃ verdict derives exactly:
+
+    * REJECTED iff the current state is outside ``live_q`` — sound to
+      read off the *current* state alone because the complement of a
+      backward-closed set is forward-closed (once a channel's language
+      dies it cannot revive, so no history is needed);
+    * the green guarantee likewise: ``green`` is closed under
+      successors, so the lock *is* the current state's flag;
+    * accept recency (the f-obligation outside green) is the latest
+      last-visit time over the channel's accepting states, compared
+      against ``f_window`` at the last applied timestamp — the same
+      instant the eager per-event judgement would have used.
+
+    This keeps the per-event cost independent of k, which is where the
+    plan's throughput win over k separate monitors comes from.
+
+    Checkpointing is not supported (the v1 snapshot format does not
+    carry the occupancy ledger) —
+    :func:`repro.stream.checkpoint.checkpoint` refuses rather than
+    silently dropping the channels.
+    """
+
+    _wave_custom = True
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        lateness: int = 0,
+        late_policy: str = "raise",
+        f_window: Optional[int] = None,
+        compiled: Optional[bool] = None,
+    ):
+        self.plan = plan
+        self._ch_names = plan.names
+        super().__init__(
+            plan.tba,
+            analysis=plan.analysis,
+            lateness=lateness,
+            late_policy=late_policy,
+            f_window=f_window,
+            compiled=compiled,
+        )
+        comp = self._compiled
+        if comp is not None and comp.deterministic:
+            n = comp.n_configs
+            #: Per-state occupancy: visit counts and last-visit times,
+            #: indexed like the compiled table (trap row included).
+            self._svc: Any = [0] * (n + 1)
+            self._slt: Any = [None] * (n + 1)
+            #: Per-channel flag views and accepting state indices —
+            #: plan-level constants shared across sessions.
+            views = plan.channel_views(comp)
+            self._ch_flags: Optional[List[Any]] = views[0]
+            self._ch_acc_idx: Optional[List[List[int]]] = views[1]
+            self._ch_sets = None
+        else:
+            self._svc = {}
+            self._slt = {}
+            self._ch_flags = None
+            self._ch_acc_idx = None
+            self._ch_sets = [plan.channels[name] for name in self._ch_names]
+
+    # -- occupancy bookkeeping ---------------------------------------------
+    def _record(self, t: int) -> None:
+        if self._ch_flags is not None:
+            ci = self._ci
+            self._svc[ci] += 1
+            self._slt[ci] = t
+        else:
+            for c in self._configs:
+                self._svc[c] = self._svc.get(c, 0) + 1
+                self._slt[c] = t
+
+    def _advance(self, symbol: Any, t: int) -> None:
+        if self.verdict is StreamVerdict.REJECTED:
+            return
+        super()._advance(symbol, t)
+        self._record(t)
+
+    def ingest_many(self, events) -> StreamVerdict:
+        """The compiled bulk scan plus the two occupancy writes.
+
+        Same eligibility and semantics as ``TBAMonitor.ingest_many``
+        (on-time, in-order, compiled deterministic, no buffering);
+        otherwise the generic loop routes every event through
+        :meth:`_advance`, which records occupancy too.
+        """
+        comp = self._compiled
+        if (
+            comp is None
+            or not comp.deterministic
+            or self.lateness != 0
+            or self._heap
+        ):
+            return _BaseMonitor.ingest_many(self, events)
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        table = comp.table_list
+        get = comp.sym_index.get
+        unknown = comp.n_symbols
+        cap = comp.gap_cap
+        acc = comp.accepting_list
+        live = comp.live_list
+        green = comp.green_list
+        svc = self._svc
+        slt = self._slt
+        ci = self._ci
+        pt = self.prev_t
+        ms = self.max_seen
+        visits = self.accept_visits
+        lat = self._last_accept_time
+        glock = self._green_locked
+        fw = self.f_window
+        verdict = self.verdict
+        REJ = StreamVerdict.REJECTED
+        ACC = StreamVerdict.ACCEPTING
+        INC = StreamVerdict.INCONCLUSIVE
+        rejected = verdict is REJ
+        applied = 0
+        resume = False
+        wm = -1 if ms is None else ms
+        for symbol, t in events:
+            if t < wm or t < 0:
+                resume = True
+                break
+            applied += 1
+            wm = t
+            if rejected:
+                continue
+            gap = t - pt
+            pt = t
+            row = table[ci][get(symbol, unknown)]
+            ci = row[gap] if gap <= cap else row[cap]
+            svc[ci] += 1
+            slt[ci] = t
+            if acc[ci]:
+                visits += 1
+                lat = t
+            if not live[ci]:
+                rejected = True
+                self._set_verdict(REJ)
+                verdict = REJ
+                continue
+            if glock or green[ci]:
+                glock = True
+                if verdict is not ACC:
+                    self._set_verdict(ACC)
+                    verdict = ACC
+            elif lat is not None and (fw is None or t - lat <= fw):
+                if verdict is not ACC:
+                    self._set_verdict(ACC)
+                    verdict = ACC
+            elif verdict is not INC:
+                self._set_verdict(INC)
+                verdict = INC
+        self._ci = ci
+        self.prev_t = pt
+        if wm >= 0:
+            self.max_seen = wm
+        self.accept_visits = visits
+        self._last_accept_time = lat
+        self._green_locked = glock
+        self.events_ingested += applied
+        self.events_released += applied
+        self._seq += applied
+        h = _obs.HOOKS
+        if h is not None and applied:
+            h.count("stream.events_ingested", applied, outcome="ok")
+            h.count("stream.events_released", applied)
+            h.count("stream.compiled_steps", applied, path="bulk")
+        if resume:
+            for symbol, t in events[applied:]:
+                self.ingest(symbol, t)
+        return self.verdict
+
+    def _apply_wave(self, ci: int, t: int) -> None:
+        """Apply one already-gathered wave step (the mux computed the
+        successor index through the shared table; this does the base
+        bookkeeping ``SessionMux._step_waves`` would inline for a plain
+        monitor, plus the occupancy writes)."""
+        self._ci = ci
+        self.prev_t = t
+        self.max_seen = t
+        self.events_ingested += 1
+        self.events_released += 1
+        self._seq += 1
+        comp = self._compiled
+        self._svc[ci] += 1
+        self._slt[ci] = t
+        if comp.accepting_list[ci]:
+            self.accept_visits += 1
+            self._last_accept_time = t
+        if not comp.live_list[ci]:
+            self._set_verdict(StreamVerdict.REJECTED)
+            return
+        if comp.green_list[ci]:
+            self._green_locked = True
+        if self._green_locked or (
+            self._last_accept_time is not None
+            and (
+                self.f_window is None
+                or t - self._last_accept_time <= self.f_window
+            )
+        ):
+            self._set_verdict(StreamVerdict.ACCEPTING)
+        else:
+            self._set_verdict(StreamVerdict.INCONCLUSIVE)
+
+    # -- channel judgement (derived at read time) --------------------------
+    def _channel_verdict(self, q: int) -> StreamVerdict:
+        now = self.prev_t
+        fw = self.f_window
+        flags = self._ch_flags
+        if flags is not None:
+            ci = self._ci
+            _acc, lv, gr = flags[q]
+            if not lv[ci]:
+                return StreamVerdict.REJECTED
+            if gr[ci]:
+                return StreamVerdict.ACCEPTING
+            slt = self._slt
+            lat: Optional[int] = None
+            for i in self._ch_acc_idx[q]:
+                ts = slt[i]
+                if ts is not None and (lat is None or ts > lat):
+                    lat = ts
+            if lat is not None and (fw is None or now - lat <= fw):
+                return StreamVerdict.ACCEPTING
+            return StreamVerdict.INCONCLUSIVE
+        acc_s, lv_s, gr_s = self._ch_sets[q]
+        cs = self.configs
+        if not (cs & lv_s):
+            return StreamVerdict.REJECTED
+        if gr_s and cs <= gr_s:
+            return StreamVerdict.ACCEPTING
+        lat = None
+        for c, ts in self._slt.items():
+            if c in acc_s and (lat is None or ts > lat):
+                lat = ts
+        if lat is not None and (fw is None or now - lat <= fw):
+            return StreamVerdict.ACCEPTING
+        return StreamVerdict.INCONCLUSIVE
+
+    def query_verdicts(self) -> Dict[str, StreamVerdict]:
+        """Current verdict-so-far per query channel."""
+        return {
+            name: self._channel_verdict(q)
+            for q, name in enumerate(self._ch_names)
+        }
+
+    def channel_verdict(self, name: str) -> StreamVerdict:
+        """One channel's verdict-so-far (ValueError if unknown)."""
+        try:
+            q = self._ch_names.index(name)
+        except ValueError:
+            raise ValueError(
+                f"no channel {name!r} in plan {self._ch_names}"
+            ) from None
+        return self._channel_verdict(q)
+
+    def channel_accept_visits(self) -> Dict[str, int]:
+        """Applied events per channel that landed in an accepting
+        configuration (the per-channel mirror of ``accept_visits``)."""
+        out: Dict[str, int] = {}
+        if self._ch_flags is not None:
+            svc = self._svc
+            for q, name in enumerate(self._ch_names):
+                out[name] = sum(svc[i] for i in self._ch_acc_idx[q])
+        else:
+            for q, name in enumerate(self._ch_names):
+                acc_s = self._ch_sets[q][0]
+                out[name] = sum(
+                    n for c, n in self._svc.items() if c in acc_s
+                )
+        return out
+
+    @property
+    def absorbed(self) -> bool:
+        """No verdict — headline *or* channel — can still change."""
+        if self.verdict is StreamVerdict.REJECTED:
+            return True  # base live is the union: every channel is dead
+        if not self._green_locked:
+            return False
+        if self._ch_flags is not None:
+            ci = self._ci
+            return all(
+                not lv[ci] or gr[ci] for _acc, lv, gr in self._ch_flags
+            )
+        cs = self.configs
+        return all(
+            not (cs & lv_s) or (gr_s and cs <= gr_s)
+            for _acc_s, lv_s, gr_s in self._ch_sets
+        )

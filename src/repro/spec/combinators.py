@@ -162,6 +162,11 @@ def rt_bound(action: Any, min_delay: int = 0, max_delay: int = 0) -> RTBound:
 
 def seq(*specs: Union[RTBound, Seq]) -> Seq:
     """Sequence phase specs (nested sequences are flattened)."""
+    if not specs:
+        raise ValueError(
+            "seq() needs at least one phase spec — an empty sequence "
+            "has no denotation"
+        )
     phases = []
     for s in specs:
         if isinstance(s, Seq):
@@ -195,6 +200,11 @@ def as_omega(spec: Union[Spec, RTBound, Seq]) -> Spec:
 
 def alt(*specs: Union[Spec, RTBound, Seq]) -> Spec:
     """Disjunction of ω-specs (phase specs coerce via :func:`as_omega`)."""
+    if not specs:
+        raise ValueError(
+            "alt() needs at least one spec — an empty disjunction "
+            "denotes the empty language, which no acceptor here models"
+        )
     parts = tuple(as_omega(s) for s in specs)
     if len(parts) == 1:
         return parts[0]
@@ -204,6 +214,11 @@ def alt(*specs: Union[Spec, RTBound, Seq]) -> Spec:
 def both(*specs: Union[Spec, RTBound, Seq]) -> Spec:
     """Fair conjunction of ω-specs (phase specs coerce via
     :func:`as_omega`)."""
+    if not specs:
+        raise ValueError(
+            "both() needs at least one spec — an empty conjunction "
+            "denotes everything, which is not a meaningful obligation"
+        )
     parts = tuple(as_omega(s) for s in specs)
     if len(parts) == 1:
         return parts[0]

@@ -37,7 +37,7 @@ shrinking the word (drop events, tighten times) and then the spec
 and emits a ready-to-paste regression test via
 :func:`regression_source`.
 
-Two generator modes share the oracle pairs and the minimizer.  The
+Three generator modes share the oracle pairs and the minimizer.  The
 default fuzzes combinator *specs*; ``gen="tba"`` (CLI ``--gen tba``)
 fuzzes **raw random automata** from :func:`gen_tba` instead — states,
 guarded/resetting transitions, and accepting sets drawn directly, so
@@ -48,10 +48,26 @@ pair then reads ground truth from region-exact ``accepts_lasso``
 rather than the combinator denotation, and shrinking drops
 transitions/guards/resets/accepting states instead of spec phases.
 
+``gen="query"`` (CLI ``--gen query``) draws random :mod:`repro.query`
+builder queries (:func:`gen_query`) and runs their *lowered* ω-specs
+through every pair above, plus two query-layer differentials per case:
+
+``query-roundtrip``
+    ``parse(to_text(q))`` must lower to the identical spec — the text
+    grammar and the fluent builder are the same algebra.
+``query-plan``
+    a fused :class:`~repro.query.plan.QueryPlan` product over 2–3
+    random chain queries vs independent per-query
+    :class:`~repro.stream.monitor.TBAMonitor`\\ s — per-event
+    ``query_verdicts()`` streams must match on both stepping paths,
+    and the plan monitor's bulk scan must land where its scalar loop
+    does.
+
 CLI::
 
     python -m repro.spec.conformance --seed 0 --cases 200
     python -m repro.spec.conformance --gen tba --cases 100
+    python -m repro.spec.conformance --gen query --cases 200
 
 exits non-zero iff any pair disagreed.
 """
@@ -95,6 +111,8 @@ __all__ = [
     "Disagreement",
     "gen_spec",
     "gen_tba",
+    "gen_query",
+    "gen_plan_queries",
     "gen_word",
     "case_source",
     "check_pair",
@@ -108,7 +126,7 @@ __all__ = [
 Case = Any  # Spec | TimedBuchiAutomaton
 
 #: The case generator modes ``run(gen=...)`` accepts.
-GENS: Tuple[str, ...] = ("spec", "tba")
+GENS: Tuple[str, ...] = ("spec", "tba", "query")
 
 #: The differential oracle pairs, in the order the CLI reports them.
 PAIRS: Tuple[str, ...] = (
@@ -231,6 +249,64 @@ def gen_tba(
         clocks=clocks,
         accepting=accepting,
     )
+
+
+def gen_query(rng: random.Random, actions: Sequence[Any], depth: int = 2):
+    """A random :mod:`repro.query` builder query over ``actions`` — the
+    :func:`gen_spec` grammar walk replayed through the ``Q`` surface
+    (chains with ``within``/``after``/``deadline`` modifiers, the ω
+    closers, ``|`` and ``&`` composition)."""
+    from ..query import Q
+
+    def chain():
+        q = None
+        for _ in range(rng.randrange(1, 4)):
+            lo = rng.choice((0, 0, 0, 1, 2))
+            hi = lo + rng.randrange(4)
+            a = rng.choice(list(actions))
+            q = Q.event(a, lo, hi) if q is None else q.then(a, lo, hi)
+        if rng.random() < 0.2:
+            q = q.deadline(1 + rng.randrange(5), rng.choice((0, 0, 2)))
+        return q
+
+    def closed():
+        q = chain()
+        r = rng.random()
+        if r < 0.45:
+            return q.repeat()
+        if r < 0.70:
+            return q.once()
+        return q  # bare chain: ω-coercion ("complete once, then anything")
+
+    def go(d: int):
+        r = rng.random()
+        if d <= 0 or r < 0.55:
+            return closed()
+        parts = [go(d - 1) for _ in range(2 if rng.random() < 0.8 else 3)]
+        out = parts[0]
+        for p in parts[1:]:
+            out = (out | p) if r < 0.85 else (out & p)
+        return out
+
+    return go(depth)
+
+
+def gen_plan_queries(
+    rng: random.Random, actions: Sequence[Any]
+) -> Dict[str, Any]:
+    """2–3 random chain queries biased toward a shared first step —
+    the workload :class:`~repro.query.plan.QueryPlan` exists to fuse."""
+    from ..query import Q
+
+    acts = list(actions)
+    first = rng.choice(acts)
+    out: Dict[str, Any] = {}
+    for i in range(rng.randrange(2, 4)):
+        q = Q.event(first, 0, rng.randrange(3))
+        for _ in range(rng.randrange(1, 3)):
+            q = q.then(rng.choice(acts), 0, rng.randrange(1, 5))
+        out[f"q{i}"] = q.repeat() if rng.random() < 0.7 else q.once()
+    return out
 
 
 def gen_word(
@@ -566,6 +642,64 @@ def _check_checkpoint(
     return None
 
 
+def _check_query_roundtrip(query: Any) -> Optional[str]:
+    """Text grammar vs fluent builder: ``parse(to_text(q))`` must lower
+    to the identical combinator spec."""
+    from ..query import parse
+
+    text = query.to_text()
+    back = parse(text)
+    if back.spec() != query.spec():
+        return (
+            f"parse({text!r}) lowers to {to_source(back.spec())} but the "
+            f"builder query lowers to {to_source(query.spec())}"
+        )
+    return None
+
+
+def _check_query_plan(
+    queries: Dict[str, Any], alphabet: Tuple[Any, ...], word: TimedWord
+) -> Optional[str]:
+    """Fused plan vs independent monitors: per-event ``query_verdicts``
+    streams must match on both stepping paths, and the plan monitor's
+    bulk scan must land where its scalar loop does."""
+    from ..query import QueryPlan
+    from ..stream.monitor import TBAMonitor
+
+    plan = QueryPlan(queries, alphabet)
+    events = _events(word, _replay_len(word))
+    scalar_final = None
+    for compiled in (None, False):
+        pm = plan.monitor(compiled=compiled)
+        singles = {
+            name: TBAMonitor(q.tba(alphabet), compiled=compiled)
+            for name, q in queries.items()
+        }
+        for s, t in events:
+            pm.ingest(s, t)
+            got = pm.query_verdicts()
+            want = {name: m.ingest(s, t) for name, m in singles.items()}
+            if got != want:
+                return (
+                    f"compiled={compiled}: after ({s!r}, {t}) the fused "
+                    f"plan says { {k: v.value for k, v in got.items()} } "
+                    f"but independent monitors say "
+                    f"{ {k: v.value for k, v in want.items()} }"
+                )
+        if scalar_final is None:
+            scalar_final = pm.query_verdicts()
+    bulk = plan.monitor()
+    bulk.ingest_many(events)
+    if bulk.query_verdicts() != scalar_final:
+        return (
+            f"plan ingest_many ends at "
+            f"{ {k: v.value for k, v in bulk.query_verdicts().items()} } "
+            f"but the per-event loop ends at "
+            f"{ {k: v.value for k, v in scalar_final.items()} }"
+        )
+    return None
+
+
 def check_pair(
     pair: str,
     spec: Case,
@@ -801,7 +935,9 @@ def run(
 
     ``gen="spec"`` draws combinator specs (:func:`gen_spec`);
     ``gen="tba"`` draws raw automata (:func:`gen_tba`) through the same
-    oracle pairs and minimizer.
+    oracle pairs and minimizer; ``gen="query"`` draws builder queries
+    (:func:`gen_query`), runs their lowered specs through every pair,
+    and adds the ``query-roundtrip`` / ``query-plan`` differentials.
     """
     for p in pairs:
         if p not in PAIRS:
@@ -817,11 +953,47 @@ def run(
         # Sometimes widen the alphabet past the actions: symbols the
         # spec never mentions still have to be stepped correctly.
         alphabet = tuple(symbols[: len(actions) + rng.randrange(2)]) or ("a",)
+        query = None
         if gen == "tba":
             spec: Case = gen_tba(rng, alphabet)
+        elif gen == "query":
+            query = gen_query(rng, actions, depth=depth)
+            spec = query.spec()
         else:
             spec = gen_spec(rng, actions, depth=depth)
         words = [gen_word(rng, spec, alphabet) for _ in range(words_per_case)]
+        if query is not None:
+            # Query-layer differentials ride along on every case; they
+            # have no word/spec shrink space, so disagreements are
+            # recorded unminimized.
+            stats.checks["query-roundtrip"] = (
+                stats.checks.get("query-roundtrip", 0) + 1
+            )
+            detail = _check_query_roundtrip(query)
+            if detail is not None:
+                log(f"case {case}: DISAGREEMENT query-roundtrip")
+                stats.disagreements.append(
+                    Disagreement(
+                        "query-roundtrip", spec, alphabet, words[0], detail
+                    )
+                )
+            pqs = gen_plan_queries(rng, actions)
+            pword = gen_word(
+                rng, alt(*(q.spec() for q in pqs.values())), alphabet
+            )
+            stats.checks["query-plan"] = stats.checks.get("query-plan", 0) + 1
+            detail = _check_query_plan(pqs, alphabet, pword)
+            if detail is not None:
+                log(f"case {case}: DISAGREEMENT query-plan")
+                stats.disagreements.append(
+                    Disagreement(
+                        "query-plan",
+                        alt(*(q.spec() for q in pqs.values())),
+                        alphabet,
+                        pword,
+                        detail,
+                    )
+                )
         for pair in pairs:
             if pair == "shards":
                 # One pooled batch per case (the pool is persistent, so
@@ -896,10 +1068,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         gen=args.gen,
         log=lambda line: print(line, file=sys.stderr),
     )
-    for pair in pairs:
+    extras = tuple(k for k in stats.checks if k not in pairs)
+    for pair in tuple(pairs) + extras:
         bad = sum(1 for d in stats.disagreements if d.pair == pair)
         print(
-            f"{pair:12s} {stats.checks.get(pair, 0):6d} checks  "
+            f"{pair:16s} {stats.checks.get(pair, 0):6d} checks  "
             f"{bad} disagreement(s)"
         )
     for d in stats.disagreements:

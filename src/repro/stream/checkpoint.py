@@ -99,6 +99,14 @@ def checkpoint(monitor: Any) -> Dict[str, Any]:
     h = _obs.HOOKS
     if h is not None:
         h.count("stream.checkpoints", op="save")
+    if getattr(monitor, "_wave_custom", False):
+        # PlanMonitors carry per-channel occupancy books the TBA
+        # snapshot format cannot express; snapshotting them as plain
+        # TBAMonitors would silently lose the per-query verdicts.
+        raise NotImplementedError(
+            "checkpointing fused plan monitors is not supported; "
+            "checkpoint the individual query monitors instead"
+        )
     if isinstance(monitor, TBAMonitor):
         return {
             "version": FORMAT_VERSION,

@@ -195,6 +195,37 @@ class CompiledTBA:
 
         self.initial_index = self.index[tba._initial_config()]
 
+    def flag_view(
+        self, accepting: Any, live: Any, green: Any
+    ) -> Tuple[List[bool], List[bool], List[bool]]:
+        """Flag lists for an alternative accepting projection over the
+        *same* configuration universe (trap row False), memoized per
+        projection.
+
+        This is how one compiled table serves many queries at once: a
+        :class:`~repro.query.plan.QueryPlan` registers one view per
+        query channel (accepting/live/green sets from
+        :meth:`TBAAnalysis.live_for` / ``green_for``), every view
+        indexes the shared ``table``, and stepping stays one gather per
+        event regardless of how many queries are being judged.
+        """
+        key = (frozenset(accepting), frozenset(live), frozenset(green))
+        cache: Dict[Any, Any] = self.__dict__.setdefault("_flag_views", {})
+        got = cache.get(key)
+        if got is None:
+            n = self.n_configs
+            acc = [False] * (n + 1)
+            lv = [False] * (n + 1)
+            gr = [False] * (n + 1)
+            for c in key[0]:
+                acc[self.index[c]] = True
+            for c in key[1]:
+                lv[self.index[c]] = True
+            for c in key[2]:
+                gr[self.index[c]] = True
+            got = cache[key] = (acc, lv, gr)
+        return got
+
     def _pack(self, flags: Any) -> int:
         """A boolean flag vector as one Python-int bitset."""
         mask = 0

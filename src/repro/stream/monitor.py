@@ -76,7 +76,6 @@ from ..engine.batch import cached_acceptor
 from ..engine.strategies import DEFAULT_HORIZON
 from ..engine.verdict import DecisionReport, Verdict
 from ..kernel.simulator import Simulator
-from ..machine.from_tba import _is_deterministic
 from ..machine.rtalgorithm import ACCEPT_SYMBOL, Context, WorkingStorage
 from ..machine.tape import InputTape, OutputTape
 from ..obs import hooks as _obs
@@ -383,12 +382,26 @@ class TBAAnalysis:
       reachable.  A configuration set disjoint from ``live`` has *no*
       accepting continuation (exact for nondeterministic TBAs too:
       liveness is closed under predecessors, so REJECTED is absorbing).
-    * ``green`` (deterministic TBAs only) — configurations from which
-      *every* infinite continuation stays alive and visits an accepting
-      state infinitely often: totality under every (symbol, gap-class)
-      as a greatest fixpoint, minus everything that can reach a cycle
-      avoiding F.  A green configuration makes ACCEPTING a guarantee,
-      not just an observation; ``green`` is closed under successors.
+    * ``green`` (deterministic stepping only) — configurations from
+      which *every* infinite continuation stays alive and visits an
+      accepting state infinitely often: totality under every (symbol,
+      gap-class) as a greatest fixpoint, minus everything that can
+      reach a cycle avoiding F.  A green configuration makes ACCEPTING
+      a guarantee, not just an observation; ``green`` is closed under
+      successors.
+
+    ``deterministic`` is *semantic*: at most one successor per
+    (configuration, symbol, gap-class), measured on the reachable graph
+    during the BFS — the same notion :class:`CompiledTBA` uses.
+    Guard-disjoint multi-edges (the multi-query plan's completed
+    product automata are full of them) therefore still qualify for
+    dense-table stepping and green guarantees.
+
+    Both liveness sets are *parameterized* over the accepting set:
+    :meth:`live_for` / :meth:`green_for` recompute them for any
+    alternative accepting projection over the same universe — how a
+    :class:`~repro.query.plan.QueryPlan` derives per-channel verdict
+    flags from one shared graph.
     """
 
     def __init__(self, tba: TimedBuchiAutomaton):
@@ -398,17 +411,21 @@ class TBAAnalysis:
             # (tests/test_stream_compiled.py asserts on this counter).
             h.count("stream.analysis_builds")
         self.tba = tba
-        gap_classes = range(tba._cmax + 2)
+        self._gap_classes = range(tba._cmax + 2)
         init = tba._initial_config()
         adjacency: Dict[Config, Set[Config]] = {}
         universe: Set[Config] = {init}
         frontier = deque([init])
+        deterministic = True
         while frontier:
             c = frontier.popleft()
             succs: Set[Config] = set()
             for a in tba.alphabet:
-                for g in gap_classes:
-                    succs |= tba._step_configs({c}, a, g)
+                for g in self._gap_classes:
+                    out = tba._step_configs({c}, a, g)
+                    if len(out) > 1:
+                        deterministic = False
+                    succs |= out
             adjacency[c] = succs
             for s in succs:
                 if s not in universe:
@@ -420,59 +437,94 @@ class TBAAnalysis:
         for c, succs in adjacency.items():
             for s in succs:
                 reverse[s].add(c)
-        accepting = {c for c in universe if c[0] in tba.accepting}
+        self._reverse = reverse
+        self.deterministic = deterministic
+        self.accepting: FrozenSet[Config] = frozenset(
+            c for c in universe if c[0] in tba.accepting
+        )
+        self._cycle_cache: Dict[Config, bool] = {}
+        self._total: Optional[
+            Tuple[FrozenSet[Config], Dict[Config, Set[Config]], Dict[Config, Set[Config]]]
+        ] = None
+        self.live: FrozenSet[Config] = self.live_for(self.accepting)
+        self.green: FrozenSet[Config] = self.green_for(self.accepting)
+
+    def live_for(self, accepting: FrozenSet[Config]) -> FrozenSet[Config]:
+        """Configurations with an accepting continuation w.r.t. an
+        alternative accepting set over the same universe (backward
+        closure of its recurrent members)."""
         recurrent = {c for c in accepting if self._on_cycle(c)}
         live: Set[Config] = set(recurrent)
         queue = deque(recurrent)
         while queue:
             c = queue.popleft()
-            for p in reverse[c]:
+            for p in self._reverse[c]:
                 if p not in live:
                     live.add(p)
                     queue.append(p)
-        self.live: FrozenSet[Config] = frozenset(live)
-        self.deterministic = _is_deterministic(tba)
-        self.green: FrozenSet[Config] = (
-            frozenset(self._green_set(gap_classes, accepting))
-            if self.deterministic
-            else frozenset()
-        )
+        return frozenset(live)
 
     def _on_cycle(self, c: Config) -> bool:
+        hit = self._cycle_cache.get(c)
+        if hit is not None:
+            return hit
         seen: Set[Config] = set()
         queue = deque(self.adjacency[c])
+        found = False
         while queue:
             d = queue.popleft()
             if d == c:
-                return True
+                found = True
+                break
             if d in seen:
                 continue
             seen.add(d)
             queue.extend(self.adjacency[d])
-        return False
+        self._cycle_cache[c] = found
+        return found
 
-    def _green_set(
-        self, gap_classes: range, accepting: Set[Config]
-    ) -> Set[Config]:
+    def _totality(self):
+        """The accepting-independent half of the green computation:
+        the greatest fixpoint of totality (every (symbol, gap-class)
+        has a successor that itself stays total), its induced
+        subgraph, and that subgraph's reverse — computed once and
+        shared by every :meth:`green_for` projection."""
+        if self._total is not None:
+            return self._total
         tba = self.tba
-        # Greatest fixpoint of totality: every (symbol, gap-class) has a
-        # successor that itself stays total.
+        cells: Dict[Config, List[Set[Config]]] = {}
+        for c in self.universe:
+            cells[c] = [
+                tba._step_configs({c}, a, g)
+                for a in tba.alphabet
+                for g in self._gap_classes
+            ]
         total = set(self.universe)
         changed = True
         while changed:
             changed = False
             for c in list(total):
-                ok = all(
-                    any(s in total for s in tba._step_configs({c}, a, g))
-                    for a in tba.alphabet
-                    for g in gap_classes
-                )
+                ok = all(any(s in total for s in cell) for cell in cells[c])
                 if not ok:
                     total.discard(c)
                     changed = True
-        if not total:
-            return set()
         sub = {c: {s for s in self.adjacency[c] if s in total} for c in total}
+        reverse_sub: Dict[Config, Set[Config]] = {c: set() for c in total}
+        for c, succs in sub.items():
+            for s in succs:
+                reverse_sub[s].add(c)
+        self._total = (frozenset(total), sub, reverse_sub)
+        return self._total
+
+    def green_for(self, accepting: FrozenSet[Config]) -> FrozenSet[Config]:
+        """Configurations whose *every* continuation accepts w.r.t. an
+        alternative accepting set (empty unless stepping is
+        deterministic — the guarantee reading needs a unique run)."""
+        if not self.deterministic:
+            return frozenset()
+        total, sub, reverse_sub = self._totality()
+        if not total:
+            return frozenset()
         # Configurations with an infinite F-avoiding path: trim the
         # non-accepting induced subgraph down to nodes that still have a
         # non-accepting successor (leaves only paths into cycles).
@@ -487,10 +539,6 @@ class TBAAnalysis:
         # Anything that can reach such a path — through F or not — has a
         # rejecting continuation.
         unsafe = set(bad)
-        reverse_sub: Dict[Config, Set[Config]] = {c: set() for c in total}
-        for c, succs in sub.items():
-            for s in succs:
-                reverse_sub[s].add(c)
         queue = deque(bad)
         while queue:
             c = queue.popleft()
@@ -498,7 +546,7 @@ class TBAAnalysis:
                 if p not in unsafe:
                     unsafe.add(p)
                     queue.append(p)
-        return total - unsafe
+        return frozenset(total - unsafe)
 
 
 def analysis_for(tba: TimedBuchiAutomaton) -> TBAAnalysis:
@@ -538,6 +586,12 @@ class TBAMonitor(_BaseMonitor):
     configuration was visited within ``f_window`` of the current event
     (obligations met); INCONCLUSIVE otherwise.
     """
+
+    #: Subclasses with extra per-step bookkeeping (the query plan's
+    #: :class:`~repro.query.plan.PlanMonitor`) set this True so the
+    #: mux's cross-session wave stepping routes each advanced index
+    #: through :meth:`_apply_wave` instead of the inline fast path.
+    _wave_custom = False
 
     def __init__(
         self,

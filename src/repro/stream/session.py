@@ -41,6 +41,18 @@ Boundedness is explicit, not accidental:
   :class:`BackpressureError`.
 * ``evict_idle`` retires sessions whose newest event is older than
   ``idle_ttl`` (event time, so replay and live traffic age alike).
+* ``max_eviction_reports`` caps the eviction-summary backlog when the
+  caller never drains it (drop-oldest; the
+  ``stream.eviction_reports_dropped`` counter says how many summaries
+  were lost).
+
+The front-end accepts :mod:`repro.query` directly: ``query=`` monitors
+every session against one declarative query (text or a ``Q`` builder
+query), ``plan=`` shares one fused :class:`~repro.query.plan.QueryPlan`
+product across all sessions (each session gets a
+:class:`~repro.query.plan.PlanMonitor` with per-query verdicts in its
+:class:`SessionReport`), and ``open(name, query=...)`` pins a
+session-private query.
 
 Observability: ``stream.sessions`` (``op=opened|closed|evicted``), the
 ``stream.sessions_active`` gauge, and ``stream.drops`` (``policy=…``);
@@ -79,6 +91,9 @@ class SessionReport:
     drops: int
     verdict_flips: int
     decision: Optional[DecisionReport] = None
+    #: Per-query verdicts when the session ran a fused
+    #: :class:`~repro.query.plan.PlanMonitor` (None otherwise).
+    query_verdicts: Optional[Dict[str, StreamVerdict]] = None
 
 
 class _Session:
@@ -99,7 +114,13 @@ class SessionMux:
     :class:`TBAMonitor`\\ s over one cached analysis) or any
     machine-protocol acceptor (sessions get :class:`Monitor`\\ s around
     the shared program).  ``monitor_factory`` overrides the choice —
-    any zero-argument callable returning a monitor.
+    any zero-argument callable returning a monitor.  ``query`` (text or
+    a ``Q`` builder query; ``alphabet`` optionally widens its symbol
+    set) compiles to a TBA and proceeds like an automaton acceptor;
+    ``plan`` shares one :class:`~repro.query.plan.QueryPlan` product —
+    every session gets a :class:`~repro.query.plan.PlanMonitor` over
+    the plan's single analysis/compiled artifacts, and session reports
+    carry per-query verdicts.
     """
 
     def __init__(
@@ -107,6 +128,9 @@ class SessionMux:
         acceptor: Any = None,
         *,
         monitor_factory: Optional[Callable[[], Any]] = None,
+        query: Any = None,
+        plan: Any = None,
+        alphabet: Optional[Any] = None,
         lateness: int = 0,
         late_policy: str = "drop",
         f_window: Optional[int] = None,
@@ -114,10 +138,28 @@ class SessionMux:
         drop_policy: str = "drop-new",
         max_sessions: Optional[int] = None,
         idle_ttl: Optional[int] = None,
+        max_eviction_reports: Optional[int] = None,
         compiled: Optional[bool] = None,
     ):
-        if (acceptor is None) == (monitor_factory is None):
-            raise ValueError("pass exactly one of acceptor / monitor_factory")
+        given = sum(
+            x is not None for x in (acceptor, monitor_factory, query, plan)
+        )
+        if given != 1:
+            raise ValueError(
+                "pass exactly one of acceptor / monitor_factory / query / plan"
+            )
+        if query is not None:
+            # Queries are pure front-end: lower to a TBA here and share
+            # its artifacts exactly like an automaton acceptor.
+            from ..query import as_query
+
+            acceptor = as_query(query).tba(alphabet)
+        elif alphabet is not None:
+            raise ValueError("alphabet= only applies to query= muxes")
+        if max_eviction_reports is not None and max_eviction_reports < 1:
+            raise ValueError(
+                f"max_eviction_reports must be >= 1, got {max_eviction_reports}"
+            )
         if buffer_limit < 1:
             raise ValueError(f"buffer_limit must be >= 1, got {buffer_limit}")
         if drop_policy not in DROP_POLICIES:
@@ -125,25 +167,49 @@ class SessionMux:
                 f"drop_policy must be one of {DROP_POLICIES}, got {drop_policy!r}"
             )
         self.acceptor = acceptor
+        self.plan = plan
         self.buffer_limit = buffer_limit
         self.drop_policy = drop_policy
         self.max_sessions = max_sessions
         self.idle_ttl = idle_ttl
+        self.max_eviction_reports = max_eviction_reports
         self.drops = 0
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.sessions_evicted = 0
+        self.eviction_reports_dropped = 0
         #: Per-victim summaries from :meth:`evict_idle` (an evicted
         #: in-flight session must surface as UNDECIDED with evidence,
         #: never vanish silently); drain with :meth:`drain_evictions`.
+        #: Bounded by ``max_eviction_reports`` (drop-oldest).
         self.eviction_reports: List[SessionReport] = []
         self._sessions: Dict[str, _Session] = {}
+        #: Monitor knobs shared with per-session query overrides
+        #: (``open(name, query=...)``).
+        self._monitor_kw = dict(
+            lateness=lateness,
+            late_policy=late_policy,
+            f_window=f_window,
+            compiled=compiled,
+        )
         #: The shared compiled artifact for batch stepping (None when
         #: the language is not a TBA, compilation is off, or the
         #: automaton fell back to the interpreter).
         self._tba_compiled = None
         if monitor_factory is not None:
             self._factory = monitor_factory
+        elif plan is not None:
+            # One fused product per plan: the plan already owns the
+            # shared analysis and compiled table; every session's
+            # PlanMonitor wraps those same objects.
+            if compiled is not False:
+                self._tba_compiled = plan.compiled
+            self._factory = lambda: plan.monitor(
+                lateness=lateness,
+                late_policy=late_policy,
+                f_window=f_window,
+                compiled=compiled,
+            )
         elif isinstance(acceptor, TimedBuchiAutomaton):
             # Both per-language artifacts are built exactly once here
             # and shared by every session (and by checkpoint restores).
@@ -181,15 +247,28 @@ class SessionMux:
         """The named session's monitor (KeyError if unknown)."""
         return self._sessions[name].monitor
 
-    def open(self, name: str) -> Any:
-        """Create a session explicitly; returns its monitor."""
+    def open(self, name: str, query: Any = None) -> Any:
+        """Create a session explicitly; returns its monitor.
+
+        ``query`` (text or a ``Q`` builder query) pins a session-private
+        query monitor — the session inherits the mux's lateness /
+        ``f_window`` / compiled knobs but watches its own language.  Its
+        compiled artifact differs from the shared one, so batch
+        ingestion automatically routes its events down the scalar path.
+        """
         if name in self._sessions:
             raise ValueError(f"session {name!r} already open")
         if self.max_sessions is not None and len(self._sessions) >= self.max_sessions:
             raise BackpressureError(
                 f"session table full ({self.max_sessions}); close or evict first"
             )
-        session = _Session(name, self._factory())
+        if query is None:
+            monitor = self._factory()
+        else:
+            from ..query import query_monitor
+
+            monitor = query_monitor(query, **self._monitor_kw)
+        session = _Session(name, monitor)
         self._sessions[name] = session
         self.sessions_opened += 1
         h = _obs.HOOKS
@@ -379,6 +458,19 @@ class SessionMux:
                 m = wave_m[i]
                 t = wave_t[i]
                 ci = new[i]
+                session = wave_s[i]
+                if (
+                    session.last_event_time is None
+                    or t > session.last_event_time
+                ):
+                    session.last_event_time = t
+                if m._wave_custom:
+                    # PlanMonitors keep per-channel books (occupancy
+                    # ledger) the generic bookkeeping below doesn't
+                    # know about; the monitor applies the stepped
+                    # config itself.
+                    m._apply_wave(ci, t)
+                    continue
                 m._ci = ci
                 m.prev_t = t
                 m.max_seen = t
@@ -388,12 +480,6 @@ class SessionMux:
                 if acc_f[ci]:
                     m.accept_visits += 1
                     m._last_accept_time = t
-                session = wave_s[i]
-                if (
-                    session.last_event_time is None
-                    or t > session.last_event_time
-                ):
-                    session.last_event_time = t
                 if not live_f[ci]:
                     m._set_verdict(REJ)
                     continue
@@ -451,6 +537,11 @@ class SessionMux:
             drops=session.drops,
             verdict_flips=monitor.verdict_flips,
             decision=decision,
+            query_verdicts=(
+                monitor.query_verdicts()
+                if hasattr(monitor, "query_verdicts")
+                else None
+            ),
         )
 
     def evict_idle(
@@ -520,8 +611,24 @@ class SessionMux:
                     drops=session.drops,
                     verdict_flips=monitor.verdict_flips,
                     decision=decision,
+                    query_verdicts=(
+                        monitor.query_verdicts()
+                        if hasattr(monitor, "query_verdicts")
+                        else None
+                    ),
                 )
             )
+            cap = self.max_eviction_reports
+            if cap is not None and len(self.eviction_reports) > cap:
+                # Drop-oldest: the backlog is a courtesy to callers who
+                # drain it; an undrained mux must not grow without
+                # bound (the same discipline as every other buffer
+                # here).
+                excess = len(self.eviction_reports) - cap
+                del self.eviction_reports[:excess]
+                self.eviction_reports_dropped += excess
+                if h is not None:
+                    h.count("stream.eviction_reports_dropped", excess)
             self.sessions_evicted += 1
             if h is not None:
                 h.count("stream.sessions", op="evicted")
@@ -542,6 +649,7 @@ class SessionMux:
             "opened": self.sessions_opened,
             "closed": self.sessions_closed,
             "evicted": self.sessions_evicted,
+            "eviction_reports_dropped": self.eviction_reports_dropped,
             "drops": self.drops,
             "pending_total": sum(
                 s.monitor.pending for s in self._sessions.values()

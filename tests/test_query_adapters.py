@@ -1,0 +1,95 @@
+"""Tests for repro.query.adapters — the worked domains as one-liners."""
+
+import pytest
+
+from repro.adhoc.messages import HopRecord, TraceLog
+from repro.deadlines.spec import DeadlineKind, DeadlineSpec, StepUsefulness
+from repro.engine import Verdict, decide
+from repro.query import (
+    aq_query,
+    deadline_query,
+    delivery_events,
+    pq_query,
+    route_delivery_query,
+)
+from repro.query.builder import QStep
+from repro.stream import StreamVerdict
+from repro.words import TimedWord
+
+
+# ------------------------------------------------------- §4.1 deadlines
+
+
+def test_deadline_query_firm_matches_oracle_window():
+    q = deadline_query(DeadlineSpec(kind=DeadlineKind.FIRM, t_d=5))
+    assert q.steps == (QStep("done", 0, 4),)  # strictly before t_d
+    assert q.mode == "once"
+    on_time = TimedWord.lasso([("done", 4)], [("done", 10)], shift=10)
+    late = TimedWord.lasso([("done", 5)], [("done", 10)], shift=10)
+    assert decide(word=on_time, query=q).verdict is Verdict.ACCEPT
+    assert decide(word=late, query=q).verdict is Verdict.REJECT
+
+
+def test_deadline_query_step_soft_gets_grace():
+    dspec = DeadlineSpec(
+        kind=DeadlineKind.SOFT,
+        t_d=5,
+        usefulness=StepUsefulness(max_value=1, t_d=5, grace=3),
+        min_acceptable=1,
+    )
+    q = deadline_query(dspec, action="commit")
+    assert q.steps == (QStep("commit", 0, 8),)  # through t_d + grace
+
+
+# -------------------------------------------------- rtdb L_aq and L_pq
+
+
+def test_aq_query_is_the_eq9_skeleton():
+    q = aq_query(5, issue_within=2)
+    assert q.steps == (QStep("issue", 0, 2), QStep("answer", 0, 4))
+    assert q.mode == "once"
+    m = q.monitor()
+    m.ingest("issue", 1)
+    assert m.ingest("answer", 5) is StreamVerdict.ACCEPTING
+
+
+def test_pq_query_is_the_eq10_buchi_obligation():
+    q = pq_query(d_q=5, t_p=8)
+    assert q.mode == "repeat"
+    assert q.steps == (QStep("issue", 0, 8), QStep("answer", 0, 4))
+    with pytest.raises(ValueError, match="t_p"):
+        pq_query(5, 0)
+    m = q.monitor()
+    # Two full on-time cycles, then the answers stop: the iteration
+    # starves and the stream is rejected once the window is blown.
+    for s, t in [("issue", 0), ("answer", 2), ("issue", 6), ("answer", 8)]:
+        m.ingest(s, t)
+    assert m.verdict is StreamVerdict.ACCEPTING
+    m.ingest("issue", 10)
+    assert m.ingest("issue", 20) is StreamVerdict.REJECTED
+
+
+# --------------------------------------------------- §5.2 routing hops
+
+
+def test_route_delivery_query_bounds_inter_arrival():
+    q = route_delivery_query(bound=4)
+    assert q.steps == (QStep("r", 0, 4),)
+    assert q.mode == "repeat"
+    with pytest.raises(ValueError, match="bound"):
+        route_delivery_query(-1)
+
+
+def test_delivery_events_bridges_trace_logs():
+    trace = TraceLog()
+    for sent_at, src, dst in [(0, 1, 2), (3, 2, 3), (1, 1, 3)]:
+        hop = HopRecord(sent_at=sent_at, src=src, dst=dst, body="b", kind="data")
+        trace.record_receive(hop, dst)
+    # Time-ordered, one (symbol, received_at) pair per receive.
+    assert delivery_events(trace) == [("r", 1), ("r", 2), ("r", 4)]
+    # Node filter: only the hops node 3 heard.
+    assert delivery_events(trace, node=3) == [("r", 2), ("r", 4)]
+    # And the stream feeds the routing query directly.
+    m = route_delivery_query(bound=4).monitor()
+    m.ingest_many(delivery_events(trace))
+    assert m.verdict is StreamVerdict.ACCEPTING

@@ -1,0 +1,205 @@
+"""Tests for repro.query.builder — the fluent CER-style query surface.
+
+Covers construction/validation, lowering onto the spec combinators,
+S3's structural contracts (``to_source`` round-trips of query-built
+specs; ``phases_of``/``actions_of``/``is_deterministic_spec`` over
+query-lowered specs), and the end-to-end ``decide``/monitor paths.
+"""
+
+import pytest
+
+from repro.engine import Verdict, decide
+from repro.query import AndQuery, ChainQuery, OrQuery, Q, QStep, as_query
+from repro.spec import (
+    Spec,
+    actions_of,
+    alt,
+    both,
+    eventually,
+    is_deterministic_spec,
+    loop,
+    phases_of,
+    rt_bound,
+    seq,
+    to_source,
+)
+from repro.stream import StreamVerdict
+from repro.words import TimedWord
+
+
+# ------------------------------------------------------------ building
+
+
+def test_event_then_within_after_build_steps():
+    q = Q.event("req").then("rsp").within(5).after(1)
+    assert q.steps == (QStep("req", 0, 0), QStep("rsp", 1, 5))
+
+
+def test_after_widens_window():
+    q = Q.event("a").after(3)
+    assert q.steps[-1] == QStep("a", 3, 3)
+
+
+def test_step_validation():
+    with pytest.raises(ValueError):
+        QStep("a", -1, 2)
+    with pytest.raises(ValueError):
+        Q.event("a", 3, 1)
+    with pytest.raises(ValueError):
+        ChainQuery(())
+    with pytest.raises(ValueError):
+        ChainQuery((QStep("a"),), mode="sometimes")
+
+
+def test_q_is_a_namespace():
+    with pytest.raises(TypeError):
+        Q()
+
+
+def test_omega_operators_close_the_chain():
+    q = Q.event("a").repeat()
+    for op in ("then", "within", "after", "deadline", "repeat", "once"):
+        with pytest.raises(ValueError, match="must come before"):
+            getattr(q, op)(*(("b",) if op == "then" else (2,) if op not in ("repeat", "once") else ()))
+
+
+def test_deadline_firm_and_soft_windows():
+    # Firm (§4.1 class ii): completion strictly before t_d.
+    firm = Q.event("job").deadline(7)
+    assert firm.steps[-1] == QStep("job", 0, 6)
+    # Step-soft (class iii): usefulness holds through t_d + grace.
+    soft = Q.event("job").deadline(7, grace=2)
+    assert soft.steps[-1] == QStep("job", 0, 9)
+    with pytest.raises(ValueError):
+        Q.event("job").deadline(0)
+    with pytest.raises(ValueError):
+        Q.event("job").deadline(5, grace=-1)
+
+
+def test_or_and_flatten():
+    a, b, c = Q.event("a"), Q.event("b"), Q.event("c")
+    assert isinstance(a | b, OrQuery)
+    assert len(((a | b) | c).parts) == 3
+    assert len((a & b & c).parts) == 3
+    with pytest.raises(TypeError):
+        a | "not a query"
+    with pytest.raises(ValueError):
+        OrQuery((a,))
+    with pytest.raises(ValueError):
+        AndQuery((a,))
+
+
+# ------------------------------------------------------------ lowering
+
+
+def test_chain_lowers_to_seq_of_rt_bounds():
+    q = Q.event("req").then("rsp", 1, 5)
+    assert q.lower() == seq(rt_bound("req", 0, 0), rt_bound("rsp", 1, 5))
+    assert q.spec() == eventually(q.lower())  # bare chain ω-coerces
+
+
+def test_repeat_once_lower_to_loop_eventually():
+    body = seq(rt_bound("hb", 0, 10))
+    assert Q.event("hb").within(10).repeat().lower() == loop(body)
+    assert Q.event("hb").within(10).once().lower() == eventually(body)
+
+
+def test_or_and_lower_to_alt_both():
+    a = Q.event("a").repeat()
+    b = Q.event("b").within(3).once()
+    assert (a | b).lower() == alt(a.lower(), b.lower())
+    assert (a & b).lower() == both(a.lower(), b.lower())
+
+
+def test_default_alphabet_is_sorted_actions():
+    q = Q.event("z").then("a") | Q.event("m").repeat()
+    assert q.default_alphabet() == ("a", "m", "z")
+
+
+# ------------------------------------------- S3: structural contracts
+
+
+S3_QUERIES = [
+    Q.event("a"),
+    Q.event("req").then("rsp").within(5),
+    Q.event("req").then("rsp").after(1).within(4),
+    Q.event("hb").within(10).repeat(),
+    Q.event("job").deadline(7, grace=2).once(),
+    Q.event("a") | Q.event("b").within(3).repeat(),
+    Q.event("a").repeat() & Q.event("b").within(3).once(),
+    (Q.event("a") | Q.event("b")) & Q.event("c").repeat(),
+    Q.parse("a ; b within 5"),
+    Q.parse("repeat(hb within 10) | once(job deadline 7 grace 2)"),
+]
+
+
+@pytest.mark.parametrize("q", S3_QUERIES, ids=lambda q: q.to_text())
+def test_to_source_round_trips_query_specs(q):
+    """Every operator's lowered spec reconstructs from its source."""
+    spec = q.spec()
+    namespace = {
+        "rt_bound": rt_bound,
+        "seq": seq,
+        "loop": loop,
+        "eventually": eventually,
+        "alt": alt,
+        "both": both,
+    }
+    rebuilt = eval(to_source(spec), namespace)
+    assert rebuilt == spec
+
+
+def test_structural_queries_over_lowered_specs():
+    q = Q.event("req").then("rsp", 1, 5).repeat()
+    body = q.lower().body
+    assert [p.action for p in phases_of(body)] == ["req", "rsp"]
+    assert actions_of(q.spec()) == {"req", "rsp"}
+    assert is_deterministic_spec(q.spec())
+    # Disjunctions of chains sharing a first action are the classic
+    # nondeterministic shape.
+    nd = (Q.event("a").then("b") | Q.event("a").then("c")).spec()
+    assert actions_of(nd) == {"a", "b", "c"}
+    assert not is_deterministic_spec(nd)
+
+
+# ------------------------------------------------------------ end-to-end
+
+
+def test_query_decide_and_holds():
+    q = Q.event("hb").within(5).repeat()
+    good = TimedWord.lasso([], [("hb", 0)], shift=3)
+    bad = TimedWord.lasso([("hb", 0)], [("hb", 10)], shift=10)
+    assert q.holds(good)
+    assert not q.holds(bad)
+    assert decide(q.acceptor(), good).verdict is Verdict.ACCEPT
+    assert decide(word=good, query=q).verdict is Verdict.ACCEPT
+    assert decide(word=bad, query=q).verdict is Verdict.REJECT
+
+
+def test_decide_validates_query_kwargs():
+    q = Q.event("a")
+    w = TimedWord.lasso([], [("a", 0)], shift=1)
+    with pytest.raises(ValueError, match="exactly one"):
+        decide(q.acceptor(), w, query=q)
+    with pytest.raises(ValueError, match="exactly one"):
+        decide(word=w)
+    with pytest.raises(ValueError, match="alphabet"):
+        decide(q.acceptor(), w, alphabet=("a", "b"))
+
+
+def test_query_monitor_streams_verdicts():
+    m = Q.event("req").then("rsp").within(5).repeat().monitor()
+    assert m.ingest("req", 0) is StreamVerdict.INCONCLUSIVE
+    assert m.ingest("rsp", 3) is StreamVerdict.ACCEPTING
+    # f_window=None: one accept visit keeps ACCEPTING while live.
+    assert m.ingest("req", 3) is StreamVerdict.ACCEPTING
+    # Blowing the window kills the iteration permanently.
+    assert m.ingest("rsp", 20) is StreamVerdict.REJECTED
+
+
+def test_as_query_coerces_text_and_rejects_junk():
+    assert as_query("a ; b").spec() == Q.event("a").then("b").spec()
+    q = Q.event("a")
+    assert as_query(q) is q
+    with pytest.raises(TypeError):
+        as_query(42)

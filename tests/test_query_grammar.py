@@ -1,0 +1,110 @@
+"""Tests for repro.query.grammar — the text form of the query algebra."""
+
+import pytest
+
+from repro.query import AndQuery, ChainQuery, OrQuery, ParseError, Q, parse, to_text
+
+
+# ------------------------------------------------------------ parsing
+
+
+def test_parse_chain_with_modifiers():
+    q = parse("req ; rsp after 1 within 5")
+    assert q == Q.event("req").then("rsp").after(1).within(5)
+
+
+def test_parse_omega_closers():
+    assert parse("repeat(hb within 10)") == Q.event("hb").within(10).repeat()
+    assert parse("once(a ; b)") == Q.event("a").then("b").once()
+
+
+def test_parse_deadline_with_grace():
+    assert parse("once(job deadline 7 grace 2)") == (
+        Q.event("job").deadline(7, grace=2).once()
+    )
+    # Firm: deadline 7 == window [0, 6].
+    assert parse("job deadline 7") == Q.event("job").deadline(7)
+
+
+def test_parse_precedence_and_parens():
+    q = parse("a | b & c")
+    assert isinstance(q, OrQuery)
+    assert isinstance(q.parts[1], AndQuery)
+    grouped = parse("(a | b) & c")
+    assert isinstance(grouped, AndQuery)
+    assert isinstance(grouped.parts[0], OrQuery)
+
+
+def test_parse_errors():
+    for text in (
+        "",
+        "   ",
+        "a ;",
+        "; a",
+        "a within",
+        "within 3",
+        "a deadline",
+        "repeat(a",
+        "a b",  # two names, no separator
+        "a ! b",  # untokenizable
+        "repeat(a) extra",  # trailing
+    ):
+        with pytest.raises(ParseError):
+            parse(text)
+
+
+def test_reserved_words_are_not_event_names():
+    with pytest.raises(ParseError):
+        parse("within ; a")
+
+
+# ---------------------------------------------------------- rendering
+
+
+ROUND_TRIPS = [
+    "a",
+    "a ; b within 5",
+    "req ; rsp after 1 within 5",
+    "repeat(hb within 10)",
+    "once(a ; b within 3)",
+    "a within 3 | b after 1 within 4",
+    "repeat(a) & once(b)",
+    "(a | b) & repeat(c)",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIPS)
+def test_text_round_trips(text):
+    q = parse(text)
+    assert to_text(q) == text
+    assert parse(to_text(q)) == q
+
+
+def test_builder_round_trips_through_text():
+    q = (Q.event("req").then("rsp").within(5).repeat()
+         | Q.event("job").deadline(7, grace=2).once())
+    assert parse(q.to_text()) == q
+
+
+def test_deadline_renders_as_normalized_window():
+    # deadline is sugar for its normalized window; the text form keeps
+    # the window (the §4.1 bound the oracle accepts) and round-trips by
+    # spec equality.
+    q = Q.event("job").deadline(7, grace=2)
+    assert to_text(q) == "job within 9"
+    assert parse(to_text(q)).spec() == q.spec()
+
+
+def test_unrenderable_action_raises():
+    q = Q.event(("tuple", "action"))
+    with pytest.raises(ValueError, match="no text form"):
+        to_text(q)
+    with pytest.raises(ValueError, match="no text form"):
+        to_text(Q.event("within"))
+
+
+def test_exactly_window_omits_within():
+    # lo == hi > 0 renders as "after N" alone and still round-trips.
+    q = Q.event("a", 2, 2)
+    assert to_text(q) == "a after 2"
+    assert parse(to_text(q)) == q

@@ -47,14 +47,16 @@ def test_rt_bound_validates():
 def test_seq_flattens_and_needs_phases():
     s = seq(rt_bound("a", 0, 1), seq(rt_bound("b", 0, 2)))
     assert len(s.phases) == 2
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match=r"seq\(\) needs at least one"):
         seq()
 
 
 def test_alt_both_need_parts():
-    with pytest.raises(ValueError):
+    # The zero-arg constructors explain themselves — they must not leak
+    # the internal "at least two components" dataclass invariant.
+    with pytest.raises(ValueError, match=r"alt\(\) needs at least one"):
         alt()
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match=r"both\(\) needs at least one"):
         both()
     one = loop(rt_bound("a", 0, 1))
     assert alt(one) == one  # single part collapses

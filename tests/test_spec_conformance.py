@@ -44,6 +44,16 @@ def test_seeded_corpus_deep_grammar_agrees():
     assert stats.disagreements == []
 
 
+def test_seeded_corpus_query_gen_agrees():
+    # The query front-end mode: lowered specs through every pair, plus
+    # the text round-trip and fused-plan differentials.
+    stats = run(seed=3, cases=12, gen="query")
+    assert stats.disagreements == []
+    assert stats.checks["query-roundtrip"] == 12
+    assert stats.checks["query-plan"] == 12
+    assert set(PAIRS) <= set(stats.checks)
+
+
 def test_unknown_pair_rejected():
     with pytest.raises(ValueError):
         run(cases=1, pairs=("nope",))

@@ -173,6 +173,7 @@ class TestLifecycle:
             "opened": 2,
             "closed": 1,
             "evicted": 0,
+            "eviction_reports_dropped": 0,
             "drops": 0,
             "pending_total": 1,
         }
@@ -278,6 +279,27 @@ class TestEvictionReports:
         # The session is genuinely retired, not resurrectable by close;
         # its story lives in the eviction report alone.
         assert [r.name for r in mux.eviction_reports] == ["gone"]
+
+    def test_eviction_reports_capped_drop_oldest(self):
+        # An undrained mux must not grow its report backlog without
+        # bound: the cap drops the oldest summaries and counts them.
+        mux = SessionMux(bounded_gap_tba(), idle_ttl=1, max_eviction_reports=3)
+        for i in range(8):
+            mux.ingest(f"s{i}", "a", 1)
+        mux.evict_idle(now=1000)
+        assert len(mux.eviction_reports) == 3
+        assert [r.name for r in mux.eviction_reports] == ["s5", "s6", "s7"]
+        assert mux.eviction_reports_dropped == 5
+        assert mux.stats()["eviction_reports_dropped"] == 5
+        # Uncapped muxes keep everything (and report zero drops).
+        mux2 = SessionMux(bounded_gap_tba(), idle_ttl=1)
+        for i in range(8):
+            mux2.ingest(f"s{i}", "a", 1)
+        mux2.evict_idle(now=1000)
+        assert len(mux2.eviction_reports) == 8
+        assert mux2.eviction_reports_dropped == 0
+        with pytest.raises(ValueError, match="max_eviction_reports"):
+            SessionMux(bounded_gap_tba(), max_eviction_reports=0)
 
     def test_drain_evictions_hands_over_and_clears(self):
         mux = SessionMux(bounded_gap_tba(), idle_ttl=10)
